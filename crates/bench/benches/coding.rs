@@ -1,0 +1,82 @@
+//! Criterion benches for the entropy-coding and telemetry layers — the
+//! per-window firmware cost beyond acquisition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybridcs_coding::{crc32, HuffmanCodebook, LowResCodec, RleLowResCodec};
+use hybridcs_core::telemetry::FrameCodec;
+use hybridcs_core::{
+    experiment::default_training_windows, train_lowres_codec, HybridFrontEnd, SystemConfig,
+};
+use hybridcs_dsp::{Dwt, Wavelet};
+use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
+use hybridcs_frontend::LowResChannel;
+use std::hint::black_box;
+
+fn window() -> Vec<f64> {
+    let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).expect("valid config");
+    generator.generate(2.0, 0xC0D1)[..512].to_vec()
+}
+
+fn bench_entropy_variants(c: &mut Criterion) {
+    let x = window();
+    let channel = LowResChannel::new(7).expect("valid bits");
+    let frame = channel.acquire(&x);
+    let training = default_training_windows(512);
+    let sequences: Vec<Vec<u32>> = training
+        .iter()
+        .map(|w| channel.acquire(w).codes().to_vec())
+        .collect();
+
+    let plain_book =
+        HuffmanCodebook::train_from_code_sequences(sequences.iter().map(|v| &v[..]))
+            .expect("training set");
+    let plain = LowResCodec::new(plain_book, 7).expect("valid bits");
+    c.bench_function("lowres_encode_plain_huffman", |b| {
+        b.iter(|| black_box(plain.encode(black_box(frame.codes())).expect("encodes")))
+    });
+
+    let rle = RleLowResCodec::train(sequences.iter().map(|v| &v[..]), 7).expect("training set");
+    c.bench_function("lowres_encode_zero_run", |b| {
+        b.iter(|| black_box(rle.encode(black_box(frame.codes())).expect("encodes")))
+    });
+}
+
+fn bench_wavelet_families(c: &mut Criterion) {
+    let x = window();
+    for w in Wavelet::ALL {
+        let levels = Dwt::max_levels(w, 512).min(5);
+        let dwt = Dwt::new(w, levels).expect("valid depth");
+        c.bench_function(&format!("dwt_forward_{w}_n512"), |b| {
+            b.iter(|| black_box(dwt.forward(black_box(&x)).expect("valid length")))
+        });
+    }
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let x = window();
+    let config = SystemConfig::default();
+    let lowres_codec =
+        train_lowres_codec(config.lowres_bits, &default_training_windows(config.window))
+            .expect("training set");
+    let frontend = HybridFrontEnd::new(&config, lowres_codec).expect("config");
+    let frame_codec = FrameCodec::new(&config).expect("config");
+    let encoded = frontend.encode(&x).expect("window sized");
+    c.bench_function("telemetry_serialize_frame", |b| {
+        b.iter(|| black_box(frame_codec.serialize(1, black_box(&encoded)).expect("serializes")))
+    });
+    let bytes = frame_codec.serialize(1, &encoded).expect("serializes");
+    c.bench_function("telemetry_deserialize_frame", |b| {
+        b.iter(|| black_box(frame_codec.deserialize(black_box(&bytes)).expect("parses")))
+    });
+    c.bench_function("crc32_1kB", |b| {
+        let data = vec![0xA5u8; 1024];
+        b.iter(|| black_box(crc32(black_box(&data))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_entropy_variants, bench_wavelet_families, bench_telemetry
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 9 — example original vs hybrid-reconstructed windows at
+//! undersampling fractions δ = m/n ∈ {6%, 12%, 25%}, with the achieved SNR
+//! in each panel title.
+
+use hybridcs_bench::{banner, sweep_base_config};
+use hybridcs_core::{HybridCodec, SystemConfig};
+use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
+use hybridcs_metrics::snr_db;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 9", "example reconstructions at delta = 6/12/25 %");
+    let generator = EcgGenerator::new(GeneratorConfig::normal_sinus())?;
+    let strip = generator.generate(2.0, 0xF16_9);
+    let base = sweep_base_config();
+    let window = &strip[..base.window];
+
+    for delta_percent in [6.0f64, 12.0, 25.0] {
+        let m = ((base.window as f64) * delta_percent / 100.0).round() as usize;
+        let config = SystemConfig {
+            measurements: m,
+            ..base.clone()
+        };
+        let codec = HybridCodec::with_default_training(&config)?;
+        let encoded = codec.encode(window)?;
+        let decoded = codec.decode(&encoded)?;
+        let snr = snr_db(window, &decoded.signal);
+        println!(
+            "delta = {delta_percent:>4.0}% (m = {m:>3}) -> SNR = {snr:.1} dB  (paper: 6% -> 18.7 dB, 12% -> 19.7 dB)"
+        );
+        // Panel series, decimated for terminal plotting.
+        print!("  original_mv:      ");
+        for v in window.iter().step_by(16) {
+            print!("{v:+.2} ");
+        }
+        println!();
+        print!("  reconstructed_mv: ");
+        for v in decoded.signal.iter().step_by(16) {
+            print!("{v:+.2} ");
+        }
+        println!();
+        println!();
+    }
+    println!("expected shape: even delta = 6% keeps a clinically plausible trace");
+    println!("with SNR near the paper's 18.7 dB, thanks to the bound constraint.");
+    Ok(())
+}

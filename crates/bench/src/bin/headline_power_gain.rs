@@ -1,0 +1,107 @@
+//! Headline numbers — reproduces the paper's two power-gain claims by
+//! measurement, not assumption: find the smallest `m` at which each
+//! decoder reaches the SNR target on the evaluation corpus, then price
+//! both with the analytical power models.
+//!
+//! Paper: SNR 20 dB needs m = 96 (hybrid) vs 240 (normal) → ~2.5×;
+//! SNR 17 dB needs m = 16 (hybrid) vs 176 (normal) → ~11×.
+
+use hybridcs_bench::{banner, eval_corpus, eval_windows_per_record, sweep_base_config};
+use hybridcs_core::{HybridCodec, SystemConfig};
+use hybridcs_ecg::Corpus;
+use hybridcs_metrics::prd_to_snr_db;
+use hybridcs_power::{hybrid_power, rmpi_power, PowerParams};
+
+/// Mean corpus SNR for both decoders at a given m.
+fn corpus_snr(corpus: &Corpus, base: &SystemConfig, m: usize, windows: usize) -> (f64, f64) {
+    let config = SystemConfig {
+        measurements: m,
+        ..base.clone()
+    };
+    let codec = HybridCodec::with_default_training(&config).expect("config valid");
+    let (mut err_h, mut err_n, mut energy) = (0.0f64, 0.0f64, 0.0f64);
+    for record in corpus.records() {
+        for window in record.windows(config.window).take(windows) {
+            let encoded = codec.encode(window).expect("window sized");
+            let hybrid = codec.decode(&encoded).expect("decode");
+            let normal = codec.decode_normal(&encoded).expect("decode");
+            for ((&x, xh), xn) in window.iter().zip(&hybrid.signal).zip(&normal.signal) {
+                err_h += (x - xh) * (x - xh);
+                err_n += (x - xn) * (x - xn);
+                energy += x * x;
+            }
+        }
+    }
+    (
+        prd_to_snr_db((err_h / energy).sqrt() * 100.0),
+        prd_to_snr_db((err_n / energy).sqrt() * 100.0),
+    )
+}
+
+/// Smallest m in `grid` whose SNR (picked by `select`) reaches `target`.
+fn smallest_m(
+    grid: &[usize],
+    snrs: &[(usize, f64, f64)],
+    target: f64,
+    hybrid: bool,
+) -> Option<usize> {
+    grid.iter()
+        .zip(snrs)
+        .find(|(_, (_, h, n))| if hybrid { *h >= target } else { *n >= target })
+        .map(|(&m, _)| m)
+}
+
+fn main() {
+    banner(
+        "Headline",
+        "channels needed at fixed SNR and the resulting power gain",
+    );
+    let corpus = eval_corpus();
+    let base = sweep_base_config();
+    let windows = eval_windows_per_record();
+    let params = PowerParams::default();
+    let n = base.window;
+
+    let grid: Vec<usize> = vec![8, 16, 24, 32, 48, 64, 96, 128, 176, 240, 320, 400, 480];
+    let mut snrs = Vec::new();
+    println!("  m | hybrid SNR | normal SNR");
+    println!("----+------------+-----------");
+    for &m in &grid {
+        let (h, nn) = corpus_snr(&corpus, &base, m, windows);
+        println!("{m:>3} | {h:>7.2} dB | {nn:>7.2} dB");
+        snrs.push((m, h, nn));
+    }
+    println!();
+
+    for target in [20.0f64, 17.0] {
+        let mh = smallest_m(&grid, &snrs, target, true);
+        let mn = smallest_m(&grid, &snrs, target, false);
+        match (mh, mn) {
+            (Some(mh), Some(mn)) => {
+                let ph = hybrid_power(mh, n, 360.0, 7, &params);
+                let pn = rmpi_power(mn, n, 360.0, &params);
+                println!(
+                    "SNR >= {target:.0} dB: hybrid m = {mh} ({:.0} uW) vs normal m = {mn} ({:.0} uW) -> {:.1}x power gain",
+                    ph.total_uw(),
+                    pn.total_uw(),
+                    pn.total_w() / ph.total_w()
+                );
+            }
+            (Some(mh), None) => {
+                let ph = hybrid_power(mh, n, 360.0, 7, &params);
+                let pn = rmpi_power(*grid.last().expect("grid non-empty"), n, 360.0, &params);
+                println!(
+                    "SNR >= {target:.0} dB: hybrid m = {mh} ({:.0} uW); normal CS never reaches it within m <= {} (>= {:.0} uW) -> gain > {:.1}x",
+                    ph.total_uw(),
+                    grid.last().expect("grid non-empty"),
+                    pn.total_uw(),
+                    pn.total_w() / ph.total_w()
+                );
+            }
+            _ => println!("SNR >= {target:.0} dB: not reached by hybrid CS on this corpus"),
+        }
+    }
+    println!();
+    println!("paper reference: 96 vs 240 channels at 20 dB (~2.5x) and 16 vs 176");
+    println!("channels at 17 dB (~11x).");
+}

@@ -1,0 +1,222 @@
+use crate::CodingError;
+
+/// MSB-first bit-level writer backed by a `Vec<u8>`.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_coding::{BitReader, BitWriter};
+///
+/// # fn main() -> Result<(), hybridcs_coding::CodingError> {
+/// let mut writer = BitWriter::new();
+/// writer.write_bits(0b101, 3);
+/// writer.write_bits(0xF, 4);
+/// let (bytes, bit_len) = writer.finish();
+/// assert_eq!(bit_len, 7);
+///
+/// let mut reader = BitReader::new(&bytes, bit_len);
+/// assert_eq!(reader.read_bits(3)?, 0b101);
+/// assert_eq!(reader.read_bits(4)?, 0xF);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final byte (0 means the last byte is full/absent).
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends one bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        let offset = self.bit_len % 8;
+        if offset == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= 1 << (7 - offset);
+        }
+        self.bit_len += 1;
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Finalizes the stream, returning the padded bytes and the exact bit
+    /// count.
+    #[must_use]
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.bit_len)
+    }
+}
+
+/// MSB-first bit-level reader over a byte slice with a known bit length.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_len: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`, of which only the first `bit_len`
+    /// bits are valid.
+    #[must_use]
+    pub fn new(bytes: &'a [u8], bit_len: usize) -> Self {
+        let bit_len = bit_len.min(bytes.len() * 8);
+        BitReader {
+            bytes,
+            bit_len,
+            pos: 0,
+        }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEndOfStream`] past the end.
+    pub fn read_bit(&mut self) -> Result<bool, CodingError> {
+        if self.pos >= self.bit_len {
+            return Err(CodingError::UnexpectedEndOfStream);
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `count` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEndOfStream`] if fewer than `count`
+    /// bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, CodingError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if self.pos + count as usize > self.bit_len {
+            return Err(CodingError::UnexpectedEndOfStream);
+        }
+        let mut value = 0u64;
+        for _ in 0..count {
+            value = (value << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(value)
+    }
+
+    /// Bits remaining to be read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bit_len - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b1010, 4);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(0, 7);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1010);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(7).unwrap(), 0);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_len_accounting() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 13);
+        let (bytes, len) = w.finish();
+        assert_eq!(len, 13);
+        assert_eq!(bytes.len(), 2);
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        assert!(matches!(
+            r.read_bit(),
+            Err(CodingError::UnexpectedEndOfStream)
+        ));
+        assert!(matches!(
+            r.read_bits(1),
+            Err(CodingError::UnexpectedEndOfStream)
+        ));
+    }
+
+    #[test]
+    fn reader_clamps_bit_len_to_buffer() {
+        let bytes = [0xFF];
+        let mut r = BitReader::new(&bytes, 100);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn single_bits_compose() {
+        let mut w = BitWriter::new();
+        for bit in [true, false, true, true, false] {
+            w.write_bit(bit);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(5).unwrap(), 0b10110);
+    }
+
+    #[test]
+    fn write_zero_bits_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+    }
+
+    #[test]
+    fn padding_bits_are_zero() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b111, 3);
+        let (bytes, _) = w.finish();
+        assert_eq!(bytes[0], 0b1110_0000);
+    }
+}

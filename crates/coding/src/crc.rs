@@ -1,0 +1,83 @@
+//! CRC-32 (IEEE 802.3 polynomial) for telemetry-frame integrity.
+//!
+//! A body-sensor link drops and corrupts packets; the telemetry layer
+//! built on this crate stamps every frame so the receiver can fall back
+//! gracefully (low-res-only reconstruction, or plain CS) instead of
+//! decoding garbage.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Builds the 256-entry lookup table at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 (IEEE) of `data`.
+///
+/// # Example
+///
+/// ```
+/// // The classic check value for "123456789".
+/// assert_eq!(hybridcs_coding::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0xA5u8; 64];
+        let clean = crc32(&data);
+        data[17] ^= 0x08;
+        assert_ne!(crc32(&data), clean);
+    }
+
+    #[test]
+    fn detects_swapped_bytes() {
+        let a = crc32(&[1, 2, 3, 4]);
+        let b = crc32(&[1, 3, 2, 4]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(crc32(b"hybridcs"), crc32(b"hybridcs"));
+    }
+}

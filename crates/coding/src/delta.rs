@@ -1,0 +1,101 @@
+//! Difference coding of quantizer codes.
+//!
+//! The low-resolution channel's codes move slowly (Fig. 2a of the paper), so
+//! their first differences concentrate near zero (Fig. 4) — the property the
+//! Huffman stage exploits.
+
+/// First-difference encoding: returns `(first, diffs)` where
+/// `diffs[k] = x[k+1] − x[k]` as `i64`.
+///
+/// Returns `(0, vec![])` for an empty input; the first element of a
+/// non-empty input is passed through unchanged.
+///
+/// # Example
+///
+/// ```
+/// let (first, diffs) = hybridcs_coding::delta_encode(&[10, 12, 11, 11]);
+/// assert_eq!(first, 10);
+/// assert_eq!(diffs, vec![2, -1, 0]);
+/// ```
+#[must_use]
+pub fn delta_encode(codes: &[u32]) -> (u32, Vec<i64>) {
+    match codes.first() {
+        None => (0, Vec::new()),
+        Some(&first) => {
+            let diffs = codes
+                .windows(2)
+                .map(|w| i64::from(w[1]) - i64::from(w[0]))
+                .collect();
+            (first, diffs)
+        }
+    }
+}
+
+/// Inverse of [`delta_encode`].
+///
+/// Returns `None` if any partial sum leaves the `u32` range (corrupt
+/// stream).
+///
+/// # Example
+///
+/// ```
+/// let codes = hybridcs_coding::delta_decode(10, &[2, -1, 0]).unwrap();
+/// assert_eq!(codes, vec![10, 12, 11, 11]);
+/// ```
+#[must_use]
+pub fn delta_decode(first: u32, diffs: &[i64]) -> Option<Vec<u32>> {
+    let mut out = Vec::with_capacity(diffs.len() + 1);
+    let mut current = i64::from(first);
+    out.push(first);
+    for &d in diffs {
+        current = current.checked_add(d)?;
+        if current < 0 || current > i64::from(u32::MAX) {
+            return None;
+        }
+        out.push(current as u32);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let codes = vec![100, 101, 99, 99, 150, 0, 4_000_000_000];
+        let (first, diffs) = delta_encode(&codes);
+        assert_eq!(delta_decode(first, &diffs).unwrap(), codes);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (first, diffs) = delta_encode(&[]);
+        assert_eq!(first, 0);
+        assert!(diffs.is_empty());
+        assert_eq!(delta_decode(0, &[]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn single_element() {
+        let (first, diffs) = delta_encode(&[42]);
+        assert_eq!(first, 42);
+        assert!(diffs.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_underflow() {
+        assert_eq!(delta_decode(1, &[-2]), None);
+    }
+
+    #[test]
+    fn decode_rejects_overflow() {
+        assert_eq!(delta_decode(u32::MAX, &[1]), None);
+    }
+
+    #[test]
+    fn constant_signal_gives_zero_diffs() {
+        let (_, diffs) = delta_encode(&[7; 100]);
+        assert!(diffs.iter().all(|&d| d == 0));
+    }
+}

@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the entropy-coding layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodingError {
+    /// A codebook was requested for an empty training set.
+    EmptyAlphabet,
+    /// The bitstream ended in the middle of a code word or raw field.
+    UnexpectedEndOfStream,
+    /// A decoded value cannot be represented in the target type (corrupt
+    /// stream or mismatched codebook).
+    CorruptStream {
+        /// Human-readable description of what went wrong.
+        detail: &'static str,
+    },
+    /// A configuration value was out of range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value supplied.
+        value: i64,
+    },
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::EmptyAlphabet => write!(f, "cannot build a codebook from no symbols"),
+            CodingError::UnexpectedEndOfStream => write!(f, "bitstream ended unexpectedly"),
+            CodingError::CorruptStream { detail } => write!(f, "corrupt bitstream: {detail}"),
+            CodingError::BadParameter { name, value } => {
+                write!(f, "parameter {name} out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for CodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CodingError::EmptyAlphabet.to_string().contains("codebook"));
+        assert!(CodingError::UnexpectedEndOfStream
+            .to_string()
+            .contains("ended"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodingError>();
+    }
+}

@@ -1,0 +1,251 @@
+use crate::{delta_decode, BitReader, BitWriter, CodingError, HuffmanCodebook};
+
+/// End-to-end codec for one low-resolution frame: the first quantizer code
+/// is transmitted raw (`bits` wide) and every subsequent sample as a
+/// Huffman-coded difference.
+///
+/// This is exactly the per-window payload the paper's parallel channel
+/// ships; [`LowResCodec::encoded_bits`] is the quantity behind the Fig. 6
+/// compression ratios and the Table I overheads.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_coding::{HuffmanCodebook, LowResCodec};
+///
+/// # fn main() -> Result<(), hybridcs_coding::CodingError> {
+/// let training = vec![vec![5u32, 5, 6, 6, 5, 4, 4, 5]];
+/// let book = HuffmanCodebook::train_from_code_sequences(training.iter().map(|v| &v[..]))?;
+/// let codec = LowResCodec::new(book, 4)?;
+/// let frame = vec![5, 6, 6, 5];
+/// let payload = codec.encode(&frame)?;
+/// assert_eq!(codec.decode(&payload, 4)?, frame);
+/// assert!(codec.encoded_bits(&frame)? < 4 * 4, "beats raw 4-bit coding");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowResCodec {
+    codebook: HuffmanCodebook,
+    bits: u32,
+}
+
+/// Encoded payload: the bytes plus the exact bit count (padding excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Payload {
+    /// Packed bits, MSB-first.
+    pub bytes: Vec<u8>,
+    /// Number of meaningful bits in `bytes`.
+    pub bit_len: usize,
+}
+
+impl LowResCodec {
+    /// Creates a codec for `bits`-bit quantizer codes with a trained
+    /// codebook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadParameter`] when `bits` is 0 or above 24.
+    pub fn new(codebook: HuffmanCodebook, bits: u32) -> Result<Self, CodingError> {
+        if bits == 0 || bits > 24 {
+            return Err(CodingError::BadParameter {
+                name: "bits",
+                value: i64::from(bits),
+            });
+        }
+        Ok(LowResCodec { codebook, bits })
+    }
+
+    /// Quantizer resolution this codec was built for.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The trained codebook.
+    #[must_use]
+    pub fn codebook(&self) -> &HuffmanCodebook {
+        &self.codebook
+    }
+
+    /// Encodes a frame of quantizer codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadParameter`] if any code does not fit in the
+    /// configured bit width.
+    pub fn encode(&self, codes: &[u32]) -> Result<Payload, CodingError> {
+        let mut writer = BitWriter::new();
+        if let Some(&first) = codes.first() {
+            if u64::from(first) >= (1u64 << self.bits) {
+                return Err(CodingError::BadParameter {
+                    name: "code (exceeds bit width)",
+                    value: i64::from(first),
+                });
+            }
+            writer.write_bits(u64::from(first), self.bits);
+            let (_, diffs) = crate::delta_encode(codes);
+            for d in diffs {
+                self.codebook.encode_symbol(&mut writer, d);
+            }
+        }
+        let (bytes, bit_len) = writer.finish();
+        Ok(Payload { bytes, bit_len })
+    }
+
+    /// Encoded size in bits for a frame — the rate-accounting fast path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LowResCodec::encode`].
+    pub fn encoded_bits(&self, codes: &[u32]) -> Result<usize, CodingError> {
+        Ok(self.encode(codes)?.bit_len)
+    }
+
+    /// Decodes a payload back into `count` quantizer codes.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodingError::UnexpectedEndOfStream`] on truncation.
+    /// * [`CodingError::CorruptStream`] if the difference stream walks out
+    ///   of the `u32` code range.
+    pub fn decode(&self, payload: &Payload, count: usize) -> Result<Vec<u32>, CodingError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let mut reader = BitReader::new(&payload.bytes, payload.bit_len);
+        let first = reader.read_bits(self.bits)? as u32;
+        let mut diffs = Vec::with_capacity(count - 1);
+        for _ in 1..count {
+            diffs.push(self.codebook.decode_symbol(&mut reader)?);
+        }
+        delta_decode(first, &diffs).ok_or(CodingError::CorruptStream {
+            detail: "difference stream leaves code range",
+        })
+    }
+
+    /// Average compression ratio `encoded_bits / raw_bits` over a set of
+    /// frames (the paper's Fig. 6 quantity, lower is better).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures; returns 0.0 for an empty iterator.
+    pub fn compression_ratio<'a, I>(&self, frames: I) -> Result<f64, CodingError>
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        let mut encoded = 0usize;
+        let mut raw = 0usize;
+        for frame in frames {
+            encoded += self.encoded_bits(frame)?;
+            raw += frame.len() * self.bits as usize;
+        }
+        if raw == 0 {
+            return Ok(0.0);
+        }
+        Ok(encoded as f64 / raw as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_frames() -> Vec<Vec<u32>> {
+        // Slowly varying codes as the low-res channel produces.
+        (0..4)
+            .map(|k| {
+                (0..256)
+                    .map(|i| {
+                        let t = i as f64 * 0.05 + k as f64;
+                        (64.0 + 6.0 * t.sin()).round() as u32
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn trained_codec() -> LowResCodec {
+        let frames = smooth_frames();
+        let book =
+            HuffmanCodebook::train_from_code_sequences(frames.iter().map(|v| &v[..])).unwrap();
+        LowResCodec::new(book, 7).unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let codec = trained_codec();
+        for frame in smooth_frames() {
+            let payload = codec.encode(&frame).unwrap();
+            assert_eq!(codec.decode(&payload, frame.len()).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_data_well() {
+        let codec = trained_codec();
+        let frames = smooth_frames();
+        let cr = codec
+            .compression_ratio(frames.iter().map(|v| &v[..]))
+            .unwrap();
+        assert!(cr < 0.45, "compression ratio {cr}");
+        assert!(cr > 0.0);
+    }
+
+    #[test]
+    fn roundtrip_with_escape_symbols() {
+        // Frame with a jump never seen in training.
+        let codec = trained_codec();
+        let frame = vec![64, 64, 120, 10, 64];
+        let payload = codec.encode(&frame).unwrap();
+        assert_eq!(codec.decode(&payload, frame.len()).unwrap(), frame);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let codec = trained_codec();
+        let payload = codec.encode(&[]).unwrap();
+        assert_eq!(payload.bit_len, 0);
+        assert_eq!(codec.decode(&payload, 0).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn single_sample_frame_costs_exactly_bits() {
+        let codec = trained_codec();
+        let payload = codec.encode(&[99]).unwrap();
+        assert_eq!(payload.bit_len, 7);
+        assert_eq!(codec.decode(&payload, 1).unwrap(), vec![99]);
+    }
+
+    #[test]
+    fn rejects_code_wider_than_bits() {
+        let codec = trained_codec();
+        assert!(matches!(
+            codec.encode(&[128]),
+            Err(CodingError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_detected() {
+        let codec = trained_codec();
+        let frame = vec![64, 65, 66, 67];
+        let mut payload = codec.encode(&frame).unwrap();
+        payload.bit_len = payload.bit_len.saturating_sub(3);
+        assert!(codec.decode(&payload, frame.len()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_bits_config() {
+        let frames = smooth_frames();
+        let book =
+            HuffmanCodebook::train_from_code_sequences(frames.iter().map(|v| &v[..])).unwrap();
+        assert!(LowResCodec::new(book, 0).is_err());
+    }
+
+    #[test]
+    fn compression_ratio_empty_input() {
+        let codec = trained_codec();
+        assert_eq!(codec.compression_ratio(std::iter::empty()).unwrap(), 0.0);
+    }
+}

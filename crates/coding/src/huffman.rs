@@ -1,0 +1,580 @@
+use crate::{BitReader, BitWriter, CodingError};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// The symbol alphabet is `i64` differences plus one reserved escape symbol
+/// for values unseen during offline training.
+const ESCAPE: i64 = i64::MIN;
+
+/// Width of the raw field following an escape code (zigzag-encoded i64).
+/// The full 64 bits are kept so that any token space — including the
+/// run-length tokens of [`RleLowResCodec`](crate::RleLowResCodec), which
+/// live near 2⁴⁰ — survives the escape path without truncation.
+const ESCAPE_RAW_BITS: u32 = 64;
+
+/// A canonical Huffman codebook over difference symbols, trained offline.
+///
+/// The paper stores an offline-generated codebook on the sensor node and
+/// reports its storage cost (Fig. 5: 68 bytes at 7-bit resolution).
+/// This type reproduces that object: training, canonical code assignment,
+/// encoding/decoding, and a compact serialization whose size regenerates
+/// the figure.
+///
+/// Robustness: a reserved **escape** symbol is always present, so symbols
+/// that never occurred in training remain encodable (escape code followed by
+/// a 32-bit zigzag raw value). This mirrors real deployments, where a
+/// pathological window must not break telemetry.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_coding::{BitReader, BitWriter, HuffmanCodebook};
+///
+/// # fn main() -> Result<(), hybridcs_coding::CodingError> {
+/// let mut freqs = std::collections::BTreeMap::new();
+/// freqs.insert(0i64, 80u64);
+/// freqs.insert(1, 10);
+/// freqs.insert(-1, 10);
+/// let book = HuffmanCodebook::from_frequencies(&freqs)?;
+///
+/// let mut writer = BitWriter::new();
+/// for s in [0, 1, -1, 0, 7 /* escape path */] {
+///     book.encode_symbol(&mut writer, s);
+/// }
+/// let (bytes, len) = writer.finish();
+/// let mut reader = BitReader::new(&bytes, len);
+/// for expected in [0, 1, -1, 0, 7] {
+///     assert_eq!(book.decode_symbol(&mut reader)?, expected);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanCodebook {
+    /// symbol → (code length, canonical code value).
+    encode_map: BTreeMap<i64, (u8, u64)>,
+    /// (length, code) → symbol, for bit-serial decoding.
+    decode_map: HashMap<(u8, u64), i64>,
+}
+
+impl HuffmanCodebook {
+    /// Builds a codebook from symbol frequencies. The escape symbol is
+    /// added automatically (with frequency 1) if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::EmptyAlphabet`] when `frequencies` is empty.
+    pub fn from_frequencies(frequencies: &BTreeMap<i64, u64>) -> Result<Self, CodingError> {
+        if frequencies.is_empty() {
+            return Err(CodingError::EmptyAlphabet);
+        }
+        let mut freqs = frequencies.clone();
+        freqs.entry(ESCAPE).or_insert(1);
+        // Zero-frequency symbols still need codes if callers insist on them.
+        for f in freqs.values_mut() {
+            if *f == 0 {
+                *f = 1;
+            }
+        }
+        let lengths = code_lengths(&freqs);
+        Ok(Self::from_lengths(&lengths))
+    }
+
+    /// Trains a codebook from raw quantizer-code sequences: each sequence is
+    /// difference-coded and the differences accumulated into a histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::EmptyAlphabet`] when no sequence contributes
+    /// at least one difference.
+    pub fn train_from_code_sequences<'a, I>(sequences: I) -> Result<Self, CodingError>
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        let mut freqs: BTreeMap<i64, u64> = BTreeMap::new();
+        for seq in sequences {
+            let (_, diffs) = crate::delta_encode(seq);
+            for d in diffs {
+                *freqs.entry(d).or_insert(0) += 1;
+            }
+        }
+        Self::from_frequencies(&freqs)
+    }
+
+    /// Rebuilds the canonical codebook from `(symbol, length)` pairs.
+    fn from_lengths(lengths: &BTreeMap<i64, u8>) -> Self {
+        // Canonical assignment: sort by (length, symbol), then count upward.
+        let mut order: Vec<(i64, u8)> = lengths.iter().map(|(&s, &l)| (s, l)).collect();
+        order.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut encode_map = BTreeMap::new();
+        let mut decode_map = HashMap::new();
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for (symbol, len) in order {
+            code <<= len - prev_len;
+            prev_len = len;
+            encode_map.insert(symbol, (len, code));
+            decode_map.insert((len, code), symbol);
+            code += 1;
+        }
+        HuffmanCodebook {
+            encode_map,
+            decode_map,
+        }
+    }
+
+    /// Number of symbols, including the escape symbol.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.encode_map.len()
+    }
+
+    /// Whether the codebook is empty (never true for a constructed book).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.encode_map.is_empty()
+    }
+
+    /// Code assigned to `symbol`, if it was in the training alphabet.
+    #[must_use]
+    pub fn code_for(&self, symbol: i64) -> Option<(u8, u64)> {
+        self.encode_map.get(&symbol).copied()
+    }
+
+    /// The trained (non-escape) symbols in ascending order.
+    #[must_use]
+    pub fn symbols(&self) -> Vec<i64> {
+        self.encode_map
+            .keys()
+            .copied()
+            .filter(|&s| s != ESCAPE)
+            .collect()
+    }
+
+    /// Encodes one symbol, falling back to the escape path for symbols
+    /// outside the trained alphabet.
+    pub fn encode_symbol(&self, writer: &mut BitWriter, symbol: i64) {
+        match self.encode_map.get(&symbol) {
+            Some(&(len, code)) => writer.write_bits(code, u32::from(len)),
+            None => {
+                let (len, code) = self.encode_map[&ESCAPE];
+                writer.write_bits(code, u32::from(len));
+                writer.write_bits(zigzag(symbol), ESCAPE_RAW_BITS);
+            }
+        }
+    }
+
+    /// Decodes one symbol.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodingError::UnexpectedEndOfStream`] if the stream ends inside a
+    ///   code word or escape field.
+    /// * [`CodingError::CorruptStream`] if no code word matches within the
+    ///   maximum code length.
+    pub fn decode_symbol(&self, reader: &mut BitReader<'_>) -> Result<i64, CodingError> {
+        let mut code = 0u64;
+        for len in 1..=64u8 {
+            code = (code << 1) | u64::from(reader.read_bit()?);
+            if let Some(&symbol) = self.decode_map.get(&(len, code)) {
+                if symbol == ESCAPE {
+                    let raw = reader.read_bits(ESCAPE_RAW_BITS)?;
+                    return Ok(unzigzag(raw));
+                }
+                return Ok(symbol);
+            }
+        }
+        Err(CodingError::CorruptStream {
+            detail: "no code word within 64 bits",
+        })
+    }
+
+    /// Expected code length in bits under a frequency model (used for the
+    /// compression-ratio analysis of Fig. 6).
+    #[must_use]
+    pub fn mean_code_length(&self, frequencies: &BTreeMap<i64, u64>) -> f64 {
+        let total: u64 = frequencies.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let escape_len = f64::from(self.encode_map[&ESCAPE].0) + ESCAPE_RAW_BITS as f64;
+        let mut acc = 0.0;
+        for (&symbol, &freq) in frequencies {
+            let bits = match self.encode_map.get(&symbol) {
+                Some(&(len, _)) => f64::from(len),
+                None => escape_len,
+            };
+            acc += bits * freq as f64;
+        }
+        acc / total as f64
+    }
+
+    /// Serializes the codebook: a 2-byte entry count, then per entry the
+    /// zigzag-varint symbol and a 1-byte code length. The canonical
+    /// construction makes code *values* redundant, so this is the minimal
+    /// on-node representation — its length is the quantity plotted in
+    /// Fig. 5 of the paper.
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let count = self.encode_map.len() as u16;
+        out.extend_from_slice(&count.to_le_bytes());
+        for (&symbol, &(len, _)) in &self.encode_map {
+            write_varint(&mut out, zigzag(symbol));
+            out.push(len);
+        }
+        out
+    }
+
+    /// On-node storage cost in bytes (length of [`HuffmanCodebook::serialize`]).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.serialize().len()
+    }
+
+    /// Reconstructs a codebook from its serialized form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::CorruptStream`] on truncated or malformed
+    /// input.
+    pub fn deserialize(bytes: &[u8]) -> Result<Self, CodingError> {
+        const TRUNCATED: CodingError = CodingError::CorruptStream {
+            detail: "truncated codebook",
+        };
+        if bytes.len() < 2 {
+            return Err(TRUNCATED);
+        }
+        let count = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+        let mut lengths = BTreeMap::new();
+        let mut pos = 2;
+        for _ in 0..count {
+            let (raw, used) = read_varint(&bytes[pos..]).ok_or(TRUNCATED)?;
+            pos += used;
+            let len = *bytes.get(pos).ok_or(TRUNCATED)?;
+            pos += 1;
+            if len == 0 || len > 64 {
+                return Err(CodingError::CorruptStream {
+                    detail: "invalid code length",
+                });
+            }
+            lengths.insert(unzigzag(raw), len);
+        }
+        if lengths.len() != count {
+            return Err(CodingError::CorruptStream {
+                detail: "duplicate symbols in codebook",
+            });
+        }
+        if !lengths.contains_key(&ESCAPE) {
+            return Err(CodingError::CorruptStream {
+                detail: "codebook missing escape symbol",
+            });
+        }
+        Ok(Self::from_lengths(&lengths))
+    }
+}
+
+/// Computes Huffman code lengths from frequencies via the classic heap
+/// construction. A single-symbol alphabet gets a 1-bit code.
+fn code_lengths(freqs: &BTreeMap<i64, u64>) -> BTreeMap<i64, u8> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        /// Tie-break for determinism: smallest symbol in the subtree.
+        order: i64,
+        symbols: Vec<i64>,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // BinaryHeap is a max-heap; invert for min-heap behaviour.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.order.cmp(&self.order))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut lengths: BTreeMap<i64, u8> = freqs.keys().map(|&s| (s, 0)).collect();
+    if freqs.len() == 1 {
+        let only = *freqs.keys().next().expect("len checked");
+        lengths.insert(only, 1);
+        return lengths;
+    }
+    let mut heap: BinaryHeap<Node> = freqs
+        .iter()
+        .map(|(&s, &w)| Node {
+            weight: w,
+            order: s,
+            symbols: vec![s],
+        })
+        .collect();
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        for s in a.symbols.iter().chain(&b.symbols) {
+            *lengths.get_mut(s).expect("symbol known") += 1;
+        }
+        let mut symbols = a.symbols;
+        symbols.extend(b.symbols);
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            order: a.order.min(b.order),
+            symbols,
+        });
+    }
+    lengths
+}
+
+/// Maps signed to unsigned so small-magnitude values stay small.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    for (i, &b) in bytes.iter().enumerate().take(10) {
+        v |= u64::from(b & 0x7F) << (7 * i);
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peaked_freqs() -> BTreeMap<i64, u64> {
+        let mut f = BTreeMap::new();
+        f.insert(0, 1000);
+        f.insert(1, 200);
+        f.insert(-1, 200);
+        f.insert(2, 40);
+        f.insert(-2, 40);
+        f.insert(3, 8);
+        f.insert(-3, 8);
+        f
+    }
+
+    #[test]
+    fn frequent_symbols_get_short_codes() {
+        let book = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        let (len0, _) = book.code_for(0).unwrap();
+        let (len3, _) = book.code_for(3).unwrap();
+        assert!(len0 < len3, "len(0)={len0} len(3)={len3}");
+        assert!(len0 <= 2);
+    }
+
+    #[test]
+    fn roundtrip_in_alphabet() {
+        let book = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        let symbols = [0, 1, -1, 2, -2, 3, -3, 0, 0, 0, 1];
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            book.encode_symbol(&mut w, s);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        for &expected in &symbols {
+            assert_eq!(book.decode_symbol(&mut r).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let book = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        let mut w = BitWriter::new();
+        for s in [1_000_000, -77, 0] {
+            book.encode_symbol(&mut w, s);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(book.decode_symbol(&mut r).unwrap(), 1_000_000);
+        assert_eq!(book.decode_symbol(&mut r).unwrap(), -77);
+        assert_eq!(book.decode_symbol(&mut r).unwrap(), 0);
+    }
+
+    #[test]
+    fn prefix_free_property() {
+        // No code word is a prefix of another — checked pairwise.
+        let book = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        let codes: Vec<(u8, u64)> = book
+            .symbols()
+            .iter()
+            .map(|&s| book.code_for(s).unwrap())
+            .collect();
+        for (i, &(la, ca)) in codes.iter().enumerate() {
+            for &(lb, cb) in codes.iter().skip(i + 1) {
+                let (short, long) = if la <= lb {
+                    ((la, ca), (lb, cb))
+                } else {
+                    ((lb, cb), (la, ca))
+                };
+                let shifted = long.1 >> (long.0 - short.0);
+                assert!(!(short.0 == long.0 && short.1 == long.1), "duplicate codes");
+                if short.0 < long.0 {
+                    assert_ne!(shifted, short.1, "prefix violation");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds_with_equality() {
+        let book = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        let mut kraft = 0.0;
+        // Include the escape symbol via len().
+        let mut all: Vec<i64> = book.symbols();
+        all.push(i64::MIN);
+        for s in all {
+            let (len, _) = book.code_for(s).unwrap();
+            kraft += 2f64.powi(-i32::from(len));
+        }
+        assert!((kraft - 1.0).abs() < 1e-12, "kraft sum {kraft}");
+    }
+
+    #[test]
+    fn mean_length_beats_fixed_width_on_peaked_data() {
+        let freqs = peaked_freqs();
+        let book = HuffmanCodebook::from_frequencies(&freqs).unwrap();
+        let mean = book.mean_code_length(&freqs);
+        // 7 symbols -> 3 bits fixed; peaked distribution must do much better.
+        assert!(mean < 2.2, "mean code length {mean}");
+    }
+
+    #[test]
+    fn mean_length_is_within_one_bit_of_entropy() {
+        let freqs = peaked_freqs();
+        let total: u64 = freqs.values().sum();
+        let entropy: f64 = freqs
+            .values()
+            .map(|&f| {
+                let p = f as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        let book = HuffmanCodebook::from_frequencies(&freqs).unwrap();
+        let mean = book.mean_code_length(&freqs);
+        assert!(mean >= entropy - 1e-9, "below entropy?");
+        // Slack: the mandatory escape symbol costs a little.
+        assert!(mean <= entropy + 1.2, "mean {mean} entropy {entropy}");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let book = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        let bytes = book.serialize();
+        let back = HuffmanCodebook::deserialize(&bytes).unwrap();
+        assert_eq!(book, back);
+        assert_eq!(book.storage_bytes(), bytes.len());
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(HuffmanCodebook::deserialize(&[]).is_err());
+        assert!(HuffmanCodebook::deserialize(&[5, 0]).is_err());
+        // Valid header but bogus length byte.
+        let book = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        let mut bytes = book.serialize();
+        let last = bytes.len() - 1;
+        bytes[last] = 0;
+        assert!(HuffmanCodebook::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn storage_grows_with_alphabet() {
+        let small = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        let mut wide = BTreeMap::new();
+        for s in -200i64..=200 {
+            wide.insert(s, 1 + (200 - s.abs()) as u64);
+        }
+        let big = HuffmanCodebook::from_frequencies(&wide).unwrap();
+        assert!(big.storage_bytes() > 4 * small.storage_bytes());
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let mut f = BTreeMap::new();
+        f.insert(0i64, 100u64);
+        let book = HuffmanCodebook::from_frequencies(&f).unwrap();
+        // Alphabet = {0, ESCAPE}: both get 1-bit codes.
+        let mut w = BitWriter::new();
+        for _ in 0..5 {
+            book.encode_symbol(&mut w, 0);
+        }
+        let (bytes, len) = w.finish();
+        assert_eq!(len, 5);
+        let mut r = BitReader::new(&bytes, len);
+        for _ in 0..5 {
+            assert_eq!(book.decode_symbol(&mut r).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_training_is_error() {
+        assert!(matches!(
+            HuffmanCodebook::from_frequencies(&BTreeMap::new()),
+            Err(CodingError::EmptyAlphabet)
+        ));
+        assert!(matches!(
+            HuffmanCodebook::train_from_code_sequences(std::iter::empty()),
+            Err(CodingError::EmptyAlphabet)
+        ));
+    }
+
+    #[test]
+    fn train_from_sequences_roundtrip() {
+        let seqs: Vec<Vec<u32>> = vec![vec![64, 64, 65, 66, 65], vec![10, 10, 10, 11]];
+        let book = HuffmanCodebook::train_from_code_sequences(seqs.iter().map(|v| &v[..])).unwrap();
+        assert!(book.code_for(0).is_some());
+        assert!(book.code_for(1).is_some());
+        assert!(book.code_for(-1).is_some());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-5i64, -1, 0, 1, 5, i64::MAX, i64::MIN + 1] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, used) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+        assert_eq!(read_varint(&[0x80]), None);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        let b = HuffmanCodebook::from_frequencies(&peaked_freqs()).unwrap();
+        assert_eq!(a, b);
+    }
+}

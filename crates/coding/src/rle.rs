@@ -1,0 +1,352 @@
+//! Zero-run-length + Huffman coding of difference streams.
+//!
+//! Plain per-symbol Huffman coding cannot spend less than 1 bit per
+//! sample, yet the paper's Table I reports low-resolution overheads as low
+//! as 2.3% of a 12-bit stream at 3-bit resolution — i.e. ≈0.28 bits per
+//! sample. Reaching that regime requires *grouping* the long runs of zero
+//! differences the coarse quantizer produces. This module adds the missing
+//! stage: zero runs are collapsed into run-length tokens that join the
+//! difference alphabet before Huffman training, exactly like the
+//! zero-run-length symbols of JPEG's AC coefficient coding.
+
+use crate::{delta_decode, delta_encode, BitReader, BitWriter, CodingError, HuffmanCodebook};
+
+/// Token-space offset for run symbols: `ZRL_BASE + len` encodes a run of
+/// `len` zero differences. Real differences of ±24-bit quantizers are
+/// orders of magnitude below the base, so the spaces cannot collide.
+const ZRL_BASE: i64 = 1 << 40;
+
+/// Longest run represented by a single token; longer runs are split.
+const MAX_RUN: i64 = 64;
+
+/// Collapses zero runs in a difference stream into run tokens.
+fn tokenize(diffs: &[i64]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(diffs.len() / 4 + 4);
+    let mut run = 0i64;
+    for &d in diffs {
+        if d == 0 {
+            run += 1;
+            if run == MAX_RUN {
+                out.push(ZRL_BASE + MAX_RUN);
+                run = 0;
+            }
+        } else {
+            if run > 0 {
+                out.push(ZRL_BASE + run);
+                run = 0;
+            }
+            out.push(d);
+        }
+    }
+    if run > 0 {
+        out.push(ZRL_BASE + run);
+    }
+    out
+}
+
+/// Expands a token back into differences, appending to `diffs`.
+///
+/// Returns `Err` for malformed run lengths.
+fn expand_token(token: i64, diffs: &mut Vec<i64>) -> Result<(), CodingError> {
+    if token >= ZRL_BASE {
+        let run = token - ZRL_BASE;
+        if !(1..=MAX_RUN).contains(&run) {
+            return Err(CodingError::CorruptStream {
+                detail: "invalid zero-run length",
+            });
+        }
+        diffs.extend(std::iter::repeat_n(0, run as usize));
+    } else {
+        diffs.push(token);
+    }
+    Ok(())
+}
+
+/// Frame codec for the low-resolution channel with zero-run-length
+/// grouping in front of the Huffman stage.
+///
+/// Same wire format as [`LowResCodec`](crate::LowResCodec) — raw first
+/// sample, then Huffman-coded tokens — but the token alphabet contains
+/// run symbols, letting the rate drop far below 1 bit/sample on coarse
+/// quantizers.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_coding::RleLowResCodec;
+///
+/// # fn main() -> Result<(), hybridcs_coding::CodingError> {
+/// let training = vec![vec![5u32; 64]]; // a constant frame: all-zero diffs
+/// let codec = RleLowResCodec::train(training.iter().map(|v| &v[..]), 4)?;
+/// let frame = vec![5u32; 64];
+/// let payload = codec.encode(&frame)?;
+/// // 4 raw bits + one run token: far below 64 samples x 4 bits.
+/// assert!(payload.bit_len < 16);
+/// assert_eq!(codec.decode(&payload, 64)?, frame);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RleLowResCodec {
+    codebook: HuffmanCodebook,
+    bits: u32,
+}
+
+impl RleLowResCodec {
+    /// Trains the token codebook from raw code sequences at `bits`
+    /// resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::EmptyAlphabet`] when no sequence contributes
+    /// tokens and [`CodingError::BadParameter`] for an unsupported bit
+    /// width.
+    pub fn train<'a, I>(sequences: I, bits: u32) -> Result<Self, CodingError>
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        if bits == 0 || bits > 24 {
+            return Err(CodingError::BadParameter {
+                name: "bits",
+                value: i64::from(bits),
+            });
+        }
+        let mut freqs = std::collections::BTreeMap::new();
+        // Every legal run length gets a codebook entry even if unseen in
+        // training, so runs never pay the (wide) escape penalty.
+        for run in 1..=MAX_RUN {
+            freqs.insert(ZRL_BASE + run, 1u64);
+        }
+        for seq in sequences {
+            let (_, diffs) = delta_encode(seq);
+            for token in tokenize(&diffs) {
+                *freqs.entry(token).or_insert(0u64) += 1;
+            }
+        }
+        Ok(RleLowResCodec {
+            codebook: HuffmanCodebook::from_frequencies(&freqs)?,
+            bits,
+        })
+    }
+
+    /// Quantizer resolution this codec was built for.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The trained token codebook.
+    #[must_use]
+    pub fn codebook(&self) -> &HuffmanCodebook {
+        &self.codebook
+    }
+
+    /// Encodes a frame of quantizer codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadParameter`] if any code exceeds the bit
+    /// width.
+    pub fn encode(&self, codes: &[u32]) -> Result<crate::Payload, CodingError> {
+        let mut writer = BitWriter::new();
+        if let Some(&first) = codes.first() {
+            if u64::from(first) >= (1u64 << self.bits) {
+                return Err(CodingError::BadParameter {
+                    name: "code (exceeds bit width)",
+                    value: i64::from(first),
+                });
+            }
+            writer.write_bits(u64::from(first), self.bits);
+            let (_, diffs) = delta_encode(codes);
+            for token in tokenize(&diffs) {
+                self.codebook.encode_symbol(&mut writer, token);
+            }
+        }
+        let (bytes, bit_len) = writer.finish();
+        Ok(crate::Payload { bytes, bit_len })
+    }
+
+    /// Encoded size in bits.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RleLowResCodec::encode`].
+    pub fn encoded_bits(&self, codes: &[u32]) -> Result<usize, CodingError> {
+        Ok(self.encode(codes)?.bit_len)
+    }
+
+    /// Decodes a payload back into `count` quantizer codes.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodingError::UnexpectedEndOfStream`] on truncation.
+    /// * [`CodingError::CorruptStream`] on malformed run tokens, a token
+    ///   stream that overshoots the frame, or a difference walk that
+    ///   leaves the code range.
+    pub fn decode(&self, payload: &crate::Payload, count: usize) -> Result<Vec<u32>, CodingError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let mut reader = BitReader::new(&payload.bytes, payload.bit_len);
+        let first = reader.read_bits(self.bits)? as u32;
+        let mut diffs = Vec::with_capacity(count - 1);
+        while diffs.len() < count - 1 {
+            let token = self.codebook.decode_symbol(&mut reader)?;
+            expand_token(token, &mut diffs)?;
+        }
+        if diffs.len() != count - 1 {
+            return Err(CodingError::CorruptStream {
+                detail: "run token overshoots frame boundary",
+            });
+        }
+        delta_decode(first, &diffs).ok_or(CodingError::CorruptStream {
+            detail: "difference stream leaves code range",
+        })
+    }
+
+    /// Average compression ratio `encoded/raw` over frames (Fig. 6
+    /// quantity with the RLE stage enabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn compression_ratio<'a, I>(&self, frames: I) -> Result<f64, CodingError>
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        let mut encoded = 0usize;
+        let mut raw = 0usize;
+        for frame in frames {
+            encoded += self.encoded_bits(frame)?;
+            raw += frame.len() * self.bits as usize;
+        }
+        if raw == 0 {
+            return Ok(0.0);
+        }
+        Ok(encoded as f64 / raw as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_codes(n: usize, phase: f64) -> Vec<u32> {
+        (0..n)
+            .map(|i| (8.0 + 3.0 * ((i as f64) * 0.02 + phase).sin()).round() as u32)
+            .collect()
+    }
+
+    fn trained(bits: u32) -> RleLowResCodec {
+        let frames: Vec<Vec<u32>> = (0..4).map(|k| smooth_codes(512, k as f64)).collect();
+        RleLowResCodec::train(frames.iter().map(|v| &v[..]), bits).unwrap()
+    }
+
+    #[test]
+    fn tokenize_roundtrip() {
+        let diffs = vec![0, 0, 0, 5, 0, -2, 0, 0, 0, 0, 0, 0, 1];
+        let tokens = tokenize(&diffs);
+        let mut back = Vec::new();
+        for t in tokens {
+            expand_token(t, &mut back).unwrap();
+        }
+        assert_eq!(back, diffs);
+    }
+
+    #[test]
+    fn long_runs_are_split() {
+        let diffs = vec![0i64; 200];
+        let tokens = tokenize(&diffs);
+        assert!(tokens.len() >= 4); // 200 = 3×64 + 8
+        let mut back = Vec::new();
+        for t in tokens {
+            expand_token(t, &mut back).unwrap();
+        }
+        assert_eq!(back, diffs);
+    }
+
+    #[test]
+    fn roundtrip_frames() {
+        let codec = trained(4);
+        for phase in [0.0, 1.5, 3.0] {
+            let frame = smooth_codes(512, phase);
+            let payload = codec.encode(&frame).unwrap();
+            assert_eq!(codec.decode(&payload, frame.len()).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn beats_one_bit_per_sample_on_coarse_quantizer() {
+        // The whole reason this codec exists.
+        let codec = trained(4);
+        let frame = smooth_codes(512, 7.0);
+        let bits = codec.encoded_bits(&frame).unwrap();
+        assert!(
+            bits < 512 / 2,
+            "zero-run coding should go below 0.5 bits/sample here, got {bits} bits"
+        );
+    }
+
+    #[test]
+    fn rle_beats_plain_huffman_on_sparse_diffs() {
+        let frames: Vec<Vec<u32>> = (0..4).map(|k| smooth_codes(512, k as f64)).collect();
+        let rle = RleLowResCodec::train(frames.iter().map(|v| &v[..]), 4).unwrap();
+        let book =
+            HuffmanCodebook::train_from_code_sequences(frames.iter().map(|v| &v[..])).unwrap();
+        let plain = crate::LowResCodec::new(book, 4).unwrap();
+        let test = smooth_codes(512, 9.0);
+        let rle_bits = rle.encoded_bits(&test).unwrap();
+        let plain_bits = plain.encoded_bits(&test).unwrap();
+        assert!(
+            rle_bits < plain_bits,
+            "RLE {rle_bits} bits vs plain {plain_bits} bits"
+        );
+    }
+
+    #[test]
+    fn escape_path_for_unseen_jumps() {
+        let codec = trained(8);
+        let mut frame = smooth_codes(256, 0.0);
+        frame[100] = 200; // a jump never seen in training
+        let payload = codec.encode(&frame).unwrap();
+        assert_eq!(codec.decode(&payload, frame.len()).unwrap(), frame);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let codec = trained(4);
+        let frame = smooth_codes(128, 2.0);
+        let mut payload = codec.encode(&frame).unwrap();
+        payload.bit_len = payload.bit_len.saturating_sub(4);
+        assert!(codec.decode(&payload, frame.len()).is_err());
+    }
+
+    #[test]
+    fn empty_and_single_frames() {
+        let codec = trained(4);
+        let empty = codec.encode(&[]).unwrap();
+        assert_eq!(codec.decode(&empty, 0).unwrap(), Vec::<u32>::new());
+        let single = codec.encode(&[9]).unwrap();
+        assert_eq!(single.bit_len, 4);
+        assert_eq!(codec.decode(&single, 1).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn rejects_bad_bits_and_oversized_codes() {
+        let frames: Vec<Vec<u32>> = vec![smooth_codes(64, 0.0)];
+        assert!(RleLowResCodec::train(frames.iter().map(|v| &v[..]), 0).is_err());
+        assert!(RleLowResCodec::train(frames.iter().map(|v| &v[..]), 30).is_err());
+        let codec = trained(4);
+        assert!(codec.encode(&[16]).is_err());
+    }
+
+    #[test]
+    fn compression_ratio_measures_fraction() {
+        let codec = trained(4);
+        let frames: Vec<Vec<u32>> = (0..3).map(|k| smooth_codes(512, 10.0 + k as f64)).collect();
+        let cr = codec
+            .compression_ratio(frames.iter().map(|v| &v[..]))
+            .unwrap();
+        assert!(cr > 0.0 && cr < 0.5, "cr {cr}");
+    }
+}

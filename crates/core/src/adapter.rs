@@ -1,0 +1,82 @@
+use hybridcs_frontend::SensingMatrix;
+use hybridcs_solver::LinearOperator;
+
+/// Adapter exposing a [`SensingMatrix`] to the solver crate's
+/// [`LinearOperator`] interface (the two crates are deliberately unaware of
+/// each other; this codec layer is where they meet).
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_core::SensingOperator;
+/// use hybridcs_frontend::SensingMatrix;
+/// use hybridcs_solver::LinearOperator;
+///
+/// # fn main() -> Result<(), hybridcs_frontend::FrontEndError> {
+/// let phi = SensingMatrix::bernoulli(8, 32, 1)?;
+/// let op = SensingOperator::new(&phi);
+/// assert_eq!(op.rows(), 8);
+/// assert_eq!(op.cols(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SensingOperator<'a> {
+    matrix: &'a SensingMatrix,
+}
+
+impl<'a> SensingOperator<'a> {
+    /// Wraps a sensing matrix.
+    #[must_use]
+    pub fn new(matrix: &'a SensingMatrix) -> Self {
+        SensingOperator { matrix }
+    }
+}
+
+impl LinearOperator for SensingOperator<'_> {
+    fn rows(&self) -> usize {
+        self.matrix.measurements()
+    }
+
+    fn cols(&self) -> usize {
+        self.matrix.window()
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.matrix.apply(x));
+    }
+
+    fn apply_adjoint(&self, y: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.matrix.apply_adjoint(y));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcs_linalg::vector;
+
+    #[test]
+    fn adapter_preserves_action_and_adjoint() {
+        let phi = SensingMatrix::bernoulli(6, 32, 9).unwrap();
+        let op = SensingOperator::new(&phi);
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).cos()).collect();
+        let y: Vec<f64> = (0..6).map(|i| i as f64 - 3.0).collect();
+        let mut ax = vec![0.0; 6];
+        op.apply(&x, &mut ax);
+        assert_eq!(ax, phi.apply(&x));
+        let mut aty = vec![0.0; 32];
+        op.apply_adjoint(&y, &mut aty);
+        assert_eq!(aty, phi.apply_adjoint(&y));
+        // Adjoint identity through the trait.
+        assert!((vector::dot(&ax, &y) - vector::dot(&x, &aty)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_estimate_is_sane() {
+        let phi = SensingMatrix::bernoulli(16, 64, 2).unwrap();
+        let op = SensingOperator::new(&phi);
+        let norm = op.norm_est();
+        assert!(norm > 0.5 && norm < 3.0, "norm {norm}");
+    }
+}

@@ -1,0 +1,239 @@
+use crate::codec::{DecodedWindow, EncodedWindow};
+use crate::{CoreError, DecoderAlgorithm, SensingOperator, SystemConfig};
+use hybridcs_coding::LowResCodec;
+use hybridcs_dsp::Dwt;
+use hybridcs_frontend::{LowResChannel, LowResFrame, MeasurementQuantizer, SensingMatrix};
+use hybridcs_solver::{solve_admm, solve_pdhg, BpdnProblem};
+
+/// The receiver-side decoder: regenerates `Φ` from the shared seed,
+/// entropy-decodes the low-resolution stream into box bounds, and solves
+/// the paper's Eq. (1).
+///
+/// Decoding with `use_box = false` on the same payloads gives the "normal
+/// CS" reconstruction of the paper's comparisons — identical measurements,
+/// identical solver, no side information.
+#[derive(Debug, Clone)]
+pub struct HybridDecoder {
+    config: SystemConfig,
+    sensing: SensingMatrix,
+    dwt: Dwt,
+    lowres_channel: LowResChannel,
+    lowres_codec: LowResCodec,
+    sigma: f64,
+}
+
+impl HybridDecoder {
+    /// Builds a decoder for the given configuration and trained codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on an invalid configuration or a codec whose
+    /// bit depth disagrees with it.
+    pub fn new(config: &SystemConfig, lowres_codec: LowResCodec) -> Result<Self, CoreError> {
+        config.validate()?;
+        if lowres_codec.bits() != config.lowres_bits {
+            return Err(CoreError::BadConfig {
+                name: "lowres_codec bits (must match config.lowres_bits)",
+                value: f64::from(lowres_codec.bits()),
+            });
+        }
+        let sensing = SensingMatrix::bernoulli(config.measurements, config.window, config.seed)?;
+        let digitizer =
+            MeasurementQuantizer::new(config.measurement_bits, config.measurement_full_scale_mv)?;
+        let sigma = digitizer.noise_sigma(config.measurements) * config.sigma_scale;
+        Ok(HybridDecoder {
+            config: config.clone(),
+            sensing,
+            dwt: config.dwt()?,
+            lowres_channel: LowResChannel::new(config.lowres_bits)?,
+            lowres_codec,
+            sigma,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The fidelity budget σ used in Eq. (1).
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Decodes one window using both channels (the hybrid reconstruction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates entropy-decoding and solver failures, and rejects windows
+    /// encoded under a different configuration.
+    pub fn decode(&self, encoded: &EncodedWindow) -> Result<DecodedWindow, CoreError> {
+        self.decode_with_box(encoded, true)
+    }
+
+    /// Decodes one window ignoring the low-resolution side information —
+    /// the paper's "normal CS" baseline on identical measurements.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridDecoder::decode`].
+    pub fn decode_normal(&self, encoded: &EncodedWindow) -> Result<DecodedWindow, CoreError> {
+        self.decode_with_box(encoded, false)
+    }
+
+    fn decode_with_box(
+        &self,
+        encoded: &EncodedWindow,
+        use_box: bool,
+    ) -> Result<DecodedWindow, CoreError> {
+        if encoded.window_len != self.config.window {
+            return Err(CoreError::WindowMismatch {
+                expected: self.config.window,
+                actual: encoded.window_len,
+            });
+        }
+        if encoded.measurements.len() != self.config.measurements {
+            return Err(CoreError::WindowMismatch {
+                expected: self.config.measurements,
+                actual: encoded.measurements.len(),
+            });
+        }
+
+        let bounds = if use_box {
+            let codes = self
+                .lowres_codec
+                .decode(&encoded.lowres, encoded.window_len)?;
+            let frame = LowResFrame::from_codes(codes, &self.lowres_channel)?;
+            Some(frame.bounds())
+        } else {
+            None
+        };
+
+        let operator = SensingOperator::new(&self.sensing);
+        let problem = BpdnProblem {
+            sensing: &operator,
+            dwt: &self.dwt,
+            measurements: &encoded.measurements,
+            sigma: self.sigma,
+            box_bounds: bounds.as_ref().map(|(lo, hi)| (&lo[..], &hi[..])),
+            coefficient_weights: None,
+        };
+        let recovery = match &self.config.algorithm {
+            DecoderAlgorithm::Pdhg(opts) => solve_pdhg(&problem, opts)?,
+            DecoderAlgorithm::Admm(opts) => solve_admm(&problem, opts)?,
+            DecoderAlgorithm::Reweighted(opts) => {
+                hybridcs_solver::solve_reweighted(&problem, opts)?
+            }
+        };
+        Ok(DecodedWindow {
+            signal: recovery.signal.clone(),
+            recovery,
+            used_box: use_box,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::default_training_windows;
+    use crate::{train_lowres_codec, HybridFrontEnd};
+    use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
+
+    fn pair(config: &SystemConfig) -> (HybridFrontEnd, HybridDecoder) {
+        let codec =
+            train_lowres_codec(config.lowres_bits, &default_training_windows(config.window))
+                .unwrap();
+        (
+            HybridFrontEnd::new(config, codec.clone()).unwrap(),
+            HybridDecoder::new(config, codec).unwrap(),
+        )
+    }
+
+    fn ecg_window(config: &SystemConfig, seed: u64) -> Vec<f64> {
+        let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).unwrap();
+        generator.generate(2.0, seed)[..config.window].to_vec()
+    }
+
+    #[test]
+    fn hybrid_roundtrip_reconstructs_ecg() {
+        let config = SystemConfig::default(); // m = 96, CR 81.25%
+        let (fe, dec) = pair(&config);
+        let window = ecg_window(&config, 11);
+        let encoded = fe.encode(&window).unwrap();
+        let decoded = dec.decode(&encoded).unwrap();
+        let snr = hybridcs_metrics::snr_db(&window, &decoded.signal);
+        assert!(snr > 15.0, "hybrid SNR {snr} dB at CR 81%");
+        assert!(decoded.used_box);
+    }
+
+    #[test]
+    fn hybrid_beats_normal_at_high_compression() {
+        let config = SystemConfig {
+            measurements: 32, // CR ~93.75%
+            ..SystemConfig::default()
+        };
+        let (fe, dec) = pair(&config);
+        let window = ecg_window(&config, 13);
+        let encoded = fe.encode(&window).unwrap();
+        let hybrid = dec.decode(&encoded).unwrap();
+        let normal = dec.decode_normal(&encoded).unwrap();
+        let snr_h = hybridcs_metrics::snr_db(&window, &hybrid.signal);
+        let snr_n = hybridcs_metrics::snr_db(&window, &normal.signal);
+        assert!(
+            snr_h > snr_n + 3.0,
+            "hybrid {snr_h} dB must beat normal {snr_n} dB at CR 94%"
+        );
+    }
+
+    #[test]
+    fn decoded_signal_respects_lowres_bounds() {
+        let config = SystemConfig::default();
+        let (fe, dec) = pair(&config);
+        let window = ecg_window(&config, 17);
+        let encoded = fe.encode(&window).unwrap();
+        let decoded = dec.decode(&encoded).unwrap();
+        let channel = LowResChannel::new(config.lowres_bits).unwrap();
+        let (lo, hi) = channel.acquire(&window).bounds();
+        for ((v, l), h) in decoded.signal.iter().zip(&lo).zip(&hi) {
+            assert!(*l - 1e-9 <= *v && *v <= *h + 1e-9);
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_mismatched_payloads() {
+        let config = SystemConfig::default();
+        let (fe, _) = pair(&config);
+        let other = SystemConfig {
+            measurements: 64,
+            ..SystemConfig::default()
+        };
+        let codec =
+            train_lowres_codec(other.lowres_bits, &default_training_windows(other.window)).unwrap();
+        let dec = HybridDecoder::new(&other, codec).unwrap();
+        let window = ecg_window(&config, 19);
+        let encoded = fe.encode(&window).unwrap();
+        assert!(matches!(
+            dec.decode(&encoded),
+            Err(CoreError::WindowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sigma_scales_with_measurement_count() {
+        let config_small = SystemConfig {
+            measurements: 16,
+            ..SystemConfig::default()
+        };
+        let config_large = SystemConfig {
+            measurements: 256,
+            ..SystemConfig::default()
+        };
+        let codec = train_lowres_codec(7, &default_training_windows(512)).unwrap();
+        let d_small = HybridDecoder::new(&config_small, codec.clone()).unwrap();
+        let d_large = HybridDecoder::new(&config_large, codec).unwrap();
+        assert!(d_large.sigma() > d_small.sigma());
+    }
+}

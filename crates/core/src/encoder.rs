@@ -1,0 +1,159 @@
+use crate::codec::EncodedWindow;
+use crate::{CoreError, SystemConfig};
+use hybridcs_coding::LowResCodec;
+use hybridcs_frontend::{LowResChannel, Rmpi, RmpiConfig};
+
+/// The sensor-side hybrid front end of Fig. 1: the RMPI CS channel and the
+/// parallel low-resolution channel with its entropy coder.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_core::{HybridFrontEnd, SystemConfig};
+///
+/// # fn main() -> Result<(), hybridcs_core::CoreError> {
+/// let config = SystemConfig::default();
+/// let windows = hybridcs_core::experiment::default_training_windows(config.window);
+/// let codec = hybridcs_core::train_lowres_codec(config.lowres_bits, &windows)?;
+/// let frontend = HybridFrontEnd::new(&config, codec)?;
+/// let window = vec![0.1; 512];
+/// let encoded = frontend.encode(&window)?;
+/// assert_eq!(encoded.measurements.len(), config.measurements);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridFrontEnd {
+    config: SystemConfig,
+    rmpi: Rmpi,
+    lowres_channel: LowResChannel,
+    lowres_codec: LowResCodec,
+}
+
+impl HybridFrontEnd {
+    /// Builds the front end from a validated configuration and a trained
+    /// low-resolution codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the configuration is invalid or the codec's
+    /// bit depth disagrees with `config.lowres_bits`.
+    pub fn new(config: &SystemConfig, lowres_codec: LowResCodec) -> Result<Self, CoreError> {
+        config.validate()?;
+        if lowres_codec.bits() != config.lowres_bits {
+            return Err(CoreError::BadConfig {
+                name: "lowres_codec bits (must match config.lowres_bits)",
+                value: f64::from(lowres_codec.bits()),
+            });
+        }
+        let rmpi = Rmpi::new(RmpiConfig {
+            channels: config.measurements,
+            window: config.window,
+            seed: config.seed,
+            amplifier_noise_rms: 0.0,
+            measurement_bits: config.measurement_bits,
+            measurement_full_scale: config.measurement_full_scale_mv,
+        })?;
+        let lowres_channel = LowResChannel::new(config.lowres_bits)?;
+        Ok(HybridFrontEnd {
+            config: config.clone(),
+            rmpi,
+            lowres_channel,
+            lowres_codec,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The RMPI model (exposed for power accounting and tests).
+    #[must_use]
+    pub fn rmpi(&self) -> &Rmpi {
+        &self.rmpi
+    }
+
+    /// The low-resolution channel.
+    #[must_use]
+    pub fn lowres_channel(&self) -> &LowResChannel {
+        &self.lowres_channel
+    }
+
+    /// Acquires and packetizes one window (millivolts, length
+    /// `config.window`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WindowMismatch`] for a wrong-length window and
+    /// propagates entropy-coding failures.
+    pub fn encode(&self, window_mv: &[f64]) -> Result<EncodedWindow, CoreError> {
+        if window_mv.len() != self.config.window {
+            return Err(CoreError::WindowMismatch {
+                expected: self.config.window,
+                actual: window_mv.len(),
+            });
+        }
+        let measurements = self.rmpi.acquire(window_mv, self.config.seed)?;
+        let frame = self.lowres_channel.acquire(window_mv);
+        let lowres = self.lowres_codec.encode(frame.codes())?;
+        Ok(EncodedWindow {
+            measurements,
+            lowres,
+            window_len: self.config.window,
+            measurement_bits: self.config.measurement_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::default_training_windows;
+    use crate::train_lowres_codec;
+
+    fn frontend() -> HybridFrontEnd {
+        let config = SystemConfig::default();
+        let codec =
+            train_lowres_codec(config.lowres_bits, &default_training_windows(config.window))
+                .unwrap();
+        HybridFrontEnd::new(&config, codec).unwrap()
+    }
+
+    #[test]
+    fn encode_produces_both_payloads() {
+        let fe = frontend();
+        let window: Vec<f64> = (0..512).map(|i| (i as f64 * 0.05).sin()).collect();
+        let encoded = fe.encode(&window).unwrap();
+        assert_eq!(encoded.measurements.len(), 96);
+        assert!(encoded.lowres.bit_len > 0);
+        assert_eq!(encoded.window_len, 512);
+    }
+
+    #[test]
+    fn encode_rejects_wrong_window() {
+        let fe = frontend();
+        assert!(matches!(
+            fe.encode(&[0.0; 100]),
+            Err(CoreError::WindowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let fe = frontend();
+        let window: Vec<f64> = (0..512).map(|i| (i as f64 * 0.02).cos()).collect();
+        assert_eq!(fe.encode(&window).unwrap(), fe.encode(&window).unwrap());
+    }
+
+    #[test]
+    fn codec_bit_depth_must_match() {
+        let config = SystemConfig::default();
+        let codec = train_lowres_codec(6, &default_training_windows(config.window)).unwrap();
+        assert!(matches!(
+            HybridFrontEnd::new(&config, codec),
+            Err(CoreError::BadConfig { .. })
+        ));
+    }
+}

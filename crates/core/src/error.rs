@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the hybrid codec layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A system-configuration value was out of range.
+    BadConfig {
+        /// Name of the offending field.
+        name: &'static str,
+        /// Value supplied.
+        value: f64,
+    },
+    /// A window did not match the configured length.
+    WindowMismatch {
+        /// Configured window length.
+        expected: usize,
+        /// Length supplied.
+        actual: usize,
+    },
+    /// The acquisition front end rejected an input.
+    FrontEnd(hybridcs_frontend::FrontEndError),
+    /// The entropy-coding layer failed.
+    Coding(hybridcs_coding::CodingError),
+    /// The recovery solver failed.
+    Solver(hybridcs_solver::SolverError),
+    /// The wavelet transform rejected a configuration.
+    Transform(hybridcs_dsp::DspError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadConfig { name, value } => {
+                write!(f, "configuration field {name} out of range: {value}")
+            }
+            CoreError::WindowMismatch { expected, actual } => write!(
+                f,
+                "window length mismatch: configured {expected}, got {actual}"
+            ),
+            CoreError::FrontEnd(e) => write!(f, "front end failed: {e}"),
+            CoreError::Coding(e) => write!(f, "entropy coding failed: {e}"),
+            CoreError::Solver(e) => write!(f, "recovery failed: {e}"),
+            CoreError::Transform(e) => write!(f, "transform failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::FrontEnd(e) => Some(e),
+            CoreError::Coding(e) => Some(e),
+            CoreError::Solver(e) => Some(e),
+            CoreError::Transform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hybridcs_frontend::FrontEndError> for CoreError {
+    fn from(e: hybridcs_frontend::FrontEndError) -> Self {
+        CoreError::FrontEnd(e)
+    }
+}
+
+impl From<hybridcs_coding::CodingError> for CoreError {
+    fn from(e: hybridcs_coding::CodingError) -> Self {
+        CoreError::Coding(e)
+    }
+}
+
+impl From<hybridcs_solver::SolverError> for CoreError {
+    fn from(e: hybridcs_solver::SolverError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<hybridcs_dsp::DspError> for CoreError {
+    fn from(e: hybridcs_dsp::DspError) -> Self {
+        CoreError::Transform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = CoreError::from(hybridcs_dsp::DspError::ZeroLevels);
+        assert!(e.to_string().contains("transform"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

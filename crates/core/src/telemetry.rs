@@ -1,0 +1,457 @@
+//! Telemetry framing and loss-resilient reception.
+//!
+//! The paper's Fig. 1 ends at "Transmit"; any real WBSN deployment needs a
+//! wire format and a story for corrupted/lost frames. This module provides
+//! both, and in doing so demonstrates a structural advantage of the hybrid
+//! design that the paper leaves implicit: the two payloads degrade
+//! **independently**. Lose the CS section and the low-resolution section
+//! still yields a coarse but diagnostically usable trace; lose the
+//! low-resolution section and the CS section still decodes as normal CS.
+//!
+//! Wire format (little-endian):
+//!
+//! ```text
+//! magic u16 | seq u32 | m u16 | n u16 | meas_bits u8 | lowres_bits u8
+//! | lowres_bit_len u32 | header crc32
+//! | CS section (m × meas_bits, bit-packed) | cs crc32
+//! | low-res section bytes | lowres crc32
+//! ```
+
+use crate::codec::{DecodedWindow, EncodedWindow};
+use crate::{CoreError, HybridDecoder, SystemConfig};
+use hybridcs_coding::{crc32, BitReader, BitWriter, CodingError, Payload};
+use hybridcs_frontend::{LowResChannel, LowResFrame, MeasurementQuantizer};
+
+const MAGIC: u16 = 0xEC65;
+
+/// Serializer/deserializer between [`EncodedWindow`]s and wire bytes.
+#[derive(Debug, Clone)]
+pub struct FrameCodec {
+    config: SystemConfig,
+    digitizer: MeasurementQuantizer,
+}
+
+/// One parsed frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryFrame {
+    /// Monotonic frame counter from the sensor.
+    pub sequence: u32,
+    /// The re-assembled window payload.
+    pub encoded: EncodedWindow,
+}
+
+/// Per-section integrity verdict of a received frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionedFrame {
+    /// Frame counter (valid whenever the header passed its CRC).
+    pub sequence: u32,
+    /// CS measurements, present iff that section's CRC passed.
+    pub measurements: Option<Vec<f64>>,
+    /// Low-resolution payload, present iff that section's CRC passed.
+    pub lowres: Option<Payload>,
+}
+
+impl FrameCodec {
+    /// Builds a codec for the given system configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on an invalid configuration.
+    pub fn new(config: &SystemConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let digitizer =
+            MeasurementQuantizer::new(config.measurement_bits, config.measurement_full_scale_mv)?;
+        Ok(FrameCodec {
+            config: config.clone(),
+            digitizer,
+        })
+    }
+
+    /// Serializes an encoded window into wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WindowMismatch`] when the window was encoded
+    /// under a different configuration.
+    pub fn serialize(&self, sequence: u32, window: &EncodedWindow) -> Result<Vec<u8>, CoreError> {
+        if window.window_len != self.config.window
+            || window.measurements.len() != self.config.measurements
+        {
+            return Err(CoreError::WindowMismatch {
+                expected: self.config.window,
+                actual: window.window_len,
+            });
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&sequence.to_le_bytes());
+        out.extend_from_slice(&(self.config.measurements as u16).to_le_bytes());
+        out.extend_from_slice(&(self.config.window as u16).to_le_bytes());
+        out.push(self.config.measurement_bits as u8);
+        out.push(self.config.lowres_bits as u8);
+        out.extend_from_slice(&(window.lowres.bit_len as u32).to_le_bytes());
+        let header_crc = crc32(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+
+        // CS section: measurement codes, bit-packed.
+        let mut writer = BitWriter::new();
+        for code in self.digitizer.codes(&window.measurements) {
+            writer.write_bits(u64::from(code), self.config.measurement_bits);
+        }
+        let (cs_bytes, _) = writer.finish();
+        let cs_start = out.len();
+        out.extend_from_slice(&cs_bytes);
+        let cs_crc = crc32(&out[cs_start..]);
+        out.extend_from_slice(&cs_crc.to_le_bytes());
+
+        // Low-resolution section.
+        let lr_start = out.len();
+        out.extend_from_slice(&window.lowres.bytes);
+        let lr_crc = crc32(&out[lr_start..]);
+        out.extend_from_slice(&lr_crc.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Parses wire bytes, validating every CRC; fails on the first bad
+    /// section. Use [`FrameCodec::deserialize_sections`] for the
+    /// degradation-tolerant path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Coding`] describing the corruption.
+    pub fn deserialize(&self, bytes: &[u8]) -> Result<TelemetryFrame, CoreError> {
+        let sectioned = self.deserialize_sections(bytes)?;
+        let measurements =
+            sectioned
+                .measurements
+                .ok_or(CoreError::Coding(CodingError::CorruptStream {
+                    detail: "CS section failed CRC",
+                }))?;
+        let lowres = sectioned
+            .lowres
+            .ok_or(CoreError::Coding(CodingError::CorruptStream {
+                detail: "low-res section failed CRC",
+            }))?;
+        Ok(TelemetryFrame {
+            sequence: sectioned.sequence,
+            encoded: EncodedWindow {
+                measurements,
+                lowres,
+                window_len: self.config.window,
+                measurement_bits: self.config.measurement_bits,
+            },
+        })
+    }
+
+    /// Parses wire bytes with per-section integrity: a bad CS or low-res
+    /// CRC clears that section instead of failing the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Coding`] only when the *header* is unusable
+    /// (bad magic, truncation, bad header CRC, or config mismatch).
+    pub fn deserialize_sections(&self, bytes: &[u8]) -> Result<SectionedFrame, CoreError> {
+        const HEADER_LEN: usize = 2 + 4 + 2 + 2 + 1 + 1 + 4;
+        let corrupt =
+            |detail: &'static str| CoreError::Coding(CodingError::CorruptStream { detail });
+
+        if bytes.len() < HEADER_LEN + 4 {
+            return Err(corrupt("frame shorter than header"));
+        }
+        let (header, rest) = bytes.split_at(HEADER_LEN);
+        let stored_header_crc = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+        if crc32(header) != stored_header_crc {
+            return Err(corrupt("header failed CRC"));
+        }
+        if u16::from_le_bytes(header[0..2].try_into().expect("2 bytes")) != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let sequence = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes"));
+        let m = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes")) as usize;
+        let n = u16::from_le_bytes(header[8..10].try_into().expect("2 bytes")) as usize;
+        let meas_bits = u32::from(header[10]);
+        let lowres_bits = u32::from(header[11]);
+        let lowres_bit_len =
+            u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+        if m != self.config.measurements
+            || n != self.config.window
+            || meas_bits != self.config.measurement_bits
+            || lowres_bits != self.config.lowres_bits
+        {
+            return Err(corrupt("frame built under a different configuration"));
+        }
+
+        let cs_len = (m * meas_bits as usize).div_ceil(8);
+        let lr_len = lowres_bit_len.div_ceil(8);
+        let body = &rest[4..];
+        if body.len() != cs_len + 4 + lr_len + 4 {
+            return Err(corrupt("frame body length mismatch"));
+        }
+        let (cs_section, tail) = body.split_at(cs_len);
+        let stored_cs_crc = u32::from_le_bytes(tail[..4].try_into().expect("4 bytes"));
+        let (lr_section, lr_tail) = tail[4..].split_at(lr_len);
+        let stored_lr_crc = u32::from_le_bytes(lr_tail[..4].try_into().expect("4 bytes"));
+
+        let measurements = if crc32(cs_section) == stored_cs_crc {
+            let mut reader = BitReader::new(cs_section, m * meas_bits as usize);
+            let mut values = Vec::with_capacity(m);
+            for _ in 0..m {
+                let code = reader.read_bits(meas_bits).map_err(CoreError::Coding)? as u32;
+                values.push(code);
+            }
+            Some(self.decode_measurement_codes(&values))
+        } else {
+            None
+        };
+        let lowres = if crc32(lr_section) == stored_lr_crc {
+            Some(Payload {
+                bytes: lr_section.to_vec(),
+                bit_len: lowres_bit_len,
+            })
+        } else {
+            None
+        };
+        Ok(SectionedFrame {
+            sequence,
+            measurements,
+            lowres,
+        })
+    }
+
+    fn decode_measurement_codes(&self, codes: &[u32]) -> Vec<f64> {
+        // Mid-tread reconstruction mirrors the digitizer used on encode.
+        let step = self.digitizer.step();
+        let lo = -self.config.measurement_full_scale_mv;
+        codes
+            .iter()
+            .map(|&c| lo + (f64::from(c) + 0.5) * step)
+            .collect()
+    }
+}
+
+/// What a resilient receiver managed to recover for one window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveredWindow {
+    /// Both sections arrived: full hybrid reconstruction.
+    Hybrid(DecodedWindow),
+    /// Low-res section lost: plain-CS reconstruction from measurements.
+    CsOnly(DecodedWindow),
+    /// CS section lost: coarse trace from the low-res cells (midpoints).
+    LowResOnly(Vec<f64>),
+    /// Nothing usable arrived.
+    Lost,
+}
+
+impl RecoveredWindow {
+    /// The best-effort signal, if any section survived.
+    #[must_use]
+    pub fn signal(&self) -> Option<&[f64]> {
+        match self {
+            RecoveredWindow::Hybrid(d) | RecoveredWindow::CsOnly(d) => Some(&d.signal),
+            RecoveredWindow::LowResOnly(s) => Some(s),
+            RecoveredWindow::Lost => None,
+        }
+    }
+}
+
+/// A receiver that degrades gracefully under section loss.
+#[derive(Debug, Clone)]
+pub struct ResilientReceiver {
+    frame_codec: FrameCodec,
+    decoder: HybridDecoder,
+    lowres_channel: LowResChannel,
+    lowres_codec: hybridcs_coding::LowResCodec,
+}
+
+impl ResilientReceiver {
+    /// Builds the receiver from a configuration and the trained low-res
+    /// codec (must match the sensor's).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on an invalid configuration.
+    pub fn new(
+        config: &SystemConfig,
+        lowres_codec: hybridcs_coding::LowResCodec,
+    ) -> Result<Self, CoreError> {
+        Ok(ResilientReceiver {
+            frame_codec: FrameCodec::new(config)?,
+            decoder: HybridDecoder::new(config, lowres_codec.clone())?,
+            lowres_channel: LowResChannel::new(config.lowres_bits)?,
+            lowres_codec,
+        })
+    }
+
+    /// The framing codec (for the sensor side of a simulation).
+    #[must_use]
+    pub fn frame_codec(&self) -> &FrameCodec {
+        &self.frame_codec
+    }
+
+    /// Receives one wire frame (or `None` for a wholly lost packet) and
+    /// recovers as much as the surviving sections allow.
+    #[must_use]
+    pub fn receive(&self, packet: Option<&[u8]>) -> RecoveredWindow {
+        let Some(bytes) = packet else {
+            return RecoveredWindow::Lost;
+        };
+        let Ok(sections) = self.frame_codec.deserialize_sections(bytes) else {
+            return RecoveredWindow::Lost;
+        };
+        let config = self.decoder.config().clone();
+        match (sections.measurements, sections.lowres) {
+            (Some(measurements), Some(lowres)) => {
+                let encoded = EncodedWindow {
+                    measurements,
+                    lowres,
+                    window_len: config.window,
+                    measurement_bits: config.measurement_bits,
+                };
+                match self.decoder.decode(&encoded) {
+                    Ok(decoded) => RecoveredWindow::Hybrid(decoded),
+                    Err(_) => RecoveredWindow::Lost,
+                }
+            }
+            (Some(measurements), None) => {
+                // Build a placeholder low-res payload; decode_normal never
+                // reads it.
+                let encoded = EncodedWindow {
+                    measurements,
+                    lowres: Payload {
+                        bytes: Vec::new(),
+                        bit_len: 0,
+                    },
+                    window_len: config.window,
+                    measurement_bits: config.measurement_bits,
+                };
+                match self.decoder.decode_normal(&encoded) {
+                    Ok(decoded) => RecoveredWindow::CsOnly(decoded),
+                    Err(_) => RecoveredWindow::Lost,
+                }
+            }
+            (None, Some(lowres)) => {
+                let Ok(codes) = self.lowres_codec.decode(&lowres, config.window) else {
+                    return RecoveredWindow::Lost;
+                };
+                let Ok(frame) = LowResFrame::from_codes(codes, &self.lowres_channel) else {
+                    return RecoveredWindow::Lost;
+                };
+                let half = frame.step() / 2.0;
+                RecoveredWindow::LowResOnly(frame.samples().iter().map(|v| v + half).collect())
+            }
+            (None, None) => RecoveredWindow::Lost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::default_training_windows;
+    use crate::{train_lowres_codec, HybridFrontEnd};
+    use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
+
+    fn setup() -> (HybridFrontEnd, ResilientReceiver, Vec<f64>) {
+        let config = SystemConfig {
+            measurements: 64,
+            ..SystemConfig::default()
+        };
+        let codec =
+            train_lowres_codec(config.lowres_bits, &default_training_windows(config.window))
+                .unwrap();
+        let frontend = HybridFrontEnd::new(&config, codec.clone()).unwrap();
+        let receiver = ResilientReceiver::new(&config, codec).unwrap();
+        let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).unwrap();
+        let window = generator.generate(2.0, 0x7E1E)[..config.window].to_vec();
+        (frontend, receiver, window)
+    }
+
+    #[test]
+    fn clean_frame_roundtrips_to_hybrid() {
+        let (frontend, receiver, window) = setup();
+        let encoded = frontend.encode(&window).unwrap();
+        let bytes = receiver.frame_codec().serialize(7, &encoded).unwrap();
+        // Full parse also works.
+        let frame = receiver.frame_codec().deserialize(&bytes).unwrap();
+        assert_eq!(frame.sequence, 7);
+        assert_eq!(frame.encoded.lowres, encoded.lowres);
+        for (a, b) in frame.encoded.measurements.iter().zip(&encoded.measurements) {
+            assert!((a - b).abs() < 1e-9, "measurement drift {a} vs {b}");
+        }
+        match receiver.receive(Some(&bytes)) {
+            RecoveredWindow::Hybrid(decoded) => {
+                let snr = hybridcs_metrics::snr_db(&window, &decoded.signal);
+                assert!(snr > 12.0, "SNR {snr}");
+            }
+            other => panic!("expected hybrid recovery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_cs_section_falls_back_to_lowres() {
+        let (frontend, receiver, window) = setup();
+        let encoded = frontend.encode(&window).unwrap();
+        let mut bytes = receiver.frame_codec().serialize(1, &encoded).unwrap();
+        // Flip a bit inside the CS section (just after the 20-byte header).
+        bytes[25] ^= 0x10;
+        match receiver.receive(Some(&bytes)) {
+            RecoveredWindow::LowResOnly(signal) => {
+                // Coarse but sane: within one quantization step everywhere.
+                let channel = LowResChannel::new(7).unwrap();
+                for (v, x) in signal.iter().zip(&window) {
+                    assert!((v - x).abs() <= channel.step());
+                }
+            }
+            other => panic!("expected low-res fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_lowres_section_falls_back_to_normal_cs() {
+        let (frontend, receiver, window) = setup();
+        let encoded = frontend.encode(&window).unwrap();
+        let mut bytes = receiver.frame_codec().serialize(2, &encoded).unwrap();
+        let last = bytes.len() - 6; // inside the low-res section
+        bytes[last] ^= 0x01;
+        match receiver.receive(Some(&bytes)) {
+            RecoveredWindow::CsOnly(decoded) => {
+                assert!(!decoded.used_box);
+                assert_eq!(decoded.signal.len(), window.len());
+            }
+            other => panic!("expected CS-only fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_header_is_lost() {
+        let (frontend, receiver, window) = setup();
+        let encoded = frontend.encode(&window).unwrap();
+        let mut bytes = receiver.frame_codec().serialize(3, &encoded).unwrap();
+        bytes[3] ^= 0xFF; // sequence byte, protected by header CRC
+        assert_eq!(receiver.receive(Some(&bytes)), RecoveredWindow::Lost);
+        assert_eq!(receiver.receive(None), RecoveredWindow::Lost);
+        assert_eq!(receiver.receive(Some(&[1, 2, 3])), RecoveredWindow::Lost);
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let (frontend, receiver, window) = setup();
+        let encoded = frontend.encode(&window).unwrap();
+        let bytes = receiver.frame_codec().serialize(4, &encoded).unwrap();
+        let other_config = SystemConfig {
+            measurements: 96,
+            ..SystemConfig::default()
+        };
+        let other = FrameCodec::new(&other_config).unwrap();
+        assert!(other.deserialize_sections(&bytes).is_err());
+    }
+
+    #[test]
+    fn recovered_window_signal_accessor() {
+        assert!(RecoveredWindow::Lost.signal().is_none());
+        assert_eq!(
+            RecoveredWindow::LowResOnly(vec![1.0]).signal(),
+            Some(&[1.0][..])
+        );
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DSP kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// A transform was asked for zero decomposition levels.
+    ZeroLevels,
+    /// The signal length does not support the requested transform.
+    ///
+    /// A periodized `levels`-deep DWT requires the length to be divisible by
+    /// `2^levels` and each intermediate approximation band to be at least as
+    /// long as the wavelet filter.
+    BadLength {
+        /// Length supplied by the caller.
+        len: usize,
+        /// Number of decomposition levels requested.
+        levels: usize,
+        /// Minimal acceptable length for this configuration.
+        min_len: usize,
+    },
+    /// A coefficient vector did not match the transform's expected length.
+    CoeffLengthMismatch {
+        /// Expected coefficient-vector length.
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// A filter was constructed with no taps.
+    EmptyFilter,
+    /// An IIR design parameter was outside its valid range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value supplied.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::ZeroLevels => write!(f, "transform requires at least one level"),
+            DspError::BadLength {
+                len,
+                levels,
+                min_len,
+            } => write!(
+                f,
+                "signal length {len} unsupported for {levels} levels (needs a multiple of 2^levels and at least {min_len})"
+            ),
+            DspError::CoeffLengthMismatch { expected, actual } => write!(
+                f,
+                "coefficient length mismatch: expected {expected}, got {actual}"
+            ),
+            DspError::EmptyFilter => write!(f, "filter must have at least one tap"),
+            DspError::BadParameter { name, value } => {
+                write!(f, "parameter {name} out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_numbers() {
+        let e = DspError::BadLength {
+            len: 100,
+            levels: 5,
+            min_len: 128,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains('5') && s.contains("128"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,284 @@
+//! Small FIR/IIR building blocks.
+//!
+//! These are the shaping filters behind the synthetic ECG noise models:
+//! a one-pole low-pass turns white noise into baseline wander, a band-pass
+//! built from two one-poles shapes EMG noise, and a moving average models
+//! simple anti-aliasing in front of the low-resolution ADC.
+
+use crate::DspError;
+
+/// Direct-form FIR filter applied by (non-circular) convolution with
+/// zero-padding on the left, so the output has the same length as the input.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_dsp::filters::FirFilter;
+///
+/// # fn main() -> Result<(), hybridcs_dsp::DspError> {
+/// let diff = FirFilter::new(vec![1.0, -1.0])?;
+/// assert_eq!(diff.apply(&[1.0, 3.0, 6.0]), vec![1.0, 2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+}
+
+impl FirFilter {
+    /// Creates a filter with the given taps (`taps[0]` multiplies the most
+    /// recent sample).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyFilter`] when `taps` is empty.
+    pub fn new(taps: Vec<f64>) -> Result<Self, DspError> {
+        if taps.is_empty() {
+            return Err(DspError::EmptyFilter);
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// Length-`len` moving-average (boxcar) filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyFilter`] when `len == 0`.
+    pub fn moving_average(len: usize) -> Result<Self, DspError> {
+        if len == 0 {
+            return Err(DspError::EmptyFilter);
+        }
+        FirFilter::new(vec![1.0 / len as f64; len])
+    }
+
+    /// The filter taps.
+    #[must_use]
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Filters `x`, returning an output of the same length (zero initial
+    /// state).
+    #[must_use]
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; x.len()];
+        for (n, yn) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, &t) in self.taps.iter().enumerate() {
+                if k > n {
+                    break;
+                }
+                acc += t * x[n - k];
+            }
+            *yn = acc;
+        }
+        y
+    }
+}
+
+/// One-pole IIR filter `y[n] = (1−a)·x[n] + a·y[n−1]`.
+///
+/// `a` close to 1 gives a very low cut-off — the classic cheap model for
+/// baseline wander when driven with white noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnePole {
+    a: f64,
+    state: f64,
+}
+
+impl OnePole {
+    /// Creates a one-pole low-pass with pole location `a ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] when `a` is outside `[0, 1)`.
+    pub fn new(a: f64) -> Result<Self, DspError> {
+        if !(0.0..1.0).contains(&a) {
+            return Err(DspError::BadParameter {
+                name: "pole",
+                value: a,
+            });
+        }
+        Ok(OnePole { a, state: 0.0 })
+    }
+
+    /// One-pole low-pass with a −3 dB point near `cutoff_hz` for a sampling
+    /// rate of `fs_hz`, via the standard bilinear-free approximation
+    /// `a = e^(−2π·fc/fs)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] when either frequency is
+    /// non-positive or `cutoff_hz >= fs_hz / 2`.
+    pub fn from_cutoff(cutoff_hz: f64, fs_hz: f64) -> Result<Self, DspError> {
+        if fs_hz <= 0.0 {
+            return Err(DspError::BadParameter {
+                name: "fs_hz",
+                value: fs_hz,
+            });
+        }
+        if cutoff_hz <= 0.0 || cutoff_hz >= fs_hz / 2.0 {
+            return Err(DspError::BadParameter {
+                name: "cutoff_hz",
+                value: cutoff_hz,
+            });
+        }
+        OnePole::new((-2.0 * std::f64::consts::PI * cutoff_hz / fs_hz).exp())
+    }
+
+    /// Processes one sample.
+    pub fn step(&mut self, x: f64) -> f64 {
+        self.state = (1.0 - self.a) * x + self.a * self.state;
+        self.state
+    }
+
+    /// Filters a whole slice, stateful across calls.
+    #[must_use]
+    pub fn process(&mut self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|&v| self.step(v)).collect()
+    }
+
+    /// Resets the internal state to zero.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+    }
+}
+
+/// Band-pass made of a low-pass/high-pass one-pole pair:
+/// `y = lowpass(x) − lowerpass(x)`.
+///
+/// Used to shape white noise into an EMG-like band (tens of Hz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandPass {
+    low: OnePole,
+    high: OnePole,
+}
+
+impl BandPass {
+    /// Creates a band-pass passing roughly `lo_hz..hi_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] when the band is empty or either
+    /// edge is invalid for the sampling rate.
+    pub fn new(lo_hz: f64, hi_hz: f64, fs_hz: f64) -> Result<Self, DspError> {
+        if lo_hz >= hi_hz {
+            return Err(DspError::BadParameter {
+                name: "lo_hz (must be < hi_hz)",
+                value: lo_hz,
+            });
+        }
+        Ok(BandPass {
+            low: OnePole::from_cutoff(hi_hz, fs_hz)?,
+            high: OnePole::from_cutoff(lo_hz, fs_hz)?,
+        })
+    }
+
+    /// Processes one sample.
+    pub fn step(&mut self, x: f64) -> f64 {
+        self.low.step(x) - self.high.step(x)
+    }
+
+    /// Filters a whole slice, stateful across calls.
+    #[must_use]
+    pub fn process(&mut self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|&v| self.step(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_identity() {
+        let f = FirFilter::new(vec![1.0]).unwrap();
+        assert_eq!(f.apply(&[1.0, -2.0, 3.0]), vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn fir_difference() {
+        let f = FirFilter::new(vec![1.0, -1.0]).unwrap();
+        assert_eq!(f.apply(&[5.0, 7.0, 4.0]), vec![5.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn fir_rejects_empty() {
+        assert!(matches!(FirFilter::new(vec![]), Err(DspError::EmptyFilter)));
+    }
+
+    #[test]
+    fn moving_average_smooths_constant() {
+        let f = FirFilter::moving_average(4).unwrap();
+        let y = f.apply(&[8.0; 8]);
+        // After the warm-up region the output equals the input mean.
+        assert!((y[7] - 8.0).abs() < 1e-12);
+        // During warm-up the zero-padded history reduces the output.
+        assert!((y[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_pole_dc_gain_is_unity() {
+        let mut f = OnePole::new(0.9).unwrap();
+        let mut y = 0.0;
+        for _ in 0..2000 {
+            y = f.step(1.0);
+        }
+        assert!((y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_pole_attenuates_high_frequency() {
+        let mut f = OnePole::from_cutoff(1.0, 360.0).unwrap();
+        // 50 Hz tone through a 1 Hz low-pass: output power must collapse.
+        let x: Vec<f64> = (0..3600)
+            .map(|i| (2.0 * std::f64::consts::PI * 50.0 * i as f64 / 360.0).sin())
+            .collect();
+        let y = f.process(&x);
+        let px: f64 = x.iter().map(|v| v * v).sum();
+        let py: f64 = y[360..].iter().map(|v| v * v).sum();
+        assert!(py < 0.01 * px, "attenuation too weak: {}", py / px);
+    }
+
+    #[test]
+    fn one_pole_rejects_bad_pole() {
+        assert!(OnePole::new(1.0).is_err());
+        assert!(OnePole::new(-0.1).is_err());
+        assert!(OnePole::from_cutoff(200.0, 360.0).is_err());
+        assert!(OnePole::from_cutoff(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn one_pole_reset_clears_state() {
+        let mut f = OnePole::new(0.5).unwrap();
+        f.step(100.0);
+        f.reset();
+        assert_eq!(f.step(0.0), 0.0);
+    }
+
+    #[test]
+    fn band_pass_rejects_dc_and_passes_band() {
+        let mut bp = BandPass::new(5.0, 50.0, 360.0).unwrap();
+        // DC input should be rejected after settling.
+        let mut last = 1.0;
+        for _ in 0..5000 {
+            last = bp.step(1.0);
+        }
+        assert!(last.abs() < 1e-3, "DC leak: {last}");
+        // A 20 Hz tone (inside the band) must keep a good fraction of power.
+        let mut bp2 = BandPass::new(5.0, 50.0, 360.0).unwrap();
+        let x: Vec<f64> = (0..3600)
+            .map(|i| (2.0 * std::f64::consts::PI * 20.0 * i as f64 / 360.0).sin())
+            .collect();
+        let y = bp2.process(&x);
+        let py: f64 = y[360..].iter().map(|v| v * v).sum();
+        let px: f64 = x[360..].iter().map(|v| v * v).sum();
+        assert!(py > 0.1 * px, "band attenuated too much: {}", py / px);
+    }
+
+    #[test]
+    fn band_pass_rejects_empty_band() {
+        assert!(BandPass::new(50.0, 5.0, 360.0).is_err());
+    }
+}

@@ -1,0 +1,435 @@
+use crate::{DspError, Wavelet};
+
+/// Describes how [`Dwt`] lays out coefficients in its output vector.
+///
+/// For a length-`n` signal and `L` levels the layout is
+///
+/// ```text
+/// [ approx(L) | detail(L) | detail(L−1) | … | detail(1) ]
+///    n/2^L       n/2^L       n/2^(L−1)         n/2
+/// ```
+///
+/// i.e. coarsest first. [`CoeffLayout`] reports the band boundaries so that
+/// downstream code (sparsity statistics, band-weighted thresholds) can
+/// address individual scales without re-deriving the arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoeffLayout {
+    /// Signal length `n`.
+    pub signal_len: usize,
+    /// Decomposition depth `L`.
+    pub levels: usize,
+    /// Half-open coefficient ranges, coarsest band first: the approximation
+    /// band followed by detail bands from level `L` down to level 1.
+    pub bands: Vec<std::ops::Range<usize>>,
+}
+
+impl CoeffLayout {
+    /// Range of the approximation (scaling) band.
+    #[must_use]
+    pub fn approx_band(&self) -> std::ops::Range<usize> {
+        self.bands[0].clone()
+    }
+
+    /// Range of the detail band at `level` (1 = finest, `levels` = coarsest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level == 0` or `level > self.levels`.
+    #[must_use]
+    pub fn detail_band(&self, level: usize) -> std::ops::Range<usize> {
+        assert!(
+            level >= 1 && level <= self.levels,
+            "detail level out of range"
+        );
+        self.bands[1 + (self.levels - level)].clone()
+    }
+}
+
+/// Multi-level periodized discrete wavelet transform with an orthonormal
+/// filter bank.
+///
+/// Because the bank is orthonormal, the transform matrix `W = Ψᵀ` satisfies
+/// `WᵀW = WWᵀ = I`: [`Dwt::inverse`] is simultaneously the inverse *and* the
+/// adjoint of [`Dwt::forward`]. The sparse-recovery solvers rely on this to
+/// evaluate `prox_{τ‖Ψᵀ·‖₁}(v) = Ψ soft(Ψᵀ v, τ)` with two fast transforms.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_dsp::{Dwt, Wavelet};
+///
+/// # fn main() -> Result<(), hybridcs_dsp::DspError> {
+/// let dwt = Dwt::new(Wavelet::Haar, 2)?;
+/// let coeffs = dwt.forward(&[1.0, 1.0, 1.0, 1.0])?;
+/// // A constant signal is captured entirely by the approximation band.
+/// assert!((coeffs[0] - 2.0).abs() < 1e-12);
+/// assert!(coeffs[1..].iter().all(|c| c.abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dwt {
+    wavelet: Wavelet,
+    levels: usize,
+}
+
+impl Dwt {
+    /// Creates a transform with the given family and decomposition depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::ZeroLevels`] if `levels == 0`.
+    pub fn new(wavelet: Wavelet, levels: usize) -> Result<Self, DspError> {
+        if levels == 0 {
+            return Err(DspError::ZeroLevels);
+        }
+        Ok(Dwt { wavelet, levels })
+    }
+
+    /// The wavelet family in use.
+    #[must_use]
+    pub fn wavelet(&self) -> Wavelet {
+        self.wavelet
+    }
+
+    /// Decomposition depth.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Largest decomposition depth usable for a length-`len` signal with
+    /// this wavelet: every approximation band must stay at least as long as
+    /// the filter, and `len` must be divisible by `2^levels`.
+    #[must_use]
+    pub fn max_levels(wavelet: Wavelet, len: usize) -> usize {
+        let mut levels = 0;
+        let mut n = len;
+        while n.is_multiple_of(2) && n / 2 >= wavelet.filter_len() {
+            n /= 2;
+            levels += 1;
+        }
+        levels
+    }
+
+    /// Validates a signal length, returning the minimal supported length on
+    /// failure.
+    fn check_len(&self, len: usize) -> Result<(), DspError> {
+        let div = 1usize << self.levels;
+        let min_len = self.wavelet.filter_len().next_power_of_two() * (1 << (self.levels - 1));
+        let coarse = len >> self.levels;
+        if len == 0 || !len.is_multiple_of(div) || coarse < self.wavelet.filter_len().div_ceil(2) {
+            return Err(DspError::BadLength {
+                len,
+                levels: self.levels,
+                min_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Coefficient layout for signals of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] for unsupported lengths.
+    pub fn layout(&self, len: usize) -> Result<CoeffLayout, DspError> {
+        self.check_len(len)?;
+        let mut bands = Vec::with_capacity(self.levels + 1);
+        let coarse = len >> self.levels;
+        bands.push(0..coarse);
+        let mut start = coarse;
+        for level in (1..=self.levels).rev() {
+            let band_len = len >> level;
+            bands.push(start..start + band_len);
+            start += band_len;
+        }
+        debug_assert_eq!(start, len);
+        Ok(CoeffLayout {
+            signal_len: len,
+            levels: self.levels,
+            bands,
+        })
+    }
+
+    /// Analysis transform `Ψᵀ x` (signal → coefficients).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] when `x.len()` is not divisible by
+    /// `2^levels` or a band would be shorter than the filter.
+    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, DspError> {
+        self.check_len(x.len())?;
+        let n = x.len();
+        let h = self.wavelet.lowpass();
+        let g = self.wavelet.highpass();
+        let mut out = vec![0.0; n];
+        let mut approx = x.to_vec();
+        let mut write_end = n;
+        for _ in 0..self.levels {
+            let cur = approx.len();
+            let half = cur / 2;
+            let mut next_approx = vec![0.0; half];
+            let detail_slot = &mut out[write_end - half..write_end];
+            analyze_level(&approx, h, &g, &mut next_approx, detail_slot);
+            write_end -= half;
+            approx = next_approx;
+        }
+        out[..approx.len()].copy_from_slice(&approx);
+        Ok(out)
+    }
+
+    /// Synthesis transform `Ψ c` (coefficients → signal). Exact inverse (and
+    /// adjoint) of [`Dwt::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] for unsupported lengths.
+    pub fn inverse(&self, coeffs: &[f64]) -> Result<Vec<f64>, DspError> {
+        self.check_len(coeffs.len())?;
+        let n = coeffs.len();
+        let h = self.wavelet.lowpass();
+        let g = self.wavelet.highpass();
+        let coarse = n >> self.levels;
+        let mut approx = coeffs[..coarse].to_vec();
+        let mut read_start = coarse;
+        for level in (1..=self.levels).rev() {
+            let band_len = n >> level;
+            let detail = &coeffs[read_start..read_start + band_len];
+            let mut up = vec![0.0; band_len * 2];
+            synthesize_level(&approx, detail, h, &g, &mut up);
+            read_start += band_len;
+            approx = up;
+        }
+        Ok(approx)
+    }
+
+    /// Counts coefficients whose magnitude is at least `threshold` times the
+    /// largest magnitude — a quick effective-sparsity probe used by the
+    /// wavelet ablation experiment.
+    ///
+    /// Returns 0 for an all-zero vector.
+    #[must_use]
+    pub fn effective_sparsity(coeffs: &[f64], threshold: f64) -> usize {
+        let max = coeffs.iter().fold(0.0_f64, |m, c| m.max(c.abs()));
+        if max == 0.0 {
+            return 0;
+        }
+        coeffs.iter().filter(|c| c.abs() >= threshold * max).count()
+    }
+}
+
+/// One analysis level with periodic (circular) extension:
+/// `a[k] = Σⱼ h[j]·x[(2k+j) mod n]`, `d[k] = Σⱼ g[j]·x[(2k+j) mod n]`.
+fn analyze_level(x: &[f64], h: &[f64], g: &[f64], approx: &mut [f64], detail: &mut [f64]) {
+    let n = x.len();
+    let half = n / 2;
+    debug_assert_eq!(approx.len(), half);
+    debug_assert_eq!(detail.len(), half);
+    for k in 0..half {
+        let mut a = 0.0;
+        let mut d = 0.0;
+        let base = 2 * k;
+        for (j, (&hj, &gj)) in h.iter().zip(g).enumerate() {
+            let idx = (base + j) % n;
+            let xv = x[idx];
+            a += hj * xv;
+            d += gj * xv;
+        }
+        approx[k] = a;
+        detail[k] = d;
+    }
+}
+
+/// One synthesis level — the exact transpose of [`analyze_level`]:
+/// `x[(2k+j) mod n] += h[j]·a[k] + g[j]·d[k]`.
+fn synthesize_level(approx: &[f64], detail: &[f64], h: &[f64], g: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let half = n / 2;
+    debug_assert_eq!(approx.len(), half);
+    debug_assert_eq!(detail.len(), half);
+    out.fill(0.0);
+    for k in 0..half {
+        let a = approx[k];
+        let d = detail[k];
+        let base = 2 * k;
+        for (j, (&hj, &gj)) in h.iter().zip(g).enumerate() {
+            let idx = (base + j) % n;
+            out[idx] += hj * a + gj * d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                (2.0 * std::f64::consts::PI * 3.0 * t).sin()
+                    + 0.3 * (2.0 * std::f64::consts::PI * 17.0 * t).cos()
+                    + 0.05 * t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_reconstruction_all_families() {
+        let x = test_signal(128);
+        for w in Wavelet::ALL {
+            let dwt = Dwt::new(w, 3).unwrap();
+            let c = dwt.forward(&x).unwrap();
+            let back = dwt.inverse(&c).unwrap();
+            assert!(max_abs_diff(&x, &back) < 1e-10, "{w} failed PR");
+        }
+    }
+
+    #[test]
+    fn energy_preservation() {
+        // Orthonormality: ‖Ψᵀx‖₂ == ‖x‖₂.
+        let x = test_signal(256);
+        let dwt = Dwt::new(Wavelet::Db4, 4).unwrap();
+        let c = dwt.forward(&x).unwrap();
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-8 * ex);
+    }
+
+    #[test]
+    fn adjoint_identity() {
+        // ⟨Ψᵀx, y⟩ == ⟨x, Ψy⟩ — the property the solvers depend on.
+        let dwt = Dwt::new(Wavelet::Db4, 3).unwrap();
+        let x = test_signal(64);
+        let y: Vec<f64> = (0..64).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
+        let lhs: f64 = dwt
+            .forward(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f64 = x
+            .iter()
+            .zip(dwt.inverse(&y).unwrap().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn constant_signal_concentrates_in_approx_band() {
+        let dwt = Dwt::new(Wavelet::Db4, 4).unwrap();
+        let x = vec![5.0; 256];
+        let c = dwt.forward(&x).unwrap();
+        let layout = dwt.layout(256).unwrap();
+        let approx = layout.approx_band();
+        for (i, v) in c.iter().enumerate() {
+            if approx.contains(&i) {
+                continue;
+            }
+            assert!(v.abs() < 1e-9, "detail leak at {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn layout_partitions_whole_vector() {
+        let dwt = Dwt::new(Wavelet::Db2, 3).unwrap();
+        let layout = dwt.layout(64).unwrap();
+        assert_eq!(layout.bands.len(), 4);
+        assert_eq!(layout.approx_band(), 0..8);
+        assert_eq!(layout.detail_band(3), 8..16);
+        assert_eq!(layout.detail_band(2), 16..32);
+        assert_eq!(layout.detail_band(1), 32..64);
+        let total: usize = layout.bands.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        let dwt = Dwt::new(Wavelet::Db4, 3).unwrap();
+        assert!(matches!(
+            dwt.forward(&[0.0; 100]),
+            Err(DspError::BadLength { .. })
+        ));
+        assert!(matches!(
+            dwt.inverse(&[0.0; 100]),
+            Err(DspError::BadLength { .. })
+        ));
+        assert!(matches!(dwt.forward(&[]), Err(DspError::BadLength { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_levels() {
+        assert!(matches!(
+            Dwt::new(Wavelet::Db4, 0),
+            Err(DspError::ZeroLevels)
+        ));
+    }
+
+    #[test]
+    fn max_levels_respects_filter_length() {
+        // db4 has 8 taps; every intermediate band must hold >= 8 samples,
+        // so 512 supports 6 levels (coarsest band = 8), matching pywt.
+        assert_eq!(Dwt::max_levels(Wavelet::Db4, 512), 6);
+        // Haar: the conservative rule (band length >= filter length) stops
+        // at a coarsest band of 2 samples -> 8 levels for 512.
+        assert_eq!(Dwt::max_levels(Wavelet::Haar, 512), 8);
+        assert_eq!(Dwt::max_levels(Wavelet::Db4, 6), 0);
+    }
+
+    #[test]
+    fn max_levels_depth_actually_works() {
+        for w in Wavelet::ALL {
+            let levels = Dwt::max_levels(w, 256);
+            assert!(levels >= 1);
+            let dwt = Dwt::new(w, levels).unwrap();
+            let x = test_signal(256);
+            let c = dwt.forward(&x).unwrap();
+            let back = dwt.inverse(&c).unwrap();
+            assert!(max_abs_diff(&x, &back) < 1e-9, "{w} at depth {levels}");
+        }
+    }
+
+    #[test]
+    fn smooth_signal_is_compressible_in_db4() {
+        // The whole premise of CS-ECG: a smooth signal's wavelet coefficients
+        // decay fast. Check that 90% of the energy sits in 25% of coefficients.
+        let x = test_signal(512);
+        let dwt = Dwt::new(Wavelet::Db4, 5).unwrap();
+        let mut c = dwt.forward(&x).unwrap();
+        let total: f64 = c.iter().map(|v| v * v).sum();
+        c.sort_by(|a, b| b.abs().partial_cmp(&a.abs()).unwrap());
+        let top: f64 = c[..128].iter().map(|v| v * v).sum();
+        assert!(top > 0.9 * total, "top quarter holds {}", top / total);
+    }
+
+    #[test]
+    fn effective_sparsity_counts() {
+        let c = [10.0, 0.0, -5.0, 0.1];
+        assert_eq!(Dwt::effective_sparsity(&c, 0.2), 2);
+        assert_eq!(Dwt::effective_sparsity(&[0.0; 4], 0.5), 0);
+    }
+
+    #[test]
+    fn delta_signal_roundtrip_deep_levels() {
+        // An impulse stresses the periodic wrap-around paths.
+        let mut x = vec![0.0; 64];
+        x[0] = 1.0;
+        x[63] = -2.0;
+        for w in Wavelet::ALL {
+            let levels = Dwt::max_levels(w, 64);
+            let dwt = Dwt::new(w, levels).unwrap();
+            let back = dwt.inverse(&dwt.forward(&x).unwrap()).unwrap();
+            assert!(max_abs_diff(&x, &back) < 1e-10, "{w}");
+        }
+    }
+}

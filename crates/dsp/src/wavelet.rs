@@ -1,0 +1,227 @@
+/// Orthonormal wavelet filter families.
+///
+/// Each family carries its scaling (low-pass) decomposition filter `h`; the
+/// wavelet (high-pass) filter is derived by the quadrature-mirror relation
+/// `g[k] = (−1)ᵏ h[L−1−k]`, which for an orthonormal `h` yields an
+/// orthonormal two-channel filter bank and therefore an exactly invertible
+/// periodized DWT.
+///
+/// The default for ECG work is [`Wavelet::Db4`] (Daubechies with 4 vanishing
+/// moments, 8 taps), matching the basis used in the authors' earlier ECG
+/// compressed-sensing study.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_dsp::Wavelet;
+///
+/// let h = Wavelet::Haar.lowpass();
+/// assert_eq!(h.len(), 2);
+/// let energy: f64 = h.iter().map(|c| c * c).sum();
+/// assert!((energy - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Wavelet {
+    /// Haar wavelet (2 taps). Piecewise-constant; poor for ECG but useful as
+    /// a baseline in the wavelet ablation.
+    Haar,
+    /// Daubechies, 2 vanishing moments (4 taps).
+    Db2,
+    /// Daubechies, 4 vanishing moments (8 taps). The workspace default.
+    #[default]
+    Db4,
+    /// Daubechies, 6 vanishing moments (12 taps).
+    Db6,
+    /// Symlet, 4 vanishing moments (8 taps); near-symmetric variant of db4.
+    Sym4,
+}
+
+/// Scaling-filter coefficients. Values are the standard orthonormal
+/// Daubechies/symlet decomposition coefficients (unit ℓ₂ norm, sum √2).
+const HAAR: [f64; 2] = [
+    std::f64::consts::FRAC_1_SQRT_2,
+    std::f64::consts::FRAC_1_SQRT_2,
+];
+
+const DB2: [f64; 4] = [
+    0.482_962_913_144_690_2,
+    0.836_516_303_737_469,
+    0.224_143_868_041_857_35,
+    -0.129_409_522_550_921_45,
+];
+
+const DB4: [f64; 8] = [
+    0.230_377_813_308_855_23,
+    0.714_846_570_552_541_5,
+    0.630_880_767_929_590_4,
+    -0.027_983_769_416_983_85,
+    -0.187_034_811_718_881_14,
+    0.030_841_381_835_986_965,
+    0.032_883_011_666_982_945,
+    -0.010_597_401_784_997_278,
+];
+
+const DB6: [f64; 12] = [
+    0.111_540_743_350_080_17,
+    0.494_623_890_398_385_4,
+    0.751_133_908_021_577_5,
+    0.315_250_351_709_243_2,
+    -0.226_264_693_965_169_13,
+    -0.129_766_867_567_095_63,
+    0.097_501_605_587_079_36,
+    0.027_522_865_530_016_29,
+    -0.031_582_039_318_031_156,
+    0.000_553_842_200_993_801_6,
+    0.004_777_257_511_010_651,
+    -0.001_077_301_084_995_58,
+];
+
+const SYM4: [f64; 8] = [
+    -0.075_765_714_789_273_33,
+    -0.029_635_527_645_998_51,
+    0.497_618_667_632_015_45,
+    0.803_738_751_805_916_1,
+    0.297_857_795_605_277_36,
+    -0.099_219_543_576_847_22,
+    -0.012_603_967_262_037_833,
+    0.032_223_100_604_042_7,
+];
+
+impl Wavelet {
+    /// All supported families, in ascending filter length.
+    pub const ALL: [Wavelet; 5] = [
+        Wavelet::Haar,
+        Wavelet::Db2,
+        Wavelet::Db4,
+        Wavelet::Sym4,
+        Wavelet::Db6,
+    ];
+
+    /// Scaling (low-pass) decomposition filter `h`.
+    #[must_use]
+    pub fn lowpass(self) -> &'static [f64] {
+        match self {
+            Wavelet::Haar => &HAAR,
+            Wavelet::Db2 => &DB2,
+            Wavelet::Db4 => &DB4,
+            Wavelet::Db6 => &DB6,
+            Wavelet::Sym4 => &SYM4,
+        }
+    }
+
+    /// Wavelet (high-pass) decomposition filter `g`, derived by the
+    /// quadrature-mirror relation `g[k] = (−1)ᵏ h[L−1−k]`.
+    #[must_use]
+    pub fn highpass(self) -> Vec<f64> {
+        let h = self.lowpass();
+        let l = h.len();
+        (0..l)
+            .map(|k| {
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                sign * h[l - 1 - k]
+            })
+            .collect()
+    }
+
+    /// Number of filter taps.
+    #[must_use]
+    pub fn filter_len(self) -> usize {
+        self.lowpass().len()
+    }
+
+    /// Short conventional name (`"haar"`, `"db4"`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Wavelet::Haar => "haar",
+            Wavelet::Db2 => "db2",
+            Wavelet::Db4 => "db4",
+            Wavelet::Db6 => "db6",
+            Wavelet::Sym4 => "sym4",
+        }
+    }
+}
+
+impl std::fmt::Display for Wavelet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Orthonormality of the two-channel bank: the low-pass filter must be
+    /// orthogonal to its even shifts and have unit norm. These identities
+    /// are what make the periodized DWT exactly invertible, so we check
+    /// every family to 1e-10.
+    #[test]
+    fn lowpass_is_orthonormal_under_even_shifts() {
+        for w in Wavelet::ALL {
+            let h = w.lowpass();
+            let l = h.len();
+            for shift in (0..l).step_by(2) {
+                let mut acc = 0.0;
+                for k in 0..(l - shift) {
+                    acc += h[k] * h[k + shift];
+                }
+                let expected = if shift == 0 { 1.0 } else { 0.0 };
+                assert!(
+                    (acc - expected).abs() < 1e-10,
+                    "{w}: shift {shift} gave {acc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowpass_sums_to_sqrt2() {
+        for w in Wavelet::ALL {
+            let sum: f64 = w.lowpass().iter().sum();
+            assert!(
+                (sum - std::f64::consts::SQRT_2).abs() < 1e-10,
+                "{w}: sum {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn highpass_is_orthogonal_to_lowpass() {
+        for w in Wavelet::ALL {
+            let h = w.lowpass();
+            let g = w.highpass();
+            let dot: f64 = h.iter().zip(&g).map(|(a, b)| a * b).sum();
+            assert!(dot.abs() < 1e-10, "{w}: <h,g> = {dot}");
+        }
+    }
+
+    #[test]
+    fn highpass_sums_to_zero() {
+        for w in Wavelet::ALL {
+            let sum: f64 = w.highpass().iter().sum();
+            assert!(sum.abs() < 1e-10, "{w}: hp sum {sum}");
+        }
+    }
+
+    #[test]
+    fn filter_lengths() {
+        assert_eq!(Wavelet::Haar.filter_len(), 2);
+        assert_eq!(Wavelet::Db2.filter_len(), 4);
+        assert_eq!(Wavelet::Db4.filter_len(), 8);
+        assert_eq!(Wavelet::Db6.filter_len(), 12);
+        assert_eq!(Wavelet::Sym4.filter_len(), 8);
+    }
+
+    #[test]
+    fn default_is_db4() {
+        assert_eq!(Wavelet::default(), Wavelet::Db4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Wavelet::Db4.to_string(), "db4");
+        assert_eq!(Wavelet::Sym4.to_string(), "sym4");
+    }
+}

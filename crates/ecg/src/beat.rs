@@ -1,0 +1,279 @@
+//! Sum-of-Gaussians beat morphology (McSharry et al., *IEEE TBME* 2003).
+//!
+//! A cardiac cycle is parameterized by a phase `θ ∈ [−π, π)`; each of the
+//! P, Q, R, S and T waves is a Gaussian bump `a·exp(−(θ−μ)²/(2b²))` on that
+//! phase axis. Warping the phase with the instantaneous RR interval yields
+//! natural beat-length scaling, and editing the bump set yields ectopic
+//! morphologies (PVC: absent P, wide tall QRS, inverted T; APC: early
+//! narrow beat with flattened P).
+
+use rand::Rng;
+
+/// One Gaussian component of a beat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianWave {
+    /// Peak amplitude in millivolts (negative for downward deflections).
+    pub amplitude_mv: f64,
+    /// Phase position of the peak, radians in `[−π, π)`.
+    pub center_rad: f64,
+    /// Gaussian width (standard deviation) in radians.
+    pub width_rad: f64,
+}
+
+impl GaussianWave {
+    /// Evaluates the wave at phase `theta`, handling the circular wrap so a
+    /// bump near `+π` spills correctly into `−π`.
+    #[must_use]
+    pub fn value(&self, theta: f64) -> f64 {
+        let mut d = theta - self.center_rad;
+        // Wrap the phase difference into [−π, π).
+        while d >= std::f64::consts::PI {
+            d -= 2.0 * std::f64::consts::PI;
+        }
+        while d < -std::f64::consts::PI {
+            d += 2.0 * std::f64::consts::PI;
+        }
+        self.amplitude_mv * (-d * d / (2.0 * self.width_rad * self.width_rad)).exp()
+    }
+}
+
+/// A complete beat morphology: the five standard waves.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_ecg::BeatMorphology;
+///
+/// let beat = BeatMorphology::normal();
+/// // The R peak dominates the waveform at phase 0.
+/// assert!(beat.value(0.0) > 0.8);
+/// // Far from the QRS complex the trace returns to baseline.
+/// assert!(beat.value(-3.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeatMorphology {
+    waves: Vec<GaussianWave>,
+}
+
+impl BeatMorphology {
+    /// Textbook normal sinus beat (amplitudes in mV, MIT-BIH-like lead II).
+    #[must_use]
+    pub fn normal() -> Self {
+        BeatMorphology {
+            waves: vec![
+                // P wave
+                GaussianWave {
+                    amplitude_mv: 0.12,
+                    center_rad: -1.22,
+                    width_rad: 0.25,
+                },
+                // Q wave
+                GaussianWave {
+                    amplitude_mv: -0.13,
+                    center_rad: -0.22,
+                    width_rad: 0.09,
+                },
+                // R wave
+                GaussianWave {
+                    amplitude_mv: 1.05,
+                    center_rad: 0.0,
+                    width_rad: 0.10,
+                },
+                // S wave
+                GaussianWave {
+                    amplitude_mv: -0.22,
+                    center_rad: 0.23,
+                    width_rad: 0.09,
+                },
+                // T wave
+                GaussianWave {
+                    amplitude_mv: 0.28,
+                    center_rad: 1.45,
+                    width_rad: 0.38,
+                },
+            ],
+        }
+    }
+
+    /// Premature ventricular contraction: no P wave, broad high-amplitude
+    /// QRS, discordant (inverted) T wave.
+    #[must_use]
+    pub fn pvc() -> Self {
+        BeatMorphology {
+            waves: vec![
+                GaussianWave {
+                    amplitude_mv: -0.25,
+                    center_rad: -0.42,
+                    width_rad: 0.18,
+                },
+                GaussianWave {
+                    amplitude_mv: 1.45,
+                    center_rad: 0.0,
+                    width_rad: 0.24,
+                },
+                GaussianWave {
+                    amplitude_mv: -0.45,
+                    center_rad: 0.46,
+                    width_rad: 0.20,
+                },
+                GaussianWave {
+                    amplitude_mv: -0.35,
+                    center_rad: 1.55,
+                    width_rad: 0.45,
+                },
+            ],
+        }
+    }
+
+    /// Atrial premature contraction: flattened/early P, otherwise narrow QRS.
+    #[must_use]
+    pub fn apc() -> Self {
+        let mut beat = BeatMorphology::normal();
+        beat.waves[0] = GaussianWave {
+            amplitude_mv: 0.06,
+            center_rad: -1.45,
+            width_rad: 0.20,
+        };
+        beat
+    }
+
+    /// Builds a morphology from explicit waves (advanced use).
+    #[must_use]
+    pub fn from_waves(waves: Vec<GaussianWave>) -> Self {
+        BeatMorphology { waves }
+    }
+
+    /// The constituent waves.
+    #[must_use]
+    pub fn waves(&self) -> &[GaussianWave] {
+        &self.waves
+    }
+
+    /// Evaluates the beat at phase `theta ∈ [−π, π)` (values outside are
+    /// wrapped per-wave), in millivolts relative to the isoelectric line.
+    #[must_use]
+    pub fn value(&self, theta: f64) -> f64 {
+        self.waves.iter().map(|w| w.value(theta)).sum()
+    }
+
+    /// Returns a copy with amplitudes and widths jittered by up to
+    /// `±amount` (relative), producing per-record morphology variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is not in `[0, 1)`.
+    #[must_use]
+    pub fn perturbed<R: Rng + ?Sized>(&self, rng: &mut R, amount: f64) -> Self {
+        assert!((0.0..1.0).contains(&amount), "amount must be in [0, 1)");
+        let waves = self
+            .waves
+            .iter()
+            .map(|w| {
+                let aj = 1.0 + amount * (2.0 * crate::rng::standard_normal(rng)).clamp(-1.0, 1.0);
+                let wj = 1.0 + amount * (2.0 * crate::rng::standard_normal(rng)).clamp(-1.0, 1.0);
+                GaussianWave {
+                    amplitude_mv: w.amplitude_mv * aj,
+                    center_rad: w.center_rad,
+                    width_rad: (w.width_rad * wj).max(0.02),
+                }
+            })
+            .collect();
+        BeatMorphology { waves }
+    }
+
+    /// Peak-to-peak amplitude over a dense phase sweep, in millivolts.
+    #[must_use]
+    pub fn peak_to_peak_mv(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..1024 {
+            let theta = -std::f64::consts::PI + 2.0 * std::f64::consts::PI * i as f64 / 1024.0;
+            let v = self.value(theta);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_beat_has_dominant_r_peak() {
+        let beat = BeatMorphology::normal();
+        let r = beat.value(0.0);
+        for theta in [-1.22, -0.22, 0.23, 1.45] {
+            assert!(r > beat.value(theta).abs(), "R must dominate {theta}");
+        }
+    }
+
+    #[test]
+    fn normal_beat_p_and_t_are_positive() {
+        let beat = BeatMorphology::normal();
+        assert!(beat.value(-1.22) > 0.05, "P wave");
+        assert!(beat.value(1.45) > 0.15, "T wave");
+    }
+
+    #[test]
+    fn pvc_has_no_p_wave_and_wide_qrs() {
+        let pvc = BeatMorphology::pvc();
+        let normal = BeatMorphology::normal();
+        // At the P location the PVC trace is near baseline.
+        assert!(pvc.value(-1.22).abs() < normal.value(-1.22));
+        // The PVC QRS stays elevated further from the peak than normal.
+        assert!(pvc.value(0.35) > normal.value(0.35));
+        // Discordant T wave.
+        assert!(pvc.value(1.55) < 0.0);
+    }
+
+    #[test]
+    fn apc_has_attenuated_p() {
+        let apc = BeatMorphology::apc();
+        let normal = BeatMorphology::normal();
+        assert!(apc.value(-1.45) < normal.value(-1.22));
+    }
+
+    #[test]
+    fn wave_wraps_phase() {
+        let w = GaussianWave {
+            amplitude_mv: 1.0,
+            center_rad: 3.0,
+            width_rad: 0.3,
+        };
+        // Phase −π side of the wrap should still see the bump tail.
+        let near = w.value(3.0);
+        let wrapped = w.value(-3.1); // 2π away from ~3.18
+        assert!(near > 0.99);
+        assert!(wrapped > 0.5, "wrap leak {wrapped}");
+    }
+
+    #[test]
+    fn perturbed_is_deterministic_and_bounded() {
+        let beat = BeatMorphology::normal();
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
+        let a = beat.perturbed(&mut rng1, 0.1);
+        let b = beat.perturbed(&mut rng2, 0.1);
+        assert_eq!(a, b);
+        for (wa, wo) in a.waves().iter().zip(beat.waves()) {
+            assert!((wa.amplitude_mv - wo.amplitude_mv).abs() <= 0.21 * wo.amplitude_mv.abs());
+            assert_eq!(wa.center_rad, wo.center_rad);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "amount must be in [0, 1)")]
+    fn perturbed_rejects_bad_amount() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = BeatMorphology::normal().perturbed(&mut rng, 1.5);
+    }
+
+    #[test]
+    fn peak_to_peak_in_physiological_range() {
+        let p2p = BeatMorphology::normal().peak_to_peak_mv();
+        assert!(p2p > 0.8 && p2p < 2.5, "p2p {p2p} mV");
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the synthetic-ECG substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EcgError {
+    /// A generator or record parameter was outside its valid range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value supplied.
+        value: f64,
+    },
+    /// A windowing request could not be satisfied.
+    BadWindow {
+        /// Requested window length.
+        window: usize,
+        /// Record length in samples.
+        record_len: usize,
+    },
+}
+
+impl fmt::Display for EcgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcgError::BadParameter { name, value } => {
+                write!(f, "parameter {name} out of range: {value}")
+            }
+            EcgError::BadWindow { window, record_len } => write!(
+                f,
+                "window of {window} samples unsatisfiable for record of {record_len} samples"
+            ),
+        }
+    }
+}
+
+impl Error for EcgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = EcgError::BadParameter {
+            name: "mean_rr_s",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("mean_rr_s"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EcgError>();
+    }
+}

@@ -1,0 +1,323 @@
+//! WFDB Format-212 record I/O — the storage format of the MIT-BIH
+//! Arrhythmia Database.
+//!
+//! The reproduction ships a synthetic corpus, but a user who *does* hold
+//! the PhysioNet files should be able to run every experiment on them.
+//! This module reads and writes the WFDB subset those files use: a `.hea`
+//! text header plus a `.dat` file with two 12-bit two's-complement samples
+//! packed into each 3-byte group.
+//!
+//! Only single-signal records are written; readers accept the first signal
+//! of multi-signal records (MIT-BIH records carry two leads; lead II is
+//! first in every record used by the paper's experiments).
+
+use crate::{AdcCalibration, EcgError, EcgRecord};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Packs signed 12-bit samples in WFDB Format 212: each consecutive pair
+/// `(a, b)` becomes three bytes
+/// `[a & 0xFF, ((b >> 8) & 0xF) << 4 | ((a >> 8) & 0xF), b & 0xFF]`.
+///
+/// An odd trailing sample is paired with 0.
+///
+/// # Panics
+///
+/// Panics if any sample is outside the signed 12-bit range
+/// `[−2048, 2047]`.
+#[must_use]
+pub fn pack_212(samples: &[i16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len() / 2 * 3 + 3);
+    let mut iter = samples.chunks(2);
+    for pair in &mut iter {
+        let a = pair[0];
+        let b = if pair.len() == 2 { pair[1] } else { 0 };
+        for v in [a, b] {
+            assert!(
+                (-2048..=2047).contains(&v),
+                "sample {v} outside 12-bit range"
+            );
+        }
+        let ua = (a as i32 & 0xFFF) as u32;
+        let ub = (b as i32 & 0xFFF) as u32;
+        out.push((ua & 0xFF) as u8);
+        out.push((((ub >> 8) << 4) | (ua >> 8)) as u8);
+        out.push((ub & 0xFF) as u8);
+    }
+    out
+}
+
+/// Inverse of [`pack_212`]; returns `count` samples.
+///
+/// # Errors
+///
+/// Returns [`EcgError::BadParameter`] when the byte stream is too short
+/// for `count` samples.
+pub fn unpack_212(bytes: &[u8], count: usize) -> Result<Vec<i16>, EcgError> {
+    let groups = count.div_ceil(2);
+    if bytes.len() < groups * 3 {
+        return Err(EcgError::BadParameter {
+            name: "format-212 stream (too short)",
+            value: bytes.len() as f64,
+        });
+    }
+    let sign_extend = |v: u32| -> i16 {
+        if v & 0x800 != 0 {
+            (v | 0xFFFF_F000) as i32 as i16
+        } else {
+            v as i16
+        }
+    };
+    let mut out = Vec::with_capacity(count);
+    for g in 0..groups {
+        let b0 = u32::from(bytes[3 * g]);
+        let b1 = u32::from(bytes[3 * g + 1]);
+        let b2 = u32::from(bytes[3 * g + 2]);
+        let a = ((b1 & 0x0F) << 8) | b0;
+        let b = ((b1 >> 4) << 8) | b2;
+        out.push(sign_extend(a));
+        if out.len() < count {
+            out.push(sign_extend(b));
+        }
+    }
+    Ok(out)
+}
+
+/// Writes `record` as `<dir>/<name>.hea` + `<dir>/<name>.dat` in WFDB
+/// Format 212, using the record's own calibration for the gain/baseline
+/// header fields.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] on filesystem failure; panics are avoided by
+/// clamping digitized samples into the 12-bit range (the MIT-BIH
+/// calibration keeps 11-bit data well inside it).
+pub fn write_record(dir: &Path, name: &str, record: &EcgRecord) -> io::Result<()> {
+    let cal = record.calibration();
+    let samples: Vec<i16> = record
+        .samples_adu()
+        .into_iter()
+        .map(|v| (v as i32).clamp(-2048, 2047) as i16)
+        .collect();
+    let dat_name = format!("{name}.dat");
+    let header = format!(
+        "{name} 1 {} {}\n{dat_name} 212 {}({}) {} {} {} 0 0 ECG\n",
+        record.fs_hz(),
+        samples.len(),
+        cal.gain_adu_per_mv,
+        cal.baseline_adu,
+        cal.bits,
+        cal.baseline_adu,
+        samples.first().copied().unwrap_or(0),
+    );
+    fs::create_dir_all(dir)?;
+    let mut hea = fs::File::create(dir.join(format!("{name}.hea")))?;
+    hea.write_all(header.as_bytes())?;
+    let mut dat = fs::File::create(dir.join(dat_name))?;
+    dat.write_all(&pack_212(&samples))?;
+    Ok(())
+}
+
+/// Reads a Format-212 record given its `.hea` path. Multi-signal records
+/// yield their first signal.
+///
+/// # Errors
+///
+/// Returns [`EcgError::BadParameter`] for malformed headers or truncated
+/// data (I/O failures are folded into the same variant with the file size
+/// as the reported value).
+pub fn read_record(hea_path: &Path) -> Result<EcgRecord, EcgError> {
+    let malformed = |what: &'static str| EcgError::BadParameter {
+        name: what,
+        value: 0.0,
+    };
+    let text = fs::read_to_string(hea_path).map_err(|_| malformed("header file unreadable"))?;
+    let mut lines = text
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'));
+    let first = lines.next().ok_or(malformed("empty header"))?;
+    let mut fields = first.split_whitespace();
+    let record_name = fields.next().ok_or(malformed("missing record name"))?;
+    let nsig: usize = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or(malformed("missing signal count"))?;
+    let fs_hz: f64 = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or(malformed("missing sampling rate"))?;
+    let nsamp: usize = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or(malformed("missing sample count"))?;
+    if nsig == 0 {
+        return Err(malformed("zero signals"));
+    }
+
+    let sig = lines.next().ok_or(malformed("missing signal line"))?;
+    let mut sf = sig.split_whitespace();
+    let dat_name = sf.next().ok_or(malformed("missing dat filename"))?;
+    let format = sf.next().ok_or(malformed("missing format"))?;
+    if format != "212" {
+        return Err(malformed("unsupported format (only 212)"));
+    }
+    // Gain may carry a "(baseline)" suffix and/or "/mV" unit.
+    let gain_field = sf.next().unwrap_or("200");
+    let (gain_str, baseline_in_gain) = match gain_field.split_once('(') {
+        Some((g, rest)) => (g, rest.trim_end_matches(')').parse::<f64>().ok()),
+        None => (gain_field, None),
+    };
+    let gain: f64 = gain_str
+        .trim_end_matches("/mV")
+        .parse()
+        .ok()
+        .filter(|g| *g > 0.0)
+        .ok_or(malformed("bad gain"))?;
+    let bits: u32 = sf.next().and_then(|v| v.parse().ok()).unwrap_or(12);
+    let adc_zero: f64 = sf.next().and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    let baseline = baseline_in_gain.unwrap_or(adc_zero);
+
+    let dat_path = hea_path
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .join(dat_name);
+    let mut bytes = Vec::new();
+    fs::File::open(&dat_path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|_| malformed("dat file unreadable"))?;
+
+    // Multi-signal 212 interleaves signals sample by sample.
+    let total = nsamp * nsig;
+    let all = unpack_212(&bytes, total)?;
+    let samples_mv: Vec<f64> = all
+        .iter()
+        .step_by(nsig)
+        .map(|&v| (f64::from(v) - baseline) / gain)
+        .collect();
+
+    let id = record_name
+        .chars()
+        .filter(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0);
+    Ok(EcgRecord::new(
+        id,
+        fs_hz,
+        samples_mv,
+        AdcCalibration {
+            gain_adu_per_mv: gain,
+            baseline_adu: baseline,
+            bits,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Corpus, CorpusConfig};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hybridcs_fmt212_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let samples: Vec<i16> = vec![0, 1, -1, 2047, -2048, 1024, -777, 3];
+        let bytes = pack_212(&samples);
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(unpack_212(&bytes, 8).unwrap(), samples);
+    }
+
+    #[test]
+    fn odd_length_roundtrip() {
+        let samples: Vec<i16> = vec![5, -6, 7];
+        let bytes = pack_212(&samples);
+        assert_eq!(unpack_212(&bytes, 3).unwrap(), samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "12-bit range")]
+    fn pack_rejects_out_of_range() {
+        let _ = pack_212(&[3000]);
+    }
+
+    #[test]
+    fn unpack_rejects_truncation() {
+        assert!(unpack_212(&[0, 0], 2).is_err());
+    }
+
+    #[test]
+    fn record_file_roundtrip() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            records: 1,
+            duration_s: 3.0,
+            seed: 99,
+        });
+        let record = &corpus.records()[0];
+        let dir = temp_dir("roundtrip");
+        write_record(&dir, "100", record).unwrap();
+        let back = read_record(&dir.join("100.hea")).unwrap();
+        assert_eq!(back.id(), 100);
+        assert_eq!(back.fs_hz(), record.fs_hz());
+        assert_eq!(back.samples_mv().len(), record.samples_mv().len());
+        // mV values survive up to one adu of quantization.
+        let one_adu = 1.0 / record.calibration().gain_adu_per_mv;
+        for (a, b) in record.samples_mv().iter().zip(back.samples_mv()) {
+            assert!((a - b).abs() <= one_adu, "{a} vs {b}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reader_handles_mit_bih_style_header() {
+        // A header shaped like the real PhysioNet files (two signals).
+        let dir = temp_dir("mitbih");
+        fs::create_dir_all(&dir).unwrap();
+        let samples: Vec<i16> = (0..20).flat_map(|i| [1024 + i as i16, 900]).collect();
+        fs::write(dir.join("x.dat"), pack_212(&samples)).unwrap();
+        fs::write(
+            dir.join("x.hea"),
+            "x 2 360 20\nx.dat 212 200(1024) 11 1024 995 0 0 MLII\nx.dat 212 200 11 1024 1011 0 0 V1\n",
+        )
+        .unwrap();
+        let record = read_record(&dir.join("x.hea")).unwrap();
+        assert_eq!(record.samples_mv().len(), 20);
+        // First signal only: values 1024 + i at gain 200, baseline 1024.
+        assert!((record.samples_mv()[0] - 0.0).abs() < 1e-9);
+        assert!((record.samples_mv()[4] - 4.0 / 200.0).abs() < 1e-9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        let dir = temp_dir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("bad.hea"), "bad 1 360\n").unwrap();
+        assert!(read_record(&dir.join("bad.hea")).is_err());
+        fs::write(dir.join("fmt.hea"), "fmt 1 360 4\nfmt.dat 16 200 11 1024 0 0 0 ECG\n").unwrap();
+        assert!(read_record(&dir.join("fmt.hea")).is_err());
+        assert!(read_record(&dir.join("missing.hea")).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn written_header_parses_calibration() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            records: 1,
+            duration_s: 1.0,
+            seed: 5,
+        });
+        let dir = temp_dir("cal");
+        write_record(&dir, "r1", &corpus.records()[0]).unwrap();
+        let back = read_record(&dir.join("r1.hea")).unwrap();
+        assert_eq!(back.calibration().gain_adu_per_mv, 200.0);
+        assert_eq!(back.calibration().baseline_adu, 1024.0);
+        assert_eq!(back.calibration().bits, 11);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,274 @@
+//! Recording container, MIT-BIH-compatible ADC calibration, and windowing.
+
+use crate::EcgError;
+
+/// Calibration between physical millivolts and raw ADC units (adu), matching
+/// the MIT-BIH Arrhythmia Database conventions: 200 adu/mV gain, an 11-bit
+/// converter spanning 10 mV, and a mid-range baseline of 1024 adu.
+///
+/// # Example
+///
+/// ```
+/// let cal = hybridcs_ecg::AdcCalibration::mit_bih();
+/// let adu = cal.mv_to_adu(1.0);
+/// assert_eq!(adu, 1224.0);
+/// assert!((cal.adu_to_mv(adu) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcCalibration {
+    /// Gain in adu per millivolt.
+    pub gain_adu_per_mv: f64,
+    /// Baseline (0 mV) level in adu.
+    pub baseline_adu: f64,
+    /// Converter resolution in bits.
+    pub bits: u32,
+}
+
+impl AdcCalibration {
+    /// The MIT-BIH Arrhythmia Database calibration (200 adu/mV, 11-bit,
+    /// baseline 1024).
+    #[must_use]
+    pub fn mit_bih() -> Self {
+        AdcCalibration {
+            gain_adu_per_mv: 200.0,
+            baseline_adu: 1024.0,
+            bits: 11,
+        }
+    }
+
+    /// Full-scale range in adu (`2^bits`).
+    #[must_use]
+    pub fn full_scale_adu(&self) -> f64 {
+        (1u64 << self.bits) as f64
+    }
+
+    /// Converts millivolts to (unclamped, unrounded) adu.
+    #[must_use]
+    pub fn mv_to_adu(&self, mv: f64) -> f64 {
+        self.baseline_adu + mv * self.gain_adu_per_mv
+    }
+
+    /// Converts adu back to millivolts.
+    #[must_use]
+    pub fn adu_to_mv(&self, adu: f64) -> f64 {
+        (adu - self.baseline_adu) / self.gain_adu_per_mv
+    }
+
+    /// Digitizes a millivolt trace: gain, offset, rounding and clamping to
+    /// the converter range `[0, 2^bits − 1]`.
+    #[must_use]
+    pub fn digitize(&self, mv: &[f64]) -> Vec<u32> {
+        let max = self.full_scale_adu() - 1.0;
+        mv.iter()
+            .map(|&v| self.mv_to_adu(v).round().clamp(0.0, max) as u32)
+            .collect()
+    }
+}
+
+/// One synthetic recording: identifier, sampling rate, millivolt samples and
+/// the calibration used when the experiments need raw adu.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_ecg::{AdcCalibration, EcgRecord};
+///
+/// let record = EcgRecord::new(100, 360.0, vec![0.0; 1024], AdcCalibration::mit_bih());
+/// assert_eq!(record.windows(512).count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcgRecord {
+    id: u32,
+    fs_hz: f64,
+    samples_mv: Vec<f64>,
+    calibration: AdcCalibration,
+}
+
+impl EcgRecord {
+    /// Creates a record.
+    #[must_use]
+    pub fn new(id: u32, fs_hz: f64, samples_mv: Vec<f64>, calibration: AdcCalibration) -> Self {
+        EcgRecord {
+            id,
+            fs_hz,
+            samples_mv,
+            calibration,
+        }
+    }
+
+    /// Record identifier (MIT-BIH-style numbering starts at 100).
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Sampling rate in Hz.
+    #[must_use]
+    pub fn fs_hz(&self) -> f64 {
+        self.fs_hz
+    }
+
+    /// The millivolt samples.
+    #[must_use]
+    pub fn samples_mv(&self) -> &[f64] {
+        &self.samples_mv
+    }
+
+    /// The ADC calibration associated with this record.
+    #[must_use]
+    pub fn calibration(&self) -> AdcCalibration {
+        self.calibration
+    }
+
+    /// Duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.samples_mv.len() as f64 / self.fs_hz
+    }
+
+    /// Digitized (adu) version of the full record.
+    #[must_use]
+    pub fn samples_adu(&self) -> Vec<u32> {
+        self.calibration.digitize(&self.samples_mv)
+    }
+
+    /// Iterator over non-overlapping windows of `window` samples. A trailing
+    /// partial window is discarded (as in the paper's fixed-size processing
+    /// windows).
+    #[must_use]
+    pub fn windows(&self, window: usize) -> WindowIter<'_> {
+        WindowIter {
+            samples: &self.samples_mv,
+            window,
+            pos: 0,
+        }
+    }
+
+    /// Like [`EcgRecord::windows`] but fails loudly when the record is too
+    /// short for even one window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::BadWindow`] when `window == 0` or the record
+    /// holds fewer than `window` samples.
+    pub fn try_windows(&self, window: usize) -> Result<WindowIter<'_>, EcgError> {
+        if window == 0 || self.samples_mv.len() < window {
+            return Err(EcgError::BadWindow {
+                window,
+                record_len: self.samples_mv.len(),
+            });
+        }
+        Ok(self.windows(window))
+    }
+}
+
+/// Iterator over non-overlapping fixed-size windows of a record.
+#[derive(Debug, Clone)]
+pub struct WindowIter<'a> {
+    samples: &'a [f64],
+    window: usize,
+    pos: usize,
+}
+
+impl<'a> Iterator for WindowIter<'a> {
+    type Item = &'a [f64];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.window == 0 || self.pos + self.window > self.samples.len() {
+            return None;
+        }
+        let w = &self.samples[self.pos..self.pos + self.window];
+        self.pos += self.window;
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.window == 0 {
+            return (0, Some(0));
+        }
+        let remaining = (self.samples.len() - self.pos) / self.window;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for WindowIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_roundtrip() {
+        let cal = AdcCalibration::mit_bih();
+        for mv in [-5.0, -0.5, 0.0, 0.5, 5.0] {
+            assert!((cal.adu_to_mv(cal.mv_to_adu(mv)) - mv).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn digitize_clamps_to_range() {
+        let cal = AdcCalibration::mit_bih();
+        let adu = cal.digitize(&[-100.0, 0.0, 100.0]);
+        assert_eq!(adu[0], 0);
+        assert_eq!(adu[1], 1024);
+        assert_eq!(adu[2], 2047);
+    }
+
+    #[test]
+    fn digitize_rounds() {
+        let cal = AdcCalibration::mit_bih();
+        // 0.001 mV = 0.2 adu -> rounds to baseline.
+        assert_eq!(cal.digitize(&[0.001])[0], 1024);
+        // 0.003 mV = 0.6 adu -> rounds up.
+        assert_eq!(cal.digitize(&[0.003])[0], 1025);
+    }
+
+    #[test]
+    fn windows_are_disjoint_and_sized() {
+        let record = EcgRecord::new(
+            100,
+            360.0,
+            (0..1000).map(|i| i as f64).collect(),
+            AdcCalibration::mit_bih(),
+        );
+        let windows: Vec<&[f64]> = record.windows(256).collect();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0][0], 0.0);
+        assert_eq!(windows[1][0], 256.0);
+        assert_eq!(windows[2][0], 512.0);
+        assert!(windows.iter().all(|w| w.len() == 256));
+    }
+
+    #[test]
+    fn windows_exact_size_iterator() {
+        let record = EcgRecord::new(1, 360.0, vec![0.0; 1024], AdcCalibration::mit_bih());
+        let iter = record.windows(512);
+        assert_eq!(iter.len(), 2);
+    }
+
+    #[test]
+    fn try_windows_rejects_bad_requests() {
+        let record = EcgRecord::new(1, 360.0, vec![0.0; 100], AdcCalibration::mit_bih());
+        assert!(matches!(
+            record.try_windows(512),
+            Err(EcgError::BadWindow { .. })
+        ));
+        assert!(matches!(
+            record.try_windows(0),
+            Err(EcgError::BadWindow { .. })
+        ));
+        assert!(record.try_windows(100).is_ok());
+    }
+
+    #[test]
+    fn duration_is_consistent() {
+        let record = EcgRecord::new(1, 360.0, vec![0.0; 720], AdcCalibration::mit_bih());
+        assert!((record.duration_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_window_yields_nothing() {
+        let record = EcgRecord::new(1, 360.0, vec![0.0; 10], AdcCalibration::mit_bih());
+        assert_eq!(record.windows(0).count(), 0);
+    }
+}

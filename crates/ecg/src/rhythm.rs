@@ -1,0 +1,198 @@
+//! Beat-to-beat RR-interval process: mean heart rate, Gaussian HRV, and
+//! respiratory sinus arrhythmia (RSA) modulation.
+
+use crate::EcgError;
+use rand::Rng;
+
+/// RR-interval generator.
+///
+/// Produces a sequence `RR₁, RR₂, …` (seconds) with
+///
+/// ```text
+/// RRₖ = mean_rr · (1 + rsa_depth·sin(2π·rsa_freq·tₖ)) + N(0, sdnn)
+/// ```
+///
+/// clamped to a physiological floor of 0.25 s. `tₖ` is the cumulative time
+/// of the k-th beat, so RSA produces the familiar slow oscillation of heart
+/// rate with breathing.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_ecg::RhythmModel;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), hybridcs_ecg::EcgError> {
+/// let rhythm = RhythmModel::new(0.8, 0.04, 0.1, 0.25)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let rr = rhythm.intervals(&mut rng, 10.0);
+/// assert!(!rr.is_empty());
+/// assert!(rr.iter().all(|&r| r > 0.25));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RhythmModel {
+    mean_rr_s: f64,
+    sdnn_s: f64,
+    rsa_depth: f64,
+    rsa_freq_hz: f64,
+}
+
+impl RhythmModel {
+    /// Creates a rhythm model.
+    ///
+    /// * `mean_rr_s` — mean RR interval in seconds (0.3–2.0 s, i.e. 30–200 bpm).
+    /// * `sdnn_s` — standard deviation of the beat-to-beat Gaussian jitter.
+    /// * `rsa_depth` — relative depth of respiratory modulation (0–0.5).
+    /// * `rsa_freq_hz` — respiratory frequency (typically 0.15–0.4 Hz).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::BadParameter`] when any argument leaves its range.
+    pub fn new(
+        mean_rr_s: f64,
+        sdnn_s: f64,
+        rsa_depth: f64,
+        rsa_freq_hz: f64,
+    ) -> Result<Self, EcgError> {
+        if !(0.3..=2.0).contains(&mean_rr_s) {
+            return Err(EcgError::BadParameter {
+                name: "mean_rr_s",
+                value: mean_rr_s,
+            });
+        }
+        if !(0.0..=0.3).contains(&sdnn_s) {
+            return Err(EcgError::BadParameter {
+                name: "sdnn_s",
+                value: sdnn_s,
+            });
+        }
+        if !(0.0..=0.5).contains(&rsa_depth) {
+            return Err(EcgError::BadParameter {
+                name: "rsa_depth",
+                value: rsa_depth,
+            });
+        }
+        if !(0.0..=1.0).contains(&rsa_freq_hz) {
+            return Err(EcgError::BadParameter {
+                name: "rsa_freq_hz",
+                value: rsa_freq_hz,
+            });
+        }
+        Ok(RhythmModel {
+            mean_rr_s,
+            sdnn_s,
+            rsa_depth,
+            rsa_freq_hz,
+        })
+    }
+
+    /// Convenience constructor from a heart rate in beats per minute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::BadParameter`] for rates outside 30–200 bpm (via
+    /// the RR-interval range check).
+    pub fn from_heart_rate_bpm(
+        bpm: f64,
+        sdnn_s: f64,
+        rsa_depth: f64,
+        rsa_freq_hz: f64,
+    ) -> Result<Self, EcgError> {
+        RhythmModel::new(60.0 / bpm, sdnn_s, rsa_depth, rsa_freq_hz)
+    }
+
+    /// Mean RR interval in seconds.
+    #[must_use]
+    pub fn mean_rr_s(&self) -> f64 {
+        self.mean_rr_s
+    }
+
+    /// Generates RR intervals covering at least `duration_s` seconds.
+    ///
+    /// The sequence always covers the full duration: the sum of the returned
+    /// intervals is `>= duration_s`.
+    #[must_use]
+    pub fn intervals<R: Rng + ?Sized>(&self, rng: &mut R, duration_s: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity((duration_s / self.mean_rr_s) as usize + 2);
+        let mut t = 0.0;
+        while t < duration_s {
+            let rsa =
+                1.0 + self.rsa_depth * (2.0 * std::f64::consts::PI * self.rsa_freq_hz * t).sin();
+            let rr = (self.mean_rr_s * rsa + crate::rng::normal(rng, 0.0, self.sdnn_s)).max(0.25);
+            out.push(rr);
+            t += rr;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_rate_is_respected() {
+        let rhythm = RhythmModel::new(0.8, 0.03, 0.0, 0.25).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let rr = rhythm.intervals(&mut rng, 400.0);
+        let mean: f64 = rr.iter().sum::<f64>() / rr.len() as f64;
+        assert!((mean - 0.8).abs() < 0.02, "mean RR {mean}");
+    }
+
+    #[test]
+    fn covers_duration() {
+        let rhythm = RhythmModel::new(1.0, 0.05, 0.1, 0.2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let rr = rhythm.intervals(&mut rng, 30.0);
+        let total: f64 = rr.iter().sum();
+        assert!(total >= 30.0);
+    }
+
+    #[test]
+    fn rsa_modulates_rate() {
+        // With strong RSA and no jitter, intervals must oscillate.
+        let rhythm = RhythmModel::new(0.8, 0.0, 0.2, 0.25).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let rr = rhythm.intervals(&mut rng, 60.0);
+        let min = rr.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rr.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.2, "RSA swing {}", max - min);
+    }
+
+    #[test]
+    fn physiological_floor_enforced() {
+        let rhythm = RhythmModel::new(0.35, 0.3, 0.0, 0.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let rr = rhythm.intervals(&mut rng, 200.0);
+        assert!(rr.iter().all(|&r| r >= 0.25));
+    }
+
+    #[test]
+    fn from_heart_rate_converts() {
+        let rhythm = RhythmModel::from_heart_rate_bpm(75.0, 0.02, 0.1, 0.25).unwrap();
+        assert!((rhythm.mean_rr_s() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(RhythmModel::new(0.1, 0.02, 0.1, 0.25).is_err());
+        assert!(RhythmModel::new(0.8, -0.1, 0.1, 0.25).is_err());
+        assert!(RhythmModel::new(0.8, 0.02, 0.9, 0.25).is_err());
+        assert!(RhythmModel::new(0.8, 0.02, 0.1, 5.0).is_err());
+        assert!(RhythmModel::from_heart_rate_bpm(500.0, 0.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let rhythm = RhythmModel::new(0.8, 0.05, 0.1, 0.25).unwrap();
+        let run = |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            rhythm.intervals(&mut rng, 20.0)
+        };
+        assert_eq!(run(2), run(2));
+        assert_ne!(run(2), run(3));
+    }
+}

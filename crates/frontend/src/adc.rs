@@ -1,0 +1,268 @@
+use crate::{FrontEndError, Quantizer, QuantizerKind};
+use rand::{Rng, SeedableRng};
+
+/// A behavioural ADC: optional input-referred noise followed by uniform
+/// quantization.
+///
+/// Used for the low-resolution Nyquist path (where its noise floor is part
+/// of the power/quality trade-off) and, in mid-tread form, inside
+/// [`MeasurementQuantizer`] for the CS channel outputs.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_frontend::{AdcModel, QuantizerKind};
+///
+/// # fn main() -> Result<(), hybridcs_frontend::FrontEndError> {
+/// let adc = AdcModel::new(11, -5.12, 5.12, QuantizerKind::MidTread, 0.0)?;
+/// let codes = adc.convert(&[0.0, 1.0, -1.0], 0);
+/// let back = adc.reconstruct(&codes);
+/// assert!((back[1] - 1.0).abs() < adc.quantizer().step());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcModel {
+    quantizer: Quantizer,
+    noise_rms: f64,
+}
+
+impl AdcModel {
+    /// Creates an ADC with the given resolution, span, rounding convention
+    /// and input-referred noise (RMS, same units as the span).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontEndError::BadParameter`] on an invalid quantizer
+    /// configuration or negative noise level.
+    pub fn new(
+        bits: u32,
+        lo: f64,
+        hi: f64,
+        kind: QuantizerKind,
+        noise_rms: f64,
+    ) -> Result<Self, FrontEndError> {
+        if noise_rms < 0.0 || !noise_rms.is_finite() {
+            return Err(FrontEndError::BadParameter {
+                name: "noise_rms",
+                value: noise_rms,
+            });
+        }
+        Ok(AdcModel {
+            quantizer: Quantizer::new(bits, lo, hi, kind)?,
+            noise_rms,
+        })
+    }
+
+    /// The underlying quantizer.
+    #[must_use]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// Converts a sample block to codes; `seed` makes the noise draw
+    /// reproducible. With `noise_rms == 0` the conversion is deterministic
+    /// regardless of seed.
+    #[must_use]
+    pub fn convert(&self, x: &[f64], seed: u64) -> Vec<u32> {
+        if self.noise_rms == 0.0 {
+            return self.quantizer.quantize_all(x);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        x.iter()
+            .map(|&v| {
+                let noisy = v + self.noise_rms * standard_normal(&mut rng);
+                self.quantizer.quantize(noisy)
+            })
+            .collect()
+    }
+
+    /// Reconstructs analog values from codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is out of range for the configured resolution.
+    #[must_use]
+    pub fn reconstruct(&self, codes: &[u32]) -> Vec<f64> {
+        self.quantizer.dequantize_all(codes)
+    }
+}
+
+/// Digitizer for CS-channel measurements: a mid-tread quantizer over a
+/// symmetric span `[−full_scale, +full_scale]`, with the error-norm bound
+/// `σ` the convex decoder needs.
+///
+/// The paper transmits CS measurements at 12-bit resolution; the decoder's
+/// fidelity constraint `‖ΦΨα − y‖₂ ≤ σ` must then budget for exactly this
+/// quantization noise — [`MeasurementQuantizer::noise_sigma`] returns the
+/// RMS-model value `√m · d/√12`.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_frontend::MeasurementQuantizer;
+///
+/// # fn main() -> Result<(), hybridcs_frontend::FrontEndError> {
+/// let mq = MeasurementQuantizer::new(12, 2.5)?;
+/// let y = vec![0.31, -1.7, 2.49];
+/// let yq = mq.digitize(&y);
+/// for (a, b) in y.iter().zip(&yq) {
+///     assert!((a - b).abs() <= mq.step() / 2.0 + 1e-12);
+/// }
+/// assert!(mq.noise_sigma(3) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurementQuantizer {
+    quantizer: Quantizer,
+}
+
+impl MeasurementQuantizer {
+    /// Creates a `bits`-bit mid-tread digitizer over `[−full_scale, +full_scale]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontEndError::BadParameter`] for a non-positive full scale
+    /// or unsupported bit depth.
+    pub fn new(bits: u32, full_scale: f64) -> Result<Self, FrontEndError> {
+        if full_scale <= 0.0 || !full_scale.is_finite() {
+            return Err(FrontEndError::BadParameter {
+                name: "full_scale",
+                value: full_scale,
+            });
+        }
+        Ok(MeasurementQuantizer {
+            quantizer: Quantizer::new(bits, -full_scale, full_scale, QuantizerKind::MidTread)?,
+        })
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.quantizer.bits()
+    }
+
+    /// Quantization step.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        self.quantizer.step()
+    }
+
+    /// Digitize-and-reconstruct in one go (quantize to the mid-tread level).
+    /// Out-of-scale measurements saturate.
+    #[must_use]
+    pub fn digitize(&self, y: &[f64]) -> Vec<f64> {
+        y.iter()
+            .map(|&v| self.quantizer.dequantize(self.quantizer.quantize(v)))
+            .collect()
+    }
+
+    /// Raw codes for rate accounting / transmission.
+    #[must_use]
+    pub fn codes(&self, y: &[f64]) -> Vec<u32> {
+        self.quantizer.quantize_all(y)
+    }
+
+    /// ℓ₂-norm budget for the quantization error of `m` measurements under
+    /// the uniform noise model: `σ = √m · d / √12`.
+    #[must_use]
+    pub fn noise_sigma(&self, m: usize) -> f64 {
+        (m as f64).sqrt() * self.quantizer.noise_rms()
+    }
+
+    /// Payload size in bits for `m` measurements.
+    #[must_use]
+    pub fn payload_bits(&self, m: usize) -> usize {
+        m * self.bits() as usize
+    }
+}
+
+/// Box–Muller standard normal (kept local: this crate's only Gaussian user).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    use rand::RngExt;
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_adc_is_deterministic() {
+        let adc = AdcModel::new(8, -1.0, 1.0, QuantizerKind::Floor, 0.0).unwrap();
+        let x = [0.1, -0.5, 0.9];
+        assert_eq!(adc.convert(&x, 1), adc.convert(&x, 2));
+    }
+
+    #[test]
+    fn noisy_adc_is_seeded() {
+        let adc = AdcModel::new(8, -1.0, 1.0, QuantizerKind::Floor, 0.05).unwrap();
+        let x = vec![0.0; 256];
+        assert_eq!(adc.convert(&x, 7), adc.convert(&x, 7));
+        assert_ne!(adc.convert(&x, 7), adc.convert(&x, 8));
+    }
+
+    #[test]
+    fn noise_spreads_codes() {
+        let adc = AdcModel::new(10, -1.0, 1.0, QuantizerKind::MidTread, 0.05).unwrap();
+        let x = vec![0.0; 512];
+        let codes = adc.convert(&x, 3);
+        let distinct: std::collections::HashSet<u32> = codes.into_iter().collect();
+        assert!(distinct.len() > 3, "noise should dither codes");
+    }
+
+    #[test]
+    fn adc_rejects_negative_noise() {
+        assert!(AdcModel::new(8, -1.0, 1.0, QuantizerKind::Floor, -0.1).is_err());
+    }
+
+    #[test]
+    fn measurement_quantizer_bounds_error() {
+        let mq = MeasurementQuantizer::new(12, 2.5).unwrap();
+        let y: Vec<f64> = (0..100).map(|i| -2.4 + 0.048 * i as f64).collect();
+        let yq = mq.digitize(&y);
+        let err: f64 = y
+            .iter()
+            .zip(&yq)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err <= mq.noise_sigma(100) * 2.0, "err {err}");
+    }
+
+    #[test]
+    fn noise_sigma_scales_with_sqrt_m() {
+        let mq = MeasurementQuantizer::new(12, 1.0).unwrap();
+        let s1 = mq.noise_sigma(1);
+        let s100 = mq.noise_sigma(100);
+        assert!((s100 / s1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mq = MeasurementQuantizer::new(12, 1.0).unwrap();
+        assert_eq!(mq.payload_bits(96), 1152);
+    }
+
+    #[test]
+    fn measurement_quantizer_rejects_bad_scale() {
+        assert!(MeasurementQuantizer::new(12, 0.0).is_err());
+        assert!(MeasurementQuantizer::new(12, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn saturation_is_graceful() {
+        let mq = MeasurementQuantizer::new(8, 1.0).unwrap();
+        let yq = mq.digitize(&[10.0, -10.0]);
+        assert!(yq[0] <= 1.0 && yq[0] > 0.9);
+        assert!(yq[1] >= -1.0 && yq[1] < -0.9);
+    }
+}

@@ -1,0 +1,123 @@
+use rand::{RngExt, SeedableRng};
+
+/// A ±1 pseudo-random chipping sequence — the modulation waveform of one
+/// RMPI channel (the `p_c(t)` of Fig. 3 in the paper).
+///
+/// On silicon these are LFSR outputs; behaviourally a seeded Bernoulli
+/// sequence is equivalent, and seeding makes encoder and decoder agree on
+/// `Φ` without transmitting it.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_frontend::ChippingSequence;
+///
+/// let seq = ChippingSequence::bernoulli(512, 42);
+/// assert_eq!(seq.len(), 512);
+/// assert!(seq.chips().iter().all(|&c| c == 1.0 || c == -1.0));
+/// // The same seed regenerates the same sequence (decoder side).
+/// assert_eq!(seq, ChippingSequence::bernoulli(512, 42));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChippingSequence {
+    chips: Vec<f64>,
+}
+
+impl ChippingSequence {
+    /// Generates a fair ±1 Bernoulli sequence of length `len` from `seed`.
+    #[must_use]
+    pub fn bernoulli(len: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let chips = (0..len)
+            .map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        ChippingSequence { chips }
+    }
+
+    /// The chip values (±1).
+    #[must_use]
+    pub fn chips(&self) -> &[f64] {
+        &self.chips
+    }
+
+    /// Sequence length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// Demodulate-and-integrate: `Σₜ p(t)·x(t)`, the integrate-and-dump
+    /// output of one RMPI channel over a processing window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    #[must_use]
+    pub fn integrate(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.chips.len(), "chipping length mismatch");
+        self.chips.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            ChippingSequence::bernoulli(64, 1),
+            ChippingSequence::bernoulli(64, 1)
+        );
+        assert_ne!(
+            ChippingSequence::bernoulli(64, 1),
+            ChippingSequence::bernoulli(64, 2)
+        );
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let seq = ChippingSequence::bernoulli(10_000, 3);
+        let sum: f64 = seq.chips().iter().sum();
+        assert!(sum.abs() < 300.0, "imbalance {sum}");
+    }
+
+    #[test]
+    fn integrate_constant_signal_measures_imbalance() {
+        let seq = ChippingSequence::bernoulli(128, 9);
+        let ones = vec![1.0; 128];
+        let sum: f64 = seq.chips().iter().sum();
+        assert_eq!(seq.integrate(&ones), sum);
+    }
+
+    #[test]
+    fn integrate_is_linear() {
+        let seq = ChippingSequence::bernoulli(32, 5);
+        let x: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..32).map(|i| (i * i) as f64 * 0.01).collect();
+        let mixed: Vec<f64> = x.iter().zip(&y).map(|(a, b)| 2.0 * a + b).collect();
+        let lhs = seq.integrate(&mixed);
+        let rhs = 2.0 * seq.integrate(&x) + seq.integrate(&y);
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn integrate_rejects_mismatch() {
+        let seq = ChippingSequence::bernoulli(8, 0);
+        let _ = seq.integrate(&[1.0; 4]);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let seq = ChippingSequence::bernoulli(0, 0);
+        assert!(seq.is_empty());
+        assert_eq!(seq.integrate(&[]), 0.0);
+    }
+}

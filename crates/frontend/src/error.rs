@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the acquisition front-end models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FrontEndError {
+    /// A quantizer/ADC/RMPI parameter was outside its valid range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value supplied (cast to f64 for reporting).
+        value: f64,
+    },
+    /// A signal did not match the configured processing-window length.
+    WindowMismatch {
+        /// Window length the front end was built for.
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FrontEndError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontEndError::BadParameter { name, value } => {
+                write!(f, "parameter {name} out of range: {value}")
+            }
+            FrontEndError::WindowMismatch { expected, actual } => write!(
+                f,
+                "window length mismatch: front end configured for {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for FrontEndError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FrontEndError::WindowMismatch {
+            expected: 512,
+            actual: 100,
+        };
+        assert!(e.to_string().contains("512"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrontEndError>();
+    }
+}

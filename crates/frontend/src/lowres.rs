@@ -1,0 +1,250 @@
+use crate::{FrontEndError, Quantizer, QuantizerKind, MIT_BIH_SPAN_MV};
+
+/// The parallel ultra-low-power low-resolution acquisition path of Fig. 1.
+///
+/// A B-bit floor quantizer samples the same analog window as the CS channel
+/// at Nyquist rate. Its codes are cheap to acquire (a B-bit SAR at ECG rates
+/// costs nanowatts under the paper's Eq. 4) and, crucially, certify the cell
+/// bound `ẋ ≤ x < ẋ + d` that the hybrid decoder adds to Eq. (1).
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_frontend::LowResChannel;
+///
+/// # fn main() -> Result<(), hybridcs_frontend::FrontEndError> {
+/// let channel = LowResChannel::new(7)?;
+/// let x = vec![0.03, 0.51, -0.47, 1.23];
+/// let frame = channel.acquire(&x);
+/// let (lo, hi) = frame.bounds();
+/// for ((v, l), h) in x.iter().zip(&lo).zip(&hi) {
+///     assert!(*l <= *v && *v <= *h);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowResChannel {
+    quantizer: Quantizer,
+}
+
+impl LowResChannel {
+    /// Creates a `bits`-bit channel over the MIT-BIH ±5.12 mV span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontEndError::BadParameter`] for unsupported bit depths.
+    pub fn new(bits: u32) -> Result<Self, FrontEndError> {
+        LowResChannel::with_span(bits, MIT_BIH_SPAN_MV.0, MIT_BIH_SPAN_MV.1)
+    }
+
+    /// Creates a channel over a custom analog span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontEndError::BadParameter`] for an invalid quantizer
+    /// configuration.
+    pub fn with_span(bits: u32, lo: f64, hi: f64) -> Result<Self, FrontEndError> {
+        Ok(LowResChannel {
+            quantizer: Quantizer::new(bits, lo, hi, QuantizerKind::Floor)?,
+        })
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.quantizer.bits()
+    }
+
+    /// Quantization step `d` (the paper's "resolution depth step").
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        self.quantizer.step()
+    }
+
+    /// The underlying quantizer.
+    #[must_use]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// Acquires one processing window.
+    #[must_use]
+    pub fn acquire(&self, x: &[f64]) -> LowResFrame {
+        LowResFrame {
+            codes: self.quantizer.quantize_all(x),
+            quantizer: self.quantizer,
+        }
+    }
+}
+
+/// One acquired low-resolution window: the raw codes plus the quantizer that
+/// interprets them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowResFrame {
+    codes: Vec<u32>,
+    quantizer: Quantizer,
+}
+
+impl LowResFrame {
+    /// Reassembles a frame from codes previously produced by a channel with
+    /// the same configuration (the receive side, after entropy decoding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontEndError::BadParameter`] if any code exceeds the
+    /// quantizer's level count.
+    pub fn from_codes(codes: Vec<u32>, channel: &LowResChannel) -> Result<Self, FrontEndError> {
+        let levels = channel.quantizer.levels();
+        if let Some(&bad) = codes.iter().find(|&&c| c >= levels) {
+            return Err(FrontEndError::BadParameter {
+                name: "code",
+                value: bad as f64,
+            });
+        }
+        Ok(LowResFrame {
+            codes,
+            quantizer: channel.quantizer,
+        })
+    }
+
+    /// The raw quantizer codes.
+    #[must_use]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Window length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the frame is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The low-resolution reconstruction `ẋ` (cell lower edges).
+    #[must_use]
+    pub fn samples(&self) -> Vec<f64> {
+        self.quantizer.dequantize_all(&self.codes)
+    }
+
+    /// Per-sample box bounds `(lo, hi)` — the constraint vectors of Eq. (1).
+    ///
+    /// For every in-span input the *closed* cell `[lo, hi]` contains the
+    /// sample up to floating-point rounding at exact cell edges (a sample
+    /// landing precisely on an edge may be attributed to either neighbouring
+    /// cell). Decoders should therefore treat the box as closed.
+    #[must_use]
+    pub fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = Vec::with_capacity(self.codes.len());
+        let mut hi = Vec::with_capacity(self.codes.len());
+        for &c in &self.codes {
+            let (l, h) = self.quantizer.cell_bounds(c);
+            lo.push(l);
+            hi.push(h);
+        }
+        (lo, hi)
+    }
+
+    /// The quantization step of the acquiring channel.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        self.quantizer.step()
+    }
+
+    /// Raw (uncoded) payload size in bits: `len × bits`.
+    #[must_use]
+    pub fn raw_payload_bits(&self) -> usize {
+        self.codes.len() * self.quantizer.bits() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| -5.0 + 10.0 * i as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn bounds_contain_signal() {
+        let channel = LowResChannel::new(7).unwrap();
+        let x = ramp(500);
+        let frame = channel.acquire(&x);
+        let (lo, hi) = frame.bounds();
+        let eps = 1e-9;
+        for ((v, l), h) in x.iter().zip(&lo).zip(&hi) {
+            assert!(*l - eps <= *v && *v <= *h + eps, "v={v} not in [{l}, {h}]");
+        }
+    }
+
+    #[test]
+    fn bound_width_equals_step() {
+        let channel = LowResChannel::new(5).unwrap();
+        let frame = channel.acquire(&ramp(64));
+        let (lo, hi) = frame.bounds();
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!((h - l - channel.step()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_are_cell_lower_edges() {
+        let channel = LowResChannel::new(4).unwrap();
+        let frame = channel.acquire(&[0.3]);
+        let (lo, _) = frame.bounds();
+        assert_eq!(frame.samples(), lo);
+    }
+
+    #[test]
+    fn step_halves_per_extra_bit() {
+        let s7 = LowResChannel::new(7).unwrap().step();
+        let s8 = LowResChannel::new(8).unwrap().step();
+        assert!((s7 / s8 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_codes_roundtrip() {
+        let channel = LowResChannel::new(6).unwrap();
+        let frame = channel.acquire(&ramp(100));
+        let rebuilt = LowResFrame::from_codes(frame.codes().to_vec(), &channel).unwrap();
+        assert_eq!(frame, rebuilt);
+    }
+
+    #[test]
+    fn from_codes_rejects_overflow() {
+        let channel = LowResChannel::new(3).unwrap();
+        assert!(LowResFrame::from_codes(vec![8], &channel).is_err());
+        assert!(LowResFrame::from_codes(vec![7], &channel).is_ok());
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let channel = LowResChannel::new(7).unwrap();
+        let frame = channel.acquire(&ramp(512));
+        assert_eq!(frame.raw_payload_bits(), 512 * 7);
+    }
+
+    #[test]
+    fn out_of_span_saturates_but_still_bounds_in_span_samples() {
+        let channel = LowResChannel::new(7).unwrap();
+        let frame = channel.acquire(&[100.0, -100.0]);
+        let (lo, hi) = frame.bounds();
+        // Saturated cells are the extreme cells of the span.
+        assert!((hi[0] - MIT_BIH_SPAN_MV.1).abs() < 1e-9);
+        assert!((lo[1] - MIT_BIH_SPAN_MV.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_fine() {
+        let channel = LowResChannel::new(7).unwrap();
+        let frame = channel.acquire(&[]);
+        assert!(frame.is_empty());
+        assert_eq!(frame.bounds(), (vec![], vec![]));
+    }
+}

@@ -1,0 +1,265 @@
+use crate::FrontEndError;
+
+/// Rounding convention of a uniform quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantizerKind {
+    /// Truncating quantizer: code `k` covers `[lo + k·d, lo + (k+1)·d)`.
+    ///
+    /// The reconstruction level is the **lower edge** of the cell, so a
+    /// decoded sample `ẋ` certifies `ẋ ≤ x < ẋ + d` — exactly the bound the
+    /// hybrid decoder feeds into Eq. (1) of the paper.
+    #[default]
+    Floor,
+    /// Rounding quantizer: the reconstruction level is the cell midpoint,
+    /// certifying `|x − x̂| ≤ d/2`. Used for CS-measurement digitization,
+    /// where a symmetric error model is more natural.
+    MidTread,
+}
+
+/// A uniform scalar quantizer over a fixed analog span.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_frontend::{Quantizer, QuantizerKind};
+///
+/// # fn main() -> Result<(), hybridcs_frontend::FrontEndError> {
+/// let q = Quantizer::new(3, -4.0, 4.0, QuantizerKind::Floor)?;
+/// assert_eq!(q.levels(), 8);
+/// assert_eq!(q.step(), 1.0);
+/// let code = q.quantize(0.7);
+/// let (lo, hi) = q.cell_bounds(code);
+/// assert!(lo <= 0.7 && 0.7 < hi);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    bits: u32,
+    lo: f64,
+    hi: f64,
+    kind: QuantizerKind,
+}
+
+impl Quantizer {
+    /// Creates a `bits`-bit quantizer covering `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontEndError::BadParameter`] when `bits` is 0 or above 24,
+    /// or when the span is empty or non-finite.
+    pub fn new(bits: u32, lo: f64, hi: f64, kind: QuantizerKind) -> Result<Self, FrontEndError> {
+        if bits == 0 || bits > 24 {
+            return Err(FrontEndError::BadParameter {
+                name: "bits",
+                value: bits as f64,
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(FrontEndError::BadParameter {
+                name: "span (lo must be < hi, finite)",
+                value: hi - lo,
+            });
+        }
+        Ok(Quantizer { bits, lo, hi, kind })
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of quantization levels, `2^bits`.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Quantization step `d = (hi − lo) / 2^bits`.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        (self.hi - self.lo) / self.levels() as f64
+    }
+
+    /// Lower edge of the analog span.
+    #[must_use]
+    pub fn span_lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the analog span.
+    #[must_use]
+    pub fn span_hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The rounding convention.
+    #[must_use]
+    pub fn kind(&self) -> QuantizerKind {
+        self.kind
+    }
+
+    /// Quantizes one sample to a code in `[0, levels)`. Out-of-span inputs
+    /// saturate at the edge codes.
+    #[must_use]
+    pub fn quantize(&self, x: f64) -> u32 {
+        let max_code = self.levels() - 1;
+        let normalized = (x - self.lo) / self.step();
+        let code = match self.kind {
+            QuantizerKind::Floor => normalized.floor(),
+            QuantizerKind::MidTread => normalized.floor(), // cells are identical; levels differ
+        };
+        if code.is_nan() {
+            return 0;
+        }
+        code.clamp(0.0, max_code as f64) as u32
+    }
+
+    /// Reconstruction level for a code: the cell's lower edge for
+    /// [`QuantizerKind::Floor`], its midpoint for [`QuantizerKind::MidTread`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= levels()`.
+    #[must_use]
+    pub fn dequantize(&self, code: u32) -> f64 {
+        assert!(code < self.levels(), "code out of range");
+        let edge = self.lo + code as f64 * self.step();
+        match self.kind {
+            QuantizerKind::Floor => edge,
+            QuantizerKind::MidTread => edge + 0.5 * self.step(),
+        }
+    }
+
+    /// Analog cell `[lo_edge, hi_edge)` covered by a code. For in-span
+    /// inputs `x`, `quantize(x) == c` implies `cell_bounds(c).0 ≤ x <
+    /// cell_bounds(c).1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= levels()`.
+    #[must_use]
+    pub fn cell_bounds(&self, code: u32) -> (f64, f64) {
+        assert!(code < self.levels(), "code out of range");
+        let lo = self.lo + code as f64 * self.step();
+        (lo, lo + self.step())
+    }
+
+    /// Quantizes a slice.
+    #[must_use]
+    pub fn quantize_all(&self, x: &[f64]) -> Vec<u32> {
+        x.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Dequantizes a slice of codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is out of range.
+    #[must_use]
+    pub fn dequantize_all(&self, codes: &[u32]) -> Vec<f64> {
+        codes.iter().map(|&c| self.dequantize(c)).collect()
+    }
+
+    /// RMS of the quantization error for in-span inputs under the uniform
+    /// model: `d/√12`.
+    #[must_use]
+    pub fn noise_rms(&self) -> f64 {
+        self.step() / 12f64.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn floor_q(bits: u32) -> Quantizer {
+        Quantizer::new(bits, -4.0, 4.0, QuantizerKind::Floor).unwrap()
+    }
+
+    #[test]
+    fn step_and_levels() {
+        let q = floor_q(3);
+        assert_eq!(q.levels(), 8);
+        assert!((q.step() - 1.0).abs() < 1e-12);
+        assert!((q.noise_rms() - 1.0 / 12f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_certifies_lower_bound() {
+        let q = floor_q(7);
+        for i in 0..1000 {
+            let x = -4.0 + 8.0 * i as f64 / 1000.0;
+            let code = q.quantize(x);
+            let (lo, hi) = q.cell_bounds(code);
+            assert!(lo <= x && x < hi + 1e-12, "x={x} lo={lo} hi={hi}");
+            assert_eq!(q.dequantize(code), lo);
+        }
+    }
+
+    #[test]
+    fn mid_tread_error_is_half_step() {
+        let q = Quantizer::new(6, -1.0, 1.0, QuantizerKind::MidTread).unwrap();
+        for i in 0..500 {
+            let x = -1.0 + 2.0 * i as f64 / 500.0 * 0.999;
+            let xhat = q.dequantize(q.quantize(x));
+            assert!((x - xhat).abs() <= q.step() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn saturation_at_edges() {
+        let q = floor_q(4);
+        assert_eq!(q.quantize(-100.0), 0);
+        assert_eq!(q.quantize(100.0), q.levels() - 1);
+        assert_eq!(q.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn exact_span_edges() {
+        let q = floor_q(4);
+        assert_eq!(q.quantize(-4.0), 0);
+        // hi is exactly at the top edge; it saturates into the last cell.
+        assert_eq!(q.quantize(4.0), 15);
+    }
+
+    #[test]
+    fn quantize_all_roundtrip_within_step() {
+        let q = Quantizer::new(8, -5.12, 5.12, QuantizerKind::Floor).unwrap();
+        let x: Vec<f64> = (0..256).map(|i| -5.0 + 0.039 * i as f64).collect();
+        let codes = q.quantize_all(&x);
+        let xhat = q.dequantize_all(&codes);
+        for (a, b) in x.iter().zip(&xhat) {
+            assert!((a - b).abs() < q.step() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Quantizer::new(0, -1.0, 1.0, QuantizerKind::Floor).is_err());
+        assert!(Quantizer::new(30, -1.0, 1.0, QuantizerKind::Floor).is_err());
+        assert!(Quantizer::new(8, 1.0, -1.0, QuantizerKind::Floor).is_err());
+        assert!(Quantizer::new(8, 0.0, f64::INFINITY, QuantizerKind::Floor).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "code out of range")]
+    fn dequantize_rejects_bad_code() {
+        let _ = floor_q(3).dequantize(8);
+    }
+
+    #[test]
+    fn seven_bit_step_matches_paper_figure() {
+        // Paper Fig. 2(a): 7-bit steps over the MIT-BIH span look like ~16 adu.
+        let q = Quantizer::new(
+            7,
+            crate::MIT_BIH_SPAN_MV.0,
+            crate::MIT_BIH_SPAN_MV.1,
+            QuantizerKind::Floor,
+        )
+        .unwrap();
+        let step_adu = q.step() * 200.0; // 200 adu per mV
+        assert!((step_adu - 16.0).abs() < 1e-9, "step {step_adu} adu");
+    }
+}

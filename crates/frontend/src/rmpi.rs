@@ -1,0 +1,278 @@
+use crate::{FrontEndError, MeasurementQuantizer, SensingMatrix};
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Configuration of the [`Rmpi`] behavioural model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmpiConfig {
+    /// Number of parallel channels `m` (= measurements per window).
+    pub channels: usize,
+    /// Processing-window length `n` in Nyquist samples.
+    pub window: usize,
+    /// Seed for the chipping sequences; sharing it with the decoder is what
+    /// lets both sides agree on `Φ`.
+    pub seed: u64,
+    /// Input-referred amplifier noise, RMS in input units (mV). Zero gives
+    /// an ideal front end.
+    pub amplifier_noise_rms: f64,
+    /// Measurement digitizer resolution in bits (the paper uses 12).
+    pub measurement_bits: u32,
+    /// Digitizer full scale in measurement units. Measurements beyond it
+    /// saturate.
+    pub measurement_full_scale: f64,
+}
+
+impl Default for RmpiConfig {
+    fn default() -> Self {
+        RmpiConfig {
+            channels: 96,
+            window: 512,
+            seed: 0x51C5,
+            amplifier_noise_rms: 0.0,
+            measurement_bits: 12,
+            measurement_full_scale: 2.5,
+        }
+    }
+}
+
+/// Behavioural random-modulator pre-integrator (Fig. 3 of the paper).
+///
+/// Each of the `m` channels multiplies the analog window by its ±1 chipping
+/// sequence and integrates over the window (integrate-and-dump), which is
+/// algebraically `y = Φx` with `Φ` a `±1/√n` Bernoulli matrix. The model
+/// optionally injects input-referred amplifier noise before modulation and
+/// digitizes the integrator outputs at 12 bits.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_frontend::{Rmpi, RmpiConfig};
+///
+/// # fn main() -> Result<(), hybridcs_frontend::FrontEndError> {
+/// let rmpi = Rmpi::new(RmpiConfig { channels: 32, window: 256, ..RmpiConfig::default() })?;
+/// let x = vec![0.5; 256];
+/// let clean = rmpi.measure(&x);
+/// let digitized = rmpi.acquire(&x, 0)?;
+/// assert_eq!(clean.len(), 32);
+/// assert_eq!(digitized.len(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rmpi {
+    config: RmpiConfig,
+    sensing: SensingMatrix,
+    digitizer: MeasurementQuantizer,
+}
+
+impl Rmpi {
+    /// Builds the RMPI model and its sensing operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontEndError::BadParameter`] on degenerate shapes, a
+    /// negative noise level, or an invalid digitizer configuration.
+    pub fn new(config: RmpiConfig) -> Result<Self, FrontEndError> {
+        if config.amplifier_noise_rms < 0.0 || !config.amplifier_noise_rms.is_finite() {
+            return Err(FrontEndError::BadParameter {
+                name: "amplifier_noise_rms",
+                value: config.amplifier_noise_rms,
+            });
+        }
+        let sensing = SensingMatrix::bernoulli(config.channels, config.window, config.seed)?;
+        let digitizer =
+            MeasurementQuantizer::new(config.measurement_bits, config.measurement_full_scale)?;
+        Ok(Rmpi {
+            config,
+            sensing,
+            digitizer,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &RmpiConfig {
+        &self.config
+    }
+
+    /// The equivalent sensing operator `Φ` (what the decoder regenerates).
+    #[must_use]
+    pub fn sensing_matrix(&self) -> &SensingMatrix {
+        &self.sensing
+    }
+
+    /// The measurement digitizer.
+    #[must_use]
+    pub fn digitizer(&self) -> &MeasurementQuantizer {
+        &self.digitizer
+    }
+
+    /// Ideal (noiseless, undigitized) measurement `y = Φx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != config.window` (programming error inside a
+    /// pipeline; use [`Rmpi::acquire`] for the checked path).
+    #[must_use]
+    pub fn measure(&self, x: &[f64]) -> Vec<f64> {
+        self.sensing.apply(x)
+    }
+
+    /// Full acquisition: amplifier noise → modulation/integration →
+    /// 12-bit digitization. Deterministic in `(x, noise_seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontEndError::WindowMismatch`] if `x` has the wrong length.
+    pub fn acquire(&self, x: &[f64], noise_seed: u64) -> Result<Vec<f64>, FrontEndError> {
+        if x.len() != self.config.window {
+            return Err(FrontEndError::WindowMismatch {
+                expected: self.config.window,
+                actual: x.len(),
+            });
+        }
+        let y = if self.config.amplifier_noise_rms > 0.0 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(noise_seed);
+            let noisy: Vec<f64> = x
+                .iter()
+                .map(|&v| v + self.config.amplifier_noise_rms * standard_normal(&mut rng))
+                .collect();
+            self.sensing.apply(&noisy)
+        } else {
+            self.sensing.apply(x)
+        };
+        Ok(self.digitizer.digitize(&y))
+    }
+
+    /// ℓ₂ error budget `σ` for the decoder: quantization noise of the
+    /// digitizer plus (if configured) the expected amplifier-noise
+    /// contribution `‖Φe‖ ≈ √m·noise_rms`.
+    #[must_use]
+    pub fn noise_sigma(&self) -> f64 {
+        let m = self.config.channels;
+        let quant = self.digitizer.noise_sigma(m);
+        let amp = self.config.amplifier_noise_rms * (m as f64).sqrt();
+        (quant * quant + amp * amp).sqrt()
+    }
+
+    /// Transmitted payload size in bits for one window.
+    #[must_use]
+    pub fn payload_bits(&self) -> usize {
+        self.digitizer.payload_bits(self.config.channels)
+    }
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Rmpi {
+        Rmpi::new(RmpiConfig {
+            channels: 16,
+            window: 128,
+            seed: 3,
+            ..RmpiConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn measure_matches_sensing_matrix() {
+        let rmpi = small();
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.1).sin()).collect();
+        assert_eq!(rmpi.measure(&x), rmpi.sensing_matrix().apply(&x));
+    }
+
+    #[test]
+    fn acquire_checks_window() {
+        let rmpi = small();
+        assert!(matches!(
+            rmpi.acquire(&[0.0; 64], 0),
+            Err(FrontEndError::WindowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn digitization_error_within_sigma_budget() {
+        let rmpi = small();
+        let x: Vec<f64> = (0..128).map(|i| 0.8 * (i as f64 * 0.21).sin()).collect();
+        let clean = rmpi.measure(&x);
+        let acquired = rmpi.acquire(&x, 0).unwrap();
+        let err: f64 = clean
+            .iter()
+            .zip(&acquired)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        // 3x budget to cover the uniform-vs-RMS model slack.
+        assert!(err <= 3.0 * rmpi.noise_sigma(), "err {err}");
+    }
+
+    #[test]
+    fn amplifier_noise_is_seeded_and_additive() {
+        let rmpi = Rmpi::new(RmpiConfig {
+            channels: 16,
+            window: 128,
+            seed: 3,
+            amplifier_noise_rms: 0.05,
+            ..RmpiConfig::default()
+        })
+        .unwrap();
+        let x = vec![0.0; 128];
+        let a = rmpi.acquire(&x, 1).unwrap();
+        let b = rmpi.acquire(&x, 1).unwrap();
+        let c = rmpi.acquire(&x, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // With noise, measurements of a zero signal are not all zero.
+        assert!(a.iter().any(|v| v.abs() > 0.0));
+    }
+
+    #[test]
+    fn noise_sigma_combines_sources() {
+        let quiet = small();
+        let noisy = Rmpi::new(RmpiConfig {
+            channels: 16,
+            window: 128,
+            seed: 3,
+            amplifier_noise_rms: 0.05,
+            ..RmpiConfig::default()
+        })
+        .unwrap();
+        assert!(noisy.noise_sigma() > quiet.noise_sigma());
+    }
+
+    #[test]
+    fn payload_is_m_times_bits() {
+        let rmpi = small();
+        assert_eq!(rmpi.payload_bits(), 16 * 12);
+    }
+
+    #[test]
+    fn same_seed_same_matrix_across_instances() {
+        // Encoder and decoder construct Φ independently from (m, n, seed).
+        let a = small();
+        let b = small();
+        let x: Vec<f64> = (0..128).map(|i| i as f64 * 0.01).collect();
+        assert_eq!(a.measure(&x), b.measure(&x));
+    }
+
+    #[test]
+    fn rejects_negative_noise() {
+        assert!(Rmpi::new(RmpiConfig {
+            amplifier_noise_rms: -1.0,
+            ..RmpiConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,199 @@
+use crate::vector;
+use crate::LinalgError;
+
+/// Options for [`conjugate_gradient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Relative residual tolerance: stop when `‖r‖₂ ≤ tol · ‖b‖₂`.
+    pub tolerance: f64,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            max_iterations: 1000,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Convergence report returned alongside the CG solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOutcome {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − Ax‖₂`.
+    pub residual_norm: f64,
+}
+
+/// Conjugate-gradient solve of `Ax = b` for a symmetric positive-definite
+/// operator given as a closure (matrix-free).
+///
+/// The operator form matters: the ADMM decoder solves systems in
+/// `(ΦᵀΦ + ρI)` where `Φ` is only available as forward/adjoint routines.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `x0.len() != b.len()`.
+/// * [`LinalgError::NotConverged`] if the residual tolerance is not met
+///   within `options.max_iterations` (the best iterate so far is discarded;
+///   callers that can tolerate inexact solves should loosen the tolerance
+///   instead of ignoring the error).
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_linalg::{conjugate_gradient, CgOptions};
+///
+/// # fn main() -> Result<(), hybridcs_linalg::LinalgError> {
+/// // A = diag(2, 4): apply is element-wise scaling.
+/// let apply = |x: &[f64], out: &mut [f64]| {
+///     out[0] = 2.0 * x[0];
+///     out[1] = 4.0 * x[1];
+/// };
+/// let (x, outcome) = conjugate_gradient(apply, &[2.0, 8.0], &[0.0, 0.0], CgOptions::default())?;
+/// assert!((x[0] - 1.0).abs() < 1e-8 && (x[1] - 2.0).abs() < 1e-8);
+/// assert!(outcome.iterations <= 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conjugate_gradient(
+    mut apply: impl FnMut(&[f64], &mut [f64]),
+    b: &[f64],
+    x0: &[f64],
+    options: CgOptions,
+) -> Result<(Vec<f64>, CgOutcome), LinalgError> {
+    let n = b.len();
+    if x0.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "conjugate_gradient",
+            expected: n,
+            actual: x0.len(),
+        });
+    }
+    let b_norm = vector::norm2(b);
+    let threshold = options.tolerance * b_norm.max(f64::MIN_POSITIVE);
+
+    let mut x = x0.to_vec();
+    let mut ax = vec![0.0; n];
+    apply(&x, &mut ax);
+    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+    let mut p = r.clone();
+    let mut rs_old = vector::norm2_sq(&r);
+    let mut ap = vec![0.0; n];
+
+    if rs_old.sqrt() <= threshold {
+        return Ok((
+            x,
+            CgOutcome {
+                iterations: 0,
+                residual_norm: rs_old.sqrt(),
+            },
+        ));
+    }
+
+    for iter in 1..=options.max_iterations {
+        apply(&p, &mut ap);
+        let pap = vector::dot(&p, &ap);
+        if pap <= 0.0 {
+            // Operator is not positive definite along p; surface as
+            // non-convergence with the current residual.
+            return Err(LinalgError::NotConverged {
+                method: "conjugate_gradient (non-SPD direction)",
+                iterations: iter,
+                residual: rs_old.sqrt(),
+            });
+        }
+        let alpha = rs_old / pap;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &ap, &mut r);
+        let rs_new = vector::norm2_sq(&r);
+        if rs_new.sqrt() <= threshold {
+            return Ok((
+                x,
+                CgOutcome {
+                    iterations: iter,
+                    residual_norm: rs_new.sqrt(),
+                },
+            ));
+        }
+        let beta = rs_new / rs_old;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs_old = rs_new;
+    }
+
+    Err(LinalgError::NotConverged {
+        method: "conjugate_gradient",
+        iterations: options.max_iterations,
+        residual: rs_old.sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn solves_spd_system() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
+        let x_true = [1.0, 2.0, -1.0];
+        let b = a.matvec(&x_true);
+        let apply = |x: &[f64], out: &mut [f64]| out.copy_from_slice(&a.matvec(x));
+        let (x, outcome) = conjugate_gradient(apply, &b, &[0.0; 3], CgOptions::default()).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+        assert!(outcome.iterations <= 3, "CG should finish in <= n steps");
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_immediately() {
+        let apply = |x: &[f64], out: &mut [f64]| out.copy_from_slice(x);
+        let (x, outcome) =
+            conjugate_gradient(apply, &[0.0, 0.0], &[0.0, 0.0], CgOptions::default()).unwrap();
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(outcome.iterations, 0);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let a = Matrix::from_rows(&[&[5.0, 1.0], &[1.0, 4.0]]).unwrap();
+        let x_true = [2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let apply = |x: &[f64], out: &mut [f64]| out.copy_from_slice(&a.matvec(x));
+        let (_, cold) = conjugate_gradient(apply, &b, &[0.0; 2], CgOptions::default()).unwrap();
+        let apply2 = |x: &[f64], out: &mut [f64]| out.copy_from_slice(&a.matvec(x));
+        let near = [1.999_999, 3.000_001];
+        let (_, warm) = conjugate_gradient(apply2, &b, &near, CgOptions::default()).unwrap();
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // Badly conditioned diagonal system with a tiny budget.
+        let apply = |x: &[f64], out: &mut [f64]| {
+            for (i, (o, xi)) in out.iter_mut().zip(x).enumerate() {
+                *o = (1.0 + 1e6 * i as f64) * xi;
+            }
+        };
+        let b = vec![1.0; 50];
+        let opts = CgOptions {
+            max_iterations: 2,
+            tolerance: 1e-14,
+        };
+        let err = conjugate_gradient(apply, &b, &vec![0.0; 50], opts).unwrap_err();
+        assert!(matches!(err, LinalgError::NotConverged { .. }));
+    }
+
+    #[test]
+    fn mismatched_warm_start_rejected() {
+        let apply = |x: &[f64], out: &mut [f64]| out.copy_from_slice(x);
+        let err = conjugate_gradient(apply, &[1.0, 2.0], &[0.0], CgOptions::default()).unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+    }
+}

@@ -1,0 +1,181 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorization `A = LLᵀ` of a symmetric positive-definite matrix.
+///
+/// The factorization is computed once and can then solve any number of
+/// right-hand sides — exactly the access pattern of the greedy sparse
+/// solvers, which refit `min ‖y − A_S x‖₂` over a growing support `S`.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), hybridcs_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::factor(&a)?;
+/// let x = chol.solve(&[8.0, 7.0]);
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored dense.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, so slight asymmetry from
+    /// floating-point accumulation is harmless.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is not strictly
+    ///   positive (the matrix is indefinite or numerically singular).
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "cholesky",
+                expected: n,
+                actual: a.ncols(),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a.get(j, j);
+            for k in 0..j {
+                let v = l.get(j, k);
+                diag -= v * v;
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = diag.sqrt();
+            l.set(j, j, dj);
+            for i in (j + 1)..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / dj);
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solves `Ax = b` using the stored factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "cholesky solve: length mismatch");
+        // Forward substitution: L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l.get(i, k) * z[k];
+            }
+            z[i] = s / self.l.get(i, i);
+        }
+        // Back substitution: Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = z[i];
+            for k in (i + 1)..n {
+                s -= self.l.get(k, i) * x[k];
+            }
+            x[i] = s / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Log-determinant of the factored matrix, `log det A = 2 Σ log L_ii`.
+    #[must_use]
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    #[must_use]
+    pub fn factor_l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_and_solve_roundtrip() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
+        let chol = Cholesky::factor(&a).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = chol.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reconstructs_matrix_from_factor() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let chol = Cholesky::factor(&a).unwrap();
+        let l = chol.factor_l();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((llt.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 1.0, 0.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let chol = Cholesky::factor(&Matrix::identity(5)).unwrap();
+        assert!(chol.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_known_value() {
+        // det(diag(4, 9)) = 36.
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]).unwrap();
+        let chol = Cholesky::factor(&a).unwrap();
+        assert!((chol.log_det() - 36.0_f64.ln()).abs() < 1e-12);
+    }
+}

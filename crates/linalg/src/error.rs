@@ -1,0 +1,123 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger; dimensions are reported in row-major `(rows, cols)` order.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable name of the failing operation (e.g. `"matvec"`).
+        operation: &'static str,
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A matrix constructor received rows of unequal length.
+    RaggedRows {
+        /// Length of the first row, taken as the reference width.
+        first: usize,
+        /// Index of the first offending row.
+        row: usize,
+        /// Length of the offending row.
+        len: usize,
+    },
+    /// An empty matrix or vector was supplied where data is required.
+    Empty,
+    /// Cholesky factorization failed: the matrix is not positive definite
+    /// (or is numerically singular). The index is the failing pivot.
+    NotPositiveDefinite {
+        /// Pivot index at which a non-positive diagonal appeared.
+        pivot: usize,
+    },
+    /// A QR-based solve encountered a (numerically) rank-deficient matrix.
+    RankDeficient {
+        /// Column index of the vanishing diagonal entry of `R`.
+        column: usize,
+    },
+    /// An iterative method exhausted its iteration budget before meeting
+    /// its tolerance.
+    NotConverged {
+        /// Name of the iterative method.
+        method: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm (or other method-specific measure) at exit.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                operation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: expected {expected}, got {actual}"
+            ),
+            LinalgError::RaggedRows { first, row, len } => write!(
+                f,
+                "ragged rows: row 0 has length {first} but row {row} has length {len}"
+            ),
+            LinalgError::Empty => write!(f, "empty matrix or vector"),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite at pivot {pivot}")
+            }
+            LinalgError::RankDeficient { column } => {
+                write!(f, "matrix is rank deficient at column {column}")
+            }
+            LinalgError::NotConverged {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{method} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let err = LinalgError::DimensionMismatch {
+            operation: "matvec",
+            expected: 4,
+            actual: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matvec"));
+        assert!(msg.contains('4'));
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn not_converged_reports_residual() {
+        let err = LinalgError::NotConverged {
+            method: "cg",
+            iterations: 100,
+            residual: 0.5,
+        };
+        assert!(err.to_string().contains("cg"));
+        assert!(err.to_string().contains("100"));
+    }
+}

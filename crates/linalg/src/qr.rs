@@ -1,0 +1,255 @@
+use crate::{LinalgError, Matrix};
+
+/// Householder QR factorization `A = QR` of a tall (or square) matrix.
+///
+/// Stored in compact form: the Householder vectors live below the diagonal
+/// of the packed matrix and `R` on and above it. The factorization supports
+/// least-squares solves `min ‖Ax − b‖₂`, which is how the greedy sparse
+/// solvers refit their active sets when the Gram system is too
+/// ill-conditioned for [`Cholesky`](crate::Cholesky).
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_linalg::{Matrix, QrFactorization};
+///
+/// # fn main() -> Result<(), hybridcs_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]])?;
+/// let qr = QrFactorization::factor(&a)?;
+/// let x = qr.solve_least_squares(&[3.0, 4.0, 5.0])?;
+/// assert!((x[0] - 3.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    /// Packed factorization: Householder vectors below the diagonal,
+    /// `R` on/above it.
+    packed: Matrix,
+    /// Scalar `β` coefficients of the Householder reflectors.
+    betas: Vec<f64>,
+}
+
+impl QrFactorization {
+    /// Factors `a` (must have `nrows >= ncols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the matrix is wider
+    /// than it is tall (the least-squares use case requires `m ≥ n`).
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "qr (requires rows >= cols)",
+                expected: n,
+                actual: m,
+            });
+        }
+        let mut packed = a.clone();
+        let mut betas = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                let v = packed.get(i, k);
+                norm_sq += v * v;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let akk = packed.get(k, k);
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            let v0 = akk - alpha;
+            // v = [v0, a(k+1..m, k)]; beta = 2 / vᵀv.
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                let v = packed.get(i, k);
+                vtv += v * v;
+            }
+            let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+            betas[k] = beta;
+            packed.set(k, k, alpha);
+            // Store the normalized reflector tail; the head v0 is implicit
+            // (we fold it into `beta` by storing v scaled so head = 1).
+            if v0 != 0.0 {
+                for i in (k + 1)..m {
+                    let v = packed.get(i, k) / v0;
+                    packed.set(i, k, v);
+                }
+                betas[k] = beta * v0 * v0;
+            }
+            // Apply the reflector to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = packed.get(k, j);
+                for i in (k + 1)..m {
+                    s += packed.get(i, k) * packed.get(i, j);
+                }
+                s *= betas[k];
+                let new_kj = packed.get(k, j) - s;
+                packed.set(k, j, new_kj);
+                for i in (k + 1)..m {
+                    let v = packed.get(i, j) - s * packed.get(i, k);
+                    packed.set(i, j, v);
+                }
+            }
+        }
+        Ok(QrFactorization { packed, betas })
+    }
+
+    /// Shape `(m, n)` of the factored matrix.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        self.packed.shape()
+    }
+
+    /// Applies `Qᵀ` to a vector in place.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = self.packed.shape();
+        for k in 0..n {
+            if self.betas[k] == 0.0 {
+                continue;
+            }
+            let mut s = b[k];
+            for i in (k + 1)..m {
+                s += self.packed.get(i, k) * b[i];
+            }
+            s *= self.betas[k];
+            b[k] -= s;
+            for i in (k + 1)..m {
+                b[i] -= s * self.packed.get(i, k);
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min_x ‖Ax − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != m`.
+    /// * [`LinalgError::RankDeficient`] if a diagonal entry of `R` is
+    ///   (numerically) zero.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = self.packed.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "qr solve",
+                expected: m,
+                actual: b.len(),
+            });
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb);
+        // Back-substitute R x = (Qᵀb)[0..n].
+        let mut x = vec![0.0; n];
+        let scale = self.packed.max_abs().max(1.0);
+        for i in (0..n).rev() {
+            let rii = self.packed.get(i, i);
+            if rii.abs() <= f64::EPSILON * scale * (m as f64) {
+                return Err(LinalgError::RankDeficient { column: i });
+            }
+            let mut s = qtb[i];
+            for j in (i + 1)..n {
+                s -= self.packed.get(i, j) * x[j];
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+
+    /// Residual norm `‖Ax − b‖₂` available for free from the factorization:
+    /// the norm of the trailing `m − n` entries of `Qᵀb`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != m`.
+    pub fn residual_norm(&self, b: &[f64]) -> Result<f64, LinalgError> {
+        let (m, n) = self.packed.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "qr residual",
+                expected: m,
+                actual: b.len(),
+            });
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb);
+        Ok(crate::vector::norm2(&qtb[n..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let qr = QrFactorization::factor(&a).unwrap();
+        let x_true = [1.0, -1.0];
+        let b = a.matvec(&x_true);
+        let x = qr.solve_least_squares(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]).unwrap();
+        let b = [6.0, 5.0, 7.0, 10.0];
+        let qr = QrFactorization::factor(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        // Known closed-form fit: intercept 3.5, slope 1.4.
+        assert!((x[0] - 3.5).abs() < 1e-10);
+        assert!((x[1] - 1.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_norm_matches_direct_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = [1.0, 2.0, 0.0];
+        let qr = QrFactorization::factor(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        let r = crate::vector::sub(&a.matvec(&x), &b);
+        let direct = crate::vector::norm2(&r);
+        let fast = qr.residual_norm(&b).unwrap();
+        assert!((direct - fast).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_wide_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        assert!(matches!(
+            QrFactorization::factor(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let qr = QrFactorization::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn handles_zero_column_start() {
+        // First column starts with zero; exercises the sign handling in the
+        // reflector construction.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[3.0, 0.0], &[4.0, 0.0]]).unwrap();
+        let qr = QrFactorization::factor(&a).unwrap();
+        let x_true = [2.0, -1.0];
+        let b = a.matvec(&x_true);
+        let x = qr.solve_least_squares(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! BLAS-1 style kernels over `&[f64]` slices.
+//!
+//! These free functions are the hot inner loops of every solver in the
+//! workspace. They panic on length mismatches (the mismatch is always a
+//! programming error inside a solver, never a data-dependent condition), and
+//! the panics are documented per function.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+///
+/// # Example
+///
+/// ```
+/// let d = hybridcs_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]);
+/// assert_eq!(d, 11.0);
+/// ```
+#[must_use]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+///
+/// Computed via a scaled sum of squares so that vectors with large dynamic
+/// range do not overflow prematurely.
+#[must_use]
+pub fn norm2(x: &[f64]) -> f64 {
+    let max = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return if max.is_nan() { f64::NAN } else { max };
+    }
+    let sum: f64 = x.iter().map(|v| (v / max) * (v / max)).sum();
+    max * sum.sqrt()
+}
+
+/// Manhattan norm `‖x‖₁`.
+#[must_use]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Chebyshev norm `‖x‖∞`.
+#[must_use]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Squared Euclidean norm `‖x‖₂²` (no scaling; used in inner loops where the
+/// values are already normalized).
+#[must_use]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// In-place `y ← α·x + y`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x ← α·x`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise difference `x − y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Element-wise sum `x + y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Euclidean distance `‖x − y‖₂`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist2: length mismatch");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// Element-wise clamp of `x` into `[lo[i], hi[i]]`, in place.
+///
+/// This is the projection onto a box and is used directly by the hybrid
+/// decoder's bound constraint.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length, or if any `lo[i] > hi[i]`.
+pub fn clamp_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    assert_eq!(x.len(), lo.len(), "clamp_box: lo length mismatch");
+    assert_eq!(x.len(), hi.len(), "clamp_box: hi length mismatch");
+    for ((v, &l), &h) in x.iter_mut().zip(lo).zip(hi) {
+        assert!(l <= h, "clamp_box: empty interval [{l}, {h}]");
+        *v = v.clamp(l, h);
+    }
+}
+
+/// Mean of the entries; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Index and value of the entry with the largest absolute value.
+///
+/// Returns `None` for an empty slice. Ties resolve to the lowest index,
+/// which keeps greedy solvers (OMP/CoSaMP) deterministic.
+#[must_use]
+pub fn argmax_abs(x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        let a = v.abs();
+        match best {
+            Some((_, b)) if a <= b => {}
+            _ => best = Some((i, a)),
+        }
+    }
+    best
+}
+
+/// Indices of the `k` entries with the largest absolute values, unordered.
+///
+/// Used by CoSaMP/IHT support identification. If `k >= x.len()` every index
+/// is returned. Ties resolve toward lower indices (via a stable sort on
+/// `(-|x|, index)`), keeping the solvers deterministic.
+#[must_use]
+pub fn top_k_abs_indices(x: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    if k >= x.len() {
+        return idx;
+    }
+    idx.sort_by(|&a, &b| {
+        x[b].abs()
+            .partial_cmp(&x[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm2_matches_naive() {
+        let x = [3.0, 4.0];
+        assert!((norm2(&x) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm2_handles_extreme_scale() {
+        let big = 1e200;
+        let x = [big, big];
+        let n = norm2(&x);
+        assert!(n.is_finite());
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn norm2_zero_and_empty() {
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norms_agree_on_simple_input() {
+        let x = [1.0, -2.0, 2.0];
+        assert_eq!(norm1(&x), 5.0);
+        assert_eq!(norm_inf(&x), 2.0);
+        assert!((norm2(&x) - 3.0).abs() < 1e-12);
+        assert!((norm2_sq(&x) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn add_sub_dist_roundtrip() {
+        let x = [1.0, 5.0];
+        let y = [4.0, 1.0];
+        assert_eq!(sub(&x, &y), vec![-3.0, 4.0]);
+        assert_eq!(add(&x, &y), vec![5.0, 6.0]);
+        assert!((dist2(&x, &y) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_box_projects() {
+        let mut x = [-1.0, 0.5, 3.0];
+        clamp_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, [0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn clamp_box_rejects_inverted_bounds() {
+        let mut x = [0.0];
+        clamp_box(&mut x, &[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn argmax_abs_picks_largest_magnitude() {
+        assert_eq!(argmax_abs(&[1.0, -5.0, 3.0]), Some((1, 5.0)));
+        assert_eq!(argmax_abs(&[]), None);
+    }
+
+    #[test]
+    fn argmax_abs_ties_resolve_low_index() {
+        assert_eq!(argmax_abs(&[2.0, -2.0]), Some((0, 2.0)));
+    }
+
+    #[test]
+    fn top_k_selects_largest() {
+        let x = [0.1, -9.0, 3.0, 0.0, 5.0];
+        let mut got = top_k_abs_indices(&x, 2);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 4]);
+    }
+
+    #[test]
+    fn top_k_saturates_at_len() {
+        let x = [1.0, 2.0];
+        assert_eq!(top_k_abs_indices(&x, 10).len(), 2);
+    }
+}

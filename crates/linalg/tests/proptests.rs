@@ -1,0 +1,151 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use hybridcs_linalg::{
+    conjugate_gradient, operator_norm_est, vector, CgOptions, Cholesky, Matrix,
+    PowerIterationOptions, QrFactorization,
+};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+fn finite_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1e2..1e2f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized correctly"))
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(x in finite_vec(16), y in finite_vec(16)) {
+        let a = vector::dot(&x, &y);
+        let b = vector::dot(&y, &x);
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn cauchy_schwarz(x in finite_vec(12), y in finite_vec(12)) {
+        let lhs = vector::dot(&x, &y).abs();
+        let rhs = vector::norm2(&x) * vector::norm2(&y);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(x in finite_vec(12), y in finite_vec(12)) {
+        let sum = vector::add(&x, &y);
+        prop_assert!(vector::norm2(&sum) <= vector::norm2(&x) + vector::norm2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn norm_ordering(x in finite_vec(10)) {
+        // ‖x‖∞ ≤ ‖x‖₂ ≤ ‖x‖₁ for every vector.
+        let inf = vector::norm_inf(&x);
+        let two = vector::norm2(&x);
+        let one = vector::norm1(&x);
+        prop_assert!(inf <= two * (1.0 + 1e-12) + 1e-12);
+        prop_assert!(two <= one * (1.0 + 1e-12) + 1e-12);
+    }
+
+    #[test]
+    fn clamp_box_is_idempotent(x in finite_vec(8)) {
+        let lo = vec![-10.0; 8];
+        let hi = vec![10.0; 8];
+        let mut once = x.clone();
+        vector::clamp_box(&mut once, &lo, &hi);
+        let mut twice = once.clone();
+        vector::clamp_box(&mut twice, &lo, &hi);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn matvec_is_linear(m in finite_matrix(5, 7), x in finite_vec(7), y in finite_vec(7), a in -5.0..5.0f64) {
+        // A(ax + y) == a·Ax + Ay
+        let axy: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
+        let lhs = m.matvec(&axy);
+        let mut rhs = m.matvec(&y);
+        vector::axpy(a, &m.matvec(&x), &mut rhs);
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() <= 1e-6 * l.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn adjoint_identity(m in finite_matrix(6, 4), x in finite_vec(4), y in finite_vec(6)) {
+        // ⟨Ax, y⟩ == ⟨x, Aᵀy⟩
+        let lhs = vector::dot(&m.matvec(&x), &y);
+        let rhs = vector::dot(&x, &m.matvec_transpose(&y));
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn transpose_involution(m in finite_matrix(4, 6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(m in finite_matrix(5, 5), x_true in finite_vec(5)) {
+        // Build an SPD matrix A = MᵀM + I.
+        let mut a = m.gram();
+        for i in 0..5 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let b = a.matvec(&x_true);
+        let chol = Cholesky::factor(&a).expect("SPD by construction");
+        let x = chol.solve(&b);
+        let r = vector::sub(&a.matvec(&x), &b);
+        prop_assert!(vector::norm2(&r) <= 1e-6 * vector::norm2(&b).max(1.0));
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal(m in finite_matrix(8, 3), b in finite_vec(8)) {
+        // For the LS minimizer, Aᵀ(Ax − b) == 0.
+        let qr = match QrFactorization::factor(&m) {
+            Ok(qr) => qr,
+            Err(_) => return Ok(()),
+        };
+        let x = match qr.solve_least_squares(&b) {
+            Ok(x) => x,
+            Err(_) => return Ok(()), // rank-deficient random draw
+        };
+        let r = vector::sub(&m.matvec(&x), &b);
+        let g = m.matvec_transpose(&r);
+        let scale = m.frobenius_norm() * vector::norm2(&b) + 1.0;
+        prop_assert!(vector::norm2(&g) <= 1e-7 * scale);
+    }
+
+    #[test]
+    fn cg_agrees_with_cholesky(m in finite_matrix(6, 6), x_true in finite_vec(6)) {
+        let mut a = m.gram();
+        for i in 0..6 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let b = a.matvec(&x_true);
+        let chol = Cholesky::factor(&a).expect("SPD");
+        let x_direct = chol.solve(&b);
+        let apply = |v: &[f64], out: &mut [f64]| out.copy_from_slice(&a.matvec(v));
+        let (x_cg, _) = conjugate_gradient(
+            apply,
+            &b,
+            &[0.0; 6],
+            CgOptions { max_iterations: 200, tolerance: 1e-12 },
+        )
+        .expect("SPD system converges");
+        let d = vector::dist2(&x_cg, &x_direct);
+        prop_assert!(d <= 1e-5 * vector::norm2(&x_direct).max(1.0));
+    }
+
+    #[test]
+    fn operator_norm_bounds_matvec_amplification(m in finite_matrix(5, 5), x in finite_vec(5)) {
+        prop_assume!(vector::norm2(&x) > 1e-6);
+        let (norm, _) = operator_norm_est(
+            5,
+            5,
+            |v, out| out.copy_from_slice(&m.matvec(v)),
+            |v, out| out.copy_from_slice(&m.matvec_transpose(v)),
+            PowerIterationOptions::default(),
+        );
+        let amplification = vector::norm2(&m.matvec(&x)) / vector::norm2(&x);
+        // The estimate may undershoot slightly; allow 1% slack.
+        prop_assert!(amplification <= norm * 1.01 + 1e-9);
+    }
+}

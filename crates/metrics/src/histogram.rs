@@ -1,0 +1,141 @@
+//! Discrete PDF estimation over integer symbols (Fig. 4 of the paper).
+
+use std::collections::BTreeMap;
+
+/// An empirical probability mass function over `i64` symbols, built from
+/// observed counts — the object plotted in the paper's Fig. 4 (PDF of
+/// quantized-sample differences per bit depth).
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_metrics::DiscretePdf;
+///
+/// let pdf = DiscretePdf::from_symbols([0, 0, 0, 1, -1].iter().copied());
+/// assert!((pdf.probability(0) - 0.6).abs() < 1e-12);
+/// assert!((pdf.probability(1) - 0.2).abs() < 1e-12);
+/// assert_eq!(pdf.probability(5), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscretePdf {
+    counts: BTreeMap<i64, u64>,
+    total: u64,
+}
+
+impl DiscretePdf {
+    /// Accumulates a PDF from a symbol stream.
+    #[must_use]
+    pub fn from_symbols<I: IntoIterator<Item = i64>>(symbols: I) -> Self {
+        let mut counts = BTreeMap::new();
+        let mut total = 0;
+        for s in symbols {
+            *counts.entry(s).or_insert(0u64) += 1;
+            total += 1;
+        }
+        DiscretePdf { counts, total }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical probability of `symbol` (0 for unseen symbols or an empty
+    /// PDF).
+    #[must_use]
+    pub fn probability(&self, symbol: i64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(&symbol).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Raw counts, ascending by symbol.
+    #[must_use]
+    pub fn counts(&self) -> &BTreeMap<i64, u64> {
+        &self.counts
+    }
+
+    /// `(symbol, probability)` pairs, ascending by symbol.
+    #[must_use]
+    pub fn points(&self) -> Vec<(i64, f64)> {
+        self.counts
+            .iter()
+            .map(|(&s, &c)| (s, c as f64 / self.total.max(1) as f64))
+            .collect()
+    }
+
+    /// Shannon entropy in bits — the lower bound for the Huffman stage.
+    #[must_use]
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / self.total as f64;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Smallest and largest observed symbols, if any.
+    #[must_use]
+    pub fn support(&self) -> Option<(i64, i64)> {
+        let min = *self.counts.keys().next()?;
+        let max = *self.counts.keys().next_back()?;
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let pdf = DiscretePdf::from_symbols((0..100).map(|i| i % 7));
+        let sum: f64 = pdf.points().iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pdf_is_degenerate() {
+        let pdf = DiscretePdf::from_symbols(std::iter::empty());
+        assert_eq!(pdf.total(), 0);
+        assert_eq!(pdf.probability(0), 0.0);
+        assert_eq!(pdf.entropy_bits(), 0.0);
+        assert_eq!(pdf.support(), None);
+    }
+
+    #[test]
+    fn uniform_entropy() {
+        let pdf = DiscretePdf::from_symbols((0..8).flat_map(|s| std::iter::repeat_n(s, 10)));
+        assert!((pdf.entropy_bits() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_entropy_is_zero() {
+        let pdf = DiscretePdf::from_symbols(std::iter::repeat_n(5, 100));
+        assert!(pdf.entropy_bits().abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_tracks_extremes() {
+        let pdf = DiscretePdf::from_symbols([-3, 0, 12]);
+        assert_eq!(pdf.support(), Some((-3, 12)));
+    }
+
+    #[test]
+    fn peaked_distribution_has_low_entropy() {
+        // The Fig. 4 premise: low-resolution differences concentrate at 0,
+        // so entropy is far below the fixed-width cost.
+        let symbols = std::iter::repeat_n(0, 900)
+            .chain(std::iter::repeat_n(1, 50))
+            .chain(std::iter::repeat_n(-1, 50));
+        let pdf = DiscretePdf::from_symbols(symbols);
+        assert!(pdf.entropy_bits() < 0.6, "entropy {}", pdf.entropy_bits());
+    }
+}

@@ -1,0 +1,35 @@
+//! Evaluation metrics for the hybrid compressed-sensing ECG reproduction:
+//! reconstruction quality (PRD/SNR), rate accounting (CR/overhead), summary
+//! statistics for box plots, and discrete PDF estimation.
+//!
+//! Definitions follow Section IV of the paper exactly:
+//!
+//! * `PRD = ‖x − x̃‖₂ / ‖x‖₂ × 100`
+//! * `SNR = −20·log₁₀(0.01·PRD)`
+//! * `CR = (b_orig − b_comp) / b_orig × 100` (Eq. 3)
+//! * `Dᵢ = CRᵢ · i / 12` (Eq. 2, low-resolution-channel overhead)
+//!
+//! # Example
+//!
+//! ```
+//! use hybridcs_metrics::{prd, snr_db};
+//!
+//! let x = vec![1.0, 2.0, 3.0];
+//! let x_hat = vec![1.0, 2.0, 3.03];
+//! let p = prd(&x, &x_hat);
+//! assert!(p < 1.0, "sub-percent error");
+//! assert!(snr_db(&x, &x_hat) > 40.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod quality;
+mod rate;
+mod summary;
+
+pub use histogram::DiscretePdf;
+pub use quality::{prd, prd_to_snr_db, snr_db, snr_to_prd, QualityGrade};
+pub use rate::{compression_ratio_percent, lowres_overhead_percent, net_compression_ratio};
+pub use summary::SummaryStats;

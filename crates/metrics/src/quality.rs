@@ -1,0 +1,171 @@
+//! Reconstruction-quality metrics: PRD, SNR and diagnostic grades.
+
+/// Percentage root-mean-square difference between an original signal and
+/// its reconstruction: `‖x − x̃‖₂ / ‖x‖₂ × 100`.
+///
+/// Returns `f64::INFINITY` when the reference has zero energy but the
+/// reconstruction does not, and `0.0` when both are zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn prd(original: &[f64], reconstructed: &[f64]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "prd: length mismatch");
+    let mut err = 0.0;
+    let mut energy = 0.0;
+    for (x, y) in original.iter().zip(reconstructed) {
+        let d = x - y;
+        err += d * d;
+        energy += x * x;
+    }
+    if energy == 0.0 {
+        return if err == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (err / energy).sqrt() * 100.0
+}
+
+/// Converts a PRD percentage to the paper's SNR: `−20·log₁₀(0.01·PRD)`.
+///
+/// `PRD = 0` maps to `f64::INFINITY`.
+#[must_use]
+pub fn prd_to_snr_db(prd_percent: f64) -> f64 {
+    if prd_percent <= 0.0 {
+        return f64::INFINITY;
+    }
+    -20.0 * (0.01 * prd_percent).log10()
+}
+
+/// Converts an SNR in dB back to a PRD percentage.
+#[must_use]
+pub fn snr_to_prd(snr_db: f64) -> f64 {
+    100.0 * 10f64.powf(-snr_db / 20.0)
+}
+
+/// Reconstruction SNR in dB, computed through the PRD definition.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn snr_db(original: &[f64], reconstructed: &[f64]) -> f64 {
+    prd_to_snr_db(prd(original, reconstructed))
+}
+
+/// Diagnostic-quality grade per the Zigel et al. PRD bands used throughout
+/// the ECG-compression literature (and implicitly by the paper when it
+/// speaks of "good" reconstruction quality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QualityGrade {
+    /// PRD < 2% — "very good" quality.
+    VeryGood,
+    /// 2% ≤ PRD < 9% — "good" quality.
+    Good,
+    /// PRD ≥ 9% — not acceptable for diagnosis.
+    NotGood,
+}
+
+impl QualityGrade {
+    /// Grades a PRD percentage.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hybridcs_metrics::QualityGrade;
+    ///
+    /// assert_eq!(QualityGrade::from_prd(1.0), QualityGrade::VeryGood);
+    /// assert_eq!(QualityGrade::from_prd(5.0), QualityGrade::Good);
+    /// assert_eq!(QualityGrade::from_prd(20.0), QualityGrade::NotGood);
+    /// ```
+    #[must_use]
+    pub fn from_prd(prd_percent: f64) -> Self {
+        if prd_percent < 2.0 {
+            QualityGrade::VeryGood
+        } else if prd_percent < 9.0 {
+            QualityGrade::Good
+        } else {
+            QualityGrade::NotGood
+        }
+    }
+
+    /// Whether the grade is diagnostically acceptable ("good" or better).
+    #[must_use]
+    pub fn is_acceptable(self) -> bool {
+        self != QualityGrade::NotGood
+    }
+}
+
+impl std::fmt::Display for QualityGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QualityGrade::VeryGood => "very good",
+            QualityGrade::Good => "good",
+            QualityGrade::NotGood => "not good",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_reconstruction_is_zero_prd() {
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(prd(&x, &x), 0.0);
+        assert_eq!(snr_db(&x, &x), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_prd_value() {
+        // 10% amplitude error on a unit signal.
+        let x = vec![1.0, 1.0, 1.0, 1.0];
+        let y = vec![1.1, 1.1, 1.1, 1.1];
+        assert!((prd(&x, &y) - 10.0).abs() < 1e-9);
+        assert!((snr_db(&x, &y) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prd_snr_roundtrip() {
+        for p in [0.5, 2.0, 9.0, 50.0, 120.0] {
+            let s = prd_to_snr_db(p);
+            assert!((snr_to_prd(s) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_quality_anchor() {
+        // The paper calls ~17 dB "reasonable": that's PRD ≈ 14%.
+        let p = snr_to_prd(17.0);
+        assert!((p - 14.125).abs() < 0.01, "prd {p}");
+    }
+
+    #[test]
+    fn zero_reference_edge_cases() {
+        assert_eq!(prd(&[0.0; 3], &[0.0; 3]), 0.0);
+        assert_eq!(prd(&[0.0; 3], &[1.0, 0.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn prd_length_mismatch_panics() {
+        let _ = prd(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn grades_partition_prd_axis() {
+        assert_eq!(QualityGrade::from_prd(0.0), QualityGrade::VeryGood);
+        assert_eq!(QualityGrade::from_prd(1.99), QualityGrade::VeryGood);
+        assert_eq!(QualityGrade::from_prd(2.0), QualityGrade::Good);
+        assert_eq!(QualityGrade::from_prd(8.99), QualityGrade::Good);
+        assert_eq!(QualityGrade::from_prd(9.0), QualityGrade::NotGood);
+        assert!(QualityGrade::Good.is_acceptable());
+        assert!(!QualityGrade::NotGood.is_acceptable());
+    }
+
+    #[test]
+    fn grade_display() {
+        assert_eq!(QualityGrade::VeryGood.to_string(), "very good");
+    }
+}

@@ -1,0 +1,135 @@
+//! Rate accounting: compression ratio (Eq. 3) and the low-resolution
+//! channel's overhead (Eq. 2).
+
+/// Compression ratio per Eq. (3): `(b_orig − b_comp)/b_orig × 100`.
+///
+/// Higher is better; 0 means no compression, negative values mean
+/// expansion.
+///
+/// # Panics
+///
+/// Panics if `original_bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// // 512 samples at 12 bits compressed into 96 measurements at 12 bits.
+/// let cr = hybridcs_metrics::compression_ratio_percent(512 * 12, 96 * 12);
+/// assert!((cr - 81.25).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn compression_ratio_percent(original_bits: usize, compressed_bits: usize) -> f64 {
+    assert!(original_bits > 0, "original size must be positive");
+    (original_bits as f64 - compressed_bits as f64) / original_bits as f64 * 100.0
+}
+
+/// Overhead of the low-resolution channel per Eq. (2):
+/// `Dᵢ = CRᵢ · i / original_bits × 100` (in percent of the original
+/// stream), where `CRᵢ` is the *fraction* `compressed/raw` achieved by
+/// entropy coding at resolution `i`.
+///
+/// The paper's Table I assumes 12-bit originals; `original_bits` is kept
+/// explicit so ablations can vary it.
+///
+/// # Panics
+///
+/// Panics if `original_bits == 0` or `lowres_cr_fraction < 0`.
+///
+/// # Example
+///
+/// ```
+/// // Paper operating point: 7-bit channel whose Huffman-coded stream is
+/// // ~13.5% of its raw size -> ~7.9% overhead on the 12-bit original.
+/// let d = hybridcs_metrics::lowres_overhead_percent(0.135, 7, 12);
+/// assert!((d - 7.875).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn lowres_overhead_percent(
+    lowres_cr_fraction: f64,
+    lowres_bits: u32,
+    original_bits: u32,
+) -> f64 {
+    assert!(original_bits > 0, "original bits must be positive");
+    assert!(
+        lowres_cr_fraction >= 0.0,
+        "compression fraction must be non-negative"
+    );
+    lowres_cr_fraction * f64::from(lowres_bits) / f64::from(original_bits) * 100.0
+}
+
+/// Net compression ratio of the hybrid scheme: the CS channel's CR minus
+/// the low-resolution channel's overhead, both in percent.
+///
+/// # Example
+///
+/// ```
+/// // The paper: 81% CS compression minus 7.86% overhead ≈ 73.14% net.
+/// let net = hybridcs_metrics::net_compression_ratio(81.0, 7.86);
+/// assert!((net - 73.14).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn net_compression_ratio(cs_cr_percent: f64, overhead_percent: f64) -> f64 {
+    cs_cr_percent - overhead_percent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cr_basic_values() {
+        assert_eq!(compression_ratio_percent(100, 100), 0.0);
+        assert_eq!(compression_ratio_percent(100, 50), 50.0);
+        assert_eq!(compression_ratio_percent(100, 0), 100.0);
+        assert_eq!(compression_ratio_percent(100, 150), -50.0);
+    }
+
+    #[test]
+    fn cr_matches_measurement_fraction() {
+        // With equal bit widths, CR = (1 − m/n)·100.
+        let n = 512;
+        for m in [16usize, 96, 240] {
+            let cr = compression_ratio_percent(n * 12, m * 12);
+            let expected = (1.0 - m as f64 / n as f64) * 100.0;
+            assert!((cr - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn cr_rejects_zero_original() {
+        let _ = compression_ratio_percent(0, 10);
+    }
+
+    #[test]
+    fn table1_overhead_reconstruction() {
+        // Invert Table I: the paper's Dᵢ values imply these CRᵢ fractions;
+        // feeding them back must reproduce the table row.
+        let table = [
+            (10u32, 26.3f64),
+            (9, 17.6),
+            (8, 11.4),
+            (7, 7.8),
+            (6, 5.6),
+            (5, 4.2),
+            (4, 3.1),
+            (3, 2.3),
+        ];
+        for (bits, d_percent) in table {
+            let cr_fraction = d_percent / 100.0 * 12.0 / f64::from(bits);
+            let d = lowres_overhead_percent(cr_fraction, bits, 12);
+            assert!((d - d_percent).abs() < 1e-9, "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn net_cr_matches_paper_headline() {
+        assert!((net_compression_ratio(97.0, 7.86) - 89.14).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn overhead_rejects_negative_fraction() {
+        let _ = lowres_overhead_percent(-0.1, 7, 12);
+    }
+}

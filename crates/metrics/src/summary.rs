@@ -1,0 +1,177 @@
+//! Box-plot summary statistics (Fig. 8 of the paper).
+
+/// Five-number-plus summary of a sample: mean/std, median, quartiles,
+/// Tukey whiskers (most extreme points within 1.5·IQR of the box) and
+/// outliers — exactly the quantities MATLAB's `boxplot` (used by the
+/// paper) draws.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_metrics::SummaryStats;
+///
+/// let stats = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+/// assert_eq!(stats.median, 3.0);
+/// assert_eq!(stats.outliers, vec![100.0]);
+/// assert_eq!(stats.whisker_high, 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryStats {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n = 1).
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile (25th percentile, linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Lower whisker: smallest sample ≥ `q1 − 1.5·IQR`.
+    pub whisker_low: f64,
+    /// Upper whisker: largest sample ≤ `q3 + 1.5·IQR`.
+    pub whisker_high: f64,
+    /// Samples outside the whiskers, ascending.
+    pub outliers: Vec<f64>,
+}
+
+impl SummaryStats {
+    /// Computes the summary; returns `None` for an empty slice or any
+    /// non-finite sample.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let std_dev = if count > 1 {
+            (sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count - 1) as f64)
+                .sqrt()
+        } else {
+            0.0
+        };
+        let q1 = percentile(&sorted, 25.0);
+        let median = percentile(&sorted, 50.0);
+        let q3 = percentile(&sorted, 75.0);
+        let iqr = q3 - q1;
+        let low_fence = q1 - 1.5 * iqr;
+        let high_fence = q3 + 1.5 * iqr;
+        let whisker_low = *sorted
+            .iter()
+            .find(|&&v| v >= low_fence)
+            .expect("q1 is inside the fence");
+        let whisker_high = *sorted
+            .iter()
+            .rev()
+            .find(|&&v| v <= high_fence)
+            .expect("q3 is inside the fence");
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&v| v < low_fence || v > high_fence)
+            .collect();
+        Some(SummaryStats {
+            count,
+            mean,
+            std_dev,
+            min: sorted[0],
+            q1,
+            median,
+            q3,
+            max: sorted[count - 1],
+            whisker_low,
+            whisker_high,
+            outliers,
+        })
+    }
+}
+
+/// Linear-interpolation percentile of pre-sorted data (the common
+/// `(n − 1)·p` convention, matching NumPy's default).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = (n - 1) as f64 * p / 100.0;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_odd_sample() {
+        let s = SummaryStats::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outliers_are_detected() {
+        let mut data: Vec<f64> = (1..=20).map(f64::from).collect();
+        data.push(1000.0);
+        let s = SummaryStats::from_samples(&data).unwrap();
+        assert_eq!(s.outliers, vec![1000.0]);
+        assert!(s.whisker_high <= 20.0);
+        assert_eq!(s.max, 1000.0);
+    }
+
+    #[test]
+    fn no_outliers_whiskers_hit_extremes() {
+        let data: Vec<f64> = (1..=9).map(f64::from).collect();
+        let s = SummaryStats::from_samples(&data).unwrap();
+        assert!(s.outliers.is_empty());
+        assert_eq!(s.whisker_low, 1.0);
+        assert_eq!(s.whisker_high, 9.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = SummaryStats::from_samples(&[7.0]).unwrap();
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.q1, 7.0);
+        assert_eq!(s.q3, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert!(s.outliers.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(SummaryStats::from_samples(&[]).is_none());
+        assert!(SummaryStats::from_samples(&[1.0, f64::NAN]).is_none());
+        assert!(SummaryStats::from_samples(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn order_invariant() {
+        let a = SummaryStats::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        let b = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a, b);
+    }
+}

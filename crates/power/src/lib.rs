@@ -1,0 +1,351 @@
+//! Analytical power models for RMPI and hybrid CS front-ends.
+//!
+//! Section VI of the paper evaluates both architectures with the
+//! block-level 90 nm power models of Chen, Chandrakasan & Stojanović
+//! (*IEEE JSSC* 2012), not with silicon. This crate implements those
+//! closed forms verbatim:
+//!
+//! * Eq. (4) — ADC array: `P_adc = (m/n)·FOM·2^B·fs`
+//! * Eq. (5) — integrator + sample/hold:
+//!   `P_int = 2·BW_f·m·V_DD²·10π·n·C_p/16`
+//! * Eq. (9) — amplifiers:
+//!   `P_amp = 2·BW·3mn·2^(2B_y)·G_A²·NEF²/V_DD · π(kT)²/q`
+//!
+//! Absolute values inherit every idealization of the source models; what
+//! the paper (and this reproduction) actually uses them for is the *ratio*
+//! between architectures at fixed reconstruction quality, which depends
+//! only on the channel counts `m` — the amplifier term dominates by orders
+//! of magnitude and scales linearly in `m`.
+//!
+//! # Example
+//!
+//! ```
+//! use hybridcs_power::{hybrid_power, rmpi_power, PowerParams};
+//!
+//! let params = PowerParams::default();
+//! // Paper operating points at 20 dB: normal CS needs m = 240, hybrid m = 96.
+//! let normal = rmpi_power(240, 512, 360.0, &params);
+//! let hybrid = hybrid_power(96, 512, 360.0, 7, &params);
+//! let gain = normal.total_w() / hybrid.total_w();
+//! assert!(gain > 2.0 && gain < 3.0, "power gain {gain}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Boltzmann constant in J/K.
+const BOLTZMANN_J_PER_K: f64 = 1.380_649e-23;
+/// Elementary charge in C.
+const ELEMENTARY_CHARGE_C: f64 = 1.602_176_634e-19;
+
+/// Technology and design constants for the power models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// ADC figure of merit in J per conversion step (the paper quotes
+    /// ~100 fJ/conversion for modern ADCs).
+    pub fom_j_per_conversion: f64,
+    /// Supply voltage in volts.
+    pub vdd_v: f64,
+    /// Amplifier noise-efficiency factor (2–3 for the state of the art).
+    pub nef: f64,
+    /// Total voltage gain from amplifier input to ADC input, in dB (the
+    /// paper uses 40 dB for an ECG front end).
+    pub gain_db: f64,
+    /// Absolute temperature in kelvin.
+    pub temperature_k: f64,
+    /// Dominant-pole capacitance `C_p` of the unloaded OTA, in farads.
+    pub pole_capacitance_f: f64,
+    /// CS-measurement ADC resolution `B` (= `B_y`), in bits; the paper
+    /// transmits 12-bit measurements.
+    pub measurement_bits: u32,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            fom_j_per_conversion: 100e-15,
+            vdd_v: 1.0,
+            nef: 2.5,
+            gain_db: 40.0,
+            temperature_k: 300.0,
+            pole_capacitance_f: 1e-12,
+            measurement_bits: 12,
+        }
+    }
+}
+
+impl PowerParams {
+    /// Linear amplifier gain `G_A` from the dB figure.
+    #[must_use]
+    pub fn gain_linear(&self) -> f64 {
+        10f64.powf(self.gain_db / 20.0)
+    }
+}
+
+/// Per-block power of one front end, in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontEndPower {
+    /// ADC array power (Eq. 4), plus the parallel low-resolution ADC for
+    /// the hybrid architecture.
+    pub adc_w: f64,
+    /// Integrator and sample/hold power (Eq. 5).
+    pub integrator_w: f64,
+    /// Amplifier power (Eq. 9) — dominant in every configuration the paper
+    /// considers.
+    pub amplifier_w: f64,
+}
+
+impl FrontEndPower {
+    /// Total power in watts.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.adc_w + self.integrator_w + self.amplifier_w
+    }
+
+    /// Total power in microwatts (the unit of Fig. 11's y-axis).
+    #[must_use]
+    pub fn total_uw(&self) -> f64 {
+        self.total_w() * 1e6
+    }
+}
+
+/// Eq. (4): power of the `m`-ADC array digitizing one measurement per
+/// window of `n` Nyquist samples at rate `fs_hz`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn adc_power_w(m: usize, n: usize, fs_hz: f64, params: &PowerParams) -> f64 {
+    assert!(n > 0, "window must be non-empty");
+    (m as f64 / n as f64)
+        * params.fom_j_per_conversion
+        * 2f64.powi(params.measurement_bits as i32)
+        * fs_hz
+}
+
+/// Power of a single Nyquist-rate ADC at `bits` resolution — the parallel
+/// low-resolution path (same FOM model as Eq. 4 with `m = n`).
+#[must_use]
+pub fn nyquist_adc_power_w(bits: u32, fs_hz: f64, params: &PowerParams) -> f64 {
+    params.fom_j_per_conversion * 2f64.powi(bits as i32) * fs_hz
+}
+
+/// Eq. (5): integrator and sample/hold power for `m` channels over
+/// `n`-sample windows with signal bandwidth `bw_hz`.
+#[must_use]
+pub fn integrator_power_w(m: usize, n: usize, bw_hz: f64, params: &PowerParams) -> f64 {
+    2.0 * bw_hz
+        * m as f64
+        * params.vdd_v
+        * params.vdd_v
+        * 10.0
+        * std::f64::consts::PI
+        * n as f64
+        * params.pole_capacitance_f
+        / 16.0
+}
+
+/// Eq. (9): amplifier power for `m` channels over `n`-sample windows with
+/// signal bandwidth `bw_hz`.
+#[must_use]
+pub fn amplifier_power_w(m: usize, n: usize, bw_hz: f64, params: &PowerParams) -> f64 {
+    let ga = params.gain_linear();
+    let kt = BOLTZMANN_J_PER_K * params.temperature_k;
+    2.0 * bw_hz
+        * 3.0
+        * (m * n) as f64
+        * 2f64.powi(2 * params.measurement_bits as i32)
+        * ga
+        * ga
+        * params.nef
+        * params.nef
+        / params.vdd_v
+        * std::f64::consts::PI
+        * kt
+        * kt
+        / ELEMENTARY_CHARGE_C
+}
+
+/// Full RMPI (normal CS) power breakdown at sampling rate `fs_hz` with `m`
+/// parallel channels over `n`-sample windows. The signal bandwidth is
+/// taken as the Nyquist bandwidth `fs/2`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn rmpi_power(m: usize, n: usize, fs_hz: f64, params: &PowerParams) -> FrontEndPower {
+    let bw = fs_hz / 2.0;
+    FrontEndPower {
+        adc_w: adc_power_w(m, n, fs_hz, params),
+        integrator_w: integrator_power_w(m, n, bw, params),
+        amplifier_w: amplifier_power_w(m, n, bw, params),
+    }
+}
+
+/// Hybrid-CS power breakdown: an RMPI with `m` channels plus the parallel
+/// `lowres_bits` Nyquist ADC (whose power lands in the ADC bucket; it has
+/// no per-channel amplifier or integrator — that is the whole point of the
+/// design).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn hybrid_power(
+    m: usize,
+    n: usize,
+    fs_hz: f64,
+    lowres_bits: u32,
+    params: &PowerParams,
+) -> FrontEndPower {
+    let mut power = rmpi_power(m, n, fs_hz, params);
+    power.adc_w += nyquist_adc_power_w(lowres_bits, fs_hz, params);
+    power
+}
+
+/// One row of a sampling-frequency sweep (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Sampling frequency in Hz.
+    pub fs_hz: f64,
+    /// Power breakdown at that frequency.
+    pub power: FrontEndPower,
+}
+
+/// Logarithmic sampling-frequency sweep of an architecture's power
+/// breakdown, reproducing the x-axis of Fig. 11 (`points` samples from
+/// `fs_lo_hz` to `fs_hi_hz`, inclusive, geometrically spaced).
+///
+/// `build` maps a frequency to the architecture's breakdown — pass a
+/// closure over [`rmpi_power`] or [`hybrid_power`].
+///
+/// # Panics
+///
+/// Panics if `points < 2` or the frequency range is not positive and
+/// increasing.
+#[must_use]
+pub fn sweep_sampling_frequency(
+    fs_lo_hz: f64,
+    fs_hi_hz: f64,
+    points: usize,
+    mut build: impl FnMut(f64) -> FrontEndPower,
+) -> Vec<SweepPoint> {
+    assert!(points >= 2, "need at least two sweep points");
+    assert!(
+        fs_lo_hz > 0.0 && fs_hi_hz > fs_lo_hz,
+        "frequency range must be positive and increasing"
+    );
+    let log_lo = fs_lo_hz.ln();
+    let log_hi = fs_hi_hz.ln();
+    (0..points)
+        .map(|i| {
+            let t = i as f64 / (points - 1) as f64;
+            let fs = (log_lo + t * (log_hi - log_lo)).exp();
+            SweepPoint {
+                fs_hz: fs,
+                power: build(fs),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> PowerParams {
+        PowerParams::default()
+    }
+
+    #[test]
+    fn adc_power_matches_formula() {
+        // (96/512) · 100 fJ · 2^12 · 360 Hz
+        let expected = 96.0 / 512.0 * 100e-15 * 4096.0 * 360.0;
+        assert!((adc_power_w(96, 512, 360.0, &p()) - expected).abs() < 1e-20);
+    }
+
+    #[test]
+    fn amplifier_dominates_at_ecg_rates() {
+        // The paper: "the dominant part of power consumption — with a large
+        // margin — is for amplifier".
+        let power = rmpi_power(240, 512, 360.0, &p());
+        assert!(power.amplifier_w > 10.0 * power.adc_w);
+        assert!(power.amplifier_w > 10.0 * power.integrator_w);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_channels() {
+        let p96 = rmpi_power(96, 512, 360.0, &p());
+        let p240 = rmpi_power(240, 512, 360.0, &p());
+        let ratio = p240.amplifier_w / p96.amplifier_w;
+        assert!((ratio - 240.0 / 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_headline_2_5x_at_20db() {
+        let normal = rmpi_power(240, 512, 360.0, &p());
+        let hybrid = hybrid_power(96, 512, 360.0, 7, &p());
+        let gain = normal.total_w() / hybrid.total_w();
+        assert!((2.0..3.0).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn paper_headline_11x_at_17db() {
+        let normal = rmpi_power(176, 512, 360.0, &p());
+        let hybrid = hybrid_power(16, 512, 360.0, 7, &p());
+        let gain = normal.total_w() / hybrid.total_w();
+        assert!((9.0..13.0).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn lowres_adc_is_negligible() {
+        // "the overall power consumption from this path should be
+        // negligible compared to CS path."
+        let lowres = nyquist_adc_power_w(7, 360.0, &p());
+        let cs = rmpi_power(96, 512, 360.0, &p()).total_w();
+        assert!(lowres < 1e-3 * cs, "lowres {lowres} vs cs {cs}");
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_frequency() {
+        let params = p();
+        let sweep =
+            sweep_sampling_frequency(100.0, 1e8, 25, |fs| rmpi_power(240, 512, fs, &params));
+        assert_eq!(sweep.len(), 25);
+        assert!((sweep[0].fs_hz - 100.0).abs() < 1e-6);
+        assert!((sweep[24].fs_hz - 1e8).abs() < 1.0);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].power.total_w() > pair[0].power.total_w());
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let power = rmpi_power(96, 512, 360.0, &p());
+        assert!(
+            (power.total_w() - (power.adc_w + power.integrator_w + power.amplifier_w)).abs()
+                < 1e-18
+        );
+        assert!((power.total_uw() - power.total_w() * 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_linear_conversion() {
+        assert!((p().gain_linear() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn adc_power_rejects_zero_window() {
+        let _ = adc_power_w(10, 0, 360.0, &p());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn sweep_rejects_single_point() {
+        let params = p();
+        let _ = sweep_sampling_frequency(1.0, 2.0, 1, |fs| rmpi_power(1, 512, fs, &params));
+    }
+}

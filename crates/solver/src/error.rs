@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sparse-recovery solvers.
+///
+/// Non-convergence within the iteration budget is *not* an error — the
+/// solvers return their best iterate with `converged = false` in
+/// [`RecoveryResult`](crate::RecoveryResult), because a slightly inexact
+/// reconstruction is still a valid (and measurable) decoder output.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// Problem components disagree on a dimension.
+    DimensionMismatch {
+        /// What was being matched (e.g. `"measurements vs sensing rows"`).
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A solver option or problem parameter was out of range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value supplied.
+        value: f64,
+    },
+    /// The wavelet transform rejected the signal length.
+    Transform(hybridcs_dsp::DspError),
+    /// A linear-algebra kernel failed (e.g. a rank-deficient greedy refit).
+    Linalg(hybridcs_linalg::LinalgError),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch ({what}): expected {expected}, got {actual}"
+            ),
+            SolverError::BadParameter { name, value } => {
+                write!(f, "parameter {name} out of range: {value}")
+            }
+            SolverError::Transform(e) => write!(f, "wavelet transform failed: {e}"),
+            SolverError::Linalg(e) => write!(f, "linear algebra failed: {e}"),
+        }
+    }
+}
+
+impl Error for SolverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolverError::Transform(e) => Some(e),
+            SolverError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hybridcs_dsp::DspError> for SolverError {
+    fn from(e: hybridcs_dsp::DspError) -> Self {
+        SolverError::Transform(e)
+    }
+}
+
+impl From<hybridcs_linalg::LinalgError> for SolverError {
+    fn from(e: hybridcs_linalg::LinalgError) -> Self {
+        SolverError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SolverError::from(hybridcs_dsp::DspError::ZeroLevels);
+        assert!(e.to_string().contains("wavelet"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverError>();
+    }
+}

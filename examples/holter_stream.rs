@@ -1,0 +1,74 @@
+//! Holter-monitor scenario: stream a noisy ambulatory recording through the
+//! hybrid front end window by window, as a wireless body sensor node would,
+//! and report aggregate quality, telemetry rate, and the front-end power
+//! estimate.
+//!
+//! ```sh
+//! cargo run --release --example holter_stream
+//! ```
+
+use hybridcs::codec::{HybridCodec, SystemConfig};
+use hybridcs::ecg::{EcgGenerator, GeneratorConfig, NoiseModel, RhythmModel};
+use hybridcs::metrics::{prd_to_snr_db, SummaryStats};
+use hybridcs::power::{hybrid_power, rmpi_power, PowerParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SystemConfig::default();
+    let codec = HybridCodec::with_default_training(&config)?;
+
+    // An ambulatory patient: faster rhythm, ectopic beats, motion noise.
+    let mut gen_config = GeneratorConfig::normal_sinus();
+    gen_config.noise = NoiseModel::ambulatory();
+    gen_config.rhythm = RhythmModel::from_heart_rate_bpm(88.0, 0.04, 0.12, 0.3)?;
+    gen_config.pvc_probability = 0.05;
+    let generator = EcgGenerator::new(gen_config)?;
+
+    let duration_s = 20.0;
+    let strip = generator.generate(duration_s, 0xB0D7);
+    let fs = 360.0;
+
+    let mut window_snrs = Vec::new();
+    let mut total_bits = 0usize;
+    let mut windows = 0usize;
+    for window in strip.chunks_exact(config.window) {
+        let encoded = codec.encode(window)?;
+        let decoded = codec.decode(&encoded)?;
+        let p = hybridcs::metrics::prd(window, &decoded.signal);
+        window_snrs.push(prd_to_snr_db(p));
+        total_bits += encoded.total_bits();
+        windows += 1;
+    }
+
+    let stats = SummaryStats::from_samples(&window_snrs).expect("at least one window");
+    println!("streamed {windows} windows ({duration_s:.0} s of ambulatory ECG)");
+    println!(
+        "per-window SNR: median {:.1} dB, q1 {:.1}, q3 {:.1}, worst {:.1}",
+        stats.median, stats.q1, stats.q3, stats.min
+    );
+
+    let raw_bps = fs * config.original_bits as f64;
+    let sent_bps = total_bits as f64 / (windows as f64 * config.window as f64 / fs);
+    println!(
+        "telemetry: {sent_bps:.0} bit/s vs {raw_bps:.0} bit/s raw ({:.1}% net compression)",
+        (1.0 - sent_bps / raw_bps) * 100.0
+    );
+
+    // Front-end power at this operating point vs the 240-channel normal-CS
+    // front end the paper says is needed for the same quality.
+    let params = PowerParams::default();
+    let ours = hybrid_power(
+        config.measurements,
+        config.window,
+        fs,
+        config.lowres_bits,
+        &params,
+    );
+    let normal = rmpi_power(240, config.window, fs, &params);
+    println!(
+        "front-end power: hybrid {:.2} uW vs normal-CS-at-equal-quality {:.2} uW ({:.1}x)",
+        ours.total_uw(),
+        normal.total_uw(),
+        normal.total_w() / ours.total_w()
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Lossy-link scenario: stream ECG over a radio that drops whole packets
+//! and flips bits, and watch the hybrid design degrade gracefully — the
+//! two payload sections fail independently, so a damaged frame usually
+//! still yields a usable trace.
+//!
+//! ```sh
+//! cargo run --release --example lossy_link
+//! ```
+
+use hybridcs::codec::telemetry::{RecoveredWindow, ResilientReceiver};
+use hybridcs::codec::{
+    experiment::default_training_windows, train_lowres_codec, HybridFrontEnd, SystemConfig,
+};
+use hybridcs::ecg::{EcgGenerator, GeneratorConfig, NoiseModel};
+use hybridcs::metrics::snr_db;
+use rand::{RngExt, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SystemConfig {
+        measurements: 64,
+        ..SystemConfig::default()
+    };
+    let lowres_codec =
+        train_lowres_codec(config.lowres_bits, &default_training_windows(config.window))?;
+    let sensor = HybridFrontEnd::new(&config, lowres_codec.clone())?;
+    let receiver = ResilientReceiver::new(&config, lowres_codec)?;
+
+    let mut gen_config = GeneratorConfig::normal_sinus();
+    gen_config.noise = NoiseModel::ambulatory();
+    let generator = EcgGenerator::new(gen_config)?;
+    let strip = generator.generate(30.0, 0x10_55);
+
+    // A hostile link: 10% packet loss, 15% CS-section corruption, 10%
+    // low-res-section corruption.
+    let mut link = rand::rngs::StdRng::seed_from_u64(0xBAD_11);
+    let mut counts = [0usize; 4]; // hybrid, cs-only, lowres-only, lost
+    let mut snr_sum = [0.0f64; 3];
+
+    for (seq, window) in strip.chunks_exact(config.window).enumerate() {
+        let encoded = sensor.encode(window)?;
+        let mut bytes = receiver.frame_codec().serialize(seq as u32, &encoded)?;
+
+        let roll: f64 = link.random();
+        let packet = if roll < 0.10 {
+            None // dropped outright
+        } else {
+            if roll < 0.25 {
+                bytes[24] ^= 0x40; // damage the CS section
+            } else if roll < 0.35 {
+                let idx = bytes.len() - 6;
+                bytes[idx] ^= 0x04; // damage the low-res section
+            }
+            Some(bytes)
+        };
+
+        match receiver.receive(packet.as_deref()) {
+            RecoveredWindow::Hybrid(d) => {
+                counts[0] += 1;
+                snr_sum[0] += snr_db(window, &d.signal);
+            }
+            RecoveredWindow::CsOnly(d) => {
+                counts[1] += 1;
+                snr_sum[1] += snr_db(window, &d.signal);
+            }
+            RecoveredWindow::LowResOnly(s) => {
+                counts[2] += 1;
+                snr_sum[2] += snr_db(window, &s);
+            }
+            RecoveredWindow::Lost => counts[3] += 1,
+        }
+    }
+
+    let total: usize = counts.iter().sum();
+    println!("{total} windows over a link with 10% drop / 15% CS hit / 10% low-res hit:");
+    let labels = ["hybrid (both sections)", "CS only", "low-res only"];
+    for i in 0..3 {
+        if counts[i] > 0 {
+            println!(
+                "  {:<24} {:>3} windows, mean SNR {:.1} dB",
+                labels[i],
+                counts[i],
+                snr_sum[i] / counts[i] as f64
+            );
+        }
+    }
+    println!("  {:<24} {:>3} windows", "lost", counts[3]);
+    println!();
+    println!("the point: only fully dropped packets lose signal; every partial");
+    println!("corruption still produces a trace, because the hybrid design's two");
+    println!("payloads are independently decodable.");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Decoder bake-off on one real window: the two convex solvers (PDHG,
+//! ADMM) with and without the box constraint, plus the greedy baselines
+//! (OMP, CoSaMP, IHT) on the explicit ΦΨ dictionary.
+//!
+//! ```sh
+//! cargo run --release --example solver_comparison
+//! ```
+
+use hybridcs::codec::SensingOperator;
+use hybridcs::dsp::{Dwt, Wavelet};
+use hybridcs::ecg::{EcgGenerator, GeneratorConfig};
+use hybridcs::frontend::{LowResChannel, MeasurementQuantizer, SensingMatrix};
+use hybridcs::linalg::Matrix;
+use hybridcs::metrics::snr_db;
+use hybridcs::solver::{
+    solve_admm, solve_cosamp, solve_fista, solve_iht, solve_omp, solve_pdhg, AdmmOptions,
+    BpdnProblem, FistaOptions, GreedyOptions, PdhgOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 512;
+    let m = 96;
+    let generator = EcgGenerator::new(GeneratorConfig::normal_sinus())?;
+    let window = &generator.generate(2.0, 0x50F7)[..n];
+
+    let phi = SensingMatrix::bernoulli(m, n, 0xFEED)?;
+    let digitizer = MeasurementQuantizer::new(12, 2.5)?;
+    let y = digitizer.digitize(&phi.apply(window));
+    let sigma = digitizer.noise_sigma(m) * 1.5;
+    let dwt = Dwt::new(Wavelet::Db4, 5)?;
+    let channel = LowResChannel::new(7)?;
+    let (lo, hi) = channel.acquire(window).bounds();
+
+    let operator = SensingOperator::new(&phi);
+    let boxed = BpdnProblem {
+        sensing: &operator,
+        dwt: &dwt,
+        measurements: &y,
+        sigma,
+        box_bounds: Some((&lo, &hi)),
+        coefficient_weights: None,
+    };
+    let plain = BpdnProblem {
+        box_bounds: None,
+        ..boxed
+    };
+
+    println!("decoder                    | SNR (dB) | iterations");
+    println!("---------------------------+----------+-----------");
+    let report = |name: &str, signal: &[f64], iters: usize| {
+        println!("{name:<26} | {:8.2} | {iters}", snr_db(window, signal));
+    };
+
+    let r = solve_pdhg(&boxed, &PdhgOptions::default())?;
+    report("PDHG + box (hybrid)", &r.signal, r.iterations);
+    let r = solve_admm(&boxed, &AdmmOptions::default())?;
+    report("ADMM + box (hybrid)", &r.signal, r.iterations);
+    let r = solve_pdhg(&plain, &PdhgOptions::default())?;
+    report("PDHG, no box (normal)", &r.signal, r.iterations);
+    let r = solve_admm(&plain, &AdmmOptions::default())?;
+    report("ADMM, no box (normal)", &r.signal, r.iterations);
+    let r = solve_fista(&plain, &FistaOptions::default())?;
+    report("FISTA LASSO (baseline)", &r.signal, r.iterations);
+
+    // Greedy methods need the explicit dictionary A = Φ·Ψ (columns = Φ
+    // applied to wavelet atoms).
+    let mut a = Matrix::zeros(m, n);
+    for j in 0..n {
+        let mut atom = vec![0.0; n];
+        atom[j] = 1.0;
+        let column = phi.apply(&dwt.inverse(&atom)?);
+        for (i, v) in column.into_iter().enumerate() {
+            a.set(i, j, v);
+        }
+    }
+    let greedy_opts = GreedyOptions {
+        max_sparsity: m / 3,
+        residual_tolerance: sigma,
+        max_iterations: 60,
+        step: None,
+    };
+    let r = solve_omp(&a, &y, &greedy_opts)?;
+    report("OMP (greedy)", &dwt.inverse(&r.signal)?, r.iterations);
+    let r = solve_cosamp(&a, &y, &greedy_opts)?;
+    report("CoSaMP (greedy)", &dwt.inverse(&r.signal)?, r.iterations);
+    let r = solve_iht(&a, &y, &greedy_opts)?;
+    report("IHT (greedy)", &dwt.inverse(&r.signal)?, r.iterations);
+
+    println!();
+    println!("The box constraint is what separates the hybrid rows from the");
+    println!("rest: identical measurements, radically different quality.");
+    Ok(())
+}

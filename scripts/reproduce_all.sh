@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the ablations,
+# writing each artifact's output to results/<name>.txt.
+#
+# Usage: scripts/reproduce_all.sh [records] [windows-per-record]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export HYBRIDCS_RECORDS="${1:-48}"
+export HYBRIDCS_WINDOWS="${2:-2}"
+mkdir -p results
+
+cargo build --release --workspace --bins
+
+bins=(
+  fig2_lowres_window
+  fig4_diff_pdf
+  fig5_codebook_storage
+  fig6_lowres_cr
+  table1_overhead
+  fig7_quality_vs_cr
+  fig8_boxplots
+  fig9_examples
+  fig11_power_breakdown
+  headline_power_gain
+  ablation_solvers
+  ablation_wavelets
+  ablation_resolution
+  ablation_matrix
+  ablation_weighted_l1
+)
+
+for bin in "${bins[@]}"; do
+  echo "== $bin =="
+  ./target/release/"$bin" | tee "results/$bin.txt"
+  echo
+done
+
+echo "All artifacts regenerated under results/."

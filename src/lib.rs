@@ -1,0 +1,58 @@
+//! # hybridcs — a hybrid compressed-sensing ECG front end
+//!
+//! A from-scratch Rust reproduction of *Mamaghanian & Vandergheynst,
+//! "Ultra-Low-Power ECG Front-End Design based on Compressed Sensing"*
+//! (DATE 2015): a two-path ECG acquisition system in which a handful of
+//! analog compressed-sensing channels (an RMPI) are assisted by an
+//! ultra-low-power low-resolution ADC whose quantization cells become hard
+//! box constraints in the convex recovery program.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`codec`] | `hybridcs-core` | the hybrid encoder/decoder and experiment runner |
+//! | [`ecg`] | `hybridcs-ecg` | synthetic MIT-BIH-like corpus |
+//! | [`frontend`] | `hybridcs-frontend` | ADCs, quantizers, RMPI, sensing matrices |
+//! | [`coding`] | `hybridcs-coding` | bitstreams, delta coding, canonical Huffman |
+//! | [`solver`] | `hybridcs-solver` | PDHG, ADMM, FISTA, OMP, CoSaMP, IHT |
+//! | [`dsp`] | `hybridcs-dsp` | orthonormal wavelets, filters |
+//! | [`metrics`] | `hybridcs-metrics` | PRD/SNR/CR, box-plot stats |
+//! | [`power`] | `hybridcs-power` | the paper's analytical power models |
+//! | [`linalg`] | `hybridcs-linalg` | dense kernels, Cholesky/QR/CG |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hybridcs::codec::{HybridCodec, SystemConfig};
+//! use hybridcs::ecg::{EcgGenerator, GeneratorConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SystemConfig::default(); // 512-sample windows, m = 96
+//! let codec = HybridCodec::with_default_training(&config)?;
+//!
+//! let generator = EcgGenerator::new(GeneratorConfig::normal_sinus())?;
+//! let strip = generator.generate(2.0, 7);
+//! let window = &strip[..config.window];
+//!
+//! let encoded = codec.encode(window)?;
+//! let decoded = codec.decode(&encoded)?;
+//! let snr = hybridcs::metrics::snr_db(window, &decoded.signal);
+//! println!("CR {:.1}% -> SNR {snr:.1} dB", config.cs_compression_ratio());
+//! assert!(snr > 10.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hybridcs_coding as coding;
+pub use hybridcs_core as codec;
+pub use hybridcs_dsp as dsp;
+pub use hybridcs_ecg as ecg;
+pub use hybridcs_frontend as frontend;
+pub use hybridcs_linalg as linalg;
+pub use hybridcs_metrics as metrics;
+pub use hybridcs_power as power;
+pub use hybridcs_solver as solver;

@@ -1,0 +1,116 @@
+//! Reproducibility tests: every stochastic element of the system is seeded,
+//! so the full pipeline — corpus, sensing, coding, decoding — must be
+//! bit-identical across runs and across independently constructed
+//! encoder/decoder pairs (the "two devices, one seed" deployment story).
+
+use hybridcs::codec::{HybridCodec, SystemConfig};
+use hybridcs::coding::HuffmanCodebook;
+use hybridcs::ecg::{Corpus, CorpusConfig};
+use hybridcs::frontend::{Rmpi, RmpiConfig, SensingMatrix};
+
+#[test]
+fn corpus_is_bit_reproducible() {
+    let config = CorpusConfig {
+        records: 3,
+        duration_s: 2.0,
+        seed: 77,
+    };
+    assert_eq!(Corpus::generate(&config), Corpus::generate(&config));
+}
+
+#[test]
+fn sensing_matrix_regenerates_from_seed_alone() {
+    // The decoder never receives Φ; it rebuilds it from (m, n, seed).
+    let a = SensingMatrix::bernoulli(64, 512, 0xDEAD).unwrap();
+    let b = SensingMatrix::bernoulli(64, 512, 0xDEAD).unwrap();
+    let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.01).sin()).collect();
+    assert_eq!(a.apply(&x), b.apply(&x));
+}
+
+#[test]
+fn independently_built_codec_pairs_interoperate() {
+    // "Sensor firmware" and "receiver software" built separately from the
+    // same SystemConfig must round-trip each other's payloads.
+    let config = SystemConfig {
+        measurements: 64,
+        ..SystemConfig::default()
+    };
+    let sensor = HybridCodec::with_default_training(&config).unwrap();
+    let receiver = HybridCodec::with_default_training(&config).unwrap();
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        records: 1,
+        duration_s: 2.0,
+        seed: 3,
+    });
+    let window = &corpus.records()[0].samples_mv()[..512];
+    let packet = sensor.encode(window).unwrap();
+    let decoded_far = receiver.decode(&packet).unwrap();
+    let decoded_near = sensor.decode(&packet).unwrap();
+    assert_eq!(decoded_far.signal, decoded_near.signal);
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let config = SystemConfig {
+        measurements: 48,
+        ..SystemConfig::default()
+    };
+    let corpus = Corpus::generate(&CorpusConfig {
+        records: 1,
+        duration_s: 2.0,
+        seed: 8,
+    });
+    let window = &corpus.records()[0].samples_mv()[..512];
+    let run = || {
+        let codec = HybridCodec::with_default_training(&config).unwrap();
+        let encoded = codec.encode(window).unwrap();
+        codec.decode(&encoded).unwrap().signal
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn codebook_survives_flash_roundtrip() {
+    // Offline training → serialize → "flash" → deserialize must preserve
+    // the exact code assignment (the node and receiver share bits, not
+    // objects).
+    let windows = hybridcs::codec::experiment::default_training_windows(512);
+    let codec = hybridcs::codec::train_lowres_codec(7, &windows).unwrap();
+    let flashed = codec.codebook().serialize();
+    let reloaded = HuffmanCodebook::deserialize(&flashed).unwrap();
+    assert_eq!(&reloaded, codec.codebook());
+}
+
+#[test]
+fn rmpi_acquisition_is_deterministic_per_seed() {
+    let rmpi = Rmpi::new(RmpiConfig {
+        channels: 32,
+        window: 256,
+        seed: 5,
+        amplifier_noise_rms: 0.02,
+        ..RmpiConfig::default()
+    })
+    .unwrap();
+    let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).cos()).collect();
+    assert_eq!(rmpi.acquire(&x, 99).unwrap(), rmpi.acquire(&x, 99).unwrap());
+    assert_ne!(rmpi.acquire(&x, 99).unwrap(), rmpi.acquire(&x, 98).unwrap());
+}
+
+#[test]
+fn different_seeds_give_different_sensing() {
+    let config_a = SystemConfig {
+        seed: 1,
+        ..SystemConfig::default()
+    };
+    let config_b = SystemConfig {
+        seed: 2,
+        ..SystemConfig::default()
+    };
+    let a = HybridCodec::with_default_training(&config_a).unwrap();
+    let b = HybridCodec::with_default_training(&config_b).unwrap();
+    let window = vec![0.5; 512];
+    let ea = a.encode(&window).unwrap();
+    let eb = b.encode(&window).unwrap();
+    assert_ne!(ea.measurements, eb.measurements);
+}
