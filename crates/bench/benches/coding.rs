@@ -1,7 +1,9 @@
-//! Criterion benches for the entropy-coding and telemetry layers — the
+//! Micro-benches for the entropy-coding and telemetry layers — the
 //! per-window firmware cost beyond acquisition.
+//!
+//! Run with `cargo bench -p hybridcs-bench --bench coding`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hybridcs_bench::micro::{black_box, Micro};
 use hybridcs_coding::{crc32, HuffmanCodebook, LowResCodec, RleLowResCodec};
 use hybridcs_core::telemetry::FrameCodec;
 use hybridcs_core::{
@@ -10,14 +12,13 @@ use hybridcs_core::{
 use hybridcs_dsp::{Dwt, Wavelet};
 use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
 use hybridcs_frontend::LowResChannel;
-use std::hint::black_box;
 
 fn window() -> Vec<f64> {
     let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).expect("valid config");
     generator.generate(2.0, 0xC0D1)[..512].to_vec()
 }
 
-fn bench_entropy_variants(c: &mut Criterion) {
+fn bench_entropy_variants(harness: &Micro) {
     let x = window();
     let channel = LowResChannel::new(7).expect("valid bits");
     let frame = channel.acquire(&x);
@@ -27,32 +28,31 @@ fn bench_entropy_variants(c: &mut Criterion) {
         .map(|w| channel.acquire(w).codes().to_vec())
         .collect();
 
-    let plain_book =
-        HuffmanCodebook::train_from_code_sequences(sequences.iter().map(|v| &v[..]))
-            .expect("training set");
+    let plain_book = HuffmanCodebook::train_from_code_sequences(sequences.iter().map(|v| &v[..]))
+        .expect("training set");
     let plain = LowResCodec::new(plain_book, 7).expect("valid bits");
-    c.bench_function("lowres_encode_plain_huffman", |b| {
-        b.iter(|| black_box(plain.encode(black_box(frame.codes())).expect("encodes")))
+    harness.bench("lowres_encode_plain_huffman", || {
+        plain.encode(black_box(frame.codes())).expect("encodes")
     });
 
     let rle = RleLowResCodec::train(sequences.iter().map(|v| &v[..]), 7).expect("training set");
-    c.bench_function("lowres_encode_zero_run", |b| {
-        b.iter(|| black_box(rle.encode(black_box(frame.codes())).expect("encodes")))
+    harness.bench("lowres_encode_zero_run", || {
+        rle.encode(black_box(frame.codes())).expect("encodes")
     });
 }
 
-fn bench_wavelet_families(c: &mut Criterion) {
+fn bench_wavelet_families(harness: &Micro) {
     let x = window();
     for w in Wavelet::ALL {
         let levels = Dwt::max_levels(w, 512).min(5);
         let dwt = Dwt::new(w, levels).expect("valid depth");
-        c.bench_function(&format!("dwt_forward_{w}_n512"), |b| {
-            b.iter(|| black_box(dwt.forward(black_box(&x)).expect("valid length")))
+        harness.bench(&format!("dwt_forward_{w}_n512"), || {
+            dwt.forward(black_box(&x)).expect("valid length")
         });
     }
 }
 
-fn bench_telemetry(c: &mut Criterion) {
+fn bench_telemetry(harness: &Micro) {
     let x = window();
     let config = SystemConfig::default();
     let lowres_codec =
@@ -61,22 +61,22 @@ fn bench_telemetry(c: &mut Criterion) {
     let frontend = HybridFrontEnd::new(&config, lowres_codec).expect("config");
     let frame_codec = FrameCodec::new(&config).expect("config");
     let encoded = frontend.encode(&x).expect("window sized");
-    c.bench_function("telemetry_serialize_frame", |b| {
-        b.iter(|| black_box(frame_codec.serialize(1, black_box(&encoded)).expect("serializes")))
+    harness.bench("telemetry_serialize_frame", || {
+        frame_codec
+            .serialize(1, black_box(&encoded))
+            .expect("serializes")
     });
     let bytes = frame_codec.serialize(1, &encoded).expect("serializes");
-    c.bench_function("telemetry_deserialize_frame", |b| {
-        b.iter(|| black_box(frame_codec.deserialize(black_box(&bytes)).expect("parses")))
+    harness.bench("telemetry_deserialize_frame", || {
+        frame_codec.deserialize(black_box(&bytes)).expect("parses")
     });
-    c.bench_function("crc32_1kB", |b| {
-        let data = vec![0xA5u8; 1024];
-        b.iter(|| black_box(crc32(black_box(&data))))
-    });
+    let data = vec![0xA5u8; 1024];
+    harness.bench("crc32_1kB", || crc32(black_box(&data)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_entropy_variants, bench_wavelet_families, bench_telemetry
+fn main() {
+    let harness = Micro::new();
+    bench_entropy_variants(&harness);
+    bench_wavelet_families(&harness);
+    bench_telemetry(&harness);
 }
-criterion_main!(benches);

@@ -1,79 +1,73 @@
-//! Criterion benches for the sensor-side pipeline: the operations a node's
+//! Micro-benches for the sensor-side pipeline: the operations a node's
 //! firmware would run per window (sensing, quantization, entropy coding)
 //! plus the transforms they build on.
+//!
+//! Run with `cargo bench -p hybridcs-bench --bench encoder`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hybridcs_bench::micro::{black_box, Micro};
 use hybridcs_core::{
     experiment::default_training_windows, train_lowres_codec, HybridCodec, SystemConfig,
 };
 use hybridcs_dsp::{Dwt, Wavelet};
 use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
 use hybridcs_frontend::{LowResChannel, SensingMatrix};
-use std::hint::black_box;
 
 fn window() -> Vec<f64> {
     let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).expect("valid config");
     generator.generate(2.0, 0xBE7C)[..512].to_vec()
 }
 
-fn bench_sensing(c: &mut Criterion) {
+fn bench_sensing(harness: &Micro) {
     let x = window();
     let phi = SensingMatrix::bernoulli(96, 512, 1).expect("valid shape");
-    c.bench_function("rmpi_measure_m96_n512", |b| {
-        b.iter(|| black_box(phi.apply(black_box(&x))))
-    });
+    harness.bench("rmpi_measure_m96_n512", || phi.apply(black_box(&x)));
     let sparse = SensingMatrix::sparse_binary(96, 512, 8, 1).expect("valid shape");
-    c.bench_function("sparse_binary_measure_m96_n512", |b| {
-        b.iter(|| black_box(sparse.apply(black_box(&x))))
+    harness.bench("sparse_binary_measure_m96_n512", || {
+        sparse.apply(black_box(&x))
     });
 }
 
-fn bench_dwt(c: &mut Criterion) {
+fn bench_dwt(harness: &Micro) {
     let x = window();
     let dwt = Dwt::new(Wavelet::Db4, 5).expect("valid depth");
-    c.bench_function("dwt_forward_db4_l5_n512", |b| {
-        b.iter(|| black_box(dwt.forward(black_box(&x)).expect("valid length")))
+    harness.bench("dwt_forward_db4_l5_n512", || {
+        dwt.forward(black_box(&x)).expect("valid length")
     });
     let coeffs = dwt.forward(&x).expect("valid length");
-    c.bench_function("dwt_inverse_db4_l5_n512", |b| {
-        b.iter(|| black_box(dwt.inverse(black_box(&coeffs)).expect("valid length")))
+    harness.bench("dwt_inverse_db4_l5_n512", || {
+        dwt.inverse(black_box(&coeffs)).expect("valid length")
     });
 }
 
-fn bench_lowres_coding(c: &mut Criterion) {
+fn bench_lowres_coding(harness: &Micro) {
     let x = window();
     let channel = LowResChannel::new(7).expect("valid bits");
     let codec = train_lowres_codec(7, &default_training_windows(512)).expect("training set");
     let frame = channel.acquire(&x);
-    c.bench_function("lowres_acquire_7bit_n512", |b| {
-        b.iter(|| black_box(channel.acquire(black_box(&x))))
+    harness.bench("lowres_acquire_7bit_n512", || {
+        channel.acquire(black_box(&x))
     });
-    c.bench_function("huffman_encode_7bit_n512", |b| {
-        b.iter(|| black_box(codec.encode(black_box(frame.codes())).expect("encodes")))
+    harness.bench("huffman_encode_7bit_n512", || {
+        codec.encode(black_box(frame.codes())).expect("encodes")
     });
     let payload = codec.encode(frame.codes()).expect("encodes");
-    c.bench_function("huffman_decode_7bit_n512", |b| {
-        b.iter(|| black_box(codec.decode(black_box(&payload), 512).expect("decodes")))
+    harness.bench("huffman_decode_7bit_n512", || {
+        codec.decode(black_box(&payload), 512).expect("decodes")
     });
 }
 
-fn bench_full_encode(c: &mut Criterion) {
+fn bench_full_encode(harness: &Micro) {
     let x = window();
     let codec = HybridCodec::with_default_training(&SystemConfig::default()).expect("config");
-    c.bench_function("hybrid_encode_full_window", |b| {
-        b.iter_batched(
-            || x.clone(),
-            |w| black_box(codec.encode(&w).expect("encodes")),
-            BatchSize::SmallInput,
-        )
+    harness.bench("hybrid_encode_full_window", || {
+        codec.encode(black_box(&x)).expect("encodes")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sensing,
-    bench_dwt,
-    bench_lowres_coding,
-    bench_full_encode
-);
-criterion_main!(benches);
+fn main() {
+    let harness = Micro::new();
+    bench_sensing(&harness);
+    bench_dwt(&harness);
+    bench_lowres_coding(&harness);
+    bench_full_encode(&harness);
+}

@@ -1,7 +1,9 @@
-//! Criterion benches for the receiver-side decoders — the cost that bounds
+//! Micro-benches for the receiver-side decoders — the cost that bounds
 //! how many records/CR points the quality sweeps can afford.
+//!
+//! Run with `cargo bench -p hybridcs-bench --bench solvers`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hybridcs_bench::micro::{black_box, Micro};
 use hybridcs_core::SensingOperator;
 use hybridcs_dsp::{Dwt, Wavelet};
 use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
@@ -9,7 +11,6 @@ use hybridcs_frontend::{LowResChannel, MeasurementQuantizer, SensingMatrix};
 use hybridcs_solver::{
     solve_admm, solve_omp, solve_pdhg, AdmmOptions, BpdnProblem, GreedyOptions, PdhgOptions,
 };
-use std::hint::black_box;
 
 struct Instance {
     window: Vec<f64>,
@@ -59,44 +60,11 @@ fn short_admm() -> AdmmOptions {
     }
 }
 
-fn bench_pdhg(c: &mut Criterion) {
+fn bench_pdhg(harness: &Micro) {
     for m in [32usize, 96] {
         let inst = instance(m);
         let operator = SensingOperator::new(&inst.phi);
-        c.bench_function(&format!("pdhg_hybrid_200it_m{m}"), |b| {
-            b.iter(|| {
-                let problem = BpdnProblem {
-                    sensing: &operator,
-                    dwt: &inst.dwt,
-                    measurements: &inst.y,
-                    sigma: inst.sigma,
-                    box_bounds: Some((&inst.lo, &inst.hi)),
-                    coefficient_weights: None,
-                };
-                black_box(solve_pdhg(&problem, &short_pdhg()).expect("solves"))
-            })
-        });
-        c.bench_function(&format!("pdhg_normal_200it_m{m}"), |b| {
-            b.iter(|| {
-                let problem = BpdnProblem {
-                    sensing: &operator,
-                    dwt: &inst.dwt,
-                    measurements: &inst.y,
-                    sigma: inst.sigma,
-                    box_bounds: None,
-                    coefficient_weights: None,
-                };
-                black_box(solve_pdhg(&problem, &short_pdhg()).expect("solves"))
-            })
-        });
-    }
-}
-
-fn bench_admm(c: &mut Criterion) {
-    let inst = instance(96);
-    let operator = SensingOperator::new(&inst.phi);
-    c.bench_function("admm_hybrid_50it_m96", |b| {
-        b.iter(|| {
+        harness.bench(&format!("pdhg_hybrid_200it_m{m}"), || {
             let problem = BpdnProblem {
                 sensing: &operator,
                 dwt: &inst.dwt,
@@ -105,12 +73,39 @@ fn bench_admm(c: &mut Criterion) {
                 box_bounds: Some((&inst.lo, &inst.hi)),
                 coefficient_weights: None,
             };
-            black_box(solve_admm(&problem, &short_admm()).expect("solves"))
-        })
+            black_box(solve_pdhg(&problem, &short_pdhg()).expect("solves"))
+        });
+        harness.bench(&format!("pdhg_normal_200it_m{m}"), || {
+            let problem = BpdnProblem {
+                sensing: &operator,
+                dwt: &inst.dwt,
+                measurements: &inst.y,
+                sigma: inst.sigma,
+                box_bounds: None,
+                coefficient_weights: None,
+            };
+            black_box(solve_pdhg(&problem, &short_pdhg()).expect("solves"))
+        });
+    }
+}
+
+fn bench_admm(harness: &Micro) {
+    let inst = instance(96);
+    let operator = SensingOperator::new(&inst.phi);
+    harness.bench("admm_hybrid_50it_m96", || {
+        let problem = BpdnProblem {
+            sensing: &operator,
+            dwt: &inst.dwt,
+            measurements: &inst.y,
+            sigma: inst.sigma,
+            box_bounds: Some((&inst.lo, &inst.hi)),
+            coefficient_weights: None,
+        };
+        black_box(solve_admm(&problem, &short_admm()).expect("solves"))
     });
 }
 
-fn bench_omp(c: &mut Criterion) {
+fn bench_omp(harness: &Micro) {
     let inst = instance(96);
     // Explicit dictionary A = Φ·Ψ for the greedy baseline.
     let mut a = hybridcs_linalg::Matrix::zeros(96, 512);
@@ -130,15 +125,17 @@ fn bench_omp(c: &mut Criterion) {
         max_iterations: 24,
         step: None,
     };
-    c.bench_function("omp_s24_m96_n512", |b| {
-        b.iter(|| black_box(solve_omp(&a, &inst.y, &opts).expect("solves")))
+    harness.bench("omp_s24_m96_n512", || {
+        solve_omp(&a, &inst.y, &opts).expect("solves")
     });
     let _ = &inst.window; // keep the instance alive/meaningful
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pdhg, bench_admm, bench_omp
+fn main() {
+    // Solver iterations are expensive; fewer samples keep the bench quick.
+    let mut harness = Micro::new();
+    harness.samples = harness.samples.min(5);
+    bench_pdhg(&harness);
+    bench_admm(&harness);
+    bench_omp(&harness);
 }
-criterion_main!(benches);

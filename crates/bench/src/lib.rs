@@ -1,4 +1,4 @@
-//! Shared helpers for the paper-figure regenerators and Criterion benches.
+//! Shared helpers for the paper-figure regenerators and micro-benches.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
 //! (see DESIGN.md §4 for the index). Output is a plain text table on
@@ -11,6 +11,8 @@
 //! * `HYBRIDCS_WINDOWS` — evaluated windows per record (default 2).
 
 #![forbid(unsafe_code)]
+
+pub mod micro;
 
 use hybridcs_core::{DecoderAlgorithm, SystemConfig};
 use hybridcs_ecg::{Corpus, CorpusConfig};

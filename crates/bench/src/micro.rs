@@ -1,0 +1,130 @@
+//! A minimal wall-clock micro-benchmark harness — the hermetic stand-in
+//! for the Criterion benches (external dev-dependencies are banned by the
+//! workspace's offline-build policy, see README.md).
+//!
+//! Methodology: warm up, size a batch so one timing sample costs roughly
+//! [`Micro::sample_budget`], collect [`Micro::samples`] batched samples,
+//! and report the **median** per-iteration time (the median is robust to
+//! scheduler noise; min and max are printed for spread). This is
+//! deliberately simpler than Criterion — no outlier classification or
+//! regression — but it is deterministic in structure, dependency-free,
+//! and good enough to rank kernels and catch order-of-magnitude
+//! regressions.
+//!
+//! Environment knobs:
+//!
+//! * `HYBRIDCS_BENCH_SAMPLES` — timing samples per benchmark (default 15).
+//! * `HYBRIDCS_BENCH_SAMPLE_MS` — target milliseconds per sample
+//!   (default 40).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — re-exported so bench binaries keep the familiar
+/// `black_box` spelling without importing `std::hint` everywhere.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Harness configuration plus the accumulated report lines.
+pub struct Micro {
+    /// Timing samples collected per benchmark.
+    pub samples: usize,
+    /// Wall-clock budget per sample; batch sizes are derived from it.
+    pub sample_budget: Duration,
+}
+
+impl Default for Micro {
+    fn default() -> Self {
+        let samples = std::env::var("HYBRIDCS_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15);
+        let ms = std::env::var("HYBRIDCS_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40);
+        Micro {
+            samples: samples.max(3),
+            sample_budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Micro {
+    /// Creates a harness with the environment-derived defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        Micro::default()
+    }
+
+    /// Times `f` and prints one report line; returns the median
+    /// per-iteration time so callers can assert on it if they wish.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Duration {
+        // Warm-up + batch sizing: one untimed call, then estimate cost.
+        let start = Instant::now();
+        std_black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_batch = (self.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+        let per_batch = u32::try_from(per_batch).unwrap_or(u32::MAX);
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                std_black_box(f());
+            }
+            per_iter.push(t0.elapsed() / per_batch);
+        }
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<40} {:>12}/iter  (min {}, max {}, {} × {per_batch} iters)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            self.samples,
+        );
+        median
+    }
+}
+
+/// Human-scaled duration formatting (ns/µs/ms/s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_plausible_timing() {
+        let harness = Micro {
+            samples: 3,
+            sample_budget: Duration::from_millis(1),
+        };
+        let median = harness.bench("spin_sum", || (0..1000u64).sum::<u64>());
+        assert!(median > Duration::ZERO);
+        assert!(median < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn formatting_covers_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.000 s");
+    }
+}

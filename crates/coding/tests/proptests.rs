@@ -1,123 +1,174 @@
-//! Property-based tests for the entropy-coding substrate.
+//! Property-based tests for the entropy-coding substrate, running on the
+//! in-repo `hybridcs_rand::check` harness (≥ 64 seeded cases per property;
+//! failures print a `HYBRIDCS_CHECK_SEED` reproduction line).
 
 use hybridcs_coding::{
     crc32, delta_decode, delta_encode, BitReader, BitWriter, HuffmanCodebook, LowResCodec,
     RleLowResCodec,
 };
-use proptest::prelude::*;
+use hybridcs_rand::check::{check, i64_in, u32_in, u64_any, u8_any, usize_in, vec_of, zip2};
+use hybridcs_rand::{prop_assert, prop_assert_eq, prop_assert_ne};
 use std::collections::BTreeMap;
 
-proptest! {
-    /// Arbitrary (value, width) sequences round-trip through the bit I/O.
-    #[test]
-    fn bitstream_roundtrip(ops in prop::collection::vec((any::<u64>(), 1u32..=64), 1..64)) {
-        let mut writer = BitWriter::new();
-        for &(value, width) in &ops {
-            writer.write_bits(value, width);
-        }
-        let (bytes, len) = writer.finish();
-        let mut reader = BitReader::new(&bytes, len);
-        for &(value, width) in &ops {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-            prop_assert_eq!(reader.read_bits(width)?, value & mask);
-        }
-        prop_assert_eq!(reader.remaining(), 0);
-    }
+/// Arbitrary (value, width) sequences round-trip through the bit I/O.
+#[test]
+fn bitstream_roundtrip() {
+    check(
+        "bitstream_roundtrip",
+        &vec_of(zip2(u64_any(), u32_in(1, 65)), 1, 64),
+        |ops| {
+            let mut writer = BitWriter::new();
+            for &(value, width) in ops {
+                writer.write_bits(value, width);
+            }
+            let (bytes, len) = writer.finish();
+            let mut reader = BitReader::new(&bytes, len);
+            for &(value, width) in ops {
+                let mask = if width == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << width) - 1
+                };
+                prop_assert_eq!(reader.read_bits(width).unwrap(), value & mask);
+            }
+            prop_assert_eq!(reader.remaining(), 0);
+            Ok(())
+        },
+    );
+}
 
-    /// Delta coding round-trips every u32 sequence.
-    #[test]
-    fn delta_roundtrip(codes in prop::collection::vec(any::<u32>(), 0..200)) {
-        let (first, diffs) = delta_encode(&codes);
-        if codes.is_empty() {
-            prop_assert!(diffs.is_empty());
-        } else {
-            prop_assert_eq!(delta_decode(first, &diffs).unwrap(), codes);
-        }
-    }
+/// Delta coding round-trips every u32 sequence.
+#[test]
+fn delta_roundtrip() {
+    check(
+        "delta_roundtrip",
+        &vec_of(u32_in(0, u32::MAX), 0, 200),
+        |codes| {
+            let (first, diffs) = delta_encode(codes);
+            if codes.is_empty() {
+                prop_assert!(diffs.is_empty());
+            } else {
+                prop_assert_eq!(delta_decode(first, &diffs).unwrap(), codes.clone());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Huffman round-trips any symbol stream over any trained alphabet
-    /// (the escape mechanism covers out-of-alphabet symbols).
-    #[test]
-    fn huffman_roundtrip_with_escapes(
-        training in prop::collection::vec(-20i64..20, 1..50),
-        stream in prop::collection::vec(-1000i64..1000, 0..100),
-    ) {
-        let mut freqs = BTreeMap::new();
-        for s in training {
-            *freqs.entry(s).or_insert(0u64) += 1;
-        }
-        let book = HuffmanCodebook::from_frequencies(&freqs).unwrap();
-        let mut writer = BitWriter::new();
-        for &s in &stream {
-            book.encode_symbol(&mut writer, s);
-        }
-        let (bytes, len) = writer.finish();
-        let mut reader = BitReader::new(&bytes, len);
-        for &expected in &stream {
-            prop_assert_eq!(book.decode_symbol(&mut reader)?, expected);
-        }
-    }
+/// Huffman round-trips any symbol stream over any trained alphabet
+/// (the escape mechanism covers out-of-alphabet symbols).
+#[test]
+fn huffman_roundtrip_with_escapes() {
+    check(
+        "huffman_roundtrip_with_escapes",
+        &zip2(
+            vec_of(i64_in(-20, 20), 1, 50),
+            vec_of(i64_in(-1000, 1000), 0, 100),
+        ),
+        |(training, stream)| {
+            let mut freqs = BTreeMap::new();
+            for &s in training {
+                *freqs.entry(s).or_insert(0u64) += 1;
+            }
+            let book = HuffmanCodebook::from_frequencies(&freqs).unwrap();
+            let mut writer = BitWriter::new();
+            for &s in stream {
+                book.encode_symbol(&mut writer, s);
+            }
+            let (bytes, len) = writer.finish();
+            let mut reader = BitReader::new(&bytes, len);
+            for &expected in stream {
+                prop_assert_eq!(book.decode_symbol(&mut reader).unwrap(), expected);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Codebook serialization is a lossless bijection on the code
-    /// assignment.
-    #[test]
-    fn codebook_serialization_roundtrip(symbols in prop::collection::vec(-500i64..500, 1..80)) {
-        let mut freqs = BTreeMap::new();
-        for (k, s) in symbols.iter().enumerate() {
-            *freqs.entry(*s).or_insert(0u64) += 1 + (k as u64 % 7);
-        }
-        let book = HuffmanCodebook::from_frequencies(&freqs).unwrap();
-        let back = HuffmanCodebook::deserialize(&book.serialize()).unwrap();
-        prop_assert_eq!(book, back);
-    }
+/// Codebook serialization is a lossless bijection on the code assignment.
+#[test]
+fn codebook_serialization_roundtrip() {
+    check(
+        "codebook_serialization_roundtrip",
+        &vec_of(i64_in(-500, 500), 1, 80),
+        |symbols| {
+            let mut freqs = BTreeMap::new();
+            for (k, s) in symbols.iter().enumerate() {
+                *freqs.entry(*s).or_insert(0u64) += 1 + (k as u64 % 7);
+            }
+            let book = HuffmanCodebook::from_frequencies(&freqs).unwrap();
+            let back = HuffmanCodebook::deserialize(&book.serialize()).unwrap();
+            prop_assert_eq!(book, back);
+            Ok(())
+        },
+    );
+}
 
-    /// Both frame codecs are lossless on arbitrary in-range code frames.
-    #[test]
-    fn frame_codecs_roundtrip(
-        frame in prop::collection::vec(0u32..128, 0..300),
-        training in prop::collection::vec(0u32..128, 2..100),
-    ) {
-        let plain_book =
-            HuffmanCodebook::train_from_code_sequences([&training[..]]).unwrap();
-        let plain = LowResCodec::new(plain_book, 7).unwrap();
-        let payload = plain.encode(&frame).unwrap();
-        prop_assert_eq!(plain.decode(&payload, frame.len()).unwrap(), frame.clone());
+/// Both frame codecs are lossless on arbitrary in-range code frames.
+#[test]
+fn frame_codecs_roundtrip() {
+    check(
+        "frame_codecs_roundtrip",
+        &zip2(
+            vec_of(u32_in(0, 128), 0, 300),
+            vec_of(u32_in(0, 128), 2, 100),
+        ),
+        |(frame, training)| {
+            let plain_book = HuffmanCodebook::train_from_code_sequences([&training[..]]).unwrap();
+            let plain = LowResCodec::new(plain_book, 7).unwrap();
+            let payload = plain.encode(frame).unwrap();
+            prop_assert_eq!(plain.decode(&payload, frame.len()).unwrap(), frame.clone());
 
-        let rle = RleLowResCodec::train([&training[..]], 7).unwrap();
-        let payload = rle.encode(&frame).unwrap();
-        prop_assert_eq!(rle.decode(&payload, frame.len()).unwrap(), frame);
-    }
+            let rle = RleLowResCodec::train([&training[..]], 7).unwrap();
+            let payload = rle.encode(frame).unwrap();
+            prop_assert_eq!(rle.decode(&payload, frame.len()).unwrap(), frame.clone());
+            Ok(())
+        },
+    );
+}
 
-    /// CRC-32 detects any single-bit flip.
-    #[test]
-    fn crc_detects_bit_flips(
-        data in prop::collection::vec(any::<u8>(), 1..128),
-        byte_idx in any::<prop::sample::Index>(),
-        bit in 0u8..8,
-    ) {
-        let clean = crc32(&data);
-        let mut flipped = data.clone();
-        let i = byte_idx.index(flipped.len());
-        flipped[i] ^= 1 << bit;
-        prop_assert_ne!(crc32(&flipped), clean);
-    }
+/// CRC-32 detects any single-bit flip.
+#[test]
+fn crc_detects_bit_flips() {
+    check(
+        "crc_detects_bit_flips",
+        &zip2(
+            vec_of(u8_any(), 1, 128),
+            zip2(usize_in(0, usize::MAX), u32_in(0, 8)),
+        ),
+        |(data, (byte_idx, bit))| {
+            let clean = crc32(data);
+            let mut flipped = data.clone();
+            let i = byte_idx % flipped.len();
+            flipped[i] ^= 1 << bit;
+            prop_assert_ne!(crc32(&flipped), clean);
+            Ok(())
+        },
+    );
+}
 
-    /// Kraft equality holds for every trained codebook (the code is a
-    /// complete prefix code).
-    #[test]
-    fn kraft_equality(symbols in prop::collection::vec(-100i64..100, 1..60)) {
-        let mut freqs = BTreeMap::new();
-        for s in symbols {
-            *freqs.entry(s).or_insert(0u64) += 1;
-        }
-        let book = HuffmanCodebook::from_frequencies(&freqs).unwrap();
-        let mut kraft = 0.0;
-        let mut all = book.symbols();
-        all.push(i64::MIN); // escape
-        for s in all {
-            let (len, _) = book.code_for(s).unwrap();
-            kraft += 2f64.powi(-i32::from(len));
-        }
-        prop_assert!((kraft - 1.0).abs() < 1e-9, "kraft {}", kraft);
-    }
+/// Kraft equality holds for every trained codebook (the code is a
+/// complete prefix code).
+#[test]
+fn kraft_equality() {
+    check(
+        "kraft_equality",
+        &vec_of(i64_in(-100, 100), 1, 60),
+        |symbols| {
+            let mut freqs = BTreeMap::new();
+            for &s in symbols {
+                *freqs.entry(s).or_insert(0u64) += 1;
+            }
+            let book = HuffmanCodebook::from_frequencies(&freqs).unwrap();
+            let mut kraft = 0.0;
+            let mut all = book.symbols();
+            all.push(i64::MIN); // escape
+            for s in all {
+                let (len, _) = book.code_for(s).unwrap();
+                kraft += 2f64.powi(-i32::from(len));
+            }
+            prop_assert!((kraft - 1.0).abs() < 1e-9, "kraft {}", kraft);
+            Ok(())
+        },
+    );
 }

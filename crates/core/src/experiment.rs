@@ -399,17 +399,15 @@ mod tests {
         let window = &corpus.records()[0].samples_mv()[..512];
         let config = SystemConfig {
             measurements: 64,
-            algorithm: crate::DecoderAlgorithm::Reweighted(
-                hybridcs_solver::ReweightedOptions {
-                    outer_iterations: 2,
-                    inner: PdhgOptions {
-                        max_iterations: 400,
-                        tolerance: 1e-4,
-                        ..PdhgOptions::default()
-                    },
-                    ..hybridcs_solver::ReweightedOptions::default()
+            algorithm: crate::DecoderAlgorithm::Reweighted(hybridcs_solver::ReweightedOptions {
+                outer_iterations: 2,
+                inner: PdhgOptions {
+                    max_iterations: 400,
+                    tolerance: 1e-4,
+                    ..PdhgOptions::default()
                 },
-            ),
+                ..hybridcs_solver::ReweightedOptions::default()
+            }),
             ..SystemConfig::default()
         };
         let codec = HybridCodec::with_default_training(&config).unwrap();

@@ -1,82 +1,126 @@
-//! Property-based tests for the FIR/IIR building blocks.
+//! Property-based tests for the FIR/IIR building blocks, on the in-repo
+//! `hybridcs_rand::check` harness (≥ 64 seeded cases each).
 
 use hybridcs_dsp::filters::{BandPass, FirFilter, OnePole};
-use proptest::prelude::*;
+use hybridcs_rand::check::{check, f64_in, usize_in, vec_len, vec_of, zip2, zip4};
+use hybridcs_rand::prop_assert;
 
-proptest! {
-    /// FIR filtering is linear: F(a·x + y) == a·F(x) + F(y).
-    #[test]
-    fn fir_is_linear(
-        taps in prop::collection::vec(-2.0..2.0f64, 1..8),
-        x in prop::collection::vec(-10.0..10.0f64, 16),
-        y in prop::collection::vec(-10.0..10.0f64, 16),
-        a in -3.0..3.0f64,
-    ) {
-        let f = FirFilter::new(taps).unwrap();
-        let mixed: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
-        let lhs = f.apply(&mixed);
-        let fx = f.apply(&x);
-        let fy = f.apply(&y);
-        for i in 0..16 {
-            let rhs = a * fx[i] + fy[i];
-            prop_assert!((lhs[i] - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
-        }
-    }
+/// FIR filtering is linear: F(a·x + y) == a·F(x) + F(y).
+#[test]
+fn fir_is_linear() {
+    check(
+        "fir_is_linear",
+        &zip4(
+            vec_of(f64_in(-2.0, 2.0), 1, 8),
+            vec_len(f64_in(-10.0, 10.0), 16),
+            vec_len(f64_in(-10.0, 10.0), 16),
+            f64_in(-3.0, 3.0),
+        ),
+        |(taps, x, y, a)| {
+            let f = FirFilter::new(taps.clone()).unwrap();
+            let mixed: Vec<f64> = x.iter().zip(y).map(|(xi, yi)| a * xi + yi).collect();
+            let lhs = f.apply(&mixed);
+            let fx = f.apply(x);
+            let fy = f.apply(y);
+            for i in 0..16 {
+                let rhs = a * fx[i] + fy[i];
+                prop_assert!(
+                    (lhs[i] - rhs).abs() <= 1e-9 * rhs.abs().max(1.0),
+                    "sample {i}: {} vs {rhs}",
+                    lhs[i]
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// FIR filtering is time-invariant (up to the zero-state warm-up):
-    /// shifting the input shifts the output.
-    #[test]
-    fn fir_is_time_invariant(
-        taps in prop::collection::vec(-2.0..2.0f64, 1..6),
-        x in prop::collection::vec(-10.0..10.0f64, 24),
-    ) {
-        let f = FirFilter::new(taps.clone()).unwrap();
-        let mut shifted = vec![0.0; 4];
-        shifted.extend_from_slice(&x);
-        let y = f.apply(&x);
-        let y_shifted = f.apply(&shifted);
-        // After the warm-up region the shifted output matches.
-        for i in taps.len()..x.len() {
-            prop_assert!((y[i] - y_shifted[i + 4]).abs() < 1e-9);
-        }
-    }
+/// FIR filtering is time-invariant (up to the zero-state warm-up):
+/// shifting the input shifts the output.
+#[test]
+fn fir_is_time_invariant() {
+    check(
+        "fir_is_time_invariant",
+        &zip2(
+            vec_of(f64_in(-2.0, 2.0), 1, 6),
+            vec_len(f64_in(-10.0, 10.0), 24),
+        ),
+        |(taps, x)| {
+            let f = FirFilter::new(taps.clone()).unwrap();
+            let mut shifted = vec![0.0; 4];
+            shifted.extend_from_slice(x);
+            let y = f.apply(x);
+            let y_shifted = f.apply(&shifted);
+            // After the warm-up region the shifted output matches.
+            for i in taps.len()..x.len() {
+                prop_assert!(
+                    (y[i] - y_shifted[i + 4]).abs() < 1e-9,
+                    "sample {i}: {} vs {}",
+                    y[i],
+                    y_shifted[i + 4]
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// A one-pole low-pass is BIBO-stable: bounded input gives output
-    /// bounded by the same amplitude (unity DC gain, |a| < 1).
-    #[test]
-    fn one_pole_is_bibo_stable(a in 0.0..0.999f64, x in prop::collection::vec(-5.0..5.0f64, 64)) {
-        let mut f = OnePole::new(a).unwrap();
-        let bound = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
-        for v in f.process(&x) {
-            prop_assert!(v.abs() <= bound + 1e-9);
-        }
-    }
+/// A one-pole low-pass is BIBO-stable: bounded input gives output
+/// bounded by the same amplitude (unity DC gain, |a| < 1).
+#[test]
+fn one_pole_is_bibo_stable() {
+    check(
+        "one_pole_is_bibo_stable",
+        &zip2(f64_in(0.0, 0.999), vec_len(f64_in(-5.0, 5.0), 64)),
+        |(a, x)| {
+            let mut f = OnePole::new(*a).unwrap();
+            let bound = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            for v in f.process(x) {
+                prop_assert!(v.abs() <= bound + 1e-9, "output {v} exceeds bound {bound}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The moving average of any signal stays within its min/max envelope.
-    #[test]
-    fn moving_average_respects_envelope(
-        len in 1usize..12,
-        x in prop::collection::vec(0.5..9.5f64, 32),
-    ) {
-        let f = FirFilter::moving_average(len).unwrap();
-        let hi = x.iter().fold(f64::MIN, |m, v| m.max(*v));
-        let y = f.apply(&x);
-        // Zero initial state can pull early outputs below min; after the
-        // warm-up the envelope holds.
-        for v in &y[len.min(31)..] {
-            prop_assert!(*v <= hi + 1e-9);
-            prop_assert!(*v >= 0.0);
-        }
-    }
+/// The moving average of any signal stays within its min/max envelope.
+#[test]
+fn moving_average_respects_envelope() {
+    check(
+        "moving_average_respects_envelope",
+        &zip2(usize_in(1, 12), vec_len(f64_in(0.5, 9.5), 32)),
+        |(len, x)| {
+            let f = FirFilter::moving_average(*len).unwrap();
+            let hi = x.iter().fold(f64::MIN, |m, v| m.max(*v));
+            let y = f.apply(x);
+            // Zero initial state can pull early outputs below min; after the
+            // warm-up the envelope holds.
+            for v in &y[(*len).min(31)..] {
+                prop_assert!(*v <= hi + 1e-9, "output {v} above envelope {hi}");
+                prop_assert!(*v >= 0.0, "output {v} negative");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Band-pass output of a bounded signal is bounded (sum of two stable
-    /// one-poles).
-    #[test]
-    fn band_pass_is_stable(x in prop::collection::vec(-5.0..5.0f64, 128)) {
-        let mut bp = BandPass::new(5.0, 40.0, 360.0).unwrap();
-        let bound = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
-        for v in bp.process(&x) {
-            prop_assert!(v.abs() <= 2.0 * bound + 1e-9);
-        }
-    }
+/// Band-pass output of a bounded signal is bounded (sum of two stable
+/// one-poles).
+#[test]
+fn band_pass_is_stable() {
+    check(
+        "band_pass_is_stable",
+        &vec_len(f64_in(-5.0, 5.0), 128),
+        |x| {
+            let mut bp = BandPass::new(5.0, 40.0, 360.0).unwrap();
+            let bound = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            for v in bp.process(x) {
+                prop_assert!(
+                    v.abs() <= 2.0 * bound + 1e-9,
+                    "output {v} exceeds 2×{bound}"
+                );
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,73 +1,122 @@
 //! Property-based tests for the wavelet transforms: these invariants are the
-//! mathematical foundation the whole decoder rests on.
+//! mathematical foundation the whole decoder rests on. They run on the
+//! in-repo `hybridcs_rand::check` harness (≥ 64 seeded cases each).
 
 use hybridcs_dsp::{Dwt, Wavelet};
-use proptest::prelude::*;
+use hybridcs_rand::check::{check, choice, f64_in, vec_len, zip2, zip3, Gen};
+use hybridcs_rand::prop_assert;
 
-fn signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e3..1e3f64, len)
+fn signal(len: usize) -> Gen<Vec<f64>> {
+    vec_len(f64_in(-1e3, 1e3), len)
 }
 
-fn any_wavelet() -> impl Strategy<Value = Wavelet> {
-    prop::sample::select(Wavelet::ALL.to_vec())
+fn any_wavelet() -> Gen<Wavelet> {
+    choice(Wavelet::ALL.to_vec())
 }
 
-proptest! {
-    /// Ψ(Ψᵀ x) == x for every signal and every family — perfect
-    /// reconstruction through the full analysis/synthesis cascade.
-    #[test]
-    fn perfect_reconstruction(w in any_wavelet(), x in signal(128)) {
-        let levels = Dwt::max_levels(w, 128).min(4).max(1);
-        let dwt = Dwt::new(w, levels).unwrap();
-        let back = dwt.inverse(&dwt.forward(&x).unwrap()).unwrap();
-        for (a, b) in x.iter().zip(&back) {
-            prop_assert!((a - b).abs() < 1e-8 * a.abs().max(1.0));
-        }
-    }
+/// Ψ(Ψᵀ x) == x for every signal and every family — perfect
+/// reconstruction through the full analysis/synthesis cascade.
+#[test]
+fn perfect_reconstruction() {
+    check(
+        "perfect_reconstruction",
+        &zip2(any_wavelet(), signal(128)),
+        |(w, x)| {
+            let levels = Dwt::max_levels(*w, 128).min(4).max(1);
+            let dwt = Dwt::new(*w, levels).unwrap();
+            let back = dwt.inverse(&dwt.forward(x).unwrap()).unwrap();
+            for (a, b) in x.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-8 * a.abs().max(1.0), "{a} vs {b}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Ψᵀ(Ψ c) == c — the transform is orthonormal in both directions.
-    #[test]
-    fn inverse_then_forward(w in any_wavelet(), c in signal(64)) {
-        let levels = Dwt::max_levels(w, 64).min(3).max(1);
-        let dwt = Dwt::new(w, levels).unwrap();
-        let back = dwt.forward(&dwt.inverse(&c).unwrap()).unwrap();
-        for (a, b) in c.iter().zip(&back) {
-            prop_assert!((a - b).abs() < 1e-8 * a.abs().max(1.0));
-        }
-    }
+/// Ψᵀ(Ψ c) == c — the transform is orthonormal in both directions.
+#[test]
+fn inverse_then_forward() {
+    check(
+        "inverse_then_forward",
+        &zip2(any_wavelet(), signal(64)),
+        |(w, c)| {
+            let levels = Dwt::max_levels(*w, 64).min(3).max(1);
+            let dwt = Dwt::new(*w, levels).unwrap();
+            let back = dwt.forward(&dwt.inverse(c).unwrap()).unwrap();
+            for (a, b) in c.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-8 * a.abs().max(1.0), "{a} vs {b}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Parseval: ‖Ψᵀx‖₂ == ‖x‖₂.
-    #[test]
-    fn energy_preserved(w in any_wavelet(), x in signal(64)) {
-        let dwt = Dwt::new(w, 2).unwrap();
-        let c = dwt.forward(&x).unwrap();
-        let ex: f64 = x.iter().map(|v| v * v).sum();
-        let ec: f64 = c.iter().map(|v| v * v).sum();
-        prop_assert!((ex - ec).abs() <= 1e-8 * ex.max(1.0));
-    }
+/// Parseval: ‖Ψᵀx‖₂ == ‖x‖₂.
+#[test]
+fn energy_preserved() {
+    check(
+        "energy_preserved",
+        &zip2(any_wavelet(), signal(64)),
+        |(w, x)| {
+            let dwt = Dwt::new(*w, 2).unwrap();
+            let c = dwt.forward(x).unwrap();
+            let ex: f64 = x.iter().map(|v| v * v).sum();
+            let ec: f64 = c.iter().map(|v| v * v).sum();
+            prop_assert!((ex - ec).abs() <= 1e-8 * ex.max(1.0), "{ex} vs {ec}");
+            Ok(())
+        },
+    );
+}
 
-    /// Linearity: Ψᵀ(a·x + y) == a·Ψᵀx + Ψᵀy.
-    #[test]
-    fn forward_is_linear(x in signal(32), y in signal(32), a in -10.0..10.0f64) {
-        let dwt = Dwt::new(Wavelet::Db4, 2).unwrap();
-        let mixed: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
-        let lhs = dwt.forward(&mixed).unwrap();
-        let cx = dwt.forward(&x).unwrap();
-        let cy = dwt.forward(&y).unwrap();
-        for i in 0..32 {
-            let rhs = a * cx[i] + cy[i];
-            prop_assert!((lhs[i] - rhs).abs() <= 1e-8 * rhs.abs().max(1.0));
-        }
-    }
+/// Linearity: Ψᵀ(a·x + y) == a·Ψᵀx + Ψᵀy.
+#[test]
+fn forward_is_linear() {
+    check(
+        "forward_is_linear",
+        &zip3(signal(32), signal(32), f64_in(-10.0, 10.0)),
+        |(x, y, a)| {
+            let dwt = Dwt::new(Wavelet::Db4, 2).unwrap();
+            let mixed: Vec<f64> = x.iter().zip(y).map(|(xi, yi)| a * xi + yi).collect();
+            let lhs = dwt.forward(&mixed).unwrap();
+            let cx = dwt.forward(x).unwrap();
+            let cy = dwt.forward(y).unwrap();
+            for i in 0..32 {
+                let rhs = a * cx[i] + cy[i];
+                prop_assert!(
+                    (lhs[i] - rhs).abs() <= 1e-8 * rhs.abs().max(1.0),
+                    "coeff {i}: {} vs {rhs}",
+                    lhs[i]
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Adjoint identity ⟨Ψᵀx, y⟩ == ⟨x, Ψy⟩ — required for the solvers to
-    /// use `inverse` as the adjoint of `forward`.
-    #[test]
-    fn adjoint_identity(w in any_wavelet(), x in signal(64), y in signal(64)) {
-        let dwt = Dwt::new(w, 3).unwrap();
-        let lhs: f64 = dwt.forward(&x).unwrap().iter().zip(&y).map(|(a, b)| a * b).sum();
-        let rhs: f64 = x.iter().zip(dwt.inverse(&y).unwrap().iter()).map(|(a, b)| a * b).sum();
-        let scale = lhs.abs().max(rhs.abs()).max(1.0);
-        prop_assert!((lhs - rhs).abs() <= 1e-8 * scale);
-    }
+/// Adjoint identity ⟨Ψᵀx, y⟩ == ⟨x, Ψy⟩ — required for the solvers to
+/// use `inverse` as the adjoint of `forward`.
+#[test]
+fn adjoint_identity() {
+    check(
+        "adjoint_identity",
+        &zip3(any_wavelet(), signal(64), signal(64)),
+        |(w, x, y)| {
+            let dwt = Dwt::new(*w, 3).unwrap();
+            let lhs: f64 = dwt
+                .forward(x)
+                .unwrap()
+                .iter()
+                .zip(y)
+                .map(|(a, b)| a * b)
+                .sum();
+            let rhs: f64 = x
+                .iter()
+                .zip(dwt.inverse(y).unwrap().iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            let scale = lhs.abs().max(rhs.abs()).max(1.0);
+            prop_assert!((lhs - rhs).abs() <= 1e-8 * scale, "{lhs} vs {rhs}");
+            Ok(())
+        },
+    );
 }

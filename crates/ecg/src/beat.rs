@@ -7,7 +7,7 @@
 //! morphologies (PVC: absent P, wide tall QRS, inverted T; APC: early
 //! narrow beat with flattened P).
 
-use rand::Rng;
+use hybridcs_rand::Rng;
 
 /// One Gaussian component of a beat.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,7 +199,7 @@ impl BeatMorphology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use hybridcs_rand::SeedableRng;
 
     #[test]
     fn normal_beat_has_dominant_r_peak() {
@@ -253,8 +253,8 @@ mod tests {
     #[test]
     fn perturbed_is_deterministic_and_bounded() {
         let beat = BeatMorphology::normal();
-        let mut rng1 = rand::rngs::StdRng::seed_from_u64(9);
-        let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng1 = hybridcs_rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng2 = hybridcs_rand::rngs::StdRng::seed_from_u64(9);
         let a = beat.perturbed(&mut rng1, 0.1);
         let b = beat.perturbed(&mut rng2, 0.1);
         assert_eq!(a, b);
@@ -267,7 +267,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "amount must be in [0, 1)")]
     fn perturbed_rejects_bad_amount() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(0);
         let _ = BeatMorphology::normal().perturbed(&mut rng, 1.5);
     }
 

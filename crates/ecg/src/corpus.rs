@@ -5,7 +5,7 @@ use crate::{
     AdcCalibration, BeatMorphology, EcgGenerator, EcgRecord, GeneratorConfig, NoiseModel,
     RhythmModel,
 };
-use rand::{RngExt, SeedableRng};
+use hybridcs_rand::{RngExt, SeedableRng};
 
 /// Corpus generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,7 +101,7 @@ fn synthesize_record(k: usize, config: &CorpusConfig) -> EcgRecord {
         .seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(k as u64);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(record_seed);
+    let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(record_seed);
 
     // Heart-rate tiers sweep 50–110 bpm across the corpus.
     let frac = if config.records > 1 {

@@ -220,7 +220,8 @@ mod tests {
     use crate::{Corpus, CorpusConfig};
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("hybridcs_fmt212_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("hybridcs_fmt212_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -299,7 +300,11 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("bad.hea"), "bad 1 360\n").unwrap();
         assert!(read_record(&dir.join("bad.hea")).is_err());
-        fs::write(dir.join("fmt.hea"), "fmt 1 360 4\nfmt.dat 16 200 11 1024 0 0 0 ECG\n").unwrap();
+        fs::write(
+            dir.join("fmt.hea"),
+            "fmt 1 360 4\nfmt.dat 16 200 11 1024 0 0 0 ECG\n",
+        )
+        .unwrap();
         assert!(read_record(&dir.join("fmt.hea")).is_err());
         assert!(read_record(&dir.join("missing.hea")).is_err());
         let _ = fs::remove_dir_all(&dir);

@@ -1,7 +1,7 @@
 //! The ECG synthesizer: morphology × rhythm × noise → a continuous trace.
 
 use crate::{BeatMorphology, EcgError, NoiseModel, RhythmModel};
-use rand::{RngExt, SeedableRng};
+use hybridcs_rand::{RngExt, SeedableRng};
 
 /// Configuration of one synthetic recording.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,7 +130,7 @@ impl EcgGenerator {
     /// from `seed`.
     #[must_use]
     pub fn generate(&self, duration_s: f64, seed: u64) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(seed);
         let cfg = &self.config;
         let n = (duration_s * cfg.fs_hz).round() as usize;
         let mut signal = vec![0.0; n];

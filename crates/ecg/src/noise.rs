@@ -8,7 +8,7 @@
 
 use crate::rng;
 use hybridcs_dsp::filters::{BandPass, OnePole};
-use rand::{Rng, RngExt};
+use hybridcs_rand::{Rng, RngExt};
 
 /// Amplitudes (RMS, millivolts) of the three noise components.
 ///
@@ -16,7 +16,7 @@ use rand::{Rng, RngExt};
 ///
 /// ```
 /// use hybridcs_ecg::NoiseModel;
-/// use rand::SeedableRng;
+/// use hybridcs_rand::SeedableRng;
 ///
 /// let model = NoiseModel {
 ///     baseline_wander_mv: 0.05,
@@ -24,7 +24,7 @@ use rand::{Rng, RngExt};
 ///     mains_hz: 60.0,
 ///     emg_mv: 0.01,
 /// };
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(1);
 /// let noise = model.synthesize(&mut rng, 360.0, 720);
 /// assert_eq!(noise.len(), 720);
 /// ```
@@ -139,7 +139,7 @@ fn root_mean_square(x: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use hybridcs_rand::SeedableRng;
 
     fn rms(x: &[f64]) -> f64 {
         root_mean_square(x)
@@ -147,14 +147,14 @@ mod tests {
 
     #[test]
     fn none_is_silent() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(0);
         let noise = NoiseModel::none().synthesize(&mut rng, 360.0, 256);
         assert!(noise.iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn component_rms_is_calibrated() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(1);
         let model = NoiseModel {
             baseline_wander_mv: 0.1,
             mains_mv: 0.0,
@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn mains_amplitude_respected() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(2);
         let model = NoiseModel {
             baseline_wander_mv: 0.0,
             mains_mv: 0.05,
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn baseline_wander_is_slow() {
         // Differences of a low-frequency process are tiny relative to its range.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(3);
         let model = NoiseModel {
             baseline_wander_mv: 0.1,
             mains_mv: 0.0,
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn emg_is_fast() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(4);
         let model = NoiseModel {
             baseline_wander_mv: 0.0,
             mains_mv: 0.0,
@@ -216,7 +216,7 @@ mod tests {
     fn deterministic_under_seed() {
         let model = NoiseModel::ambulatory();
         let run = |seed| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(seed);
             model.synthesize(&mut rng, 360.0, 128)
         };
         assert_eq!(run(6), run(6));
@@ -225,7 +225,7 @@ mod tests {
 
     #[test]
     fn zero_length_is_fine() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(0);
         assert!(NoiseModel::ambulatory()
             .synthesize(&mut rng, 360.0, 0)
             .is_empty());

@@ -2,7 +2,7 @@
 //! respiratory sinus arrhythmia (RSA) modulation.
 
 use crate::EcgError;
-use rand::Rng;
+use hybridcs_rand::Rng;
 
 /// RR-interval generator.
 ///
@@ -20,11 +20,11 @@ use rand::Rng;
 ///
 /// ```
 /// use hybridcs_ecg::RhythmModel;
-/// use rand::SeedableRng;
+/// use hybridcs_rand::SeedableRng;
 ///
 /// # fn main() -> Result<(), hybridcs_ecg::EcgError> {
 /// let rhythm = RhythmModel::new(0.8, 0.04, 0.1, 0.25)?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(1);
 /// let rr = rhythm.intervals(&mut rng, 10.0);
 /// assert!(!rr.is_empty());
 /// assert!(rr.iter().all(|&r| r > 0.25));
@@ -131,12 +131,12 @@ impl RhythmModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use hybridcs_rand::SeedableRng;
 
     #[test]
     fn mean_rate_is_respected() {
         let rhythm = RhythmModel::new(0.8, 0.03, 0.0, 0.25).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(5);
         let rr = rhythm.intervals(&mut rng, 400.0);
         let mean: f64 = rr.iter().sum::<f64>() / rr.len() as f64;
         assert!((mean - 0.8).abs() < 0.02, "mean RR {mean}");
@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn covers_duration() {
         let rhythm = RhythmModel::new(1.0, 0.05, 0.1, 0.2).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(3);
         let rr = rhythm.intervals(&mut rng, 30.0);
         let total: f64 = rr.iter().sum();
         assert!(total >= 30.0);
@@ -155,7 +155,7 @@ mod tests {
     fn rsa_modulates_rate() {
         // With strong RSA and no jitter, intervals must oscillate.
         let rhythm = RhythmModel::new(0.8, 0.0, 0.2, 0.25).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(0);
         let rr = rhythm.intervals(&mut rng, 60.0);
         let min = rr.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = rr.iter().cloned().fold(0.0, f64::max);
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn physiological_floor_enforced() {
         let rhythm = RhythmModel::new(0.35, 0.3, 0.0, 0.0).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(1);
         let rr = rhythm.intervals(&mut rng, 200.0);
         assert!(rr.iter().all(|&r| r >= 0.25));
     }
@@ -189,7 +189,7 @@ mod tests {
     fn deterministic_under_seed() {
         let rhythm = RhythmModel::new(0.8, 0.05, 0.1, 0.25).unwrap();
         let run = |seed| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(seed);
             rhythm.intervals(&mut rng, 20.0)
         };
         assert_eq!(run(2), run(2));

@@ -1,5 +1,6 @@
 use crate::{FrontEndError, Quantizer, QuantizerKind};
-use rand::{Rng, SeedableRng};
+use hybridcs_rand::normal::standard_normal;
+use hybridcs_rand::SeedableRng;
 
 /// A behavioural ADC: optional input-referred noise followed by uniform
 /// quantization.
@@ -68,7 +69,7 @@ impl AdcModel {
         if self.noise_rms == 0.0 {
             return self.quantizer.quantize_all(x);
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(seed);
         x.iter()
             .map(|&v| {
                 let noisy = v + self.noise_rms * standard_normal(&mut rng);
@@ -176,19 +177,6 @@ impl MeasurementQuantizer {
     pub fn payload_bits(&self, m: usize) -> usize {
         m * self.bits() as usize
     }
-}
-
-/// Box–Muller standard normal (kept local: this crate's only Gaussian user).
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    use rand::RngExt;
-    let u1: f64 = loop {
-        let u: f64 = rng.random();
-        if u > f64::MIN_POSITIVE {
-            break u;
-        }
-    };
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]

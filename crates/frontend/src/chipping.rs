@@ -1,4 +1,4 @@
-use rand::{RngExt, SeedableRng};
+use hybridcs_rand::{RngExt, SeedableRng};
 
 /// A ±1 pseudo-random chipping sequence — the modulation waveform of one
 /// RMPI channel (the `p_c(t)` of Fig. 3 in the paper).
@@ -27,7 +27,7 @@ impl ChippingSequence {
     /// Generates a fair ±1 Bernoulli sequence of length `len` from `seed`.
     #[must_use]
     pub fn bernoulli(len: usize, seed: u64) -> Self {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(seed);
         let chips = (0..len)
             .map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 })
             .collect();

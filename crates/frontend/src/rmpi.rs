@@ -1,5 +1,6 @@
 use crate::{FrontEndError, MeasurementQuantizer, SensingMatrix};
-use rand::{Rng, RngExt, SeedableRng};
+use hybridcs_rand::normal::standard_normal;
+use hybridcs_rand::SeedableRng;
 
 /// Configuration of the [`Rmpi`] behavioural model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,7 +132,7 @@ impl Rmpi {
             });
         }
         let y = if self.config.amplifier_noise_rms > 0.0 {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(noise_seed);
+            let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(noise_seed);
             let noisy: Vec<f64> = x
                 .iter()
                 .map(|&v| v + self.config.amplifier_noise_rms * standard_normal(&mut rng))
@@ -159,17 +160,6 @@ impl Rmpi {
     pub fn payload_bits(&self) -> usize {
         self.digitizer.payload_bits(self.config.channels)
     }
-}
-
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = loop {
-        let u: f64 = rng.random();
-        if u > f64::MIN_POSITIVE {
-            break u;
-        }
-    };
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]

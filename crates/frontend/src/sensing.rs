@@ -1,6 +1,6 @@
 use crate::{ChippingSequence, FrontEndError};
 use hybridcs_linalg::Matrix;
-use rand::{Rng, SeedableRng};
+use hybridcs_rand::{Rng, SeedableRng};
 
 /// A compressed-sensing measurement operator `Φ ∈ R^{m×n}` with fast
 /// forward/adjoint application.
@@ -94,7 +94,7 @@ impl SensingMatrix {
                 value: ones_per_column as f64,
             });
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(seed);
         let cols = (0..n)
             .map(|_| sample_without_replacement(&mut rng, m, ones_per_column))
             .collect();
@@ -226,7 +226,7 @@ fn check_shape(m: usize, n: usize) -> Result<(), FrontEndError> {
 
 /// Draws `k` distinct values from `0..m` (partial Fisher–Yates).
 fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, m: usize, k: usize) -> Vec<u32> {
-    use rand::RngExt;
+    use hybridcs_rand::RngExt;
     let mut pool: Vec<u32> = (0..m as u32).collect();
     for i in 0..k {
         let j = rng.random_range(i..m);

@@ -1,115 +1,166 @@
-//! Property-based tests for the acquisition front-end models.
+//! Property-based tests for the acquisition front-end models, on the
+//! in-repo `hybridcs_rand::check` harness (≥ 64 seeded cases each).
 
 use hybridcs_frontend::{
     ChippingSequence, LowResChannel, MeasurementQuantizer, Quantizer, QuantizerKind, Rmpi,
     RmpiConfig, SensingMatrix,
 };
 use hybridcs_linalg::vector;
-use proptest::prelude::*;
+use hybridcs_rand::check::{check, f64_in, u32_in, u64_any, usize_in, vec_of, zip2, zip3};
+use hybridcs_rand::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Floor quantizers certify their cell for every in-span input, at
-    /// every supported resolution and span.
-    #[test]
-    fn quantizer_cells_contain_inputs(
-        bits in 1u32..=16,
-        x in prop::collection::vec(-0.999..0.999f64, 1..64),
-    ) {
-        let q = Quantizer::new(bits, -1.0, 1.0, QuantizerKind::Floor).unwrap();
-        for &v in &x {
-            let code = q.quantize(v);
-            let (lo, hi) = q.cell_bounds(code);
-            prop_assert!(lo - 1e-12 <= v && v <= hi + 1e-12);
-        }
-    }
+/// Floor quantizers certify their cell for every in-span input, at
+/// every supported resolution and span.
+#[test]
+fn quantizer_cells_contain_inputs() {
+    check(
+        "quantizer_cells_contain_inputs",
+        &zip2(u32_in(1, 17), vec_of(f64_in(-0.999, 0.999), 1, 64)),
+        |(bits, x)| {
+            let q = Quantizer::new(*bits, -1.0, 1.0, QuantizerKind::Floor).unwrap();
+            for &v in x {
+                let code = q.quantize(v);
+                let (lo, hi) = q.cell_bounds(code);
+                prop_assert!(
+                    lo - 1e-12 <= v && v <= hi + 1e-12,
+                    "{v} outside [{lo}, {hi}]"
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Quantize→dequantize error is below one step (floor) or half a step
-    /// (mid-tread).
-    #[test]
-    fn quantizer_error_bounds(bits in 2u32..=14, v in -0.999..0.999f64) {
-        let floor = Quantizer::new(bits, -1.0, 1.0, QuantizerKind::Floor).unwrap();
-        prop_assert!((v - floor.dequantize(floor.quantize(v))).abs() <= floor.step() + 1e-12);
-        let mid = Quantizer::new(bits, -1.0, 1.0, QuantizerKind::MidTread).unwrap();
-        prop_assert!((v - mid.dequantize(mid.quantize(v))).abs() <= mid.step() / 2.0 + 1e-12);
-    }
+/// Quantize→dequantize error is below one step (floor) or half a step
+/// (mid-tread).
+#[test]
+fn quantizer_error_bounds() {
+    check(
+        "quantizer_error_bounds",
+        &zip2(u32_in(2, 15), f64_in(-0.999, 0.999)),
+        |(bits, v)| {
+            let floor = Quantizer::new(*bits, -1.0, 1.0, QuantizerKind::Floor).unwrap();
+            prop_assert!((v - floor.dequantize(floor.quantize(*v))).abs() <= floor.step() + 1e-12);
+            let mid = Quantizer::new(*bits, -1.0, 1.0, QuantizerKind::MidTread).unwrap();
+            prop_assert!((v - mid.dequantize(mid.quantize(*v))).abs() <= mid.step() / 2.0 + 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Quantization is monotone: x <= y implies code(x) <= code(y).
-    #[test]
-    fn quantizer_is_monotone(bits in 1u32..=12, a in -2.0..2.0f64, b in -2.0..2.0f64) {
-        let q = Quantizer::new(bits, -1.0, 1.0, QuantizerKind::Floor).unwrap();
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(q.quantize(lo) <= q.quantize(hi));
-    }
+/// Quantization is monotone: x <= y implies code(x) <= code(y).
+#[test]
+fn quantizer_is_monotone() {
+    check(
+        "quantizer_is_monotone",
+        &zip3(u32_in(1, 13), f64_in(-2.0, 2.0), f64_in(-2.0, 2.0)),
+        |(bits, a, b)| {
+            let q = Quantizer::new(*bits, -1.0, 1.0, QuantizerKind::Floor).unwrap();
+            let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
+            prop_assert!(q.quantize(lo) <= q.quantize(hi));
+            Ok(())
+        },
+    );
+}
 
-    /// Chipping integration equals the dot product with the chip vector.
-    #[test]
-    fn chipping_integrate_is_dot(seed in any::<u64>(), x in prop::collection::vec(-5.0..5.0f64, 32)) {
-        let seq = ChippingSequence::bernoulli(32, seed);
-        let direct = seq.integrate(&x);
-        let dot = vector::dot(seq.chips(), &x);
-        prop_assert!((direct - dot).abs() < 1e-12);
-    }
+/// Chipping integration equals the dot product with the chip vector.
+#[test]
+fn chipping_integrate_is_dot() {
+    check(
+        "chipping_integrate_is_dot",
+        &zip2(u64_any(), vec_of(f64_in(-5.0, 5.0), 32, 33)),
+        |(seed, x)| {
+            let seq = ChippingSequence::bernoulli(32, *seed);
+            let direct = seq.integrate(x);
+            let dot = vector::dot(seq.chips(), x);
+            prop_assert!((direct - dot).abs() < 1e-12, "{direct} vs {dot}");
+            Ok(())
+        },
+    );
+}
 
-    /// The RMPI's checked acquisition path agrees with the raw sensing
-    /// operator up to the digitizer's worst-case error.
-    #[test]
-    fn rmpi_acquire_matches_measure(
-        seed in any::<u64>(),
-        x in prop::collection::vec(-1.0..1.0f64, 64),
-    ) {
-        let rmpi = Rmpi::new(RmpiConfig {
-            channels: 16,
-            window: 64,
-            seed,
-            amplifier_noise_rms: 0.0,
-            ..RmpiConfig::default()
-        })
-        .unwrap();
-        let clean = rmpi.measure(&x);
-        let acquired = rmpi.acquire(&x, 0).unwrap();
-        let step = rmpi.digitizer().step();
-        for (c, a) in clean.iter().zip(&acquired) {
-            prop_assert!((c - a).abs() <= step / 2.0 + 1e-12);
-        }
-    }
+/// The RMPI's checked acquisition path agrees with the raw sensing
+/// operator up to the digitizer's worst-case error.
+#[test]
+fn rmpi_acquire_matches_measure() {
+    check(
+        "rmpi_acquire_matches_measure",
+        &zip2(u64_any(), vec_of(f64_in(-1.0, 1.0), 64, 65)),
+        |(seed, x)| {
+            let rmpi = Rmpi::new(RmpiConfig {
+                channels: 16,
+                window: 64,
+                seed: *seed,
+                amplifier_noise_rms: 0.0,
+                ..RmpiConfig::default()
+            })
+            .unwrap();
+            let clean = rmpi.measure(x);
+            let acquired = rmpi.acquire(x, 0).unwrap();
+            let step = rmpi.digitizer().step();
+            for (c, a) in clean.iter().zip(&acquired) {
+                prop_assert!((c - a).abs() <= step / 2.0 + 1e-12, "{c} vs {a}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Sensing matrices regenerate identically from their seed, for both
-    /// families, under arbitrary shapes.
-    #[test]
-    fn sensing_regeneration(seed in any::<u64>(), m in 1usize..20, extra in 0usize..40) {
-        let n = m + extra.max(1);
-        let a = SensingMatrix::bernoulli(m, n, seed).unwrap();
-        let b = SensingMatrix::bernoulli(m, n, seed).unwrap();
-        prop_assert_eq!(&a, &b);
-        let d = (m).min(4).max(1);
-        let s1 = SensingMatrix::sparse_binary(m, n, d, seed).unwrap();
-        let s2 = SensingMatrix::sparse_binary(m, n, d, seed).unwrap();
-        prop_assert_eq!(s1, s2);
-    }
+/// Sensing matrices regenerate identically from their seed, for both
+/// families, under arbitrary shapes.
+#[test]
+fn sensing_regeneration() {
+    check(
+        "sensing_regeneration",
+        &zip3(u64_any(), usize_in(1, 20), usize_in(0, 40)),
+        |(seed, m, extra)| {
+            let n = m + (*extra).max(1);
+            let a = SensingMatrix::bernoulli(*m, n, *seed).unwrap();
+            let b = SensingMatrix::bernoulli(*m, n, *seed).unwrap();
+            prop_assert_eq!(&a, &b);
+            let d = (*m).min(4).max(1);
+            let s1 = SensingMatrix::sparse_binary(*m, n, d, *seed).unwrap();
+            let s2 = SensingMatrix::sparse_binary(*m, n, d, *seed).unwrap();
+            prop_assert_eq!(s1, s2);
+            Ok(())
+        },
+    );
+}
 
-    /// Low-res frames survive the code round-trip for any in-span window.
-    #[test]
-    fn lowres_frame_code_roundtrip(
-        bits in 3u32..=10,
-        x in prop::collection::vec(-5.0..5.0f64, 1..128),
-    ) {
-        let channel = LowResChannel::new(bits).unwrap();
-        let frame = channel.acquire(&x);
-        let rebuilt = hybridcs_frontend::LowResFrame::from_codes(
-            frame.codes().to_vec(),
-            &channel,
-        )
-        .unwrap();
-        prop_assert_eq!(frame, rebuilt);
-    }
+/// Low-res frames survive the code round-trip for any in-span window.
+#[test]
+fn lowres_frame_code_roundtrip() {
+    check(
+        "lowres_frame_code_roundtrip",
+        &zip2(u32_in(3, 11), vec_of(f64_in(-5.0, 5.0), 1, 128)),
+        |(bits, x)| {
+            let channel = LowResChannel::new(*bits).unwrap();
+            let frame = channel.acquire(x);
+            let rebuilt =
+                hybridcs_frontend::LowResFrame::from_codes(frame.codes().to_vec(), &channel)
+                    .unwrap();
+            prop_assert_eq!(frame, rebuilt);
+            Ok(())
+        },
+    );
+}
 
-    /// The measurement digitizer's σ model upper-bounds the realized error
-    /// for in-scale vectors (up to the uniform-vs-worst-case √3 factor).
-    #[test]
-    fn measurement_sigma_bounds_error(y in prop::collection::vec(-2.0..2.0f64, 1..64)) {
-        let mq = MeasurementQuantizer::new(12, 2.5).unwrap();
-        let yq = mq.digitize(&y);
-        let err = vector::dist2(&y, &yq);
-        prop_assert!(err <= mq.noise_sigma(y.len()) * 3f64.sqrt() + 1e-12);
-    }
+/// The measurement digitizer's σ model upper-bounds the realized error
+/// for in-scale vectors (up to the uniform-vs-worst-case √3 factor).
+#[test]
+fn measurement_sigma_bounds_error() {
+    check(
+        "measurement_sigma_bounds_error",
+        &vec_of(f64_in(-2.0, 2.0), 1, 64),
+        |y| {
+            let mq = MeasurementQuantizer::new(12, 2.5).unwrap();
+            let yq = mq.digitize(y);
+            let err = vector::dist2(y, &yq);
+            prop_assert!(
+                err <= mq.noise_sigma(y.len()) * 3f64.sqrt() + 1e-12,
+                "error {err} exceeds budget"
+            );
+            Ok(())
+        },
+    );
 }

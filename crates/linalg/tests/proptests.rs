@@ -1,53 +1,83 @@
-//! Property-based tests for the linear-algebra kernels.
+//! Property-based tests for the linear-algebra kernels, on the in-repo
+//! `hybridcs_rand::check` harness (≥ 64 seeded cases each).
 
 use hybridcs_linalg::{
     conjugate_gradient, operator_norm_est, vector, CgOptions, Cholesky, Matrix,
     PowerIterationOptions, QrFactorization,
 };
-use proptest::prelude::*;
+use hybridcs_rand::check::{check, f64_in, vec_len, zip2, zip3, zip4, Gen};
+use hybridcs_rand::{prop_assert, prop_assert_eq};
 
-fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e3..1e3f64, len)
+fn finite_vec(len: usize) -> Gen<Vec<f64>> {
+    vec_len(f64_in(-1e3, 1e3), len)
 }
 
-fn finite_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-1e2..1e2f64, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized correctly"))
+/// Entries for a `rows × cols` matrix, built inside the property.
+fn matrix_entries(rows: usize, cols: usize) -> Gen<Vec<f64>> {
+    vec_len(f64_in(-1e2, 1e2), rows * cols)
 }
 
-proptest! {
-    #[test]
-    fn dot_is_commutative(x in finite_vec(16), y in finite_vec(16)) {
-        let a = vector::dot(&x, &y);
-        let b = vector::dot(&y, &x);
-        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
-    }
+fn to_matrix(rows: usize, cols: usize, data: &[f64]) -> Matrix {
+    Matrix::from_vec(rows, cols, data.to_vec()).expect("sized correctly")
+}
 
-    #[test]
-    fn cauchy_schwarz(x in finite_vec(12), y in finite_vec(12)) {
-        let lhs = vector::dot(&x, &y).abs();
-        let rhs = vector::norm2(&x) * vector::norm2(&y);
-        prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
-    }
+#[test]
+fn dot_is_commutative() {
+    check(
+        "dot_is_commutative",
+        &zip2(finite_vec(16), finite_vec(16)),
+        |(x, y)| {
+            let a = vector::dot(x, y);
+            let b = vector::dot(y, x);
+            prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn triangle_inequality(x in finite_vec(12), y in finite_vec(12)) {
-        let sum = vector::add(&x, &y);
-        prop_assert!(vector::norm2(&sum) <= vector::norm2(&x) + vector::norm2(&y) + 1e-9);
-    }
+#[test]
+fn cauchy_schwarz() {
+    check(
+        "cauchy_schwarz",
+        &zip2(finite_vec(12), finite_vec(12)),
+        |(x, y)| {
+            let lhs = vector::dot(x, y).abs();
+            let rhs = vector::norm2(x) * vector::norm2(y);
+            prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9, "{lhs} > {rhs}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn norm_ordering(x in finite_vec(10)) {
+#[test]
+fn triangle_inequality() {
+    check(
+        "triangle_inequality",
+        &zip2(finite_vec(12), finite_vec(12)),
+        |(x, y)| {
+            let sum = vector::add(x, y);
+            prop_assert!(vector::norm2(&sum) <= vector::norm2(x) + vector::norm2(y) + 1e-9);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn norm_ordering() {
+    check("norm_ordering", &finite_vec(10), |x| {
         // ‖x‖∞ ≤ ‖x‖₂ ≤ ‖x‖₁ for every vector.
-        let inf = vector::norm_inf(&x);
-        let two = vector::norm2(&x);
-        let one = vector::norm1(&x);
-        prop_assert!(inf <= two * (1.0 + 1e-12) + 1e-12);
-        prop_assert!(two <= one * (1.0 + 1e-12) + 1e-12);
-    }
+        let inf = vector::norm_inf(x);
+        let two = vector::norm2(x);
+        let one = vector::norm1(x);
+        prop_assert!(inf <= two * (1.0 + 1e-12) + 1e-12, "{inf} > {two}");
+        prop_assert!(two <= one * (1.0 + 1e-12) + 1e-12, "{two} > {one}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn clamp_box_is_idempotent(x in finite_vec(8)) {
+#[test]
+fn clamp_box_is_idempotent() {
+    check("clamp_box_is_idempotent", &finite_vec(8), |x| {
         let lo = vec![-10.0; 8];
         let hi = vec![10.0; 8];
         let mut once = x.clone();
@@ -55,97 +85,166 @@ proptest! {
         let mut twice = once.clone();
         vector::clamp_box(&mut twice, &lo, &hi);
         prop_assert_eq!(once, twice);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matvec_is_linear(m in finite_matrix(5, 7), x in finite_vec(7), y in finite_vec(7), a in -5.0..5.0f64) {
-        // A(ax + y) == a·Ax + Ay
-        let axy: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
-        let lhs = m.matvec(&axy);
-        let mut rhs = m.matvec(&y);
-        vector::axpy(a, &m.matvec(&x), &mut rhs);
-        for (l, r) in lhs.iter().zip(&rhs) {
-            prop_assert!((l - r).abs() <= 1e-6 * l.abs().max(1.0));
-        }
-    }
+#[test]
+fn matvec_is_linear() {
+    check(
+        "matvec_is_linear",
+        &zip4(
+            matrix_entries(5, 7),
+            finite_vec(7),
+            finite_vec(7),
+            f64_in(-5.0, 5.0),
+        ),
+        |(entries, x, y, a)| {
+            // A(ax + y) == a·Ax + Ay
+            let m = to_matrix(5, 7, entries);
+            let axy: Vec<f64> = x.iter().zip(y).map(|(xi, yi)| a * xi + yi).collect();
+            let lhs = m.matvec(&axy);
+            let mut rhs = m.matvec(y);
+            vector::axpy(*a, &m.matvec(x), &mut rhs);
+            for (l, r) in lhs.iter().zip(&rhs) {
+                prop_assert!((l - r).abs() <= 1e-6 * l.abs().max(1.0), "{l} vs {r}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn adjoint_identity(m in finite_matrix(6, 4), x in finite_vec(4), y in finite_vec(6)) {
-        // ⟨Ax, y⟩ == ⟨x, Aᵀy⟩
-        let lhs = vector::dot(&m.matvec(&x), &y);
-        let rhs = vector::dot(&x, &m.matvec_transpose(&y));
-        prop_assert!((lhs - rhs).abs() <= 1e-6 * lhs.abs().max(1.0));
-    }
+#[test]
+fn adjoint_identity() {
+    check(
+        "adjoint_identity",
+        &zip3(matrix_entries(6, 4), finite_vec(4), finite_vec(6)),
+        |(entries, x, y)| {
+            // ⟨Ax, y⟩ == ⟨x, Aᵀy⟩
+            let m = to_matrix(6, 4, entries);
+            let lhs = vector::dot(&m.matvec(x), y);
+            let rhs = vector::dot(x, &m.matvec_transpose(y));
+            prop_assert!(
+                (lhs - rhs).abs() <= 1e-6 * lhs.abs().max(1.0),
+                "{lhs} vs {rhs}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn transpose_involution(m in finite_matrix(4, 6)) {
+#[test]
+fn transpose_involution() {
+    check("transpose_involution", &matrix_entries(4, 6), |entries| {
+        let m = to_matrix(4, 6, entries);
         prop_assert_eq!(m.transpose().transpose(), m);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cholesky_solves_spd_systems(m in finite_matrix(5, 5), x_true in finite_vec(5)) {
-        // Build an SPD matrix A = MᵀM + I.
-        let mut a = m.gram();
-        for i in 0..5 {
-            a.set(i, i, a.get(i, i) + 1.0);
-        }
-        let b = a.matvec(&x_true);
-        let chol = Cholesky::factor(&a).expect("SPD by construction");
-        let x = chol.solve(&b);
-        let r = vector::sub(&a.matvec(&x), &b);
-        prop_assert!(vector::norm2(&r) <= 1e-6 * vector::norm2(&b).max(1.0));
-    }
+#[test]
+fn cholesky_solves_spd_systems() {
+    check(
+        "cholesky_solves_spd_systems",
+        &zip2(matrix_entries(5, 5), finite_vec(5)),
+        |(entries, x_true)| {
+            // Build an SPD matrix A = MᵀM + I.
+            let m = to_matrix(5, 5, entries);
+            let mut a = m.gram();
+            for i in 0..5 {
+                a.set(i, i, a.get(i, i) + 1.0);
+            }
+            let b = a.matvec(x_true);
+            let chol = Cholesky::factor(&a).expect("SPD by construction");
+            let x = chol.solve(&b);
+            let r = vector::sub(&a.matvec(&x), &b);
+            prop_assert!(vector::norm2(&r) <= 1e-6 * vector::norm2(&b).max(1.0));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn qr_least_squares_residual_is_orthogonal(m in finite_matrix(8, 3), b in finite_vec(8)) {
-        // For the LS minimizer, Aᵀ(Ax − b) == 0.
-        let qr = match QrFactorization::factor(&m) {
-            Ok(qr) => qr,
-            Err(_) => return Ok(()),
-        };
-        let x = match qr.solve_least_squares(&b) {
-            Ok(x) => x,
-            Err(_) => return Ok(()), // rank-deficient random draw
-        };
-        let r = vector::sub(&m.matvec(&x), &b);
-        let g = m.matvec_transpose(&r);
-        let scale = m.frobenius_norm() * vector::norm2(&b) + 1.0;
-        prop_assert!(vector::norm2(&g) <= 1e-7 * scale);
-    }
+#[test]
+fn qr_least_squares_residual_is_orthogonal() {
+    check(
+        "qr_least_squares_residual_is_orthogonal",
+        &zip2(matrix_entries(8, 3), finite_vec(8)),
+        |(entries, b)| {
+            // For the LS minimizer, Aᵀ(Ax − b) == 0.
+            let m = to_matrix(8, 3, entries);
+            let qr = match QrFactorization::factor(&m) {
+                Ok(qr) => qr,
+                Err(_) => return Ok(()),
+            };
+            let x = match qr.solve_least_squares(b) {
+                Ok(x) => x,
+                Err(_) => return Ok(()), // rank-deficient random draw
+            };
+            let r = vector::sub(&m.matvec(&x), b);
+            let g = m.matvec_transpose(&r);
+            let scale = m.frobenius_norm() * vector::norm2(b) + 1.0;
+            prop_assert!(vector::norm2(&g) <= 1e-7 * scale);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn cg_agrees_with_cholesky(m in finite_matrix(6, 6), x_true in finite_vec(6)) {
-        let mut a = m.gram();
-        for i in 0..6 {
-            a.set(i, i, a.get(i, i) + 1.0);
-        }
-        let b = a.matvec(&x_true);
-        let chol = Cholesky::factor(&a).expect("SPD");
-        let x_direct = chol.solve(&b);
-        let apply = |v: &[f64], out: &mut [f64]| out.copy_from_slice(&a.matvec(v));
-        let (x_cg, _) = conjugate_gradient(
-            apply,
-            &b,
-            &[0.0; 6],
-            CgOptions { max_iterations: 200, tolerance: 1e-12 },
-        )
-        .expect("SPD system converges");
-        let d = vector::dist2(&x_cg, &x_direct);
-        prop_assert!(d <= 1e-5 * vector::norm2(&x_direct).max(1.0));
-    }
+#[test]
+fn cg_agrees_with_cholesky() {
+    check(
+        "cg_agrees_with_cholesky",
+        &zip2(matrix_entries(6, 6), finite_vec(6)),
+        |(entries, x_true)| {
+            let m = to_matrix(6, 6, entries);
+            let mut a = m.gram();
+            for i in 0..6 {
+                a.set(i, i, a.get(i, i) + 1.0);
+            }
+            let b = a.matvec(x_true);
+            let chol = Cholesky::factor(&a).expect("SPD");
+            let x_direct = chol.solve(&b);
+            let apply = |v: &[f64], out: &mut [f64]| out.copy_from_slice(&a.matvec(v));
+            let (x_cg, _) = conjugate_gradient(
+                apply,
+                &b,
+                &[0.0; 6],
+                CgOptions {
+                    max_iterations: 200,
+                    tolerance: 1e-12,
+                },
+            )
+            .expect("SPD system converges");
+            let d = vector::dist2(&x_cg, &x_direct);
+            prop_assert!(d <= 1e-5 * vector::norm2(&x_direct).max(1.0));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn operator_norm_bounds_matvec_amplification(m in finite_matrix(5, 5), x in finite_vec(5)) {
-        prop_assume!(vector::norm2(&x) > 1e-6);
-        let (norm, _) = operator_norm_est(
-            5,
-            5,
-            |v, out| out.copy_from_slice(&m.matvec(v)),
-            |v, out| out.copy_from_slice(&m.matvec_transpose(v)),
-            PowerIterationOptions::default(),
-        );
-        let amplification = vector::norm2(&m.matvec(&x)) / vector::norm2(&x);
-        // The estimate may undershoot slightly; allow 1% slack.
-        prop_assert!(amplification <= norm * 1.01 + 1e-9);
-    }
+#[test]
+fn operator_norm_bounds_matvec_amplification() {
+    check(
+        "operator_norm_bounds_matvec_amplification",
+        &zip2(matrix_entries(5, 5), finite_vec(5)),
+        |(entries, x)| {
+            if vector::norm2(x) <= 1e-6 {
+                return Ok(()); // discard degenerate draws
+            }
+            let m = to_matrix(5, 5, entries);
+            let (norm, _) = operator_norm_est(
+                5,
+                5,
+                |v, out| out.copy_from_slice(&m.matvec(v)),
+                |v, out| out.copy_from_slice(&m.matvec_transpose(v)),
+                PowerIterationOptions::default(),
+            );
+            let amplification = vector::norm2(&m.matvec(x)) / vector::norm2(x);
+            // The estimate may undershoot slightly; allow 1% slack.
+            prop_assert!(
+                amplification <= norm * 1.01 + 1e-9,
+                "{amplification} > {norm}"
+            );
+            Ok(())
+        },
+    );
 }

@@ -1,76 +1,118 @@
-//! Property-based tests for the evaluation metrics.
+//! Property-based tests for the evaluation metrics, on the in-repo
+//! `hybridcs_rand::check` harness (≥ 64 seeded cases each).
 
 use hybridcs_metrics::{
     compression_ratio_percent, prd, prd_to_snr_db, snr_db, snr_to_prd, DiscretePdf, SummaryStats,
 };
-use proptest::prelude::*;
+use hybridcs_rand::check::{check, f64_in, i64_in, usize_in, vec_of, zip2};
+use hybridcs_rand::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// PRD is zero iff the reconstruction is exact, positive otherwise,
-    /// and scale-invariant.
-    #[test]
-    fn prd_basic_properties(x in prop::collection::vec(0.1..100.0f64, 1..64), k in 0.1..10.0f64) {
-        prop_assert_eq!(prd(&x, &x), 0.0);
-        let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
-        let perturbed: Vec<f64> = x.iter().map(|v| v + 1.0).collect();
-        let scaled_perturbed: Vec<f64> = perturbed.iter().map(|v| v * k).collect();
-        let a = prd(&x, &perturbed);
-        let b = prd(&scaled, &scaled_perturbed);
-        prop_assert!(a > 0.0);
-        prop_assert!((a - b).abs() < 1e-6 * a, "scale invariance: {} vs {}", a, b);
-    }
+/// PRD is zero iff the reconstruction is exact, positive otherwise,
+/// and scale-invariant.
+#[test]
+fn prd_basic_properties() {
+    check(
+        "prd_basic_properties",
+        &zip2(vec_of(f64_in(0.1, 100.0), 1, 64), f64_in(0.1, 10.0)),
+        |(x, k)| {
+            prop_assert_eq!(prd(x, x), 0.0);
+            let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
+            let perturbed: Vec<f64> = x.iter().map(|v| v + 1.0).collect();
+            let scaled_perturbed: Vec<f64> = perturbed.iter().map(|v| v * k).collect();
+            let a = prd(x, &perturbed);
+            let b = prd(&scaled, &scaled_perturbed);
+            prop_assert!(a > 0.0);
+            prop_assert!((a - b).abs() < 1e-6 * a, "scale invariance: {} vs {}", a, b);
+            Ok(())
+        },
+    );
+}
 
-    /// PRD↔SNR conversions are mutually inverse.
-    #[test]
-    fn prd_snr_bijection(p in 0.001..500.0f64) {
-        let s = prd_to_snr_db(p);
-        prop_assert!((snr_to_prd(s) - p).abs() < 1e-9 * p.max(1.0));
-    }
+/// PRD↔SNR conversions are mutually inverse.
+#[test]
+fn prd_snr_bijection() {
+    check("prd_snr_bijection", &f64_in(0.001, 500.0), |p| {
+        let s = prd_to_snr_db(*p);
+        prop_assert!(
+            (snr_to_prd(s) - p).abs() < 1e-9 * p.max(1.0),
+            "{p} round-trips badly"
+        );
+        Ok(())
+    });
+}
 
-    /// SNR decreases as error grows.
-    #[test]
-    fn snr_monotone_in_error(x in prop::collection::vec(0.5..10.0f64, 4..32), e in 0.01..1.0f64) {
-        let small: Vec<f64> = x.iter().map(|v| v + e).collect();
-        let large: Vec<f64> = x.iter().map(|v| v + 2.0 * e).collect();
-        prop_assert!(snr_db(&x, &small) > snr_db(&x, &large));
-    }
+/// SNR decreases as error grows.
+#[test]
+fn snr_monotone_in_error() {
+    check(
+        "snr_monotone_in_error",
+        &zip2(vec_of(f64_in(0.5, 10.0), 4, 32), f64_in(0.01, 1.0)),
+        |(x, e)| {
+            let small: Vec<f64> = x.iter().map(|v| v + e).collect();
+            let large: Vec<f64> = x.iter().map(|v| v + 2.0 * e).collect();
+            prop_assert!(snr_db(x, &small) > snr_db(x, &large));
+            Ok(())
+        },
+    );
+}
 
-    /// Eq. (3) algebra: CR of equal sizes is 0, of zero payload is 100.
-    #[test]
-    fn compression_ratio_identities(bits in 1usize..100_000) {
-        prop_assert_eq!(compression_ratio_percent(bits, bits), 0.0);
-        prop_assert_eq!(compression_ratio_percent(bits, 0), 100.0);
-    }
+/// Eq. (3) algebra: CR of equal sizes is 0, of zero payload is 100.
+#[test]
+fn compression_ratio_identities() {
+    check(
+        "compression_ratio_identities",
+        &usize_in(1, 100_000),
+        |bits| {
+            prop_assert_eq!(compression_ratio_percent(*bits, *bits), 0.0);
+            prop_assert_eq!(compression_ratio_percent(*bits, 0), 100.0);
+            Ok(())
+        },
+    );
+}
 
-    /// Summary statistics are order-invariant and internally ordered.
-    #[test]
-    fn summary_stats_invariants(mut xs in prop::collection::vec(-100.0..100.0f64, 1..64)) {
-        let a = SummaryStats::from_samples(&xs).unwrap();
-        xs.reverse();
-        let b = SummaryStats::from_samples(&xs).unwrap();
-        prop_assert_eq!(&a, &b);
-        prop_assert!(a.min <= a.q1 + 1e-12);
-        prop_assert!(a.q1 <= a.median + 1e-12);
-        prop_assert!(a.median <= a.q3 + 1e-12);
-        prop_assert!(a.q3 <= a.max + 1e-12);
-        prop_assert!(a.whisker_low >= a.min - 1e-12);
-        prop_assert!(a.whisker_high <= a.max + 1e-12);
-        // Outliers + in-whisker samples account for the full sample.
-        let inside = xs
-            .iter()
-            .filter(|v| **v >= a.whisker_low && **v <= a.whisker_high)
-            .count();
-        prop_assert_eq!(inside + a.outliers.len(), xs.len());
-    }
+/// Summary statistics are order-invariant and internally ordered.
+#[test]
+fn summary_stats_invariants() {
+    check(
+        "summary_stats_invariants",
+        &vec_of(f64_in(-100.0, 100.0), 1, 64),
+        |xs| {
+            let mut xs = xs.clone();
+            let a = SummaryStats::from_samples(&xs).unwrap();
+            xs.reverse();
+            let b = SummaryStats::from_samples(&xs).unwrap();
+            prop_assert_eq!(&a, &b);
+            prop_assert!(a.min <= a.q1 + 1e-12);
+            prop_assert!(a.q1 <= a.median + 1e-12);
+            prop_assert!(a.median <= a.q3 + 1e-12);
+            prop_assert!(a.q3 <= a.max + 1e-12);
+            prop_assert!(a.whisker_low >= a.min - 1e-12);
+            prop_assert!(a.whisker_high <= a.max + 1e-12);
+            // Outliers + in-whisker samples account for the full sample.
+            let inside = xs
+                .iter()
+                .filter(|v| **v >= a.whisker_low && **v <= a.whisker_high)
+                .count();
+            prop_assert_eq!(inside + a.outliers.len(), xs.len());
+            Ok(())
+        },
+    );
+}
 
-    /// Empirical PDFs normalize and bound entropy by log2(support size).
-    #[test]
-    fn pdf_invariants(symbols in prop::collection::vec(-50i64..50, 1..512)) {
-        let pdf = DiscretePdf::from_symbols(symbols.iter().copied());
-        let total_p: f64 = pdf.points().iter().map(|(_, p)| p).sum();
-        prop_assert!((total_p - 1.0).abs() < 1e-9);
-        let support = pdf.counts().len() as f64;
-        prop_assert!(pdf.entropy_bits() <= support.log2() + 1e-9);
-        prop_assert!(pdf.entropy_bits() >= 0.0);
-    }
+/// Empirical PDFs normalize and bound entropy by log2(support size).
+#[test]
+fn pdf_invariants() {
+    check(
+        "pdf_invariants",
+        &vec_of(i64_in(-50, 50), 1, 512),
+        |symbols| {
+            let pdf = DiscretePdf::from_symbols(symbols.iter().copied());
+            let total_p: f64 = pdf.points().iter().map(|(_, p)| p).sum();
+            prop_assert!((total_p - 1.0).abs() < 1e-9, "total probability {total_p}");
+            let support = pdf.counts().len() as f64;
+            prop_assert!(pdf.entropy_bits() <= support.log2() + 1e-9);
+            prop_assert!(pdf.entropy_bits() >= 0.0);
+            Ok(())
+        },
+    );
 }

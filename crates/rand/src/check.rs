@@ -1,0 +1,603 @@
+//! A seeded property-testing harness: generation, shrinking, and
+//! deterministic failure reproduction — a hermetic stand-in for the
+//! subset of `proptest` this workspace used.
+//!
+//! # Model
+//!
+//! A property is a function `Fn(&T) -> Result<(), String>` over inputs
+//! produced by a [`Gen<T>`] (a generator plus a shrinker). [`check`] runs
+//! the property over `cases` independently seeded inputs; on the first
+//! failure it greedily shrinks the input and panics with a report that
+//! includes the **case seed**, from which the exact failing input can be
+//! regenerated.
+//!
+//! # Reproducing a failure
+//!
+//! The failure report prints a line of the form
+//!
+//! ```text
+//! reproduce with: HYBRIDCS_CHECK_SEED=0x3fa91c0b77a2e415 cargo test -q <test_name>
+//! ```
+//!
+//! Setting that environment variable makes every [`check`] call in the
+//! process run exactly one case from that seed, regenerating the same
+//! input (and re-shrinking it the same way — the whole pipeline is a pure
+//! function of the seed).
+//!
+//! # Environment knobs
+//!
+//! * `HYBRIDCS_CHECK_SEED` — run a single case from this seed (decimal or
+//!   `0x`-prefixed hex).
+//! * `HYBRIDCS_CHECK_CASES` — override the per-property case count
+//!   (default 64).
+//!
+//! # Example
+//!
+//! ```
+//! use hybridcs_rand::check::{check, vec_of, f64_in};
+//!
+//! check("norm is non-negative", &vec_of(f64_in(-10.0, 10.0), 1, 32), |xs| {
+//!     let norm: f64 = xs.iter().map(|v| v * v).sum::<f64>().sqrt();
+//!     if norm >= 0.0 { Ok(()) } else { Err(format!("norm {norm}")) }
+//! });
+//! ```
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::Once;
+
+use crate::rngs::StdRng;
+use crate::splitmix::{mix, SplitMix64};
+use crate::traits::{Rng, SeedableRng};
+
+/// Default number of cases per property (the workspace floor is 64).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Configuration for a [`check_with`] run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Number of seeded cases to run.
+    pub cases: u32,
+    /// Base seed for the per-property case stream. The per-case seeds are
+    /// derived from it and the property name, so two properties in one
+    /// binary never share inputs.
+    pub base_seed: u64,
+    /// When set, run exactly one case from this seed (what the failure
+    /// report prints). Overrides `cases`/`base_seed`.
+    pub replay_seed: Option<u64>,
+    /// Upper bound on accepted shrink steps before reporting.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for CheckConfig {
+    /// Reads `HYBRIDCS_CHECK_CASES` and `HYBRIDCS_CHECK_SEED` from the
+    /// environment.
+    fn default() -> Self {
+        let cases = std::env::var("HYBRIDCS_CHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        let replay_seed = std::env::var("HYBRIDCS_CHECK_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v));
+        CheckConfig {
+            cases,
+            base_seed: 0,
+            replay_seed,
+            max_shrink_steps: 1024,
+        }
+    }
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    let t = text.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// A value generator paired with a shrinker.
+///
+/// `Gen` is cheap to clone (shared closures) and composes through
+/// [`zip2`]/[`zip3`]/[`zip4`] and [`vec_of`]. Shrink candidates are
+/// ordered most-aggressive-first; the runner takes the first candidate
+/// that still fails, so aggressive early candidates shrink in few steps.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut StdRng) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            generate: Rc::clone(&self.generate),
+            shrink: Rc::clone(&self.shrink),
+        }
+    }
+}
+
+impl<T> Gen<T> {
+    /// Builds a generator from explicit generate/shrink closures.
+    pub fn new(
+        generate: impl Fn(&mut StdRng) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen {
+            generate: Rc::new(generate),
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// Draws one value.
+    pub fn generate(&self, rng: &mut StdRng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Proposes simpler candidate values, most aggressive first.
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar generators
+// ---------------------------------------------------------------------------
+
+fn push_unique<T: PartialEq>(out: &mut Vec<T>, candidate: T, current: &T) {
+    if candidate != *current && !out.contains(&candidate) {
+        out.push(candidate);
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`, shrinking toward zero (or toward `lo` when
+/// the range excludes zero).
+pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi, "f64_in requires lo < hi");
+    let target = if lo <= 0.0 && 0.0 < hi { 0.0 } else { lo };
+    Gen::new(
+        move |rng| crate::traits::UniformSample::sample_range(rng, lo, hi),
+        move |&v| {
+            let mut out = Vec::new();
+            push_unique(&mut out, target, &v);
+            let mid = target + (v - target) / 2.0;
+            if mid.is_finite() && (mid - target).abs() < (v - target).abs() {
+                push_unique(&mut out, mid, &v);
+            }
+            out
+        },
+    )
+}
+
+/// Any `u64`, shrinking toward zero.
+pub fn u64_any() -> Gen<u64> {
+    Gen::new(
+        |rng| rng.next_u64(),
+        |&v| {
+            let mut out = Vec::new();
+            push_unique(&mut out, 0, &v);
+            push_unique(&mut out, v / 2, &v);
+            if v > 0 {
+                push_unique(&mut out, v - 1, &v);
+            }
+            out
+        },
+    )
+}
+
+/// Any `u8`, shrinking toward zero.
+pub fn u8_any() -> Gen<u8> {
+    Gen::new(
+        |rng| rng.next_u64() as u8,
+        |&v| {
+            let mut out = Vec::new();
+            push_unique(&mut out, 0, &v);
+            push_unique(&mut out, v / 2, &v);
+            out
+        },
+    )
+}
+
+/// Any `bool`, shrinking toward `false`.
+pub fn bool_any() -> Gen<bool> {
+    Gen::new(
+        |rng| rng.next_u64() >> 63 == 1,
+        |&v| if v { vec![false] } else { Vec::new() },
+    )
+}
+
+macro_rules! int_range_gen {
+    ($name:ident, $t:ty) => {
+        /// Uniform draw from the half-open range `[lo, hi)`, shrinking
+        /// toward zero when the range contains it, else toward `lo`.
+        pub fn $name(lo: $t, hi: $t) -> Gen<$t> {
+            assert!(lo < hi, concat!(stringify!($name), " requires lo < hi"));
+            #[allow(unused_comparisons)]
+            let target = if lo <= 0 && 0 < hi { 0 } else { lo };
+            Gen::new(
+                move |rng| crate::traits::UniformSample::sample_range(rng, lo, hi),
+                move |&v| {
+                    let mut out = Vec::new();
+                    push_unique(&mut out, target, &v);
+                    let mid = target + (v - target) / 2;
+                    push_unique(&mut out, mid, &v);
+                    if v > target {
+                        push_unique(&mut out, v - 1, &v);
+                    } else if v < target {
+                        push_unique(&mut out, v + 1, &v);
+                    }
+                    out
+                },
+            )
+        }
+    };
+}
+
+int_range_gen!(u32_in, u32);
+int_range_gen!(usize_in, usize);
+int_range_gen!(i64_in, i64);
+int_range_gen!(u64_in, u64);
+
+/// Uniformly selects one of `items`, shrinking toward the first entry.
+pub fn choice<T: Clone + PartialEq + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty(), "choice requires at least one item");
+    let shrink_items = items.clone();
+    Gen::new(
+        move |rng| {
+            let i = crate::traits::UniformSample::sample_range(rng, 0usize, items.len());
+            items[i].clone()
+        },
+        move |v| {
+            if *v != shrink_items[0] {
+                vec![shrink_items[0].clone()]
+            } else {
+                Vec::new()
+            }
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Collection and tuple generators
+// ---------------------------------------------------------------------------
+
+/// `Vec<T>` with length uniform in `[min_len, max_len)`.
+///
+/// Shrinks by halving toward `min_len`, dropping endpoints, then
+/// shrinking one element at a time (first candidate per position).
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(min_len < max_len, "vec_of requires min_len < max_len");
+    let gen_elem = elem.clone();
+    Gen::new(
+        move |rng| {
+            let len = crate::traits::UniformSample::sample_range(rng, min_len, max_len);
+            (0..len).map(|_| gen_elem.generate(rng)).collect()
+        },
+        move |v: &Vec<T>| shrink_vec(&elem, v, min_len),
+    )
+}
+
+/// `Vec<T>` of exactly `len` elements; shrinks elementwise only.
+pub fn vec_len<T: Clone + 'static>(elem: Gen<T>, len: usize) -> Gen<Vec<T>> {
+    let gen_elem = elem.clone();
+    Gen::new(
+        move |rng| (0..len).map(|_| gen_elem.generate(rng)).collect(),
+        move |v: &Vec<T>| shrink_vec(&elem, v, v.len()),
+    )
+}
+
+fn shrink_vec<T: Clone>(elem: &Gen<T>, v: &[T], min_len: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = Vec::new();
+    if v.len() > min_len {
+        let half = (v.len() / 2).max(min_len);
+        if half < v.len() {
+            out.push(v[..half].to_vec());
+        }
+        out.push(v[..v.len() - 1].to_vec());
+        out.push(v[1..].to_vec());
+    }
+    for (i, x) in v.iter().enumerate() {
+        if let Some(candidate) = elem.shrink(x).into_iter().next() {
+            let mut copy = v.to_vec();
+            copy[i] = candidate;
+            out.push(copy);
+        }
+    }
+    out
+}
+
+/// Pairs two generators; shrinks componentwise.
+pub fn zip2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (ga, gb) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (ga.generate(rng), gb.generate(rng)),
+        move |(va, vb)| {
+            let mut out = Vec::new();
+            for ca in a.shrink(va) {
+                out.push((ca, vb.clone()));
+            }
+            for cb in b.shrink(vb) {
+                out.push((va.clone(), cb));
+            }
+            out
+        },
+    )
+}
+
+/// Triples three generators; shrinks componentwise.
+pub fn zip3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    let flat = zip2(zip2(a, b), c);
+    Gen::new(
+        {
+            let flat = flat.clone();
+            move |rng| {
+                let ((va, vb), vc) = flat.generate(rng);
+                (va, vb, vc)
+            }
+        },
+        move |(va, vb, vc)| {
+            flat.shrink(&((va.clone(), vb.clone()), vc.clone()))
+                .into_iter()
+                .map(|((a, b), c)| (a, b, c))
+                .collect()
+        },
+    )
+}
+
+/// Quadruples four generators; shrinks componentwise.
+pub fn zip4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    let flat = zip2(zip2(a, b), zip2(c, d));
+    Gen::new(
+        {
+            let flat = flat.clone();
+            move |rng| {
+                let ((va, vb), (vc, vd)) = flat.generate(rng);
+                (va, vb, vc, vd)
+            }
+        },
+        move |(va, vb, vc, vd)| {
+            flat.shrink(&((va.clone(), vb.clone()), (vc.clone(), vd.clone())))
+                .into_iter()
+                .map(|((a, b), (c, d))| (a, b, c, d))
+                .collect()
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that stays silent while the
+/// harness probes properties, so shrinking does not spray backtraces.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `prop` against `input`, translating both `Err` returns and panics
+/// into a failure message.
+fn run_case<T, F>(prop: &F, input: &T) -> Option<String>
+where
+    F: Fn(&T) -> Result<(), String>,
+{
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(input)));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_owned()
+    }
+}
+
+/// FNV-1a, used to give each property its own case-seed stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+/// Runs `prop` over [`CheckConfig::default`]-many seeded cases of `gen`.
+///
+/// # Panics
+///
+/// Panics with a shrunk counterexample and a reproduction seed on the
+/// first failing case. See the module docs for the report format.
+pub fn check<T, F>(name: &str, gen: &Gen<T>, prop: F)
+where
+    T: Clone + Debug,
+    F: Fn(&T) -> Result<(), String>,
+{
+    check_with(name, &CheckConfig::default(), gen, prop);
+}
+
+/// [`check`] with an explicit configuration (used by the harness's own
+/// tests and by suites that need more cases).
+pub fn check_with<T, F>(name: &str, config: &CheckConfig, gen: &Gen<T>, prop: F)
+where
+    T: Clone + Debug,
+    F: Fn(&T) -> Result<(), String>,
+{
+    install_quiet_hook();
+
+    if let Some(seed) = config.replay_seed {
+        if let Some(report) = try_case(name, config, gen, &prop, seed, 0) {
+            panic!("{report}");
+        }
+        return;
+    }
+
+    let mut stream = SplitMix64::new(mix(config.base_seed) ^ hash_name(name));
+    for case in 0..config.cases {
+        let case_seed = stream.next_u64();
+        if let Some(report) = try_case(name, config, gen, &prop, case_seed, case) {
+            panic!("{report}");
+        }
+    }
+}
+
+/// Runs one case; on failure shrinks greedily and renders the report.
+fn try_case<T, F>(
+    name: &str,
+    config: &CheckConfig,
+    gen: &Gen<T>,
+    prop: &F,
+    case_seed: u64,
+    case_index: u32,
+) -> Option<String>
+where
+    T: Clone + Debug,
+    F: Fn(&T) -> Result<(), String>,
+{
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let input = gen.generate(&mut rng);
+    let first_error = run_case(prop, &input)?;
+
+    let mut current = input;
+    let mut error = first_error;
+    let mut steps = 0u32;
+    'shrinking: while steps < config.max_shrink_steps {
+        for candidate in gen.shrink(&current) {
+            if let Some(msg) = run_case(prop, &candidate) {
+                current = candidate;
+                error = msg;
+                steps += 1;
+                continue 'shrinking;
+            }
+        }
+        break;
+    }
+
+    Some(format!(
+        "property '{name}' failed (case {case_index}, seed 0x{case_seed:016x})\n  \
+         counterexample ({steps} shrink steps): {current:?}\n  \
+         error: {error}\n  \
+         reproduce with: HYBRIDCS_CHECK_SEED=0x{case_seed:016x} cargo test -q {test}",
+        test = name.split_whitespace().next().unwrap_or(name),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counted = std::cell::Cell::new(0u32);
+        check(
+            "sum of squares is non-negative",
+            &vec_of(f64_in(-5.0, 5.0), 0, 16),
+            |xs| {
+                counted.set(counted.get() + 1);
+                let s: f64 = xs.iter().map(|v| v * v).sum();
+                if s >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("sum {s}"))
+                }
+            },
+        );
+        assert!(counted.get() >= DEFAULT_CASES);
+    }
+
+    #[test]
+    fn shrinking_reaches_a_small_counterexample() {
+        // Broken property: "all vectors have fewer than 3 elements".
+        // The minimal counterexample is any 3-element vector; the shrinker
+        // must land exactly on length 3.
+        let config = CheckConfig {
+            cases: 64,
+            base_seed: 1,
+            replay_seed: None,
+            max_shrink_steps: 1024,
+        };
+        let failure = panic::catch_unwind(|| {
+            check_with(
+                "vec shorter than 3",
+                &config,
+                &vec_of(u32_in(0, 100), 0, 64),
+                |xs| {
+                    if xs.len() < 3 {
+                        Ok(())
+                    } else {
+                        Err(format!("len {}", xs.len()))
+                    }
+                },
+            );
+        })
+        .expect_err("property must fail");
+        let msg = format!("{:?}", failure.downcast_ref::<String>().unwrap());
+        assert!(msg.contains("error: len 3"), "not fully shrunk: {msg}");
+        assert!(msg.contains("[0, 0, 0]"), "elements not shrunk: {msg}");
+    }
+
+    #[test]
+    fn panics_inside_properties_are_failures() {
+        let config = CheckConfig {
+            cases: 8,
+            base_seed: 0,
+            replay_seed: None,
+            max_shrink_steps: 16,
+        };
+        let failure = panic::catch_unwind(|| {
+            check_with("always panics", &config, &u64_any(), |_| {
+                panic!("boom");
+            })
+        })
+        .expect_err("property must fail");
+        let msg = failure.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("panic: boom"), "panic not captured: {msg}");
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_streams() {
+        let first = std::cell::RefCell::new(Vec::<u64>::new());
+        check("stream probe a", &u64_any(), |v| {
+            first.borrow_mut().push(*v);
+            Ok(())
+        });
+        let second = std::cell::RefCell::new(Vec::<u64>::new());
+        check("stream probe b", &u64_any(), |v| {
+            second.borrow_mut().push(*v);
+            Ok(())
+        });
+        assert_ne!(first.into_inner(), second.into_inner());
+    }
+}

@@ -1,0 +1,107 @@
+//! Gaussian deviates via the Box–Muller transform.
+//!
+//! Migrated from `hybridcs-ecg`'s private helper so every crate (noise
+//! models, amplifier models, ADC dither) draws normals from one audited
+//! implementation with one pinned stream.
+
+use crate::traits::{Rng, RngExt};
+
+/// Draws one standard-normal deviate via the Box–Muller transform.
+///
+/// Consumes exactly the uniform draws it needs from `rng` (two per call,
+/// plus rejection redraws of the first uniform when it is subnormal), so
+/// the mapping from the `u64` stream to the normal stream is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use hybridcs_rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let z = hybridcs_rand::normal::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the logarithm against u1 == 0.
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal deviate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev < 0`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Fills `out` with white Gaussian noise of the given standard deviation.
+pub fn white_noise<R: Rng + ?Sized>(rng: &mut R, std_dev: f64, out: &mut [f64]) {
+    for v in out.iter_mut() {
+        *v = normal(rng, 0.0, std_dev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn normal_respects_parameters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..8)
+                .map(|_| standard_normal(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_dev_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    fn white_noise_fills_buffer() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buf = [0.0; 64];
+        white_noise(&mut rng, 1.0, &mut buf);
+        assert!(buf.iter().any(|v| v.abs() > 1e-6));
+    }
+}

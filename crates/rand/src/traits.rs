@@ -1,0 +1,261 @@
+//! The generator traits: a minimal, stable subset of the `rand` crate's
+//! API surface, shaped exactly like the call sites this workspace uses.
+//!
+//! * [`Rng`] — the backend contract: produce uniform `u64`s.
+//! * [`SeedableRng`] — construct a generator from a `u64` seed.
+//! * [`RngExt`] — the user-facing methods (`random`, `random_range`,
+//!   `random_bool`, `fill_f64`), blanket-implemented for every [`Rng`].
+//! * [`Sample`] / [`UniformSample`] — the type-driven draw protocols
+//!   behind `random::<T>()` and `random_range(lo..hi)`.
+//!
+//! All derivations are pure integer/float arithmetic on the `u64` stream,
+//! so every method is bit-reproducible across platforms (see the
+//! `stream_stability` integration test, which pins the exact outputs).
+
+use std::ops::Range;
+
+/// A deterministic pseudo-random generator: a stream of uniform `u64`s.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns 32 uniformly distributed random bits (the high half of
+    /// [`Rng::next_u64`], which for xoshiro-family generators is the
+    /// better-mixed half).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+///
+/// Implementations must expand the seed with SplitMix64 (or use it
+/// directly, for SplitMix64 itself) so that nearby seeds yield unrelated
+/// streams.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable uniformly from their natural domain via
+/// [`RngExt::random`].
+///
+/// For floats the natural domain is `[0, 1)`; for integers and `bool` it
+/// is the whole type.
+pub trait Sample: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits (the standard
+    /// `(x >> 11) · 2⁻⁵³` construction).
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with 24 random mantissa bits.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types drawable uniformly from a half-open range via
+/// [`RngExt::random_range`].
+pub trait UniformSample: Sized {
+    /// Draws uniformly from `[lo, hi)`. Callers guarantee `lo < hi`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Unbiased uniform draw from `[0, n)` via Lemire's widening-multiply
+/// rejection method (deterministic given the `u64` stream).
+pub(crate) fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut product = u128::from(rng.next_u64()) * u128::from(n);
+    let mut low = product as u64;
+    if low < n {
+        // Reject the biased low region (n.wrapping_neg() % n == 2^64 mod n).
+        let threshold = n.wrapping_neg() % n;
+        while low < threshold {
+            product = u128::from(rng.next_u64()) * u128::from(n);
+            low = product as u64;
+        }
+    }
+    (product >> 64) as u64
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let width = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(uniform_u64_below(rng, width) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // Two's-complement width is exact even when the range
+                // straddles zero.
+                let width = (hi as i64 as u64).wrapping_sub(lo as i64 as u64);
+                lo.wrapping_add(uniform_u64_below(rng, width) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let u = f64::sample(rng);
+        // The lerp form keeps the result strictly below `hi` for u < 1.
+        let v = lo + (hi - lo) * u;
+        if v < hi {
+            v
+        } else {
+            // Guard rounding at the top of very narrow ranges.
+            f64::from_bits(hi.to_bits() - 1).max(lo)
+        }
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let u = f32::sample(rng);
+        let v = lo + (hi - lo) * u;
+        if v < hi {
+            v
+        } else {
+            f32::from_bits(hi.to_bits() - 1).max(lo)
+        }
+    }
+}
+
+/// The user-facing draw methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws one `T` from its natural domain (`[0, 1)` for floats, the
+    /// full type for integers and `bool`).
+    fn random<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: UniformSample + PartialOrd>(&mut self, range: Range<T>) -> T {
+        assert!(
+            range.start < range.end,
+            "random_range called with empty range"
+        );
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::sample(self) < p
+    }
+
+    /// Fills `out` with independent uniform draws from `[0, 1)`.
+    fn fill_f64(&mut self, out: &mut [f64]) {
+        for v in out.iter_mut() {
+            *v = f64::sample(self);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u = rng.random_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.random_range(-20i64..20);
+            assert!((-20..20).contains(&i));
+            let f = rng.random_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_half_open() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..64).all(|_| !rng.random_bool(0.0)));
+        assert!((0..64).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn lemire_is_unbiased_over_small_modulus() {
+        // A coarse chi-square-free sanity check: each residue of a
+        // 7-bucket draw should get roughly 1/7 of the mass.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.random_range(0usize..7)] += 1;
+        }
+        for c in counts {
+            let p = f64::from(c) / f64::from(n);
+            assert!((p - 1.0 / 7.0).abs() < 0.01, "bucket probability {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5usize..5);
+    }
+}

@@ -1,0 +1,113 @@
+//! xoshiro256++ — the workspace's standard generator.
+//!
+//! Blackman & Vigna's xoshiro256++ 1.0 (2019): 256 bits of state, period
+//! 2²⁵⁶ − 1, passes BigCrush, and needs only shifts/rotates/adds — ideal
+//! for a hermetic reproduction that must be bit-identical on every
+//! platform. Seeding expands a single `u64` through SplitMix64 as the
+//! authors recommend.
+
+use crate::splitmix::SplitMix64;
+use crate::traits::{Rng, SeedableRng};
+
+/// The xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Builds a generator from raw state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros (the one fixed point of the
+    /// transition function).
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must be non-zero"
+        );
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    /// Expands `seed` into 256 bits of state with four SplitMix64 draws.
+    /// SplitMix64 never yields four consecutive zeros, so the state is
+    /// always valid.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256PlusPlus {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard generator: SplitMix64-seeded xoshiro256++.
+    ///
+    /// Every stochastic component (corpus synthesis, chipping sequences,
+    /// sensing matrices, noise models, the property harness) draws from
+    /// this type, and its stream is pinned by the `stream_stability`
+    /// integration test — changing the algorithm is a breaking change to
+    /// every recorded result in `results/`.
+    pub type StdRng = super::Xoshiro256PlusPlus;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // First outputs of xoshiro256++ from the authors' C reference
+        // (https://prng.di.unimi.it/xoshiro256plusplus.c) with state
+        // {1, 2, 3, 4}.
+        let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let expected: [u64; 5] = [
+            41_943_041,
+            58_720_359,
+            3_588_806_011_781_223,
+            3_591_011_842_654_386,
+            9_228_616_714_210_784_205,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeded_streams_differ_and_reproduce() {
+        let draw = |seed: u64| {
+            let mut r = Xoshiro256PlusPlus::seed_from_u64(seed);
+            (0..16).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_state_rejected() {
+        let _ = Xoshiro256PlusPlus::from_state([0; 4]);
+    }
+}

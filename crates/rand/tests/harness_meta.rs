@@ -1,0 +1,114 @@
+//! Meta-tests of the property harness itself: a deliberately broken
+//! property must fail, print a seed, and reproduce **deterministically**
+//! from that seed alone — the acceptance criterion for offline failure
+//! triage ("copy the seed from CI output, replay locally").
+
+use std::panic;
+
+use hybridcs_rand::check::{check_with, f64_in, vec_of, CheckConfig};
+
+/// Captures the harness's failure report for a deliberately broken
+/// property (a flipped inequality: claims every vector sums to < 1.0).
+fn failure_report(config: &CheckConfig) -> String {
+    let result = panic::catch_unwind(|| {
+        check_with(
+            "broken_sum_bound",
+            config,
+            &vec_of(f64_in(0.0, 10.0), 1, 32),
+            |xs| {
+                let sum: f64 = xs.iter().sum();
+                // Flipped inequality — fails for most generated vectors.
+                if sum < 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("sum {sum} not < 1.0"))
+                }
+            },
+        );
+    });
+    let payload = result.expect_err("broken property must fail");
+    payload
+        .downcast_ref::<String>()
+        .expect("harness reports are String panics")
+        .clone()
+}
+
+/// Pulls the `HYBRIDCS_CHECK_SEED=0x...` seed out of a failure report.
+fn extract_seed(report: &str) -> u64 {
+    let marker = "HYBRIDCS_CHECK_SEED=0x";
+    let at = report.find(marker).expect("report must name the seed");
+    let hex: String = report[at + marker.len()..]
+        .chars()
+        .take_while(char::is_ascii_hexdigit)
+        .collect();
+    u64::from_str_radix(&hex, 16).expect("seed must be valid hex")
+}
+
+fn counterexample_line(report: &str) -> &str {
+    report
+        .lines()
+        .find(|l| l.contains("counterexample"))
+        .expect("report must show the counterexample")
+}
+
+#[test]
+fn broken_property_reproduces_from_printed_seed() {
+    let config = CheckConfig {
+        cases: 64,
+        base_seed: 0xDA7E_2015,
+        replay_seed: None,
+        max_shrink_steps: 1024,
+    };
+    let first = failure_report(&config);
+    let seed = extract_seed(&first);
+
+    // Replay exactly as a user would: same property, seed from the report.
+    let replay = failure_report(&CheckConfig {
+        replay_seed: Some(seed),
+        ..config.clone()
+    });
+
+    assert_eq!(
+        counterexample_line(&first),
+        counterexample_line(&replay),
+        "replay from the printed seed must regenerate the identical shrunk \
+         counterexample\nfirst:\n{first}\nreplay:\n{replay}"
+    );
+    assert_eq!(
+        seed,
+        extract_seed(&replay),
+        "replay must print the same seed"
+    );
+}
+
+#[test]
+fn failure_report_is_stable_across_runs() {
+    // The whole pipeline (case seeds, generation, shrinking) is a pure
+    // function of the configuration — two runs must agree byte-for-byte.
+    let config = CheckConfig {
+        cases: 64,
+        base_seed: 42,
+        replay_seed: None,
+        max_shrink_steps: 1024,
+    };
+    assert_eq!(failure_report(&config), failure_report(&config));
+}
+
+#[test]
+fn shrunk_counterexample_is_minimal() {
+    // For the flipped bound "sum < 1.0" over positive vectors the greedy
+    // shrinker should reach a single-element vector (len 1 is the floor).
+    let config = CheckConfig {
+        cases: 64,
+        base_seed: 7,
+        replay_seed: None,
+        max_shrink_steps: 4096,
+    };
+    let report = failure_report(&config);
+    let line = counterexample_line(&report);
+    let commas = line.matches(',').count();
+    assert_eq!(
+        commas, 0,
+        "expected a 1-element counterexample, got: {line}"
+    );
+}

@@ -1,109 +1,143 @@
 //! Property tests for the proximal operators — the convergence guarantees
 //! of PDHG/ADMM assume these are exact projections/prox maps, so the
-//! defining properties are checked directly.
+//! defining properties are checked directly. Runs on the in-repo
+//! `hybridcs_rand::check` harness (≥ 64 seeded cases each).
 
 use hybridcs_linalg::vector;
+use hybridcs_rand::check::{check, f64_in, vec_len, zip2, zip3, Gen};
+use hybridcs_rand::{prop_assert, prop_assert_eq};
 use hybridcs_solver::prox::{
     project_box, project_l2_ball, soft_threshold, soft_threshold_slice, soft_threshold_weighted,
 };
-use proptest::prelude::*;
 
-fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-100.0..100.0f64, len)
+fn vec_gen(len: usize) -> Gen<Vec<f64>> {
+    vec_len(f64_in(-100.0, 100.0), len)
 }
 
-proptest! {
-    /// Soft-thresholding is the prox of t·|·|: it minimizes
-    /// ½(x−v)² + t|x|, which is equivalent to the subgradient condition
-    /// checked here at sampled alternatives.
-    #[test]
-    fn soft_threshold_minimizes_objective(v in -100.0..100.0f64, t in 0.0..10.0f64) {
-        let x = soft_threshold(v, t);
-        let objective = |z: f64| 0.5 * (z - v) * (z - v) + t * z.abs();
-        let fx = objective(x);
-        for dz in [-1.0, -0.1, -1e-3, 1e-3, 0.1, 1.0] {
-            prop_assert!(fx <= objective(x + dz) + 1e-9);
-        }
-    }
+/// Soft-thresholding is the prox of t·|·|: it minimizes
+/// ½(x−v)² + t|x|, which is equivalent to the subgradient condition
+/// checked here at sampled alternatives.
+#[test]
+fn soft_threshold_minimizes_objective() {
+    check(
+        "soft_threshold_minimizes_objective",
+        &zip2(f64_in(-100.0, 100.0), f64_in(0.0, 10.0)),
+        |(v, t)| {
+            let x = soft_threshold(*v, *t);
+            let objective = |z: f64| 0.5 * (z - v) * (z - v) + t * z.abs();
+            let fx = objective(x);
+            for dz in [-1.0, -0.1, -1e-3, 1e-3, 0.1, 1.0] {
+                prop_assert!(fx <= objective(x + dz) + 1e-9, "{fx} beaten at dz={dz}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Shrinkage never changes sign and never grows magnitude.
-    #[test]
-    fn soft_threshold_is_a_shrinkage(v in -100.0..100.0f64, t in 0.0..10.0f64) {
-        let x = soft_threshold(v, t);
-        prop_assert!(x.abs() <= v.abs() + 1e-12);
-        prop_assert!(x * v >= 0.0);
-    }
+/// Shrinkage never changes sign and never grows magnitude.
+#[test]
+fn soft_threshold_is_a_shrinkage() {
+    check(
+        "soft_threshold_is_a_shrinkage",
+        &zip2(f64_in(-100.0, 100.0), f64_in(0.0, 10.0)),
+        |(v, t)| {
+            let x = soft_threshold(*v, *t);
+            prop_assert!(x.abs() <= v.abs() + 1e-12);
+            prop_assert!(x * v >= 0.0);
+            Ok(())
+        },
+    );
+}
 
-    /// The slice and weighted variants agree with the scalar one.
-    #[test]
-    fn vector_variants_match_scalar(v in vec_strategy(16), t in 0.0..5.0f64) {
-        let mut plain = v.clone();
-        soft_threshold_slice(&mut plain, t);
-        for (p, &orig) in plain.iter().zip(&v) {
-            prop_assert_eq!(*p, soft_threshold(orig, t));
-        }
-        let w = vec![2.0; 16];
-        let mut weighted = v.clone();
-        soft_threshold_weighted(&mut weighted, t, &w);
-        for (p, &orig) in weighted.iter().zip(&v) {
-            prop_assert_eq!(*p, soft_threshold(orig, 2.0 * t));
-        }
-    }
+/// The slice and weighted variants agree with the scalar one.
+#[test]
+fn vector_variants_match_scalar() {
+    check(
+        "vector_variants_match_scalar",
+        &zip2(vec_gen(16), f64_in(0.0, 5.0)),
+        |(v, t)| {
+            let mut plain = v.clone();
+            soft_threshold_slice(&mut plain, *t);
+            for (p, &orig) in plain.iter().zip(v) {
+                prop_assert_eq!(*p, soft_threshold(orig, *t));
+            }
+            let w = vec![2.0; 16];
+            let mut weighted = v.clone();
+            soft_threshold_weighted(&mut weighted, *t, &w);
+            for (p, &orig) in weighted.iter().zip(v) {
+                prop_assert_eq!(*p, soft_threshold(orig, 2.0 * t));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Ball projection: output is inside the ball, idempotent, and no
-    /// feasible point is closer (projection optimality via sampled
-    /// feasible alternatives).
-    #[test]
-    fn ball_projection_properties(
-        v in vec_strategy(8),
-        c in vec_strategy(8),
-        r in 0.0..50.0f64,
-    ) {
-        let mut p = v.clone();
-        project_l2_ball(&mut p, &c, r);
-        prop_assert!(vector::dist2(&p, &c) <= r + 1e-9);
-        let mut twice = p.clone();
-        project_l2_ball(&mut twice, &c, r);
-        prop_assert!(vector::dist2(&p, &twice) < 1e-9);
-        // The center is always feasible; the projection must be at least
-        // as close to v as the center is.
-        prop_assert!(vector::dist2(&p, &v) <= vector::dist2(&c, &v) + 1e-9);
-    }
+/// Ball projection: output is inside the ball, idempotent, and no
+/// feasible point is closer (projection optimality via sampled
+/// feasible alternatives).
+#[test]
+fn ball_projection_properties() {
+    check(
+        "ball_projection_properties",
+        &zip3(vec_gen(8), vec_gen(8), f64_in(0.0, 50.0)),
+        |(v, c, r)| {
+            let mut p = v.clone();
+            project_l2_ball(&mut p, c, *r);
+            prop_assert!(vector::dist2(&p, c) <= r + 1e-9);
+            let mut twice = p.clone();
+            project_l2_ball(&mut twice, c, *r);
+            prop_assert!(vector::dist2(&p, &twice) < 1e-9);
+            // The center is always feasible; the projection must be at least
+            // as close to v as the center is.
+            prop_assert!(vector::dist2(&p, v) <= vector::dist2(c, v) + 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Box projection: inside the box, idempotent, and componentwise
-    /// closest.
-    #[test]
-    fn box_projection_properties(v in vec_strategy(8)) {
+/// Box projection: inside the box, idempotent, and componentwise
+/// closest.
+#[test]
+fn box_projection_properties() {
+    check("box_projection_properties", &vec_gen(8), |v| {
         let lo = vec![-5.0; 8];
         let hi = vec![7.0; 8];
         let mut p = v.clone();
         project_box(&mut p, &lo, &hi);
         for ((pi, &l), &h) in p.iter().zip(&lo).zip(&hi) {
-            prop_assert!(l <= *pi && *pi <= h);
+            prop_assert!(l <= *pi && *pi <= h, "{pi} outside [{l}, {h}]");
         }
         // Componentwise optimality: any feasible z is no closer than p.
         for (i, &vi) in v.iter().enumerate() {
             let z = vi.clamp(lo[i], hi[i]);
             prop_assert!((p[i] - vi).abs() <= (z - vi).abs() + 1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Projections are non-expansive: ‖P(a) − P(b)‖ ≤ ‖a − b‖.
-    #[test]
-    fn projections_are_nonexpansive(a in vec_strategy(8), b in vec_strategy(8)) {
-        let c = vec![0.0; 8];
-        let mut pa = a.clone();
-        let mut pb = b.clone();
-        project_l2_ball(&mut pa, &c, 10.0);
-        project_l2_ball(&mut pb, &c, 10.0);
-        prop_assert!(vector::dist2(&pa, &pb) <= vector::dist2(&a, &b) + 1e-9);
+/// Projections are non-expansive: ‖P(a) − P(b)‖ ≤ ‖a − b‖.
+#[test]
+fn projections_are_nonexpansive() {
+    check(
+        "projections_are_nonexpansive",
+        &zip2(vec_gen(8), vec_gen(8)),
+        |(a, b)| {
+            let c = vec![0.0; 8];
+            let mut pa = a.clone();
+            let mut pb = b.clone();
+            project_l2_ball(&mut pa, &c, 10.0);
+            project_l2_ball(&mut pb, &c, 10.0);
+            prop_assert!(vector::dist2(&pa, &pb) <= vector::dist2(a, b) + 1e-9);
 
-        let lo = vec![-3.0; 8];
-        let hi = vec![3.0; 8];
-        let mut qa = a.clone();
-        let mut qb = b.clone();
-        project_box(&mut qa, &lo, &hi);
-        project_box(&mut qb, &lo, &hi);
-        prop_assert!(vector::dist2(&qa, &qb) <= vector::dist2(&a, &b) + 1e-9);
-    }
+            let lo = vec![-3.0; 8];
+            let hi = vec![3.0; 8];
+            let mut qa = a.clone();
+            let mut qb = b.clone();
+            project_box(&mut qa, &lo, &hi);
+            project_box(&mut qb, &lo, &hi);
+            prop_assert!(vector::dist2(&qa, &qb) <= vector::dist2(a, b) + 1e-9);
+            Ok(())
+        },
+    );
 }

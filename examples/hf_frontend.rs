@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 512;
     let (m_hybrid, m_normal) = (96usize, 240usize);
 
-    println!("front-end power at high sampling rates (m = {m_hybrid} hybrid vs {m_normal} normal):");
+    println!(
+        "front-end power at high sampling rates (m = {m_hybrid} hybrid vs {m_normal} normal):"
+    );
     println!("fs          | hybrid total | normal total | gain");
     println!("------------+--------------+--------------+-----");
     for fs in [1e3, 1e5, 1e7, 1e9] {

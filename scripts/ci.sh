@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point (see ROADMAP.md).
+#
+# Fully hermetic: the workspace has zero external crate dependencies, so
+# every step runs with the network hard-disabled. If any step here needs
+# the network, that is itself a regression.
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release --offline (all targets)"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> verifying Cargo.lock stays registry-free"
+if grep -E '^source = ' Cargo.lock; then
+    echo "error: Cargo.lock references an external registry source" >&2
+    echo "       (the workspace must stay hermetic — path deps only)" >&2
+    exit 1
+fi
+
+echo "ci: all checks passed"

@@ -1,0 +1,64 @@
+//! Golden end-to-end regression test: one fixed-seed window through the
+//! full hybrid pipeline (RMPI measurements + low-res channel →
+//! box-constrained convex recovery), with the resulting quality pinned.
+//!
+//! Unlike the threshold tests in `end_to_end.rs` ("SNR > 15 dB"), this
+//! pins the *exact operating point*: every stage — the in-repo PRNG
+//! stream, the sensing matrix, quantizers, entropy coder, and the PDHG
+//! iterate sequence — is deterministic, so PRD/SNR are reproducible to
+//! floating-point noise. Any drift beyond the tolerance means an
+//! algorithmic change, which must be reviewed and re-pinned deliberately.
+
+use hybridcs::codec::{DecoderAlgorithm, HybridCodec, SystemConfig};
+use hybridcs::ecg::{Corpus, CorpusConfig};
+use hybridcs::metrics::{prd, snr_db};
+use hybridcs::solver::PdhgOptions;
+
+/// Golden values measured at pin time (see assertions for tolerance).
+const GOLDEN_PRD_PERCENT: f64 = 7.485311355642;
+const GOLDEN_SNR_DB: f64 = 22.515802604548;
+
+/// Absolute drift budget. The pipeline is bit-deterministic on one
+/// platform; the slack only covers libm (`sin`/`exp`/`ln`) differences
+/// across targets. Anything past 1e-6 is an algorithmic change.
+const TOLERANCE: f64 = 1e-6;
+
+#[test]
+fn golden_hybrid_operating_point_is_pinned() {
+    let config = SystemConfig {
+        measurements: 96, // CR 81.25%, the paper's headline point
+        algorithm: DecoderAlgorithm::Pdhg(PdhgOptions {
+            max_iterations: 800,
+            tolerance: 1e-4,
+            ..PdhgOptions::default()
+        }),
+        ..SystemConfig::default()
+    };
+    let corpus = Corpus::generate(&CorpusConfig {
+        records: 1,
+        duration_s: 2.0,
+        seed: 0x601D,
+    });
+    let window: Vec<f64> = corpus.records()[0].samples_mv()[..512].to_vec();
+
+    let codec = HybridCodec::with_default_training(&config).unwrap();
+    let encoded = codec.encode(&window).unwrap();
+    let decoded = codec.decode(&encoded).unwrap();
+
+    let got_prd = prd(&window, &decoded.signal);
+    let got_snr = snr_db(&window, &decoded.signal);
+    assert!(
+        (got_prd - GOLDEN_PRD_PERCENT).abs() < TOLERANCE,
+        "PRD drifted from the golden operating point: got {got_prd:.12}%, \
+         pinned {GOLDEN_PRD_PERCENT}% — if the change is intentional, re-pin"
+    );
+    assert!(
+        (got_snr - GOLDEN_SNR_DB).abs() < TOLERANCE,
+        "SNR drifted from the golden operating point: got {got_snr:.12} dB, \
+         pinned {GOLDEN_SNR_DB} dB — if the change is intentional, re-pin"
+    );
+    // Sanity: the pinned point itself must sit in the paper's quality
+    // band for CR ≈ 81% ("good" reconstruction is PRD < 9%).
+    assert!(GOLDEN_PRD_PERCENT < 9.0);
+    assert!(GOLDEN_SNR_DB > 15.0);
+}

@@ -1,123 +1,177 @@
-//! Property-based tests over the acquisition/coding half of the pipeline.
-//! (The convex decoder is too slow for per-case proptest execution; its
+//! Property-based tests over the acquisition/coding half of the pipeline,
+//! on the in-repo `hybridcs_rand::check` harness (≥ 64 seeded cases per
+//! property). (The convex decoder is too slow for per-case execution; its
 //! invariants are covered by the deterministic integration tests.)
 
 use hybridcs::coding::{HuffmanCodebook, LowResCodec};
 use hybridcs::frontend::{LowResChannel, MeasurementQuantizer, SensingMatrix};
 use hybridcs::linalg::vector;
-use proptest::prelude::*;
+use hybridcs_rand::check::{
+    bool_any, check, f64_in, u32_in, u64_in, usize_in, vec_len, zip2, zip4, Gen,
+};
+use hybridcs_rand::{prop_assert, prop_assert_eq};
 
 /// Millivolt samples within the MIT-BIH span (strict interior to avoid
 /// saturation-edge ambiguity).
-fn mv_signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-5.0..5.0f64, len)
+fn mv_signal(len: usize) -> Gen<Vec<f64>> {
+    vec_len(f64_in(-5.0, 5.0), len)
 }
 
-proptest! {
-    /// The low-resolution channel's cell bounds always contain the signal.
-    #[test]
-    fn lowres_bounds_always_contain_signal(x in mv_signal(64), bits in 3u32..=10) {
-        let channel = LowResChannel::new(bits).unwrap();
-        let frame = channel.acquire(&x);
-        let (lo, hi) = frame.bounds();
-        for ((v, l), h) in x.iter().zip(&lo).zip(&hi) {
-            prop_assert!(*l - 1e-9 <= *v && *v <= *h + 1e-9);
-        }
-    }
+/// The low-resolution channel's cell bounds always contain the signal.
+#[test]
+fn lowres_bounds_always_contain_signal() {
+    check(
+        "lowres_bounds_always_contain_signal",
+        &zip2(mv_signal(64), u32_in(3, 11)),
+        |(x, bits)| {
+            let channel = LowResChannel::new(*bits).unwrap();
+            let frame = channel.acquire(x);
+            let (lo, hi) = frame.bounds();
+            for ((v, l), h) in x.iter().zip(&lo).zip(&hi) {
+                prop_assert!(*l - 1e-9 <= *v && *v <= *h + 1e-9, "{v} outside [{l}, {h}]");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Quantize → entropy-code → decode → dequantize is lossless at the
-    /// code level for arbitrary in-span signals (escape path included).
-    #[test]
-    fn lowres_codec_roundtrip_is_lossless(x in mv_signal(128), bits in 3u32..=10) {
-        let channel = LowResChannel::new(bits).unwrap();
-        let frame = channel.acquire(&x);
-        // Train on a *different* deterministic ramp so escapes get hit.
-        let training: Vec<u32> = (0..256u32).map(|i| (i / 8) % (1 << bits)).collect();
-        let book = HuffmanCodebook::train_from_code_sequences([&training[..]]).unwrap();
-        let codec = LowResCodec::new(book, bits).unwrap();
-        let payload = codec.encode(frame.codes()).unwrap();
-        let decoded = codec.decode(&payload, frame.len()).unwrap();
-        prop_assert_eq!(decoded, frame.codes().to_vec());
-    }
+/// Quantize → entropy-code → decode → dequantize is lossless at the
+/// code level for arbitrary in-span signals (escape path included).
+#[test]
+fn lowres_codec_roundtrip_is_lossless() {
+    check(
+        "lowres_codec_roundtrip_is_lossless",
+        &zip2(mv_signal(128), u32_in(3, 11)),
+        |(x, bits)| {
+            let channel = LowResChannel::new(*bits).unwrap();
+            let frame = channel.acquire(x);
+            // Train on a *different* deterministic ramp so escapes get hit.
+            let training: Vec<u32> = (0..256u32).map(|i| (i / 8) % (1 << bits)).collect();
+            let book = HuffmanCodebook::train_from_code_sequences([&training[..]]).unwrap();
+            let codec = LowResCodec::new(book, *bits).unwrap();
+            let payload = codec.encode(frame.codes()).unwrap();
+            let decoded = codec.decode(&payload, frame.len()).unwrap();
+            prop_assert_eq!(decoded, frame.codes().to_vec());
+            Ok(())
+        },
+    );
+}
 
-    /// Quantization error of the low-res channel is bounded by one step.
-    #[test]
-    fn lowres_error_bounded_by_step(x in mv_signal(64), bits in 3u32..=10) {
-        let channel = LowResChannel::new(bits).unwrap();
-        let frame = channel.acquire(&x);
-        for (v, s) in x.iter().zip(frame.samples()) {
-            prop_assert!((v - s).abs() <= channel.step() + 1e-9);
-        }
-    }
+/// Quantization error of the low-res channel is bounded by one step.
+#[test]
+fn lowres_error_bounded_by_step() {
+    check(
+        "lowres_error_bounded_by_step",
+        &zip2(mv_signal(64), u32_in(3, 11)),
+        |(x, bits)| {
+            let channel = LowResChannel::new(*bits).unwrap();
+            let frame = channel.acquire(x);
+            for (v, s) in x.iter().zip(frame.samples()) {
+                prop_assert!((v - s).abs() <= channel.step() + 1e-9, "{v} vs {s}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Sensing is linear: Φ(ax + y) == a·Φx + Φy.
-    #[test]
-    fn sensing_is_linear(
-        x in mv_signal(64),
-        y in mv_signal(64),
-        a in -3.0..3.0f64,
-        seed in 0u64..1000,
-    ) {
-        let phi = SensingMatrix::bernoulli(16, 64, seed).unwrap();
-        let mixed: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
-        let lhs = phi.apply(&mixed);
-        let mut rhs = phi.apply(&y);
-        vector::axpy(a, &phi.apply(&x), &mut rhs);
-        for (l, r) in lhs.iter().zip(&rhs) {
-            prop_assert!((l - r).abs() <= 1e-9 * r.abs().max(1.0));
-        }
-    }
+/// Sensing is linear: Φ(ax + y) == a·Φx + Φy.
+#[test]
+fn sensing_is_linear() {
+    check(
+        "sensing_is_linear",
+        &zip4(
+            mv_signal(64),
+            mv_signal(64),
+            f64_in(-3.0, 3.0),
+            u64_in(0, 1000),
+        ),
+        |(x, y, a, seed)| {
+            let phi = SensingMatrix::bernoulli(16, 64, *seed).unwrap();
+            let mixed: Vec<f64> = x.iter().zip(y).map(|(xi, yi)| a * xi + yi).collect();
+            let lhs = phi.apply(&mixed);
+            let mut rhs = phi.apply(y);
+            vector::axpy(*a, &phi.apply(x), &mut rhs);
+            for (l, r) in lhs.iter().zip(&rhs) {
+                prop_assert!((l - r).abs() <= 1e-9 * r.abs().max(1.0), "{l} vs {r}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The adjoint identity holds for both sensing-matrix families.
-    #[test]
-    fn sensing_adjoint_identity(
-        x in mv_signal(64),
-        y in prop::collection::vec(-3.0..3.0f64, 16),
-        seed in 0u64..1000,
-        sparse in any::<bool>(),
-    ) {
-        let phi = if sparse {
-            SensingMatrix::sparse_binary(16, 64, 4, seed).unwrap()
-        } else {
-            SensingMatrix::bernoulli(16, 64, seed).unwrap()
-        };
-        let lhs = vector::dot(&phi.apply(&x), &y);
-        let rhs = vector::dot(&x, &phi.apply_adjoint(&y));
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0));
-    }
+/// The adjoint identity holds for both sensing-matrix families.
+#[test]
+fn sensing_adjoint_identity() {
+    check(
+        "sensing_adjoint_identity",
+        &zip4(
+            mv_signal(64),
+            vec_len(f64_in(-3.0, 3.0), 16),
+            u64_in(0, 1000),
+            bool_any(),
+        ),
+        |(x, y, seed, sparse)| {
+            let phi = if *sparse {
+                SensingMatrix::sparse_binary(16, 64, 4, *seed).unwrap()
+            } else {
+                SensingMatrix::bernoulli(16, 64, *seed).unwrap()
+            };
+            let lhs = vector::dot(&phi.apply(x), y);
+            let rhs = vector::dot(x, &phi.apply_adjoint(y));
+            prop_assert!(
+                (lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0),
+                "{lhs} vs {rhs}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Measurement digitization error per coordinate never exceeds half a
-    /// step (mid-tread), and the σ budget bounds the total error for
-    /// in-scale measurements.
-    #[test]
-    fn measurement_digitizer_error_bounds(y in prop::collection::vec(-2.0..2.0f64, 32)) {
-        let mq = MeasurementQuantizer::new(12, 2.5).unwrap();
-        let yq = mq.digitize(&y);
-        for (a, b) in y.iter().zip(&yq) {
-            prop_assert!((a - b).abs() <= mq.step() / 2.0 + 1e-12);
-        }
-        let err = vector::dist2(&y, &yq);
-        // Worst case is √m·d/2 = √3·σ under the uniform model.
-        prop_assert!(err <= mq.noise_sigma(32) * 3f64.sqrt() + 1e-12);
-    }
+/// Measurement digitization error per coordinate never exceeds half a
+/// step (mid-tread), and the σ budget bounds the total error for
+/// in-scale measurements.
+#[test]
+fn measurement_digitizer_error_bounds() {
+    check(
+        "measurement_digitizer_error_bounds",
+        &vec_len(f64_in(-2.0, 2.0), 32),
+        |y| {
+            let mq = MeasurementQuantizer::new(12, 2.5).unwrap();
+            let yq = mq.digitize(y);
+            for (a, b) in y.iter().zip(&yq) {
+                prop_assert!((a - b).abs() <= mq.step() / 2.0 + 1e-12, "{a} vs {b}");
+            }
+            let err = vector::dist2(y, &yq);
+            // Worst case is √m·d/2 = √3·σ under the uniform model.
+            prop_assert!(err <= mq.noise_sigma(32) * 3f64.sqrt() + 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Net compression accounting is consistent: total bits = CS bits +
-    /// low-res bits, and CR follows Eq. (3).
-    #[test]
-    fn rate_accounting_is_consistent(x in mv_signal(512), m in 8usize..128) {
-        let config = hybridcs::codec::SystemConfig {
-            measurements: m,
-            ..hybridcs::codec::SystemConfig::default()
-        };
-        let codec = hybridcs::codec::HybridCodec::with_default_training(&config).unwrap();
-        let encoded = codec.encode(&x).unwrap();
-        prop_assert_eq!(encoded.cs_payload_bits(), m * 12);
-        prop_assert_eq!(
-            encoded.total_bits(),
-            encoded.cs_payload_bits() + encoded.lowres_payload_bits()
-        );
-        let net = encoded.net_compression_ratio(12);
-        let expected = (512.0 * 12.0 - encoded.total_bits() as f64) / (512.0 * 12.0) * 100.0;
-        prop_assert!((net - expected).abs() < 1e-9);
-    }
+/// Net compression accounting is consistent: total bits = CS bits +
+/// low-res bits, and CR follows Eq. (3).
+#[test]
+fn rate_accounting_is_consistent() {
+    check(
+        "rate_accounting_is_consistent",
+        &zip2(mv_signal(512), usize_in(8, 128)),
+        |(x, m)| {
+            let config = hybridcs::codec::SystemConfig {
+                measurements: *m,
+                ..hybridcs::codec::SystemConfig::default()
+            };
+            let codec = hybridcs::codec::HybridCodec::with_default_training(&config).unwrap();
+            let encoded = codec.encode(x).unwrap();
+            prop_assert_eq!(encoded.cs_payload_bits(), m * 12);
+            prop_assert_eq!(
+                encoded.total_bits(),
+                encoded.cs_payload_bits() + encoded.lowres_payload_bits()
+            );
+            let net = encoded.net_compression_ratio(12);
+            let expected = (512.0 * 12.0 - encoded.total_bits() as f64) / (512.0 * 12.0) * 100.0;
+            prop_assert!((net - expected).abs() < 1e-9, "{net} vs {expected}");
+            Ok(())
+        },
+    );
 }
