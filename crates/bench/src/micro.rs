@@ -60,6 +60,12 @@ impl Micro {
 
     /// Times `f` and prints one report line; returns the median
     /// per-iteration time so callers can assert on it if they wish.
+    ///
+    /// Every per-iteration sample is also recorded into the global
+    /// [metrics registry](hybridcs_obs::global) under
+    /// `bench_iter_seconds{bench="<name>"}`, and the printed line carries
+    /// the histogram summary (mean and p90 across samples), so bench runs
+    /// land in the same JSONL exports as everything else.
     pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Duration {
         // Warm-up + batch sizing: one untimed call, then estimate cost.
         let start = Instant::now();
@@ -68,23 +74,34 @@ impl Micro {
         let per_batch = (self.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
         let per_batch = u32::try_from(per_batch).unwrap_or(u32::MAX);
 
+        let histogram = hybridcs_obs::global().histogram("bench_iter_seconds", &[("bench", name)]);
         let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let t0 = Instant::now();
             for _ in 0..per_batch {
                 std_black_box(f());
             }
-            per_iter.push(t0.elapsed() / per_batch);
+            let sample = t0.elapsed() / per_batch;
+            histogram.record(sample.as_secs_f64());
+            per_iter.push(sample);
         }
         per_iter.sort_unstable();
         let median = per_iter[per_iter.len() / 2];
         let min = per_iter[0];
         let max = per_iter[per_iter.len() - 1];
+        let snapshot = histogram.snapshot();
+        let mean = Duration::from_secs_f64(snapshot.mean().max(0.0));
+        let p90 = snapshot.quantile(0.9).map_or_else(
+            || "n/a".to_string(),
+            |q| fmt_duration(Duration::from_secs_f64(q)),
+        );
         println!(
-            "{name:<40} {:>12}/iter  (min {}, max {}, {} × {per_batch} iters)",
+            "{name:<40} {:>12}/iter  (min {}, max {}, mean {}, p90 {}, {} × {per_batch} iters)",
             fmt_duration(median),
             fmt_duration(min),
             fmt_duration(max),
+            fmt_duration(mean),
+            p90,
             self.samples,
         );
         median

@@ -75,6 +75,7 @@ impl LowResCodec {
     /// Returns [`CodingError::BadParameter`] if any code does not fit in the
     /// configured bit width.
     pub fn encode(&self, codes: &[u32]) -> Result<Payload, CodingError> {
+        let _span = hybridcs_obs::span!("huffman.encode");
         let mut writer = BitWriter::new();
         if let Some(&first) = codes.first() {
             if u64::from(first) >= (1u64 << self.bits) {
@@ -110,6 +111,7 @@ impl LowResCodec {
     /// * [`CodingError::CorruptStream`] if the difference stream walks out
     ///   of the `u32` code range.
     pub fn decode(&self, payload: &Payload, count: usize) -> Result<Vec<u32>, CodingError> {
+        let _span = hybridcs_obs::span!("huffman.decode");
         if count == 0 {
             return Ok(Vec::new());
         }

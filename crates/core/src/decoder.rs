@@ -3,7 +3,10 @@ use crate::{CoreError, DecoderAlgorithm, SensingOperator, SystemConfig};
 use hybridcs_coding::LowResCodec;
 use hybridcs_dsp::Dwt;
 use hybridcs_frontend::{LowResChannel, LowResFrame, MeasurementQuantizer, SensingMatrix};
-use hybridcs_solver::{solve_admm, solve_pdhg, BpdnProblem};
+use hybridcs_solver::{
+    solve_admm_observed, solve_pdhg_observed, solve_reweighted_observed, BpdnProblem,
+    IterationObserver, NoopObserver,
+};
 
 /// The receiver-side decoder: regenerates `Φ` from the shared seed,
 /// entropy-decodes the low-resolution stream into box bounds, and solves
@@ -83,11 +86,37 @@ impl HybridDecoder {
         self.decode_with_box(encoded, false)
     }
 
+    /// [`HybridDecoder::decode`] with an
+    /// [`IterationObserver`] receiving the configured solver's
+    /// per-iteration events and final
+    /// [`ConvergenceTrace`](hybridcs_solver::ConvergenceTrace).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridDecoder::decode`].
+    pub fn decode_observed(
+        &self,
+        encoded: &EncodedWindow,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<DecodedWindow, CoreError> {
+        self.decode_observed_with_box(encoded, true, observer)
+    }
+
     fn decode_with_box(
         &self,
         encoded: &EncodedWindow,
         use_box: bool,
     ) -> Result<DecodedWindow, CoreError> {
+        self.decode_observed_with_box(encoded, use_box, &mut NoopObserver)
+    }
+
+    fn decode_observed_with_box(
+        &self,
+        encoded: &EncodedWindow,
+        use_box: bool,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<DecodedWindow, CoreError> {
+        let _span = hybridcs_obs::span!("decode");
         if encoded.window_len != self.config.window {
             return Err(CoreError::WindowMismatch {
                 expected: self.config.window,
@@ -102,6 +131,7 @@ impl HybridDecoder {
         }
 
         let bounds = if use_box {
+            let _span = hybridcs_obs::span!("decode.bounds");
             let codes = self
                 .lowres_codec
                 .decode(&encoded.lowres, encoded.window_len)?;
@@ -120,11 +150,14 @@ impl HybridDecoder {
             box_bounds: bounds.as_ref().map(|(lo, hi)| (&lo[..], &hi[..])),
             coefficient_weights: None,
         };
-        let recovery = match &self.config.algorithm {
-            DecoderAlgorithm::Pdhg(opts) => solve_pdhg(&problem, opts)?,
-            DecoderAlgorithm::Admm(opts) => solve_admm(&problem, opts)?,
-            DecoderAlgorithm::Reweighted(opts) => {
-                hybridcs_solver::solve_reweighted(&problem, opts)?
+        let recovery = {
+            let _span = hybridcs_obs::span!("decode.solve");
+            match &self.config.algorithm {
+                DecoderAlgorithm::Pdhg(opts) => solve_pdhg_observed(&problem, opts, observer)?,
+                DecoderAlgorithm::Admm(opts) => solve_admm_observed(&problem, opts, observer)?,
+                DecoderAlgorithm::Reweighted(opts) => {
+                    solve_reweighted_observed(&problem, opts, observer)?
+                }
             }
         };
         Ok(DecodedWindow {

@@ -89,6 +89,7 @@ impl HybridFrontEnd {
     /// Returns [`CoreError::WindowMismatch`] for a wrong-length window and
     /// propagates entropy-coding failures.
     pub fn encode(&self, window_mv: &[f64]) -> Result<EncodedWindow, CoreError> {
+        let _span = hybridcs_obs::span!("encode");
         if window_mv.len() != self.config.window {
             return Err(CoreError::WindowMismatch {
                 expected: self.config.window,
@@ -96,8 +97,11 @@ impl HybridFrontEnd {
             });
         }
         let measurements = self.rmpi.acquire(window_mv, self.config.seed)?;
-        let frame = self.lowres_channel.acquire(window_mv);
-        let lowres = self.lowres_codec.encode(frame.codes())?;
+        let lowres = {
+            let _span = hybridcs_obs::span!("encode.lowres");
+            let frame = self.lowres_channel.acquire(window_mv);
+            self.lowres_codec.encode(frame.codes())?
+        };
         Ok(EncodedWindow {
             measurements,
             lowres,

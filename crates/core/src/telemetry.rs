@@ -21,6 +21,7 @@ use crate::codec::{DecodedWindow, EncodedWindow};
 use crate::{CoreError, HybridDecoder, SystemConfig};
 use hybridcs_coding::{crc32, BitReader, BitWriter, CodingError, Payload};
 use hybridcs_frontend::{LowResChannel, LowResFrame, MeasurementQuantizer};
+use hybridcs_obs::Counter;
 
 const MAGIC: u16 = 0xEC65;
 
@@ -74,6 +75,7 @@ impl FrameCodec {
     /// Returns [`CoreError::WindowMismatch`] when the window was encoded
     /// under a different configuration.
     pub fn serialize(&self, sequence: u32, window: &EncodedWindow) -> Result<Vec<u8>, CoreError> {
+        let _span = hybridcs_obs::span!("frame.serialize");
         if window.window_len != self.config.window
             || window.measurements.len() != self.config.measurements
         {
@@ -151,6 +153,7 @@ impl FrameCodec {
     /// Returns [`CoreError::Coding`] only when the *header* is unusable
     /// (bad magic, truncation, bad header CRC, or config mismatch).
     pub fn deserialize_sections(&self, bytes: &[u8]) -> Result<SectionedFrame, CoreError> {
+        let _span = hybridcs_obs::span!("frame.parse");
         const HEADER_LEN: usize = 2 + 4 + 2 + 2 + 1 + 1 + 4;
         let corrupt =
             |detail: &'static str| CoreError::Coding(CodingError::CorruptStream { detail });
@@ -254,6 +257,60 @@ impl RecoveredWindow {
     }
 }
 
+/// Reception-side loss accounting, registered in the
+/// [global metrics registry](hybridcs_obs::global):
+///
+/// * `telemetry_frames_total` — every [`ResilientReceiver::receive`] call;
+/// * `telemetry_frames_lost{reason=...}` — `dropped` (no packet), `header`
+///   (unusable header), `decode` (sections OK but reconstruction failed);
+/// * `telemetry_section_lost{section=...}` — per-section CRC failures
+///   (`cs`, `lowres`) on frames whose header parsed;
+/// * `telemetry_outcome{outcome=...}` — one of `hybrid`, `cs_only`,
+///   `lowres_only`, `lost` per received frame.
+#[derive(Debug, Clone)]
+struct ReceiverCounters {
+    frames_total: Counter,
+    lost_dropped: Counter,
+    lost_header: Counter,
+    lost_decode: Counter,
+    section_cs: Counter,
+    section_lowres: Counter,
+    outcome_hybrid: Counter,
+    outcome_cs_only: Counter,
+    outcome_lowres_only: Counter,
+    outcome_lost: Counter,
+}
+
+impl ReceiverCounters {
+    fn new() -> Self {
+        let registry = hybridcs_obs::global();
+        let lost = |reason| registry.counter("telemetry_frames_lost", &[("reason", reason)]);
+        let section = |section| registry.counter("telemetry_section_lost", &[("section", section)]);
+        let outcome = |outcome| registry.counter("telemetry_outcome", &[("outcome", outcome)]);
+        ReceiverCounters {
+            frames_total: registry.counter("telemetry_frames_total", &[]),
+            lost_dropped: lost("dropped"),
+            lost_header: lost("header"),
+            lost_decode: lost("decode"),
+            section_cs: section("cs"),
+            section_lowres: section("lowres"),
+            outcome_hybrid: outcome("hybrid"),
+            outcome_cs_only: outcome("cs_only"),
+            outcome_lowres_only: outcome("lowres_only"),
+            outcome_lost: outcome("lost"),
+        }
+    }
+
+    fn record_outcome(&self, window: &RecoveredWindow) {
+        match window {
+            RecoveredWindow::Hybrid(_) => self.outcome_hybrid.add(1),
+            RecoveredWindow::CsOnly(_) => self.outcome_cs_only.add(1),
+            RecoveredWindow::LowResOnly(_) => self.outcome_lowres_only.add(1),
+            RecoveredWindow::Lost => self.outcome_lost.add(1),
+        }
+    }
+}
+
 /// A receiver that degrades gracefully under section loss.
 #[derive(Debug, Clone)]
 pub struct ResilientReceiver {
@@ -261,6 +318,7 @@ pub struct ResilientReceiver {
     decoder: HybridDecoder,
     lowres_channel: LowResChannel,
     lowres_codec: hybridcs_coding::LowResCodec,
+    counters: ReceiverCounters,
 }
 
 impl ResilientReceiver {
@@ -279,6 +337,7 @@ impl ResilientReceiver {
             decoder: HybridDecoder::new(config, lowres_codec.clone())?,
             lowres_channel: LowResChannel::new(config.lowres_bits)?,
             lowres_codec,
+            counters: ReceiverCounters::new(),
         })
     }
 
@@ -290,14 +349,33 @@ impl ResilientReceiver {
 
     /// Receives one wire frame (or `None` for a wholly lost packet) and
     /// recovers as much as the surviving sections allow.
+    ///
+    /// Every call updates the loss counters documented on the type (see
+    /// the module docs); `examples/lossy_link.rs` prints the resulting
+    /// per-section summary.
     #[must_use]
     pub fn receive(&self, packet: Option<&[u8]>) -> RecoveredWindow {
+        let recovered = self.receive_inner(packet);
+        self.counters.record_outcome(&recovered);
+        recovered
+    }
+
+    fn receive_inner(&self, packet: Option<&[u8]>) -> RecoveredWindow {
+        self.counters.frames_total.add(1);
         let Some(bytes) = packet else {
+            self.counters.lost_dropped.add(1);
             return RecoveredWindow::Lost;
         };
         let Ok(sections) = self.frame_codec.deserialize_sections(bytes) else {
+            self.counters.lost_header.add(1);
             return RecoveredWindow::Lost;
         };
+        if sections.measurements.is_none() {
+            self.counters.section_cs.add(1);
+        }
+        if sections.lowres.is_none() {
+            self.counters.section_lowres.add(1);
+        }
         let config = self.decoder.config().clone();
         match (sections.measurements, sections.lowres) {
             (Some(measurements), Some(lowres)) => {
@@ -309,7 +387,10 @@ impl ResilientReceiver {
                 };
                 match self.decoder.decode(&encoded) {
                     Ok(decoded) => RecoveredWindow::Hybrid(decoded),
-                    Err(_) => RecoveredWindow::Lost,
+                    Err(_) => {
+                        self.counters.lost_decode.add(1);
+                        RecoveredWindow::Lost
+                    }
                 }
             }
             (Some(measurements), None) => {
@@ -326,15 +407,22 @@ impl ResilientReceiver {
                 };
                 match self.decoder.decode_normal(&encoded) {
                     Ok(decoded) => RecoveredWindow::CsOnly(decoded),
-                    Err(_) => RecoveredWindow::Lost,
+                    Err(_) => {
+                        self.counters.lost_decode.add(1);
+                        RecoveredWindow::Lost
+                    }
                 }
             }
             (None, Some(lowres)) => {
+                let decode_failed = || {
+                    self.counters.lost_decode.add(1);
+                    RecoveredWindow::Lost
+                };
                 let Ok(codes) = self.lowres_codec.decode(&lowres, config.window) else {
-                    return RecoveredWindow::Lost;
+                    return decode_failed();
                 };
                 let Ok(frame) = LowResFrame::from_codes(codes, &self.lowres_channel) else {
-                    return RecoveredWindow::Lost;
+                    return decode_failed();
                 };
                 let half = frame.step() / 2.0;
                 RecoveredWindow::LowResOnly(frame.samples().iter().map(|v| v + half).collect())

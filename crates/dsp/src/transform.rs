@@ -159,6 +159,7 @@ impl Dwt {
     /// Returns [`DspError::BadLength`] when `x.len()` is not divisible by
     /// `2^levels` or a band would be shorter than the filter.
     pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, DspError> {
+        let _span = hybridcs_obs::span!("wavelet.forward");
         self.check_len(x.len())?;
         let n = x.len();
         let h = self.wavelet.lowpass();
@@ -186,6 +187,7 @@ impl Dwt {
     ///
     /// Returns [`DspError::BadLength`] for unsupported lengths.
     pub fn inverse(&self, coeffs: &[f64]) -> Result<Vec<f64>, DspError> {
+        let _span = hybridcs_obs::span!("wavelet.inverse");
         self.check_len(coeffs.len())?;
         let n = coeffs.len();
         let h = self.wavelet.lowpass();

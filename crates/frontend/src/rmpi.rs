@@ -131,16 +131,20 @@ impl Rmpi {
                 actual: x.len(),
             });
         }
-        let y = if self.config.amplifier_noise_rms > 0.0 {
-            let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(noise_seed);
-            let noisy: Vec<f64> = x
-                .iter()
-                .map(|&v| v + self.config.amplifier_noise_rms * standard_normal(&mut rng))
-                .collect();
-            self.sensing.apply(&noisy)
-        } else {
-            self.sensing.apply(x)
+        let y = {
+            let _span = hybridcs_obs::span!("sensing");
+            if self.config.amplifier_noise_rms > 0.0 {
+                let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(noise_seed);
+                let noisy: Vec<f64> = x
+                    .iter()
+                    .map(|&v| v + self.config.amplifier_noise_rms * standard_normal(&mut rng))
+                    .collect();
+                self.sensing.apply(&noisy)
+            } else {
+                self.sensing.apply(x)
+            }
         };
+        let _span = hybridcs_obs::span!("quantize");
         Ok(self.digitizer.digitize(&y))
     }
 

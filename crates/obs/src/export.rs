@@ -1,0 +1,226 @@
+//! The JSONL sink: serializes a registry [`Snapshot`] plus any
+//! [`ConvergenceTrace`]s into one line-delimited JSON file under
+//! `results/obs/` (override with `HYBRIDCS_OBS_DIR`), so runs can be
+//! diffed across PRs with ordinary text tools.
+//!
+//! Schema (one object per line, `schema` version 1):
+//!
+//! ```text
+//! {"kind":"meta","schema":1,"tag":"quickstart"}
+//! {"kind":"counter","name":...,"labels":{...},"value":N}
+//! {"kind":"gauge","name":...,"labels":{...},"value":X}
+//! {"kind":"histogram","name":...,"labels":{...},"count":N,"sum":X,
+//!  "min":X,"max":X,"p50":X,"p90":X,"p99":X,
+//!  "buckets":[{"lo":X,"hi":X,"count":N},...]}
+//! {"kind":"trace","solver":...,"iterations":N,"stop_reason":...,
+//!  "wall_time_s":X,"converged":B,"final_objective":X,"final_residual":X}
+//! ```
+
+use crate::convergence::ConvergenceTrace;
+use crate::jsonl::{escape, number};
+use crate::registry::{HistogramSnapshot, MetricId, Snapshot};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Current JSONL schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The export directory: `HYBRIDCS_OBS_DIR` or `results/obs`.
+#[must_use]
+pub fn obs_dir() -> PathBuf {
+    std::env::var_os("HYBRIDCS_OBS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/obs"))
+}
+
+/// `<obs_dir>/<tag>.jsonl`.
+#[must_use]
+pub fn export_path(tag: &str) -> PathBuf {
+    obs_dir().join(format!("{tag}.jsonl"))
+}
+
+fn labels_json(id: &MetricId) -> String {
+    let pairs: Vec<String> = id
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{}:{}", escape(k), escape(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn histogram_json(id: &MetricId, h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"lo\":{},\"hi\":{},\"count\":{}}}",
+                number(b.lo),
+                number(b.hi),
+                b.count
+            )
+        })
+        .collect();
+    format!(
+        "{{\"kind\":\"histogram\",\"name\":{},\"labels\":{},\"count\":{},\"sum\":{},\
+         \"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+        escape(&id.name),
+        labels_json(id),
+        h.count,
+        number(h.sum),
+        number(h.min),
+        number(h.max),
+        number(h.quantile(0.5).unwrap_or(f64::NAN)),
+        number(h.quantile(0.9).unwrap_or(f64::NAN)),
+        number(h.quantile(0.99).unwrap_or(f64::NAN)),
+        buckets.join(",")
+    )
+}
+
+fn trace_json(t: &ConvergenceTrace) -> String {
+    format!(
+        "{{\"kind\":\"trace\",\"solver\":{},\"iterations\":{},\"stop_reason\":{},\
+         \"wall_time_s\":{},\"converged\":{},\"final_objective\":{},\"final_residual\":{}}}",
+        escape(t.solver),
+        t.iterations,
+        escape(t.stop_reason.as_str()),
+        number(t.wall_time.as_secs_f64()),
+        t.converged,
+        number(t.final_objective),
+        number(t.final_residual)
+    )
+}
+
+/// Renders the whole report as JSONL text (one value per line).
+#[must_use]
+pub fn render_jsonl(tag: &str, snapshot: &Snapshot, traces: &[ConvergenceTrace]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"kind\":\"meta\",\"schema\":{SCHEMA_VERSION},\"tag\":{}}}\n",
+        escape(tag)
+    ));
+    for (id, v) in &snapshot.counters {
+        out.push_str(&format!(
+            "{{\"kind\":\"counter\",\"name\":{},\"labels\":{},\"value\":{v}}}\n",
+            escape(&id.name),
+            labels_json(id)
+        ));
+    }
+    for (id, v) in &snapshot.gauges {
+        out.push_str(&format!(
+            "{{\"kind\":\"gauge\",\"name\":{},\"labels\":{},\"value\":{}}}\n",
+            escape(&id.name),
+            labels_json(id),
+            number(*v)
+        ));
+    }
+    for (id, h) in &snapshot.histograms {
+        out.push_str(&histogram_json(id, h));
+        out.push('\n');
+    }
+    for t in traces {
+        out.push_str(&trace_json(t));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the report to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_jsonl(
+    path: &Path,
+    tag: &str,
+    snapshot: &Snapshot,
+    traces: &[ConvergenceTrace],
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_jsonl(tag, snapshot, traces).as_bytes())?;
+    Ok(())
+}
+
+/// Convenience used by examples: when [`crate::enabled`], snapshot the
+/// [global registry](crate::global) and write `<obs_dir>/<tag>.jsonl`,
+/// returning the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_global_if_enabled(
+    tag: &str,
+    traces: &[ConvergenceTrace],
+) -> io::Result<Option<PathBuf>> {
+    if !crate::enabled() {
+        return Ok(None);
+    }
+    let path = export_path(tag);
+    write_jsonl(&path, tag, &crate::global().snapshot(), traces)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::StopReason;
+    use crate::jsonl::validate_line;
+    use crate::MetricsRegistry;
+    use std::time::Duration;
+
+    fn sample_report() -> String {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("frames", &[("section", "cs\"quoted")])
+            .add(4);
+        registry.gauge("sigma", &[]).set(0.125);
+        let h = registry.histogram("latency_seconds", &[("stage", "solve")]);
+        h.record(0.001);
+        h.record(0.004);
+        h.record(1e-300); // underflow path
+        let trace = ConvergenceTrace {
+            solver: "pdhg",
+            iterations: 120,
+            stop_reason: StopReason::Converged,
+            wall_time: Duration::from_millis(42),
+            converged: true,
+            final_objective: 3.25,
+            final_residual: 1e-4,
+        };
+        render_jsonl("unit", &registry.snapshot(), &[trace])
+    }
+
+    #[test]
+    fn every_rendered_line_is_valid_json() {
+        let report = sample_report();
+        assert!(report.lines().count() >= 5);
+        for (i, line) in report.lines().enumerate() {
+            validate_line(line).unwrap_or_else(|e| panic!("line {}: {e}\n{line}", i + 1));
+        }
+        assert!(report.contains("\"kind\":\"meta\""));
+        assert!(report.contains("\"stop_reason\":\"converged\""));
+    }
+
+    #[test]
+    fn write_jsonl_creates_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "hybridcs_obs_test_{}_{}",
+            std::process::id(),
+            // A per-test nonce without Instant/rand: the monotonic address
+            // of a fresh allocation is unique enough inside one process.
+            Box::into_raw(Box::new(0u8)) as usize
+        ));
+        let path = dir.join("nested").join("report.jsonl");
+        let registry = MetricsRegistry::new();
+        registry.counter("c", &[]).inc();
+        write_jsonl(&path, "t", &registry.snapshot(), &[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            validate_line(line).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,274 @@
+//! A minimal JSON emitter and validator — just enough to write and check
+//! the JSONL export format without pulling in `serde`.
+//!
+//! The emitter covers the subset the exporter needs (objects, arrays,
+//! strings, finite numbers, booleans, null); the validator is a strict
+//! recursive-descent parser over full JSON value grammar, used by the CI
+//! gate to assert that exported reports parse.
+
+/// Escapes a string into a JSON string literal (with quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/∞).
+#[must_use]
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{v}` is Rust's shortest round-trip formatting and always
+        // contains a digit, so it is valid JSON.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Validates that `line` is exactly one well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => expect(b, pos, "true"),
+        Some(b'f') => expect(b, pos, "false"),
+        Some(b'n') => expect(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at offset {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, ":")?;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at offset {pos}", pos = *pos));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!(
+                    "raw control byte in string at offset {pos}",
+                    pos = *pos
+                ))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| -> usize {
+        let from = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos - from
+    };
+    if digits(b, pos) == 0 {
+        return Err(format!("expected digits at offset {pos}", pos = *pos));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if digits(b, pos) == 0 {
+            return Err(format!(
+                "expected fraction digits at offset {pos}",
+                pos = *pos
+            ));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if digits(b, pos) == 0 {
+            return Err(format!(
+                "expected exponent digits at offset {pos}",
+                pos = *pos
+            ));
+        }
+    }
+    // Reject leading zeros like 012 (JSON forbids them).
+    let text = &b[start..*pos];
+    let unsigned = if text.first() == Some(&b'-') {
+        &text[1..]
+    } else {
+        text
+    };
+    if unsigned.len() > 1 && unsigned[0] == b'0' && unsigned[1].is_ascii_digit() {
+        return Err(format!("leading zero at offset {start}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_lines() {
+        for line in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            r#"{"kind":"counter","name":"a_b","labels":{"k":"v"},"value":3}"#,
+            r#"{"nested":[1,2,{"x":null}],"ok":true,"s":"q\"uote\\n"}"#,
+            r#"  {"padded": 1}  "#,
+        ] {
+            validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_lines() {
+        for line in [
+            "",
+            "{",
+            "{'single':1}",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            "NaN",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            r#"{"a":1} extra"#,
+        ] {
+            assert!(validate_line(line).is_err(), "accepted: {line}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_validator() {
+        let hostile = "quote\" backslash\\ newline\n tab\t ctrl\u{1}";
+        let line = format!("{{{}:{}}}", escape("key"), escape(hostile));
+        validate_line(&line).unwrap();
+    }
+
+    #[test]
+    fn number_formats_non_finite_as_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        validate_line(&number(1e-300)).unwrap();
+    }
+}

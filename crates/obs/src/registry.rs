@@ -1,0 +1,611 @@
+//! The metrics registry: named, labelled counters, gauges, and
+//! log₂-bucketed histograms.
+//!
+//! Registration (name → instrument lookup) takes a mutex; recording is
+//! pure atomics on `Arc`-shared cells, so hot paths never contend on the
+//! registry itself. The mutex is poison-recovering: a panic while holding
+//! it (e.g. inside a span) cannot brick observability for the rest of the
+//! process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Identity of one instrument: a name plus a sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Metric name, e.g. `"telemetry_section_lost"`.
+    pub name: String,
+    /// Label pairs, sorted by key for a canonical identity.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Builds an id from a name and unsorted label pairs.
+    #[must_use]
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders `name{k="v",...}` for reports.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// A monotonically increasing counter.
+///
+/// Increments **wrap** on `u64` overflow (the semantics of
+/// `AtomicU64::fetch_add`); consumers diffing snapshots across runs should
+/// treat a decrease as a wrap, never as a reset.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` (wrapping).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds to the gauge (CAS loop).
+    pub fn add(&self, delta: f64) {
+        atomic_f64_update(&self.0, |cur| cur + delta);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Smallest bucketed exponent: values below `2^MIN_EXP` (≈ 5.8e-11, well
+/// under a nanosecond in seconds) land in the underflow bucket.
+const MIN_EXP: i32 = -34;
+/// Bucket count: covers `[2^-34, 2^30)` ≈ `[5.8e-11, 1.07e9)`.
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64, // f64 bits
+    min: AtomicU64, // f64 bits, +inf when empty
+    max: AtomicU64, // f64 bits, -inf when empty
+}
+
+/// A log₂-bucketed histogram of non-negative `f64` samples.
+///
+/// Bucket `i` covers `[2^(i-34), 2^(i-33))`; exact powers of two land on
+/// their bucket's lower bound (the index is taken from the IEEE-754
+/// exponent, not a floating `log2`, so boundaries are exact). Zero,
+/// subnormal, and negative samples count in the underflow bucket; samples
+/// ≥ `2^30`, NaN, and +∞ in the overflow bucket. True min/max are tracked
+/// alongside the buckets so quantile estimates stay within the observed
+/// range.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new_core() -> Arc<HistogramCore> {
+        Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0.0_f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        })
+    }
+
+    /// Index of the bucket for a normal positive value, or `None` for
+    /// under/overflow.
+    fn bucket_index(v: f64) -> Option<usize> {
+        if !(v.is_finite() && v >= f64::MIN_POSITIVE) {
+            return None; // caller routes to underflow/overflow
+        }
+        // For normal positive v, the IEEE exponent is floor(log2(v)).
+        let exp = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        let idx = exp - MIN_EXP;
+        if (0..BUCKETS as i32).contains(&idx) {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        let core = &self.0;
+        match Self::bucket_index(v) {
+            Some(i) => core.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None if v.is_nan() || v >= f64::MIN_POSITIVE => {
+                core.overflow.fetch_add(1, Ordering::Relaxed)
+            }
+            None => core.underflow.fetch_add(1, Ordering::Relaxed),
+        };
+        core.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            atomic_f64_update(&core.sum, |cur| cur + v);
+            atomic_f64_update(&core.min, |cur| cur.min(v));
+            atomic_f64_update(&core.max, |cur| cur.max(v));
+        }
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.0;
+        let mut buckets = Vec::new();
+        for (i, b) in core.buckets.iter().enumerate() {
+            let count = b.load(Ordering::Relaxed);
+            if count > 0 {
+                let lo = (MIN_EXP + i as i32) as f64;
+                buckets.push(BucketCount {
+                    lo: lo.exp2(),
+                    hi: (lo + 1.0).exp2(),
+                    count,
+                });
+            }
+        }
+        HistogramSnapshot {
+            count: core.count.load(Ordering::Relaxed),
+            underflow: core.underflow.load(Ordering::Relaxed),
+            overflow: core.overflow.load(Ordering::Relaxed),
+            sum: f64::from_bits(core.sum.load(Ordering::Relaxed)),
+            min: f64::from_bits(core.min.load(Ordering::Relaxed)),
+            max: f64::from_bits(core.max.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
+/// CAS-loop update of an `f64` stored as bits.
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// One non-empty bucket in a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketCount {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+    /// Samples in `[lo, hi)`.
+    pub count: u64,
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Samples below the bucketed range (includes zero and negatives).
+    pub underflow: u64,
+    /// Samples above the bucketed range (includes NaN/∞).
+    pub overflow: u64,
+    /// Sum of all finite samples.
+    pub sum: f64,
+    /// Smallest finite sample (+∞ when none).
+    pub min: f64,
+    /// Largest finite sample (−∞ when none).
+    pub max: f64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the finite samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate for `q ∈ [0, 1]`: the geometric
+    /// midpoint of the bucket holding the rank-`⌈q·count⌉` sample, clamped
+    /// into the observed `[min, max]`. Returns `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 && self.min.is_finite() {
+            return Some(self.min);
+        }
+        if q == 1.0 && self.max.is_finite() {
+            return Some(self.max);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let clamp = |v: f64| v.clamp(self.min, self.max);
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return Some(clamp(0.0));
+        }
+        for b in &self.buckets {
+            seen += b.count;
+            if rank <= seen {
+                return Some(clamp((b.lo * b.hi).sqrt()));
+            }
+        }
+        Some(clamp(self.max))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The registry. See the [crate docs](crate) for the locking story.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    instruments: Mutex<HashMap<MetricId, Instrument>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<MetricId, Instrument>> {
+        // A panic while the lock is held (e.g. inside an instrumented
+        // region) must not poison observability for everyone else.
+        self.instruments
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns (registering on first use) the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered as a different instrument
+    /// kind — that is a programming error, not a runtime condition.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let id = MetricId::new(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(id)
+            .or_insert_with(|| Instrument::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Same kind-mismatch condition as [`MetricsRegistry::counter`].
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let id = MetricId::new(name, labels);
+        let mut map = self.lock();
+        match map.entry(id).or_insert_with(|| {
+            Instrument::Gauge(Gauge(Arc::new(AtomicU64::new(0.0_f64.to_bits()))))
+        }) {
+            Instrument::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the histogram `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Same kind-mismatch condition as [`MetricsRegistry::counter`].
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let id = MetricId::new(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(id)
+            .or_insert_with(|| Instrument::Histogram(Histogram(Histogram::new_core())))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Captures every instrument into a deterministic, sorted snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.lock();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (id, inst) in map.iter() {
+            match inst {
+                Instrument::Counter(c) => counters.push((id.clone(), c.value())),
+                Instrument::Gauge(g) => gauges.push((id.clone(), g.value())),
+                Instrument::Histogram(h) => histograms.push((id.clone(), h.snapshot())),
+            }
+        }
+        drop(map);
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A deterministic point-in-time view of a whole registry — the in-memory
+/// sink used by tests and the source for the text/JSONL exporters.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counters, sorted by id.
+    pub counters: Vec<(MetricId, u64)>,
+    /// Gauges, sorted by id.
+    pub gauges: Vec<(MetricId, f64)>,
+    /// Histograms, sorted by id.
+    pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks up one counter value.
+    #[must_use]
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up one histogram snapshot.
+    #[must_use]
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        let id = MetricId::new(name, labels);
+        self.histograms
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, h)| h)
+    }
+
+    /// Human-readable report of everything in the snapshot.
+    #[must_use]
+    pub fn text_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (id, v) in &self.counters {
+                let _ = writeln!(out, "  {:<48} {v}", id.render());
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (id, v) in &self.gauges {
+                let _ = writeln!(out, "  {:<48} {v}", id.render());
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (id, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<48} n={} mean={:.3e} p50={:.3e} p90={:.3e} max={:.3e}",
+                    id.render(),
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5).unwrap_or(0.0),
+                    h.quantile(0.9).unwrap_or(0.0),
+                    if h.max.is_finite() { h.max } else { 0.0 },
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty snapshot)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_wraps_on_overflow() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("wraps", &[]);
+        c.add(u64::MAX);
+        assert_eq!(c.value(), u64::MAX);
+        // Documented wrapping semantics: MAX + 3 ≡ 2.
+        c.add(3);
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("g", &[("k", "v")]);
+        g.set(1.5);
+        g.add(-0.5);
+        assert!((g.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("bounds", &[]);
+        // An exact power of two must land in the bucket it lower-bounds,
+        // and the value just below it in the previous bucket.
+        h.record(1.0);
+        h.record(0.999_999_999);
+        h.record(2.0);
+        h.record(1.999_999_999);
+        let snap = h.snapshot();
+        let find = |lo: f64| {
+            snap.buckets
+                .iter()
+                .find(|b| (b.lo - lo).abs() < 1e-12)
+                .map(|b| b.count)
+        };
+        assert_eq!(find(0.5), Some(1)); // 0.999… ∈ [0.5, 1)
+        assert_eq!(find(1.0), Some(2)); // 1.0 and 1.999… ∈ [1, 2)
+        assert_eq!(find(2.0), Some(1)); // 2.0 ∈ [2, 4)
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.underflow + snap.overflow, 0);
+    }
+
+    #[test]
+    fn histogram_routes_extremes() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("extremes", &[]);
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(1e300);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        let snap = h.snapshot();
+        assert_eq!(snap.underflow, 2);
+        assert_eq!(snap.overflow, 3);
+        assert_eq!(snap.count, 5);
+        // NaN/∞ must not poison the finite aggregates.
+        assert!(snap.sum.is_finite());
+        assert_eq!(snap.max, 1e300);
+        assert_eq!(snap.min, -1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("q", &[]);
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5).unwrap();
+        let p99 = snap.quantile(0.99).unwrap();
+        // Log buckets are coarse: require the right bucket, not the exact
+        // order statistic.
+        assert!((32.0..=64.0).contains(&p50), "p50 {p50}");
+        assert!(p99 >= 64.0, "p99 {p99}");
+        assert_eq!(snap.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(snap.quantile(1.0).unwrap(), 100.0);
+        assert!((snap.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_quantile_is_exact() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("single", &[]);
+        h.record(0.125);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), Some(0.125));
+    }
+
+    #[test]
+    fn labels_distinguish_instruments() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c", &[("section", "cs")]).add(1);
+        registry.counter("c", &[("section", "lowres")]).add(2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("c", &[("section", "cs")]), Some(1));
+        assert_eq!(snap.counter_value("c", &[("section", "lowres")]), Some(2));
+        // Label order must not matter.
+        let a = registry.counter("multi", &[("a", "1"), ("b", "2")]);
+        let b = registry.counter("multi", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.counter("same_name", &[]);
+        let _ = registry.gauge("same_name", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let registry = MetricsRegistry::new();
+        registry.counter("z", &[]).inc();
+        registry.counter("a", &[]).inc();
+        registry.gauge("m", &[]).set(1.0);
+        let s1 = registry.snapshot();
+        let s2 = registry.snapshot();
+        assert_eq!(s1.counters, s2.counters);
+        assert!(s1.counters[0].0.name < s1.counters[1].0.name);
+        let report = s1.text_report();
+        assert!(report.contains("counters:"));
+        assert!(report.contains("gauges:"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The CI gate's JSONL checker (see `scripts/ci.sh`): validates that an
+//! exported observability report parses as line-delimited JSON and carries
+//! the schema meta line.
+
+use hybridcs_obs::jsonl::validate_line;
+
+/// Validates one report's text; returns the number of lines checked.
+fn check_report(text: &str) -> usize {
+    let mut lines = 0;
+    for (i, line) in text.lines().enumerate() {
+        validate_line(line).unwrap_or_else(|e| panic!("line {}: {e}\n{line}", i + 1));
+        lines += 1;
+    }
+    assert!(lines >= 1, "report is empty");
+    assert!(
+        text.lines().next().unwrap().contains("\"kind\":\"meta\""),
+        "first line must be the schema meta record"
+    );
+    lines
+}
+
+/// When `HYBRIDCS_OBS_CHECK` points at a file (ci.sh sets it right after
+/// running an obs-enabled example), strictly validate that file; otherwise
+/// the test passes vacuously so plain `cargo test` stays hermetic.
+#[test]
+fn exported_report_parses() {
+    let Ok(path) = std::env::var("HYBRIDCS_OBS_CHECK") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (did the obs-enabled run happen?)"));
+    let lines = check_report(&text);
+    println!("validated {lines} JSONL lines in {path}");
+}
+
+/// The checker itself is exercised hermetically against a freshly rendered
+/// report, so the gate cannot rot while the env-driven path is dormant.
+#[test]
+fn freshly_rendered_report_parses() {
+    let registry = hybridcs_obs::MetricsRegistry::new();
+    registry.counter("c", &[("k", "v")]).add(1);
+    registry.histogram("h", &[]).record(0.5);
+    let text = hybridcs_obs::export::render_jsonl("self_test", &registry.snapshot(), &[]);
+    assert!(check_report(&text) >= 3);
+}

@@ -1,6 +1,8 @@
 use crate::prox;
 use crate::{BpdnProblem, RecoveryResult, SolverError};
 use hybridcs_linalg::{conjugate_gradient, vector, CgOptions};
+use hybridcs_obs::{ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, StopReason};
+use std::time::Instant;
 
 /// Options for [`solve_admm`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +59,28 @@ pub fn solve_admm(
     problem: &BpdnProblem<'_>,
     options: &AdmmOptions,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_admm_observed(problem, options, &mut NoopObserver)
+}
+
+/// [`solve_admm`] with an [`IterationObserver`] hook: when the observer is
+/// [active](IterationObserver::active), every outer iteration emits an
+/// [`IterationEvent`] with the ℓ₁ objective `‖Ψᵀx‖₁` and the fidelity
+/// residual `‖Φx − y‖₂` — both free, since `Ψᵀx` and `Φx` are already
+/// computed by the z-updates — and completion emits a
+/// [`ConvergenceTrace`]. `step_size` reports the penalty parameter ρ.
+///
+/// The observer never changes the arithmetic: results are bit-identical to
+/// [`solve_admm`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_admm`].
+pub fn solve_admm_observed(
+    problem: &BpdnProblem<'_>,
+    options: &AdmmOptions,
+    observer: &mut dyn IterationObserver,
+) -> Result<RecoveryResult, SolverError> {
+    let started = Instant::now();
     problem.validate()?;
     validate_options(options)?;
 
@@ -177,6 +201,16 @@ pub fn solve_admm(
             dual_sq += rho * rho * d * d;
         }
 
+        if observer.active() {
+            // `wx = Ψᵀx` and `ax = Φx` are both live from the z-updates.
+            observer.on_iteration(&IterationEvent {
+                iteration: iter,
+                objective: vector::norm1(&wx),
+                residual: vector::dist2(&ax, y),
+                step_size: Some(rho),
+            });
+        }
+
         if primal_sq.sqrt() <= options.tolerance * scale
             && dual_sq.sqrt() <= options.tolerance * scale
         {
@@ -191,6 +225,20 @@ pub fn solve_admm(
     a.apply(&x, &mut ax);
     let residual = vector::dist2(&ax, y);
     let objective = vector::norm1(&dwt.forward(&x).expect("length validated"));
+
+    observer.on_complete(&ConvergenceTrace {
+        solver: "admm",
+        iterations,
+        stop_reason: if converged {
+            StopReason::Converged
+        } else {
+            StopReason::MaxIterations
+        },
+        wall_time: started.elapsed(),
+        converged,
+        final_objective: objective,
+        final_residual: residual,
+    });
 
     Ok(RecoveryResult {
         signal: x,

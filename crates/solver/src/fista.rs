@@ -1,6 +1,8 @@
 use crate::prox;
 use crate::{BpdnProblem, RecoveryResult, SolverError};
 use hybridcs_linalg::vector;
+use hybridcs_obs::{ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, StopReason};
+use std::time::Instant;
 
 /// Options for [`solve_fista`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +48,28 @@ pub fn solve_fista(
     problem: &BpdnProblem<'_>,
     options: &FistaOptions,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_fista_observed(problem, options, &mut NoopObserver)
+}
+
+/// [`solve_fista`] with an [`IterationObserver`] hook: when the observer is
+/// [active](IterationObserver::active), every iteration emits an
+/// [`IterationEvent`] carrying the LASSO objective
+/// `½‖Aα − y‖² + λ‖α‖₁` and the fidelity residual at the new iterate
+/// (one extra `A`-application per iteration — skipped entirely for a
+/// no-op observer), and completion emits a [`ConvergenceTrace`].
+///
+/// The observer never changes the arithmetic: results are bit-identical to
+/// [`solve_fista`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_fista`].
+pub fn solve_fista_observed(
+    problem: &BpdnProblem<'_>,
+    options: &FistaOptions,
+    observer: &mut dyn IterationObserver,
+) -> Result<RecoveryResult, SolverError> {
+    let started = Instant::now();
     problem.validate()?;
     if options.max_iterations == 0 {
         return Err(SolverError::BadParameter {
@@ -128,6 +152,29 @@ pub fn solve_fista(
         let scale = vector::norm2(&alpha_new).max(1e-12);
         alpha = alpha_new;
         t = t_new;
+        if observer.active() {
+            // One extra A-application to report the objective at the new
+            // iterate; skipped entirely on the no-op path.
+            apply_a(&alpha, &mut res);
+            for (r, &yi) in res.iter_mut().zip(y) {
+                *r -= yi;
+            }
+            let fid = vector::norm2(&res);
+            let l1 = match problem.coefficient_weights {
+                Some(weights) => alpha
+                    .iter()
+                    .zip(weights)
+                    .map(|(a, w)| w * a.abs())
+                    .sum::<f64>(),
+                None => vector::norm1(&alpha),
+            };
+            observer.on_iteration(&IterationEvent {
+                iteration: iter,
+                objective: 0.5 * fid * fid + lambda * l1,
+                residual: fid,
+                step_size: Some(step),
+            });
+        }
         if change <= options.tolerance * scale {
             converged = true;
             break;
@@ -137,9 +184,24 @@ pub fn solve_fista(
     let signal = dwt.inverse(&alpha).expect("length validated");
     let mut ax = vec![0.0; m];
     a.apply(&signal, &mut ax);
+    let residual = vector::dist2(&ax, y);
+    let objective = vector::norm1(&alpha);
+    observer.on_complete(&ConvergenceTrace {
+        solver: "fista",
+        iterations,
+        stop_reason: if converged {
+            StopReason::Converged
+        } else {
+            StopReason::MaxIterations
+        },
+        wall_time: started.elapsed(),
+        converged,
+        final_objective: objective,
+        final_residual: residual,
+    });
     Ok(RecoveryResult {
-        residual: vector::dist2(&ax, y),
-        objective: vector::norm1(&alpha),
+        residual,
+        objective,
         signal,
         iterations,
         converged,

@@ -9,6 +9,8 @@
 
 use crate::{RecoveryResult, SolverError};
 use hybridcs_linalg::{vector, Matrix, QrFactorization};
+use hybridcs_obs::{ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, StopReason};
+use std::time::Instant;
 
 /// Options shared by the greedy solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,11 +115,35 @@ pub fn solve_omp(
     y: &[f64],
     options: &GreedyOptions,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_omp_observed(a, y, options, &mut NoopObserver)
+}
+
+/// [`solve_omp`] with an [`IterationObserver`] hook: when the observer is
+/// [active](IterationObserver::active), every atom selection emits an
+/// [`IterationEvent`] (objective = `‖α‖₁`, residual = post-refit residual
+/// norm, no step size), and completion emits a [`ConvergenceTrace`].
+/// [`StopReason::SupportExhausted`] reports a residual orthogonal to every
+/// remaining atom.
+///
+/// The observer never changes the arithmetic: results are bit-identical to
+/// [`solve_omp`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_omp`].
+pub fn solve_omp_observed(
+    a: &Matrix,
+    y: &[f64],
+    options: &GreedyOptions,
+    observer: &mut dyn IterationObserver,
+) -> Result<RecoveryResult, SolverError> {
+    let started = Instant::now();
     validate(a, y, options)?;
     let mut support: Vec<usize> = Vec::new();
     let mut residual = y.to_vec();
     let mut alpha = vec![0.0; a.ncols()];
     let mut iterations = 0;
+    let mut exhausted = false;
 
     while support.len() < options.max_sparsity
         && vector::norm2(&residual) > options.residual_tolerance
@@ -135,22 +161,51 @@ pub fn solve_omp(
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(i, _)| i);
-        let Some(pick) = pick else { break };
+        let Some(pick) = pick else {
+            exhausted = true;
+            break;
+        };
         if correlations[pick] == 0.0 {
+            exhausted = true;
             break; // residual orthogonal to every remaining atom
         }
         support.push(pick);
         let (alpha_new, residual_new) = refit(a, y, &support)?;
         alpha = alpha_new;
         residual = residual_new;
+        if observer.active() {
+            observer.on_iteration(&IterationEvent {
+                iteration: iterations,
+                objective: vector::norm1(&alpha),
+                residual: vector::norm2(&residual),
+                step_size: None,
+            });
+        }
     }
 
     let res_norm = vector::norm2(&residual);
+    let objective = vector::norm1(&alpha);
+    let converged = res_norm <= options.residual_tolerance || iterations < options.max_sparsity;
+    observer.on_complete(&ConvergenceTrace {
+        solver: "omp",
+        iterations,
+        stop_reason: if res_norm <= options.residual_tolerance {
+            StopReason::Converged
+        } else if exhausted {
+            StopReason::SupportExhausted
+        } else {
+            StopReason::MaxIterations
+        },
+        wall_time: started.elapsed(),
+        converged,
+        final_objective: objective,
+        final_residual: res_norm,
+    });
     Ok(RecoveryResult {
-        objective: vector::norm1(&alpha),
+        objective,
         signal: alpha,
         iterations,
-        converged: res_norm <= options.residual_tolerance || iterations < options.max_sparsity,
+        converged,
         residual: res_norm,
     })
 }
@@ -170,6 +225,30 @@ pub fn solve_cosamp(
     y: &[f64],
     options: &GreedyOptions,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_cosamp_observed(a, y, options, &mut NoopObserver)
+}
+
+/// [`solve_cosamp`] with an [`IterationObserver`] hook: when the observer
+/// is [active](IterationObserver::active), every merge–refit–prune round
+/// emits an [`IterationEvent`] (objective = `‖α‖₁`, residual = post-prune
+/// residual norm, no step size), and completion emits a
+/// [`ConvergenceTrace`]. [`StopReason::Stagnated`] reports a fixed point;
+/// [`StopReason::SupportExhausted`] reports a degenerate (rank-deficient)
+/// merge set that forced keeping the previous iterate.
+///
+/// The observer never changes the arithmetic: results are bit-identical to
+/// [`solve_cosamp`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_cosamp`].
+pub fn solve_cosamp_observed(
+    a: &Matrix,
+    y: &[f64],
+    options: &GreedyOptions,
+    observer: &mut dyn IterationObserver,
+) -> Result<RecoveryResult, SolverError> {
+    let started = Instant::now();
     validate(a, y, options)?;
     let s = options.max_sparsity;
     let mut alpha = vec![0.0; a.ncols()];
@@ -177,6 +256,7 @@ pub fn solve_cosamp(
     let mut iterations = 0;
     let mut converged = false;
     let mut prev_res = f64::INFINITY;
+    let mut stop = StopReason::MaxIterations;
 
     for iter in 1..=options.max_iterations {
         iterations = iter;
@@ -190,7 +270,11 @@ pub fn solve_cosamp(
         merged.sort_unstable();
         let (dense_fit, _) = match refit(a, y, &merged) {
             Ok(fit) => fit,
-            Err(SolverError::Linalg(_)) => break, // degenerate merge set: keep best iterate
+            Err(SolverError::Linalg(_)) => {
+                // degenerate merge set: keep best iterate
+                stop = StopReason::SupportExhausted;
+                break;
+            }
             Err(e) => return Err(e),
         };
         // Prune to the s largest and refit on the pruned support.
@@ -199,26 +283,49 @@ pub fn solve_cosamp(
         pruned_sorted.sort_unstable();
         let (alpha_new, residual_new) = match refit(a, y, &pruned_sorted) {
             Ok(fit) => fit,
-            Err(SolverError::Linalg(_)) => break,
+            Err(SolverError::Linalg(_)) => {
+                stop = StopReason::SupportExhausted;
+                break;
+            }
             Err(e) => return Err(e),
         };
         alpha = alpha_new;
         residual = residual_new;
         let res_norm = vector::norm2(&residual);
+        if observer.active() {
+            observer.on_iteration(&IterationEvent {
+                iteration: iter,
+                objective: vector::norm1(&alpha),
+                residual: res_norm,
+                step_size: None,
+            });
+        }
         if res_norm <= options.residual_tolerance {
             converged = true;
+            stop = StopReason::Converged;
             break;
         }
         if prev_res.is_finite() && (prev_res - res_norm).abs() <= 1e-12 * prev_res.max(1.0) {
             converged = true; // stagnated at its fixed point
+            stop = StopReason::Stagnated;
             break;
         }
         prev_res = res_norm;
     }
 
     let res_norm = vector::norm2(&residual);
+    let objective = vector::norm1(&alpha);
+    observer.on_complete(&ConvergenceTrace {
+        solver: "cosamp",
+        iterations,
+        stop_reason: stop,
+        wall_time: started.elapsed(),
+        converged,
+        final_objective: objective,
+        final_residual: res_norm,
+    });
     Ok(RecoveryResult {
-        objective: vector::norm1(&alpha),
+        objective,
         signal: alpha,
         iterations,
         converged,
@@ -238,6 +345,29 @@ pub fn solve_iht(
     y: &[f64],
     options: &GreedyOptions,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_iht_observed(a, y, options, &mut NoopObserver)
+}
+
+/// [`solve_iht`] with an [`IterationObserver`] hook: when the observer is
+/// [active](IterationObserver::active), every hard-thresholding step emits
+/// an [`IterationEvent`] (objective = `‖α‖₁`, residual recomputed at the
+/// new iterate — one extra matvec, skipped on the no-op path; step size =
+/// μ), and completion emits a [`ConvergenceTrace`].
+/// [`StopReason::Stagnated`] reports a vanishing update.
+///
+/// The observer never changes the arithmetic: results are bit-identical to
+/// [`solve_iht`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_iht`].
+pub fn solve_iht_observed(
+    a: &Matrix,
+    y: &[f64],
+    options: &GreedyOptions,
+    observer: &mut dyn IterationObserver,
+) -> Result<RecoveryResult, SolverError> {
+    let started = Instant::now();
     validate(a, y, options)?;
     let step = match options.step {
         Some(mu) => {
@@ -265,12 +395,14 @@ pub fn solve_iht(
     let mut alpha = vec![0.0; a.ncols()];
     let mut iterations = 0;
     let mut converged = false;
+    let mut stop = StopReason::MaxIterations;
 
     for iter in 1..=options.max_iterations {
         iterations = iter;
         let residual = vector::sub(y, &a.matvec(&alpha));
         if vector::norm2(&residual) <= options.residual_tolerance {
             converged = true;
+            stop = StopReason::Converged;
             break;
         }
         let grad = a.matvec_transpose(&residual);
@@ -284,16 +416,39 @@ pub fn solve_iht(
         }
         let change = vector::dist2(&thresholded, &alpha);
         alpha = thresholded;
+        if observer.active() {
+            // One extra matvec for the residual at the new iterate; skipped
+            // entirely on the no-op path.
+            let r = vector::sub(y, &a.matvec(&alpha));
+            observer.on_iteration(&IterationEvent {
+                iteration: iter,
+                objective: vector::norm1(&alpha),
+                residual: vector::norm2(&r),
+                step_size: Some(step),
+            });
+        }
         if change <= 1e-10 * vector::norm2(&alpha).max(1.0) {
             converged = true;
+            stop = StopReason::Stagnated;
             break;
         }
     }
 
     let residual = vector::sub(y, &a.matvec(&alpha));
+    let res_norm = vector::norm2(&residual);
+    let objective = vector::norm1(&alpha);
+    observer.on_complete(&ConvergenceTrace {
+        solver: "iht",
+        iterations,
+        stop_reason: stop,
+        wall_time: started.elapsed(),
+        converged,
+        final_objective: objective,
+        final_residual: res_norm,
+    });
     Ok(RecoveryResult {
-        objective: vector::norm1(&alpha),
-        residual: vector::norm2(&residual),
+        objective,
+        residual: res_norm,
         signal: alpha,
         iterations,
         converged,

@@ -66,12 +66,22 @@ pub mod prox;
 mod reweighted;
 mod weights;
 
-pub use admm::{solve_admm, AdmmOptions};
+pub use admm::{solve_admm, solve_admm_observed, AdmmOptions};
 pub use error::SolverError;
-pub use fista::{solve_fista, FistaOptions};
-pub use greedy::{solve_cosamp, solve_iht, solve_omp, GreedyOptions};
+pub use fista::{solve_fista, solve_fista_observed, FistaOptions};
+pub use greedy::{
+    solve_cosamp, solve_cosamp_observed, solve_iht, solve_iht_observed, solve_omp,
+    solve_omp_observed, GreedyOptions,
+};
 pub use operator::{ComposedOperator, DenseOperator, LinearOperator, SynthesisOperator};
-pub use pdhg::{solve_pdhg, PdhgOptions};
+pub use pdhg::{solve_pdhg, solve_pdhg_observed, PdhgOptions};
 pub use problem::{BpdnProblem, RecoveryResult};
-pub use reweighted::{solve_reweighted, ReweightedOptions};
+pub use reweighted::{solve_reweighted, solve_reweighted_observed, ReweightedOptions};
 pub use weights::band_weights;
+
+// Observability vocabulary re-exported so downstream crates can drive the
+// `*_observed` entry points without depending on `hybridcs-obs` directly.
+pub use hybridcs_obs::{
+    ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, RecordingObserver,
+    StopReason,
+};

@@ -1,4 +1,6 @@
-use crate::{solve_pdhg, BpdnProblem, PdhgOptions, RecoveryResult, SolverError};
+use crate::{solve_pdhg_observed, BpdnProblem, PdhgOptions, RecoveryResult, SolverError};
+use hybridcs_obs::{ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, StopReason};
+use std::time::Instant;
 
 /// Options for [`solve_reweighted`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +50,51 @@ pub fn solve_reweighted(
     problem: &BpdnProblem<'_>,
     options: &ReweightedOptions,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_reweighted_observed(problem, options, &mut NoopObserver)
+}
+
+/// Forwards inner-PDHG iteration events with a cumulative iteration offset
+/// so the outer trace counts monotonically across reweighting rounds, and
+/// swallows the per-round completion traces (the outer solve emits one
+/// unified `reweighted` trace instead).
+struct OffsetForward<'o> {
+    inner: &'o mut dyn IterationObserver,
+    offset: usize,
+}
+
+impl IterationObserver for OffsetForward<'_> {
+    fn active(&self) -> bool {
+        self.inner.active()
+    }
+
+    fn on_iteration(&mut self, event: &IterationEvent) {
+        self.inner.on_iteration(&IterationEvent {
+            iteration: self.offset + event.iteration,
+            ..*event
+        });
+    }
+
+    fn on_complete(&mut self, _trace: &ConvergenceTrace) {}
+}
+
+/// [`solve_reweighted`] with an [`IterationObserver`] hook: inner PDHG
+/// iteration events are forwarded with iteration numbers accumulated
+/// across reweighting rounds, and one unified [`ConvergenceTrace`] (solver
+/// `"reweighted"`, stop reason from the final round) is emitted at the
+/// end — the per-round PDHG traces are suppressed.
+///
+/// The observer never changes the arithmetic: results are bit-identical to
+/// [`solve_reweighted`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_reweighted`].
+pub fn solve_reweighted_observed(
+    problem: &BpdnProblem<'_>,
+    options: &ReweightedOptions,
+    observer: &mut dyn IterationObserver,
+) -> Result<RecoveryResult, SolverError> {
+    let started = Instant::now();
     if options.outer_iterations == 0 {
         return Err(SolverError::BadParameter {
             name: "outer_iterations",
@@ -76,7 +123,11 @@ pub fn solve_reweighted(
             box_bounds: problem.box_bounds,
             coefficient_weights: weights.as_deref(),
         };
-        let result = solve_pdhg(&round_problem, &options.inner)?;
+        let mut forward = OffsetForward {
+            inner: observer,
+            offset: total_iterations,
+        };
+        let result = solve_pdhg_observed(&round_problem, &options.inner, &mut forward)?;
         total_iterations += result.iterations;
 
         // Next round's weights from this round's coefficients.
@@ -89,13 +140,26 @@ pub fn solve_reweighted(
 
     let mut result = last.expect("outer_iterations >= 1");
     result.iterations = total_iterations;
+    observer.on_complete(&ConvergenceTrace {
+        solver: "reweighted",
+        iterations: total_iterations,
+        stop_reason: if result.converged {
+            StopReason::Converged
+        } else {
+            StopReason::MaxIterations
+        },
+        wall_time: started.elapsed(),
+        converged: result.converged,
+        final_objective: result.objective,
+        final_residual: result.residual,
+    });
     Ok(result)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::DenseOperator;
+    use crate::{solve_pdhg, DenseOperator};
     use hybridcs_dsp::{Dwt, Wavelet};
     use hybridcs_linalg::{vector, Matrix};
 

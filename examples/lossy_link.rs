@@ -84,6 +84,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("  {:<24} {:>3} windows", "lost", counts[3]);
+
+    // The receiver also accounts every loss in the global metrics
+    // registry — the per-section CRC verdicts that the match above
+    // collapses into outcomes.
+    let snapshot = hybridcs::obs::global().snapshot();
+    let count =
+        |name: &str, labels: &[(&str, &str)]| snapshot.counter_value(name, labels).unwrap_or(0);
+    println!();
+    println!("receiver loss counters (from the metrics registry):");
+    println!(
+        "  frames received          {:>3}  (dropped {}, bad header {}, undecodable {})",
+        count("telemetry_frames_total", &[]),
+        count("telemetry_frames_lost", &[("reason", "dropped")]),
+        count("telemetry_frames_lost", &[("reason", "header")]),
+        count("telemetry_frames_lost", &[("reason", "decode")]),
+    );
+    println!(
+        "  CS section lost          {:>3}",
+        count("telemetry_section_lost", &[("section", "cs")]),
+    );
+    println!(
+        "  low-res section lost     {:>3}",
+        count("telemetry_section_lost", &[("section", "lowres")]),
+    );
+    if let Some(path) = hybridcs::obs::export::export_global_if_enabled("lossy_link", &[])? {
+        println!("  JSONL report written to {}", path.display());
+    }
+
     println!();
     println!("the point: only fully dropped packets lose signal; every partial");
     println!("corruption still produces a trace, because the hybrid design's two");

@@ -50,5 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             decoded.recovery.iterations,
         );
     }
+
+    // With HYBRIDCS_OBS=1 the run's metrics (pipeline spans, counters)
+    // are exported as JSONL — see the "Observability" section of DESIGN.md.
+    if let Some(path) = hybridcs::obs::export::export_global_if_enabled("quickstart", &[])? {
+        println!("observability report written to {}", path.display());
+    }
     Ok(())
 }

@@ -2,6 +2,11 @@
 //! ADMM) with and without the box constraint, plus the greedy baselines
 //! (OMP, CoSaMP, IHT) on the explicit ΦΨ dictionary.
 //!
+//! Every solve runs through its instrumented entry point, so alongside the
+//! SNR table the example prints each solver's convergence trace (stop
+//! reason, wall time) and exports the full run — metrics registry plus all
+//! traces — as JSONL under `results/obs/solver_comparison.jsonl`.
+//!
 //! ```sh
 //! cargo run --release --example solver_comparison
 //! ```
@@ -12,9 +17,11 @@ use hybridcs::ecg::{EcgGenerator, GeneratorConfig};
 use hybridcs::frontend::{LowResChannel, MeasurementQuantizer, SensingMatrix};
 use hybridcs::linalg::Matrix;
 use hybridcs::metrics::snr_db;
+use hybridcs::obs::export;
 use hybridcs::solver::{
-    solve_admm, solve_cosamp, solve_fista, solve_iht, solve_omp, solve_pdhg, AdmmOptions,
-    BpdnProblem, FistaOptions, GreedyOptions, PdhgOptions,
+    solve_admm_observed, solve_cosamp_observed, solve_fista_observed, solve_iht_observed,
+    solve_omp_observed, solve_pdhg_observed, AdmmOptions, BpdnProblem, ConvergenceTrace,
+    FistaOptions, GreedyOptions, PdhgOptions, RecordingObserver,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,20 +54,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("decoder                    | SNR (dB) | iterations");
     println!("---------------------------+----------+-----------");
-    let report = |name: &str, signal: &[f64], iters: usize| {
+    let mut traces: Vec<ConvergenceTrace> = Vec::new();
+    let mut report = |name: &str, signal: &[f64], iters: usize, rec: RecordingObserver| {
         println!("{name:<26} | {:8.2} | {iters}", snr_db(window, signal));
+        if let Some(trace) = rec.trace() {
+            traces.push(trace.clone());
+        }
     };
 
-    let r = solve_pdhg(&boxed, &PdhgOptions::default())?;
-    report("PDHG + box (hybrid)", &r.signal, r.iterations);
-    let r = solve_admm(&boxed, &AdmmOptions::default())?;
-    report("ADMM + box (hybrid)", &r.signal, r.iterations);
-    let r = solve_pdhg(&plain, &PdhgOptions::default())?;
-    report("PDHG, no box (normal)", &r.signal, r.iterations);
-    let r = solve_admm(&plain, &AdmmOptions::default())?;
-    report("ADMM, no box (normal)", &r.signal, r.iterations);
-    let r = solve_fista(&plain, &FistaOptions::default())?;
-    report("FISTA LASSO (baseline)", &r.signal, r.iterations);
+    let mut rec = RecordingObserver::new();
+    let r = solve_pdhg_observed(&boxed, &PdhgOptions::default(), &mut rec)?;
+    report("PDHG + box (hybrid)", &r.signal, r.iterations, rec);
+    let mut rec = RecordingObserver::new();
+    let r = solve_admm_observed(&boxed, &AdmmOptions::default(), &mut rec)?;
+    report("ADMM + box (hybrid)", &r.signal, r.iterations, rec);
+    let mut rec = RecordingObserver::new();
+    let r = solve_pdhg_observed(&plain, &PdhgOptions::default(), &mut rec)?;
+    report("PDHG, no box (normal)", &r.signal, r.iterations, rec);
+    let mut rec = RecordingObserver::new();
+    let r = solve_admm_observed(&plain, &AdmmOptions::default(), &mut rec)?;
+    report("ADMM, no box (normal)", &r.signal, r.iterations, rec);
+    let mut rec = RecordingObserver::new();
+    let r = solve_fista_observed(&plain, &FistaOptions::default(), &mut rec)?;
+    report("FISTA LASSO (baseline)", &r.signal, r.iterations, rec);
 
     // Greedy methods need the explicit dictionary A = Φ·Ψ (columns = Φ
     // applied to wavelet atoms).
@@ -79,12 +95,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_iterations: 60,
         step: None,
     };
-    let r = solve_omp(&a, &y, &greedy_opts)?;
-    report("OMP (greedy)", &dwt.inverse(&r.signal)?, r.iterations);
-    let r = solve_cosamp(&a, &y, &greedy_opts)?;
-    report("CoSaMP (greedy)", &dwt.inverse(&r.signal)?, r.iterations);
-    let r = solve_iht(&a, &y, &greedy_opts)?;
-    report("IHT (greedy)", &dwt.inverse(&r.signal)?, r.iterations);
+    let mut rec = RecordingObserver::new();
+    let r = solve_omp_observed(&a, &y, &greedy_opts, &mut rec)?;
+    report("OMP (greedy)", &dwt.inverse(&r.signal)?, r.iterations, rec);
+    let mut rec = RecordingObserver::new();
+    let r = solve_cosamp_observed(&a, &y, &greedy_opts, &mut rec)?;
+    report(
+        "CoSaMP (greedy)",
+        &dwt.inverse(&r.signal)?,
+        r.iterations,
+        rec,
+    );
+    let mut rec = RecordingObserver::new();
+    let r = solve_iht_observed(&a, &y, &greedy_opts, &mut rec)?;
+    report("IHT (greedy)", &dwt.inverse(&r.signal)?, r.iterations, rec);
+
+    println!();
+    println!("convergence traces:");
+    for trace in &traces {
+        println!("  {trace}");
+    }
+
+    let path = export::export_path("solver_comparison");
+    export::write_jsonl(
+        &path,
+        "solver_comparison",
+        &hybridcs::obs::global().snapshot(),
+        &traces,
+    )?;
+    println!();
+    println!("JSONL report written to {}", path.display());
 
     println!();
     println!("The box constraint is what separates the hybrid rows from the");

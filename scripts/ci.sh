@@ -21,6 +21,18 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> observability round-trip (obs-enabled quickstart + JSONL check)"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+HYBRIDCS_OBS=1 HYBRIDCS_OBS_DIR="$OBS_TMP" \
+    cargo run -q --release --offline --example quickstart
+if [ ! -s "$OBS_TMP/quickstart.jsonl" ]; then
+    echo "error: obs-enabled quickstart did not export quickstart.jsonl" >&2
+    exit 1
+fi
+HYBRIDCS_OBS_CHECK="$OBS_TMP/quickstart.jsonl" \
+    cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
+
 echo "==> verifying Cargo.lock stays registry-free"
 if grep -E '^source = ' Cargo.lock; then
     echo "error: Cargo.lock references an external registry source" >&2

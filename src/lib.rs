@@ -18,6 +18,7 @@
 //! | [`solver`] | `hybridcs-solver` | PDHG, ADMM, FISTA, OMP, CoSaMP, IHT |
 //! | [`dsp`] | `hybridcs-dsp` | orthonormal wavelets, filters |
 //! | [`metrics`] | `hybridcs-metrics` | PRD/SNR/CR, box-plot stats |
+//! | [`obs`] | `hybridcs-obs` | metrics registry, spans, convergence traces, JSONL export |
 //! | [`power`] | `hybridcs-power` | the paper's analytical power models |
 //! | [`linalg`] | `hybridcs-linalg` | dense kernels, Cholesky/QR/CG |
 //!
@@ -54,5 +55,6 @@ pub use hybridcs_ecg as ecg;
 pub use hybridcs_frontend as frontend;
 pub use hybridcs_linalg as linalg;
 pub use hybridcs_metrics as metrics;
+pub use hybridcs_obs as obs;
 pub use hybridcs_power as power;
 pub use hybridcs_solver as solver;
