@@ -102,6 +102,21 @@ impl HybridDecoder {
         self.decode_observed_with_box(encoded, true, observer)
     }
 
+    /// [`HybridDecoder::decode_normal`] with an [`IterationObserver`] —
+    /// the hook the recovery supervisor uses to watchdog the CS-only
+    /// ladder rung exactly like the hybrid one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridDecoder::decode_normal`].
+    pub fn decode_normal_observed(
+        &self,
+        encoded: &EncodedWindow,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<DecodedWindow, CoreError> {
+        self.decode_observed_with_box(encoded, false, observer)
+    }
+
     fn decode_with_box(
         &self,
         encoded: &EncodedWindow,

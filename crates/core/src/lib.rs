@@ -18,6 +18,9 @@
 //!
 //! [`experiment`] hosts the corpus sweep runner used by the figure
 //! regenerators (quality vs compression ratio, per-record box plots).
+//! [`telemetry`] frames both payloads for a lossy wire, and
+//! [`RecoverySupervisor`] walks a graceful-degradation decode ladder over
+//! whatever arrives, never failing a window outright.
 //!
 //! # Example
 //!
@@ -55,6 +58,7 @@ mod decoder;
 mod encoder;
 mod error;
 pub mod experiment;
+mod supervisor;
 pub mod telemetry;
 mod training;
 
@@ -64,4 +68,5 @@ pub use config::{DecoderAlgorithm, SystemConfig};
 pub use decoder::HybridDecoder;
 pub use encoder::HybridFrontEnd;
 pub use error::CoreError;
+pub use supervisor::{LadderRung, RecoverySupervisor, SupervisedWindow, SupervisorConfig};
 pub use training::{train_lowres_codec, train_rle_lowres_codec};

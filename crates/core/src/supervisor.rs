@@ -1,0 +1,362 @@
+//! The receiver-side recovery supervisor: a decode ladder that degrades
+//! gracefully instead of failing.
+//!
+//! [`ResilientReceiver`](crate::telemetry::ResilientReceiver) already maps
+//! per-section CRC verdicts to fallback decodes, but it still *errors
+//! upward*: a solver blow-up or an unusable frame yields
+//! [`RecoveredWindow::Lost`](crate::telemetry::RecoveredWindow) and the
+//! caller has to cope. [`RecoverySupervisor`] closes that last gap — its
+//! [`receive`](RecoverySupervisor::receive) **always** returns a finite
+//! signal of the configured window length, chosen from a four-rung ladder:
+//!
+//! 1. [`Hybrid`](LadderRung::Hybrid) — both sections intact, Eq. (1) with
+//!    the box, watched by a [`SolverWatchdog`];
+//! 2. [`CsOnly`](LadderRung::CsOnly) — box dropped (low-res section lost
+//!    or the hybrid solve tripped the watchdog), plain CS on the same
+//!    measurements;
+//! 3. [`LowResOnly`](LadderRung::LowResOnly) — CS section lost: cell
+//!    midpoints from the low-resolution stream;
+//! 4. [`Concealed`](LadderRung::Concealed) — nothing usable: repeat the
+//!    last good window (bounded by
+//!    [`SupervisorConfig::max_conceal_reuse`], then flat-line zeros).
+//!
+//! Every ladder decision, demotion and sequence gap is counted in the
+//! [global metrics registry](hybridcs_obs::global) under `supervisor_*`
+//! names, and watchdog trips under `solver_watchdog_trips` — so a
+//! resilience run can report exactly how it degraded.
+//!
+//! Unlike the plain decoder path, every supervised solve runs with an
+//! *active* observer (the watchdog), which costs one extra `Φ`-application
+//! per iteration. That is the price of divergence detection; the clean
+//! benchmarking paths keep using [`HybridDecoder`] directly.
+
+use crate::codec::{DecodedWindow, EncodedWindow};
+use crate::telemetry::FrameCodec;
+use crate::{CoreError, HybridDecoder, SystemConfig};
+use hybridcs_coding::{LowResCodec, Payload};
+use hybridcs_frontend::{LowResChannel, LowResFrame};
+use hybridcs_solver::{SolverWatchdog, WatchdogConfig};
+
+/// Which rung of the decode ladder produced a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// Full hybrid reconstruction (box-constrained Eq. (1)).
+    Hybrid,
+    /// Plain-CS reconstruction; the box was unavailable or harmful.
+    CsOnly,
+    /// Low-resolution cell midpoints only.
+    LowResOnly,
+    /// Concealment: last good window, or zeros when staleness exceeded
+    /// [`SupervisorConfig::max_conceal_reuse`].
+    Concealed,
+}
+
+impl LadderRung {
+    /// Stable lower-snake identifier (used as the metrics label).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            LadderRung::Hybrid => "hybrid",
+            LadderRung::CsOnly => "cs_only",
+            LadderRung::LowResOnly => "lowres_only",
+            LadderRung::Concealed => "concealed",
+        }
+    }
+}
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Watchdog thresholds applied to every supervised solve (hybrid and
+    /// CS-only rungs). The default has no wall-clock budget, keeping
+    /// supervised decodes deterministic; deployments add one.
+    pub watchdog: WatchdogConfig,
+    /// Consecutive concealed windows allowed to repeat the last good
+    /// window before the supervisor flat-lines to zeros instead (stale
+    /// ECG is worse than an honest gap once the gap is long).
+    pub max_conceal_reuse: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            watchdog: WatchdogConfig::default(),
+            max_conceal_reuse: 8,
+        }
+    }
+}
+
+/// One supervised window: the chosen rung, the (always finite) signal, and
+/// the demotion trail explaining every rung that was tried and failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedWindow {
+    /// Frame sequence number, when the header survived.
+    pub sequence: Option<u32>,
+    /// The rung that produced `signal`.
+    pub rung: LadderRung,
+    /// The reconstruction — always `window` samples, always finite.
+    pub signal: Vec<f64>,
+    /// Rungs attempted before `rung`, with the failure reason
+    /// (`"decode_error"`, `"watchdog"`, `"non_finite"`).
+    pub demotions: Vec<(LadderRung, &'static str)>,
+    /// The solver output backing `signal`, for the hybrid/CS-only rungs.
+    pub decoded: Option<DecodedWindow>,
+}
+
+/// The supervisor. Owns the frame codec, the decoder, and the concealment
+/// state; see the [module docs](self) for the ladder.
+#[derive(Debug, Clone)]
+pub struct RecoverySupervisor {
+    frame_codec: FrameCodec,
+    decoder: HybridDecoder,
+    lowres_channel: LowResChannel,
+    lowres_codec: LowResCodec,
+    config: SupervisorConfig,
+    last_good: Option<Vec<f64>>,
+    consecutive_concealed: usize,
+    expected_sequence: Option<u32>,
+}
+
+impl RecoverySupervisor {
+    /// Builds a supervisor from the system configuration, the trained
+    /// low-res codec (must match the sensor's), and the supervisor policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on an invalid configuration.
+    pub fn new(
+        system: &SystemConfig,
+        lowres_codec: LowResCodec,
+        config: SupervisorConfig,
+    ) -> Result<Self, CoreError> {
+        Ok(RecoverySupervisor {
+            frame_codec: FrameCodec::new(system)?,
+            decoder: HybridDecoder::new(system, lowres_codec.clone())?,
+            lowres_channel: LowResChannel::new(system.lowres_bits)?,
+            lowres_codec,
+            config,
+            last_good: None,
+            consecutive_concealed: 0,
+            expected_sequence: None,
+        })
+    }
+
+    /// The framing codec (for the sensor side of a simulation).
+    #[must_use]
+    pub fn frame_codec(&self) -> &FrameCodec {
+        &self.frame_codec
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        self.decoder.config()
+    }
+
+    /// Receives one wire frame (or `None` for a wholly lost packet) and
+    /// walks the decode ladder until a rung yields a finite window. Never
+    /// errors, never panics on adversarial input, never skips a window:
+    /// the bottom rung always succeeds.
+    pub fn receive(&mut self, packet: Option<&[u8]>) -> SupervisedWindow {
+        let _span = hybridcs_obs::span!("supervisor.receive");
+        let registry = hybridcs_obs::global();
+        registry.counter("supervisor_windows_total", &[]).inc();
+
+        let (sequence, measurements, lowres) = match packet {
+            None => (None, None, None),
+            Some(bytes) => match self.frame_codec.deserialize_sections(bytes) {
+                Ok(sections) => (
+                    Some(sections.sequence),
+                    sections.measurements,
+                    sections.lowres,
+                ),
+                Err(_) => {
+                    registry
+                        .counter("supervisor_header_unusable_total", &[])
+                        .inc();
+                    (None, None, None)
+                }
+            },
+        };
+        if let Some(seq) = sequence {
+            self.track_sequence(seq);
+        }
+
+        let mut demotions: Vec<(LadderRung, &'static str)> = Vec::new();
+
+        if let (Some(meas), Some(lr)) = (&measurements, &lowres) {
+            match self.try_decode(meas, lr, true) {
+                Ok(decoded) => {
+                    return self.finish(
+                        sequence,
+                        LadderRung::Hybrid,
+                        decoded.signal.clone(),
+                        demotions,
+                        Some(decoded),
+                    );
+                }
+                Err(reason) => demotions.push((LadderRung::Hybrid, reason)),
+            }
+        }
+        if let Some(meas) = &measurements {
+            let placeholder = Payload {
+                bytes: Vec::new(),
+                bit_len: 0,
+            };
+            match self.try_decode(meas, &placeholder, false) {
+                Ok(decoded) => {
+                    return self.finish(
+                        sequence,
+                        LadderRung::CsOnly,
+                        decoded.signal.clone(),
+                        demotions,
+                        Some(decoded),
+                    );
+                }
+                Err(reason) => demotions.push((LadderRung::CsOnly, reason)),
+            }
+        }
+        if let Some(lr) = &lowres {
+            match self.lowres_midpoints(lr) {
+                Ok(signal) => {
+                    return self.finish(sequence, LadderRung::LowResOnly, signal, demotions, None);
+                }
+                Err(reason) => demotions.push((LadderRung::LowResOnly, reason)),
+            }
+        }
+
+        // Bottom rung: concealment, which cannot fail.
+        let window = self.decoder.config().window;
+        let signal = if self.consecutive_concealed < self.config.max_conceal_reuse {
+            self.last_good.clone()
+        } else {
+            None
+        }
+        .unwrap_or_else(|| vec![0.0; window]);
+        self.consecutive_concealed += 1;
+        for (rung, reason) in &demotions {
+            registry
+                .counter(
+                    "supervisor_rung_failed_total",
+                    &[("rung", rung.name()), ("reason", reason)],
+                )
+                .inc();
+        }
+        registry
+            .counter(
+                "supervisor_rung_total",
+                &[("rung", LadderRung::Concealed.name())],
+            )
+            .inc();
+        SupervisedWindow {
+            sequence,
+            rung: LadderRung::Concealed,
+            signal,
+            demotions,
+            decoded: None,
+        }
+    }
+
+    /// Counts sequence gaps: `supervisor_sequence_gap_events_total` per
+    /// discontinuity and `supervisor_missing_frames_total` for the frames
+    /// skipped over.
+    fn track_sequence(&mut self, sequence: u32) {
+        if let Some(expected) = self.expected_sequence {
+            if sequence > expected {
+                let registry = hybridcs_obs::global();
+                registry
+                    .counter("supervisor_sequence_gap_events_total", &[])
+                    .inc();
+                registry
+                    .counter("supervisor_missing_frames_total", &[])
+                    .add(u64::from(sequence - expected));
+            }
+        }
+        self.expected_sequence = Some(sequence.wrapping_add(1));
+    }
+
+    /// Runs one watched decode; a solver error, a watchdog trip, or a
+    /// non-finite output all demote instead of propagating.
+    fn try_decode(
+        &self,
+        measurements: &[f64],
+        lowres: &Payload,
+        use_box: bool,
+    ) -> Result<DecodedWindow, &'static str> {
+        let system = self.decoder.config();
+        let encoded = EncodedWindow {
+            measurements: measurements.to_vec(),
+            lowres: lowres.clone(),
+            window_len: system.window,
+            measurement_bits: system.measurement_bits,
+        };
+        let mut watchdog = SolverWatchdog::new(self.config.watchdog);
+        let result = if use_box {
+            self.decoder.decode_observed(&encoded, &mut watchdog)
+        } else {
+            self.decoder.decode_normal_observed(&encoded, &mut watchdog)
+        };
+        match result {
+            Err(_) => Err("decode_error"),
+            Ok(decoded) => {
+                if watchdog.trip().is_some() {
+                    return Err("watchdog");
+                }
+                if decoded.signal.iter().any(|v| !v.is_finite()) {
+                    return Err("non_finite");
+                }
+                Ok(decoded)
+            }
+        }
+    }
+
+    /// Cell-midpoint reconstruction from the low-resolution stream.
+    fn lowres_midpoints(&self, lowres: &Payload) -> Result<Vec<f64>, &'static str> {
+        let window = self.decoder.config().window;
+        let codes = self
+            .lowres_codec
+            .decode(lowres, window)
+            .map_err(|_| "decode_error")?;
+        let frame =
+            LowResFrame::from_codes(codes, &self.lowres_channel).map_err(|_| "decode_error")?;
+        let half = frame.step() / 2.0;
+        let signal: Vec<f64> = frame.samples().iter().map(|v| v + half).collect();
+        if signal.iter().any(|v| !v.is_finite()) {
+            return Err("non_finite");
+        }
+        Ok(signal)
+    }
+
+    /// Books a successful rung: counters, demotion trail, concealment
+    /// reset, last-good update.
+    fn finish(
+        &mut self,
+        sequence: Option<u32>,
+        rung: LadderRung,
+        signal: Vec<f64>,
+        demotions: Vec<(LadderRung, &'static str)>,
+        decoded: Option<DecodedWindow>,
+    ) -> SupervisedWindow {
+        let registry = hybridcs_obs::global();
+        for (failed, reason) in &demotions {
+            registry
+                .counter(
+                    "supervisor_rung_failed_total",
+                    &[("rung", failed.name()), ("reason", reason)],
+                )
+                .inc();
+        }
+        registry
+            .counter("supervisor_rung_total", &[("rung", rung.name())])
+            .inc();
+        self.last_good = Some(signal.clone());
+        self.consecutive_concealed = 0;
+        SupervisedWindow {
+            sequence,
+            rung,
+            signal,
+            demotions,
+            decoded,
+        }
+    }
+}

@@ -25,6 +25,12 @@ use hybridcs_obs::Counter;
 
 const MAGIC: u16 = 0xEC65;
 
+/// Header sanity caps: generous multiples of anything the system ever
+/// configures, rejected before allocating for a section.
+const MAX_MEASUREMENTS: usize = 4096;
+const MAX_WINDOW: usize = 16384;
+const MAX_LOWRES_BITS_PER_SAMPLE: usize = 64;
+
 /// Serializer/deserializer between [`EncodedWindow`]s and wire bytes.
 #[derive(Debug, Clone)]
 pub struct FrameCodec {
@@ -176,6 +182,18 @@ impl FrameCodec {
         let lowres_bits = u32::from(header[11]);
         let lowres_bit_len =
             u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+        // Absolute sanity caps, checked before the config comparison and
+        // before any section allocation, so an adversarial header that
+        // happens to carry a valid CRC still cannot request absurd work.
+        if m == 0 || m > MAX_MEASUREMENTS || n == 0 || n > MAX_WINDOW {
+            return Err(corrupt("implausible frame geometry"));
+        }
+        if !(1..=32).contains(&meas_bits) || !(1..=24).contains(&lowres_bits) {
+            return Err(corrupt("implausible bit depth"));
+        }
+        if lowres_bit_len > MAX_LOWRES_BITS_PER_SAMPLE * n {
+            return Err(corrupt("implausible low-res payload length"));
+        }
         if m != self.config.measurements
             || n != self.config.window
             || meas_bits != self.config.measurement_bits

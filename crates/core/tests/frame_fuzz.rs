@@ -1,0 +1,116 @@
+//! Adversarial-input properties for the telemetry frame codec: no byte
+//! slice — random, mutated, or truncated — may panic the deserializer or
+//! the recovery supervisor. Corruption must surface as `Err` or as a
+//! lower ladder rung, never as a crash or an absurd allocation.
+
+use hybridcs_core::telemetry::FrameCodec;
+use hybridcs_core::{
+    train_lowres_codec, HybridFrontEnd, RecoverySupervisor, SupervisorConfig, SystemConfig,
+};
+use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
+use hybridcs_rand::check::{check, u64_any, u8_any, vec_of, zip2};
+use hybridcs_rand::prop_assert;
+
+fn system() -> SystemConfig {
+    SystemConfig {
+        measurements: 64,
+        ..SystemConfig::default()
+    }
+}
+
+fn codec() -> FrameCodec {
+    FrameCodec::new(&system()).unwrap()
+}
+
+fn valid_frame() -> Vec<u8> {
+    let system = system();
+    let lowres = train_lowres_codec(
+        system.lowres_bits,
+        &hybridcs_core::experiment::default_training_windows(system.window),
+    )
+    .unwrap();
+    let frontend = HybridFrontEnd::new(&system, lowres).unwrap();
+    let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).unwrap();
+    let window = generator.generate(2.0, 0xF0_0D)[..system.window].to_vec();
+    let encoded = frontend.encode(&window).unwrap();
+    codec().serialize(9, &encoded).unwrap()
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_the_deserializer() {
+    let codec = codec();
+    check(
+        "arbitrary_bytes_never_panic_the_deserializer",
+        &vec_of(u8_any(), 0, 256),
+        |bytes| {
+            // Any outcome is fine; panicking or allocating absurdly is not.
+            let _ = codec.deserialize(bytes);
+            let _ = codec.deserialize_sections(bytes);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mutated_valid_frames_never_panic_the_ladder() {
+    let frame = valid_frame();
+    let codec = codec();
+    let lowres =
+        train_lowres_codec(7, &hybridcs_core::experiment::default_training_windows(512)).unwrap();
+    let supervisor = std::cell::RefCell::new(
+        RecoverySupervisor::new(&system(), lowres, SupervisorConfig::default()).unwrap(),
+    );
+    check(
+        "mutated_valid_frames_never_panic_the_ladder",
+        &vec_of(zip2(u64_any(), u8_any()), 1, 16),
+        |mutations| {
+            let mut bytes = frame.clone();
+            for (index, mask) in mutations {
+                let i = (*index as usize) % bytes.len();
+                bytes[i] ^= mask | 0x01; // guarantee at least one flipped bit
+            }
+            let _ = codec.deserialize_sections(&bytes);
+            let out = supervisor.borrow_mut().receive(Some(&bytes));
+            prop_assert!(
+                out.signal.iter().all(|v| v.is_finite()),
+                "supervisor emitted non-finite samples"
+            );
+            prop_assert!(out.signal.len() == 512, "wrong window length");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn truncated_frames_never_panic() {
+    let frame = valid_frame();
+    let codec = codec();
+    check("truncated_frames_never_panic", &u64_any(), |cut| {
+        let len = (*cut as usize) % (frame.len() + 1);
+        let _ = codec.deserialize(&frame[..len]);
+        let _ = codec.deserialize_sections(&frame[..len]);
+        Ok(())
+    });
+}
+
+#[test]
+fn absurd_header_values_are_rejected_before_allocation() {
+    // Hand-craft a header claiming a gigantic frame: the deserializer must
+    // reject it from the sanity caps, not attempt the allocation. The CRC
+    // is recomputed so only the plausibility checks can reject it.
+    let frame = valid_frame();
+    let codec = codec();
+    let mut bytes = frame;
+    // m lives at offset 6..8, n at 8..10 (after magic + sequence); the
+    // header CRC covers bytes 0..16 and is stored at 16..20.
+    bytes[6..8].copy_from_slice(&u16::MAX.to_le_bytes());
+    bytes[8..10].copy_from_slice(&u16::MAX.to_le_bytes());
+    let crc = hybridcs_coding::crc32(&bytes[..16]);
+    bytes[16..20].copy_from_slice(&crc.to_le_bytes());
+    let err = codec.deserialize_sections(&bytes).unwrap_err();
+    let text = format!("{err}");
+    assert!(
+        text.contains("implausible"),
+        "expected plausibility rejection, got: {text}"
+    );
+}

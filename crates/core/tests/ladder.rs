@@ -1,0 +1,192 @@
+//! Decode-ladder coverage for [`RecoverySupervisor`]: every rung is
+//! reachable, lower rungs always produce finite windows, and a fixed seed
+//! gives a bit-identical degradation trail.
+
+use hybridcs_core::{
+    train_lowres_codec, HybridFrontEnd, LadderRung, RecoverySupervisor, SupervisedWindow,
+    SupervisorConfig, SystemConfig,
+};
+use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
+use hybridcs_frontend::LowResChannel;
+use hybridcs_solver::WatchdogConfig;
+
+fn setup(config: SupervisorConfig) -> (HybridFrontEnd, RecoverySupervisor, Vec<f64>) {
+    let system = SystemConfig {
+        measurements: 64,
+        ..SystemConfig::default()
+    };
+    let codec = train_lowres_codec(
+        system.lowres_bits,
+        &hybridcs_core::experiment::default_training_windows(system.window),
+    )
+    .unwrap();
+    let frontend = HybridFrontEnd::new(&system, codec.clone()).unwrap();
+    let supervisor = RecoverySupervisor::new(&system, codec, config).unwrap();
+    let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).unwrap();
+    let window = generator.generate(2.0, 0x5AFE)[..system.window].to_vec();
+    (frontend, supervisor, window)
+}
+
+fn assert_finite_window(out: &SupervisedWindow, window_len: usize) {
+    assert_eq!(out.signal.len(), window_len);
+    assert!(
+        out.signal.iter().all(|v| v.is_finite()),
+        "rung {:?} produced non-finite samples",
+        out.rung
+    );
+}
+
+#[test]
+fn every_rung_is_reachable() {
+    let (frontend, mut supervisor, window) = setup(SupervisorConfig::default());
+    let codec = supervisor.frame_codec().clone();
+    let encoded = frontend.encode(&window).unwrap();
+
+    // Rung 1: clean frame → hybrid.
+    let clean = codec.serialize(0, &encoded).unwrap();
+    let out = supervisor.receive(Some(&clean));
+    assert_eq!(out.rung, LadderRung::Hybrid);
+    assert!(out.demotions.is_empty());
+    assert_eq!(out.sequence, Some(0));
+    let snr = hybridcs_metrics::snr_db(&window, &out.signal);
+    assert!(snr > 12.0, "hybrid rung SNR {snr} dB");
+    assert_finite_window(&out, window.len());
+
+    // Rung 2: corrupt low-res section → CS-only (box dropped).
+    let mut bytes = codec.serialize(1, &encoded).unwrap();
+    let last = bytes.len() - 6;
+    bytes[last] ^= 0x01;
+    let out = supervisor.receive(Some(&bytes));
+    assert_eq!(out.rung, LadderRung::CsOnly);
+    assert!(!out.decoded.as_ref().unwrap().used_box);
+    assert_finite_window(&out, window.len());
+
+    // Rung 3: corrupt CS section → low-res midpoints.
+    let mut bytes = codec.serialize(2, &encoded).unwrap();
+    bytes[25] ^= 0x10;
+    let out = supervisor.receive(Some(&bytes));
+    assert_eq!(out.rung, LadderRung::LowResOnly);
+    let channel = LowResChannel::new(7).unwrap();
+    for (v, x) in out.signal.iter().zip(&window) {
+        assert!((v - x).abs() <= channel.step(), "midpoint {v} vs {x}");
+    }
+    assert_finite_window(&out, window.len());
+
+    // Rung 4: lost packet → concealment (repeats the last good window).
+    let out = supervisor.receive(None);
+    assert_eq!(out.rung, LadderRung::Concealed);
+    assert_eq!(out.sequence, None);
+    assert_finite_window(&out, window.len());
+}
+
+#[test]
+fn header_corruption_conceals() {
+    let (frontend, mut supervisor, window) = setup(SupervisorConfig::default());
+    let encoded = frontend.encode(&window).unwrap();
+    let mut bytes = supervisor.frame_codec().serialize(3, &encoded).unwrap();
+    bytes[3] ^= 0xFF; // sequence byte, protected by the header CRC
+    let out = supervisor.receive(Some(&bytes));
+    assert_eq!(out.rung, LadderRung::Concealed);
+    assert_eq!(out.sequence, None);
+    assert_finite_window(&out, window.len());
+
+    // Garbage that is not even a header conceals too, without panicking.
+    let out = supervisor.receive(Some(&[0xEC, 0x65, 0x00]));
+    assert_eq!(out.rung, LadderRung::Concealed);
+    assert_finite_window(&out, window.len());
+}
+
+#[test]
+fn watchdog_trip_demotes_down_the_ladder() {
+    // A one-iteration budget trips on every solve, so both solver rungs
+    // demote and the supervisor lands on low-res midpoints — it never
+    // errors, and the demotion trail says why.
+    let config = SupervisorConfig {
+        watchdog: WatchdogConfig {
+            max_iterations: Some(1),
+            ..WatchdogConfig::default()
+        },
+        ..SupervisorConfig::default()
+    };
+    let (frontend, mut supervisor, window) = setup(config);
+    let encoded = frontend.encode(&window).unwrap();
+    let bytes = supervisor.frame_codec().serialize(0, &encoded).unwrap();
+    let out = supervisor.receive(Some(&bytes));
+    assert_eq!(out.rung, LadderRung::LowResOnly);
+    assert_eq!(
+        out.demotions,
+        vec![
+            (LadderRung::Hybrid, "watchdog"),
+            (LadderRung::CsOnly, "watchdog")
+        ]
+    );
+    assert_finite_window(&out, window.len());
+}
+
+#[test]
+fn concealment_repeats_last_good_then_flatlines() {
+    let config = SupervisorConfig {
+        max_conceal_reuse: 2,
+        ..SupervisorConfig::default()
+    };
+    let (frontend, mut supervisor, window) = setup(config);
+    let encoded = frontend.encode(&window).unwrap();
+    let bytes = supervisor.frame_codec().serialize(0, &encoded).unwrap();
+    let good = supervisor.receive(Some(&bytes));
+    assert_eq!(good.rung, LadderRung::Hybrid);
+
+    // First two losses repeat the last good window.
+    for _ in 0..2 {
+        let out = supervisor.receive(None);
+        assert_eq!(out.rung, LadderRung::Concealed);
+        assert_eq!(out.signal, good.signal);
+    }
+    // Past the reuse budget the supervisor flat-lines instead of replaying
+    // stale ECG forever.
+    let out = supervisor.receive(None);
+    assert_eq!(out.rung, LadderRung::Concealed);
+    assert!(out.signal.iter().all(|v| *v == 0.0));
+
+    // A fresh good frame resets the concealment budget.
+    let bytes = supervisor.frame_codec().serialize(1, &encoded).unwrap();
+    assert_eq!(supervisor.receive(Some(&bytes)).rung, LadderRung::Hybrid);
+    let out = supervisor.receive(None);
+    assert_eq!(out.signal, good.signal);
+}
+
+#[test]
+fn cold_start_loss_conceals_with_zeros() {
+    let (_, mut supervisor, window) = setup(SupervisorConfig::default());
+    let out = supervisor.receive(None);
+    assert_eq!(out.rung, LadderRung::Concealed);
+    assert_eq!(out.signal.len(), window.len());
+    assert!(out.signal.iter().all(|v| *v == 0.0));
+}
+
+#[test]
+fn degradation_trail_is_deterministic_for_fixed_seed() {
+    // Two supervisors fed the identical damaged stream produce bit-identical
+    // rungs, demotion trails, and signals.
+    let (frontend, mut a, window) = setup(SupervisorConfig::default());
+    let (_, mut b, _) = setup(SupervisorConfig::default());
+    let codec = a.frame_codec().clone();
+    let encoded = frontend.encode(&window).unwrap();
+
+    let mut packets: Vec<Option<Vec<u8>>> = Vec::new();
+    for seq in 0..6u32 {
+        let mut bytes = codec.serialize(seq, &encoded).unwrap();
+        match seq % 3 {
+            1 => bytes[25] ^= 0x40,                  // damage CS section
+            2 => *bytes.last_mut().unwrap() ^= 0x02, // damage low-res CRC
+            _ => {}
+        }
+        packets.push(if seq == 4 { None } else { Some(bytes) });
+    }
+
+    for packet in &packets {
+        let out_a = a.receive(packet.as_deref());
+        let out_b = b.receive(packet.as_deref());
+        assert_eq!(out_a, out_b);
+        assert_finite_window(&out_a, window.len());
+    }
+}

@@ -1,0 +1,230 @@
+//! A bounded NACK/retry queue modelling link-layer ARQ.
+//!
+//! The paper's power argument lives or dies on radio duty cycle, so
+//! retransmissions cannot be free: [`RetryQueue`] enforces a hard
+//! retransmission *budget* (total retries across the whole run), a
+//! per-frame retry cap, and a bounded queue — when any of the three is
+//! exhausted the frame is abandoned and the receiver's decode ladder has
+//! to conceal it instead.
+
+use std::collections::VecDeque;
+
+/// Limits for [`RetryQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArqConfig {
+    /// Maximum retransmission attempts per frame.
+    pub max_retries_per_frame: u32,
+    /// Total retransmissions allowed across the run (the radio-energy
+    /// budget).
+    pub retransmission_budget: u64,
+    /// Maximum frames queued for retry at once.
+    pub queue_capacity: usize,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig {
+            max_retries_per_frame: 2,
+            retransmission_budget: 256,
+            queue_capacity: 16,
+        }
+    }
+}
+
+/// Result of [`RetryQueue::nack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackOutcome {
+    /// The frame was queued for retransmission.
+    Queued,
+    /// The frame already used its per-frame retry cap.
+    RetriesExhausted,
+    /// The run-wide retransmission budget is spent.
+    BudgetExhausted,
+    /// The retry queue is full.
+    QueueFull,
+}
+
+impl NackOutcome {
+    /// Stable lower-snake identifier (used as the metrics label).
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self {
+            NackOutcome::Queued => "queued",
+            NackOutcome::RetriesExhausted => "retries_exhausted",
+            NackOutcome::BudgetExhausted => "budget_exhausted",
+            NackOutcome::QueueFull => "queue_full",
+        }
+    }
+}
+
+/// The bounded retry queue. Sequence numbers are the telemetry frame
+/// sequence; the caller owns the actual frame bytes.
+#[derive(Debug, Clone)]
+pub struct RetryQueue {
+    config: ArqConfig,
+    pending: VecDeque<u32>,
+    /// `(sequence, attempts)` for frames with at least one attempt.
+    attempts: Vec<(u32, u32)>,
+    budget_left: u64,
+}
+
+impl RetryQueue {
+    /// An empty queue with the full budget.
+    #[must_use]
+    pub fn new(config: ArqConfig) -> Self {
+        RetryQueue {
+            config,
+            pending: VecDeque::new(),
+            attempts: Vec::new(),
+            budget_left: config.retransmission_budget,
+        }
+    }
+
+    /// Frames currently queued for retransmission.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Retransmissions still allowed by the run-wide budget.
+    #[must_use]
+    pub fn budget_remaining(&self) -> u64 {
+        self.budget_left
+    }
+
+    fn attempts_for(&self, sequence: u32) -> u32 {
+        self.attempts
+            .iter()
+            .find(|(s, _)| *s == sequence)
+            .map_or(0, |(_, a)| *a)
+    }
+
+    /// Reports a lost/corrupt frame. Queues it for retransmission unless a
+    /// limit says otherwise; every outcome is counted under
+    /// `faults_arq_nacks_total{outcome}`.
+    pub fn nack(&mut self, sequence: u32) -> NackOutcome {
+        let outcome = if self.attempts_for(sequence) >= self.config.max_retries_per_frame {
+            NackOutcome::RetriesExhausted
+        } else if u64::try_from(self.pending.len()).unwrap_or(u64::MAX) >= self.budget_left {
+            // Everything already queued will consume the rest of the
+            // budget; queueing more would overcommit it.
+            NackOutcome::BudgetExhausted
+        } else if self.pending.len() >= self.config.queue_capacity {
+            NackOutcome::QueueFull
+        } else if self.pending.contains(&sequence) {
+            // Already scheduled; don't double-book the budget.
+            NackOutcome::Queued
+        } else {
+            self.pending.push_back(sequence);
+            NackOutcome::Queued
+        };
+        hybridcs_obs::global()
+            .counter("faults_arq_nacks_total", &[("outcome", outcome.reason())])
+            .inc();
+        outcome
+    }
+
+    /// Takes the next frame to retransmit, consuming one unit of budget
+    /// and one per-frame attempt. Returns `None` when nothing is queued or
+    /// the budget is spent. Counted under `faults_arq_retries_total`.
+    pub fn next_attempt(&mut self) -> Option<u32> {
+        if self.budget_left == 0 {
+            return None;
+        }
+        let sequence = self.pending.pop_front()?;
+        self.budget_left -= 1;
+        match self.attempts.iter_mut().find(|(s, _)| *s == sequence) {
+            Some((_, a)) => *a += 1,
+            None => self.attempts.push((sequence, 1)),
+        }
+        hybridcs_obs::global()
+            .counter("faults_arq_retries_total", &[])
+            .inc();
+        Some(sequence)
+    }
+
+    /// Reports that `sequence` finally arrived intact: clears its attempt
+    /// record. Counted under `faults_arq_recovered_total`.
+    pub fn resolve(&mut self, sequence: u32) {
+        self.attempts.retain(|(s, _)| *s != sequence);
+        self.pending.retain(|s| *s != sequence);
+        hybridcs_obs::global()
+            .counter("faults_arq_recovered_total", &[])
+            .inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(max_retries: u32, budget: u64, capacity: usize) -> ArqConfig {
+        ArqConfig {
+            max_retries_per_frame: max_retries,
+            retransmission_budget: budget,
+            queue_capacity: capacity,
+        }
+    }
+
+    #[test]
+    fn nack_then_attempt_round_trip() {
+        let mut q = RetryQueue::new(ArqConfig::default());
+        assert_eq!(q.nack(7), NackOutcome::Queued);
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.next_attempt(), Some(7));
+        assert_eq!(q.pending(), 0);
+        assert_eq!(
+            q.budget_remaining(),
+            ArqConfig::default().retransmission_budget - 1
+        );
+        q.resolve(7);
+        // After resolution the per-frame cap is reset.
+        assert_eq!(q.nack(7), NackOutcome::Queued);
+    }
+
+    #[test]
+    fn per_frame_cap_is_enforced() {
+        let mut q = RetryQueue::new(config(2, 100, 10));
+        for _ in 0..2 {
+            assert_eq!(q.nack(3), NackOutcome::Queued);
+            assert_eq!(q.next_attempt(), Some(3));
+        }
+        assert_eq!(q.nack(3), NackOutcome::RetriesExhausted);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut q = RetryQueue::new(config(10, 2, 10));
+        assert_eq!(q.nack(1), NackOutcome::Queued);
+        assert_eq!(q.nack(2), NackOutcome::Queued);
+        // Budget (2) is fully committed to the queued frames.
+        assert_eq!(q.nack(3), NackOutcome::BudgetExhausted);
+        assert_eq!(q.next_attempt(), Some(1));
+        assert_eq!(q.next_attempt(), Some(2));
+        assert_eq!(q.budget_remaining(), 0);
+        assert_eq!(q.nack(4), NackOutcome::BudgetExhausted);
+        assert_eq!(q.next_attempt(), None);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut q = RetryQueue::new(config(1, 1000, 2));
+        assert_eq!(q.nack(1), NackOutcome::Queued);
+        assert_eq!(q.nack(2), NackOutcome::Queued);
+        assert_eq!(q.nack(3), NackOutcome::QueueFull);
+    }
+
+    #[test]
+    fn duplicate_nack_does_not_double_queue() {
+        let mut q = RetryQueue::new(config(5, 100, 10));
+        assert_eq!(q.nack(9), NackOutcome::Queued);
+        assert_eq!(q.nack(9), NackOutcome::Queued);
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn empty_queue_yields_nothing() {
+        let mut q = RetryQueue::new(ArqConfig::default());
+        assert_eq!(q.next_attempt(), None);
+    }
+}

@@ -1,0 +1,317 @@
+//! The Gilbert–Elliott two-state burst channel.
+//!
+//! A hidden Markov chain alternates between a *good* and a *bad* state;
+//! each state has its own packet-drop and bit-error probabilities. With
+//! `drop_bad = 1` this is the standard burst-loss model for body-area
+//! wireless links: losses arrive in runs whose mean length is
+//! `1 / p_bad_to_good`, not independently.
+
+use hybridcs_rand::rngs::StdRng;
+use hybridcs_rand::{RngExt, SeedableRng};
+
+/// Transition and corruption probabilities of the two-state channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliottConfig {
+    /// Per-packet probability of moving good → bad.
+    pub p_good_to_bad: f64,
+    /// Per-packet probability of moving bad → good. Its reciprocal is the
+    /// mean burst length in packets.
+    pub p_bad_to_good: f64,
+    /// Packet-drop probability while in the good state.
+    pub drop_good: f64,
+    /// Packet-drop probability while in the bad state.
+    pub drop_bad: f64,
+    /// Per-bit flip probability while in the good state (applied to
+    /// packets that are not dropped).
+    pub bit_error_good: f64,
+    /// Per-bit flip probability while in the bad state.
+    pub bit_error_bad: f64,
+}
+
+impl GilbertElliottConfig {
+    /// A pure burst-loss channel calibrated to a stationary packet-loss
+    /// rate of `target_loss` with mean burst length `mean_burst_len`
+    /// packets: packets in the bad state are always dropped, packets in
+    /// the good state always delivered, and no bits are flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ target_loss < 1` and `mean_burst_len ≥ 1`.
+    #[must_use]
+    pub fn burst_loss(target_loss: f64, mean_burst_len: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&target_loss),
+            "target_loss {target_loss} outside [0, 1)"
+        );
+        assert!(
+            mean_burst_len >= 1.0 && mean_burst_len.is_finite(),
+            "mean_burst_len {mean_burst_len} must be >= 1"
+        );
+        let mut p_bad_to_good = 1.0 / mean_burst_len;
+        // Stationary bad-state mass π_bad = p_gb / (p_gb + p_bg) = target.
+        let mut p_good_to_bad = if target_loss == 0.0 {
+            0.0
+        } else {
+            target_loss * p_bad_to_good / (1.0 - target_loss)
+        };
+        if p_good_to_bad > 1.0 {
+            // The requested burst length cannot realize this loss rate
+            // (π_bad ≤ L/(L+1) when p_gb ≤ 1). Keep the rate — the primary
+            // calibration — and lengthen the bursts instead.
+            p_good_to_bad = 1.0;
+            p_bad_to_good = (1.0 - target_loss) / target_loss;
+        }
+        GilbertElliottConfig {
+            p_good_to_bad,
+            p_bad_to_good,
+            drop_good: 0.0,
+            drop_bad: 1.0,
+            bit_error_good: 0.0,
+            bit_error_bad: 0.0,
+        }
+    }
+
+    /// Stationary probability of the bad state,
+    /// `π_bad = p_gb / (p_gb + p_bg)` (0 when the chain never leaves
+    /// good).
+    #[must_use]
+    pub fn stationary_bad(&self) -> f64 {
+        let total = self.p_good_to_bad + self.p_bad_to_good;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.p_good_to_bad / total
+        }
+    }
+
+    /// Long-run packet-drop rate,
+    /// `π_good·drop_good + π_bad·drop_bad`.
+    #[must_use]
+    pub fn stationary_drop_rate(&self) -> f64 {
+        let pi_bad = self.stationary_bad();
+        (1.0 - pi_bad) * self.drop_good + pi_bad * self.drop_bad
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+            ("drop_good", self.drop_good),
+            ("drop_bad", self.drop_bad),
+            ("bit_error_good", self.bit_error_good),
+            ("bit_error_bad", self.bit_error_bad),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} = {p} is not a probability"
+            );
+        }
+    }
+}
+
+/// The seeded channel simulator. Packets stream through
+/// [`GilbertElliott::transmit`]; the Markov state advances once per packet.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    config: GilbertElliottConfig,
+    rng: StdRng,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// A channel starting in the good state with a deterministic stream
+    /// derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability in `config` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(config: GilbertElliottConfig, seed: u64) -> Self {
+        config.validate();
+        GilbertElliott {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            in_bad: false,
+        }
+    }
+
+    /// The channel's configuration.
+    #[must_use]
+    pub fn config(&self) -> &GilbertElliottConfig {
+        &self.config
+    }
+
+    /// Whether the chain is currently in the bad state.
+    #[must_use]
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+
+    /// Sends one packet: advances the Markov state, then drops or
+    /// bit-corrupts the packet according to the new state. Returns `None`
+    /// for a dropped packet, otherwise the (possibly corrupted) bytes.
+    pub fn transmit(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        let flip = if self.in_bad {
+            self.config.p_bad_to_good
+        } else {
+            self.config.p_good_to_bad
+        };
+        if self.rng.random_bool(flip) {
+            self.in_bad = !self.in_bad;
+        }
+        let state = if self.in_bad { "bad" } else { "good" };
+        let registry = hybridcs_obs::global();
+        registry
+            .counter("faults_channel_packets_total", &[("state", state)])
+            .inc();
+
+        let drop_p = if self.in_bad {
+            self.config.drop_bad
+        } else {
+            self.config.drop_good
+        };
+        if self.rng.random_bool(drop_p) {
+            registry
+                .counter("faults_channel_dropped_total", &[("state", state)])
+                .inc();
+            return None;
+        }
+
+        let bit_p = if self.in_bad {
+            self.config.bit_error_bad
+        } else {
+            self.config.bit_error_good
+        };
+        let mut bytes = packet.to_vec();
+        if bit_p > 0.0 {
+            let mut flips = 0u64;
+            for byte in &mut bytes {
+                for bit in 0..8 {
+                    if self.rng.random_bool(bit_p) {
+                        *byte ^= 1 << bit;
+                        flips += 1;
+                    }
+                }
+            }
+            if flips > 0 {
+                registry
+                    .counter("faults_channel_bit_flips_total", &[])
+                    .add(flips);
+            }
+        }
+        Some(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_loss_calibration_matches_stationary_rate() {
+        for target in [0.0, 0.05, 0.2, 0.5] {
+            let config = GilbertElliottConfig::burst_loss(target, 4.0);
+            assert!(
+                (config.stationary_drop_rate() - target).abs() < 1e-12,
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_loss_channel_delivers_everything_unchanged() {
+        let mut ch = GilbertElliott::new(GilbertElliottConfig::burst_loss(0.0, 4.0), 7);
+        let packet = [0xAB, 0xCD, 0xEF];
+        for _ in 0..200 {
+            assert_eq!(ch.transmit(&packet).as_deref(), Some(&packet[..]));
+        }
+    }
+
+    #[test]
+    fn total_loss_channel_drops_almost_everything() {
+        // π_bad near 1: p_gb >> p_bg.
+        let config = GilbertElliottConfig {
+            p_good_to_bad: 0.99,
+            p_bad_to_good: 0.01,
+            drop_good: 0.0,
+            drop_bad: 1.0,
+            bit_error_good: 0.0,
+            bit_error_bad: 0.0,
+        };
+        let mut ch = GilbertElliott::new(config, 11);
+        let delivered = (0..1000).filter(|_| ch.transmit(&[0]).is_some()).count();
+        assert!(delivered < 100, "delivered {delivered}/1000");
+    }
+
+    #[test]
+    fn losses_arrive_in_bursts() {
+        // With mean burst length 8 at 20% loss, consecutive-loss runs must
+        // be much longer on average than the Bernoulli expectation (1.25).
+        let mut ch = GilbertElliott::new(GilbertElliottConfig::burst_loss(0.2, 8.0), 13);
+        let outcomes: Vec<bool> = (0..20_000).map(|_| ch.transmit(&[0]).is_some()).collect();
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        for &ok in &outcomes {
+            if ok {
+                if current > 0 {
+                    runs.push(current);
+                    current = 0;
+                }
+            } else {
+                current += 1;
+            }
+        }
+        if current > 0 {
+            runs.push(current);
+        }
+        let mean_run = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(mean_run > 3.0, "mean loss-run length {mean_run}");
+    }
+
+    #[test]
+    fn bit_errors_corrupt_without_dropping() {
+        let config = GilbertElliottConfig {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 1.0,
+            drop_good: 0.0,
+            drop_bad: 0.0,
+            bit_error_good: 0.05,
+            bit_error_bad: 0.05,
+        };
+        let mut ch = GilbertElliott::new(config, 17);
+        let packet = vec![0u8; 64];
+        let mut corrupted = 0;
+        for _ in 0..100 {
+            let got = ch.transmit(&packet).expect("never drops");
+            assert_eq!(got.len(), packet.len());
+            if got != packet {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 50, "corrupted {corrupted}/100");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let config = GilbertElliottConfig::burst_loss(0.3, 4.0);
+        let mut a = GilbertElliott::new(config, 99);
+        let mut b = GilbertElliott::new(config, 99);
+        for _ in 0..500 {
+            assert_eq!(a.transmit(&[1, 2, 3]), b.transmit(&[1, 2, 3]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn rejects_non_probability() {
+        let config = GilbertElliottConfig {
+            p_good_to_bad: 1.5,
+            p_bad_to_good: 0.1,
+            drop_good: 0.0,
+            drop_bad: 1.0,
+            bit_error_good: 0.0,
+            bit_error_bad: 0.0,
+        };
+        let _ = GilbertElliott::new(config, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic fault injection for the hybrid compressed-sensing
+//! pipeline.
+//!
+//! Everything a wireless body-sensor deployment breaks — and nothing the
+//! clean-path golden tests depend on — lives here, behind seeds from
+//! [`hybridcs_rand`] so every fault scenario replays bit-identically:
+//!
+//! * [`GilbertElliott`] — the classic two-state burst channel for the
+//!   telemetry wire: correlated packet loss and state-dependent bit
+//!   errors, with closed-form stationary rates for calibration
+//!   ([`GilbertElliottConfig::stationary_drop_rate`]).
+//! * [`SensorFaultInjector`] — analog-side faults applied to a sample
+//!   window before encoding: ADC saturation ([`AdcSaturation`]),
+//!   electrode-pop transients ([`ElectrodePop`]), and flat-line dropouts
+//!   ([`FlatlineDropout`]).
+//! * [`RetryQueue`] — a bounded NACK/retry queue modelling a link-layer
+//!   ARQ with a hard retransmission budget, so resilience experiments can
+//!   charge retransmissions against the power model instead of assuming a
+//!   perfect wire.
+//!
+//! All injected faults are counted in the [global metrics
+//! registry](hybridcs_obs::global) under `faults_*` names, so a resilience
+//! run can report exactly what it survived.
+//!
+//! The *receiving* half of the story — the decode ladder that degrades
+//! gracefully under these faults — is `hybridcs_core`'s recovery
+//! supervisor; this crate deliberately knows nothing about frames or
+//! decoders so the two sides cannot accidentally collude.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arq;
+mod channel;
+mod sensor;
+
+pub use arq::{ArqConfig, NackOutcome, RetryQueue};
+pub use channel::{GilbertElliott, GilbertElliottConfig};
+pub use sensor::{
+    AdcSaturation, ElectrodePop, FlatlineDropout, SensorFault, SensorFaultConfig,
+    SensorFaultInjector,
+};

@@ -1,0 +1,294 @@
+//! Analog/sensor-side fault models, applied to a window of samples
+//! *before* the encoder sees it — the faults a front-end actually
+//! suffers: rail saturation, electrode-contact pops, and lead-off
+//! flat-lines. Amplitudes are in millivolts, the workspace's signal
+//! unit (the MIT-BIH corpus spans ±5.12 mV).
+
+use hybridcs_rand::rngs::StdRng;
+use hybridcs_rand::{RngExt, SeedableRng};
+
+/// ADC rail saturation: every sample is clipped into `[-limit, +limit]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcSaturation {
+    /// Rail magnitude in millivolts (half the full-scale range).
+    pub limit: f64,
+}
+
+impl AdcSaturation {
+    /// Clips `window` into the rails in place. Returns how many samples
+    /// were clipped.
+    pub fn apply(&self, window: &mut [f64]) -> usize {
+        let mut clipped = 0;
+        for v in window.iter_mut() {
+            let c = v.clamp(-self.limit, self.limit);
+            if c != *v {
+                *v = c;
+                clipped += 1;
+            }
+        }
+        clipped
+    }
+}
+
+/// An electrode-pop transient: a step of `amplitude` millivolts at a
+/// random onset that decays exponentially — the classic motion/contact
+/// artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectrodePop {
+    /// Initial step amplitude in millivolts (sign chosen randomly per
+    /// event).
+    pub amplitude: f64,
+    /// Per-sample exponential decay rate (e.g. 0.02 ⇒ ~50-sample tail).
+    pub decay: f64,
+}
+
+impl ElectrodePop {
+    /// Adds one pop with a random onset and sign to `window` in place.
+    /// Returns the onset index.
+    pub fn apply(&self, window: &mut [f64], rng: &mut StdRng) -> usize {
+        let onset = rng.random_range(0..window.len());
+        let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+        for (k, v) in window[onset..].iter_mut().enumerate() {
+            *v += sign * self.amplitude * (-self.decay * k as f64).exp();
+        }
+        onset
+    }
+}
+
+/// A lead-off flat-line: from a random onset, `duration` samples hold the
+/// last pre-onset value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatlineDropout {
+    /// Number of samples held constant (clipped at the window edge).
+    pub duration: usize,
+}
+
+impl FlatlineDropout {
+    /// Flattens one run in `window` in place. Returns the onset index.
+    pub fn apply(&self, window: &mut [f64], rng: &mut StdRng) -> usize {
+        let onset = rng.random_range(0..window.len());
+        let held = window[onset];
+        let end = (onset + self.duration).min(window.len());
+        for v in &mut window[onset..end] {
+            *v = held;
+        }
+        onset
+    }
+}
+
+/// Which fault kinds [`SensorFaultInjector::inject`] applied to a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorFault {
+    /// Samples were clipped at the rails.
+    Saturation,
+    /// An electrode-pop transient was added.
+    Pop,
+    /// A flat-line run was written.
+    Flatline,
+}
+
+impl SensorFault {
+    /// Stable lower-snake identifier (used as the metrics label).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SensorFault::Saturation => "saturation",
+            SensorFault::Pop => "pop",
+            SensorFault::Flatline => "flatline",
+        }
+    }
+}
+
+/// Per-window fault probabilities and shapes for
+/// [`SensorFaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorFaultConfig {
+    /// Probability that a window suffers an electrode pop.
+    pub p_pop: f64,
+    /// The pop shape.
+    pub pop: ElectrodePop,
+    /// Probability that a window suffers a flat-line dropout.
+    pub p_flatline: f64,
+    /// The flat-line shape.
+    pub flatline: FlatlineDropout,
+    /// Saturation rails applied to every window *after* any transient
+    /// (saturation is a property of the ADC, not a random event). `None`
+    /// disables clipping.
+    pub saturation: Option<AdcSaturation>,
+}
+
+impl Default for SensorFaultConfig {
+    fn default() -> Self {
+        SensorFaultConfig {
+            p_pop: 0.05,
+            pop: ElectrodePop {
+                amplitude: 1.0, // 1 mV step — comparable to a QRS complex
+                decay: 0.02,
+            },
+            p_flatline: 0.02,
+            flatline: FlatlineDropout { duration: 64 },
+            // The MIT-BIH ±5.12 mV rails.
+            saturation: Some(AdcSaturation { limit: 5.12 }),
+        }
+    }
+}
+
+/// Seeded per-window fault injector. Every decision comes from one
+/// [`StdRng`] stream, so a fault scenario is a pure function of
+/// `(config, seed, windows)`.
+#[derive(Debug, Clone)]
+pub struct SensorFaultInjector {
+    config: SensorFaultConfig,
+    rng: StdRng,
+}
+
+impl SensorFaultInjector {
+    /// A deterministic injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability in `config` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(config: SensorFaultConfig, seed: u64) -> Self {
+        for (name, p) in [("p_pop", config.p_pop), ("p_flatline", config.p_flatline)] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} = {p} is not a probability"
+            );
+        }
+        SensorFaultInjector {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Mutates one sample window in place, possibly applying each enabled
+    /// fault kind. Returns the faults applied (empty for a clean window).
+    /// Every application is counted under
+    /// `faults_sensor_injected_total{kind}`.
+    pub fn inject(&mut self, window: &mut [f64]) -> Vec<SensorFault> {
+        let mut applied = Vec::new();
+        if window.is_empty() {
+            return applied;
+        }
+        if self.rng.random_bool(self.config.p_pop) {
+            self.config.pop.apply(window, &mut self.rng);
+            applied.push(SensorFault::Pop);
+        }
+        if self.rng.random_bool(self.config.p_flatline) {
+            self.config.flatline.apply(window, &mut self.rng);
+            applied.push(SensorFault::Flatline);
+        }
+        if let Some(saturation) = self.config.saturation {
+            if saturation.apply(window) > 0 {
+                applied.push(SensorFault::Saturation);
+            }
+        }
+        let registry = hybridcs_obs::global();
+        for fault in &applied {
+            registry
+                .counter("faults_sensor_injected_total", &[("kind", fault.kind())])
+                .inc();
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_clips_to_rails() {
+        let sat = AdcSaturation { limit: 1.0 };
+        let mut w = vec![-3.0, -1.0, 0.5, 2.0];
+        assert_eq!(sat.apply(&mut w), 2);
+        assert_eq!(w, vec![-1.0, -1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn pop_decays_from_onset() {
+        let pop = ElectrodePop {
+            amplitude: 1.0,
+            decay: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = vec![0.0; 128];
+        let onset = pop.apply(&mut w, &mut rng);
+        assert!(w[..onset].iter().all(|&v| v == 0.0));
+        assert!((w[onset].abs() - 1.0).abs() < 1e-12);
+        // Strictly decaying magnitude after onset.
+        for pair in w[onset..].windows(2) {
+            assert!(pair[1].abs() < pair[0].abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn flatline_holds_value() {
+        let flat = FlatlineDropout { duration: 10 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut w: Vec<f64> = (0..64).map(f64::from).collect();
+        let onset = flat.apply(&mut w, &mut rng);
+        let end = (onset + 10).min(64);
+        assert!(w[onset..end].iter().all(|&v| v == onset as f64));
+        if end < 64 {
+            assert_eq!(w[end], end as f64);
+        }
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let config = SensorFaultConfig {
+            p_pop: 0.5,
+            p_flatline: 0.5,
+            ..SensorFaultConfig::default()
+        };
+        let mut a = SensorFaultInjector::new(config, 42);
+        let mut b = SensorFaultInjector::new(config, 42);
+        for i in 0..50 {
+            let base: Vec<f64> = (0..256)
+                .map(|k| 1e-3 * ((k + i) as f64 * 0.1).sin())
+                .collect();
+            let mut wa = base.clone();
+            let mut wb = base;
+            assert_eq!(a.inject(&mut wa), b.inject(&mut wb));
+            assert_eq!(wa, wb);
+        }
+    }
+
+    #[test]
+    fn zero_probability_injector_is_identity_within_rails() {
+        let config = SensorFaultConfig {
+            p_pop: 0.0,
+            p_flatline: 0.0,
+            saturation: None,
+            ..SensorFaultConfig::default()
+        };
+        let mut inj = SensorFaultInjector::new(config, 1);
+        let base: Vec<f64> = (0..128).map(|k| (k as f64 * 0.3).cos()).collect();
+        let mut w = base.clone();
+        assert!(inj.inject(&mut w).is_empty());
+        assert_eq!(w, base);
+    }
+
+    #[test]
+    fn empty_window_is_a_noop() {
+        let mut inj = SensorFaultInjector::new(
+            SensorFaultConfig {
+                p_pop: 1.0,
+                p_flatline: 1.0,
+                ..SensorFaultConfig::default()
+            },
+            9,
+        );
+        let mut w: Vec<f64> = Vec::new();
+        assert!(inj.inject(&mut w).is_empty());
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(SensorFault::Saturation.kind(), "saturation");
+        assert_eq!(SensorFault::Pop.kind(), "pop");
+        assert_eq!(SensorFault::Flatline.kind(), "flatline");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the fault models, run through the workspace's
+//! seeded `hybridcs_rand::check` harness (replay with
+//! `HYBRIDCS_CHECK_SEED`).
+
+use hybridcs_faults::{
+    GilbertElliott, GilbertElliottConfig, SensorFaultConfig, SensorFaultInjector,
+};
+use hybridcs_rand::check::{check, f64_in, u64_any, zip3};
+use hybridcs_rand::prop_assert;
+
+/// The empirical drop rate of a long seeded run converges to the
+/// closed-form stationary rate of the chain. Burst correlation inflates
+/// the variance of the empirical mean by roughly the burst length, so the
+/// tolerance is sized for the worst generated case (L = 10, N = 30 000).
+#[test]
+fn empirical_loss_rate_matches_stationary_distribution() {
+    let gen = zip3(f64_in(0.02, 0.6), f64_in(1.0, 10.0), u64_any());
+    check(
+        "gilbert_elliott_stationary",
+        &gen,
+        |&(target, burst_len, seed)| {
+            let config = GilbertElliottConfig::burst_loss(target, burst_len);
+            let mut channel = GilbertElliott::new(config, seed);
+            let packets = 30_000;
+            let dropped = (0..packets)
+                .filter(|_| channel.transmit(&[0u8; 4]).is_none())
+                .count();
+            let empirical = dropped as f64 / f64::from(packets);
+            let expected = config.stationary_drop_rate();
+            prop_assert!(
+                (empirical - expected).abs() < 0.06,
+                "empirical {empirical:.4} vs stationary {expected:.4} \
+                 (target {target:.3}, burst {burst_len:.2})"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Two channels with the same config and seed produce identical
+/// packet-by-packet outcomes.
+#[test]
+fn channel_is_deterministic() {
+    let gen = zip3(f64_in(0.0, 0.9), f64_in(1.0, 8.0), u64_any());
+    check(
+        "gilbert_elliott_deterministic",
+        &gen,
+        |&(target, burst_len, seed)| {
+            let config = GilbertElliottConfig::burst_loss(target, burst_len);
+            let mut a = GilbertElliott::new(config, seed);
+            let mut b = GilbertElliott::new(config, seed);
+            for k in 0..512u16 {
+                let payload = k.to_le_bytes();
+                prop_assert!(a.transmit(&payload) == b.transmit(&payload));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Injected windows stay finite, and with saturation enabled they stay
+/// inside the rails no matter which transient fired first.
+#[test]
+fn injected_windows_stay_finite_and_railed() {
+    let gen = zip3(f64_in(0.0, 1.0), f64_in(0.0, 1.0), u64_any());
+    check(
+        "sensor_faults_bounded",
+        &gen,
+        |&(p_pop, p_flatline, seed)| {
+            let limit = 5.12;
+            let config = SensorFaultConfig {
+                p_pop,
+                p_flatline,
+                ..SensorFaultConfig::default()
+            };
+            let mut injector = SensorFaultInjector::new(config, seed);
+            for w in 0..16 {
+                let mut window: Vec<f64> = (0..256)
+                    .map(|k| 5.0 * ((k + 64 * w) as f64 * 0.07).sin())
+                    .collect();
+                injector.inject(&mut window);
+                prop_assert!(window.iter().all(|v| v.is_finite()));
+                prop_assert!(
+                    window.iter().all(|v| v.abs() <= limit + 1e-15),
+                    "sample escaped the rails"
+                );
+            }
+            Ok(())
+        },
+    );
+}

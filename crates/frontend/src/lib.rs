@@ -58,7 +58,7 @@ pub use chipping::ChippingSequence;
 pub use error::FrontEndError;
 pub use lowres::{LowResChannel, LowResFrame};
 pub use quantizer::{Quantizer, QuantizerKind};
-pub use rmpi::{Rmpi, RmpiConfig};
+pub use rmpi::{Rmpi, RmpiConfig, StuckChip};
 pub use sensing::SensingMatrix;
 
 /// MIT-BIH analog span in millivolts: an 11-bit converter at 200 adu/mV

@@ -35,6 +35,19 @@ impl Default for RmpiConfig {
     }
 }
 
+/// A chipping-sequence stuck-at fault on one RMPI channel: the pseudo-random
+/// ±1 modulator is frozen at a constant `value`, so the channel degenerates
+/// from a Bernoulli projection into a plain scaled integrator,
+/// `y[channel] = value · Σx / √n`. This is the hardware failure mode of a
+/// stuck shift-register bit in the chipping generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckChip {
+    /// Which RMPI channel is stuck (`0 ≤ channel < m`).
+    pub channel: usize,
+    /// The frozen chip value, typically `+1.0` or `-1.0`.
+    pub value: f64,
+}
+
 /// Behavioural random-modulator pre-integrator (Fig. 3 of the paper).
 ///
 /// Each of the `m` channels multiplies the analog window by its ±1 chipping
@@ -125,13 +138,48 @@ impl Rmpi {
     ///
     /// Returns [`FrontEndError::WindowMismatch`] if `x` has the wrong length.
     pub fn acquire(&self, x: &[f64], noise_seed: u64) -> Result<Vec<f64>, FrontEndError> {
+        self.acquire_with_stuck_chips(x, noise_seed, &[])
+    }
+
+    /// [`Rmpi::acquire`] with chipping-sequence stuck-at faults: after
+    /// modulation, each faulty channel's measurement is replaced by the
+    /// constant-chip integral `value · Σx / √n` (of the *noisy* signal, so
+    /// the fault composes with amplifier noise exactly as in hardware).
+    /// Each applied fault is counted under
+    /// `faults_stuck_chip_applied_total`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontEndError::WindowMismatch`] for a wrong-length `x` and
+    /// [`FrontEndError::BadParameter`] for a channel index `≥ m` or a
+    /// non-finite stuck value.
+    pub fn acquire_with_stuck_chips(
+        &self,
+        x: &[f64],
+        noise_seed: u64,
+        stuck: &[StuckChip],
+    ) -> Result<Vec<f64>, FrontEndError> {
         if x.len() != self.config.window {
             return Err(FrontEndError::WindowMismatch {
                 expected: self.config.window,
                 actual: x.len(),
             });
         }
-        let y = {
+        for fault in stuck {
+            if fault.channel >= self.config.channels {
+                return Err(FrontEndError::BadParameter {
+                    name: "stuck chip channel",
+                    value: fault.channel as f64,
+                });
+            }
+            if !fault.value.is_finite() {
+                return Err(FrontEndError::BadParameter {
+                    name: "stuck chip value",
+                    value: fault.value,
+                });
+            }
+        }
+        let mut y = {
             let _span = hybridcs_obs::span!("sensing");
             if self.config.amplifier_noise_rms > 0.0 {
                 let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(noise_seed);
@@ -139,13 +187,23 @@ impl Rmpi {
                     .iter()
                     .map(|&v| v + self.config.amplifier_noise_rms * standard_normal(&mut rng))
                     .collect();
-                self.sensing.apply(&noisy)
+                let mut y = self.sensing.apply(&noisy);
+                apply_stuck_chips(&mut y, &noisy, stuck);
+                y
             } else {
-                self.sensing.apply(x)
+                let mut y = self.sensing.apply(x);
+                apply_stuck_chips(&mut y, x, stuck);
+                y
             }
         };
+        if !stuck.is_empty() {
+            hybridcs_obs::global()
+                .counter("faults_stuck_chip_applied_total", &[])
+                .add(stuck.len() as u64);
+        }
         let _span = hybridcs_obs::span!("quantize");
-        Ok(self.digitizer.digitize(&y))
+        y = self.digitizer.digitize(&y);
+        Ok(y)
     }
 
     /// ℓ₂ error budget `σ` for the decoder: quantization noise of the
@@ -163,6 +221,20 @@ impl Rmpi {
     #[must_use]
     pub fn payload_bits(&self) -> usize {
         self.digitizer.payload_bits(self.config.channels)
+    }
+}
+
+/// Replaces each stuck channel's measurement with the constant-chip
+/// integral `value · Σx / √n`, matching the `1/√n` row scale of the
+/// Bernoulli sensing matrix.
+fn apply_stuck_chips(y: &mut [f64], x: &[f64], stuck: &[StuckChip]) {
+    if stuck.is_empty() {
+        return;
+    }
+    let scale = 1.0 / (x.len() as f64).sqrt();
+    let total: f64 = x.iter().sum();
+    for fault in stuck {
+        y[fault.channel] = fault.value * total * scale;
     }
 }
 
@@ -259,6 +331,74 @@ mod tests {
         let b = small();
         let x: Vec<f64> = (0..128).map(|i| i as f64 * 0.01).collect();
         assert_eq!(a.measure(&x), b.measure(&x));
+    }
+
+    #[test]
+    fn stuck_chip_replaces_one_channel_only() {
+        let rmpi = small();
+        let x: Vec<f64> = (0..128)
+            .map(|i| 0.5 * (i as f64 * 0.13).sin() + 0.1)
+            .collect();
+        let clean = rmpi.acquire(&x, 0).unwrap();
+        let faulty = rmpi
+            .acquire_with_stuck_chips(
+                &x,
+                0,
+                &[StuckChip {
+                    channel: 5,
+                    value: 1.0,
+                }],
+            )
+            .unwrap();
+        for (ch, (c, f)) in clean.iter().zip(&faulty).enumerate() {
+            if ch == 5 {
+                // The stuck channel integrates the raw signal: y = Σx/√n
+                // (then digitized, so compare against the digitized value).
+                let expected = x.iter().sum::<f64>() / (128.0f64).sqrt();
+                let quantized = rmpi.digitizer().digitize(&[expected])[0];
+                assert!((f - quantized).abs() < 1e-12, "{f} vs {quantized}");
+            } else {
+                assert_eq!(c, f, "channel {ch} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn no_stuck_chips_matches_acquire() {
+        let rmpi = small();
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.07).cos()).collect();
+        assert_eq!(
+            rmpi.acquire(&x, 3).unwrap(),
+            rmpi.acquire_with_stuck_chips(&x, 3, &[]).unwrap()
+        );
+    }
+
+    #[test]
+    fn stuck_chip_validation() {
+        let rmpi = small();
+        let x = vec![0.0; 128];
+        assert!(matches!(
+            rmpi.acquire_with_stuck_chips(
+                &x,
+                0,
+                &[StuckChip {
+                    channel: 16,
+                    value: 1.0
+                }]
+            ),
+            Err(FrontEndError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            rmpi.acquire_with_stuck_chips(
+                &x,
+                0,
+                &[StuckChip {
+                    channel: 0,
+                    value: f64::NAN
+                }]
+            ),
+            Err(FrontEndError::BadParameter { .. })
+        ));
     }
 
     #[test]

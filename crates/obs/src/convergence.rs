@@ -40,6 +40,11 @@ pub enum StopReason {
     /// A greedy method reached its sparsity cap with residual above
     /// tolerance.
     SupportExhausted,
+    /// The observer asked the solver to stop
+    /// ([`IterationObserver::should_abort`] returned `true`) — e.g. a
+    /// watchdog detected divergence or an exhausted wall-clock budget. The
+    /// solver returns its best iterate with `converged = false`.
+    Aborted,
 }
 
 impl StopReason {
@@ -51,6 +56,7 @@ impl StopReason {
             StopReason::MaxIterations => "max_iterations",
             StopReason::Stagnated => "stagnated",
             StopReason::SupportExhausted => "support_exhausted",
+            StopReason::Aborted => "aborted",
         }
     }
 }
@@ -112,6 +118,15 @@ pub trait IterationObserver {
     /// Called exactly once when the solve finishes (regardless of
     /// [`IterationObserver::active`]).
     fn on_complete(&mut self, trace: &ConvergenceTrace);
+
+    /// Polled by the solvers once per iteration, *after*
+    /// [`IterationObserver::on_iteration`]: returning `true` makes the
+    /// solver stop at the current iterate and report
+    /// [`StopReason::Aborted`]. This is the hook a solver watchdog uses to
+    /// stop a divergent or over-budget solve without panicking.
+    fn should_abort(&self) -> bool {
+        false
+    }
 }
 
 /// The do-nothing observer: `active()` is `false`, so instrumented solvers
@@ -246,8 +261,15 @@ mod tests {
             (StopReason::MaxIterations, "max_iterations"),
             (StopReason::Stagnated, "stagnated"),
             (StopReason::SupportExhausted, "support_exhausted"),
+            (StopReason::Aborted, "aborted"),
         ] {
             assert_eq!(reason.as_str(), s);
         }
+    }
+
+    #[test]
+    fn default_observers_never_abort() {
+        assert!(!NoopObserver.should_abort());
+        assert!(!RecordingObserver::new().should_abort());
     }
 }

@@ -109,6 +109,7 @@ pub fn solve_admm_observed(
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut aborted = false;
     let scale = vector::norm2(y).max(1.0);
 
     for iter in 1..=options.max_iterations {
@@ -211,6 +212,11 @@ pub fn solve_admm_observed(
             });
         }
 
+        if observer.should_abort() {
+            aborted = true;
+            break;
+        }
+
         if primal_sq.sqrt() <= options.tolerance * scale
             && dual_sq.sqrt() <= options.tolerance * scale
         {
@@ -229,7 +235,9 @@ pub fn solve_admm_observed(
     observer.on_complete(&ConvergenceTrace {
         solver: "admm",
         iterations,
-        stop_reason: if converged {
+        stop_reason: if aborted {
+            StopReason::Aborted
+        } else if converged {
             StopReason::Converged
         } else {
             StopReason::MaxIterations

@@ -26,6 +26,15 @@ pub enum SolverError {
         /// Value supplied.
         value: f64,
     },
+    /// An input vector carried a NaN or infinity. Rejected at the entry
+    /// point so the iterative methods never silently propagate non-finite
+    /// values into the reconstruction.
+    NonFinite {
+        /// Which input was non-finite (e.g. `"measurements"`).
+        what: &'static str,
+        /// Index of the first offending element.
+        index: usize,
+    },
     /// The wavelet transform rejected the signal length.
     Transform(hybridcs_dsp::DspError),
     /// A linear-algebra kernel failed (e.g. a rank-deficient greedy refit).
@@ -45,6 +54,9 @@ impl fmt::Display for SolverError {
             ),
             SolverError::BadParameter { name, value } => {
                 write!(f, "parameter {name} out of range: {value}")
+            }
+            SolverError::NonFinite { what, index } => {
+                write!(f, "non-finite value in {what} at index {index}")
             }
             SolverError::Transform(e) => write!(f, "wavelet transform failed: {e}"),
             SolverError::Linalg(e) => write!(f, "linear algebra failed: {e}"),

@@ -126,6 +126,7 @@ pub fn solve_fista_observed(
     let mut res = vec![0.0; m];
     let mut iterations = 0;
     let mut converged = false;
+    let mut aborted = false;
 
     for iter in 1..=options.max_iterations {
         iterations = iter;
@@ -175,6 +176,10 @@ pub fn solve_fista_observed(
                 step_size: Some(step),
             });
         }
+        if observer.should_abort() {
+            aborted = true;
+            break;
+        }
         if change <= options.tolerance * scale {
             converged = true;
             break;
@@ -189,7 +194,9 @@ pub fn solve_fista_observed(
     observer.on_complete(&ConvergenceTrace {
         solver: "fista",
         iterations,
-        stop_reason: if converged {
+        stop_reason: if aborted {
+            StopReason::Aborted
+        } else if converged {
             StopReason::Converged
         } else {
             StopReason::MaxIterations

@@ -45,6 +45,12 @@ fn validate(a: &Matrix, y: &[f64], options: &GreedyOptions) -> Result<(), Solver
             actual: y.len(),
         });
     }
+    if let Some(index) = crate::problem::first_non_finite(y) {
+        return Err(SolverError::NonFinite {
+            what: "measurements",
+            index,
+        });
+    }
     if options.max_sparsity == 0 || options.max_sparsity > a.ncols() {
         return Err(SolverError::BadParameter {
             name: "max_sparsity",
@@ -144,6 +150,7 @@ pub fn solve_omp_observed(
     let mut alpha = vec![0.0; a.ncols()];
     let mut iterations = 0;
     let mut exhausted = false;
+    let mut aborted = false;
 
     while support.len() < options.max_sparsity
         && vector::norm2(&residual) > options.residual_tolerance
@@ -181,15 +188,22 @@ pub fn solve_omp_observed(
                 step_size: None,
             });
         }
+        if observer.should_abort() {
+            aborted = true;
+            break;
+        }
     }
 
     let res_norm = vector::norm2(&residual);
     let objective = vector::norm1(&alpha);
-    let converged = res_norm <= options.residual_tolerance || iterations < options.max_sparsity;
+    let converged =
+        !aborted && (res_norm <= options.residual_tolerance || iterations < options.max_sparsity);
     observer.on_complete(&ConvergenceTrace {
         solver: "omp",
         iterations,
-        stop_reason: if res_norm <= options.residual_tolerance {
+        stop_reason: if aborted {
+            StopReason::Aborted
+        } else if res_norm <= options.residual_tolerance {
             StopReason::Converged
         } else if exhausted {
             StopReason::SupportExhausted
@@ -299,6 +313,10 @@ pub fn solve_cosamp_observed(
                 residual: res_norm,
                 step_size: None,
             });
+        }
+        if observer.should_abort() {
+            stop = StopReason::Aborted;
+            break;
         }
         if res_norm <= options.residual_tolerance {
             converged = true;
@@ -426,6 +444,10 @@ pub fn solve_iht_observed(
                 residual: vector::norm2(&r),
                 step_size: Some(step),
             });
+        }
+        if observer.should_abort() {
+            stop = StopReason::Aborted;
+            break;
         }
         if change <= 1e-10 * vector::norm2(&alpha).max(1.0) {
             converged = true;

@@ -64,6 +64,7 @@ mod pdhg;
 mod problem;
 pub mod prox;
 mod reweighted;
+mod watchdog;
 mod weights;
 
 pub use admm::{solve_admm, solve_admm_observed, AdmmOptions};
@@ -77,6 +78,7 @@ pub use operator::{ComposedOperator, DenseOperator, LinearOperator, SynthesisOpe
 pub use pdhg::{solve_pdhg, solve_pdhg_observed, PdhgOptions};
 pub use problem::{BpdnProblem, RecoveryResult};
 pub use reweighted::{solve_reweighted, solve_reweighted_observed, ReweightedOptions};
+pub use watchdog::{SolverWatchdog, WatchdogConfig, WatchdogTrip};
 pub use weights::band_weights;
 
 // Observability vocabulary re-exported so downstream crates can drive the

@@ -112,6 +112,7 @@ pub fn solve_pdhg_observed(
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut aborted = false;
 
     for iter in 1..=options.max_iterations {
         iterations = iter;
@@ -171,6 +172,11 @@ pub fn solve_pdhg_observed(
             });
         }
 
+        if observer.should_abort() {
+            aborted = true;
+            break;
+        }
+
         if iter % options.check_interval == 0 {
             let change = vector::dist2(&x, &snapshot);
             let scale = vector::norm2(&x).max(1e-12);
@@ -194,7 +200,9 @@ pub fn solve_pdhg_observed(
     observer.on_complete(&ConvergenceTrace {
         solver: "pdhg",
         iterations,
-        stop_reason: if converged {
+        stop_reason: if aborted {
+            StopReason::Aborted
+        } else if converged {
             StopReason::Converged
         } else {
             StopReason::MaxIterations

@@ -62,6 +62,12 @@ impl BpdnProblem<'_> {
                 actual: self.measurements.len(),
             });
         }
+        if let Some(index) = first_non_finite(self.measurements) {
+            return Err(SolverError::NonFinite {
+                what: "measurements",
+                index,
+            });
+        }
         if !(self.sigma >= 0.0 && self.sigma.is_finite()) {
             return Err(SolverError::BadParameter {
                 name: "sigma",
@@ -82,6 +88,18 @@ impl BpdnProblem<'_> {
                     what: "box upper bound vs signal",
                     expected: n,
                     actual: hi.len(),
+                });
+            }
+            if let Some(index) = first_non_finite(lo) {
+                return Err(SolverError::NonFinite {
+                    what: "box lower bound",
+                    index,
+                });
+            }
+            if let Some(index) = first_non_finite(hi) {
+                return Err(SolverError::NonFinite {
+                    what: "box upper bound",
+                    index,
                 });
             }
             if let Some(i) = lo.iter().zip(hi).position(|(l, h)| l > h) {
@@ -123,6 +141,11 @@ impl BpdnProblem<'_> {
             }
         }
     }
+}
+
+/// Index of the first NaN/infinite element, if any.
+pub(crate) fn first_non_finite(values: &[f64]) -> Option<usize> {
+    values.iter().position(|v| !v.is_finite())
 }
 
 /// Output of a recovery solver.
@@ -217,6 +240,50 @@ mod tests {
                 Err(SolverError::BadParameter { .. })
             ));
         }
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_measurements_and_bounds() {
+        let op = dense_id(64);
+        let dwt = Dwt::new(Wavelet::Db4, 2).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut y = vec![0.0; 64];
+            y[13] = bad;
+            let p = BpdnProblem {
+                sensing: &op,
+                dwt: &dwt,
+                measurements: &y,
+                sigma: 0.1,
+                box_bounds: None,
+                coefficient_weights: None,
+            };
+            assert!(matches!(
+                p.validate(),
+                Err(SolverError::NonFinite {
+                    what: "measurements",
+                    index: 13
+                })
+            ));
+        }
+        let y = vec![0.0; 64];
+        let mut lo = vec![-1.0; 64];
+        lo[5] = f64::NAN;
+        let hi = vec![1.0; 64];
+        let p = BpdnProblem {
+            sensing: &op,
+            dwt: &dwt,
+            measurements: &y,
+            sigma: 0.1,
+            box_bounds: Some((&lo, &hi)),
+            coefficient_weights: None,
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(SolverError::NonFinite {
+                what: "box lower bound",
+                index: 5
+            })
+        ));
     }
 
     #[test]

@@ -75,6 +75,11 @@ impl IterationObserver for OffsetForward<'_> {
     }
 
     fn on_complete(&mut self, _trace: &ConvergenceTrace) {}
+
+    fn should_abort(&self) -> bool {
+        // Forwarded so a watchdog can stop the inner PDHG mid-round.
+        self.inner.should_abort()
+    }
 }
 
 /// [`solve_reweighted`] with an [`IterationObserver`] hook: inner PDHG
@@ -113,6 +118,7 @@ pub fn solve_reweighted_observed(
     let mut weights: Option<Vec<f64>> = problem.coefficient_weights.map(<[f64]>::to_vec);
     let mut total_iterations = 0;
     let mut last: Option<RecoveryResult> = None;
+    let mut aborted = false;
 
     for _round in 0..options.outer_iterations {
         let round_problem = BpdnProblem {
@@ -136,6 +142,11 @@ pub fn solve_reweighted_observed(
         let eps = (options.epsilon_rel * max).max(f64::MIN_POSITIVE);
         weights = Some(coeffs.iter().map(|c| eps / (c.abs() + eps)).collect());
         last = Some(result);
+
+        if observer.should_abort() {
+            aborted = true;
+            break;
+        }
     }
 
     let mut result = last.expect("outer_iterations >= 1");
@@ -143,7 +154,9 @@ pub fn solve_reweighted_observed(
     observer.on_complete(&ConvergenceTrace {
         solver: "reweighted",
         iterations: total_iterations,
-        stop_reason: if result.converged {
+        stop_reason: if aborted {
+            StopReason::Aborted
+        } else if result.converged {
             StopReason::Converged
         } else {
             StopReason::MaxIterations

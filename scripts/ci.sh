@@ -33,6 +33,26 @@ fi
 HYBRIDCS_OBS_CHECK="$OBS_TMP/quickstart.jsonl" \
     cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
 
+echo "==> fault-injection smoke run (seeded GE burst loss through the decode ladder)"
+# The example exits non-zero if any window fails to produce a finite
+# reconstruction or SNR does not degrade monotonically with loss; also
+# assert the 100% per-window output rate line and the JSONL rung export.
+RESILIENCE_OUT="$(HYBRIDCS_OBS=1 HYBRIDCS_OBS_DIR="$OBS_TMP" \
+    cargo run -q --release --offline --example resilience_report)"
+if ! grep -q "every window at every loss rate produced a finite reconstruction" \
+    <<<"$RESILIENCE_OUT"; then
+    echo "error: resilience_report did not certify full per-window output" >&2
+    exit 1
+fi
+if [ ! -s "$OBS_TMP/resilience_report.jsonl" ]; then
+    echo "error: resilience_report did not export ladder-rung counters as JSONL" >&2
+    exit 1
+fi
+if ! grep -q "supervisor_rung_total" "$OBS_TMP/resilience_report.jsonl"; then
+    echo "error: resilience_report JSONL is missing supervisor_rung_total" >&2
+    exit 1
+fi
+
 echo "==> verifying Cargo.lock stays registry-free"
 if grep -E '^source = ' Cargo.lock; then
     echo "error: Cargo.lock references an external registry source" >&2

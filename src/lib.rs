@@ -15,7 +15,8 @@
 //! | [`ecg`] | `hybridcs-ecg` | synthetic MIT-BIH-like corpus |
 //! | [`frontend`] | `hybridcs-frontend` | ADCs, quantizers, RMPI, sensing matrices |
 //! | [`coding`] | `hybridcs-coding` | bitstreams, delta coding, canonical Huffman |
-//! | [`solver`] | `hybridcs-solver` | PDHG, ADMM, FISTA, OMP, CoSaMP, IHT |
+//! | [`solver`] | `hybridcs-solver` | PDHG, ADMM, FISTA, OMP, CoSaMP, IHT, solver watchdog |
+//! | [`faults`] | `hybridcs-faults` | Gilbert–Elliott channel, sensor faults, ARQ retry queue |
 //! | [`dsp`] | `hybridcs-dsp` | orthonormal wavelets, filters |
 //! | [`metrics`] | `hybridcs-metrics` | PRD/SNR/CR, box-plot stats |
 //! | [`obs`] | `hybridcs-obs` | metrics registry, spans, convergence traces, JSONL export |
@@ -52,6 +53,7 @@ pub use hybridcs_coding as coding;
 pub use hybridcs_core as codec;
 pub use hybridcs_dsp as dsp;
 pub use hybridcs_ecg as ecg;
+pub use hybridcs_faults as faults;
 pub use hybridcs_frontend as frontend;
 pub use hybridcs_linalg as linalg;
 pub use hybridcs_metrics as metrics;
