@@ -11,7 +11,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Fig. 2", "low-resolution window (7-bit) and its bound area");
 
     let generator = EcgGenerator::new(GeneratorConfig::normal_sinus())?;
-    let strip = generator.generate(2.0, 0xF16_2);
+    let strip = generator.generate(2.0, 0xF162);
     let window = &strip[..360]; // the figure shows ~1 s
     let cal = AdcCalibration::mit_bih();
     let channel = LowResChannel::new(7)?;

@@ -10,7 +10,7 @@ use hybridcs_metrics::snr_db;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Fig. 9", "example reconstructions at delta = 6/12/25 %");
     let generator = EcgGenerator::new(GeneratorConfig::normal_sinus())?;
-    let strip = generator.generate(2.0, 0xF16_9);
+    let strip = generator.generate(2.0, 0xF169);
     let base = sweep_base_config();
     let window = &strip[..base.window];
 

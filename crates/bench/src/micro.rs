@@ -64,8 +64,9 @@ impl Micro {
     /// Every per-iteration sample is also recorded into the global
     /// [metrics registry](hybridcs_obs::global) under
     /// `bench_iter_seconds{bench="<name>"}`, and the printed line carries
-    /// the histogram summary (mean and p90 across samples), so bench runs
-    /// land in the same JSONL exports as everything else.
+    /// the histogram summary (mean plus the p50/p90/p99 percentile triple
+    /// across samples), so bench runs land in the same JSONL exports as
+    /// everything else.
     pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Duration {
         // Warm-up + batch sizing: one untimed call, then estimate cost.
         let start = Instant::now();
@@ -91,17 +92,24 @@ impl Micro {
         let max = per_iter[per_iter.len() - 1];
         let snapshot = histogram.snapshot();
         let mean = Duration::from_secs_f64(snapshot.mean().max(0.0));
-        let p90 = snapshot.quantile(0.9).map_or_else(
-            || "n/a".to_string(),
-            |q| fmt_duration(Duration::from_secs_f64(q)),
+        let fmt_q = |q: f64| fmt_duration(Duration::from_secs_f64(q));
+        let quantiles = snapshot.percentiles().map_or_else(
+            || "p50/p90/p99 n/a".to_string(),
+            |p| {
+                format!(
+                    "p50 {}, p90 {}, p99 {}",
+                    fmt_q(p.p50),
+                    fmt_q(p.p90),
+                    fmt_q(p.p99)
+                )
+            },
         );
         println!(
-            "{name:<40} {:>12}/iter  (min {}, max {}, mean {}, p90 {}, {} × {per_batch} iters)",
+            "{name:<40} {:>12}/iter  (min {}, max {}, mean {}, {quantiles}, {} × {per_batch} iters)",
             fmt_duration(median),
             fmt_duration(min),
             fmt_duration(max),
             fmt_duration(mean),
-            p90,
             self.samples,
         );
         median
@@ -132,7 +140,9 @@ mod tests {
             samples: 3,
             sample_budget: Duration::from_millis(1),
         };
-        let median = harness.bench("spin_sum", || (0..1000u64).sum::<u64>());
+        // `black_box` per element keeps release builds from collapsing the
+        // sum to a closed form (which would time at 0 ns/iter).
+        let median = harness.bench("spin_sum", || (0..1000u64).map(black_box).sum::<u64>());
         assert!(median > Duration::ZERO);
         assert!(median < Duration::from_millis(100));
     }

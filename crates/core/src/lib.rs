@@ -68,5 +68,8 @@ pub use config::{DecoderAlgorithm, SystemConfig};
 pub use decoder::HybridDecoder;
 pub use encoder::HybridFrontEnd;
 pub use error::CoreError;
-pub use supervisor::{LadderRung, RecoverySupervisor, SupervisedWindow, SupervisorConfig};
+pub use supervisor::{
+    DecodeLadder, LadderOutcome, LadderRung, ParsedSections, RecoverySupervisor, SessionLedger,
+    SupervisedWindow, SupervisorConfig,
+};
 pub use training::{train_lowres_codec, train_rle_lowres_codec};

@@ -20,6 +20,21 @@
 //!    last good window (bounded by
 //!    [`SupervisorConfig::max_conceal_reuse`], then flat-line zeros).
 //!
+//! The ladder is split into two halves so a multi-session service (the
+//! `hybridcs-gateway` crate) can run them on different threads:
+//!
+//! * [`DecodeLadder`] — the **stateless** half: frame parsing and the
+//!   solver-backed rung attempts. It is `Send + Sync`, holds the expensive
+//!   per-shape operator state (sensing matrix, wavelet, entropy codec),
+//!   and can be shared behind an `Arc` by any number of worker threads —
+//!   one ladder per `(m, n, basis)` shape, reused across sessions.
+//! * [`SessionLedger`] — the **stateful** half: sequence-gap tracking,
+//!   last-good concealment, and the metrics bookkeeping. One per session,
+//!   cheap, and only ever touched by its owning thread.
+//!
+//! [`RecoverySupervisor`] composes the two for the single-session case;
+//! its behaviour is unchanged.
+//!
 //! Every ladder decision, demotion and sequence gap is counted in the
 //! [global metrics registry](hybridcs_obs::global) under `supervisor_*`
 //! names, and watchdog trips under `solver_watchdog_trips` — so a
@@ -97,29 +112,61 @@ pub struct SupervisedWindow {
     /// The reconstruction — always `window` samples, always finite.
     pub signal: Vec<f64>,
     /// Rungs attempted before `rung`, with the failure reason
-    /// (`"decode_error"`, `"watchdog"`, `"non_finite"`).
+    /// (`"decode_error"`, `"watchdog"`, `"non_finite"`, `"shed"`).
     pub demotions: Vec<(LadderRung, &'static str)>,
     /// The solver output backing `signal`, for the hybrid/CS-only rungs.
     pub decoded: Option<DecodedWindow>,
 }
 
-/// The supervisor. Owns the frame codec, the decoder, and the concealment
-/// state; see the [module docs](self) for the ladder.
+/// The per-section content of one parsed wire frame (or of a wholly lost
+/// packet: everything `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSections {
+    /// Frame sequence number, when the header survived.
+    pub sequence: Option<u32>,
+    /// CS measurements, when that section's CRC passed.
+    pub measurements: Option<Vec<f64>>,
+    /// Low-resolution payload, when that section's CRC passed.
+    pub lowres: Option<Payload>,
+}
+
+/// The outcome of the stateless rung attempts for one window: the first
+/// rung that produced a finite signal (if any — concealment is the
+/// ledger's job), plus the demotion trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderOutcome {
+    /// The successful rung, its signal, and the solver report when one
+    /// backed it. `None` means every non-concealment rung failed.
+    pub chosen: Option<(LadderRung, Vec<f64>, Option<DecodedWindow>)>,
+    /// Rungs attempted and failed before `chosen` (or before giving up).
+    pub demotions: Vec<(LadderRung, &'static str)>,
+}
+
+impl LadderOutcome {
+    /// An outcome with nothing usable — the ledger will conceal.
+    #[must_use]
+    pub fn empty() -> Self {
+        LadderOutcome {
+            chosen: None,
+            demotions: Vec::new(),
+        }
+    }
+}
+
+/// The stateless half of the decode ladder: parsing and solver-backed rung
+/// attempts. `Send + Sync`; share one per operator shape behind an `Arc`.
 #[derive(Debug, Clone)]
-pub struct RecoverySupervisor {
+pub struct DecodeLadder {
     frame_codec: FrameCodec,
     decoder: HybridDecoder,
     lowres_channel: LowResChannel,
     lowres_codec: LowResCodec,
-    config: SupervisorConfig,
-    last_good: Option<Vec<f64>>,
-    consecutive_concealed: usize,
-    expected_sequence: Option<u32>,
+    watchdog: WatchdogConfig,
 }
 
-impl RecoverySupervisor {
-    /// Builds a supervisor from the system configuration, the trained
-    /// low-res codec (must match the sensor's), and the supervisor policy.
+impl DecodeLadder {
+    /// Builds the ladder for one system configuration and trained low-res
+    /// codec (must match the sensor's).
     ///
     /// # Errors
     ///
@@ -127,17 +174,14 @@ impl RecoverySupervisor {
     pub fn new(
         system: &SystemConfig,
         lowres_codec: LowResCodec,
-        config: SupervisorConfig,
+        watchdog: WatchdogConfig,
     ) -> Result<Self, CoreError> {
-        Ok(RecoverySupervisor {
+        Ok(DecodeLadder {
             frame_codec: FrameCodec::new(system)?,
             decoder: HybridDecoder::new(system, lowres_codec.clone())?,
             lowres_channel: LowResChannel::new(system.lowres_bits)?,
             lowres_codec,
-            config,
-            last_good: None,
-            consecutive_concealed: 0,
-            expected_sequence: None,
+            watchdog,
         })
     }
 
@@ -153,126 +197,114 @@ impl RecoverySupervisor {
         self.decoder.config()
     }
 
-    /// Receives one wire frame (or `None` for a wholly lost packet) and
-    /// walks the decode ladder until a rung yields a finite window. Never
-    /// errors, never panics on adversarial input, never skips a window:
-    /// the bottom rung always succeeds.
-    pub fn receive(&mut self, packet: Option<&[u8]>) -> SupervisedWindow {
-        let _span = hybridcs_obs::span!("supervisor.receive");
-        let registry = hybridcs_obs::global();
-        registry.counter("supervisor_windows_total", &[]).inc();
-
-        let (sequence, measurements, lowres) = match packet {
-            None => (None, None, None),
+    /// Parses one wire frame (or `None` for a wholly lost packet) into its
+    /// surviving sections. Unusable headers are counted under
+    /// `supervisor_header_unusable_total` and yield an all-`None` parse —
+    /// they never error.
+    #[must_use]
+    pub fn parse(&self, packet: Option<&[u8]>) -> ParsedSections {
+        match packet {
+            None => ParsedSections {
+                sequence: None,
+                measurements: None,
+                lowres: None,
+            },
             Some(bytes) => match self.frame_codec.deserialize_sections(bytes) {
-                Ok(sections) => (
-                    Some(sections.sequence),
-                    sections.measurements,
-                    sections.lowres,
-                ),
+                Ok(sections) => ParsedSections {
+                    sequence: Some(sections.sequence),
+                    measurements: sections.measurements,
+                    lowres: sections.lowres,
+                },
                 Err(_) => {
-                    registry
+                    hybridcs_obs::global()
                         .counter("supervisor_header_unusable_total", &[])
                         .inc();
-                    (None, None, None)
+                    ParsedSections {
+                        sequence: None,
+                        measurements: None,
+                        lowres: None,
+                    }
                 }
             },
-        };
-        if let Some(seq) = sequence {
-            self.track_sequence(seq);
         }
+    }
 
+    /// Walks the non-concealment rungs over the surviving sections. With
+    /// `skip_solvers` (load shedding) the hybrid and CS-only rungs are
+    /// demoted with reason `"shed"` without running a solver, landing on
+    /// the cheap low-res rung when that section survived.
+    ///
+    /// This is the expensive, pure half of
+    /// [`RecoverySupervisor::receive`]: no session state is read or
+    /// written, so any thread may run it.
+    #[must_use]
+    pub fn solve(
+        &self,
+        measurements: Option<&[f64]>,
+        lowres: Option<&Payload>,
+        skip_solvers: bool,
+    ) -> LadderOutcome {
+        let _span = hybridcs_obs::span!("ladder.solve");
         let mut demotions: Vec<(LadderRung, &'static str)> = Vec::new();
 
-        if let (Some(meas), Some(lr)) = (&measurements, &lowres) {
-            match self.try_decode(meas, lr, true) {
-                Ok(decoded) => {
-                    return self.finish(
-                        sequence,
-                        LadderRung::Hybrid,
-                        decoded.signal.clone(),
-                        demotions,
-                        Some(decoded),
-                    );
+        if skip_solvers {
+            if measurements.is_some() && lowres.is_some() {
+                demotions.push((LadderRung::Hybrid, "shed"));
+            }
+            if measurements.is_some() {
+                demotions.push((LadderRung::CsOnly, "shed"));
+            }
+        } else {
+            if let (Some(meas), Some(lr)) = (measurements, lowres) {
+                match self.try_decode(meas, lr, true) {
+                    Ok(decoded) => {
+                        return LadderOutcome {
+                            chosen: Some((
+                                LadderRung::Hybrid,
+                                decoded.signal.clone(),
+                                Some(decoded),
+                            )),
+                            demotions,
+                        };
+                    }
+                    Err(reason) => demotions.push((LadderRung::Hybrid, reason)),
                 }
-                Err(reason) => demotions.push((LadderRung::Hybrid, reason)),
+            }
+            if let Some(meas) = measurements {
+                let placeholder = Payload {
+                    bytes: Vec::new(),
+                    bit_len: 0,
+                };
+                match self.try_decode(meas, &placeholder, false) {
+                    Ok(decoded) => {
+                        return LadderOutcome {
+                            chosen: Some((
+                                LadderRung::CsOnly,
+                                decoded.signal.clone(),
+                                Some(decoded),
+                            )),
+                            demotions,
+                        };
+                    }
+                    Err(reason) => demotions.push((LadderRung::CsOnly, reason)),
+                }
             }
         }
-        if let Some(meas) = &measurements {
-            let placeholder = Payload {
-                bytes: Vec::new(),
-                bit_len: 0,
-            };
-            match self.try_decode(meas, &placeholder, false) {
-                Ok(decoded) => {
-                    return self.finish(
-                        sequence,
-                        LadderRung::CsOnly,
-                        decoded.signal.clone(),
-                        demotions,
-                        Some(decoded),
-                    );
-                }
-                Err(reason) => demotions.push((LadderRung::CsOnly, reason)),
-            }
-        }
-        if let Some(lr) = &lowres {
+        if let Some(lr) = lowres {
             match self.lowres_midpoints(lr) {
                 Ok(signal) => {
-                    return self.finish(sequence, LadderRung::LowResOnly, signal, demotions, None);
+                    return LadderOutcome {
+                        chosen: Some((LadderRung::LowResOnly, signal, None)),
+                        demotions,
+                    };
                 }
                 Err(reason) => demotions.push((LadderRung::LowResOnly, reason)),
             }
         }
-
-        // Bottom rung: concealment, which cannot fail.
-        let window = self.decoder.config().window;
-        let signal = if self.consecutive_concealed < self.config.max_conceal_reuse {
-            self.last_good.clone()
-        } else {
-            None
-        }
-        .unwrap_or_else(|| vec![0.0; window]);
-        self.consecutive_concealed += 1;
-        for (rung, reason) in &demotions {
-            registry
-                .counter(
-                    "supervisor_rung_failed_total",
-                    &[("rung", rung.name()), ("reason", reason)],
-                )
-                .inc();
-        }
-        registry
-            .counter(
-                "supervisor_rung_total",
-                &[("rung", LadderRung::Concealed.name())],
-            )
-            .inc();
-        SupervisedWindow {
-            sequence,
-            rung: LadderRung::Concealed,
-            signal,
+        LadderOutcome {
+            chosen: None,
             demotions,
-            decoded: None,
         }
-    }
-
-    /// Counts sequence gaps: `supervisor_sequence_gap_events_total` per
-    /// discontinuity and `supervisor_missing_frames_total` for the frames
-    /// skipped over.
-    fn track_sequence(&mut self, sequence: u32) {
-        if let Some(expected) = self.expected_sequence {
-            if sequence > expected {
-                let registry = hybridcs_obs::global();
-                registry
-                    .counter("supervisor_sequence_gap_events_total", &[])
-                    .inc();
-                registry
-                    .counter("supervisor_missing_frames_total", &[])
-                    .add(u64::from(sequence - expected));
-            }
-        }
-        self.expected_sequence = Some(sequence.wrapping_add(1));
     }
 
     /// Runs one watched decode; a solver error, a watchdog trip, or a
@@ -290,7 +322,7 @@ impl RecoverySupervisor {
             window_len: system.window,
             measurement_bits: system.measurement_bits,
         };
-        let mut watchdog = SolverWatchdog::new(self.config.watchdog);
+        let mut watchdog = SolverWatchdog::new(self.watchdog);
         let result = if use_box {
             self.decoder.decode_observed(&encoded, &mut watchdog)
         } else {
@@ -326,37 +358,265 @@ impl RecoverySupervisor {
         }
         Ok(signal)
     }
+}
 
-    /// Books a successful rung: counters, demotion trail, concealment
-    /// reset, last-good update.
-    fn finish(
-        &mut self,
-        sequence: Option<u32>,
-        rung: LadderRung,
-        signal: Vec<f64>,
-        demotions: Vec<(LadderRung, &'static str)>,
-        decoded: Option<DecodedWindow>,
-    ) -> SupervisedWindow {
+/// The stateful half of the ladder: one session's sequence tracking,
+/// concealment memory, and metrics bookkeeping. Cheap, single-owner.
+#[derive(Debug, Clone)]
+pub struct SessionLedger {
+    window: usize,
+    max_conceal_reuse: usize,
+    last_good: Option<Vec<f64>>,
+    consecutive_concealed: usize,
+    expected_sequence: Option<u32>,
+}
+
+impl SessionLedger {
+    /// A fresh ledger for windows of `window` samples.
+    #[must_use]
+    pub fn new(window: usize, max_conceal_reuse: usize) -> Self {
+        SessionLedger {
+            window,
+            max_conceal_reuse,
+            last_good: None,
+            consecutive_concealed: 0,
+            expected_sequence: None,
+        }
+    }
+
+    /// Counts sequence gaps: `supervisor_sequence_gap_events_total` per
+    /// discontinuity and `supervisor_missing_frames_total` for the frames
+    /// skipped over.
+    pub fn track_sequence(&mut self, sequence: u32) {
+        if let Some(expected) = self.expected_sequence {
+            if sequence > expected {
+                let registry = hybridcs_obs::global();
+                registry
+                    .counter("supervisor_sequence_gap_events_total", &[])
+                    .inc();
+                registry
+                    .counter("supervisor_missing_frames_total", &[])
+                    .add(u64::from(sequence - expected));
+            }
+        }
+        self.expected_sequence = Some(sequence.wrapping_add(1));
+    }
+
+    /// Books one window's outcome: counters, demotion trail, concealment
+    /// or last-good update. Always yields a finite window — the bottom
+    /// (concealment) rung cannot fail.
+    pub fn commit(&mut self, sequence: Option<u32>, outcome: LadderOutcome) -> SupervisedWindow {
         let registry = hybridcs_obs::global();
-        for (failed, reason) in &demotions {
+        registry.counter("supervisor_windows_total", &[]).inc();
+        for (rung, reason) in &outcome.demotions {
             registry
                 .counter(
                     "supervisor_rung_failed_total",
-                    &[("rung", failed.name()), ("reason", reason)],
+                    &[("rung", rung.name()), ("reason", reason)],
                 )
                 .inc();
         }
-        registry
-            .counter("supervisor_rung_total", &[("rung", rung.name())])
-            .inc();
-        self.last_good = Some(signal.clone());
-        self.consecutive_concealed = 0;
-        SupervisedWindow {
-            sequence,
-            rung,
-            signal,
-            demotions,
-            decoded,
+        match outcome.chosen {
+            Some((rung, signal, decoded)) => {
+                registry
+                    .counter("supervisor_rung_total", &[("rung", rung.name())])
+                    .inc();
+                self.last_good = Some(signal.clone());
+                self.consecutive_concealed = 0;
+                SupervisedWindow {
+                    sequence,
+                    rung,
+                    signal,
+                    demotions: outcome.demotions,
+                    decoded,
+                }
+            }
+            None => {
+                // Bottom rung: concealment, which cannot fail.
+                let signal = if self.consecutive_concealed < self.max_conceal_reuse {
+                    self.last_good.clone()
+                } else {
+                    None
+                }
+                .unwrap_or_else(|| vec![0.0; self.window]);
+                self.consecutive_concealed += 1;
+                registry
+                    .counter(
+                        "supervisor_rung_total",
+                        &[("rung", LadderRung::Concealed.name())],
+                    )
+                    .inc();
+                SupervisedWindow {
+                    sequence,
+                    rung: LadderRung::Concealed,
+                    signal,
+                    demotions: outcome.demotions,
+                    decoded: None,
+                }
+            }
         }
+    }
+}
+
+/// The single-session supervisor: a [`DecodeLadder`] and a
+/// [`SessionLedger`] composed behind the original one-call API; see the
+/// [module docs](self) for the ladder.
+#[derive(Debug, Clone)]
+pub struct RecoverySupervisor {
+    ladder: DecodeLadder,
+    ledger: SessionLedger,
+}
+
+impl RecoverySupervisor {
+    /// Builds a supervisor from the system configuration, the trained
+    /// low-res codec (must match the sensor's), and the supervisor policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on an invalid configuration.
+    pub fn new(
+        system: &SystemConfig,
+        lowres_codec: LowResCodec,
+        config: SupervisorConfig,
+    ) -> Result<Self, CoreError> {
+        Ok(RecoverySupervisor {
+            ladder: DecodeLadder::new(system, lowres_codec, config.watchdog)?,
+            ledger: SessionLedger::new(system.window, config.max_conceal_reuse),
+        })
+    }
+
+    /// The framing codec (for the sensor side of a simulation).
+    #[must_use]
+    pub fn frame_codec(&self) -> &FrameCodec {
+        self.ladder.frame_codec()
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        self.ladder.config()
+    }
+
+    /// The stateless ladder half (shared with multi-session services).
+    #[must_use]
+    pub fn ladder(&self) -> &DecodeLadder {
+        &self.ladder
+    }
+
+    /// Receives one wire frame (or `None` for a wholly lost packet) and
+    /// walks the decode ladder until a rung yields a finite window. Never
+    /// errors, never panics on adversarial input, never skips a window:
+    /// the bottom rung always succeeds.
+    pub fn receive(&mut self, packet: Option<&[u8]>) -> SupervisedWindow {
+        let _span = hybridcs_obs::span!("supervisor.receive");
+        let parsed = self.ladder.parse(packet);
+        if let Some(seq) = parsed.sequence {
+            self.ledger.track_sequence(seq);
+        }
+        let outcome = self.ladder.solve(
+            parsed.measurements.as_deref(),
+            parsed.lowres.as_ref(),
+            false,
+        );
+        self.ledger.commit(parsed.sequence, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::default_training_windows;
+    use crate::{train_lowres_codec, HybridFrontEnd};
+    use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
+
+    fn setup() -> (HybridFrontEnd, RecoverySupervisor, Vec<f64>) {
+        let config = SystemConfig {
+            measurements: 64,
+            ..SystemConfig::default()
+        };
+        let codec =
+            train_lowres_codec(config.lowres_bits, &default_training_windows(config.window))
+                .unwrap();
+        let frontend = HybridFrontEnd::new(&config, codec.clone()).unwrap();
+        let supervisor =
+            RecoverySupervisor::new(&config, codec, SupervisorConfig::default()).unwrap();
+        let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).unwrap();
+        let window = generator.generate(2.0, 0x5D_01)[..config.window].to_vec();
+        (frontend, supervisor, window)
+    }
+
+    /// The ladder must be shareable across worker threads.
+    #[test]
+    fn decode_ladder_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodeLadder>();
+    }
+
+    #[test]
+    fn skip_solvers_demotes_to_lowres_with_shed_reason() {
+        let (frontend, supervisor, window) = setup();
+        let encoded = frontend.encode(&window).unwrap();
+        let bytes = supervisor.frame_codec().serialize(0, &encoded).unwrap();
+        let parsed = supervisor.ladder().parse(Some(&bytes));
+        let outcome =
+            supervisor
+                .ladder()
+                .solve(parsed.measurements.as_deref(), parsed.lowres.as_ref(), true);
+        let (rung, signal, decoded) = outcome.chosen.expect("low-res rung should succeed");
+        assert_eq!(rung, LadderRung::LowResOnly);
+        assert_eq!(signal.len(), window.len());
+        assert!(decoded.is_none());
+        assert_eq!(
+            outcome.demotions,
+            vec![(LadderRung::Hybrid, "shed"), (LadderRung::CsOnly, "shed"),]
+        );
+    }
+
+    #[test]
+    fn split_halves_match_receive() {
+        let (frontend, mut supervisor, window) = setup();
+        let encoded = frontend.encode(&window).unwrap();
+        let bytes = supervisor.frame_codec().serialize(0, &encoded).unwrap();
+
+        // Drive the split API by hand...
+        let ladder = supervisor.ladder().clone();
+        let mut ledger = SessionLedger::new(
+            supervisor.config().window,
+            SupervisorConfig::default().max_conceal_reuse,
+        );
+        let parsed = ladder.parse(Some(&bytes));
+        let outcome = ladder.solve(
+            parsed.measurements.as_deref(),
+            parsed.lowres.as_ref(),
+            false,
+        );
+        let split = ledger.commit(parsed.sequence, outcome);
+
+        // ...and compare with the one-call path.
+        let composed = supervisor.receive(Some(&bytes));
+        assert_eq!(split, composed);
+        assert_eq!(split.rung, LadderRung::Hybrid);
+    }
+
+    #[test]
+    fn ledger_conceals_with_last_good_then_zeros() {
+        let mut ledger = SessionLedger::new(4, 2);
+        let good = ledger.commit(
+            Some(0),
+            LadderOutcome {
+                chosen: Some((LadderRung::LowResOnly, vec![1.0; 4], None)),
+                demotions: Vec::new(),
+            },
+        );
+        assert_eq!(good.rung, LadderRung::LowResOnly);
+        // Two concealments reuse the last good window...
+        for _ in 0..2 {
+            let hidden = ledger.commit(None, LadderOutcome::empty());
+            assert_eq!(hidden.rung, LadderRung::Concealed);
+            assert_eq!(hidden.signal, vec![1.0; 4]);
+        }
+        // ...then the reuse budget is spent and the ledger flat-lines.
+        let stale = ledger.commit(None, LadderOutcome::empty());
+        assert_eq!(stale.signal, vec![0.0; 4]);
     }
 }

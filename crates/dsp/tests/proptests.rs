@@ -22,7 +22,7 @@ fn perfect_reconstruction() {
         "perfect_reconstruction",
         &zip2(any_wavelet(), signal(128)),
         |(w, x)| {
-            let levels = Dwt::max_levels(*w, 128).min(4).max(1);
+            let levels = Dwt::max_levels(*w, 128).clamp(1, 4);
             let dwt = Dwt::new(*w, levels).unwrap();
             let back = dwt.inverse(&dwt.forward(x).unwrap()).unwrap();
             for (a, b) in x.iter().zip(&back) {
@@ -40,7 +40,7 @@ fn inverse_then_forward() {
         "inverse_then_forward",
         &zip2(any_wavelet(), signal(64)),
         |(w, c)| {
-            let levels = Dwt::max_levels(*w, 64).min(3).max(1);
+            let levels = Dwt::max_levels(*w, 64).clamp(1, 3);
             let dwt = Dwt::new(*w, levels).unwrap();
             let back = dwt.forward(&dwt.inverse(c).unwrap()).unwrap();
             for (a, b) in c.iter().zip(&back) {

@@ -51,7 +51,7 @@ impl GeneratorConfig {
     ///
     /// Returns [`EcgError::BadParameter`] for out-of-range values.
     pub fn validate(&self) -> Result<(), EcgError> {
-        if !(self.fs_hz > 0.0) {
+        if self.fs_hz.is_nan() || self.fs_hz <= 0.0 {
             return Err(EcgError::BadParameter {
                 name: "fs_hz",
                 value: self.fs_hz,

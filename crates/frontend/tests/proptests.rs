@@ -118,7 +118,7 @@ fn sensing_regeneration() {
             let a = SensingMatrix::bernoulli(*m, n, *seed).unwrap();
             let b = SensingMatrix::bernoulli(*m, n, *seed).unwrap();
             prop_assert_eq!(&a, &b);
-            let d = (*m).min(4).max(1);
+            let d = (*m).clamp(1, 4);
             let s1 = SensingMatrix::sparse_binary(*m, n, d, *seed).unwrap();
             let s2 = SensingMatrix::sparse_binary(*m, n, d, *seed).unwrap();
             prop_assert_eq!(s1, s2);

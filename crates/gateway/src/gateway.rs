@@ -1,0 +1,524 @@
+//! The gateway orchestrator: demux, admission, batching, worker pool.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hybridcs_coding::{LowResCodec, Payload};
+use hybridcs_core::{DecodeLadder, LadderOutcome, SessionLedger, SupervisedWindow, SystemConfig};
+use hybridcs_faults::{NackOutcome, RetryQueue};
+
+use crate::session::{Session, SessionPhase, Slot};
+use crate::{GatewayConfig, GatewayError};
+
+/// One shape-keyed entry in the shared operator cache.
+struct LadderEntry {
+    system: SystemConfig,
+    codec: LowResCodec,
+    ladder: Arc<DecodeLadder>,
+}
+
+/// One queued decode job. Everything a worker needs is owned or `Arc`ed
+/// here; workers never touch session state.
+struct Job {
+    session: u64,
+    shard: usize,
+    sequence: Option<u32>,
+    measurements: Option<Vec<f64>>,
+    lowres: Option<Payload>,
+    skip_solvers: bool,
+    ladder: Arc<DecodeLadder>,
+}
+
+/// The batch being assembled between flushes.
+struct Batch {
+    /// Jobs in global ingest order — the commit order.
+    jobs: Vec<Job>,
+    /// Solver-admitted jobs per shard (the bounded queue depths).
+    solver_depth: Vec<usize>,
+    /// Jobs queued with `skip_solvers` this batch.
+    shed: usize,
+}
+
+impl Batch {
+    fn new(shards: usize) -> Self {
+        Batch {
+            jobs: Vec::new(),
+            solver_depth: vec![0; shards],
+            shed: 0,
+        }
+    }
+}
+
+/// What one [`Gateway::flush`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GatewayReport {
+    /// Windows committed to session ledgers.
+    pub committed: usize,
+    /// Windows that ran the full solver ladder.
+    pub full_solves: usize,
+    /// Windows shed to the cheap rung (quota or queue pressure).
+    pub shed: usize,
+}
+
+/// The multi-session ingest and batched-decode service; see the
+/// [crate docs](crate) for the architecture and determinism contract.
+pub struct Gateway {
+    config: GatewayConfig,
+    ladders: Vec<LadderEntry>,
+    sessions: BTreeMap<u64, Session>,
+    batch: Batch,
+}
+
+impl Gateway {
+    /// A gateway with no sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GatewayError::Config`] for an invalid policy.
+    pub fn new(config: GatewayConfig) -> Result<Self, GatewayError> {
+        config.validate()?;
+        Ok(Gateway {
+            config,
+            ladders: Vec::new(),
+            sessions: BTreeMap::new(),
+            batch: Batch::new(config.shards),
+        })
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Registers a session: pins it to a shard (SplitMix64 of the id) and
+    /// binds it to the shared decode ladder for its operator shape,
+    /// building that ladder only if the `(config, codec)` pair was never
+    /// seen before.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::DuplicateHandshake`] when the id already exists
+    /// (including closed sessions — ids are never reused), or
+    /// [`GatewayError::Core`] when operator setup fails.
+    pub fn handshake(
+        &mut self,
+        id: u64,
+        system: &SystemConfig,
+        codec: LowResCodec,
+    ) -> Result<(), GatewayError> {
+        if self.sessions.contains_key(&id) {
+            hybridcs_obs::global()
+                .counter(
+                    "gateway_handshake_rejected_total",
+                    &[("reason", "duplicate")],
+                )
+                .inc();
+            return Err(GatewayError::DuplicateHandshake(id));
+        }
+        let ladder = self.ladder_for(system, codec)?;
+        let shard = usize::try_from(hybridcs_rand::mix(id) % self.config.shards as u64)
+            .expect("shard index fits usize");
+        let ledger = SessionLedger::new(system.window, self.config.supervisor.max_conceal_reuse);
+        let arq = RetryQueue::new(self.config.arq);
+        self.sessions
+            .insert(id, Session::new(shard, ladder, ledger, arq));
+        let registry = hybridcs_obs::global();
+        registry.counter("gateway_sessions_total", &[]).inc();
+        self.refresh_session_gauge();
+        Ok(())
+    }
+
+    /// Looks up (or builds) the shared ladder for one operator shape.
+    fn ladder_for(
+        &mut self,
+        system: &SystemConfig,
+        codec: LowResCodec,
+    ) -> Result<Arc<DecodeLadder>, GatewayError> {
+        if let Some(entry) = self
+            .ladders
+            .iter()
+            .find(|e| e.system == *system && e.codec == codec)
+        {
+            return Ok(Arc::clone(&entry.ladder));
+        }
+        let ladder = Arc::new(DecodeLadder::new(
+            system,
+            codec.clone(),
+            self.config.supervisor.watchdog,
+        )?);
+        hybridcs_obs::global()
+            .counter("gateway_ladders_built_total", &[])
+            .inc();
+        self.ladders.push(LadderEntry {
+            system: system.clone(),
+            codec,
+            ladder: Arc::clone(&ladder),
+        });
+        Ok(ladder)
+    }
+
+    /// Ingests one wire frame for `id`. Wire noise (garbled header,
+    /// duplicate or late frame) is counted and absorbed, never an error.
+    /// Detected sequence gaps are nacked through the session's ARQ; poll
+    /// [`take_nacks`](Gateway::take_nacks) to collect retransmission
+    /// requests. May auto-flush when the batch reaches capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`].
+    pub fn push(&mut self, id: u64, packet: &[u8]) -> Result<(), GatewayError> {
+        let _span = hybridcs_obs::span!("gateway.push");
+        let started = Instant::now();
+        let registry = hybridcs_obs::global();
+        let Some(session) = self.sessions.get_mut(&id) else {
+            registry.counter("gateway_unknown_session_total", &[]).inc();
+            return Err(GatewayError::UnknownSession(id));
+        };
+        if session.phase == SessionPhase::Closed {
+            registry.counter("gateway_closed_session_total", &[]).inc();
+            return Err(GatewayError::SessionClosed(id));
+        }
+        let parsed = session.ladder.parse(Some(packet));
+        match parsed.sequence {
+            None => {
+                // Unusable header: it still occupies a stream position
+                // (the sensor sent *something*), so slot it at the next
+                // unseen sequence and let the ladder work the surviving
+                // sections.
+                registry
+                    .counter("gateway_frames_total", &[("result", "garbled")])
+                    .inc();
+                let slot_seq = session.next_unseen();
+                session.reorder.insert(slot_seq, Slot::Frame(parsed));
+                session.highest_seen = Some(slot_seq);
+            }
+            Some(seq) => {
+                if seq < session.next_release || session.reorder.contains_key(&seq) {
+                    // Already released or already buffered (including
+                    // declared-lost): a late duplicate. Count and drop.
+                    registry
+                        .counter("gateway_frames_total", &[("result", "late")])
+                        .inc();
+                    return Ok(());
+                }
+                registry
+                    .counter("gateway_frames_total", &[("result", "accepted")])
+                    .inc();
+                if session.nacked.remove(&seq) {
+                    session.arq.resolve(seq);
+                }
+                // Everything between the highest frame seen and this one
+                // is now a known hole: start the nack cycle for each.
+                for gap in session.next_unseen()..seq {
+                    Self::open_gap(session, gap);
+                }
+                session.highest_seen = Some(session.highest_seen.map_or(seq, |h| h.max(seq)));
+                session.reorder.insert(seq, Slot::Frame(parsed));
+            }
+        }
+        if session.phase == SessionPhase::Handshake {
+            session.phase = SessionPhase::Streaming;
+        }
+        self.release_ready(id);
+        registry
+            .histogram("gateway_stage_seconds", &[("stage", "ingest")])
+            .record(started.elapsed().as_secs_f64());
+        if self.batch.jobs.len() >= self.config.batch_capacity {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Reports that a nacked retransmission for `sequence` was itself
+    /// lost (the driver's stand-in for a retransmission timeout). Either
+    /// re-nacks it or — once ARQ limits are spent — declares it lost so
+    /// the window concedes to concealment.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`].
+    pub fn notify_lost(&mut self, id: u64, sequence: u32) -> Result<(), GatewayError> {
+        let Some(session) = self.sessions.get_mut(&id) else {
+            hybridcs_obs::global()
+                .counter("gateway_unknown_session_total", &[])
+                .inc();
+            return Err(GatewayError::UnknownSession(id));
+        };
+        if session.phase == SessionPhase::Closed {
+            return Err(GatewayError::SessionClosed(id));
+        }
+        if sequence < session.next_release || session.reorder.contains_key(&sequence) {
+            return Ok(()); // stale notification
+        }
+        Self::open_gap(session, sequence);
+        self.release_ready(id);
+        if self.batch.jobs.len() >= self.config.batch_capacity {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Drains the retransmission requests the session's ARQ has queued.
+    /// Each drained sequence consumes one unit of retry budget and one
+    /// per-frame attempt; the caller is expected to retransmit it (and
+    /// call [`notify_lost`](Gateway::notify_lost) if that fails).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`].
+    pub fn take_nacks(&mut self, id: u64) -> Result<Vec<u32>, GatewayError> {
+        let Some(session) = self.sessions.get_mut(&id) else {
+            return Err(GatewayError::UnknownSession(id));
+        };
+        let mut out = Vec::new();
+        while let Some(seq) = session.arq.next_attempt() {
+            out.push(seq);
+        }
+        if !out.is_empty() {
+            hybridcs_obs::global()
+                .counter("gateway_nacks_sent_total", &[])
+                .add(out.len() as u64);
+        }
+        Ok(out)
+    }
+
+    /// Nacks a fresh hole, or declares it lost when ARQ limits say no.
+    fn open_gap(session: &mut Session, sequence: u32) {
+        match session.arq.nack(sequence) {
+            NackOutcome::Queued => {
+                session.nacked.insert(sequence);
+            }
+            _ => {
+                session.nacked.remove(&sequence);
+                session.reorder.insert(sequence, Slot::Lost);
+                hybridcs_obs::global()
+                    .counter("gateway_declared_lost_total", &[])
+                    .inc();
+            }
+        }
+    }
+
+    /// Releases the contiguous prefix of the reorder buffer into the
+    /// batch, applying admission control per released window.
+    fn release_ready(&mut self, id: u64) {
+        let session = self.sessions.get_mut(&id).expect("caller checked session");
+        let registry = hybridcs_obs::global();
+        while let Some(slot) = session.reorder.remove(&session.next_release) {
+            let seq = session.next_release;
+            session.next_release = seq.wrapping_add(1);
+            let epoch = session.window_index / u64::from(self.config.admit_window);
+            if epoch != session.epoch {
+                session.epoch = epoch;
+                session.admitted_in_epoch = 0;
+            }
+            session.window_index += 1;
+            let (sequence, measurements, lowres) = match slot {
+                Slot::Frame(parsed) => (parsed.sequence, parsed.measurements, parsed.lowres),
+                Slot::Lost => (None, None, None),
+            };
+            if let Some(s) = sequence {
+                session.ledger.track_sequence(s);
+            }
+            let mut skip_solvers = false;
+            if measurements.is_some() {
+                if session.admitted_in_epoch >= self.config.admit_quota {
+                    skip_solvers = true;
+                    registry
+                        .counter("gateway_shed_total", &[("kind", "quota")])
+                        .inc();
+                } else if self.batch.solver_depth[session.shard] >= self.config.max_shard_queue {
+                    skip_solvers = true;
+                    registry
+                        .counter("gateway_shed_total", &[("kind", "queue")])
+                        .inc();
+                } else {
+                    session.admitted_in_epoch += 1;
+                    self.batch.solver_depth[session.shard] += 1;
+                }
+            }
+            if skip_solvers {
+                self.batch.shed += 1;
+            }
+            self.batch.jobs.push(Job {
+                session: id,
+                shard: session.shard,
+                sequence,
+                measurements,
+                lowres,
+                skip_solvers,
+                ladder: Arc::clone(&session.ladder),
+            });
+        }
+        session.refresh_phase();
+    }
+
+    /// Windows queued and not yet flushed.
+    #[must_use]
+    pub fn pending_windows(&self) -> usize {
+        self.batch.jobs.len()
+    }
+
+    /// The session's lifecycle phase, if it exists.
+    #[must_use]
+    pub fn phase(&self, id: u64) -> Option<SessionPhase> {
+        self.sessions.get(&id).map(|s| s.phase)
+    }
+
+    /// Runs the queued batch: solves fan out to the worker pool (worker
+    /// `j` owns every shard whose index ≡ `j` mod `workers`; the solve
+    /// half of the ladder is pure), then every window commits to its
+    /// session ledger on this thread **in global ingest order** — the
+    /// batch-synchronous flush that makes outputs independent of worker
+    /// count and scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; the `Result` reserves the
+    /// right to surface pool failures.
+    pub fn flush(&mut self) -> Result<GatewayReport, GatewayError> {
+        let _span = hybridcs_obs::span!("gateway.flush");
+        if self.batch.jobs.is_empty() {
+            return Ok(GatewayReport::default());
+        }
+        let registry = hybridcs_obs::global();
+        for depth in &self.batch.solver_depth {
+            registry
+                .histogram("gateway_shard_queue_depth", &[])
+                .record(*depth as f64);
+        }
+        let workers = self.config.workers;
+        let jobs = &self.batch.jobs;
+        // Fan out: each worker walks the job list in order, solving only
+        // its shards. Results carry the job index for exact scatter.
+        let mut solved: Vec<Option<(LadderOutcome, f64)>> = vec![None; jobs.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for (index, job) in jobs.iter().enumerate() {
+                            if job.shard % workers != worker {
+                                continue;
+                            }
+                            let started = Instant::now();
+                            let outcome = job.ladder.solve(
+                                job.measurements.as_deref(),
+                                job.lowres.as_ref(),
+                                job.skip_solvers,
+                            );
+                            out.push((index, outcome, started.elapsed().as_secs_f64()));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, outcome, seconds) in handle.join().expect("gateway worker panicked") {
+                    solved[index] = Some((outcome, seconds));
+                }
+            }
+        });
+        // Commit on this thread in ingest order.
+        let jobs = std::mem::take(&mut self.batch.jobs);
+        let shed = std::mem::take(&mut self.batch.shed);
+        self.batch.solver_depth = vec![0; self.config.shards];
+        let mut report = GatewayReport {
+            committed: 0,
+            full_solves: 0,
+            shed,
+        };
+        for (job, slot) in jobs.into_iter().zip(solved) {
+            let (outcome, seconds) = slot.expect("every job was solved");
+            registry
+                .histogram("gateway_stage_seconds", &[("stage", "solve")])
+                .record(seconds);
+            let started = Instant::now();
+            let session = self
+                .sessions
+                .get_mut(&job.session)
+                .expect("sessions outlive queued jobs");
+            let window = session.ledger.commit(job.sequence, outcome);
+            session.outputs.push(window);
+            registry
+                .histogram("gateway_stage_seconds", &[("stage", "commit")])
+                .record(started.elapsed().as_secs_f64());
+            report.committed += 1;
+            if !job.skip_solvers && job.measurements.is_some() {
+                report.full_solves += 1;
+            }
+        }
+        registry.counter("gateway_batches_total", &[]).inc();
+        registry
+            .counter("gateway_windows_committed_total", &[])
+            .add(report.committed as u64);
+        Ok(report)
+    }
+
+    /// Drains the session's committed windows (in stream order). Windows
+    /// only appear here after a [`flush`](Gateway::flush).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`].
+    pub fn take_outputs(&mut self, id: u64) -> Result<Vec<SupervisedWindow>, GatewayError> {
+        let Some(session) = self.sessions.get_mut(&id) else {
+            return Err(GatewayError::UnknownSession(id));
+        };
+        Ok(std::mem::take(&mut session.outputs))
+    }
+
+    /// Closes a session: every outstanding hole below the highest frame
+    /// seen is declared lost (it will conceal), in-flight work is flushed,
+    /// and the remaining outputs are returned. Further frames for the id
+    /// are [`GatewayError::SessionClosed`]; the id is never reusable.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`].
+    pub fn close(&mut self, id: u64) -> Result<Vec<SupervisedWindow>, GatewayError> {
+        let registry = hybridcs_obs::global();
+        {
+            let Some(session) = self.sessions.get_mut(&id) else {
+                return Err(GatewayError::UnknownSession(id));
+            };
+            if session.phase == SessionPhase::Closed {
+                return Err(GatewayError::SessionClosed(id));
+            }
+            if let Some(highest) = session.highest_seen {
+                for seq in session.next_release..=highest {
+                    session.reorder.entry(seq).or_insert_with(|| {
+                        registry.counter("gateway_declared_lost_total", &[]).inc();
+                        Slot::Lost
+                    });
+                }
+            }
+        }
+        self.release_ready(id);
+        self.flush()?;
+        let session = self.sessions.get_mut(&id).expect("session still present");
+        session.phase = SessionPhase::Closed;
+        session.nacked.clear();
+        session.reorder.clear();
+        let outputs = std::mem::take(&mut session.outputs);
+        self.refresh_session_gauge();
+        Ok(outputs)
+    }
+
+    /// Re-publishes the per-phase session gauge.
+    fn refresh_session_gauge(&self) {
+        let registry = hybridcs_obs::global();
+        for phase in [
+            SessionPhase::Handshake,
+            SessionPhase::Streaming,
+            SessionPhase::Repairing,
+            SessionPhase::Closed,
+        ] {
+            let count = self.sessions.values().filter(|s| s.phase == phase).count();
+            registry
+                .gauge("gateway_sessions", &[("phase", phase.name())])
+                .set(count as f64);
+        }
+    }
+}

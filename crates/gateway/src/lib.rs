@@ -1,0 +1,124 @@
+//! Multi-patient ingest and batched-decode gateway.
+//!
+//! The single-session receiver story ends at
+//! [`RecoverySupervisor`](hybridcs_core::RecoverySupervisor): one sensor,
+//! one decode ladder, one window at a time. A monitoring deployment is
+//! N wards' worth of sensors whose telemetry arrives *interleaved* at one
+//! collection point, and whose decode cost dwarfs their ingest cost. This
+//! crate is that collection point, kept hermetic and deterministic:
+//!
+//! * [`Gateway`] demultiplexes interleaved frames into per-session state
+//!   machines (`handshake → streaming → repairing → closed`, see
+//!   [`SessionPhase`]) with per-session reorder buffers and the bounded
+//!   ARQ from `hybridcs-faults` driving gap repair;
+//! * reconstruction runs on a sharded `std::thread` worker pool with
+//!   bounded per-shard solver queues; sessions are pinned to shards by a
+//!   SplitMix64 hash of their id, and expensive operator state (sensing
+//!   matrix, wavelet, entropy codec) is built **once per distinct
+//!   `(m, n, basis)` shape** and shared behind an `Arc` across every
+//!   shard and worker;
+//! * overload never queues unboundedly: admission control (a per-session
+//!   solve quota per window epoch) and full shard queues *shed* load by
+//!   demoting the affected window through the existing decode ladder
+//!   (reason `"shed"`), landing on the cheap low-resolution rung instead
+//!   of stalling the batch.
+//!
+//! # Determinism
+//!
+//! Per-session outputs are **bit-identical regardless of worker count and
+//! of how sessions are interleaved** on the wire. The design choices that
+//! buy this are spelled out in `DESIGN.md` §9; in short: the solver half
+//! of the ladder is pure and runs on workers, all session state mutates
+//! on the caller thread in global ingest order (batch-synchronous
+//! flush), shard count is fixed by config rather than derived from
+//! worker count, and admission decisions depend only on the session's own
+//! stream position.
+//!
+//! Queue-depths, shed counts, ladder demotions and per-stage latencies
+//! all land in the [global metrics registry](hybridcs_obs::global) under
+//! `gateway_*` names.
+//!
+//! ```
+//! use hybridcs_core::{train_lowres_codec, HybridFrontEnd, SystemConfig};
+//! use hybridcs_core::experiment::default_training_windows;
+//! use hybridcs_core::telemetry::FrameCodec;
+//! use hybridcs_gateway::{Gateway, GatewayConfig};
+//!
+//! let system = SystemConfig { measurements: 64, ..SystemConfig::default() };
+//! let codec = train_lowres_codec(
+//!     system.lowres_bits,
+//!     &default_training_windows(system.window),
+//! ).unwrap();
+//! let frontend = HybridFrontEnd::new(&system, codec.clone()).unwrap();
+//! let wire = FrameCodec::new(&system).unwrap();
+//!
+//! let mut gateway = Gateway::new(GatewayConfig::default()).unwrap();
+//! gateway.handshake(7, &system, codec).unwrap();
+//! let window = vec![0.25; system.window];
+//! let encoded = frontend.encode(&window).unwrap();
+//! let bytes = wire.serialize(0, &encoded).unwrap();
+//! gateway.push(7, &bytes).unwrap();
+//! let outputs = gateway.close(7).unwrap();
+//! assert_eq!(outputs.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod gateway;
+mod session;
+
+pub use config::GatewayConfig;
+pub use gateway::{Gateway, GatewayReport};
+pub use session::SessionPhase;
+
+/// Errors surfaced by the gateway API (wire noise is *not* an error — a
+/// garbled or duplicate frame is counted and absorbed; these are caller
+/// protocol violations or invalid configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatewayError {
+    /// A frame, nack poll or close referenced a session id that never
+    /// completed a handshake.
+    UnknownSession(u64),
+    /// A handshake was offered for a session id that already exists
+    /// (streaming or closed).
+    DuplicateHandshake(u64),
+    /// The session was already closed.
+    SessionClosed(u64),
+    /// The gateway configuration is invalid.
+    Config(&'static str),
+    /// Building per-shape decode state failed.
+    Core(hybridcs_core::CoreError),
+}
+
+impl core::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GatewayError::UnknownSession(id) => {
+                write!(f, "no handshake for session {id}")
+            }
+            GatewayError::DuplicateHandshake(id) => {
+                write!(f, "duplicate handshake for session {id}")
+            }
+            GatewayError::SessionClosed(id) => write!(f, "session {id} is closed"),
+            GatewayError::Config(what) => write!(f, "invalid gateway config: {what}"),
+            GatewayError::Core(e) => write!(f, "decode state setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GatewayError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hybridcs_core::CoreError> for GatewayError {
+    fn from(e: hybridcs_core::CoreError) -> Self {
+        GatewayError::Core(e)
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-session demux state: phase machine, reorder buffer, ARQ bookkeeping.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use hybridcs_core::{DecodeLadder, ParsedSections, SessionLedger, SupervisedWindow};
+use hybridcs_faults::RetryQueue;
+
+/// Where a session sits in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Handshake accepted, no frame seen yet.
+    Handshake,
+    /// Frames flowing, no outstanding sequence holes.
+    Streaming,
+    /// At least one sequence hole is outstanding (nacked or awaiting
+    /// declare-lost); new frames still flow.
+    Repairing,
+    /// Closed; further frames are a protocol error.
+    Closed,
+}
+
+impl SessionPhase {
+    /// Stable lower-snake identifier (used as the metrics label).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SessionPhase::Handshake => "handshake",
+            SessionPhase::Streaming => "streaming",
+            SessionPhase::Repairing => "repairing",
+            SessionPhase::Closed => "closed",
+        }
+    }
+}
+
+/// One position in the reorder buffer.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot {
+    /// The frame arrived (possibly with sections lost on the wire).
+    Frame(ParsedSections),
+    /// ARQ gave up on this sequence; it will conceal.
+    Lost,
+}
+
+/// All mutable state for one sensor session. Only ever touched from the
+/// gateway's caller thread — workers see sessions solely through the
+/// shared [`DecodeLadder`].
+pub(crate) struct Session {
+    pub(crate) shard: usize,
+    pub(crate) ladder: Arc<DecodeLadder>,
+    pub(crate) ledger: SessionLedger,
+    pub(crate) phase: SessionPhase,
+    pub(crate) arq: RetryQueue,
+    /// Sequences currently in the nack/retransmit cycle.
+    pub(crate) nacked: BTreeSet<u32>,
+    /// Out-of-order arrivals and declared-lost markers, keyed by sequence.
+    pub(crate) reorder: BTreeMap<u32, Slot>,
+    /// Next sequence to release into the decode batch.
+    pub(crate) next_release: u32,
+    /// Highest sequence observed so far.
+    pub(crate) highest_seen: Option<u32>,
+    /// Released-window counter (drives admission epochs).
+    pub(crate) window_index: u64,
+    /// Admission epoch currently being counted.
+    pub(crate) epoch: u64,
+    /// Solver-admitted windows within the current epoch.
+    pub(crate) admitted_in_epoch: u32,
+    /// Committed windows awaiting `take_outputs`/`close`.
+    pub(crate) outputs: Vec<SupervisedWindow>,
+}
+
+impl Session {
+    pub(crate) fn new(
+        shard: usize,
+        ladder: Arc<DecodeLadder>,
+        ledger: SessionLedger,
+        arq: RetryQueue,
+    ) -> Self {
+        Session {
+            shard,
+            ladder,
+            ledger,
+            phase: SessionPhase::Handshake,
+            arq,
+            nacked: BTreeSet::new(),
+            reorder: BTreeMap::new(),
+            next_release: 0,
+            highest_seen: None,
+            window_index: 0,
+            epoch: 0,
+            admitted_in_epoch: 0,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The sequence a brand-new (never seen) frame would occupy.
+    pub(crate) fn next_unseen(&self) -> u32 {
+        self.highest_seen
+            .map_or(self.next_release, |h| h.wrapping_add(1))
+    }
+
+    /// Sequence holes outstanding between the release cursor and the
+    /// highest seen frame.
+    pub(crate) fn holes_outstanding(&self) -> bool {
+        match self.highest_seen {
+            None => false,
+            Some(h) => {
+                if h < self.next_release {
+                    return false;
+                }
+                let span = (h - self.next_release) as usize + 1;
+                span > self.reorder.len()
+            }
+        }
+    }
+
+    /// Recomputes the streaming/repairing phase after buffer changes.
+    pub(crate) fn refresh_phase(&mut self) {
+        if matches!(
+            self.phase,
+            SessionPhase::Streaming | SessionPhase::Repairing
+        ) {
+            self.phase = if self.holes_outstanding() {
+                SessionPhase::Repairing
+            } else {
+                SessionPhase::Streaming
+            };
+        }
+    }
+}

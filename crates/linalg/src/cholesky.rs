@@ -81,6 +81,9 @@ impl Cholesky {
     ///
     /// Panics if `b.len() != self.dim()`.
     #[must_use]
+    // Triangular substitution reads a strided factor; index loops are the
+    // readable form.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.dim();
         assert_eq!(b.len(), n, "cholesky solve: length mismatch");

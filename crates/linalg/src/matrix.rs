@@ -260,6 +260,9 @@ impl Matrix {
 
     /// Gram matrix `AᵀA` (symmetric positive semi-definite).
     #[must_use]
+    // Upper-triangle accumulation with a mirrored tail; index loops keep
+    // the symmetry explicit.
+    #[allow(clippy::needless_range_loop)]
     pub fn gram(&self) -> Matrix {
         let mut g = Matrix::zeros(self.cols, self.cols);
         for r in 0..self.rows {

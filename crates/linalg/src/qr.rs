@@ -38,6 +38,9 @@ impl QrFactorization {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] when the matrix is wider
     /// than it is tall (the least-squares use case requires `m ≥ n`).
+    // Index loops here and below iterate triangles of a packed factor with
+    // strided column access; there is no iterator form that stays readable.
+    #[allow(clippy::needless_range_loop)]
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
         let (m, n) = a.shape();
         if m < n {
@@ -107,6 +110,7 @@ impl QrFactorization {
     }
 
     /// Applies `Qᵀ` to a vector in place.
+    #[allow(clippy::needless_range_loop)]
     fn apply_qt(&self, b: &mut [f64]) {
         let (m, n) = self.packed.shape();
         for k in 0..n {
@@ -132,6 +136,7 @@ impl QrFactorization {
     /// * [`LinalgError::DimensionMismatch`] if `b.len() != m`.
     /// * [`LinalgError::RankDeficient`] if a diagonal entry of `R` is
     ///   (numerically) zero.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let (m, n) = self.packed.shape();
         if b.len() != m {

@@ -56,7 +56,7 @@ pub use convergence::{
     StopReason,
 };
 pub use registry::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, Snapshot,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, Percentiles, Snapshot,
 };
 pub use span::{drain_events, span_depth, SpanEvent, SpanGuard};
 

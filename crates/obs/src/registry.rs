@@ -250,6 +250,19 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<BucketCount>,
 }
 
+/// The standard latency percentiles of one histogram, estimated at bucket
+/// resolution (see [`HistogramSnapshot::quantile`] for the estimator and
+/// its clamping guarantees).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
 impl HistogramSnapshot {
     /// Mean of the finite samples (0 when empty).
     #[must_use]
@@ -259,6 +272,17 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// p50/p90/p99 in one call — the triple every latency report line
+    /// wants. Returns `None` when the histogram is empty.
+    #[must_use]
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50: self.quantile(0.5)?,
+            p90: self.quantile(0.9)?,
+            p99: self.quantile(0.99)?,
+        })
     }
 
     /// Bucket-resolution quantile estimate for `q ∈ [0, 1]`: the geometric
@@ -457,14 +481,20 @@ impl Snapshot {
         if !self.histograms.is_empty() {
             out.push_str("histograms:\n");
             for (id, h) in &self.histograms {
+                let p = h.percentiles().unwrap_or(Percentiles {
+                    p50: 0.0,
+                    p90: 0.0,
+                    p99: 0.0,
+                });
                 let _ = writeln!(
                     out,
-                    "  {:<48} n={} mean={:.3e} p50={:.3e} p90={:.3e} max={:.3e}",
+                    "  {:<48} n={} mean={:.3e} p50={:.3e} p90={:.3e} p99={:.3e} max={:.3e}",
                     id.render(),
                     h.count,
                     h.mean(),
-                    h.quantile(0.5).unwrap_or(0.0),
-                    h.quantile(0.9).unwrap_or(0.0),
+                    p.p50,
+                    p.p90,
+                    p.p99,
                     if h.max.is_finite() { h.max } else { 0.0 },
                 );
             }

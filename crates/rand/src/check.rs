@@ -100,6 +100,11 @@ fn parse_seed(text: &str) -> Option<u64> {
     }
 }
 
+/// Shared generate closure of a [`Gen`].
+type GenerateFn<T> = Rc<dyn Fn(&mut StdRng) -> T>;
+/// Shared shrink closure of a [`Gen`].
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A value generator paired with a shrinker.
 ///
 /// `Gen` is cheap to clone (shared closures) and composes through
@@ -107,8 +112,8 @@ fn parse_seed(text: &str) -> Option<u64> {
 /// ordered most-aggressive-first; the runner takes the first candidate
 /// that still fails, so aggressive early candidates shrink in few steps.
 pub struct Gen<T> {
-    generate: Rc<dyn Fn(&mut StdRng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    generate: GenerateFn<T>,
+    shrink: ShrinkFn<T>,
 }
 
 impl<T> Clone for Gen<T> {

@@ -40,11 +40,10 @@ impl Default for AdmmOptions {
 /// s.t. z₁ = Φx,  z₂ = x,  z₃ = Ψᵀx
 /// ```
 ///
-/// The x-subproblem is the SPD system `(ΦᵀΦ + cI)x = rhs` (with `c = 2`
-/// when the box is active, else `1 + 1` from the ℓ₁ split and ball split
-/// collapse to `c = 1 + 1 = 2`… concretely `c = 1 (ℓ₁, since ΨΨᵀ = I)
-/// + 1 (box, if present)`), solved matrix-free by conjugate gradient with a
-/// warm start from the previous iterate.
+/// The x-subproblem is the SPD system `(ΦᵀΦ + cI)x = rhs`, where `c`
+/// counts one unit for the ℓ₁ split (since `ΨΨᵀ = I`) plus one more when
+/// the box is present. It is solved matrix-free by conjugate gradient
+/// with a warm start from the previous iterate.
 ///
 /// ADMM exists alongside PDHG for two reasons: (a) two independent
 /// implementations of the paper's Eq. (1) cross-validate each other in the

@@ -63,7 +63,7 @@ fn validate(a: &Matrix, y: &[f64], options: &GreedyOptions) -> Result<(), Solver
             value: 0.0,
         });
     }
-    if !(options.residual_tolerance >= 0.0) {
+    if options.residual_tolerance.is_nan() || options.residual_tolerance < 0.0 {
         return Err(SolverError::BadParameter {
             name: "residual_tolerance",
             value: options.residual_tolerance,

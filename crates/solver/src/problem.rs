@@ -117,7 +117,7 @@ impl BpdnProblem<'_> {
                     actual: w.len(),
                 });
             }
-            if let Some(i) = w.iter().position(|v| !(*v >= 0.0) || !v.is_finite()) {
+            if let Some(i) = w.iter().position(|v| !v.is_finite() || *v < 0.0) {
                 return Err(SolverError::BadParameter {
                     name: "coefficient weight (must be finite, >= 0)",
                     value: i as f64,

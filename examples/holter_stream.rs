@@ -1,20 +1,31 @@
-//! Holter-monitor scenario: stream a noisy ambulatory recording through the
-//! hybrid front end window by window, as a wireless body sensor node would,
-//! and report aggregate quality, telemetry rate, and the front-end power
-//! estimate.
+//! Holter-monitor scenario: stream a noisy ambulatory recording through
+//! the hybrid front end window by window — as a wireless body sensor
+//! node would — into the multi-patient **gateway**, and report aggregate
+//! quality, telemetry rate, and the front-end power estimate.
+//!
+//! Unlike the raw codec loop this used to be, the frames now take the
+//! production path: serialized wire frames, a gateway handshake, the
+//! sharded batched-decode pool, and the decode ladder on the far side.
 //!
 //! ```sh
 //! cargo run --release --example holter_stream
 //! ```
 
-use hybridcs::codec::{HybridCodec, SystemConfig};
+use hybridcs::codec::telemetry::FrameCodec;
+use hybridcs::codec::{
+    experiment::default_training_windows, train_lowres_codec, HybridFrontEnd, LadderRung,
+    SystemConfig,
+};
 use hybridcs::ecg::{EcgGenerator, GeneratorConfig, NoiseModel, RhythmModel};
+use hybridcs::gateway::{Gateway, GatewayConfig};
 use hybridcs::metrics::{prd_to_snr_db, SummaryStats};
 use hybridcs::power::{hybrid_power, rmpi_power, PowerParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SystemConfig::default();
-    let codec = HybridCodec::with_default_training(&config)?;
+    let codec = train_lowres_codec(config.lowres_bits, &default_training_windows(config.window))?;
+    let frontend = HybridFrontEnd::new(&config, codec.clone())?;
+    let wire = FrameCodec::new(&config)?;
 
     // An ambulatory patient: faster rhythm, ectopic beats, motion noise.
     let mut gen_config = GeneratorConfig::normal_sinus();
@@ -27,20 +38,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let strip = generator.generate(duration_s, 0xB0D7);
     let fs = 360.0;
 
-    let mut window_snrs = Vec::new();
+    // One patient session on the receiving gateway.
+    let session = 0xB0D7;
+    let mut gateway = Gateway::new(GatewayConfig::default())?;
+    gateway.handshake(session, &config, codec)?;
+
+    // Sensor side: encode + frame every window and push it on the wire.
+    let originals: Vec<&[f64]> = strip.chunks_exact(config.window).collect();
     let mut total_bits = 0usize;
-    let mut windows = 0usize;
-    for window in strip.chunks_exact(config.window) {
-        let encoded = codec.encode(window)?;
-        let decoded = codec.decode(&encoded)?;
-        let p = hybridcs::metrics::prd(window, &decoded.signal);
-        window_snrs.push(prd_to_snr_db(p));
+    for (seq, window) in originals.iter().enumerate() {
+        let encoded = frontend.encode(window)?;
         total_bits += encoded.total_bits();
-        windows += 1;
+        let bytes = wire.serialize(u32::try_from(seq)?, &encoded)?;
+        gateway.push(session, &bytes)?;
     }
 
+    // Receiver side: close flushes the batch through the worker pool and
+    // hands back every supervised window in stream order.
+    let outputs = gateway.close(session)?;
+    assert_eq!(outputs.len(), originals.len());
+
+    let mut window_snrs = Vec::new();
+    let mut full_rungs = 0usize;
+    for (window, supervised) in originals.iter().zip(&outputs) {
+        let p = hybridcs::metrics::prd(window, &supervised.signal);
+        window_snrs.push(prd_to_snr_db(p));
+        if supervised.rung == LadderRung::Hybrid {
+            full_rungs += 1;
+        }
+    }
+    let windows = outputs.len();
+
     let stats = SummaryStats::from_samples(&window_snrs).expect("at least one window");
-    println!("streamed {windows} windows ({duration_s:.0} s of ambulatory ECG)");
+    println!(
+        "streamed {windows} windows ({duration_s:.0} s of ambulatory ECG) \
+         through the gateway ({full_rungs} on the hybrid rung)"
+    );
     println!(
         "per-window SNR: median {:.1} dB, q1 {:.1}, q3 {:.1}, worst {:.1}",
         stats.median, stats.q1, stats.q3, stats.min

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A hostile link: 10% packet loss, 15% CS-section corruption, 10%
     // low-res-section corruption.
-    let mut link = hybridcs_rand::rngs::StdRng::seed_from_u64(0xBAD_11);
+    let mut link = hybridcs_rand::rngs::StdRng::seed_from_u64(0x000B_AD11);
     let mut counts = [0usize; 4]; // hybrid, cs-only, lowres-only, lost
     let mut snr_sum = [0.0f64; 3];
 

@@ -15,6 +15,9 @@ export CARGO_NET_OFFLINE=true
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo build --release --offline (all targets)"
 cargo build --release --offline --workspace --all-targets
 
@@ -52,6 +55,26 @@ if ! grep -q "supervisor_rung_total" "$OBS_TMP/resilience_report.jsonl"; then
     echo "error: resilience_report JSONL is missing supervisor_rung_total" >&2
     exit 1
 fi
+
+echo "==> gateway soak (8 sessions: determinism across worker counts + interleavings)"
+# The soak exits non-zero if any session's output differs across worker
+# counts {1,4,8} or the two frame interleavings, if admission shedding
+# never fired, or (on multi-core hosts) if batched decode fails its
+# speedup floor. Its bench report must pass the same JSONL schema
+# checker as every other observability export.
+GATEWAY_BENCH="$OBS_TMP/BENCH_gateway.json"
+SOAK_OUT="$(HYBRIDCS_SOAK_SESSIONS=8 HYBRIDCS_GATEWAY_BENCH_PATH="$GATEWAY_BENCH" \
+    cargo run -q --release --offline --example gateway_soak)"
+if ! grep -q "deterministic across worker counts" <<<"$SOAK_OUT"; then
+    echo "error: gateway_soak did not certify deterministic outputs" >&2
+    exit 1
+fi
+if [ ! -s "$GATEWAY_BENCH" ]; then
+    echo "error: gateway_soak did not write BENCH_gateway.json" >&2
+    exit 1
+fi
+HYBRIDCS_OBS_CHECK="$GATEWAY_BENCH" \
+    cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
 
 echo "==> verifying Cargo.lock stays registry-free"
 if grep -E '^source = ' Cargo.lock; then

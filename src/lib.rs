@@ -17,6 +17,7 @@
 //! | [`coding`] | `hybridcs-coding` | bitstreams, delta coding, canonical Huffman |
 //! | [`solver`] | `hybridcs-solver` | PDHG, ADMM, FISTA, OMP, CoSaMP, IHT, solver watchdog |
 //! | [`faults`] | `hybridcs-faults` | Gilbert–Elliott channel, sensor faults, ARQ retry queue |
+//! | [`gateway`] | `hybridcs-gateway` | sharded multi-patient ingest and batched-decode service |
 //! | [`dsp`] | `hybridcs-dsp` | orthonormal wavelets, filters |
 //! | [`metrics`] | `hybridcs-metrics` | PRD/SNR/CR, box-plot stats |
 //! | [`obs`] | `hybridcs-obs` | metrics registry, spans, convergence traces, JSONL export |
@@ -55,6 +56,7 @@ pub use hybridcs_dsp as dsp;
 pub use hybridcs_ecg as ecg;
 pub use hybridcs_faults as faults;
 pub use hybridcs_frontend as frontend;
+pub use hybridcs_gateway as gateway;
 pub use hybridcs_linalg as linalg;
 pub use hybridcs_metrics as metrics;
 pub use hybridcs_obs as obs;

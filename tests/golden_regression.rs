@@ -59,6 +59,6 @@ fn golden_hybrid_operating_point_is_pinned() {
     );
     // Sanity: the pinned point itself must sit in the paper's quality
     // band for CR ≈ 81% ("good" reconstruction is PRD < 9%).
-    assert!(GOLDEN_PRD_PERCENT < 9.0);
-    assert!(GOLDEN_SNR_DB > 15.0);
+    const { assert!(GOLDEN_PRD_PERCENT < 9.0) };
+    const { assert!(GOLDEN_SNR_DB > 15.0) };
 }
