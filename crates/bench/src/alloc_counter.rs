@@ -1,0 +1,97 @@
+//! Test-only counting allocator backing the zero-allocation decode gate.
+//!
+//! `examples/decode_throughput.rs` installs [`CountingAllocator`] as its
+//! `#[global_allocator]`, warms a [`SolverWorkspace`], and then asserts that
+//! a span of steady-state solves performs **zero** heap allocations — the
+//! CI-enforced contract of the workspace-driven decode hot path.
+//!
+//! The counter is process-global and deliberately crude: it counts
+//! `alloc`/`realloc`/`alloc_zeroed` calls (not bytes, not frees) while
+//! [`start_counting`] is active. That is exactly the granularity the gate
+//! needs — any nonzero count inside the measured span is a regression.
+//!
+//! [`SolverWorkspace`]: https://docs.rs/hybridcs-solver
+//!
+//! # Example
+//!
+//! ```
+//! use hybridcs_bench::alloc_counter;
+//!
+//! // (In a real gate the global allocator must be CountingAllocator for
+//! // the count to move; installing it here would poison other doctests,
+//! // so this only exercises the API surface.)
+//! alloc_counter::start_counting();
+//! let observed = alloc_counter::stop_counting();
+//! let _ = observed;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+/// A `System`-backed allocator that counts allocation calls while armed
+/// via [`start_counting`]. Install with `#[global_allocator]` in the
+/// binary that runs the gate (the declaration itself is safe code).
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)]
+// SAFETY: every method delegates verbatim to `System`; the only addition
+// is a relaxed atomic increment, which cannot allocate or panic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Zeroes the counter and arms it: subsequent allocations through
+/// [`CountingAllocator`] are counted until [`stop_counting`].
+pub fn start_counting() {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+}
+
+/// Disarms the counter and returns the number of allocation calls observed
+/// since [`start_counting`].
+#[must_use]
+pub fn stop_counting() -> u64 {
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_inert_without_the_global_allocator() {
+        // This test binary uses the default allocator, so arming the
+        // counter must observe nothing.
+        start_counting();
+        let v: Vec<u64> = (0..100).collect();
+        assert_eq!(v.len(), 100);
+        assert_eq!(stop_counting(), 0);
+    }
+}

@@ -10,8 +10,12 @@
 //!   population; set e.g. 8 for a quick pass).
 //! * `HYBRIDCS_WINDOWS` — evaluated windows per record (default 2).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `alloc_counter` module needs a scoped
+// `allow` for its `GlobalAlloc` impl (the one unsafe block in the workspace,
+// required by the trait's signature).
+#![deny(unsafe_code)]
 
+pub mod alloc_counter;
 pub mod micro;
 
 use hybridcs_core::{DecoderAlgorithm, SystemConfig};

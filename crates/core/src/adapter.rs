@@ -23,13 +23,31 @@ use hybridcs_solver::LinearOperator;
 #[derive(Debug, Clone)]
 pub struct SensingOperator<'a> {
     matrix: &'a SensingMatrix,
+    cached_norm: Option<f64>,
 }
 
 impl<'a> SensingOperator<'a> {
     /// Wraps a sensing matrix.
     #[must_use]
     pub fn new(matrix: &'a SensingMatrix) -> Self {
-        SensingOperator { matrix }
+        SensingOperator {
+            matrix,
+            cached_norm: None,
+        }
+    }
+
+    /// Wraps a sensing matrix with a precomputed spectral-norm estimate, so
+    /// [`LinearOperator::norm_est`] returns it without re-running the power
+    /// iteration. `Φ` is fixed per [`SystemConfig`](crate::SystemConfig), so
+    /// the decoder computes the norm once at construction and reuses it for
+    /// every window — the power iteration (hundreds of matvec pairs) would
+    /// otherwise dominate short decodes.
+    #[must_use]
+    pub fn with_norm(matrix: &'a SensingMatrix, norm: f64) -> Self {
+        SensingOperator {
+            matrix,
+            cached_norm: Some(norm),
+        }
     }
 }
 
@@ -43,11 +61,42 @@ impl LinearOperator for SensingOperator<'_> {
     }
 
     fn apply(&self, x: &[f64], out: &mut [f64]) {
-        out.copy_from_slice(&self.matrix.apply(x));
+        self.matrix.apply_into(x, out);
     }
 
     fn apply_adjoint(&self, y: &[f64], out: &mut [f64]) {
-        out.copy_from_slice(&self.matrix.apply_adjoint(y));
+        self.matrix.apply_adjoint_into(y, out);
+    }
+
+    fn scratch_len(&self) -> usize {
+        self.matrix.forward_scratch_len()
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        // The table-driven forward kernel; bit-identical to `apply`, the
+        // scratch holding the shared per-4-column sign-sum table.
+        self.matrix.apply_into_scratch(x, out, scratch);
+    }
+
+    fn apply_adjoint_into(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        let _ = scratch;
+        self.matrix.apply_adjoint_into(y, out);
+    }
+
+    fn norm_est(&self) -> f64 {
+        match self.cached_norm {
+            Some(norm) => norm,
+            None => {
+                let (norm, _) = hybridcs_linalg::operator_norm_est(
+                    self.cols(),
+                    self.rows(),
+                    |x, out| self.apply(x, out),
+                    |y, out| self.apply_adjoint(y, out),
+                    hybridcs_linalg::PowerIterationOptions::default(),
+                );
+                norm
+            }
+        }
     }
 }
 
@@ -78,5 +127,13 @@ mod tests {
         let op = SensingOperator::new(&phi);
         let norm = op.norm_est();
         assert!(norm > 0.5 && norm < 3.0, "norm {norm}");
+    }
+
+    #[test]
+    fn cached_norm_matches_power_iteration_bit_for_bit() {
+        let phi = SensingMatrix::bernoulli(16, 64, 2).unwrap();
+        let fresh = SensingOperator::new(&phi).norm_est();
+        let cached = SensingOperator::with_norm(&phi, fresh);
+        assert_eq!(cached.norm_est().to_bits(), fresh.to_bits());
     }
 }

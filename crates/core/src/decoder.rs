@@ -4,8 +4,8 @@ use hybridcs_coding::LowResCodec;
 use hybridcs_dsp::Dwt;
 use hybridcs_frontend::{LowResChannel, LowResFrame, MeasurementQuantizer, SensingMatrix};
 use hybridcs_solver::{
-    solve_admm_observed, solve_pdhg_observed, solve_reweighted_observed, BpdnProblem,
-    IterationObserver, NoopObserver,
+    solve_admm_workspace, solve_pdhg_workspace, solve_reweighted_workspace, BpdnProblem,
+    IterationObserver, LinearOperator, NoopObserver, SolverWorkspace,
 };
 
 /// The receiver-side decoder: regenerates `Φ` from the shared seed,
@@ -19,6 +19,7 @@ use hybridcs_solver::{
 pub struct HybridDecoder {
     config: SystemConfig,
     sensing: SensingMatrix,
+    sensing_norm: f64,
     dwt: Dwt,
     lowres_channel: LowResChannel,
     lowres_codec: LowResCodec,
@@ -41,12 +42,18 @@ impl HybridDecoder {
             });
         }
         let sensing = SensingMatrix::bernoulli(config.measurements, config.window, config.seed)?;
+        // The sensing matrix is fixed for the decoder's lifetime, so the
+        // power iteration behind `norm_est` runs exactly once here and every
+        // per-window solve reuses the estimate (bit-identical to computing it
+        // per decode — same operator, same iteration).
+        let sensing_norm = SensingOperator::new(&sensing).norm_est();
         let digitizer =
             MeasurementQuantizer::new(config.measurement_bits, config.measurement_full_scale_mv)?;
         let sigma = digitizer.noise_sigma(config.measurements) * config.sigma_scale;
         Ok(HybridDecoder {
             config: config.clone(),
             sensing,
+            sensing_norm,
             dwt: config.dwt()?,
             lowres_channel: LowResChannel::new(config.lowres_bits)?,
             lowres_codec,
@@ -131,6 +138,25 @@ impl HybridDecoder {
         use_box: bool,
         observer: &mut dyn IterationObserver,
     ) -> Result<DecodedWindow, CoreError> {
+        self.decode_workspace(encoded, use_box, observer, &mut SolverWorkspace::new())
+    }
+
+    /// [`HybridDecoder::decode_observed`] (or `decode_normal_observed` with
+    /// `use_box = false`) drawing all solver buffers from a caller-owned
+    /// [`SolverWorkspace`]. Reusing one workspace across windows keeps the
+    /// solver inner loop allocation-free after warm-up; results are
+    /// bit-identical to the plain entry points.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridDecoder::decode`].
+    pub fn decode_workspace(
+        &self,
+        encoded: &EncodedWindow,
+        use_box: bool,
+        observer: &mut dyn IterationObserver,
+        ws: &mut SolverWorkspace,
+    ) -> Result<DecodedWindow, CoreError> {
         let _span = hybridcs_obs::span!("decode");
         if encoded.window_len != self.config.window {
             return Err(CoreError::WindowMismatch {
@@ -156,7 +182,7 @@ impl HybridDecoder {
             None
         };
 
-        let operator = SensingOperator::new(&self.sensing);
+        let operator = SensingOperator::with_norm(&self.sensing, self.sensing_norm);
         let problem = BpdnProblem {
             sensing: &operator,
             dwt: &self.dwt,
@@ -168,10 +194,10 @@ impl HybridDecoder {
         let recovery = {
             let _span = hybridcs_obs::span!("decode.solve");
             match &self.config.algorithm {
-                DecoderAlgorithm::Pdhg(opts) => solve_pdhg_observed(&problem, opts, observer)?,
-                DecoderAlgorithm::Admm(opts) => solve_admm_observed(&problem, opts, observer)?,
+                DecoderAlgorithm::Pdhg(opts) => solve_pdhg_workspace(&problem, opts, observer, ws)?,
+                DecoderAlgorithm::Admm(opts) => solve_admm_workspace(&problem, opts, observer, ws)?,
                 DecoderAlgorithm::Reweighted(opts) => {
-                    solve_reweighted_observed(&problem, opts, observer)?
+                    solve_reweighted_workspace(&problem, opts, observer, ws)?
                 }
             }
         };

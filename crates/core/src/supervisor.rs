@@ -50,7 +50,7 @@ use crate::telemetry::FrameCodec;
 use crate::{CoreError, HybridDecoder, SystemConfig};
 use hybridcs_coding::{LowResCodec, Payload};
 use hybridcs_frontend::{LowResChannel, LowResFrame};
-use hybridcs_solver::{SolverWatchdog, WatchdogConfig};
+use hybridcs_solver::{SolverWatchdog, SolverWorkspace, WatchdogConfig};
 
 /// Which rung of the decode ladder produced a window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,6 +244,27 @@ impl DecodeLadder {
         lowres: Option<&Payload>,
         skip_solvers: bool,
     ) -> LadderOutcome {
+        self.solve_with(
+            measurements,
+            lowres,
+            skip_solvers,
+            &mut SolverWorkspace::new(),
+        )
+    }
+
+    /// [`DecodeLadder::solve`] drawing all solver buffers from a
+    /// caller-owned [`SolverWorkspace`]. The gateway keeps one workspace per
+    /// shard and threads it through every window, so steady-state decodes
+    /// allocate nothing inside the solver loops. Results are bit-identical
+    /// to [`DecodeLadder::solve`].
+    #[must_use]
+    pub fn solve_with(
+        &self,
+        measurements: Option<&[f64]>,
+        lowres: Option<&Payload>,
+        skip_solvers: bool,
+        ws: &mut SolverWorkspace,
+    ) -> LadderOutcome {
         let _span = hybridcs_obs::span!("ladder.solve");
         let mut demotions: Vec<(LadderRung, &'static str)> = Vec::new();
 
@@ -256,7 +277,7 @@ impl DecodeLadder {
             }
         } else {
             if let (Some(meas), Some(lr)) = (measurements, lowres) {
-                match self.try_decode(meas, lr, true) {
+                match self.try_decode(meas, lr, true, ws) {
                     Ok(decoded) => {
                         return LadderOutcome {
                             chosen: Some((
@@ -275,7 +296,7 @@ impl DecodeLadder {
                     bytes: Vec::new(),
                     bit_len: 0,
                 };
-                match self.try_decode(meas, &placeholder, false) {
+                match self.try_decode(meas, &placeholder, false, ws) {
                     Ok(decoded) => {
                         return LadderOutcome {
                             chosen: Some((
@@ -314,6 +335,7 @@ impl DecodeLadder {
         measurements: &[f64],
         lowres: &Payload,
         use_box: bool,
+        ws: &mut SolverWorkspace,
     ) -> Result<DecodedWindow, &'static str> {
         let system = self.decoder.config();
         let encoded = EncodedWindow {
@@ -323,11 +345,9 @@ impl DecodeLadder {
             measurement_bits: system.measurement_bits,
         };
         let mut watchdog = SolverWatchdog::new(self.watchdog);
-        let result = if use_box {
-            self.decoder.decode_observed(&encoded, &mut watchdog)
-        } else {
-            self.decoder.decode_normal_observed(&encoded, &mut watchdog)
-        };
+        let result = self
+            .decoder
+            .decode_workspace(&encoded, use_box, &mut watchdog, ws);
         match result {
             Err(_) => Err("decode_error"),
             Ok(decoded) => {

@@ -112,6 +112,25 @@ impl Dwt {
         levels
     }
 
+    /// Validates a signal length without allocating.
+    ///
+    /// Equivalent to calling [`Dwt::layout`] and discarding the result, but
+    /// usable on the decode hot path where per-window allocations are banned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] for unsupported lengths.
+    pub fn validate_len(&self, len: usize) -> Result<(), DspError> {
+        self.check_len(len)
+    }
+
+    /// Scratch length required by [`Dwt::forward_into`] and
+    /// [`Dwt::inverse_into`] for signals of length `len`.
+    #[must_use]
+    pub fn scratch_len(len: usize) -> usize {
+        len
+    }
+
     /// Validates a signal length, returning the minimal supported length on
     /// failure.
     fn check_len(&self, len: usize) -> Result<(), DspError> {
@@ -159,25 +178,78 @@ impl Dwt {
     /// Returns [`DspError::BadLength`] when `x.len()` is not divisible by
     /// `2^levels` or a band would be shorter than the filter.
     pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, DspError> {
+        let mut out = vec![0.0; x.len()];
+        let mut scratch = vec![0.0; Self::scratch_len(x.len())];
+        self.forward_into(x, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Allocation-free analysis transform: writes `Ψᵀ x` into `out` using
+    /// caller-provided `scratch` (at least [`Dwt::scratch_len`]`(x.len())`
+    /// elements) for the intermediate approximation bands.
+    ///
+    /// Produces outputs bit-identical to [`Dwt::forward`]: the per-level
+    /// filter arithmetic (`analyze_level`) is shared, only the buffer
+    /// management differs. Intermediate approximations ping-pong between the
+    /// two halves of `scratch` (sizes halve every level, so reader and
+    /// writer regions never overlap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] when `x.len()` is unsupported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != x.len()` or `scratch` is shorter than
+    /// [`Dwt::scratch_len`]`(x.len())`.
+    pub fn forward_into(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) -> Result<(), DspError> {
         let _span = hybridcs_obs::span!("wavelet.forward");
         self.check_len(x.len())?;
         let n = x.len();
+        assert_eq!(out.len(), n, "forward_into: output length mismatch");
+        assert!(
+            scratch.len() >= Self::scratch_len(n),
+            "forward_into: scratch too short"
+        );
         let h = self.wavelet.lowpass();
         let g = self.wavelet.highpass();
-        let mut out = vec![0.0; n];
-        let mut approx = x.to_vec();
+        let (ping, pong) = scratch.split_at_mut(n / 2);
         let mut write_end = n;
-        for _ in 0..self.levels {
-            let cur = approx.len();
+        // Level 1 reads the input signal directly.
+        let mut cur = n / 2;
+        analyze_level(
+            x,
+            h,
+            g,
+            &mut ping[..cur],
+            &mut out[write_end - cur..write_end],
+        );
+        write_end -= cur;
+        let mut src_is_ping = true;
+        for _ in 1..self.levels {
             let half = cur / 2;
-            let mut next_approx = vec![0.0; half];
             let detail_slot = &mut out[write_end - half..write_end];
-            analyze_level(&approx, h, &g, &mut next_approx, detail_slot);
+            if src_is_ping {
+                analyze_level(&ping[..cur], h, g, &mut pong[..half], detail_slot);
+            } else {
+                analyze_level(&pong[..cur], h, g, &mut ping[..half], detail_slot);
+            }
             write_end -= half;
-            approx = next_approx;
+            cur = half;
+            src_is_ping = !src_is_ping;
         }
-        out[..approx.len()].copy_from_slice(&approx);
-        Ok(out)
+        let final_approx = if src_is_ping {
+            &ping[..cur]
+        } else {
+            &pong[..cur]
+        };
+        out[..cur].copy_from_slice(final_approx);
+        Ok(())
     }
 
     /// Synthesis transform `Ψ c` (coefficients → signal). Exact inverse (and
@@ -187,23 +259,83 @@ impl Dwt {
     ///
     /// Returns [`DspError::BadLength`] for unsupported lengths.
     pub fn inverse(&self, coeffs: &[f64]) -> Result<Vec<f64>, DspError> {
+        let mut out = vec![0.0; coeffs.len()];
+        let mut scratch = vec![0.0; Self::scratch_len(coeffs.len())];
+        self.inverse_into(coeffs, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Allocation-free synthesis transform: writes `Ψ c` into `out` using
+    /// caller-provided `scratch` (at least
+    /// [`Dwt::scratch_len`]`(coeffs.len())` elements).
+    ///
+    /// Bit-identical to [`Dwt::inverse`] — see [`Dwt::forward_into`] for the
+    /// ping-pong scratch scheme; here the upsampled intermediates grow, and
+    /// the final (finest) level writes straight into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] when `coeffs.len()` is unsupported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != coeffs.len()` or `scratch` is shorter than
+    /// [`Dwt::scratch_len`]`(coeffs.len())`.
+    pub fn inverse_into(
+        &self,
+        coeffs: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) -> Result<(), DspError> {
         let _span = hybridcs_obs::span!("wavelet.inverse");
         self.check_len(coeffs.len())?;
         let n = coeffs.len();
+        assert_eq!(out.len(), n, "inverse_into: output length mismatch");
+        assert!(
+            scratch.len() >= Self::scratch_len(n),
+            "inverse_into: scratch too short"
+        );
         let h = self.wavelet.lowpass();
         let g = self.wavelet.highpass();
         let coarse = n >> self.levels;
-        let mut approx = coeffs[..coarse].to_vec();
-        let mut read_start = coarse;
-        for level in (1..=self.levels).rev() {
-            let band_len = n >> level;
-            let detail = &coeffs[read_start..read_start + band_len];
-            let mut up = vec![0.0; band_len * 2];
-            synthesize_level(&approx, detail, h, &g, &mut up);
-            read_start += band_len;
-            approx = up;
+        if self.levels == 1 {
+            synthesize_level(&coeffs[..coarse], &coeffs[coarse..], h, g, out);
+            return Ok(());
         }
-        Ok(approx)
+        let (ping, pong) = scratch.split_at_mut(n / 2);
+        // Coarsest level reads the approximation band from `coeffs`.
+        synthesize_level(
+            &coeffs[..coarse],
+            &coeffs[coarse..2 * coarse],
+            h,
+            g,
+            &mut ping[..2 * coarse],
+        );
+        let mut read_start = 2 * coarse;
+        let mut cur = 2 * coarse;
+        let mut src_is_ping = true;
+        for level in (2..self.levels).rev() {
+            let band_len = n >> level;
+            debug_assert_eq!(band_len, cur);
+            let detail = &coeffs[read_start..read_start + band_len];
+            if src_is_ping {
+                synthesize_level(&ping[..cur], detail, h, g, &mut pong[..band_len * 2]);
+            } else {
+                synthesize_level(&pong[..cur], detail, h, g, &mut ping[..band_len * 2]);
+            }
+            read_start += band_len;
+            cur = band_len * 2;
+            src_is_ping = !src_is_ping;
+        }
+        // Finest level writes the full-length signal into `out`.
+        let detail = &coeffs[read_start..read_start + n / 2];
+        let src = if src_is_ping {
+            &ping[..cur]
+        } else {
+            &pong[..cur]
+        };
+        synthesize_level(src, detail, h, g, out);
+        Ok(())
     }
 
     /// Counts coefficients whose magnitude is at least `threshold` times the
@@ -226,9 +358,30 @@ impl Dwt {
 fn analyze_level(x: &[f64], h: &[f64], g: &[f64], approx: &mut [f64], detail: &mut [f64]) {
     let n = x.len();
     let half = n / 2;
+    let taps = h.len();
     debug_assert_eq!(approx.len(), half);
     debug_assert_eq!(detail.len(), half);
-    for k in 0..half {
+    // Outputs whose filter window stays inside the signal (2k + taps ≤ n)
+    // take straight slice indexing — the per-tap `% n` of the periodized
+    // form is pure index arithmetic, so skipping it for the bulk leaves
+    // each output's tap order (and bits) unchanged.
+    let bulk = if n >= taps {
+        ((n - taps) / 2 + 1).min(half)
+    } else {
+        0
+    };
+    for k in 0..bulk {
+        let base = 2 * k;
+        let mut a = 0.0;
+        let mut d = 0.0;
+        for ((&hj, &gj), &xv) in h.iter().zip(g).zip(&x[base..base + taps]) {
+            a += hj * xv;
+            d += gj * xv;
+        }
+        approx[k] = a;
+        detail[k] = d;
+    }
+    for k in bulk..half {
         let mut a = 0.0;
         let mut d = 0.0;
         let base = 2 * k;
@@ -248,10 +401,27 @@ fn analyze_level(x: &[f64], h: &[f64], g: &[f64], approx: &mut [f64], detail: &m
 fn synthesize_level(approx: &[f64], detail: &[f64], h: &[f64], g: &[f64], out: &mut [f64]) {
     let n = out.len();
     let half = n / 2;
+    let taps = h.len();
     debug_assert_eq!(approx.len(), half);
     debug_assert_eq!(detail.len(), half);
     out.fill(0.0);
-    for k in 0..half {
+    // Same bulk/tail split as `analyze_level`: scatter order per output
+    // sample is unchanged (inputs k ascending, taps j ascending), so the
+    // accumulated bits match the fully periodized loop.
+    let bulk = if n >= taps {
+        ((n - taps) / 2 + 1).min(half)
+    } else {
+        0
+    };
+    for k in 0..bulk {
+        let a = approx[k];
+        let d = detail[k];
+        let base = 2 * k;
+        for (o, (&hj, &gj)) in out[base..base + taps].iter_mut().zip(h.iter().zip(g)) {
+            *o += hj * a + gj * d;
+        }
+    }
+    for k in bulk..half {
         let a = approx[k];
         let d = detail[k];
         let base = 2 * k;
@@ -419,6 +589,48 @@ mod tests {
         let c = [10.0, 0.0, -5.0, 0.1];
         assert_eq!(Dwt::effective_sparsity(&c, 0.2), 2);
         assert_eq!(Dwt::effective_sparsity(&[0.0; 4], 0.5), 0);
+    }
+
+    #[test]
+    fn into_variants_bit_identical_to_vec_api() {
+        // The workspace decode path relies on forward_into/inverse_into
+        // producing the same bits as the Vec-returning wrappers. Scratch and
+        // output start as NaN to prove every element is written before read.
+        let x = test_signal(128);
+        for w in Wavelet::ALL {
+            for levels in 1..=3 {
+                let dwt = Dwt::new(w, levels).unwrap();
+                let c = dwt.forward(&x).unwrap();
+                let mut c2 = vec![f64::NAN; 128];
+                let mut scratch = vec![f64::NAN; Dwt::scratch_len(128)];
+                dwt.forward_into(&x, &mut c2, &mut scratch).unwrap();
+                for (a, b) in c.iter().zip(&c2) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{w} L{levels} forward");
+                }
+                let back = dwt.inverse(&c).unwrap();
+                let mut back2 = vec![f64::NAN; 128];
+                dwt.inverse_into(&c, &mut back2, &mut scratch).unwrap();
+                for (a, b) in back.iter().zip(&back2) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{w} L{levels} inverse");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_reject_bad_buffers() {
+        let dwt = Dwt::new(Wavelet::Db4, 2).unwrap();
+        let x = test_signal(64);
+        let mut out = vec![0.0; 64];
+        let mut scratch = vec![0.0; 64];
+        assert!(matches!(
+            dwt.forward_into(&[0.0; 30], &mut out, &mut scratch),
+            Err(DspError::BadLength { .. })
+        ));
+        assert!(dwt.validate_len(64).is_ok());
+        assert!(dwt.validate_len(30).is_err());
+        dwt.forward_into(&x, &mut out, &mut scratch).unwrap();
+        dwt.inverse_into(&x, &mut out, &mut scratch).unwrap();
     }
 
     #[test]

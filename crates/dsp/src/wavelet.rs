@@ -77,6 +77,26 @@ const DB6: [f64; 12] = [
     -0.001_077_301_084_995_58,
 ];
 
+/// Quadrature-mirror of a scaling filter: `g[k] = (−1)ᵏ h[L−1−k]`.
+/// Sign flips and reversals are exact in floating point, so these
+/// compile-time mirrors are bit-identical to a runtime derivation.
+const fn qmf_mirror<const L: usize>(h: &[f64; L]) -> [f64; L] {
+    let mut g = [0.0; L];
+    let mut k = 0;
+    while k < L {
+        let v = h[L - 1 - k];
+        g[k] = if k % 2 == 0 { v } else { -v };
+        k += 1;
+    }
+    g
+}
+
+const HAAR_HP: [f64; 2] = qmf_mirror(&HAAR);
+const DB2_HP: [f64; 4] = qmf_mirror(&DB2);
+const DB4_HP: [f64; 8] = qmf_mirror(&DB4);
+const DB6_HP: [f64; 12] = qmf_mirror(&DB6);
+const SYM4_HP: [f64; 8] = qmf_mirror(&SYM4);
+
 const SYM4: [f64; 8] = [
     -0.075_765_714_789_273_33,
     -0.029_635_527_645_998_51,
@@ -112,16 +132,19 @@ impl Wavelet {
 
     /// Wavelet (high-pass) decomposition filter `g`, derived by the
     /// quadrature-mirror relation `g[k] = (−1)ᵏ h[L−1−k]`.
+    ///
+    /// Mirrored at compile time: the transforms call this once per
+    /// application, so it must not allocate (the decode hot path runs
+    /// under a zero-allocation gate).
     #[must_use]
-    pub fn highpass(self) -> Vec<f64> {
-        let h = self.lowpass();
-        let l = h.len();
-        (0..l)
-            .map(|k| {
-                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
-                sign * h[l - 1 - k]
-            })
-            .collect()
+    pub fn highpass(self) -> &'static [f64] {
+        match self {
+            Wavelet::Haar => &HAAR_HP,
+            Wavelet::Db2 => &DB2_HP,
+            Wavelet::Db4 => &DB4_HP,
+            Wavelet::Db6 => &DB6_HP,
+            Wavelet::Sym4 => &SYM4_HP,
+        }
     }
 
     /// Number of filter taps.
@@ -192,7 +215,7 @@ mod tests {
         for w in Wavelet::ALL {
             let h = w.lowpass();
             let g = w.highpass();
-            let dot: f64 = h.iter().zip(&g).map(|(a, b)| a * b).sum();
+            let dot: f64 = h.iter().zip(g).map(|(a, b)| a * b).sum();
             assert!(dot.abs() < 1e-10, "{w}: <h,g> = {dot}");
         }
     }

@@ -7,6 +7,13 @@ use hybridcs_rand::{RngExt, SeedableRng};
 /// sequence is equivalent, and seeding makes encoder and decoder agree on
 /// `Φ` without transmitting it.
 ///
+/// Chips are stored bit-packed: one `u64` word holds 64 chips, with bit
+/// `j mod 64` of word `j / 64` **set when chip `j` is −1** (i.e. the sign
+/// bit of the chip). [`ChippingSequence::integrate`] exploits this with a
+/// branchless sign flip — `c·v` for `c = ±1` is exactly `±v`, so XOR-ing
+/// the sign bit into `v` reproduces the unpacked multiply bit-for-bit while
+/// cutting chip memory traffic 64×.
+///
 /// # Example
 ///
 /// ```
@@ -18,9 +25,11 @@ use hybridcs_rand::{RngExt, SeedableRng};
 /// // The same seed regenerates the same sequence (decoder side).
 /// assert_eq!(seq, ChippingSequence::bernoulli(512, 42));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChippingSequence {
-    chips: Vec<f64>,
+    /// Sign bitplane: bit `j & 63` of word `j >> 6` is 1 ⇔ chip `j` is −1.
+    neg: Vec<u64>,
+    len: usize,
 }
 
 impl ChippingSequence {
@@ -28,40 +37,79 @@ impl ChippingSequence {
     #[must_use]
     pub fn bernoulli(len: usize, seed: u64) -> Self {
         let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(seed);
-        let chips = (0..len)
-            .map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 })
-            .collect();
-        ChippingSequence { chips }
+        let mut neg = vec![0u64; len.div_ceil(64)];
+        // One draw per chip in chip order — the same RNG consumption as the
+        // unpacked representation, so seeds regenerate identical sequences.
+        for j in 0..len {
+            if !rng.random_bool(0.5) {
+                neg[j >> 6] |= 1u64 << (j & 63);
+            }
+        }
+        ChippingSequence { neg, len }
     }
 
-    /// The chip values (±1).
+    /// Chip `j` as `±1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()`.
     #[must_use]
-    pub fn chips(&self) -> &[f64] {
-        &self.chips
+    pub fn chip(&self, j: usize) -> f64 {
+        assert!(j < self.len, "chip index out of range");
+        if (self.neg[j >> 6] >> (j & 63)) & 1 == 1 {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    /// The chip values (±1), materialized from the packed bitplane.
+    #[must_use]
+    pub fn chips(&self) -> Vec<f64> {
+        (0..self.len).map(|j| self.chip(j)).collect()
+    }
+
+    /// The packed sign bitplane (bit set ⇔ chip is −1). Bits past
+    /// `self.len()` in the last word are zero.
+    #[must_use]
+    pub fn sign_words(&self) -> &[u64] {
+        &self.neg
     }
 
     /// Sequence length.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.chips.len()
+        self.len
     }
 
     /// Whether the sequence is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.chips.is_empty()
+        self.len == 0
     }
 
     /// Demodulate-and-integrate: `Σₜ p(t)·x(t)`, the integrate-and-dump
     /// output of one RMPI channel over a processing window.
+    ///
+    /// Accumulates left-to-right with a single accumulator — the same order
+    /// as the unpacked `Σ c·v` fold, so results are bit-identical to the
+    /// f64-chip reference.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.len()`.
     #[must_use]
     pub fn integrate(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.chips.len(), "chipping length mismatch");
-        self.chips.iter().zip(x).map(|(c, v)| c * v).sum()
+        assert_eq!(x.len(), self.len, "chipping length mismatch");
+        let mut acc = 0.0;
+        for (chunk, &word0) in x.chunks(64).zip(&self.neg) {
+            let mut word = word0;
+            for &v in chunk {
+                acc += f64::from_bits(v.to_bits() ^ ((word & 1) << 63));
+                word >>= 1;
+            }
+        }
+        acc
     }
 }
 
@@ -86,6 +134,34 @@ mod tests {
         let seq = ChippingSequence::bernoulli(10_000, 3);
         let sum: f64 = seq.chips().iter().sum();
         assert!(sum.abs() < 300.0, "imbalance {sum}");
+    }
+
+    #[test]
+    fn packed_matches_unpacked_fold_to_zero_ulp() {
+        // The load-bearing equivalence: the branchless sign-XOR integrate
+        // must reproduce the unpacked `Σ c·v` left fold bit-for-bit.
+        for (len, seed) in [(1usize, 0u64), (63, 7), (64, 8), (65, 9), (512, 0x601D)] {
+            let seq = ChippingSequence::bernoulli(len, seed);
+            let chips = seq.chips();
+            let x: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin() * 3.25).collect();
+            let reference: f64 = chips.iter().zip(&x).map(|(c, v)| c * v).sum();
+            assert_eq!(
+                seq.integrate(&x).to_bits(),
+                reference.to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn chip_accessor_matches_chips_vec() {
+        let seq = ChippingSequence::bernoulli(130, 5);
+        let chips = seq.chips();
+        for (j, &c) in chips.iter().enumerate() {
+            assert_eq!(seq.chip(j), c);
+        }
+        // Tail bits past len stay zero, so sign_words comparisons are exact.
+        assert_eq!(seq.sign_words().len(), 3);
     }
 
     #[test]

@@ -43,10 +43,54 @@ enum Kind {
     DenseBernoulli {
         /// Per-row chipping sequences (values ±1), scaled on application.
         rows: Vec<ChippingSequence>,
+        /// Column-nibble planes for groups of four rows: in plane `g`,
+        /// bit `4·(j mod 16) + r` of word `j / 16` is the sign bit of
+        /// row `4g + r` at column `j`. Precomputed so the adjoint reads
+        /// the four sign bits of a column in one nibble instead of
+        /// gathering them from four row bitplanes.
+        nibbles: Vec<Vec<u64>>,
         scale: f64,
     },
     /// Column-sparse binary: `cols[j]` lists the rows holding `scale`.
     SparseBinary { cols: Vec<Vec<u32>>, scale: f64 },
+}
+
+/// The 16 signed sums `((±w₀ ± w₁) ± w₂) ± w₃` indexed by sign nibble (bit
+/// `r` set ⇔ term `r` negated). Negation of an f64 is exact, so entry
+/// `idx` is bit-identical to evaluating the grouped expression with chips
+/// `c_r = ±1` multiplied in (`±1·w` is exactly `±w`).
+#[inline]
+fn sign_table(w: [f64; 4]) -> [f64; 16] {
+    let mut t = [0.0; 16];
+    for (idx, slot) in t.iter_mut().enumerate() {
+        let s0 = if idx & 1 == 0 { w[0] } else { -w[0] };
+        let s1 = if idx & 2 == 0 { w[1] } else { -w[1] };
+        let s2 = if idx & 4 == 0 { w[2] } else { -w[2] };
+        let s3 = if idx & 8 == 0 { w[3] } else { -w[3] };
+        *slot = ((s0 + s1) + s2) + s3;
+    }
+    t
+}
+
+/// Builds the column-nibble planes from the row sign bitplanes.
+fn nibble_planes(rows: &[ChippingSequence], n: usize) -> Vec<Vec<u64>> {
+    rows.chunks_exact(4)
+        .map(|quad| {
+            let mut words = vec![0u64; n.div_ceil(16)];
+            for (r, row) in quad.iter().enumerate() {
+                for (j, word) in words.iter_mut().enumerate() {
+                    // 16 sign bits feeding word `j` of the plane.
+                    let part = row.sign_words()[j / 4] >> (16 * (j % 4));
+                    let mut spread = 0u64;
+                    for b in 0..16 {
+                        spread |= ((part >> b) & 1) << (4 * b);
+                    }
+                    *word |= spread << r;
+                }
+            }
+            words
+        })
+        .collect()
 }
 
 impl SensingMatrix {
@@ -60,14 +104,16 @@ impl SensingMatrix {
     /// `m > n`.
     pub fn bernoulli(m: usize, n: usize, seed: u64) -> Result<Self, FrontEndError> {
         check_shape(m, n)?;
-        let rows = (0..m)
+        let rows: Vec<ChippingSequence> = (0..m)
             .map(|i| ChippingSequence::bernoulli(n, seed.wrapping_add(i as u64)))
             .collect();
+        let nibbles = nibble_planes(&rows, n);
         Ok(SensingMatrix {
             m,
             n,
             kind: Kind::DenseBernoulli {
                 rows,
+                nibbles,
                 scale: 1.0 / (n as f64).sqrt(),
             },
         })
@@ -127,21 +173,125 @@ impl SensingMatrix {
     /// Panics if `x.len() != self.window()`.
     #[must_use]
     pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        self.apply_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free forward application `out = Φx`.
+    ///
+    /// Accumulation order (shared with [`UnpackedBernoulli::apply_into`],
+    /// which is what makes the 0-ULP equivalence contract hold): each row
+    /// folds columns in ascending groups of four, `acc += ((s₀+s₁)+s₂)+s₃`
+    /// with `s_r = ±x[4g+r]`, then any `n mod 4` tail columns one at a
+    /// time. The grouping shortens the dependency chain 4× over a serial
+    /// fold and is what the table-driven fast path
+    /// ([`SensingMatrix::apply_into_scratch`]) reproduces via lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.window()` or `out.len() !=
+    /// self.measurements()`.
+    pub fn apply_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.n, "sensing apply: length mismatch");
+        assert_eq!(out.len(), self.m, "sensing apply: output length mismatch");
         match &self.kind {
-            Kind::DenseBernoulli { rows, scale } => {
-                rows.iter().map(|row| scale * row.integrate(x)).collect()
+            Kind::DenseBernoulli { rows, scale, .. } => {
+                for (yi, row) in out.iter_mut().zip(rows) {
+                    *yi = scale * row_fold_grouped(row.sign_words(), x);
+                }
             }
             Kind::SparseBinary { cols, scale } => {
-                let mut y = vec![0.0; self.m];
+                out.fill(0.0);
                 for (j, col) in cols.iter().enumerate() {
                     let v = scale * x[j];
                     for &i in col {
-                        y[i as usize] += v;
+                        out[i as usize] += v;
                     }
                 }
-                y
             }
+        }
+    }
+
+    /// Scratch length (in `f64`s) for [`SensingMatrix::apply_into_scratch`]:
+    /// room for the per-4-column sign-sum table shared by all rows.
+    #[must_use]
+    pub fn forward_scratch_len(&self) -> usize {
+        match self.kind {
+            Kind::DenseBernoulli { .. } => (self.n / 4) * 16,
+            Kind::SparseBinary { .. } => 0,
+        }
+    }
+
+    /// Forward application using caller-provided scratch — the decode
+    /// hot-path kernel.
+    ///
+    /// For the dense Bernoulli kind the scratch holds, per group of four
+    /// columns, the 16 signed sums `((±x₀±x₁)±x₂)±x₃` (built once, shared
+    /// by every row); each row then folds one table lookup per sign nibble
+    /// of its bitplane — 4 columns per lookup, no per-element sign
+    /// application. Bit-identical to [`SensingMatrix::apply_into`], which
+    /// evaluates the same grouped expressions term by term.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or if `scratch.len() <
+    /// self.forward_scratch_len()`.
+    pub fn apply_into_scratch(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "sensing apply: length mismatch");
+        assert_eq!(out.len(), self.m, "sensing apply: output length mismatch");
+        let Kind::DenseBernoulli { rows, scale, .. } = &self.kind else {
+            self.apply_into(x, out);
+            return;
+        };
+        let groups = self.n / 4;
+        let table = &mut scratch[..groups * 16];
+        for (tg, v) in table.chunks_exact_mut(16).zip(x.chunks_exact(4)) {
+            tg.copy_from_slice(&sign_table([v[0], v[1], v[2], v[3]]));
+        }
+        let mut i = 0;
+        // Four rows per pass: four independent accumulator chains hide the
+        // add latency that a one-row fold would serialize on.
+        while i + 4 <= rows.len() {
+            let w = [
+                rows[i].sign_words(),
+                rows[i + 1].sign_words(),
+                rows[i + 2].sign_words(),
+                rows[i + 3].sign_words(),
+            ];
+            let mut acc = [0.0f64; 4];
+            let mut g = 0;
+            let mut ci = 0;
+            while g < groups {
+                let take = (groups - g).min(16);
+                let mut q = [w[0][ci], w[1][ci], w[2][ci], w[3][ci]];
+                for s in 0..take {
+                    let tg = &table[(g + s) * 16..(g + s) * 16 + 16];
+                    for r in 0..4 {
+                        acc[r] += tg[(q[r] & 15) as usize];
+                        q[r] >>= 4;
+                    }
+                }
+                g += take;
+                ci += 1;
+            }
+            for (j, &v) in x.iter().enumerate().skip(groups * 4) {
+                for r in 0..4 {
+                    acc[r] += if (w[r][j >> 6] >> (j & 63)) & 1 == 1 {
+                        -v
+                    } else {
+                        v
+                    };
+                }
+            }
+            for r in 0..4 {
+                out[i + r] = scale * acc[r];
+            }
+            i += 4;
+        }
+        while i < rows.len() {
+            out[i] = scale * row_fold_table(rows[i].sign_words(), x, table, groups);
+            i += 1;
         }
     }
 
@@ -152,28 +302,69 @@ impl SensingMatrix {
     /// Panics if `y.len() != self.measurements()`.
     #[must_use]
     pub fn apply_adjoint(&self, y: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.apply_adjoint_into(y, &mut x);
+        x
+    }
+
+    /// Allocation-free adjoint application `out = Φᵀy`.
+    ///
+    /// Rows accumulate into `out` in ascending groups of four (the order
+    /// [`UnpackedBernoulli::apply_adjoint_into`] shares): each element
+    /// receives `((±w₀±w₁)±w₂)±w₃` with `w_r = scale·y[4g+r]`, looked up
+    /// from a 16-entry sign table by the column's precomputed sign nibble —
+    /// one lookup replaces four sign applications. Any `m mod 4` tail rows
+    /// accumulate one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.measurements()` or `out.len() !=
+    /// self.window()`.
+    pub fn apply_adjoint_into(&self, y: &[f64], out: &mut [f64]) {
         assert_eq!(y.len(), self.m, "sensing adjoint: length mismatch");
+        assert_eq!(out.len(), self.n, "sensing adjoint: output length mismatch");
         match &self.kind {
-            Kind::DenseBernoulli { rows, scale } => {
-                let mut x = vec![0.0; self.n];
-                for (row, &yi) in rows.iter().zip(y) {
-                    let w = scale * yi;
-                    for (xj, c) in x.iter_mut().zip(row.chips()) {
-                        *xj += w * c;
+            Kind::DenseBernoulli {
+                rows,
+                nibbles,
+                scale,
+            } => {
+                out.fill(0.0);
+                for (g, plane) in nibbles.iter().enumerate() {
+                    let t = sign_table([
+                        scale * y[4 * g],
+                        scale * y[4 * g + 1],
+                        scale * y[4 * g + 2],
+                        scale * y[4 * g + 3],
+                    ]);
+                    for (chunk, &word0) in out.chunks_mut(16).zip(plane) {
+                        let mut word = word0;
+                        for xj in chunk {
+                            *xj += t[(word & 15) as usize];
+                            word >>= 4;
+                        }
                     }
                 }
-                x
+                for i in nibbles.len() * 4..rows.len() {
+                    let w = scale * y[i];
+                    let sw = [w, -w];
+                    for (chunk, &word0) in out.chunks_mut(64).zip(rows[i].sign_words()) {
+                        let mut word = word0;
+                        for xj in chunk {
+                            *xj += sw[(word & 1) as usize];
+                            word >>= 1;
+                        }
+                    }
+                }
             }
             Kind::SparseBinary { cols, scale } => {
-                let mut x = vec![0.0; self.n];
                 for (j, col) in cols.iter().enumerate() {
                     let mut acc = 0.0;
                     for &i in col {
                         acc += y[i as usize];
                     }
-                    x[j] = scale * acc;
+                    out[j] = scale * acc;
                 }
-                x
             }
         }
     }
@@ -183,8 +374,8 @@ impl SensingMatrix {
     #[must_use]
     pub fn to_matrix(&self) -> Matrix {
         match &self.kind {
-            Kind::DenseBernoulli { rows, scale } => {
-                Matrix::from_fn(self.m, self.n, |i, j| scale * rows[i].chips()[j])
+            Kind::DenseBernoulli { rows, scale, .. } => {
+                Matrix::from_fn(self.m, self.n, |i, j| scale * rows[i].chip(j))
             }
             Kind::SparseBinary { cols, scale } => {
                 let mut mat = Matrix::zeros(self.m, self.n);
@@ -206,6 +397,160 @@ impl SensingMatrix {
             Kind::SparseBinary { .. } => "sparse-binary",
         }
     }
+
+    /// Materializes the unpacked f64-chip reference for a dense Bernoulli
+    /// matrix; `None` for other kinds.
+    ///
+    /// This is the pre-packing representation, retained for two purposes:
+    /// the 0-ULP equivalence property tests, and the decode-throughput
+    /// bench's "pre-change" baseline (same arithmetic, 8 bytes per chip).
+    #[must_use]
+    pub fn to_unpacked(&self) -> Option<UnpackedBernoulli> {
+        match &self.kind {
+            Kind::DenseBernoulli { rows, scale, .. } => Some(UnpackedBernoulli {
+                rows: rows.iter().map(ChippingSequence::chips).collect(),
+                scale: *scale,
+                n: self.n,
+            }),
+            Kind::SparseBinary { .. } => None,
+        }
+    }
+}
+
+/// Unpacked ±1 Bernoulli sensing reference: chips stored as one `f64` each
+/// and multiplied in explicitly (`c·v`), in the same 4-wide grouped
+/// accumulation order as the bit-packed kernels — `±1·v` is exactly `±v`,
+/// so sharing the order is what makes the equivalence exact rather than
+/// approximate.
+///
+/// See [`SensingMatrix::to_unpacked`]. The equivalence contract (checked by
+/// property tests) is 0 ULP: for every input, [`SensingMatrix::apply_into`]
+/// and [`UnpackedBernoulli::apply_into`] produce identical bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnpackedBernoulli {
+    rows: Vec<Vec<f64>>,
+    scale: f64,
+    n: usize,
+}
+
+impl UnpackedBernoulli {
+    /// Number of measurements (rows).
+    #[must_use]
+    pub fn measurements(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Window length (columns).
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.n
+    }
+
+    /// Forward application `out = Φx` via the unpacked multiply-accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn apply_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "sensing apply: length mismatch");
+        assert_eq!(out.len(), self.rows.len(), "sensing apply: output length");
+        let tail = self.n - self.n % 4;
+        for (yi, row) in out.iter_mut().zip(&self.rows) {
+            let mut acc = 0.0;
+            for (c, v) in row.chunks_exact(4).zip(x.chunks_exact(4)) {
+                acc += ((c[0] * v[0] + c[1] * v[1]) + c[2] * v[2]) + c[3] * v[3];
+            }
+            for (c, v) in row[tail..].iter().zip(&x[tail..]) {
+                acc += c * v;
+            }
+            *yi = self.scale * acc;
+        }
+    }
+
+    /// Adjoint application `out = Φᵀy` via the unpacked multiply-accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn apply_adjoint_into(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.rows.len(), "sensing adjoint: length mismatch");
+        assert_eq!(out.len(), self.n, "sensing adjoint: output length");
+        out.fill(0.0);
+        let m = self.rows.len();
+        let mut i = 0;
+        while i + 4 <= m {
+            let (w0, w1, w2, w3) = (
+                self.scale * y[i],
+                self.scale * y[i + 1],
+                self.scale * y[i + 2],
+                self.scale * y[i + 3],
+            );
+            let (r0, r1, r2, r3) = (
+                &self.rows[i],
+                &self.rows[i + 1],
+                &self.rows[i + 2],
+                &self.rows[i + 3],
+            );
+            for (j, xj) in out.iter_mut().enumerate() {
+                *xj += ((w0 * r0[j] + w1 * r1[j]) + w2 * r2[j]) + w3 * r3[j];
+            }
+            i += 4;
+        }
+        while i < m {
+            let w = self.scale * y[i];
+            for (xj, c) in out.iter_mut().zip(&self.rows[i]) {
+                *xj += w * c;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// One row's grouped fold `Σ_g ((±x₀±x₁)±x₂)±x₃` (plus the serial tail),
+/// evaluating each group's signed sum term by term from the sign bitplane.
+fn row_fold_grouped(words: &[u64], x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (g, v) in x.chunks_exact(4).enumerate() {
+        let nib = (words[g / 16] >> (4 * (g % 16))) & 15;
+        let s0 = if nib & 1 == 0 { v[0] } else { -v[0] };
+        let s1 = if nib & 2 == 0 { v[1] } else { -v[1] };
+        let s2 = if nib & 4 == 0 { v[2] } else { -v[2] };
+        let s3 = if nib & 8 == 0 { v[3] } else { -v[3] };
+        acc += ((s0 + s1) + s2) + s3;
+    }
+    for (j, &v) in x.iter().enumerate().skip(x.len() - x.len() % 4) {
+        acc += if (words[j >> 6] >> (j & 63)) & 1 == 1 {
+            -v
+        } else {
+            v
+        };
+    }
+    acc
+}
+
+/// The same fold with the group sums looked up from the shared sign table.
+fn row_fold_table(words: &[u64], x: &[f64], table: &[f64], groups: usize) -> f64 {
+    let mut acc = 0.0;
+    let mut g = 0;
+    let mut ci = 0;
+    while g < groups {
+        let take = (groups - g).min(16);
+        let mut q = words[ci];
+        for s in 0..take {
+            acc += table[(g + s) * 16 + (q & 15) as usize];
+            q >>= 4;
+        }
+        g += take;
+        ci += 1;
+    }
+    for (j, &v) in x.iter().enumerate().skip(groups * 4) {
+        acc += if (words[j >> 6] >> (j & 63)) & 1 == 1 {
+            -v
+        } else {
+            v
+        };
+    }
+    acc
 }
 
 fn check_shape(m: usize, n: usize) -> Result<(), FrontEndError> {

@@ -72,8 +72,51 @@ fn chipping_integrate_is_dot() {
         |(seed, x)| {
             let seq = ChippingSequence::bernoulli(32, *seed);
             let direct = seq.integrate(x);
-            let dot = vector::dot(seq.chips(), x);
+            let dot = vector::dot(&seq.chips(), x);
             prop_assert!((direct - dot).abs() < 1e-12, "{direct} vs {dot}");
+            Ok(())
+        },
+    );
+}
+
+/// The bit-packed sensing fast path matches the unpacked f64-chip
+/// reference to 0 ULP — forward and adjoint — across seeded chip
+/// sequences, and the adjoint identity ⟨Φx, y⟩ ≈ ⟨x, Φᵀy⟩ still holds.
+#[test]
+fn packed_sensing_matches_unpacked_to_zero_ulp() {
+    check(
+        "packed_sensing_matches_unpacked_to_zero_ulp",
+        &zip3(
+            u64_any(),
+            usize_in(1, 24),
+            vec_of(f64_in(-5.0, 5.0), 130, 131),
+        ),
+        |(seed, m, x)| {
+            // n = 130 crosses a u64 word boundary with a partial tail word.
+            let n = x.len();
+            let phi = SensingMatrix::bernoulli(*m, n, *seed).unwrap();
+            let reference = phi.to_unpacked().unwrap();
+            let mut fast = vec![0.0; *m];
+            let mut slow = vec![0.0; *m];
+            phi.apply_into(x, &mut fast);
+            reference.apply_into(x, &mut slow);
+            for (a, b) in fast.iter().zip(&slow) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let y: Vec<f64> = (0..*m).map(|i| (i as f64 * 0.7).cos() * 2.0).collect();
+            let mut fast_t = vec![0.0; n];
+            let mut slow_t = vec![0.0; n];
+            phi.apply_adjoint_into(&y, &mut fast_t);
+            reference.apply_adjoint_into(&y, &mut slow_t);
+            for (a, b) in fast_t.iter().zip(&slow_t) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let lhs = vector::dot(&fast, &y);
+            let rhs = vector::dot(x, &fast_t);
+            prop_assert!(
+                (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+                "adjoint identity broke: {lhs} vs {rhs}"
+            );
             Ok(())
         },
     );

@@ -7,6 +7,7 @@ use std::time::Instant;
 use hybridcs_coding::{LowResCodec, Payload};
 use hybridcs_core::{DecodeLadder, LadderOutcome, SessionLedger, SupervisedWindow, SystemConfig};
 use hybridcs_faults::{NackOutcome, RetryQueue};
+use hybridcs_solver::SolverWorkspace;
 
 use crate::session::{Session, SessionPhase, Slot};
 use crate::{GatewayConfig, GatewayError};
@@ -68,6 +69,11 @@ pub struct Gateway {
     ladders: Vec<LadderEntry>,
     sessions: BTreeMap<u64, Session>,
     batch: Batch,
+    /// One solver-buffer arena per shard, reused across flushes so
+    /// steady-state decodes never allocate inside the solver loops. A shard
+    /// is owned by exactly one worker per flush, so each arena moves into
+    /// that worker's closure and back — no locking.
+    workspaces: Vec<SolverWorkspace>,
 }
 
 impl Gateway {
@@ -83,6 +89,7 @@ impl Gateway {
             ladders: Vec::new(),
             sessions: BTreeMap::new(),
             batch: Batch::new(config.shards),
+            workspaces: (0..config.shards).map(|_| SolverWorkspace::new()).collect(),
         })
     }
 
@@ -390,36 +397,64 @@ impl Gateway {
         }
         let workers = self.config.workers;
         let jobs = &self.batch.jobs;
+        // Each worker takes ownership of the workspaces of the shards it
+        // owns this flush (shard ≡ worker mod workers) and returns them when
+        // done, so the warmed buffer pools persist across flushes.
+        let mut shard_workspaces: Vec<Vec<(usize, SolverWorkspace)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (shard, ws) in std::mem::take(&mut self.workspaces).into_iter().enumerate() {
+            shard_workspaces[shard % workers].push((shard, ws));
+        }
         // Fan out: each worker walks the job list in order, solving only
         // its shards. Results carry the job index for exact scatter.
         let mut solved: Vec<Option<(LadderOutcome, f64)>> = vec![None; jobs.len()];
+        let mut returned: Vec<(usize, SolverWorkspace)> = Vec::with_capacity(self.config.shards);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|worker| {
+            let handles: Vec<_> = shard_workspaces
+                .into_iter()
+                .enumerate()
+                .map(|(worker, mut owned)| {
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         for (index, job) in jobs.iter().enumerate() {
                             if job.shard % workers != worker {
                                 continue;
                             }
+                            let ws = &mut owned
+                                .iter_mut()
+                                .find(|(shard, _)| *shard == job.shard)
+                                .expect("worker owns its shards' workspaces")
+                                .1;
                             let started = Instant::now();
-                            let outcome = job.ladder.solve(
+                            let outcome = job.ladder.solve_with(
                                 job.measurements.as_deref(),
                                 job.lowres.as_ref(),
                                 job.skip_solvers,
+                                ws,
                             );
                             out.push((index, outcome, started.elapsed().as_secs_f64()));
                         }
-                        out
+                        (out, owned)
                     })
                 })
                 .collect();
             for handle in handles {
-                for (index, outcome, seconds) in handle.join().expect("gateway worker panicked") {
+                let (out, owned) = handle.join().expect("gateway worker panicked");
+                for (index, outcome, seconds) in out {
                     solved[index] = Some((outcome, seconds));
                 }
+                returned.extend(owned);
             }
         });
+        self.workspaces = {
+            let mut restored: Vec<SolverWorkspace> = (0..self.config.shards)
+                .map(|_| SolverWorkspace::new())
+                .collect();
+            for (shard, ws) in returned {
+                restored[shard] = ws;
+            }
+            restored
+        };
         // Commit on this thread in ingest order.
         let jobs = std::mem::take(&mut self.batch.jobs);
         let shed = std::mem::take(&mut self.batch.shed);

@@ -60,7 +60,7 @@ pub struct CgOutcome {
 /// # }
 /// ```
 pub fn conjugate_gradient(
-    mut apply: impl FnMut(&[f64], &mut [f64]),
+    apply: impl FnMut(&[f64], &mut [f64]),
     b: &[f64],
     x0: &[f64],
     options: CgOptions,
@@ -73,30 +73,74 @@ pub fn conjugate_gradient(
             actual: x0.len(),
         });
     }
+    let mut x = x0.to_vec();
+    let mut scratch = vec![0.0; cg_scratch_len(n)];
+    let outcome = conjugate_gradient_into(apply, b, &mut x, &mut scratch, options)?;
+    Ok((x, outcome))
+}
+
+/// Scratch length required by [`conjugate_gradient_into`] for an `n`-vector
+/// system (the residual, direction, and operator-output buffers).
+#[must_use]
+pub fn cg_scratch_len(n: usize) -> usize {
+    3 * n
+}
+
+/// Allocation-free [`conjugate_gradient`]: `x` carries the warm start in and
+/// the solution out, and `scratch` (at least [`cg_scratch_len`]`(b.len())`)
+/// holds the iteration vectors. Bit-identical to the Vec-returning wrapper.
+///
+/// On error, `x` holds the last iterate reached, not the warm start.
+///
+/// # Errors
+///
+/// Same conditions as [`conjugate_gradient`].
+///
+/// # Panics
+///
+/// Panics if `scratch` is shorter than [`cg_scratch_len`]`(b.len())`.
+pub fn conjugate_gradient_into(
+    mut apply: impl FnMut(&[f64], &mut [f64]),
+    b: &[f64],
+    x: &mut [f64],
+    scratch: &mut [f64],
+    options: CgOptions,
+) -> Result<CgOutcome, LinalgError> {
+    let n = b.len();
+    if x.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "conjugate_gradient",
+            expected: n,
+            actual: x.len(),
+        });
+    }
+    assert!(
+        scratch.len() >= cg_scratch_len(n),
+        "conjugate_gradient_into: scratch too short"
+    );
     let b_norm = vector::norm2(b);
     let threshold = options.tolerance * b_norm.max(f64::MIN_POSITIVE);
 
-    let mut x = x0.to_vec();
-    let mut ax = vec![0.0; n];
-    apply(&x, &mut ax);
-    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-    let mut p = r.clone();
-    let mut rs_old = vector::norm2_sq(&r);
-    let mut ap = vec![0.0; n];
+    let (r, rest) = scratch.split_at_mut(n);
+    let (p, rest) = rest.split_at_mut(n);
+    let ap = &mut rest[..n];
+    apply(x, ap);
+    for ((ri, bi), ai) in r.iter_mut().zip(b).zip(ap.iter()) {
+        *ri = bi - ai;
+    }
+    p.copy_from_slice(r);
+    let mut rs_old = vector::norm2_sq(r);
 
     if rs_old.sqrt() <= threshold {
-        return Ok((
-            x,
-            CgOutcome {
-                iterations: 0,
-                residual_norm: rs_old.sqrt(),
-            },
-        ));
+        return Ok(CgOutcome {
+            iterations: 0,
+            residual_norm: rs_old.sqrt(),
+        });
     }
 
     for iter in 1..=options.max_iterations {
-        apply(&p, &mut ap);
-        let pap = vector::dot(&p, &ap);
+        apply(p, ap);
+        let pap = vector::dot(p, ap);
         if pap <= 0.0 {
             // Operator is not positive definite along p; surface as
             // non-convergence with the current residual.
@@ -107,20 +151,17 @@ pub fn conjugate_gradient(
             });
         }
         let alpha = rs_old / pap;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &ap, &mut r);
-        let rs_new = vector::norm2_sq(&r);
+        vector::axpy(alpha, p, x);
+        vector::axpy(-alpha, ap, r);
+        let rs_new = vector::norm2_sq(r);
         if rs_new.sqrt() <= threshold {
-            return Ok((
-                x,
-                CgOutcome {
-                    iterations: iter,
-                    residual_norm: rs_new.sqrt(),
-                },
-            ));
+            return Ok(CgOutcome {
+                iterations: iter,
+                residual_norm: rs_new.sqrt(),
+            });
         }
         let beta = rs_new / rs_old;
-        for (pi, ri) in p.iter_mut().zip(&r) {
+        for (pi, ri) in p.iter_mut().zip(r.iter()) {
             *pi = ri + beta * *pi;
         }
         rs_old = rs_new;

@@ -50,7 +50,7 @@ mod power_iteration;
 mod qr;
 pub mod vector;
 
-pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
+pub use cg::{cg_scratch_len, conjugate_gradient, conjugate_gradient_into, CgOptions, CgOutcome};
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
 pub use matrix::Matrix;

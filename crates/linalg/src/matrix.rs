@@ -199,12 +199,22 @@ impl Matrix {
     /// Panics if `x.len() != ncols()`.
     #[must_use]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         let mut y = vec![0.0; self.rows];
-        for (i, yi) in y.iter_mut().enumerate() {
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free matrix–vector product `out = Ax`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols()` or `out.len() != nrows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        assert_eq!(out.len(), self.rows, "matvec: output length mismatch");
+        for (i, yi) in out.iter_mut().enumerate() {
             *yi = crate::vector::dot(self.row(i), x);
         }
-        y
     }
 
     /// Transposed matrix–vector product `Aᵀx`.
@@ -216,12 +226,27 @@ impl Matrix {
     /// Panics if `x.len() != nrows()`.
     #[must_use]
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_transpose: length mismatch");
         let mut y = vec![0.0; self.cols];
-        for (i, &xi) in x.iter().enumerate() {
-            crate::vector::axpy(xi, self.row(i), &mut y);
-        }
+        self.matvec_transpose_into(x, &mut y);
         y
+    }
+
+    /// Allocation-free transposed matrix–vector product `out = Aᵀx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows()` or `out.len() != ncols()`.
+    pub fn matvec_transpose_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_transpose: length mismatch");
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "matvec_transpose: output length mismatch"
+        );
+        out.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            crate::vector::axpy(xi, self.row(i), out);
+        }
     }
 
     /// Matrix–matrix product `AB`.

@@ -164,18 +164,30 @@ pub fn argmax_abs(x: &[f64]) -> Option<(usize, f64)> {
 /// `(-|x|, index)`), keeping the solvers deterministic.
 #[must_use]
 pub fn top_k_abs_indices(x: &[f64], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..x.len()).collect();
+    let mut idx = Vec::new();
+    top_k_abs_indices_into(x, k, &mut idx);
+    idx
+}
+
+/// Allocation-free variant of [`top_k_abs_indices`]: fills `idx` with the
+/// selected indices, reusing its capacity across calls.
+///
+/// The comparator `(-|x|, index)` is a total order (no two distinct indices
+/// compare equal), so the in-place unstable sort used here selects exactly
+/// the same indices as a stable sort would.
+pub fn top_k_abs_indices_into(x: &[f64], k: usize, idx: &mut Vec<usize>) {
+    idx.clear();
+    idx.extend(0..x.len());
     if k >= x.len() {
-        return idx;
+        return;
     }
-    idx.sort_by(|&a, &b| {
+    idx.sort_unstable_by(|&a, &b| {
         x[b].abs()
             .partial_cmp(&x[a].abs())
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
     idx.truncate(k);
-    idx
 }
 
 #[cfg(test)]

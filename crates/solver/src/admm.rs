@@ -1,6 +1,6 @@
 use crate::prox;
-use crate::{BpdnProblem, RecoveryResult, SolverError};
-use hybridcs_linalg::{conjugate_gradient, vector, CgOptions};
+use crate::{BpdnProblem, RecoveryResult, SolverError, SolverWorkspace};
+use hybridcs_linalg::{cg_scratch_len, conjugate_gradient_into, vector, CgOptions};
 use hybridcs_obs::{ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, StopReason};
 use std::time::Instant;
 
@@ -79,6 +79,27 @@ pub fn solve_admm_observed(
     options: &AdmmOptions,
     observer: &mut dyn IterationObserver,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_admm_workspace(problem, options, observer, &mut SolverWorkspace::new())
+}
+
+/// [`solve_admm_observed`] with every per-iteration buffer — including the
+/// inner conjugate-gradient scratch — drawn from a caller-owned
+/// [`SolverWorkspace`]: once the workspace has been warmed by one solve of
+/// each size, the inner loop performs **zero heap allocations**. Results are
+/// bit-identical to [`solve_admm`].
+///
+/// The returned `signal` is a workspace buffer; pass it back via
+/// [`SolverWorkspace::release`] to keep the pool in steady state.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_admm`].
+pub fn solve_admm_workspace(
+    problem: &BpdnProblem<'_>,
+    options: &AdmmOptions,
+    observer: &mut dyn IterationObserver,
+    ws: &mut SolverWorkspace,
+) -> Result<RecoveryResult, SolverError> {
     let started = Instant::now();
     problem.validate()?;
     validate_options(options)?;
@@ -91,16 +112,37 @@ pub fn solve_admm_observed(
     let has_box = problem.box_bounds.is_some();
     let rho = options.rho;
 
+    let mut dwt_scratch = ws.acquire(hybridcs_dsp::Dwt::scratch_len(n));
+    let mut op_scratch = ws.acquire(a.scratch_len());
+
     // Splits and duals.
-    let mut x = problem.initial_point();
-    let mut ax = vec![0.0; m];
-    a.apply(&x, &mut ax);
-    let mut z1 = ax.clone();
-    let mut u1 = vec![0.0; m];
-    let mut z2 = x.clone();
-    let mut u2 = vec![0.0; n];
-    let mut z3 = dwt.forward(&x).expect("length validated");
-    let mut u3 = vec![0.0; n];
+    let mut x = ws.acquire(n);
+    problem.initial_point_into(&mut x);
+    let mut ax = ws.acquire(m);
+    a.apply_into(&x, &mut ax, &mut op_scratch);
+    let mut z1 = ws.acquire(m);
+    z1.copy_from_slice(&ax);
+    let mut u1 = ws.acquire(m);
+    let mut z2 = ws.acquire(n);
+    z2.copy_from_slice(&x);
+    let mut u2 = ws.acquire(n);
+    let mut z3 = ws.acquire(n);
+    dwt.forward_into(&x, &mut z3, &mut dwt_scratch)
+        .expect("length validated");
+    let mut u3 = ws.acquire(n);
+
+    // Per-iteration buffers, hoisted out of the loop.
+    let mut rhs = ws.acquire(n);
+    let mut t1 = ws.acquire(m);
+    let mut t3 = ws.acquire(n);
+    let mut psi_t3 = ws.acquire(n);
+    let mut z1_old = ws.acquire(m);
+    let mut z2_old = ws.acquire(n);
+    let mut z3_old = ws.acquire(n);
+    let mut wx = ws.acquire(n);
+    let mut x_cg = ws.acquire(n);
+    let mut cg_scratch = ws.acquire(cg_scratch_len(n));
+    let mut cg_av = ws.acquire(m);
 
     // Multiplicity of identity-like splits in the x-subproblem operator:
     // Ψ split always contributes ΨΨᵀ = I; the box split adds another I.
@@ -115,48 +157,54 @@ pub fn solve_admm_observed(
         iterations = iter;
 
         // --- x-update: (ΦᵀΦ + cI) x = Φᵀ(z1−u1) + (z2−u2) + Ψ(z3−u3) ---
-        let mut rhs = vec![0.0; n];
-        let t1: Vec<f64> = z1.iter().zip(&u1).map(|(z, u)| z - u).collect();
-        a.apply_adjoint(&t1, &mut rhs);
+        for (t, (z, u)) in t1.iter_mut().zip(z1.iter().zip(&u1)) {
+            *t = z - u;
+        }
+        a.apply_adjoint_into(&t1, &mut rhs, &mut op_scratch);
         if has_box {
             for (r, (z, u)) in rhs.iter_mut().zip(z2.iter().zip(&u2)) {
                 *r += z - u;
             }
         }
-        let t3: Vec<f64> = z3.iter().zip(&u3).map(|(z, u)| z - u).collect();
-        let psi_t3 = dwt.inverse(&t3).expect("length validated");
+        for (t, (z, u)) in t3.iter_mut().zip(z3.iter().zip(&u3)) {
+            *t = z - u;
+        }
+        dwt.inverse_into(&t3, &mut psi_t3, &mut dwt_scratch)
+            .expect("length validated");
         for (r, p) in rhs.iter_mut().zip(&psi_t3) {
             *r += p;
         }
 
-        let apply = |v: &[f64], out: &mut [f64]| {
-            let mut av = vec![0.0; m];
-            a.apply(v, &mut av);
-            a.apply_adjoint(&av, out);
-            for (o, vi) in out.iter_mut().zip(v) {
-                *o += identity_weight * vi;
-            }
-        };
-        let cg_result = conjugate_gradient(
-            apply,
+        x_cg.copy_from_slice(&x);
+        let cg_result = conjugate_gradient_into(
+            |v: &[f64], out: &mut [f64]| {
+                a.apply_into(v, &mut cg_av, &mut op_scratch);
+                a.apply_adjoint_into(&cg_av, out, &mut op_scratch);
+                for (o, vi) in out.iter_mut().zip(v) {
+                    *o += identity_weight * vi;
+                }
+            },
             &rhs,
-            &x,
+            &mut x_cg,
+            &mut cg_scratch,
             CgOptions {
                 max_iterations: options.cg_iterations,
                 tolerance: options.cg_tolerance,
             },
         );
-        // An inexact inner solve is acceptable; keep the best iterate.
-        if let Ok((x_new, _)) = cg_result {
-            x = x_new;
+        // An inexact inner solve is acceptable; keep the best iterate. On CG
+        // breakdown, `x_cg` is discarded and the previous `x` stands — the
+        // same policy as the allocating path.
+        if cg_result.is_ok() {
+            std::mem::swap(&mut x, &mut x_cg);
         }
 
         // --- z-updates (projections / shrinkage) ---
-        a.apply(&x, &mut ax);
+        a.apply_into(&x, &mut ax, &mut op_scratch);
         let mut primal_sq = 0.0;
         let mut dual_sq = 0.0;
 
-        let z1_old = z1.clone();
+        z1_old.copy_from_slice(&z1);
         for i in 0..m {
             z1[i] = ax[i] + u1[i];
         }
@@ -170,7 +218,7 @@ pub fn solve_admm_observed(
         }
 
         if let Some((lo, hi)) = problem.box_bounds {
-            let z2_old = z2.clone();
+            z2_old.copy_from_slice(&z2);
             for i in 0..n {
                 z2[i] = x[i] + u2[i];
             }
@@ -184,8 +232,9 @@ pub fn solve_admm_observed(
             }
         }
 
-        let wx = dwt.forward(&x).expect("length validated");
-        let z3_old = z3.clone();
+        dwt.forward_into(&x, &mut wx, &mut dwt_scratch)
+            .expect("length validated");
+        z3_old.copy_from_slice(&z3);
         for i in 0..n {
             z3[i] = wx[i] + u3[i];
         }
@@ -227,9 +276,36 @@ pub fn solve_admm_observed(
     if let Some((lo, hi)) = problem.box_bounds {
         prox::project_box(&mut x, lo, hi);
     }
-    a.apply(&x, &mut ax);
+    a.apply_into(&x, &mut ax, &mut op_scratch);
     let residual = vector::dist2(&ax, y);
-    let objective = vector::norm1(&dwt.forward(&x).expect("length validated"));
+    dwt.forward_into(&x, &mut wx, &mut dwt_scratch)
+        .expect("length validated");
+    let objective = vector::norm1(&wx);
+
+    for buf in [
+        dwt_scratch,
+        op_scratch,
+        ax,
+        z1,
+        u1,
+        z2,
+        u2,
+        z3,
+        u3,
+        rhs,
+        t1,
+        t3,
+        psi_t3,
+        z1_old,
+        z2_old,
+        z3_old,
+        wx,
+        x_cg,
+        cg_scratch,
+        cg_av,
+    ] {
+        ws.release(buf);
+    }
 
     observer.on_complete(&ConvergenceTrace {
         solver: "admm",
@@ -396,6 +472,47 @@ mod tests {
         for ((v, l), h) in result.signal.iter().zip(&lo).zip(&hi) {
             assert!(*l <= *v && *v <= *h);
         }
+    }
+
+    #[test]
+    fn workspace_path_bit_identical_and_pool_reused() {
+        let n = 128;
+        let m = 48;
+        let x_true = smooth_signal(n);
+        let phi = bernoulli_like(m, n, 31);
+        let y = phi.matvec(&x_true);
+        let op = DenseOperator::new(phi);
+        let dwt = Dwt::new(Wavelet::Db4, 3).unwrap();
+        let d = 0.25;
+        let lo: Vec<f64> = x_true.iter().map(|v| (v / d).floor() * d).collect();
+        let hi: Vec<f64> = lo.iter().map(|v| v + d).collect();
+        let problem = BpdnProblem {
+            sensing: &op,
+            dwt: &dwt,
+            measurements: &y,
+            sigma: 1e-3,
+            box_bounds: Some((&lo, &hi)),
+            coefficient_weights: None,
+        };
+        let options = AdmmOptions {
+            max_iterations: 150,
+            ..AdmmOptions::default()
+        };
+        let plain = solve_admm(&problem, &options).unwrap();
+        let mut ws = crate::SolverWorkspace::new();
+        for _ in 0..2 {
+            let pooled =
+                solve_admm_workspace(&problem, &options, &mut hybridcs_obs::NoopObserver, &mut ws)
+                    .unwrap();
+            assert_eq!(pooled.iterations, plain.iterations);
+            assert_eq!(pooled.residual.to_bits(), plain.residual.to_bits());
+            assert_eq!(pooled.objective.to_bits(), plain.objective.to_bits());
+            for (a, b) in pooled.signal.iter().zip(&plain.signal) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            ws.release(pooled.signal);
+        }
+        assert!(ws.pooled() > 0, "buffers should return to the pool");
     }
 
     #[test]

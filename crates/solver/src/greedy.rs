@@ -6,8 +6,17 @@
 //! selection needs direct access to columns. The returned
 //! [`RecoveryResult::signal`] therefore holds the coefficient vector `α`;
 //! callers synthesize `x = Ψα` with their transform.
+//!
+//! Only IHT has a [`SolverWorkspace`] entry point
+//! ([`solve_iht_workspace`]): its iteration touches fixed-size dense
+//! buffers, so pooling removes every per-iteration allocation. OMP and
+//! CoSaMP refit by Householder QR over a *support-dependent* column subset
+//! each round — the factorization size changes as the support grows, so
+//! those solvers are inherently allocation-per-refit and stay on the
+//! Vec-returning API (they are offline ablation baselines, not decode-path
+//! solvers).
 
-use crate::{RecoveryResult, SolverError};
+use crate::{RecoveryResult, SolverError, SolverWorkspace};
 use hybridcs_linalg::{vector, Matrix, QrFactorization};
 use hybridcs_obs::{ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, StopReason};
 use std::time::Instant;
@@ -385,8 +394,32 @@ pub fn solve_iht_observed(
     options: &GreedyOptions,
     observer: &mut dyn IterationObserver,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_iht_workspace(a, y, options, observer, &mut SolverWorkspace::new())
+}
+
+/// [`solve_iht_observed`] with every per-iteration buffer — including the
+/// support-index scratch for the hard threshold — drawn from a caller-owned
+/// [`SolverWorkspace`]: once the workspace has been warmed by one solve of
+/// each size, the inner loop performs **zero heap allocations**. Results are
+/// bit-identical to [`solve_iht`].
+///
+/// The returned `signal` is a workspace buffer; pass it back via
+/// [`SolverWorkspace::release`] to keep the pool in steady state.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_iht`].
+pub fn solve_iht_workspace(
+    a: &Matrix,
+    y: &[f64],
+    options: &GreedyOptions,
+    observer: &mut dyn IterationObserver,
+    ws: &mut SolverWorkspace,
+) -> Result<RecoveryResult, SolverError> {
     let started = Instant::now();
     validate(a, y, options)?;
+    let n = a.ncols();
+    let m = a.nrows();
     let step = match options.step {
         Some(mu) => {
             if !(mu > 0.0 && mu.is_finite()) {
@@ -399,10 +432,10 @@ pub fn solve_iht_observed(
         }
         None => {
             let (norm, _) = hybridcs_linalg::operator_norm_est(
-                a.ncols(),
-                a.nrows(),
-                |x, out| out.copy_from_slice(&a.matvec(x)),
-                |v, out| out.copy_from_slice(&a.matvec_transpose(v)),
+                n,
+                m,
+                |x, out| a.matvec_into(x, out),
+                |v, out| a.matvec_transpose_into(v, out),
                 hybridcs_linalg::PowerIterationOptions::default(),
             );
             1.0 / (norm * norm).max(1e-12)
@@ -410,38 +443,50 @@ pub fn solve_iht_observed(
     };
 
     let s = options.max_sparsity;
-    let mut alpha = vec![0.0; a.ncols()];
+    let mut alpha = ws.acquire(n);
+    let mut ax = ws.acquire(m);
+    let mut residual = ws.acquire(m);
+    let mut grad = ws.acquire(n);
+    let mut next = ws.acquire(n);
+    let mut thresholded = ws.acquire(n);
+    let mut keep = ws.acquire_indices(n);
     let mut iterations = 0;
     let mut converged = false;
     let mut stop = StopReason::MaxIterations;
 
     for iter in 1..=options.max_iterations {
         iterations = iter;
-        let residual = vector::sub(y, &a.matvec(&alpha));
+        a.matvec_into(&alpha, &mut ax);
+        for (r, (&yi, &axi)) in residual.iter_mut().zip(y.iter().zip(&ax)) {
+            *r = yi - axi;
+        }
         if vector::norm2(&residual) <= options.residual_tolerance {
             converged = true;
             stop = StopReason::Converged;
             break;
         }
-        let grad = a.matvec_transpose(&residual);
-        let mut next = alpha.clone();
+        a.matvec_transpose_into(&residual, &mut grad);
+        next.copy_from_slice(&alpha);
         vector::axpy(step, &grad, &mut next);
         // Hard threshold to the s largest entries.
-        let keep = vector::top_k_abs_indices(&next, s);
-        let mut thresholded = vec![0.0; next.len()];
+        vector::top_k_abs_indices_into(&next, s, &mut keep);
+        thresholded.fill(0.0);
         for &i in &keep {
             thresholded[i] = next[i];
         }
         let change = vector::dist2(&thresholded, &alpha);
-        alpha = thresholded;
+        std::mem::swap(&mut alpha, &mut thresholded);
         if observer.active() {
             // One extra matvec for the residual at the new iterate; skipped
             // entirely on the no-op path.
-            let r = vector::sub(y, &a.matvec(&alpha));
+            a.matvec_into(&alpha, &mut ax);
+            for (r, (&yi, &axi)) in residual.iter_mut().zip(y.iter().zip(&ax)) {
+                *r = yi - axi;
+            }
             observer.on_iteration(&IterationEvent {
                 iteration: iter,
                 objective: vector::norm1(&alpha),
-                residual: vector::norm2(&r),
+                residual: vector::norm2(&residual),
                 step_size: Some(step),
             });
         }
@@ -456,9 +501,16 @@ pub fn solve_iht_observed(
         }
     }
 
-    let residual = vector::sub(y, &a.matvec(&alpha));
+    a.matvec_into(&alpha, &mut ax);
+    for (r, (&yi, &axi)) in residual.iter_mut().zip(y.iter().zip(&ax)) {
+        *r = yi - axi;
+    }
     let res_norm = vector::norm2(&residual);
     let objective = vector::norm1(&alpha);
+    for buf in [ax, residual, grad, next, thresholded] {
+        ws.release(buf);
+    }
+    ws.release_indices(keep);
     observer.on_complete(&ConvergenceTrace {
         solver: "iht",
         iterations,
@@ -569,6 +621,30 @@ mod tests {
         .unwrap();
         let err = vector::dist2(&result.signal, &truth);
         assert!(err < 0.05 * vector::norm2(&truth), "err {err}");
+    }
+
+    #[test]
+    fn iht_workspace_path_bit_identical_and_pool_reused() {
+        let a = dictionary(64, 128, 3);
+        let truth = sparse_truth(128, &[10, 90], &[3.0, -2.0]);
+        let y = a.matvec(&truth);
+        let opts = GreedyOptions {
+            max_sparsity: 2,
+            max_iterations: 500,
+            ..GreedyOptions::default()
+        };
+        let plain = solve_iht(&a, &y, &opts).unwrap();
+        let mut ws = SolverWorkspace::new();
+        for _ in 0..2 {
+            let pooled = solve_iht_workspace(&a, &y, &opts, &mut NoopObserver, &mut ws).unwrap();
+            assert_eq!(pooled.iterations, plain.iterations);
+            assert_eq!(pooled.residual.to_bits(), plain.residual.to_bits());
+            for (got, want) in pooled.signal.iter().zip(&plain.signal) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+            ws.release(pooled.signal);
+        }
+        assert!(ws.pooled() > 0, "buffers should return to the pool");
     }
 
     #[test]

@@ -66,20 +66,24 @@ pub mod prox;
 mod reweighted;
 mod watchdog;
 mod weights;
+mod workspace;
 
-pub use admm::{solve_admm, solve_admm_observed, AdmmOptions};
+pub use admm::{solve_admm, solve_admm_observed, solve_admm_workspace, AdmmOptions};
 pub use error::SolverError;
-pub use fista::{solve_fista, solve_fista_observed, FistaOptions};
+pub use fista::{solve_fista, solve_fista_observed, solve_fista_workspace, FistaOptions};
 pub use greedy::{
-    solve_cosamp, solve_cosamp_observed, solve_iht, solve_iht_observed, solve_omp,
-    solve_omp_observed, GreedyOptions,
+    solve_cosamp, solve_cosamp_observed, solve_iht, solve_iht_observed, solve_iht_workspace,
+    solve_omp, solve_omp_observed, GreedyOptions,
 };
 pub use operator::{ComposedOperator, DenseOperator, LinearOperator, SynthesisOperator};
-pub use pdhg::{solve_pdhg, solve_pdhg_observed, PdhgOptions};
+pub use pdhg::{solve_pdhg, solve_pdhg_observed, solve_pdhg_workspace, PdhgOptions};
 pub use problem::{BpdnProblem, RecoveryResult};
-pub use reweighted::{solve_reweighted, solve_reweighted_observed, ReweightedOptions};
+pub use reweighted::{
+    solve_reweighted, solve_reweighted_observed, solve_reweighted_workspace, ReweightedOptions,
+};
 pub use watchdog::{SolverWatchdog, WatchdogConfig, WatchdogTrip};
 pub use weights::band_weights;
+pub use workspace::SolverWorkspace;
 
 // Observability vocabulary re-exported so downstream crates can drive the
 // `*_observed` entry points without depending on `hybridcs-obs` directly.

@@ -28,6 +28,44 @@ pub trait LinearOperator {
     /// `out.len() != cols()`.
     fn apply_adjoint(&self, y: &[f64], out: &mut [f64]);
 
+    /// Scratch length required by [`LinearOperator::apply_into`] and
+    /// [`LinearOperator::apply_adjoint_into`] (0 unless overridden).
+    fn scratch_len(&self) -> usize {
+        0
+    }
+
+    /// Forward action using caller-provided scratch instead of internal
+    /// allocation. The default delegates to [`LinearOperator::apply`];
+    /// implementations with internal temporaries override this to become
+    /// allocation-free on the decode hot path.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on shape mismatches or if
+    /// `scratch.len() < self.scratch_len()`.
+    fn apply_into(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        let _ = scratch;
+        self.apply(x, out);
+    }
+
+    /// Adjoint action using caller-provided scratch — see
+    /// [`LinearOperator::apply_into`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on shape mismatches or if
+    /// `scratch.len() < self.scratch_len()`.
+    fn apply_adjoint_into(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        let _ = scratch;
+        self.apply_adjoint(y, out);
+    }
+
+    /// Whether the operator is exactly orthonormal (`AᵀA = AAᵀ = I`), in
+    /// which case `‖A‖₂ = 1` and compositions can skip the power iteration.
+    fn is_orthonormal(&self) -> bool {
+        false
+    }
+
     /// Estimate of the spectral norm `‖A‖₂` (power iteration by default).
     fn norm_est(&self) -> f64 {
         let (norm, _) = operator_norm_est(
@@ -86,11 +124,11 @@ impl LinearOperator for DenseOperator {
     }
 
     fn apply(&self, x: &[f64], out: &mut [f64]) {
-        out.copy_from_slice(&self.matrix.matvec(x));
+        self.matrix.matvec_into(x, out);
     }
 
     fn apply_adjoint(&self, y: &[f64], out: &mut [f64]) {
-        out.copy_from_slice(&self.matrix.matvec_transpose(y));
+        self.matrix.matvec_transpose_into(y, out);
     }
 }
 
@@ -147,6 +185,26 @@ impl LinearOperator for SynthesisOperator {
         out.copy_from_slice(&coeffs);
     }
 
+    fn scratch_len(&self) -> usize {
+        Dwt::scratch_len(self.len)
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        self.dwt
+            .inverse_into(x, out, scratch)
+            .expect("length validated at construction");
+    }
+
+    fn apply_adjoint_into(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        self.dwt
+            .forward_into(y, out, scratch)
+            .expect("length validated at construction");
+    }
+
+    fn is_orthonormal(&self) -> bool {
+        true
+    }
+
     fn norm_est(&self) -> f64 {
         1.0 // orthonormal by construction
     }
@@ -192,15 +250,50 @@ where
     }
 
     fn apply(&self, x: &[f64], out: &mut [f64]) {
-        let mut mid = vec![0.0; self.inner.rows()];
-        self.inner.apply(x, &mut mid);
-        self.outer.apply(&mid, out);
+        let mut scratch = vec![0.0; self.scratch_len()];
+        self.apply_into(x, out, &mut scratch);
     }
 
     fn apply_adjoint(&self, y: &[f64], out: &mut [f64]) {
-        let mut mid = vec![0.0; self.outer.cols()];
-        self.outer.apply_adjoint(y, &mut mid);
-        self.inner.apply_adjoint(&mid, out);
+        let mut scratch = vec![0.0; self.scratch_len()];
+        self.apply_adjoint_into(y, out, &mut scratch);
+    }
+
+    fn scratch_len(&self) -> usize {
+        // The intermediate `mid` vector plus whatever the children need.
+        self.inner.rows() + self.inner.scratch_len().max(self.outer.scratch_len())
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        let (mid, rest) = scratch.split_at_mut(self.inner.rows());
+        self.inner.apply_into(x, mid, rest);
+        self.outer.apply_into(mid, out, rest);
+    }
+
+    fn apply_adjoint_into(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        let (mid, rest) = scratch.split_at_mut(self.outer.cols());
+        self.outer.apply_adjoint_into(y, mid, rest);
+        self.inner.apply_adjoint_into(mid, out, rest);
+    }
+
+    fn is_orthonormal(&self) -> bool {
+        self.outer.is_orthonormal() && self.inner.is_orthonormal()
+    }
+
+    fn norm_est(&self) -> f64 {
+        if self.inner.is_orthonormal() {
+            // ‖A·Ψ‖₂ = ‖A‖₂ when Ψ is orthonormal: Ψ maps the unit sphere
+            // onto itself, so the composition's extremal gain is `outer`'s.
+            return self.outer.norm_est();
+        }
+        let (norm, _) = operator_norm_est(
+            self.cols(),
+            self.rows(),
+            |x, out| self.apply(x, out),
+            |y, out| self.apply_adjoint(y, out),
+            PowerIterationOptions::default(),
+        );
+        norm
     }
 }
 
@@ -283,6 +376,57 @@ mod tests {
         let mut aty = vec![0.0; 32];
         a.apply_adjoint(&y, &mut aty);
         assert!((vector::dot(&ax, &y) - vector::dot(&x, &aty)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composed_norm_est_delegates_through_orthonormal_inner() {
+        let dwt = Dwt::new(Wavelet::Db2, 2).unwrap();
+        let psi = SynthesisOperator::new(dwt, 32).unwrap();
+        let phi = dense(10, 32);
+        let a = ComposedOperator::new(&phi, &psi);
+        assert!(psi.is_orthonormal());
+        assert!(!phi.is_orthonormal());
+        // Delegation is exact: the composed estimate IS the outer estimate.
+        assert_eq!(a.norm_est().to_bits(), phi.norm_est().to_bits());
+        // And it agrees with what a power iteration over the composition
+        // would have found, because Ψ preserves the unit sphere.
+        let (direct, _) = operator_norm_est(
+            a.cols(),
+            a.rows(),
+            |x, out| a.apply(x, out),
+            |y, out| a.apply_adjoint(y, out),
+            PowerIterationOptions::default(),
+        );
+        assert!(
+            (a.norm_est() - direct).abs() < 1e-4 * direct,
+            "{} vs {direct}",
+            a.norm_est()
+        );
+    }
+
+    #[test]
+    fn composed_into_variants_match_allocating_paths() {
+        let dwt = Dwt::new(Wavelet::Db2, 2).unwrap();
+        let psi = SynthesisOperator::new(dwt, 32).unwrap();
+        let phi = dense(10, 32);
+        let a = ComposedOperator::new(&phi, &psi);
+        let mut scratch = vec![f64::NAN; a.scratch_len()];
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.21).sin()).collect();
+        let mut direct = vec![0.0; 10];
+        a.apply(&x, &mut direct);
+        let mut via_into = vec![f64::NAN; 10];
+        a.apply_into(&x, &mut via_into, &mut scratch);
+        for (d, v) in direct.iter().zip(&via_into) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+        let y: Vec<f64> = (0..10).map(|i| (i as f64 + 0.5).cos()).collect();
+        let mut direct_t = vec![0.0; 32];
+        a.apply_adjoint(&y, &mut direct_t);
+        let mut via_into_t = vec![f64::NAN; 32];
+        a.apply_adjoint_into(&y, &mut via_into_t, &mut scratch);
+        for (d, v) in direct_t.iter().zip(&via_into_t) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
     }
 
     #[test]

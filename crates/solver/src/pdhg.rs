@@ -1,5 +1,5 @@
 use crate::prox;
-use crate::{BpdnProblem, RecoveryResult, SolverError};
+use crate::{BpdnProblem, RecoveryResult, SolverError, SolverWorkspace};
 use hybridcs_linalg::vector;
 use hybridcs_obs::{ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, StopReason};
 use std::time::Instant;
@@ -82,6 +82,28 @@ pub fn solve_pdhg_observed(
     options: &PdhgOptions,
     observer: &mut dyn IterationObserver,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_pdhg_workspace(problem, options, observer, &mut SolverWorkspace::new())
+}
+
+/// [`solve_pdhg_observed`] with every iteration buffer drawn from a borrowed
+/// [`SolverWorkspace`]: when the workspace is reused across windows the inner
+/// loop performs zero heap allocations after warm-up.
+///
+/// The arithmetic — and therefore the result bits — is identical to
+/// [`solve_pdhg`]; only buffer management differs. The returned signal is
+/// itself a workspace buffer: callers on the hot path can hand it back via
+/// [`SolverWorkspace::release`] once consumed to keep the pool at steady
+/// state.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_pdhg`].
+pub fn solve_pdhg_workspace(
+    problem: &BpdnProblem<'_>,
+    options: &PdhgOptions,
+    observer: &mut dyn IterationObserver,
+    ws: &mut SolverWorkspace,
+) -> Result<RecoveryResult, SolverError> {
     let started = Instant::now();
     problem.validate()?;
     validate_options(options)?;
@@ -102,13 +124,23 @@ pub fn solve_pdhg_observed(
     let tau = gamma * options.step_ratio;
     let dual_step = gamma / options.step_ratio;
 
-    let mut x = problem.initial_point();
-    let mut x_bar = x.clone();
-    let mut z1 = vec![0.0; m];
-    let mut z2 = vec![0.0; n]; // unused without a box
-    let mut ax = vec![0.0; m];
-    let mut at_z1 = vec![0.0; n];
-    let mut snapshot = x.clone();
+    let mut x = ws.acquire(n);
+    problem.initial_point_into(&mut x);
+    let mut x_bar = ws.acquire(n);
+    x_bar.copy_from_slice(&x);
+    let mut z1 = ws.acquire(m);
+    let mut z2 = ws.acquire(n); // unused without a box
+    let mut ax = ws.acquire(m);
+    let mut at_z1 = ws.acquire(n);
+    let mut snapshot = ws.acquire(n);
+    snapshot.copy_from_slice(&x);
+    let mut ball_point = ws.acquire(m);
+    let mut box_point = ws.acquire(n);
+    let mut w = ws.acquire(n);
+    let mut coeffs = ws.acquire(n);
+    let mut x_new = ws.acquire(n);
+    let mut dwt_scratch = ws.acquire(hybridcs_dsp::Dwt::scratch_len(n));
+    let mut op_scratch = ws.acquire(a.scratch_len());
 
     let mut iterations = 0;
     let mut converged = false;
@@ -118,11 +150,13 @@ pub fn solve_pdhg_observed(
         iterations = iter;
 
         // Dual ascent on the fidelity ball: z1 ← v − ς·Π_ball(v/ς).
-        a.apply(&x_bar, &mut ax);
+        a.apply_into(&x_bar, &mut ax, &mut op_scratch);
         for (z, &axi) in z1.iter_mut().zip(&ax) {
             *z += dual_step * axi;
         }
-        let mut ball_point: Vec<f64> = z1.iter().map(|&v| v / dual_step).collect();
+        for (b, &z) in ball_point.iter_mut().zip(&z1) {
+            *b = z / dual_step;
+        }
         prox::project_l2_ball(&mut ball_point, y, problem.sigma);
         for (z, &p) in z1.iter_mut().zip(&ball_point) {
             *z -= dual_step * p;
@@ -133,7 +167,9 @@ pub fn solve_pdhg_observed(
             for (z, &xb) in z2.iter_mut().zip(&x_bar) {
                 *z += dual_step * xb;
             }
-            let mut box_point: Vec<f64> = z2.iter().map(|&v| v / dual_step).collect();
+            for (b, &z) in box_point.iter_mut().zip(&z2) {
+                *b = z / dual_step;
+            }
             prox::project_box(&mut box_point, lo, hi);
             for (z, &p) in z2.iter_mut().zip(&box_point) {
                 *z -= dual_step * p;
@@ -141,29 +177,31 @@ pub fn solve_pdhg_observed(
         }
 
         // Primal descent with the ℓ₁-in-Ψ prox.
-        a.apply_adjoint(&z1, &mut at_z1);
-        let mut w = x.clone();
+        a.apply_adjoint_into(&z1, &mut at_z1, &mut op_scratch);
+        w.copy_from_slice(&x);
         for i in 0..n {
             let grad = at_z1[i] + if has_box { z2[i] } else { 0.0 };
             w[i] -= tau * grad;
         }
-        let mut coeffs = dwt.forward(&w).expect("length validated");
+        dwt.forward_into(&w, &mut coeffs, &mut dwt_scratch)
+            .expect("length validated");
         match problem.coefficient_weights {
             Some(weights) => prox::soft_threshold_weighted(&mut coeffs, tau, weights),
             None => prox::soft_threshold_slice(&mut coeffs, tau),
         }
-        let x_new = dwt.inverse(&coeffs).expect("length validated");
+        dwt.inverse_into(&coeffs, &mut x_new, &mut dwt_scratch)
+            .expect("length validated");
 
         // Over-relaxation (θ = 1) and shift.
         for i in 0..n {
             x_bar[i] = 2.0 * x_new[i] - x[i];
         }
-        x = x_new;
+        std::mem::swap(&mut x, &mut x_new);
 
         if observer.active() {
             // `ax` is recomputed from `x_bar` at the top of the loop, so it
             // is safe to reuse here for the fidelity residual.
-            a.apply(&x, &mut ax);
+            a.apply_into(&x, &mut ax, &mut op_scratch);
             observer.on_iteration(&IterationEvent {
                 iteration: iter,
                 objective: vector::norm1(&coeffs),
@@ -193,9 +231,25 @@ pub fn solve_pdhg_observed(
         prox::project_box(&mut x, lo, hi);
     }
 
-    a.apply(&x, &mut ax);
+    a.apply_into(&x, &mut ax, &mut op_scratch);
     let residual = vector::dist2(&ax, y);
-    let objective = vector::norm1(&dwt.forward(&x).expect("length validated"));
+    dwt.forward_into(&x, &mut coeffs, &mut dwt_scratch)
+        .expect("length validated");
+    let objective = vector::norm1(&coeffs);
+
+    ws.release(x_bar);
+    ws.release(z1);
+    ws.release(z2);
+    ws.release(ax);
+    ws.release(at_z1);
+    ws.release(snapshot);
+    ws.release(ball_point);
+    ws.release(box_point);
+    ws.release(w);
+    ws.release(coeffs);
+    ws.release(x_new);
+    ws.release(dwt_scratch);
+    ws.release(op_scratch);
 
     observer.on_complete(&ConvergenceTrace {
         solver: "pdhg",

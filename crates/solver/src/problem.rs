@@ -74,7 +74,7 @@ impl BpdnProblem<'_> {
                 value: self.sigma,
             });
         }
-        self.dwt.layout(n)?;
+        self.dwt.validate_len(n)?;
         if let Some((lo, hi)) = self.box_bounds {
             if lo.len() != n {
                 return Err(SolverError::DimensionMismatch {
@@ -132,13 +132,26 @@ impl BpdnProblem<'_> {
     /// otherwise the adjoint back-projection `Φᵀy`.
     #[must_use]
     pub fn initial_point(&self) -> Vec<f64> {
+        let mut x0 = vec![0.0; self.signal_len()];
+        self.initial_point_into(&mut x0);
+        x0
+    }
+
+    /// Allocation-free [`BpdnProblem::initial_point`]: writes the starting
+    /// point into `out` (length `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.signal_len()`.
+    pub fn initial_point_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.signal_len(), "initial point length");
         match self.box_bounds {
-            Some((lo, hi)) => lo.iter().zip(hi).map(|(l, h)| 0.5 * (l + h)).collect(),
-            None => {
-                let mut x0 = vec![0.0; self.signal_len()];
-                self.sensing.apply_adjoint(self.measurements, &mut x0);
-                x0
+            Some((lo, hi)) => {
+                for ((o, l), h) in out.iter_mut().zip(lo).zip(hi) {
+                    *o = 0.5 * (l + h);
+                }
             }
+            None => self.sensing.apply_adjoint(self.measurements, out),
         }
     }
 }

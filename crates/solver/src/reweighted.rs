@@ -1,4 +1,6 @@
-use crate::{solve_pdhg_observed, BpdnProblem, PdhgOptions, RecoveryResult, SolverError};
+use crate::{
+    solve_pdhg_workspace, BpdnProblem, PdhgOptions, RecoveryResult, SolverError, SolverWorkspace,
+};
 use hybridcs_obs::{ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, StopReason};
 use std::time::Instant;
 
@@ -99,6 +101,27 @@ pub fn solve_reweighted_observed(
     options: &ReweightedOptions,
     observer: &mut dyn IterationObserver,
 ) -> Result<RecoveryResult, SolverError> {
+    solve_reweighted_workspace(problem, options, observer, &mut SolverWorkspace::new())
+}
+
+/// [`solve_reweighted_observed`] with every buffer — the inner PDHG state,
+/// the per-round coefficient scratch, and the weight vector — drawn from a
+/// caller-owned [`SolverWorkspace`]: once the workspace has been warmed, the
+/// reweighting rounds perform **zero heap allocations**. Results are
+/// bit-identical to [`solve_reweighted`].
+///
+/// The returned `signal` is a workspace buffer; pass it back via
+/// [`SolverWorkspace::release`] to keep the pool in steady state.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_reweighted`].
+pub fn solve_reweighted_workspace(
+    problem: &BpdnProblem<'_>,
+    options: &ReweightedOptions,
+    observer: &mut dyn IterationObserver,
+    ws: &mut SolverWorkspace,
+) -> Result<RecoveryResult, SolverError> {
     let started = Instant::now();
     if options.outer_iterations == 0 {
         return Err(SolverError::BadParameter {
@@ -114,8 +137,12 @@ pub fn solve_reweighted_observed(
     }
     problem.validate()?;
 
+    let n = problem.signal_len();
     let dwt = problem.dwt;
-    let mut weights: Option<Vec<f64>> = problem.coefficient_weights.map(<[f64]>::to_vec);
+    let mut dwt_scratch = ws.acquire(hybridcs_dsp::Dwt::scratch_len(n));
+    let mut coeffs = ws.acquire(n);
+    let mut weights_buf = ws.acquire(n);
+    let mut have_weights = false;
     let mut total_iterations = 0;
     let mut last: Option<RecoveryResult> = None;
     let mut aborted = false;
@@ -127,26 +154,40 @@ pub fn solve_reweighted_observed(
             measurements: problem.measurements,
             sigma: problem.sigma,
             box_bounds: problem.box_bounds,
-            coefficient_weights: weights.as_deref(),
+            coefficient_weights: if have_weights {
+                Some(weights_buf.as_slice())
+            } else {
+                problem.coefficient_weights
+            },
         };
         let mut forward = OffsetForward {
             inner: observer,
             offset: total_iterations,
         };
-        let result = solve_pdhg_observed(&round_problem, &options.inner, &mut forward)?;
+        let result = solve_pdhg_workspace(&round_problem, &options.inner, &mut forward, ws)?;
         total_iterations += result.iterations;
 
         // Next round's weights from this round's coefficients.
-        let coeffs = dwt.forward(&result.signal).expect("length validated");
+        dwt.forward_into(&result.signal, &mut coeffs, &mut dwt_scratch)
+            .expect("length validated");
         let max = coeffs.iter().fold(0.0_f64, |m, c| m.max(c.abs()));
         let eps = (options.epsilon_rel * max).max(f64::MIN_POSITIVE);
-        weights = Some(coeffs.iter().map(|c| eps / (c.abs() + eps)).collect());
+        for (w, c) in weights_buf.iter_mut().zip(&coeffs) {
+            *w = eps / (c.abs() + eps);
+        }
+        have_weights = true;
+        if let Some(prev) = last.take() {
+            ws.release(prev.signal);
+        }
         last = Some(result);
 
         if observer.should_abort() {
             aborted = true;
             break;
         }
+    }
+    for buf in [dwt_scratch, coeffs, weights_buf] {
+        ws.release(buf);
     }
 
     let mut result = last.expect("outer_iterations >= 1");

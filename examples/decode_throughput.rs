@@ -1,0 +1,330 @@
+//! Decode-throughput baseline: the zero-allocation hot path versus the
+//! pre-optimization decode, measured in the same process.
+//!
+//! ```sh
+//! cargo run --release --example decode_throughput
+//! ```
+//!
+//! Two phases, both gated (the process exits non-zero on any failure):
+//!
+//! 1. **Throughput** — the same encoded windows are decoded through two
+//!    paths whose outputs are asserted to agree to near machine precision:
+//!    * *baseline*: the pre-optimization shape — unpacked `±1` sensing
+//!      rows folded serially (one multiply-accumulate chain per row, the
+//!      arithmetic the packed kernels replaced), a fresh power iteration
+//!      for `‖A‖` on every decode, and the Vec-returning solver entry
+//!      point (fresh buffers per solve);
+//!    * *optimized*: [`HybridDecoder::decode_workspace`] — bit-packed
+//!      sensing with table-driven 4-wide kernels, the decoder's cached
+//!      norm estimate, and one reused [`SolverWorkspace`].
+//!
+//!    The two paths differ only in summation grouping (4-wide vs serial),
+//!    so agreement is checked at a tight relative tolerance rather than
+//!    bit equality. Windows/sec for both paths and p50/p90/p99 per-window
+//!    latency go into the bench report; the optimized path must be ≥ 2×
+//!    faster.
+//! 2. **Zero-allocation gate** — with the process running under the
+//!    [`hybridcs_bench::alloc_counter::CountingAllocator`], a span of
+//!    steady-state workspace solves (problems pre-built, workspace
+//!    warmed, recovered signals recycled) must perform **zero** heap
+//!    allocations.
+//!
+//! The bench report (`BENCH_decode.json` by default, JSONL in the
+//! `hybridcs-obs` export schema) carries the latency histograms and the
+//! `decode_bench_*` gauges.
+//!
+//! Environment knobs: `HYBRIDCS_DECODE_WINDOWS` (default 12),
+//! `HYBRIDCS_DECODE_BENCH_PATH` (default `BENCH_decode.json`).
+
+use hybridcs::codec::experiment::default_training_windows;
+use hybridcs::codec::{
+    train_lowres_codec, DecoderAlgorithm, EncodedWindow, HybridDecoder, HybridFrontEnd,
+    SensingOperator, SystemConfig,
+};
+use hybridcs::ecg::{EcgGenerator, GeneratorConfig};
+use hybridcs::frontend::{LowResChannel, LowResFrame, SensingMatrix};
+use hybridcs::solver::{
+    solve_pdhg, solve_pdhg_workspace, BpdnProblem, LinearOperator, NoopObserver, PdhgOptions,
+    SolverWorkspace,
+};
+use hybridcs_bench::alloc_counter::{self, CountingAllocator};
+use std::time::Instant;
+
+// The allocator must be global for the Phase-2 gate to observe the solver;
+// it delegates to `System` and is free until `start_counting` arms it.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Throughput floor the optimized path must clear over the baseline.
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The pre-optimization sensing operator: unpacked `±1` chips stored one
+/// `f64` each, folded with a single serial multiply-accumulate chain per
+/// row (forward) and row-sequential accumulation (adjoint) — the exact
+/// arithmetic the packed table-driven kernels replaced — plus the
+/// trait-default `norm_est` (a fresh power iteration per call, i.e. per
+/// decode, exactly what the decoder did before the norm was cached).
+struct SerialBernoulli {
+    rows: Vec<Vec<f64>>,
+    scale: f64,
+    n: usize,
+}
+
+impl SerialBernoulli {
+    fn of(sensing: &SensingMatrix) -> Self {
+        let mat = sensing.to_matrix();
+        let rows = (0..sensing.measurements())
+            .map(|i| {
+                (0..sensing.window())
+                    .map(|j| if mat.get(i, j) < 0.0 { -1.0 } else { 1.0 })
+                    .collect()
+            })
+            .collect();
+        SerialBernoulli {
+            rows,
+            scale: 1.0 / (sensing.window() as f64).sqrt(),
+            n: sensing.window(),
+        }
+    }
+}
+
+impl LinearOperator for SerialBernoulli {
+    fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn cols(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        for (yi, row) in out.iter_mut().zip(&self.rows) {
+            let acc: f64 = row.iter().zip(x).map(|(c, v)| c * v).sum();
+            *yi = self.scale * acc;
+        }
+    }
+
+    fn apply_adjoint(&self, y: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for (row, &yi) in self.rows.iter().zip(y) {
+            let w = self.scale * yi;
+            for (xj, c) in out.iter_mut().zip(row) {
+                *xj += w * c;
+            }
+        }
+    }
+}
+
+/// Entropy-decodes one window's low-resolution stream into box bounds —
+/// the same steps `decode_workspace` performs internally, repeated here so
+/// the baseline pays the identical side-channel cost.
+fn decode_bounds(
+    codec: &hybridcs::coding::LowResCodec,
+    channel: &LowResChannel,
+    encoded: &EncodedWindow,
+) -> Result<(Vec<f64>, Vec<f64>), Box<dyn std::error::Error>> {
+    let codes = codec.decode(&encoded.lowres, encoded.window_len)?;
+    Ok(LowResFrame::from_codes(codes, channel)?.bounds())
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let windows = env_usize("HYBRIDCS_DECODE_WINDOWS", 12).max(1);
+    let bench_path =
+        std::env::var("HYBRIDCS_DECODE_BENCH_PATH").unwrap_or_else(|_| "BENCH_decode.json".into());
+    let registry = hybridcs::obs::global();
+
+    let config = SystemConfig::default(); // 512-sample windows, m = 96
+    let DecoderAlgorithm::Pdhg(pdhg) = &config.algorithm else {
+        return Err("decode bench expects the default PDHG configuration".into());
+    };
+    let opts: PdhgOptions = *pdhg;
+    let lowres = train_lowres_codec(config.lowres_bits, &default_training_windows(config.window))?;
+    let frontend = HybridFrontEnd::new(&config, lowres.clone())?;
+    let decoder = HybridDecoder::new(&config, lowres.clone())?;
+
+    // Encode the corpus once; both paths decode the same payloads.
+    let physiology = GeneratorConfig::normal_sinus();
+    let seconds = (windows * config.window) as f64 / physiology.fs_hz + 2.0;
+    let strip = EcgGenerator::new(physiology)?.generate(seconds, 0xDEC0);
+    let encoded: Vec<EncodedWindow> = strip
+        .chunks_exact(config.window)
+        .take(windows)
+        .map(|w| frontend.encode(w))
+        .collect::<Result<_, _>>()?;
+    assert_eq!(encoded.len(), windows, "strip long enough for all windows");
+    println!(
+        "decode bench: {windows} windows of {} samples, m = {}, PDHG x {} iterations",
+        config.window, config.measurements, opts.max_iterations
+    );
+
+    // Baseline machinery: the decoder's exact matrix, pre-change arithmetic.
+    let sensing = SensingMatrix::bernoulli(config.measurements, config.window, config.seed)?;
+    let serial = SerialBernoulli::of(&sensing);
+    let dwt = config.dwt()?;
+    let channel = LowResChannel::new(config.lowres_bits)?;
+    let sigma = decoder.sigma();
+
+    let decode_baseline = |w: &EncodedWindow| -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+        let (lo, hi) = decode_bounds(&lowres, &channel, w)?;
+        let problem = BpdnProblem {
+            sensing: &serial,
+            dwt: &dwt,
+            measurements: &w.measurements,
+            sigma,
+            box_bounds: Some((&lo[..], &hi[..])),
+            coefficient_weights: None,
+        };
+        Ok(solve_pdhg(&problem, &opts)?.signal)
+    };
+
+    // --- equivalence: the optimized path changes nothing but speed -----
+    // The packed kernels fold in groups of four where the baseline folds
+    // serially; that summation regrouping perturbs each matvec at the
+    // rounding level (~1e-16 relative), so full decodes must agree to a
+    // tight relative tolerance rather than bit-for-bit.
+    let mut ws = SolverWorkspace::new();
+    for w in encoded.iter().take(2) {
+        let base = decode_baseline(w)?;
+        let opt = decoder.decode_workspace(w, true, &mut NoopObserver, &mut ws)?;
+        assert_eq!(base.len(), opt.signal.len());
+        let span = base.iter().fold(0.0f64, |a, b| a.max(b.abs())).max(1e-12);
+        for (i, (b, o)) in base.iter().zip(&opt.signal).enumerate() {
+            assert!(
+                (b - o).abs() <= 1e-9 * span,
+                "optimized decode diverged from baseline at sample {i}: {b} vs {o}"
+            );
+        }
+    }
+    println!("decode bench: baseline and optimized decodes agree to 1e-9 relative");
+
+    // --- phase 1: throughput ------------------------------------------
+    let h_base = registry.histogram("decode_window_seconds", &[("path", "baseline")]);
+    let h_opt = registry.histogram("decode_window_seconds", &[("path", "optimized")]);
+
+    let base_start = Instant::now();
+    for w in &encoded {
+        let t = Instant::now();
+        std::hint::black_box(decode_baseline(w)?);
+        h_base.record(t.elapsed().as_secs_f64());
+    }
+    let base_s = base_start.elapsed().as_secs_f64();
+
+    let opt_start = Instant::now();
+    for w in &encoded {
+        let t = Instant::now();
+        std::hint::black_box(decoder.decode_workspace(w, true, &mut NoopObserver, &mut ws)?);
+        h_opt.record(t.elapsed().as_secs_f64());
+    }
+    let opt_s = opt_start.elapsed().as_secs_f64();
+
+    let speedup = base_s / opt_s;
+    let throughput = windows as f64 / opt_s;
+    println!(
+        "decode bench: baseline {:.1} windows/s, optimized {throughput:.1} windows/s \
+         ({speedup:.2}x)",
+        windows as f64 / base_s
+    );
+    let snapshot = registry.snapshot();
+    for name in ["baseline", "optimized"] {
+        if let Some(p) = snapshot
+            .histogram_snapshot("decode_window_seconds", &[("path", name)])
+            .and_then(hybridcs::obs::HistogramSnapshot::percentiles)
+        {
+            println!(
+                "decode bench: {name} latency p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms",
+                p.p50 * 1e3,
+                p.p90 * 1e3,
+                p.p99 * 1e3
+            );
+        }
+    }
+
+    // --- phase 2: zero-allocation gate --------------------------------
+    // Problems are pre-built (operator, bounds, measurements) and the
+    // workspace warmed, so the counted span is pure steady-state solver
+    // work — the regime a long-running gateway shard sits in.
+    let norm = SensingOperator::new(&sensing).norm_est();
+    let operator = SensingOperator::with_norm(&sensing, norm);
+    let bounds: Vec<(Vec<f64>, Vec<f64>)> = encoded
+        .iter()
+        .map(|w| decode_bounds(&lowres, &channel, w))
+        .collect::<Result<_, _>>()?;
+    let problems: Vec<BpdnProblem<'_>> = encoded
+        .iter()
+        .zip(&bounds)
+        .map(|(w, (lo, hi))| BpdnProblem {
+            sensing: &operator,
+            dwt: &dwt,
+            measurements: &w.measurements,
+            sigma,
+            box_bounds: Some((&lo[..], &hi[..])),
+            coefficient_weights: None,
+        })
+        .collect();
+    for problem in &problems {
+        let warm = solve_pdhg_workspace(problem, &opts, &mut NoopObserver, &mut ws)?;
+        ws.release(warm.signal);
+    }
+
+    alloc_counter::start_counting();
+    for problem in &problems {
+        match solve_pdhg_workspace(problem, &opts, &mut NoopObserver, &mut ws) {
+            Ok(result) => ws.release(result.signal),
+            Err(e) => {
+                let _ = alloc_counter::stop_counting();
+                return Err(e.into());
+            }
+        }
+    }
+    let allocations = alloc_counter::stop_counting();
+    #[allow(clippy::cast_precision_loss)]
+    let allocs_per_window = allocations as f64 / windows as f64;
+    println!(
+        "decode bench: {allocations} heap allocations across {windows} steady-state solves \
+         ({allocs_per_window:.2}/window)"
+    );
+
+    // --- report + gates -----------------------------------------------
+    registry
+        .gauge("decode_bench_windows", &[])
+        .set(windows as f64);
+    registry
+        .gauge("decode_bench_baseline_seconds", &[])
+        .set(base_s);
+    registry
+        .gauge("decode_bench_optimized_seconds", &[])
+        .set(opt_s);
+    registry
+        .gauge("decode_bench_throughput_windows_per_s", &[])
+        .set(throughput);
+    registry.gauge("decode_bench_speedup", &[]).set(speedup);
+    registry
+        .gauge("decode_bench_allocations_per_window", &[])
+        .set(allocs_per_window);
+    let path = std::path::PathBuf::from(bench_path);
+    hybridcs::obs::export::write_jsonl(&path, "decode_throughput", &registry.snapshot(), &[])?;
+    println!("decode bench: report written to {}", path.display());
+
+    if allocations != 0 {
+        eprintln!(
+            "error: solver hot path allocated {allocations} times after warm-up (expected 0)"
+        );
+        std::process::exit(1);
+    }
+    if speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "error: optimized decode speedup {speedup:.2}x below the {SPEEDUP_FLOOR:.1}x floor"
+        );
+        std::process::exit(1);
+    }
+    println!("decode bench: OK ({speedup:.2}x, 0 allocations/window)");
+    Ok(())
+}

@@ -76,6 +76,30 @@ fi
 HYBRIDCS_OBS_CHECK="$GATEWAY_BENCH" \
     cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
 
+echo "==> decode-throughput gates (zero-alloc hot path + speedup floor)"
+# The example runs under a counting global allocator and exits non-zero if
+# a span of steady-state workspace solves performs any heap allocation, or
+# if the optimized decode path fails its 2x throughput floor over the
+# retained pre-optimization baseline. Its bench report must pass the
+# shared JSONL schema checker.
+DECODE_BENCH="$OBS_TMP/BENCH_decode.json"
+DECODE_OUT="$(HYBRIDCS_DECODE_WINDOWS=4 HYBRIDCS_DECODE_BENCH_PATH="$DECODE_BENCH" \
+    cargo run -q --release --offline --example decode_throughput)"
+if ! grep -q "decode bench: OK" <<<"$DECODE_OUT"; then
+    echo "error: decode_throughput did not pass its gates" >&2
+    exit 1
+fi
+if ! grep -q "0 heap allocations" <<<"$DECODE_OUT"; then
+    echo "error: decode_throughput did not certify a zero-allocation hot path" >&2
+    exit 1
+fi
+if [ ! -s "$DECODE_BENCH" ]; then
+    echo "error: decode_throughput did not write BENCH_decode.json" >&2
+    exit 1
+fi
+HYBRIDCS_OBS_CHECK="$DECODE_BENCH" \
+    cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
+
 echo "==> verifying Cargo.lock stays registry-free"
 if grep -E '^source = ' Cargo.lock; then
     echo "error: Cargo.lock references an external registry source" >&2

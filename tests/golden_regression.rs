@@ -12,7 +12,7 @@
 use hybridcs::codec::{DecoderAlgorithm, HybridCodec, SystemConfig};
 use hybridcs::ecg::{Corpus, CorpusConfig};
 use hybridcs::metrics::{prd, snr_db};
-use hybridcs::solver::PdhgOptions;
+use hybridcs::solver::{NoopObserver, PdhgOptions, SolverWorkspace};
 
 /// Golden values measured at pin time (see assertions for tolerance).
 const GOLDEN_PRD_PERCENT: f64 = 7.485311355642;
@@ -61,4 +61,63 @@ fn golden_hybrid_operating_point_is_pinned() {
     // band for CR ≈ 81% ("good" reconstruction is PRD < 9%).
     const { assert!(GOLDEN_PRD_PERCENT < 9.0) };
     const { assert!(GOLDEN_SNR_DB > 15.0) };
+}
+
+/// The zero-allocation hot path must sit on the *same* golden operating
+/// point: `decode_workspace` with a warm, reused arena is required to be
+/// bit-identical to the convenience `decode` (which builds a fresh
+/// workspace per call), so the PRD/SNR pins above cover it too. This test
+/// makes that containment explicit — a fast-path-only regression (buffer
+/// reuse leaking state between solves, a kernel drifting from the grouped
+/// reference order) breaks here even if the fresh-workspace path still
+/// matches the pins.
+#[test]
+fn golden_point_survives_the_workspace_hot_path() {
+    let config = SystemConfig {
+        measurements: 96,
+        algorithm: DecoderAlgorithm::Pdhg(PdhgOptions {
+            max_iterations: 800,
+            tolerance: 1e-4,
+            ..PdhgOptions::default()
+        }),
+        ..SystemConfig::default()
+    };
+    let corpus = Corpus::generate(&CorpusConfig {
+        records: 1,
+        duration_s: 2.0,
+        seed: 0x601D,
+    });
+    let window: Vec<f64> = corpus.records()[0].samples_mv()[..512].to_vec();
+
+    let codec = HybridCodec::with_default_training(&config).unwrap();
+    let encoded = codec.encode(&window).unwrap();
+    let fresh = codec.decode(&encoded).unwrap();
+
+    // Decode twice through one arena: the second pass runs entirely on
+    // recycled buffers (the steady state the allocation gate measures).
+    let mut ws = SolverWorkspace::new();
+    let decoder = codec.decoder();
+    let _warm = decoder
+        .decode_workspace(&encoded, true, &mut NoopObserver, &mut ws)
+        .unwrap();
+    let reused = decoder
+        .decode_workspace(&encoded, true, &mut NoopObserver, &mut ws)
+        .unwrap();
+
+    for (i, (a, b)) in fresh.signal.iter().zip(&reused.signal).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "warm workspace decode diverged from fresh decode at sample {i}: {a} vs {b}"
+        );
+    }
+    let got_prd = prd(&window, &reused.signal);
+    let got_snr = snr_db(&window, &reused.signal);
+    assert!(
+        (got_prd - GOLDEN_PRD_PERCENT).abs() < TOLERANCE,
+        "workspace-path PRD drifted: got {got_prd:.12}%, pinned {GOLDEN_PRD_PERCENT}%"
+    );
+    assert!(
+        (got_snr - GOLDEN_SNR_DB).abs() < TOLERANCE,
+        "workspace-path SNR drifted: got {got_snr:.12} dB, pinned {GOLDEN_SNR_DB} dB"
+    );
 }
