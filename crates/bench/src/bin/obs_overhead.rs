@@ -1,0 +1,193 @@
+//! Telemetry-overhead gate: the gateway decode path with `HYBRIDCS_OBS`
+//! telemetry **on** must stay bit-identical to the default path and cost
+//! at most a bounded throughput overhead (default ≤ 5%).
+//!
+//! ```sh
+//! cargo run --release --bin obs_overhead
+//! ```
+//!
+//! The same frame stream is pushed through identical gateways twice per
+//! round — telemetry off, then on (spans, flight recorder, event
+//! contexts all live) — for several rounds, taking the **minimum** wall
+//! time per mode so scheduler noise cannot fail the gate spuriously. The
+//! process exits non-zero when
+//!
+//! * any decoded window differs between the two modes (the telemetry
+//!   layer must be purely observational), or
+//! * `min(on) / min(off) − 1` exceeds the overhead limit.
+//!
+//! The bench report (`BENCH_obs.json` by default, JSONL in the
+//! `hybridcs-obs` export schema) carries both throughputs, the measured
+//! overhead ratio, and the flight-recorder event volume of the enabled
+//! run.
+//!
+//! Environment knobs: `HYBRIDCS_OBS_WINDOWS` (default 16 frames per run),
+//! `HYBRIDCS_OBS_ROUNDS` (default 3), `HYBRIDCS_OBS_OVERHEAD_LIMIT`
+//! (default 0.05), `HYBRIDCS_OBS_BENCH_PATH` (default `BENCH_obs.json`).
+
+use hybridcs_coding::LowResCodec;
+use hybridcs_core::experiment::default_training_windows;
+use hybridcs_core::telemetry::FrameCodec;
+use hybridcs_core::{train_lowres_codec, HybridFrontEnd, SystemConfig};
+use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
+use hybridcs_gateway::{Gateway, GatewayConfig};
+use hybridcs_obs::flight::recorder;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Rig {
+    system: SystemConfig,
+    codec: LowResCodec,
+    frames: Vec<Vec<u8>>,
+}
+
+fn rig(frames: usize) -> Rig {
+    let system = SystemConfig {
+        measurements: 64,
+        ..SystemConfig::default()
+    };
+    let codec = train_lowres_codec(system.lowres_bits, &default_training_windows(system.window))
+        .expect("codec trains");
+    let frontend = HybridFrontEnd::new(&system, codec.clone()).expect("frontend builds");
+    let wire = FrameCodec::new(&system).expect("wire codec builds");
+    let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).expect("generator builds");
+    let strip = generator.generate(frames as f64, 0x0B5_0B5);
+    let frames = strip
+        .chunks_exact(system.window)
+        .take(frames)
+        .enumerate()
+        .map(|(seq, window)| {
+            let encoded = frontend.encode(window).expect("window encodes");
+            wire.serialize(seq as u32, &encoded)
+                .expect("frame serializes")
+        })
+        .collect();
+    Rig {
+        system,
+        codec,
+        frames,
+    }
+}
+
+/// Pushes the whole stream through a fresh gateway and returns the wall
+/// time plus every decoded signal (the bit-identity evidence).
+fn run(rig: &Rig, telemetry: bool) -> (f64, Vec<Vec<f64>>) {
+    hybridcs_obs::set_enabled(telemetry);
+    recorder().clear();
+    let mut gateway = Gateway::new(GatewayConfig {
+        // Admit every window so the heavy hybrid solves dominate — the
+        // realistic worst case for relative telemetry overhead is not the
+        // interesting one; the realistic steady state is.
+        admit_quota: u32::MAX,
+        admit_window: u32::MAX,
+        ..GatewayConfig::default()
+    })
+    .expect("gateway config valid");
+    gateway
+        .handshake(1, &rig.system, rig.codec.clone())
+        .expect("handshake");
+    let started = Instant::now();
+    for frame in &rig.frames {
+        gateway.push(1, frame).expect("push");
+    }
+    gateway.flush().expect("flush");
+    let elapsed = started.elapsed().as_secs_f64();
+    let outputs = gateway
+        .take_outputs(1)
+        .expect("outputs")
+        .into_iter()
+        .map(|w| w.signal)
+        .collect();
+    // Leave nothing armed for the next run.
+    let _ = hybridcs_obs::drain_events();
+    hybridcs_obs::set_enabled(false);
+    (elapsed, outputs)
+}
+
+fn main() {
+    let frames = env_usize("HYBRIDCS_OBS_WINDOWS", 16);
+    let rounds = env_usize("HYBRIDCS_OBS_ROUNDS", 3).max(1);
+    let limit = env_f64("HYBRIDCS_OBS_OVERHEAD_LIMIT", 0.05);
+    let bench_path =
+        std::env::var("HYBRIDCS_OBS_BENCH_PATH").unwrap_or_else(|_| "BENCH_obs.json".to_string());
+    let rig = rig(frames);
+
+    // Warm both paths (operator caches, allocator pools, page faults).
+    let (_, baseline) = run(&rig, false);
+    let (_, telemetry) = run(&rig, true);
+    assert_eq!(
+        baseline, telemetry,
+        "telemetry-enabled decode output diverged from default"
+    );
+
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut events_recorded = 0u64;
+    for _ in 0..rounds {
+        let (t_off, out_off) = run(&rig, false);
+        let (t_on, out_on) = run(&rig, true);
+        assert_eq!(out_off, baseline, "default path output not reproducible");
+        assert_eq!(out_on, baseline, "telemetry path output diverged");
+        best_off = best_off.min(t_off);
+        best_on = best_on.min(t_on);
+        events_recorded = events_recorded.max(recorder().recorded());
+    }
+    let overhead = best_on / best_off - 1.0;
+    let throughput_off = frames as f64 / best_off;
+    let throughput_on = frames as f64 / best_on;
+    println!(
+        "decode throughput: telemetry off {throughput_off:.1} windows/s, \
+         on {throughput_on:.1} windows/s ({} rounds, min-of-N)",
+        rounds
+    );
+    println!(
+        "telemetry overhead: {:+.2}% (limit {:.2}%), {} flight events/run",
+        overhead * 100.0,
+        limit * 100.0,
+        events_recorded
+    );
+
+    let registry = hybridcs_obs::MetricsRegistry::new();
+    registry
+        .gauge("obs_overhead_ratio", &[])
+        .set(overhead.max(0.0));
+    registry
+        .gauge("obs_windows_per_second", &[("telemetry", "off")])
+        .set(throughput_off);
+    registry
+        .gauge("obs_windows_per_second", &[("telemetry", "on")])
+        .set(throughput_on);
+    registry
+        .gauge("obs_flight_events_per_run", &[])
+        .set(events_recorded as f64);
+    let path = std::path::PathBuf::from(&bench_path);
+    hybridcs_obs::export::write_jsonl(&path, "obs_overhead", &registry.snapshot(), &[])
+        .expect("bench report writes");
+    println!("bench report: {}", path.display());
+
+    assert!(
+        events_recorded > 0,
+        "telemetry-enabled run recorded no flight events — the gate is \
+         not measuring what it claims to"
+    );
+    assert!(
+        overhead <= limit,
+        "telemetry overhead {:.2}% exceeds the {:.2}% limit",
+        overhead * 100.0,
+        limit * 100.0
+    );
+    println!("obs overhead: OK");
+}

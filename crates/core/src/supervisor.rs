@@ -77,6 +77,18 @@ impl LadderRung {
             LadderRung::Concealed => "concealed",
         }
     }
+
+    /// Stable numeric code matching the flight-recorder
+    /// [`RUNGS`](hybridcs_obs::flight::RUNGS) table.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            LadderRung::Hybrid => 0,
+            LadderRung::CsOnly => 1,
+            LadderRung::LowResOnly => 2,
+            LadderRung::Concealed => 3,
+        }
+    }
 }
 
 /// Supervisor policy knobs.
@@ -426,8 +438,11 @@ impl SessionLedger {
     /// or last-good update. Always yields a finite window — the bottom
     /// (concealment) rung cannot fail.
     pub fn commit(&mut self, sequence: Option<u32>, outcome: LadderOutcome) -> SupervisedWindow {
+        use hybridcs_obs::flight::{demotion_reason_code, emit};
+        use hybridcs_obs::EventKind;
         let registry = hybridcs_obs::global();
         registry.counter("supervisor_windows_total", &[]).inc();
+        let commit_arg = sequence.map_or(u64::MAX, u64::from);
         for (rung, reason) in &outcome.demotions {
             registry
                 .counter(
@@ -435,12 +450,18 @@ impl SessionLedger {
                     &[("rung", rung.name()), ("reason", reason)],
                 )
                 .inc();
+            emit(
+                EventKind::Demotion,
+                rung.code(),
+                u64::from(demotion_reason_code(reason)),
+            );
         }
         match outcome.chosen {
             Some((rung, signal, decoded)) => {
                 registry
                     .counter("supervisor_rung_total", &[("rung", rung.name())])
                     .inc();
+                emit(EventKind::Commit, rung.code(), commit_arg);
                 self.last_good = Some(signal.clone());
                 self.consecutive_concealed = 0;
                 SupervisedWindow {
@@ -466,6 +487,7 @@ impl SessionLedger {
                         &[("rung", LadderRung::Concealed.name())],
                     )
                     .inc();
+                emit(EventKind::Commit, LadderRung::Concealed.code(), commit_arg);
                 SupervisedWindow {
                     sequence,
                     rung: LadderRung::Concealed,

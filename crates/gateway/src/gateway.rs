@@ -7,9 +7,11 @@ use std::time::Instant;
 use hybridcs_coding::{LowResCodec, Payload};
 use hybridcs_core::{DecodeLadder, LadderOutcome, SessionLedger, SupervisedWindow, SystemConfig};
 use hybridcs_faults::{NackOutcome, RetryQueue};
+use hybridcs_obs::flight::{emit_with, set_context};
+use hybridcs_obs::{EventContext, EventKind};
 use hybridcs_solver::SolverWorkspace;
 
-use crate::session::{Session, SessionPhase, Slot};
+use crate::session::{Queued, Session, SessionPhase, Slot};
 use crate::{GatewayConfig, GatewayError};
 
 /// One shape-keyed entry in the shared operator cache.
@@ -29,6 +31,23 @@ struct Job {
     lowres: Option<Payload>,
     skip_solvers: bool,
     ladder: Arc<DecodeLadder>,
+    /// Deterministic logical ingest stamp (flight-event attribution).
+    logical: u64,
+    /// Wall-clock ingest instant — the frame-to-commit latency origin.
+    ingest_at: Instant,
+    /// Instant the window left the reorder buffer for the batch; the
+    /// solve-queue latency origin.
+    released_at: Instant,
+}
+
+impl Job {
+    fn event_context(&self) -> EventContext {
+        EventContext {
+            logical: self.logical,
+            session: self.session,
+            shard: self.shard as u16,
+        }
+    }
 }
 
 /// The batch being assembled between flushes.
@@ -74,6 +93,11 @@ pub struct Gateway {
     /// is owned by exactly one worker per flush, so each arena moves into
     /// that worker's closure and back — no locking.
     workspaces: Vec<SolverWorkspace>,
+    /// The deterministic logical clock: ticks once per ingest-tier call
+    /// (`push`/`notify_lost`/`close`) on the caller thread, so frame
+    /// stamps — and therefore flight-event dump order — are independent
+    /// of worker count and scheduling.
+    clock: u64,
 }
 
 impl Gateway {
@@ -90,6 +114,7 @@ impl Gateway {
             sessions: BTreeMap::new(),
             batch: Batch::new(config.shards),
             workspaces: (0..config.shards).map(|_| SolverWorkspace::new()).collect(),
+            clock: 0,
         })
     }
 
@@ -97,6 +122,12 @@ impl Gateway {
     #[must_use]
     pub fn config(&self) -> &GatewayConfig {
         &self.config
+    }
+
+    /// The current logical clock value (ticks per ingest-tier call).
+    #[must_use]
+    pub fn logical_clock(&self) -> u64 {
+        self.clock
     }
 
     /// Registers a session: pins it to a shard (SplitMix64 of the id) and
@@ -178,6 +209,8 @@ impl Gateway {
     pub fn push(&mut self, id: u64, packet: &[u8]) -> Result<(), GatewayError> {
         let _span = hybridcs_obs::span!("gateway.push");
         let started = Instant::now();
+        self.clock += 1;
+        let logical = self.clock;
         let registry = hybridcs_obs::global();
         let Some(session) = self.sessions.get_mut(&id) else {
             registry.counter("gateway_unknown_session_total", &[]).inc();
@@ -187,6 +220,11 @@ impl Gateway {
             registry.counter("gateway_closed_session_total", &[]).inc();
             return Err(GatewayError::SessionClosed(id));
         }
+        let ctx = EventContext {
+            logical,
+            session: id,
+            shard: session.shard as u16,
+        };
         let parsed = session.ladder.parse(Some(packet));
         match parsed.sequence {
             None => {
@@ -198,7 +236,15 @@ impl Gateway {
                     .counter("gateway_frames_total", &[("result", "garbled")])
                     .inc();
                 let slot_seq = session.next_unseen();
-                session.reorder.insert(slot_seq, Slot::Frame(parsed));
+                emit_with(ctx, EventKind::Ingest, 1, u64::from(slot_seq));
+                session.reorder.insert(
+                    slot_seq,
+                    Queued {
+                        slot: Slot::Frame(parsed),
+                        logical,
+                        at: started,
+                    },
+                );
                 session.highest_seen = Some(slot_seq);
             }
             Some(seq) => {
@@ -208,25 +254,41 @@ impl Gateway {
                     registry
                         .counter("gateway_frames_total", &[("result", "late")])
                         .inc();
+                    emit_with(ctx, EventKind::Ingest, 2, u64::from(seq));
                     return Ok(());
                 }
                 registry
                     .counter("gateway_frames_total", &[("result", "accepted")])
                     .inc();
+                emit_with(ctx, EventKind::Ingest, 0, u64::from(seq));
                 if session.nacked.remove(&seq) {
                     session.arq.resolve(seq);
+                    emit_with(ctx, EventKind::ArqVerdict, 1, u64::from(seq));
                 }
                 // Everything between the highest frame seen and this one
                 // is now a known hole: start the nack cycle for each.
                 for gap in session.next_unseen()..seq {
-                    Self::open_gap(session, gap);
+                    Self::open_gap(session, id, logical, gap);
                 }
                 session.highest_seen = Some(session.highest_seen.map_or(seq, |h| h.max(seq)));
-                session.reorder.insert(seq, Slot::Frame(parsed));
+                session.reorder.insert(
+                    seq,
+                    Queued {
+                        slot: Slot::Frame(parsed),
+                        logical,
+                        at: started,
+                    },
+                );
             }
         }
         if session.phase == SessionPhase::Handshake {
             session.phase = SessionPhase::Streaming;
+            emit_with(
+                ctx,
+                EventKind::StageTransition,
+                SessionPhase::Streaming.code(),
+                0,
+            );
         }
         self.release_ready(id);
         registry
@@ -247,6 +309,8 @@ impl Gateway {
     ///
     /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`].
     pub fn notify_lost(&mut self, id: u64, sequence: u32) -> Result<(), GatewayError> {
+        self.clock += 1;
+        let logical = self.clock;
         let Some(session) = self.sessions.get_mut(&id) else {
             hybridcs_obs::global()
                 .counter("gateway_unknown_session_total", &[])
@@ -259,7 +323,7 @@ impl Gateway {
         if sequence < session.next_release || session.reorder.contains_key(&sequence) {
             return Ok(()); // stale notification
         }
-        Self::open_gap(session, sequence);
+        Self::open_gap(session, id, logical, sequence);
         self.release_ready(id);
         if self.batch.jobs.len() >= self.config.batch_capacity {
             self.flush()?;
@@ -292,17 +356,31 @@ impl Gateway {
     }
 
     /// Nacks a fresh hole, or declares it lost when ARQ limits say no.
-    fn open_gap(session: &mut Session, sequence: u32) {
+    fn open_gap(session: &mut Session, id: u64, logical: u64, sequence: u32) {
+        let ctx = EventContext {
+            logical,
+            session: id,
+            shard: session.shard as u16,
+        };
         match session.arq.nack(sequence) {
             NackOutcome::Queued => {
                 session.nacked.insert(sequence);
+                emit_with(ctx, EventKind::ArqVerdict, 0, u64::from(sequence));
             }
             _ => {
                 session.nacked.remove(&sequence);
-                session.reorder.insert(sequence, Slot::Lost);
+                session.reorder.insert(
+                    sequence,
+                    Queued {
+                        slot: Slot::Lost,
+                        logical,
+                        at: Instant::now(),
+                    },
+                );
                 hybridcs_obs::global()
                     .counter("gateway_declared_lost_total", &[])
                     .inc();
+                emit_with(ctx, EventKind::ArqVerdict, 2, u64::from(sequence));
             }
         }
     }
@@ -312,7 +390,9 @@ impl Gateway {
     fn release_ready(&mut self, id: u64) {
         let session = self.sessions.get_mut(&id).expect("caller checked session");
         let registry = hybridcs_obs::global();
-        while let Some(slot) = session.reorder.remove(&session.next_release) {
+        let phase_before = session.phase;
+        while let Some(queued) = session.reorder.remove(&session.next_release) {
+            let Queued { slot, logical, at } = queued;
             let seq = session.next_release;
             session.next_release = seq.wrapping_add(1);
             let epoch = session.window_index / u64::from(self.config.admit_window);
@@ -328,6 +408,11 @@ impl Gateway {
             if let Some(s) = sequence {
                 session.ledger.track_sequence(s);
             }
+            let ctx = EventContext {
+                logical,
+                session: id,
+                shard: session.shard as u16,
+            };
             let mut skip_solvers = false;
             if measurements.is_some() {
                 if session.admitted_in_epoch >= self.config.admit_quota {
@@ -335,11 +420,13 @@ impl Gateway {
                     registry
                         .counter("gateway_shed_total", &[("kind", "quota")])
                         .inc();
+                    emit_with(ctx, EventKind::Shed, 0, u64::from(seq));
                 } else if self.batch.solver_depth[session.shard] >= self.config.max_shard_queue {
                     skip_solvers = true;
                     registry
                         .counter("gateway_shed_total", &[("kind", "queue")])
                         .inc();
+                    emit_with(ctx, EventKind::Shed, 1, u64::from(seq));
                 } else {
                     session.admitted_in_epoch += 1;
                     self.batch.solver_depth[session.shard] += 1;
@@ -348,6 +435,12 @@ impl Gateway {
             if skip_solvers {
                 self.batch.shed += 1;
             }
+            let released_at = Instant::now();
+            // Repair latency: ingest (or loss declaration) → release out
+            // of the reorder buffer. Near-zero for in-order streams.
+            registry
+                .histogram("gateway_stage_seconds", &[("stage", "repair")])
+                .record(released_at.duration_since(at).as_secs_f64());
             self.batch.jobs.push(Job {
                 session: id,
                 shard: session.shard,
@@ -356,9 +449,24 @@ impl Gateway {
                 lowres,
                 skip_solvers,
                 ladder: Arc::clone(&session.ladder),
+                logical,
+                ingest_at: at,
+                released_at,
             });
         }
         session.refresh_phase();
+        if session.phase != phase_before {
+            emit_with(
+                EventContext {
+                    logical: self.clock,
+                    session: id,
+                    shard: session.shard as u16,
+                },
+                EventKind::StageTransition,
+                session.phase.code(),
+                0,
+            );
+        }
     }
 
     /// Windows queued and not yet flushed.
@@ -406,8 +514,10 @@ impl Gateway {
             shard_workspaces[shard % workers].push((shard, ws));
         }
         // Fan out: each worker walks the job list in order, solving only
-        // its shards. Results carry the job index for exact scatter.
-        let mut solved: Vec<Option<(LadderOutcome, f64)>> = vec![None; jobs.len()];
+        // its shards. Results carry the job index for exact scatter, plus
+        // the solve and queue-wait durations for the stage histograms.
+        let obs_on = hybridcs_obs::enabled();
+        let mut solved: Vec<Option<(LadderOutcome, f64, f64)>> = vec![None; jobs.len()];
         let mut returned: Vec<(usize, SolverWorkspace)> = Vec::with_capacity(self.config.shards);
         std::thread::scope(|scope| {
             let handles: Vec<_> = shard_workspaces
@@ -426,13 +536,22 @@ impl Gateway {
                                 .expect("worker owns its shards' workspaces")
                                 .1;
                             let started = Instant::now();
+                            let queued = started.duration_since(job.released_at).as_secs_f64();
+                            if obs_on {
+                                // Attribute solver-side flight events
+                                // (watchdog trips) to this window.
+                                set_context(Some(job.event_context()));
+                            }
                             let outcome = job.ladder.solve_with(
                                 job.measurements.as_deref(),
                                 job.lowres.as_ref(),
                                 job.skip_solvers,
                                 ws,
                             );
-                            out.push((index, outcome, started.elapsed().as_secs_f64()));
+                            out.push((index, outcome, started.elapsed().as_secs_f64(), queued));
+                        }
+                        if obs_on {
+                            set_context(None);
                         }
                         (out, owned)
                     })
@@ -440,8 +559,8 @@ impl Gateway {
                 .collect();
             for handle in handles {
                 let (out, owned) = handle.join().expect("gateway worker panicked");
-                for (index, outcome, seconds) in out {
-                    solved[index] = Some((outcome, seconds));
+                for (index, outcome, seconds, queued) in out {
+                    solved[index] = Some((outcome, seconds, queued));
                 }
                 returned.extend(owned);
             }
@@ -465,7 +584,10 @@ impl Gateway {
             shed,
         };
         for (job, slot) in jobs.into_iter().zip(solved) {
-            let (outcome, seconds) = slot.expect("every job was solved");
+            let (outcome, seconds, queued) = slot.expect("every job was solved");
+            registry
+                .histogram("gateway_stage_seconds", &[("stage", "queue")])
+                .record(queued);
             registry
                 .histogram("gateway_stage_seconds", &[("stage", "solve")])
                 .record(seconds);
@@ -474,15 +596,27 @@ impl Gateway {
                 .sessions
                 .get_mut(&job.session)
                 .expect("sessions outlive queued jobs");
+            if obs_on {
+                // Attribute the ledger's demotion/commit flight events.
+                set_context(Some(job.event_context()));
+            }
             let window = session.ledger.commit(job.sequence, outcome);
             session.outputs.push(window);
             registry
                 .histogram("gateway_stage_seconds", &[("stage", "commit")])
                 .record(started.elapsed().as_secs_f64());
+            // The tentpole metric: wire ingest → ledger commit, end to end
+            // through reorder, repair, queueing, and the solve.
+            registry
+                .histogram("gateway_frame_to_commit_seconds", &[])
+                .record(job.ingest_at.elapsed().as_secs_f64());
             report.committed += 1;
             if !job.skip_solvers && job.measurements.is_some() {
                 report.full_solves += 1;
             }
+        }
+        if obs_on {
+            set_context(None);
         }
         registry.counter("gateway_batches_total", &[]).inc();
         registry
@@ -514,6 +648,8 @@ impl Gateway {
     /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`].
     pub fn close(&mut self, id: u64) -> Result<Vec<SupervisedWindow>, GatewayError> {
         let registry = hybridcs_obs::global();
+        self.clock += 1;
+        let logical = self.clock;
         {
             let Some(session) = self.sessions.get_mut(&id) else {
                 return Err(GatewayError::UnknownSession(id));
@@ -521,11 +657,21 @@ impl Gateway {
             if session.phase == SessionPhase::Closed {
                 return Err(GatewayError::SessionClosed(id));
             }
+            let ctx = EventContext {
+                logical,
+                session: id,
+                shard: session.shard as u16,
+            };
             if let Some(highest) = session.highest_seen {
                 for seq in session.next_release..=highest {
                     session.reorder.entry(seq).or_insert_with(|| {
                         registry.counter("gateway_declared_lost_total", &[]).inc();
-                        Slot::Lost
+                        emit_with(ctx, EventKind::ArqVerdict, 2, u64::from(seq));
+                        Queued {
+                            slot: Slot::Lost,
+                            logical,
+                            at: Instant::now(),
+                        }
                     });
                 }
             }
@@ -536,6 +682,16 @@ impl Gateway {
         session.phase = SessionPhase::Closed;
         session.nacked.clear();
         session.reorder.clear();
+        emit_with(
+            EventContext {
+                logical,
+                session: id,
+                shard: session.shard as u16,
+            },
+            EventKind::StageTransition,
+            SessionPhase::Closed.code(),
+            0,
+        );
         let outputs = std::mem::take(&mut session.outputs);
         self.refresh_session_gauge();
         Ok(outputs)

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 use hybridcs_core::{DecodeLadder, ParsedSections, SessionLedger, SupervisedWindow};
 use hybridcs_faults::RetryQueue;
@@ -31,6 +32,18 @@ impl SessionPhase {
             SessionPhase::Closed => "closed",
         }
     }
+
+    /// Stable numeric code matching the flight-recorder
+    /// [`EventKind::StageTransition`](hybridcs_obs::EventKind) code names.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            SessionPhase::Handshake => 0,
+            SessionPhase::Streaming => 1,
+            SessionPhase::Repairing => 2,
+            SessionPhase::Closed => 3,
+        }
+    }
 }
 
 /// One position in the reorder buffer.
@@ -40,6 +53,18 @@ pub(crate) enum Slot {
     Frame(ParsedSections),
     /// ARQ gave up on this sequence; it will conceal.
     Lost,
+}
+
+/// A [`Slot`] plus its telemetry stamps: the gateway's deterministic
+/// logical ingest tick (carried through to every flight event for the
+/// window) and the wall-clock ingest instant (the start of the window's
+/// frame-to-commit latency; for a declared-lost slot, the instant the
+/// loss was declared).
+#[derive(Debug, Clone)]
+pub(crate) struct Queued {
+    pub(crate) slot: Slot,
+    pub(crate) logical: u64,
+    pub(crate) at: Instant,
 }
 
 /// All mutable state for one sensor session. Only ever touched from the
@@ -54,7 +79,7 @@ pub(crate) struct Session {
     /// Sequences currently in the nack/retransmit cycle.
     pub(crate) nacked: BTreeSet<u32>,
     /// Out-of-order arrivals and declared-lost markers, keyed by sequence.
-    pub(crate) reorder: BTreeMap<u32, Slot>,
+    pub(crate) reorder: BTreeMap<u32, Queued>,
     /// Next sequence to release into the decode batch.
     pub(crate) next_release: u32,
     /// Highest sequence observed so far.

@@ -1,0 +1,188 @@
+//! Prometheus-style text exposition of a registry [`Snapshot`].
+//!
+//! Renders the classic text format (`# TYPE` headers, `name{k="v"} value`
+//! samples, cumulative `_bucket{le="…"}` series plus `_sum`/`_count` for
+//! histograms) so any off-the-shelf scraper — or `grep` — can consume the
+//! metrics without this crate growing a network dependency. Callers decide
+//! the transport: write the string to a file, serve it, or print it.
+//!
+//! Determinism: [`Snapshot`]s are sorted by metric id, and this renderer
+//! adds nothing non-deterministic, so two identical snapshots render to
+//! byte-identical expositions (the property the soak's telemetry
+//! determinism check rides on).
+
+use crate::registry::{HistogramSnapshot, MetricId, Snapshot};
+use std::fmt::Write;
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",...}` (empty string for no labels), with an optional
+/// extra pair appended (used for `le`).
+fn labels(id: &MetricId, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = id
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// A float in exposition syntax (`+Inf`/`-Inf`/`NaN` spellings).
+fn float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_histogram(out: &mut String, id: &MetricId, h: &HistogramSnapshot) {
+    // Exposition histograms are cumulative: each `le` bucket counts every
+    // sample at or below its bound. Underflow samples are ≤ every bound;
+    // overflow samples only reach `+Inf`.
+    let mut cumulative = h.underflow;
+    for b in &h.buckets {
+        cumulative += b.count;
+        let le = float(b.hi);
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {cumulative}",
+            id.name,
+            labels(id, Some(("le", &le)))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        id.name,
+        labels(id, Some(("le", "+Inf"))),
+        h.count
+    );
+    let _ = writeln!(out, "{}_sum{} {}", id.name, labels(id, None), float(h.sum));
+    let _ = writeln!(out, "{}_count{} {}", id.name, labels(id, None), h.count);
+}
+
+/// Renders the whole snapshot in the Prometheus text exposition format.
+/// `# TYPE` headers are emitted once per metric name, before its first
+/// sample; output order follows the snapshot's deterministic id order.
+#[must_use]
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut typed: Option<&str> = None;
+    let type_line = |out: &mut String, name: &str, kind: &str, typed: &mut Option<&str>| {
+        if *typed != Some(name) {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        }
+    };
+    for (id, v) in &snapshot.counters {
+        type_line(&mut out, &id.name, "counter", &mut typed);
+        typed = Some(&id.name);
+        let _ = writeln!(out, "{}{} {v}", id.name, labels(id, None));
+    }
+    typed = None;
+    for (id, v) in &snapshot.gauges {
+        type_line(&mut out, &id.name, "gauge", &mut typed);
+        typed = Some(&id.name);
+        let _ = writeln!(out, "{}{} {}", id.name, labels(id, None), float(*v));
+    }
+    typed = None;
+    for (id, h) in &snapshot.histograms {
+        type_line(&mut out, &id.name, "histogram", &mut typed);
+        typed = Some(&id.name);
+        write_histogram(&mut out, id, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("frames_total", &[("verdict", "accepted")])
+            .add(7);
+        registry
+            .counter("frames_total", &[("verdict", "late")])
+            .add(1);
+        registry.gauge("workers", &[]).set(4.0);
+        let h = registry.histogram("commit_seconds", &[]);
+        h.record(0.01);
+        h.record(0.02);
+        h.record(1e300); // overflow: only the +Inf bucket sees it
+        let text = render_prometheus(&registry.snapshot());
+
+        assert!(text.contains("# TYPE frames_total counter"));
+        // One TYPE header even with two labelled series.
+        assert_eq!(text.matches("# TYPE frames_total").count(), 1);
+        assert!(text.contains("frames_total{verdict=\"accepted\"} 7"));
+        assert!(text.contains("frames_total{verdict=\"late\"} 1"));
+        assert!(text.contains("# TYPE workers gauge"));
+        assert!(text.contains("workers 4"));
+        assert!(text.contains("# TYPE commit_seconds histogram"));
+        assert!(text.contains("commit_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("commit_seconds_count 3"));
+        assert!(text.contains("commit_seconds_sum"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[]);
+        h.record(1.0);
+        h.record(2.0);
+        h.record(4.0);
+        let text = render_prometheus(&registry.snapshot());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c", &[("k", "a\"b\\c\nd")]).inc();
+        let text = render_prometheus(&registry.snapshot());
+        assert!(text.contains(r#"c{k="a\"b\\c\nd"} 1"#));
+    }
+
+    #[test]
+    fn identical_snapshots_render_identically() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a", &[]).inc();
+        registry.histogram("h", &[]).record(0.5);
+        let s = registry.snapshot();
+        assert_eq!(render_prometheus(&s), render_prometheus(&s.clone()));
+    }
+}

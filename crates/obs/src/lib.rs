@@ -17,9 +17,16 @@
 //!    atomic load on the hot path) and opt-in via `HYBRIDCS_OBS=1` or
 //!    [`set_enabled`].
 //! 3. pluggable **sinks** — an in-memory [`Snapshot`] for tests, a
-//!    human-readable text report ([`Snapshot::text_report`]), and a JSONL
+//!    human-readable text report ([`Snapshot::text_report`]), a JSONL
 //!    exporter ([`export`]) writing under `results/obs/` so runs can be
-//!    diffed across PRs.
+//!    diffed across PRs, and a Prometheus-style text exposition
+//!    ([`render_prometheus`]).
+//!
+//! On top of the registry sit the fleet-telemetry layers added for the
+//! gateway: a lock-free [flight recorder](flight) of compact pipeline
+//! events dumped only on anomaly, and a sliding-window [SLO engine](slo)
+//! with multi-window error-budget burn-rate alerting over
+//! [`Snapshot::delta`]s.
 //!
 //! Solver instrumentation lives in [`convergence`]: every solver in
 //! `hybridcs-solver` accepts an [`IterationObserver`] and emits
@@ -47,17 +54,23 @@
 
 pub mod convergence;
 pub mod export;
+pub mod expose;
+pub mod flight;
 pub mod jsonl;
 mod registry;
+pub mod slo;
 pub mod span;
 
 pub use convergence::{
     ConvergenceTrace, IterationEvent, IterationObserver, NoopObserver, RecordingObserver,
     StopReason,
 };
+pub use expose::render_prometheus;
+pub use flight::{Event, EventContext, EventKind, FlightRecorder};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, Percentiles, Snapshot,
 };
+pub use slo::{AlertLevel, BurnPolicy, Objective, SloEngine, SloSpec, SloStatus};
 pub use span::{drain_events, span_depth, SpanEvent, SpanGuard};
 
 use std::sync::atomic::{AtomicU8, Ordering};

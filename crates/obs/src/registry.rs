@@ -101,12 +101,20 @@ impl Gauge {
 /// Smallest bucketed exponent: values below `2^MIN_EXP` (≈ 5.8e-11, well
 /// under a nanosecond in seconds) land in the underflow bucket.
 const MIN_EXP: i32 = -34;
-/// Bucket count: covers `[2^-34, 2^30)` ≈ `[5.8e-11, 1.07e9)`.
+/// Major (power-of-two) bucket count: covers `[2^-34, 2^30)` ≈
+/// `[5.8e-11, 1.07e9)`.
 const BUCKETS: usize = 64;
+/// Linear sub-buckets per major bucket (HDR-style log-linear layout). 16
+/// sub-buckets bound the worst-case relative quantile error at
+/// `1/(2·16)` ≈ 3.1%.
+const SUB: usize = 16;
+/// Total slot count: `BUCKETS × SUB` fixed `u64` cells — 8 KiB per
+/// histogram, regardless of how many samples are recorded.
+const SLOTS: usize = BUCKETS * SUB;
 
 #[derive(Debug)]
 pub(crate) struct HistogramCore {
-    buckets: [AtomicU64; BUCKETS],
+    buckets: Vec<AtomicU64>, // SLOTS cells, fixed at construction
     underflow: AtomicU64,
     overflow: AtomicU64,
     count: AtomicU64,
@@ -115,22 +123,25 @@ pub(crate) struct HistogramCore {
     max: AtomicU64, // f64 bits, -inf when empty
 }
 
-/// A log₂-bucketed histogram of non-negative `f64` samples.
+/// An HDR-style log-linear histogram of non-negative `f64` samples with
+/// **bounded memory** (a fixed 64 × 16 slot grid).
 ///
-/// Bucket `i` covers `[2^(i-34), 2^(i-33))`; exact powers of two land on
-/// their bucket's lower bound (the index is taken from the IEEE-754
-/// exponent, not a floating `log2`, so boundaries are exact). Zero,
-/// subnormal, and negative samples count in the underflow bucket; samples
-/// ≥ `2^30`, NaN, and +∞ in the overflow bucket. True min/max are tracked
-/// alongside the buckets so quantile estimates stay within the observed
-/// range.
+/// Major bucket `j` covers `[2^(j-34), 2^(j-33))` and is split into 16
+/// linear sub-buckets, so sub-bucket boundaries are
+/// `2^(j-34) · (1 + s/16)`. Both the major index (IEEE-754 exponent) and
+/// the sub index (top four mantissa bits) come straight from the sample's
+/// bit pattern — no floating `log2` — so boundaries are exact and exact
+/// powers of two land on their bucket's lower bound. Zero, subnormal, and
+/// negative samples count in the underflow bucket; samples ≥ `2^30`, NaN,
+/// and +∞ in the overflow bucket. True min/max are tracked alongside the
+/// buckets so quantile estimates stay within the observed range.
 #[derive(Debug, Clone)]
 pub struct Histogram(Arc<HistogramCore>);
 
 impl Histogram {
     fn new_core() -> Arc<HistogramCore> {
         Arc::new(HistogramCore {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            buckets: (0..SLOTS).map(|_| AtomicU64::new(0)).collect(),
             underflow: AtomicU64::new(0),
             overflow: AtomicU64::new(0),
             count: AtomicU64::new(0),
@@ -140,20 +151,32 @@ impl Histogram {
         })
     }
 
-    /// Index of the bucket for a normal positive value, or `None` for
-    /// under/overflow.
+    /// Index of the log-linear slot for a normal positive value, or `None`
+    /// for under/overflow.
     fn bucket_index(v: f64) -> Option<usize> {
         if !(v.is_finite() && v >= f64::MIN_POSITIVE) {
             return None; // caller routes to underflow/overflow
         }
-        // For normal positive v, the IEEE exponent is floor(log2(v)).
-        let exp = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
-        let idx = exp - MIN_EXP;
-        if (0..BUCKETS as i32).contains(&idx) {
-            Some(idx as usize)
-        } else {
-            None
+        // For normal positive v, the IEEE exponent is floor(log2(v)) and
+        // the top 4 mantissa bits select the linear sub-bucket.
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        let major = exp - MIN_EXP;
+        if !(0..BUCKETS as i32).contains(&major) {
+            return None;
         }
+        let sub = ((bits >> 48) & 0xF) as usize;
+        Some(major as usize * SUB + sub)
+    }
+
+    /// `[lo, hi)` bounds of slot `i` (exact: both are sums of two powers
+    /// of two well inside f64 range).
+    fn slot_bounds(i: usize) -> (f64, f64) {
+        let major = MIN_EXP + (i / SUB) as i32;
+        let base = f64::from(major).exp2();
+        let step = base / SUB as f64;
+        let lo = base + step * (i % SUB) as f64;
+        (lo, lo + step)
     }
 
     /// Records one sample.
@@ -188,12 +211,8 @@ impl Histogram {
         for (i, b) in core.buckets.iter().enumerate() {
             let count = b.load(Ordering::Relaxed);
             if count > 0 {
-                let lo = (MIN_EXP + i as i32) as f64;
-                buckets.push(BucketCount {
-                    lo: lo.exp2(),
-                    hi: (lo + 1.0).exp2(),
-                    count,
-                });
+                let (lo, hi) = Self::slot_bounds(i);
+                buckets.push(BucketCount { lo, hi, count });
             }
         }
         HistogramSnapshot {
@@ -285,9 +304,11 @@ impl HistogramSnapshot {
         })
     }
 
-    /// Bucket-resolution quantile estimate for `q ∈ [0, 1]`: the geometric
-    /// midpoint of the bucket holding the rank-`⌈q·count⌉` sample, clamped
-    /// into the observed `[min, max]`. Returns `None` when empty.
+    /// Bucket-resolution quantile estimate for `q ∈ [0, 1]`: the midpoint
+    /// of the log-linear sub-bucket holding the rank-`⌈q·count⌉` sample
+    /// (sub-buckets are linear, so the arithmetic midpoint bounds the
+    /// relative error at `1/(2·16)` ≈ 3.1%), clamped into the observed
+    /// `[min, max]`. Returns `None` when empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
@@ -301,7 +322,15 @@ impl HistogramSnapshot {
             return Some(self.max);
         }
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
-        let clamp = |v: f64| v.clamp(self.min, self.max);
+        // min > max happens when no finite sample was recorded (or in a
+        // delta window with only under/overflow) — skip clamping then.
+        let clamp = |v: f64| {
+            if self.min <= self.max {
+                v.clamp(self.min, self.max)
+            } else {
+                v
+            }
+        };
         let mut seen = self.underflow;
         if rank <= seen {
             return Some(clamp(0.0));
@@ -309,10 +338,77 @@ impl HistogramSnapshot {
         for b in &self.buckets {
             seen += b.count;
             if rank <= seen {
-                return Some(clamp((b.lo * b.hi).sqrt()));
+                return Some(clamp(0.5 * (b.lo + b.hi)));
             }
         }
         Some(clamp(self.max))
+    }
+
+    /// Fraction of samples at or below `limit` (underflow counts as below;
+    /// overflow as above; the bucket straddling `limit` contributes
+    /// linearly). Returns `None` when the histogram is empty. This is the
+    /// estimator behind latency objectives ("99% of windows commit within
+    /// 250 ms").
+    #[must_use]
+    pub fn fraction_at_most(&self, limit: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let mut good = if limit >= 0.0 {
+            self.underflow as f64
+        } else {
+            0.0
+        };
+        for b in &self.buckets {
+            if b.hi <= limit {
+                good += b.count as f64;
+            } else if b.lo < limit {
+                good += b.count as f64 * (limit - b.lo) / (b.hi - b.lo);
+            }
+        }
+        Some(good / self.count as f64)
+    }
+
+    /// The bucket-wise difference `self − earlier` of two cumulative
+    /// snapshots of the **same** histogram — the windowed view the SLO
+    /// engine evaluates objectives over. Counter-like fields subtract
+    /// (wrapping); `min`/`max` cannot be recovered for a window from
+    /// cumulative data, so the delta widens them to its own bucket range
+    /// (quantiles stay correctly clamped, `quantile(0.0)`/`quantile(1.0)`
+    /// are bucket-resolution rather than exact).
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<BucketCount> = Vec::with_capacity(self.buckets.len());
+        let mut prev = earlier.buckets.iter().peekable();
+        for b in &self.buckets {
+            let mut count = b.count;
+            // Both bucket lists are ascending by `lo`; consume matches.
+            while let Some(p) = prev.peek() {
+                if p.lo < b.lo {
+                    prev.next();
+                } else {
+                    if p.lo == b.lo {
+                        count = count.wrapping_sub(p.count);
+                        prev.next();
+                    }
+                    break;
+                }
+            }
+            if count > 0 {
+                buckets.push(BucketCount { count, ..*b });
+            }
+        }
+        let lo = buckets.first().map_or(f64::INFINITY, |b| b.lo);
+        let hi = buckets.last().map_or(f64::NEG_INFINITY, |b| b.hi);
+        HistogramSnapshot {
+            count: self.count.wrapping_sub(earlier.count),
+            underflow: self.underflow.wrapping_sub(earlier.underflow),
+            overflow: self.overflow.wrapping_sub(earlier.overflow),
+            sum: self.sum - earlier.sum,
+            min: lo,
+            max: hi,
+            buckets,
+        }
     }
 }
 
@@ -461,6 +557,44 @@ impl Snapshot {
             .map(|(_, h)| h)
     }
 
+    /// The difference `self − earlier` of two cumulative snapshots of the
+    /// same registry: counters and histogram buckets subtract (wrapping);
+    /// gauges keep their latest value (they are not cumulative).
+    /// Instruments absent from `earlier` pass through unchanged — the
+    /// "periodic delta snapshot" primitive behind the SLO engine and the
+    /// soak's per-run latency reporting.
+    #[must_use]
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(id, v)| {
+                let prev = earlier
+                    .counters
+                    .iter()
+                    .find(|(i, _)| i == id)
+                    .map_or(0, |(_, p)| *p);
+                (id.clone(), v.wrapping_sub(prev))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(id, h)| {
+                let delta = match earlier.histograms.iter().find(|(i, _)| i == id) {
+                    Some((_, prev)) => h.delta(prev),
+                    None => h.clone(),
+                };
+                (id.clone(), delta)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
     /// Human-readable report of everything in the snapshot.
     #[must_use]
     pub fn text_report(&self) -> String {
@@ -534,12 +668,15 @@ mod tests {
     fn histogram_bucket_boundaries_are_exact() {
         let registry = MetricsRegistry::new();
         let h = registry.histogram("bounds", &[]);
-        // An exact power of two must land in the bucket it lower-bounds,
-        // and the value just below it in the previous bucket.
+        // An exact power of two must land on the sub-bucket it
+        // lower-bounds; a value just below it in the last sub-bucket of
+        // the previous major bucket; values inside a major bucket in
+        // their linear sub-bucket.
         h.record(1.0);
         h.record(0.999_999_999);
         h.record(2.0);
         h.record(1.999_999_999);
+        h.record(1.5); // sub-bucket [1.5, 1.5625)
         let snap = h.snapshot();
         let find = |lo: f64| {
             snap.buckets
@@ -547,11 +684,95 @@ mod tests {
                 .find(|b| (b.lo - lo).abs() < 1e-12)
                 .map(|b| b.count)
         };
-        assert_eq!(find(0.5), Some(1)); // 0.999… ∈ [0.5, 1)
-        assert_eq!(find(1.0), Some(2)); // 1.0 and 1.999… ∈ [1, 2)
-        assert_eq!(find(2.0), Some(1)); // 2.0 ∈ [2, 4)
-        assert_eq!(snap.count, 4);
+        assert_eq!(find(0.5 * (1.0 + 15.0 / 16.0)), Some(1)); // 0.999…
+        assert_eq!(find(1.0), Some(1)); // 1.0 ∈ [1, 1.0625)
+        assert_eq!(find(1.5), Some(1)); // 1.5 ∈ [1.5, 1.5625)
+        assert_eq!(find(1.0 + 15.0 / 16.0), Some(1)); // 1.999…
+        assert_eq!(find(2.0), Some(1)); // 2.0 ∈ [2, 2.125)
+        assert_eq!(snap.count, 5);
         assert_eq!(snap.underflow + snap.overflow, 0);
+        // Sub-buckets within one major bucket are linear and contiguous.
+        for b in &snap.buckets {
+            assert!(b.hi > b.lo);
+        }
+    }
+
+    #[test]
+    fn loglinear_quantiles_are_within_relative_error_bound() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("res", &[]);
+        // A tight cluster: log₂ buckets alone would answer anywhere in
+        // [1024, 2048); log-linear sub-buckets must land within 1/32.
+        for i in 0..1000 {
+            h.record(1500.0 + f64::from(i % 7));
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!(
+            (p50 - 1503.0).abs() / 1503.0 < 1.0 / 32.0 + 1e-9,
+            "p50 {p50} outside the log-linear error bound"
+        );
+    }
+
+    #[test]
+    fn fraction_at_most_interpolates() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("frac", &[]);
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.fraction_at_most(1000.0), Some(1.0));
+        assert_eq!(snap.fraction_at_most(0.5), Some(0.0));
+        let half = snap.fraction_at_most(50.0).unwrap();
+        assert!((half - 0.5).abs() < 0.05, "fraction at 50: {half}");
+        assert!(registry
+            .histogram("empty", &[])
+            .snapshot()
+            .fraction_at_most(1.0)
+            .is_none());
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_buckets() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("delta", &[]);
+        h.record(1.0);
+        h.record(4.0);
+        let earlier = h.snapshot();
+        h.record(4.0);
+        h.record(16.0);
+        let delta = h.snapshot().delta(&earlier);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.buckets.len(), 2);
+        assert_eq!(delta.buckets[0].lo, 4.0);
+        assert_eq!(delta.buckets[0].count, 1);
+        assert_eq!(delta.buckets[1].lo, 16.0);
+        assert!((delta.sum - 20.0).abs() < 1e-12);
+        // The window's quantiles reflect only the new samples.
+        assert!(delta.quantile(0.99).unwrap() >= 16.0);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_keeps_gauges() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("d_total", &[]);
+        let g = registry.gauge("d_gauge", &[]);
+        c.add(5);
+        g.set(1.0);
+        let earlier = registry.snapshot();
+        c.add(3);
+        g.set(9.0);
+        registry.counter("d_new", &[]).add(2);
+        let delta = registry.snapshot().delta(&earlier);
+        assert_eq!(delta.counter_value("d_total", &[]), Some(3));
+        assert_eq!(delta.counter_value("d_new", &[]), Some(2));
+        let gauge = delta
+            .gauges
+            .iter()
+            .find(|(id, _)| id.name == "d_gauge")
+            .map(|(_, v)| *v);
+        assert_eq!(gauge, Some(9.0));
     }
 
     #[test]

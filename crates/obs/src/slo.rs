@@ -1,0 +1,436 @@
+//! The SLO engine: declarative service-level objectives evaluated over
+//! sliding windows of registry snapshots, with multi-window error-budget
+//! burn-rate alerting.
+//!
+//! An objective is a *target fraction of good events* — "99% of windows
+//! commit within 250 ms", "95% of windows decode at the full hybrid
+//! rung". The engine never samples the pipeline itself: callers feed it
+//! periodic **cumulative** [`Snapshot`]s ([`SloEngine::observe`]), and
+//! every evaluation works on [`Snapshot::delta`]s between retained
+//! observations, so compliance is always *for a window*, never
+//! since-process-start (a day of good behaviour must not mask a bad five
+//! minutes).
+//!
+//! # Burn rate
+//!
+//! With target `t`, a window's error budget is `1 − t` and its burn rate
+//! is `(1 − compliance) / (1 − t)`: burning exactly `1.0` means the
+//! service spends its budget precisely as fast as the objective allows.
+//! Following the classic multi-window discipline, the engine evaluates
+//! each objective over a **short** window (fast detection) and a **long**
+//! window (noise suppression) and alerts:
+//!
+//! * [`AlertLevel::Page`] — both windows burn at ≥ `page_burn`: the
+//!   budget is being torched *and* it is not a blip.
+//! * [`AlertLevel::Warn`] — the long window burns at ≥ `warn_burn`: slow
+//!   sustained burn that will exhaust the budget before the period ends.
+//! * [`AlertLevel::Ok`] — otherwise (including "no events in window":
+//!   an idle service violates no objective).
+
+use crate::registry::{MetricId, Snapshot};
+use std::collections::VecDeque;
+
+/// What an [`SloSpec`] measures: the definition of a "good event".
+#[derive(Debug, Clone)]
+pub enum Objective {
+    /// Good = samples of `histogram` at or below `threshold_seconds`
+    /// (estimated by [`fraction_at_most`](crate::HistogramSnapshot::fraction_at_most)
+    /// on the window's histogram delta).
+    LatencyUnder {
+        /// The latency histogram to evaluate.
+        histogram: MetricId,
+        /// The objective's latency bound, in seconds.
+        threshold_seconds: f64,
+    },
+    /// Good = sum of the `good` counters' window deltas, out of the sum
+    /// of the `total` counters' deltas.
+    EventRatio {
+        /// Counters whose delta counts as good events.
+        good: Vec<MetricId>,
+        /// Counters whose delta counts as all events.
+        total: Vec<MetricId>,
+    },
+}
+
+/// One declarative objective: a name, a measurement, and a target
+/// fraction of good events in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// Objective name, e.g. `"frame_to_commit_p99"`.
+    pub name: String,
+    /// What to measure.
+    pub objective: Objective,
+    /// Target good fraction, e.g. `0.99`.
+    pub target: f64,
+}
+
+/// Alerting thresholds for the multi-window burn-rate discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnPolicy {
+    /// Observations spanned by the short (fast-detection) window.
+    pub short_windows: usize,
+    /// Observations spanned by the long (noise-suppression) window.
+    pub long_windows: usize,
+    /// Page when **both** windows burn at or above this rate.
+    pub page_burn: f64,
+    /// Warn when the **long** window burns at or above this rate.
+    pub warn_burn: f64,
+}
+
+impl Default for BurnPolicy {
+    fn default() -> Self {
+        BurnPolicy {
+            short_windows: 3,
+            long_windows: 12,
+            page_burn: 2.0,
+            warn_burn: 1.0,
+        }
+    }
+}
+
+/// Alert severity of one evaluated objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertLevel {
+    /// Within budget.
+    Ok,
+    /// Sustained slow burn on the long window.
+    Warn,
+    /// Fast burn confirmed on both windows.
+    Page,
+}
+
+impl AlertLevel {
+    /// Stable lower-case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertLevel::Ok => "ok",
+            AlertLevel::Warn => "warn",
+            AlertLevel::Page => "page",
+        }
+    }
+}
+
+/// One objective's evaluation result.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    /// The objective's name.
+    pub name: String,
+    /// The objective's target good fraction.
+    pub target: f64,
+    /// Good fraction over the short window (`None`: no events).
+    pub short_compliance: Option<f64>,
+    /// Good fraction over the long window (`None`: no events).
+    pub long_compliance: Option<f64>,
+    /// Error-budget burn rate over the short window (0 when idle).
+    pub short_burn: f64,
+    /// Error-budget burn rate over the long window (0 when idle).
+    pub long_burn: f64,
+    /// The verdict under the engine's [`BurnPolicy`].
+    pub level: AlertLevel,
+}
+
+impl SloStatus {
+    /// One human-readable summary line, e.g.
+    /// `slo frame_to_commit_p99: ok (target 99.00%, short 100.00% burn 0.00x, long 99.80% burn 0.20x)`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let pct = |c: Option<f64>| match c {
+            Some(v) => format!("{:.2}%", v * 100.0),
+            None => "idle".to_string(),
+        };
+        format!(
+            "slo {}: {} (target {:.2}%, short {} burn {:.2}x, long {} burn {:.2}x)",
+            self.name,
+            self.level.name(),
+            self.target * 100.0,
+            pct(self.short_compliance),
+            self.short_burn,
+            pct(self.long_compliance),
+            self.long_burn,
+        )
+    }
+}
+
+/// Burn rate for a window: `(1 − compliance) / (1 − target)`. A zero (or
+/// negative) error budget burns infinitely fast at any error and not at
+/// all when perfectly compliant.
+fn burn_rate(compliance: Option<f64>, target: f64) -> f64 {
+    let Some(compliance) = compliance else {
+        return 0.0; // idle window: no budget spent
+    };
+    let bad = (1.0 - compliance).max(0.0);
+    let budget = 1.0 - target;
+    if budget <= 0.0 {
+        if bad > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        bad / budget
+    }
+}
+
+fn counter_sum(snapshot: &Snapshot, ids: &[MetricId]) -> u64 {
+    ids.iter()
+        .map(|id| {
+            snapshot
+                .counters
+                .iter()
+                .find(|(i, _)| i == id)
+                .map_or(0, |(_, v)| *v)
+        })
+        .sum()
+}
+
+/// Good-event fraction of one window delta under an objective, or `None`
+/// when the window saw no relevant events.
+fn compliance(window: &Snapshot, objective: &Objective) -> Option<f64> {
+    match objective {
+        Objective::LatencyUnder {
+            histogram,
+            threshold_seconds,
+        } => window
+            .histograms
+            .iter()
+            .find(|(i, _)| i == histogram)
+            .and_then(|(_, h)| h.fraction_at_most(*threshold_seconds)),
+        Objective::EventRatio { good, total } => {
+            let total = counter_sum(window, total);
+            if total == 0 {
+                return None;
+            }
+            // Shared-label counters can make good > total transiently
+            // (snapshot skew); compliance is a fraction, so clamp.
+            Some((counter_sum(window, good) as f64 / total as f64).min(1.0))
+        }
+    }
+}
+
+/// The engine: a set of [`SloSpec`]s plus a bounded history of cumulative
+/// snapshots. See the [module docs](self) for semantics.
+#[derive(Debug)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    policy: BurnPolicy,
+    history: VecDeque<Snapshot>,
+}
+
+impl SloEngine {
+    /// An engine evaluating `specs` under `policy`. History is bounded at
+    /// `policy.long_windows + 1` observations — memory does not grow with
+    /// uptime.
+    #[must_use]
+    pub fn new(specs: Vec<SloSpec>, policy: BurnPolicy) -> SloEngine {
+        SloEngine {
+            specs,
+            policy,
+            history: VecDeque::new(),
+        }
+    }
+
+    /// The engine's objectives.
+    #[must_use]
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Feeds one periodic **cumulative** snapshot (e.g. of the
+    /// [global registry](crate::global)). Call at a fixed cadence; each
+    /// observation becomes one sliding-window tick.
+    pub fn observe(&mut self, snapshot: Snapshot) {
+        self.history.push_back(snapshot);
+        while self.history.len() > self.policy.long_windows + 1 {
+            self.history.pop_front();
+        }
+    }
+
+    /// Observations currently retained.
+    #[must_use]
+    pub fn observations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Evaluates every objective over the current short and long windows.
+    /// Returns one [`SloStatus`] per spec; empty until at least two
+    /// observations exist (no window can be formed from one point).
+    #[must_use]
+    pub fn evaluate(&self) -> Vec<SloStatus> {
+        let n = self.history.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        let latest = &self.history[n - 1];
+        let window = |span: usize| {
+            let earlier = &self.history[n - 1 - span.clamp(1, n - 1)];
+            latest.delta(earlier)
+        };
+        let short = window(self.policy.short_windows);
+        let long = window(self.policy.long_windows);
+        self.specs
+            .iter()
+            .map(|spec| {
+                let short_compliance = compliance(&short, &spec.objective);
+                let long_compliance = compliance(&long, &spec.objective);
+                let short_burn = burn_rate(short_compliance, spec.target);
+                let long_burn = burn_rate(long_compliance, spec.target);
+                let level =
+                    if short_burn >= self.policy.page_burn && long_burn >= self.policy.page_burn {
+                        AlertLevel::Page
+                    } else if long_burn >= self.policy.warn_burn {
+                        AlertLevel::Warn
+                    } else {
+                        AlertLevel::Ok
+                    };
+                SloStatus {
+                    name: spec.name.clone(),
+                    target: spec.target,
+                    short_compliance,
+                    long_compliance,
+                    short_burn,
+                    long_burn,
+                    level,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn latency_spec(target: f64) -> SloSpec {
+        SloSpec {
+            name: "commit_latency".to_string(),
+            objective: Objective::LatencyUnder {
+                histogram: MetricId::new("lat_seconds", &[]),
+                threshold_seconds: 0.25,
+            },
+            target,
+        }
+    }
+
+    fn ratio_spec(target: f64) -> SloSpec {
+        SloSpec {
+            name: "hybrid_fraction".to_string(),
+            objective: Objective::EventRatio {
+                good: vec![MetricId::new("rung_total", &[("rung", "hybrid")])],
+                total: vec![
+                    MetricId::new("rung_total", &[("rung", "hybrid")]),
+                    MetricId::new("rung_total", &[("rung", "concealed")]),
+                ],
+            },
+            target,
+        }
+    }
+
+    #[test]
+    fn burn_rate_semantics() {
+        assert_eq!(burn_rate(Some(1.0), 0.99), 0.0);
+        let b = burn_rate(Some(0.98), 0.99);
+        assert!((b - 2.0).abs() < 1e-9, "burn {b}");
+        assert_eq!(burn_rate(None, 0.99), 0.0);
+        assert_eq!(burn_rate(Some(0.5), 1.0), f64::INFINITY);
+        assert_eq!(burn_rate(Some(1.0), 1.0), 0.0);
+    }
+
+    #[test]
+    fn needs_two_observations() {
+        let mut engine = SloEngine::new(vec![latency_spec(0.99)], BurnPolicy::default());
+        assert!(engine.evaluate().is_empty());
+        engine.observe(Snapshot::default());
+        assert!(engine.evaluate().is_empty());
+        engine.observe(Snapshot::default());
+        assert_eq!(engine.evaluate().len(), 1);
+    }
+
+    #[test]
+    fn compliant_latency_is_ok_and_violations_page() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat_seconds", &[]);
+        let mut engine = SloEngine::new(
+            vec![latency_spec(0.9)],
+            BurnPolicy {
+                short_windows: 1,
+                long_windows: 2,
+                ..BurnPolicy::default()
+            },
+        );
+        engine.observe(registry.snapshot());
+        for _ in 0..100 {
+            h.record(0.01); // all good
+        }
+        engine.observe(registry.snapshot());
+        let status = &engine.evaluate()[0];
+        assert_eq!(status.level, AlertLevel::Ok);
+        assert_eq!(status.short_compliance, Some(1.0));
+        assert_eq!(status.short_burn, 0.0);
+
+        // Now a bad window: 50% of samples blow the 250 ms bound →
+        // compliance 0.5, burn (0.5)/(0.1) = 5 ≥ page on both windows.
+        for _ in 0..100 {
+            h.record(0.01);
+            h.record(10.0);
+        }
+        engine.observe(registry.snapshot());
+        let status = &engine.evaluate()[0];
+        assert_eq!(status.level, AlertLevel::Page);
+        assert!(status.short_burn >= 2.0);
+        assert!(status.summary().contains("page"));
+    }
+
+    #[test]
+    fn event_ratio_uses_window_deltas_not_cumulative_totals() {
+        let registry = MetricsRegistry::new();
+        let good = registry.counter("rung_total", &[("rung", "hybrid")]);
+        let bad = registry.counter("rung_total", &[("rung", "concealed")]);
+        let mut engine = SloEngine::new(
+            vec![ratio_spec(0.9)],
+            BurnPolicy {
+                short_windows: 1,
+                long_windows: 1,
+                ..BurnPolicy::default()
+            },
+        );
+        // A long perfect history…
+        good.add(10_000);
+        engine.observe(registry.snapshot());
+        engine.observe(registry.snapshot());
+        // …must not mask a fully-bad current window.
+        bad.add(100);
+        engine.observe(registry.snapshot());
+        let status = &engine.evaluate()[0];
+        assert_eq!(status.short_compliance, Some(0.0));
+        assert_eq!(status.level, AlertLevel::Page);
+    }
+
+    #[test]
+    fn idle_windows_do_not_alert() {
+        let mut engine = SloEngine::new(
+            vec![latency_spec(0.99), ratio_spec(0.95)],
+            BurnPolicy::default(),
+        );
+        let registry = MetricsRegistry::new();
+        for _ in 0..5 {
+            engine.observe(registry.snapshot());
+        }
+        for status in engine.evaluate() {
+            assert_eq!(status.level, AlertLevel::Ok);
+            assert_eq!(status.short_compliance, None);
+            assert!(status.summary().contains("idle"));
+        }
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let policy = BurnPolicy::default();
+        let mut engine = SloEngine::new(vec![], policy);
+        for _ in 0..100 {
+            engine.observe(Snapshot::default());
+        }
+        assert_eq!(engine.observations(), policy.long_windows + 1);
+    }
+}

@@ -91,10 +91,38 @@ impl Drop for SpanGuard {
                 }
             }
         });
-        crate::global()
-            .histogram("span_seconds", &[("span", name)])
-            .record(duration.as_secs_f64());
+        span_histogram(name).record(duration.as_secs_f64());
     }
+}
+
+thread_local! {
+    /// Per-thread cache of `span_seconds{span=...}` histogram handles.
+    /// Span names are `&'static str`s from `span!` call sites, so there
+    /// are only ever a handful per thread — a linear scan over a small
+    /// vec beats taking the registry mutex (and allocating the label
+    /// strings for the lookup key) on every guard drop, which matters for
+    /// spans that fire once per solver iteration.
+    static SPAN_HISTOGRAMS: RefCell<Vec<(&'static str, crate::Histogram)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn span_histogram(name: &'static str) -> crate::Histogram {
+    SPAN_HISTOGRAMS.with(|cache| {
+        if let Ok(mut cache) = cache.try_borrow_mut() {
+            if let Some((_, h)) = cache
+                .iter()
+                .find(|(n, _)| std::ptr::eq(*n, name) || *n == name)
+            {
+                return h.clone();
+            }
+            let h = crate::global().histogram("span_seconds", &[("span", name)]);
+            cache.push((name, h.clone()));
+            h
+        } else {
+            // Re-entrant drop during unwinding: fall back to the registry.
+            crate::global().histogram("span_seconds", &[("span", name)])
+        }
+    })
 }
 
 /// Opens a named span for the current scope:

@@ -107,6 +107,30 @@ impl WatchdogTrip {
             WatchdogTrip::IterationBudget { .. } => "iteration_budget",
         }
     }
+
+    /// Stable numeric code matching
+    /// [`EventKind::WatchdogTrip`](hybridcs_obs::EventKind) code names in
+    /// flight-recorder dumps.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            WatchdogTrip::NonFinite { .. } => 0,
+            WatchdogTrip::Diverged { .. } => 1,
+            WatchdogTrip::TimeBudget { .. } => 2,
+            WatchdogTrip::IterationBudget { .. } => 3,
+        }
+    }
+
+    /// The iteration at which the trip fired.
+    #[must_use]
+    pub fn iteration(&self) -> usize {
+        match self {
+            WatchdogTrip::NonFinite { iteration }
+            | WatchdogTrip::Diverged { iteration }
+            | WatchdogTrip::TimeBudget { iteration }
+            | WatchdogTrip::IterationBudget { iteration } => *iteration,
+        }
+    }
 }
 
 /// The watchdog observer. Wraps an optional inner observer so convergence
@@ -182,6 +206,13 @@ impl<'a> SolverWatchdog<'a> {
             hybridcs_obs::global()
                 .counter("solver_watchdog_trips", &[("reason", trip.reason())])
                 .inc();
+            // Flight-recorder breadcrumb, attributed to whatever window
+            // the calling thread's event context says is being solved.
+            hybridcs_obs::flight::emit(
+                hybridcs_obs::EventKind::WatchdogTrip,
+                trip.code(),
+                trip.iteration() as u64,
+            );
             self.trip = Some(trip);
         }
     }

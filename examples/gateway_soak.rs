@@ -13,7 +13,20 @@
 //!    interleavings (round-robin across sessions vs. session-major),
 //!    while ~half the solver work is being *shed* by admission control
 //!    and gaps are repaired (or abandoned) through the bounded ARQ.
-//! 2. **Throughput** — a loss-free, shard-balanced batch is decoded with
+//! 2. **Telemetry** — the same soak scenario re-runs with full telemetry
+//!    (flight recorder + spans) enabled for worker counts {1, 4, 8};
+//!    outputs must stay bit-identical to the telemetry-off reference,
+//!    and each run's frame-to-commit p50/p99 goes into the bench report
+//!    as `gateway_frame_to_commit_p{50,99}_seconds{workers="N"}`.
+//! 3. **SLOs** — the [`hybridcs::obs::SloEngine`] evaluates three
+//!    objectives (p99 frame-to-commit latency, full-hybrid-rung
+//!    fraction, non-concealed fraction) over the telemetry sweep's
+//!    observation windows and prints one burn-rate summary line each.
+//! 4. **Flight recorder** — a config with an always-tripping watchdog
+//!    injects a deterministic anomaly; the resulting flight dump must be
+//!    anomaly-latched, schema-valid line by line, and is written to
+//!    `FLIGHT_gateway.jsonl`.
+//! 5. **Throughput** — a loss-free, shard-balanced batch is decoded with
 //!    1 worker and with `min(8, cores)` workers; the speedup is written
 //!    to the bench report and asserted when the host has the cores for
 //!    it (≥ 4× on hosts with more than 4 cores, ≥ 3× on exactly 4 —
@@ -22,21 +35,28 @@
 //! The bench report (`BENCH_gateway.json` by default, JSONL in the
 //! `hybridcs-obs` export schema) carries the full metrics snapshot:
 //! shed counts, ladder rungs, per-stage latency histograms with
-//! p50/p90/p99, queue depths, and the `gateway_bench_*` gauges.
+//! p50/p90/p99, queue depths, and the `gateway_bench_*` gauges. A
+//! Prometheus text exposition of the same snapshot is written to
+//! `METRICS_gateway.prom`.
 //!
 //! Environment knobs: `HYBRIDCS_SOAK_SESSIONS` (default 64),
 //! `HYBRIDCS_SOAK_WINDOWS` (default 4, per session),
-//! `HYBRIDCS_GATEWAY_BENCH_PATH` (default `BENCH_gateway.json`).
+//! `HYBRIDCS_GATEWAY_BENCH_PATH` (default `BENCH_gateway.json`),
+//! `HYBRIDCS_FLIGHT_PATH` (default `FLIGHT_gateway.jsonl`),
+//! `HYBRIDCS_PROM_PATH` (default `METRICS_gateway.prom`).
 
 use hybridcs::codec::telemetry::FrameCodec;
 use hybridcs::codec::{
     experiment::default_training_windows, train_lowres_codec, HybridFrontEnd, SupervisedWindow,
-    SystemConfig,
+    SupervisorConfig, SystemConfig,
 };
 use hybridcs::coding::LowResCodec;
 use hybridcs::ecg::{EcgGenerator, GeneratorConfig};
 use hybridcs::faults::{GilbertElliott, GilbertElliottConfig};
 use hybridcs::gateway::{Gateway, GatewayConfig};
+use hybridcs::obs::flight::recorder;
+use hybridcs::obs::{BurnPolicy, MetricId, Objective, SloEngine, SloSpec};
+use hybridcs::solver::WatchdogConfig;
 use std::time::Instant;
 
 /// Burst-loss rate the soak streams run over.
@@ -219,6 +239,46 @@ fn drive(
     Ok(outputs)
 }
 
+/// The soak fleet's objectives. Targets are calibrated to the scenario:
+/// admission control deliberately sheds ~half the solver load, so the
+/// full-hybrid target is modest, while concealment should stay rare and
+/// commits fast.
+fn slo_specs() -> Vec<SloSpec> {
+    let rung = |r| MetricId::new("supervisor_rung_total", &[("rung", r)]);
+    let decoded = || vec![rung("hybrid"), rung("cs_only"), rung("lowres_only")];
+    let all = || {
+        let mut v = decoded();
+        v.push(rung("concealed"));
+        v
+    };
+    vec![
+        SloSpec {
+            name: "frame_to_commit_p99".to_string(),
+            objective: Objective::LatencyUnder {
+                histogram: MetricId::new("gateway_frame_to_commit_seconds", &[]),
+                threshold_seconds: 30.0,
+            },
+            target: 0.99,
+        },
+        SloSpec {
+            name: "full_hybrid_rung".to_string(),
+            objective: Objective::EventRatio {
+                good: vec![rung("hybrid")],
+                total: all(),
+            },
+            target: 0.25,
+        },
+        SloSpec {
+            name: "non_concealed".to_string(),
+            objective: Objective::EventRatio {
+                good: decoded(),
+                total: all(),
+            },
+            target: 0.90,
+        },
+    ]
+}
+
 /// Picks `count` session ids whose SplitMix64 shard assignments cover the
 /// shards evenly, so the throughput bench is load-balanced by
 /// construction (the determinism sweep deliberately is not).
@@ -326,6 +386,151 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sessions * windows
     );
 
+    // --- telemetry sweep: latency SLIs with full telemetry on --------
+    // Re-run the reference scenario with the flight recorder and spans
+    // live: outputs must not move by a bit, and every run contributes a
+    // frame-to-commit distribution plus one SLO observation window.
+    let mut slo = SloEngine::new(
+        slo_specs(),
+        BurnPolicy {
+            short_windows: 1,
+            long_windows: WORKER_COUNTS.len(),
+            ..BurnPolicy::default()
+        },
+    );
+    hybridcs::obs::set_enabled(true);
+    recorder().clear();
+    slo.observe(registry.snapshot());
+    for workers in WORKER_COUNTS {
+        let before = registry.snapshot();
+        let outputs = drive(&shapes, &streams, workers, Interleave::RoundRobin)?;
+        if outputs != reference {
+            eprintln!("error: telemetry-enabled run diverged with workers={workers}");
+            std::process::exit(1);
+        }
+        let window = registry.snapshot().delta(&before);
+        let Some(p) = window
+            .histogram_snapshot("gateway_frame_to_commit_seconds", &[])
+            .and_then(hybridcs::obs::HistogramSnapshot::percentiles)
+        else {
+            eprintln!("error: no frame-to-commit samples with workers={workers}");
+            std::process::exit(1);
+        };
+        println!(
+            "gateway telemetry: workers={workers} frame-to-commit \
+             p50 {:.1} ms, p99 {:.1} ms",
+            p.p50 * 1e3,
+            p.p99 * 1e3
+        );
+        let label = workers.to_string();
+        registry
+            .gauge(
+                "gateway_frame_to_commit_p50_seconds",
+                &[("workers", &label)],
+            )
+            .set(p.p50);
+        registry
+            .gauge(
+                "gateway_frame_to_commit_p99_seconds",
+                &[("workers", &label)],
+            )
+            .set(p.p99);
+        slo.observe(registry.snapshot());
+    }
+    hybridcs::obs::set_enabled(false);
+    println!(
+        "gateway telemetry: outputs bit-identical with telemetry enabled \
+         ({} flight events recorded)",
+        recorder().recorded()
+    );
+
+    // --- SLO evaluation ----------------------------------------------
+    let statuses = slo.evaluate();
+    assert!(
+        statuses.len() >= 2,
+        "the soak must evaluate at least two SLOs"
+    );
+    let mut measured = 0usize;
+    for status in &statuses {
+        println!("gateway {}", status.summary());
+        if status.long_compliance.is_some() {
+            measured += 1;
+        }
+        registry
+            .gauge(
+                "slo_burn_rate",
+                &[("slo", &status.name), ("window", "short")],
+            )
+            .set(status.short_burn);
+        registry
+            .gauge(
+                "slo_burn_rate",
+                &[("slo", &status.name), ("window", "long")],
+            )
+            .set(status.long_burn);
+    }
+    if measured < 2 {
+        eprintln!("error: fewer than two SLOs saw events ({measured})");
+        std::process::exit(1);
+    }
+
+    // --- flight recorder: injected anomaly ---------------------------
+    // A watchdog capped at two iterations trips on every admitted solve;
+    // the dump must latch the anomaly and validate line by line against
+    // the export schema.
+    let flight_path =
+        std::env::var("HYBRIDCS_FLIGHT_PATH").unwrap_or_else(|_| "FLIGHT_gateway.jsonl".into());
+    hybridcs::obs::set_enabled(true);
+    recorder().clear();
+    {
+        let mut gateway = Gateway::new(GatewayConfig {
+            workers: 4,
+            admit_quota: 2,
+            admit_window: 4,
+            supervisor: SupervisorConfig {
+                watchdog: WatchdogConfig {
+                    max_iterations: Some(2),
+                    ..WatchdogConfig::default()
+                },
+                ..SupervisorConfig::default()
+            },
+            ..GatewayConfig::default()
+        })?;
+        for stream in streams.iter().take(4) {
+            let shape = &shapes[stream.shape];
+            gateway.handshake(stream.id, &shape.system, shape.codec.clone())?;
+            for bytes in &stream.frames {
+                gateway.push(stream.id, bytes)?;
+            }
+        }
+        gateway.flush()?;
+        for stream in streams.iter().take(4) {
+            gateway.close(stream.id)?;
+        }
+    }
+    let dump = recorder().dump_jsonl("gateway_soak");
+    hybridcs::obs::set_enabled(false);
+    if !recorder().anomalous() {
+        eprintln!("error: injected watchdog trips did not latch the anomaly flag");
+        std::process::exit(1);
+    }
+    for line in dump.lines() {
+        if let Err(e) = hybridcs::obs::jsonl::validate_line(line) {
+            eprintln!("error: invalid flight dump line: {e}\n{line}");
+            std::process::exit(1);
+        }
+    }
+    if !dump.contains("\"event\":\"watchdog_trip\"") {
+        eprintln!("error: flight dump is missing the injected watchdog trips");
+        std::process::exit(1);
+    }
+    std::fs::write(&flight_path, &dump)?;
+    println!(
+        "gateway flight: anomaly dump ({} events) schema-valid, written to {flight_path}",
+        dump.lines().count().saturating_sub(1)
+    );
+    recorder().clear();
+
     // --- throughput bench --------------------------------------------
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let parallel_workers = cores.clamp(1, 8);
@@ -395,9 +600,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::process::exit(1);
     }
 
-    // --- bench report -------------------------------------------------
+    // --- bench report and exposition ---------------------------------
+    let snapshot = registry.snapshot();
     let path = std::path::PathBuf::from(bench_path);
-    hybridcs::obs::export::write_jsonl(&path, "gateway_soak", &registry.snapshot(), &[])?;
+    hybridcs::obs::export::write_jsonl(&path, "gateway_soak", &snapshot, &[])?;
     println!("gateway bench: report written to {}", path.display());
+    let prom_path =
+        std::env::var("HYBRIDCS_PROM_PATH").unwrap_or_else(|_| "METRICS_gateway.prom".into());
+    let exposition = hybridcs::obs::render_prometheus(&snapshot);
+    if !exposition.contains("# TYPE gateway_frame_to_commit_seconds histogram") {
+        eprintln!("error: exposition is missing the frame-to-commit histogram family");
+        std::process::exit(1);
+    }
+    std::fs::write(&prom_path, &exposition)?;
+    println!(
+        "gateway bench: prometheus exposition ({} lines) written to {prom_path}",
+        exposition.lines().count()
+    );
     Ok(())
 }

@@ -63,10 +63,21 @@ echo "==> gateway soak (8 sessions: determinism across worker counts + interleav
 # speedup floor. Its bench report must pass the same JSONL schema
 # checker as every other observability export.
 GATEWAY_BENCH="$OBS_TMP/BENCH_gateway.json"
+FLIGHT_DUMP="$OBS_TMP/FLIGHT_gateway.jsonl"
+PROM_OUT="$OBS_TMP/METRICS_gateway.prom"
 SOAK_OUT="$(HYBRIDCS_SOAK_SESSIONS=8 HYBRIDCS_GATEWAY_BENCH_PATH="$GATEWAY_BENCH" \
+    HYBRIDCS_FLIGHT_PATH="$FLIGHT_DUMP" HYBRIDCS_PROM_PATH="$PROM_OUT" \
     cargo run -q --release --offline --example gateway_soak)"
 if ! grep -q "deterministic across worker counts" <<<"$SOAK_OUT"; then
     echo "error: gateway_soak did not certify deterministic outputs" >&2
+    exit 1
+fi
+if ! grep -q "bit-identical with telemetry enabled" <<<"$SOAK_OUT"; then
+    echo "error: gateway_soak did not certify telemetry-on bit-identity" >&2
+    exit 1
+fi
+if [ "$(grep -c '^gateway slo ' <<<"$SOAK_OUT")" -lt 2 ]; then
+    echo "error: gateway_soak evaluated fewer than two SLOs" >&2
     exit 1
 fi
 if [ ! -s "$GATEWAY_BENCH" ]; then
@@ -74,6 +85,40 @@ if [ ! -s "$GATEWAY_BENCH" ]; then
     exit 1
 fi
 HYBRIDCS_OBS_CHECK="$GATEWAY_BENCH" \
+    cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
+# The anomaly flight dump must exist, carry the injected watchdog trips,
+# and pass the same line-by-line schema checker as every JSONL export.
+if [ ! -s "$FLIGHT_DUMP" ]; then
+    echo "error: gateway_soak did not write the anomaly flight dump" >&2
+    exit 1
+fi
+if ! grep -q '"event":"watchdog_trip"' "$FLIGHT_DUMP"; then
+    echo "error: flight dump is missing the injected watchdog trips" >&2
+    exit 1
+fi
+HYBRIDCS_OBS_CHECK="$FLIGHT_DUMP" \
+    cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
+if ! grep -q '^# TYPE gateway_frame_to_commit_seconds histogram' "$PROM_OUT"; then
+    echo "error: prometheus exposition is missing frame-to-commit latency" >&2
+    exit 1
+fi
+
+echo "==> telemetry-overhead gate (flight recorder + spans on vs off, <=5%)"
+# The bin pushes the same frame stream through identical gateways with
+# telemetry off and on, asserts bit-identical decodes, and exits non-zero
+# if min-of-N overhead exceeds the limit. Its report is schema-checked.
+OBS_BENCH="$OBS_TMP/BENCH_obs.json"
+OVERHEAD_OUT="$(HYBRIDCS_OBS_BENCH_PATH="$OBS_BENCH" \
+    cargo run -q --release --offline -p hybridcs-bench --bin obs_overhead)"
+if ! grep -q "obs overhead: OK" <<<"$OVERHEAD_OUT"; then
+    echo "error: obs_overhead did not pass its gate" >&2
+    exit 1
+fi
+if [ ! -s "$OBS_BENCH" ]; then
+    echo "error: obs_overhead did not write BENCH_obs.json" >&2
+    exit 1
+fi
+HYBRIDCS_OBS_CHECK="$OBS_BENCH" \
     cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
 
 echo "==> decode-throughput gates (zero-alloc hot path + speedup floor)"
