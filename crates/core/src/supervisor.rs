@@ -89,6 +89,20 @@ impl LadderRung {
             LadderRung::Concealed => 3,
         }
     }
+
+    /// The rung for a stable code (inverse of [`code`](LadderRung::code));
+    /// `None` for unknown codes. Used when deserializing checkpointed
+    /// windows.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<LadderRung> {
+        Some(match code {
+            0 => LadderRung::Hybrid,
+            1 => LadderRung::CsOnly,
+            2 => LadderRung::LowResOnly,
+            3 => LadderRung::Concealed,
+            _ => return None,
+        })
+    }
 }
 
 /// Supervisor policy knobs.
@@ -403,6 +417,21 @@ pub struct SessionLedger {
     expected_sequence: Option<u32>,
 }
 
+/// A [`SessionLedger`]'s mutable state, detached from its configuration
+/// (`window`, `max_conceal_reuse` are rebuilt from config at restore).
+/// This is what a durability layer checkpoints: restoring it into a fresh
+/// ledger of the same configuration reproduces bit-identical behaviour,
+/// because every `f64` is carried exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerState {
+    /// The last successfully decoded window, if any (concealment source).
+    pub last_good: Option<Vec<f64>>,
+    /// Consecutive concealed windows so far (drives the flat-line cutoff).
+    pub consecutive_concealed: usize,
+    /// The next expected frame sequence, if tracking has started.
+    pub expected_sequence: Option<u32>,
+}
+
 impl SessionLedger {
     /// A fresh ledger for windows of `window` samples.
     #[must_use]
@@ -414,6 +443,34 @@ impl SessionLedger {
             consecutive_concealed: 0,
             expected_sequence: None,
         }
+    }
+
+    /// The ledger's mutable state, for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> LedgerState {
+        LedgerState {
+            last_good: self.last_good.clone(),
+            consecutive_concealed: self.consecutive_concealed,
+            expected_sequence: self.expected_sequence,
+        }
+    }
+
+    /// Restores previously captured state into this ledger (which must be
+    /// configured identically to the one that produced it).
+    pub fn restore(&mut self, state: LedgerState) {
+        self.last_good = state.last_good;
+        self.consecutive_concealed = state.consecutive_concealed;
+        self.expected_sequence = state.expected_sequence;
+    }
+
+    /// Clears all session state back to freshly-constructed: concealment
+    /// memory, staleness counter, and sequence tracking. Called when a
+    /// session closes so a reused session id cannot inherit stale
+    /// degradation state.
+    pub fn reset(&mut self) {
+        self.last_good = None;
+        self.consecutive_concealed = 0;
+        self.expected_sequence = None;
     }
 
     /// Counts sequence gaps: `supervisor_sequence_gap_events_total` per
@@ -545,6 +602,13 @@ impl RecoverySupervisor {
         &self.ladder
     }
 
+    /// Resets the per-session half (concealment memory, staleness counter,
+    /// sequence tracking) for session close/reuse; the expensive stateless
+    /// ladder is untouched.
+    pub fn reset_session(&mut self) {
+        self.ledger.reset();
+    }
+
     /// Receives one wire frame (or `None` for a wholly lost packet) and
     /// walks the decode ladder until a rung yields a finite window. Never
     /// errors, never panics on adversarial input, never skips a window:
@@ -638,6 +702,61 @@ mod tests {
         let composed = supervisor.receive(Some(&bytes));
         assert_eq!(split, composed);
         assert_eq!(split.rung, LadderRung::Hybrid);
+    }
+
+    #[test]
+    fn ledger_state_round_trips_and_reset_clears() {
+        let mut ledger = SessionLedger::new(4, 2);
+        ledger.track_sequence(0);
+        ledger.commit(
+            Some(0),
+            LadderOutcome {
+                chosen: Some((LadderRung::LowResOnly, vec![0.5; 4], None)),
+                demotions: Vec::new(),
+            },
+        );
+        ledger.commit(None, LadderOutcome::empty());
+        let state = ledger.state();
+        assert_eq!(state.last_good, Some(vec![0.5; 4]));
+        assert_eq!(state.consecutive_concealed, 1);
+        assert_eq!(state.expected_sequence, Some(1));
+
+        // Restore into a fresh ledger: behaviour continues identically.
+        let mut restored = SessionLedger::new(4, 2);
+        restored.restore(state.clone());
+        assert_eq!(restored.state(), state);
+        let concealed = restored.commit(None, LadderOutcome::empty());
+        assert_eq!(concealed.signal, vec![0.5; 4], "still within reuse budget");
+
+        // Reset clears everything a reused session id could inherit.
+        ledger.reset();
+        assert_eq!(
+            ledger.state(),
+            LedgerState {
+                last_good: None,
+                consecutive_concealed: 0,
+                expected_sequence: None,
+            }
+        );
+        let fresh = ledger.commit(None, LadderOutcome::empty());
+        assert_eq!(fresh.signal, vec![0.0; 4], "no stale concealment source");
+    }
+
+    #[test]
+    fn supervisor_reset_session_drops_degradation_state() {
+        let (frontend, mut supervisor, window) = setup();
+        let encoded = frontend.encode(&window).unwrap();
+        let bytes = supervisor.frame_codec().serialize(0, &encoded).unwrap();
+        supervisor.receive(Some(&bytes));
+        let concealed = supervisor.receive(None);
+        assert_eq!(concealed.rung, LadderRung::Concealed);
+        assert_ne!(concealed.signal, vec![0.0; window.len()]);
+        supervisor.reset_session();
+        // After reset, a lost packet conceals to zeros — no inherited
+        // last-good window from the previous "session".
+        let after = supervisor.receive(None);
+        assert_eq!(after.rung, LadderRung::Concealed);
+        assert_eq!(after.signal, vec![0.0; window.len()]);
     }
 
     #[test]

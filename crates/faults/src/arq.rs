@@ -57,6 +57,19 @@ impl NackOutcome {
     }
 }
 
+/// A [`RetryQueue`]'s mutable state, detached from its configuration —
+/// what a durability layer checkpoints. Restoring it into a fresh queue
+/// of the same configuration reproduces identical ARQ verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArqState {
+    /// Sequences queued for retransmission, oldest first.
+    pub pending: Vec<u32>,
+    /// `(sequence, attempts)` for frames with at least one attempt.
+    pub attempts: Vec<(u32, u32)>,
+    /// Retransmissions still allowed by the run-wide budget.
+    pub budget_left: u64,
+}
+
 /// The bounded retry queue. Sequence numbers are the telemetry frame
 /// sequence; the caller owns the actual frame bytes.
 #[derive(Debug, Clone)]
@@ -92,6 +105,24 @@ impl RetryQueue {
         self.budget_left
     }
 
+    /// The queue's mutable state, for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> ArqState {
+        ArqState {
+            pending: self.pending.iter().copied().collect(),
+            attempts: self.attempts.clone(),
+            budget_left: self.budget_left,
+        }
+    }
+
+    /// Restores previously captured state into this queue (which must be
+    /// configured identically to the one that produced it).
+    pub fn restore(&mut self, state: ArqState) {
+        self.pending = state.pending.into();
+        self.attempts = state.attempts;
+        self.budget_left = state.budget_left;
+    }
+
     fn attempts_for(&self, sequence: u32) -> u32 {
         self.attempts
             .iter()
@@ -103,7 +134,13 @@ impl RetryQueue {
     /// limit says otherwise; every outcome is counted under
     /// `faults_arq_nacks_total{outcome}`.
     pub fn nack(&mut self, sequence: u32) -> NackOutcome {
-        let outcome = if self.attempts_for(sequence) >= self.config.max_retries_per_frame {
+        let outcome = if self.pending.contains(&sequence) {
+            // Already scheduled; don't double-book the budget. Checked
+            // before the budget/capacity limits: a duplicate NACK for a
+            // queued frame commits no new resources, so it must not be
+            // rejected (or mis-counted) by them.
+            NackOutcome::Queued
+        } else if self.attempts_for(sequence) >= self.config.max_retries_per_frame {
             NackOutcome::RetriesExhausted
         } else if u64::try_from(self.pending.len()).unwrap_or(u64::MAX) >= self.budget_left {
             // Everything already queued will consume the rest of the
@@ -111,9 +148,6 @@ impl RetryQueue {
             NackOutcome::BudgetExhausted
         } else if self.pending.len() >= self.config.queue_capacity {
             NackOutcome::QueueFull
-        } else if self.pending.contains(&sequence) {
-            // Already scheduled; don't double-book the budget.
-            NackOutcome::Queued
         } else {
             self.pending.push_back(sequence);
             NackOutcome::Queued
@@ -141,6 +175,22 @@ impl RetryQueue {
             .counter("faults_arq_retries_total", &[])
             .inc();
         Some(sequence)
+    }
+
+    /// Declares `sequence` lost for good: removes it from the retry queue
+    /// so the budget slice reserved for it is released to other frames,
+    /// and clears its attempt record. Call this when the receiver gives up
+    /// on a frame (declare-lost) — without it, abandoned frames would sit
+    /// in `pending` forever, pinning budget that
+    /// [`nack`](RetryQueue::nack) counts as committed and starving live
+    /// frames into [`NackOutcome::BudgetExhausted`]. Counted under
+    /// `faults_arq_abandoned_total`.
+    pub fn abandon(&mut self, sequence: u32) {
+        self.pending.retain(|s| *s != sequence);
+        self.attempts.retain(|(s, _)| *s != sequence);
+        hybridcs_obs::global()
+            .counter("faults_arq_abandoned_total", &[])
+            .inc();
     }
 
     /// Reports that `sequence` finally arrived intact: clears its attempt
@@ -220,6 +270,67 @@ mod tests {
         assert_eq!(q.nack(9), NackOutcome::Queued);
         assert_eq!(q.nack(9), NackOutcome::Queued);
         assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn abandon_releases_the_budget_slice() {
+        // Regression: a declare-lost frame left in `pending` used to pin
+        // its slice of the budget forever, starving later frames into
+        // BudgetExhausted even though no retransmission ever happened.
+        let mut q = RetryQueue::new(config(10, 2, 10));
+        assert_eq!(q.nack(1), NackOutcome::Queued);
+        assert_eq!(q.nack(2), NackOutcome::Queued);
+        // Budget (2) fully committed to the queued frames.
+        assert_eq!(q.nack(3), NackOutcome::BudgetExhausted);
+        q.abandon(1);
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.budget_remaining(), 2, "no retransmission was spent");
+        // The released slice is available again.
+        assert_eq!(q.nack(3), NackOutcome::Queued);
+        assert_eq!(q.next_attempt(), Some(2));
+        assert_eq!(q.next_attempt(), Some(3));
+        assert_eq!(q.budget_remaining(), 0);
+        assert_eq!(q.next_attempt(), None);
+    }
+
+    #[test]
+    fn abandon_clears_attempt_history() {
+        let mut q = RetryQueue::new(config(1, 100, 10));
+        assert_eq!(q.nack(5), NackOutcome::Queued);
+        assert_eq!(q.next_attempt(), Some(5));
+        assert_eq!(q.nack(5), NackOutcome::RetriesExhausted);
+        q.abandon(5);
+        // A fresh appearance of the sequence starts from zero attempts.
+        assert_eq!(q.nack(5), NackOutcome::Queued);
+    }
+
+    #[test]
+    fn duplicate_nack_of_queued_frame_is_exempt_from_limits() {
+        // A duplicate NACK commits nothing new, so it must be reported
+        // Queued even when budget/capacity are at their limits.
+        let mut q = RetryQueue::new(config(10, 1, 1));
+        assert_eq!(q.nack(1), NackOutcome::Queued);
+        assert_eq!(q.nack(1), NackOutcome::Queued);
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.nack(2), NackOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn state_round_trips_verdicts() {
+        let mut q = RetryQueue::new(config(2, 10, 10));
+        assert_eq!(q.nack(1), NackOutcome::Queued);
+        assert_eq!(q.next_attempt(), Some(1));
+        assert_eq!(q.nack(1), NackOutcome::Queued);
+        let state = q.state();
+        let mut restored = RetryQueue::new(config(2, 10, 10));
+        restored.restore(state);
+        assert_eq!(restored.pending(), 1);
+        assert_eq!(restored.budget_remaining(), 9);
+        assert_eq!(restored.next_attempt(), Some(1));
+        // The per-frame cap carries over: two attempts are now spent.
+        assert_eq!(restored.nack(1), NackOutcome::RetriesExhausted);
+        assert_eq!(q.next_attempt(), Some(1));
+        assert_eq!(q.nack(1), NackOutcome::RetriesExhausted);
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! Crash and storage-fault injection for write-ahead journals.
+//!
+//! The gateway's durability story (DESIGN §12) is only as good as its
+//! behaviour at the worst possible instant: mid-append, with the tail of
+//! the journal torn, truncated, or bit-flipped. This module supplies the
+//! storage side of that test surface:
+//!
+//! * [`JournalStore`] — the minimal append/read/truncate contract a
+//!   write-ahead journal needs from its backing store. The production
+//!   file backend lives with the journal (`hybridcs-gateway`); the
+//!   injectable in-memory backend lives here.
+//! * [`MemStore`] — an in-memory store whose byte image is shared behind
+//!   an `Arc`, so a test harness can keep a handle, let the "process"
+//!   (the gateway instance) die, and hand the surviving bytes to
+//!   recovery — exactly the crash/restart lifecycle, minus the kernel.
+//! * [`CrashingStore`] — a deterministic kill-point wrapper: counts
+//!   appended journal *records* (the store understands the length-prefix
+//!   framing, nothing else) and "crashes" when record number
+//!   `kill_at_record` is offered — persisting everything before it,
+//!   optionally corrupting the in-flight write per a [`TailFault`], and
+//!   failing every subsequent operation with [`StoreError::Crashed`].
+//!
+//! The durability model matches a real `fsync` contract: bytes from
+//! *completed* appends are never touched by a fault — only the append in
+//! flight at the kill point can tear. That is what lets the crash soak
+//! assert exact output equivalence: anything the gateway reported durable
+//! really is.
+//!
+//! # Record framing (shared contract)
+//!
+//! A journal record on the wire is `[len: u32 LE][crc32: u32 LE][payload:
+//! len bytes]`. This module walks that framing only to *count* records at
+//! append time; it never validates CRCs or interprets payloads — that is
+//! the journal reader's job.
+
+use std::sync::{Arc, Mutex};
+
+use hybridcs_rand::{Rng, SplitMix64};
+
+/// Bytes of framing ahead of every journal record payload (`len` + `crc`).
+pub const RECORD_HEADER_BYTES: usize = 8;
+
+/// Errors surfaced by a [`JournalStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The injected crash point was reached (or the store was already
+    /// dead); nothing after the surviving prefix was persisted.
+    Crashed,
+    /// A real backend I/O failure, stringified.
+    Io(String),
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StoreError::Crashed => write!(f, "journal store crashed at its kill point"),
+            StoreError::Io(detail) => write!(f, "journal store i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The backing-store contract for a write-ahead journal: append-only
+/// writes, full reads for recovery, and truncation of an invalid tail.
+///
+/// An `append` that returns `Ok` is *durable*: a later
+/// [`read_all`](JournalStore::read_all) — even across a crash — sees every
+/// byte of it. An append that errors may have persisted any prefix of the
+/// offered bytes (a torn write); recovery must tolerate that.
+pub trait JournalStore {
+    /// Appends `bytes` (one or more whole framed records) durably.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Crashed`] once a kill point fired, or
+    /// [`StoreError::Io`] from a real backend.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Reads the entire journal image (used once, at recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] from a real backend.
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError>;
+
+    /// Discards everything past the first `len` bytes (recovery cuts the
+    /// corrupt tail before resuming appends).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] from a real backend.
+    fn truncate_to(&mut self, len: u64) -> Result<(), StoreError>;
+
+    /// Current journal length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the journal holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-memory [`JournalStore`] whose image is shared: clones see the
+/// same bytes, so a harness can keep a handle across the death of the
+/// gateway that owned the store (the crash/restart lifecycle in miniature).
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    image: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// A store pre-loaded with a surviving journal image (recovery input).
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        MemStore {
+            image: Arc::new(Mutex::new(bytes)),
+        }
+    }
+
+    /// A copy of the current image (what a crash would leave on disk).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.image.lock().expect("mem store lock").clone()
+    }
+}
+
+impl JournalStore for MemStore {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.image
+            .lock()
+            .expect("mem store lock")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError> {
+        Ok(self.snapshot())
+    }
+
+    fn truncate_to(&mut self, len: u64) -> Result<(), StoreError> {
+        let mut image = self.image.lock().expect("mem store lock");
+        let keep = usize::try_from(len).unwrap_or(usize::MAX).min(image.len());
+        image.truncate(keep);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.image.lock().expect("mem store lock").len() as u64
+    }
+}
+
+/// What the in-flight write looks like after the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailFault {
+    /// Clean cut at a record boundary (power loss between sectors).
+    Clean,
+    /// The killing record is torn: only its first `n` bytes land.
+    TornWrite(usize),
+    /// One bit of the bytes written by the in-flight append is flipped
+    /// (chosen by this index, modulo the bits actually written).
+    FlipBit(u64),
+    /// `n` seeded garbage bytes land where the record should have been.
+    Garbage(usize),
+}
+
+impl TailFault {
+    /// Stable lower-snake identifier (used as the metrics label).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TailFault::Clean => "clean",
+            TailFault::TornWrite(_) => "torn_write",
+            TailFault::FlipBit(_) => "flip_bit",
+            TailFault::Garbage(_) => "garbage",
+        }
+    }
+}
+
+/// A deterministic crash plan: die when journal record number
+/// `kill_at_record` (0-based, counted across the store's lifetime) is
+/// offered for append, leaving the tail in the given [`TailFault`] state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Record index at which the store dies.
+    pub kill_at_record: u64,
+    /// Shape of the in-flight write's wreckage.
+    pub tail: TailFault,
+}
+
+/// A [`JournalStore`] wrapper that executes a [`CrashPlan`]: records
+/// before the kill point are durably forwarded to the inner [`MemStore`];
+/// the kill record (and everything after) is lost or corrupted, and every
+/// later operation fails with [`StoreError::Crashed`].
+#[derive(Debug)]
+pub struct CrashingStore {
+    inner: MemStore,
+    plan: CrashPlan,
+    records_appended: u64,
+    crashed: bool,
+}
+
+impl CrashingStore {
+    /// Wraps `inner` with the given plan. Keep a [`MemStore`] clone (or
+    /// call [`image`](CrashingStore::image)) to read the surviving bytes
+    /// after the crash.
+    #[must_use]
+    pub fn new(inner: MemStore, plan: CrashPlan) -> Self {
+        CrashingStore {
+            inner,
+            plan,
+            records_appended: 0,
+            crashed: false,
+        }
+    }
+
+    /// A shared handle to the surviving byte image.
+    #[must_use]
+    pub fn image(&self) -> MemStore {
+        self.inner.clone()
+    }
+
+    /// Whether the kill point has fired.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Whole records durably appended so far.
+    #[must_use]
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Splits a chunk of framed records into `(frame, rest)` slices; a
+    /// malformed remainder comes back as one opaque frame so nothing is
+    /// silently dropped.
+    fn next_frame(bytes: &[u8]) -> (&[u8], &[u8]) {
+        if bytes.len() < RECORD_HEADER_BYTES {
+            return (bytes, &[]);
+        }
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        let total = RECORD_HEADER_BYTES.saturating_add(len);
+        if total > bytes.len() {
+            return (bytes, &[]);
+        }
+        bytes.split_at(total)
+    }
+
+    /// Executes the crash: persists the surviving prefix plus the tail
+    /// wreckage, latches the dead state, and counts the injection.
+    fn crash(&mut self, kept: &mut Vec<u8>, killing_frame: &[u8]) -> StoreError {
+        match self.plan.tail {
+            TailFault::Clean => {}
+            TailFault::TornWrite(n) => {
+                let cut = n.min(killing_frame.len());
+                kept.extend_from_slice(&killing_frame[..cut]);
+            }
+            TailFault::FlipBit(bit) => {
+                // Corrupt only bytes written by THIS append: completed
+                // appends are fsync-durable and must stay pristine.
+                kept.extend_from_slice(killing_frame);
+                if !kept.is_empty() {
+                    let pos = (bit % (kept.len() as u64 * 8)) as usize;
+                    kept[pos / 8] ^= 1 << (pos % 8);
+                }
+            }
+            TailFault::Garbage(n) => {
+                let mut rng = SplitMix64::new(0xDEAD ^ self.plan.kill_at_record);
+                kept.extend((0..n).map(|_| (rng.next_u64() & 0xFF) as u8));
+            }
+        }
+        if !kept.is_empty() {
+            // The inner MemStore cannot fail; a real backend would be
+            // torn by the crash no matter what it returns here.
+            let _ = self.inner.append(kept);
+        }
+        self.crashed = true;
+        hybridcs_obs::global()
+            .counter(
+                "faults_crash_injected_total",
+                &[("tail", self.plan.tail.name())],
+            )
+            .inc();
+        StoreError::Crashed
+    }
+}
+
+impl JournalStore for CrashingStore {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        if self.crashed {
+            return Err(StoreError::Crashed);
+        }
+        let mut kept = Vec::new();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let (frame, tail) = Self::next_frame(rest);
+            if self.records_appended == self.plan.kill_at_record {
+                return Err(self.crash(&mut kept, frame));
+            }
+            kept.extend_from_slice(frame);
+            self.records_appended += 1;
+            rest = tail;
+        }
+        self.inner.append(&kept)
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError> {
+        if self.crashed {
+            return Err(StoreError::Crashed);
+        }
+        self.inner.read_all()
+    }
+
+    fn truncate_to(&mut self, len: u64) -> Result<(), StoreError> {
+        if self.crashed {
+            return Err(StoreError::Crashed);
+        }
+        self.inner.truncate_to(len)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds one framed record with the given payload length (contents
+    /// are the record index, so survivors are identifiable).
+    fn frame(index: u8, payload_len: usize) -> Vec<u8> {
+        let payload = vec![index; payload_len];
+        let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload_len);
+        out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // CRC is opaque here
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn mem_store_round_trips_and_shares_its_image() {
+        let mut store = MemStore::new();
+        let handle = store.clone();
+        store.append(b"abc").unwrap();
+        store.append(b"def").unwrap();
+        assert_eq!(store.len(), 6);
+        assert_eq!(handle.snapshot(), b"abcdef");
+        store.truncate_to(4).unwrap();
+        assert_eq!(handle.snapshot(), b"abcd");
+        assert_eq!(store.read_all().unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn kill_point_keeps_exactly_the_preceding_records() {
+        let mut store = CrashingStore::new(
+            MemStore::new(),
+            CrashPlan {
+                kill_at_record: 2,
+                tail: TailFault::Clean,
+            },
+        );
+        let image = store.image();
+        store.append(&frame(0, 4)).unwrap();
+        // Records 1 and 2 arrive in one group commit; only 1 survives.
+        let mut group = frame(1, 4);
+        group.extend_from_slice(&frame(2, 4));
+        assert_eq!(store.append(&group), Err(StoreError::Crashed));
+        assert!(store.crashed());
+        let survived = image.snapshot();
+        let mut expected = frame(0, 4);
+        expected.extend_from_slice(&frame(1, 4));
+        assert_eq!(survived, expected);
+        // The dead store refuses everything.
+        assert_eq!(store.append(&frame(3, 4)), Err(StoreError::Crashed));
+        assert_eq!(store.read_all(), Err(StoreError::Crashed));
+    }
+
+    #[test]
+    fn torn_write_persists_a_partial_record() {
+        let mut store = CrashingStore::new(
+            MemStore::new(),
+            CrashPlan {
+                kill_at_record: 1,
+                tail: TailFault::TornWrite(5),
+            },
+        );
+        let image = store.image();
+        store.append(&frame(0, 4)).unwrap();
+        assert_eq!(store.append(&frame(1, 4)), Err(StoreError::Crashed));
+        let survived = image.snapshot();
+        let whole = frame(0, 4);
+        assert_eq!(&survived[..whole.len()], &whole[..]);
+        assert_eq!(survived.len(), whole.len() + 5, "5 torn bytes of record 1");
+    }
+
+    #[test]
+    fn flip_bit_corrupts_only_the_inflight_append() {
+        let mut store = CrashingStore::new(
+            MemStore::new(),
+            CrashPlan {
+                kill_at_record: 1,
+                tail: TailFault::FlipBit(17),
+            },
+        );
+        let image = store.image();
+        store.append(&frame(0, 4)).unwrap();
+        assert_eq!(store.append(&frame(1, 4)), Err(StoreError::Crashed));
+        let survived = image.snapshot();
+        let durable = frame(0, 4);
+        assert_eq!(
+            &survived[..durable.len()],
+            &durable[..],
+            "completed appends stay pristine"
+        );
+        let inflight = &survived[durable.len()..];
+        let clean = frame(1, 4);
+        assert_eq!(inflight.len(), clean.len());
+        let flipped: u32 = inflight
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit differs");
+    }
+
+    #[test]
+    fn garbage_tail_is_deterministic_per_plan() {
+        let run = || {
+            let mut store = CrashingStore::new(
+                MemStore::new(),
+                CrashPlan {
+                    kill_at_record: 0,
+                    tail: TailFault::Garbage(16),
+                },
+            );
+            let image = store.image();
+            assert_eq!(store.append(&frame(0, 4)), Err(StoreError::Crashed));
+            image.snapshot()
+        };
+        let a = run();
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, run(), "garbage is seeded by the plan");
+    }
+
+    #[test]
+    fn malformed_chunk_is_treated_as_one_frame() {
+        // A chunk whose header claims more bytes than offered must still
+        // count as one record (nothing silently dropped, no panic).
+        let mut store = CrashingStore::new(
+            MemStore::new(),
+            CrashPlan {
+                kill_at_record: 10,
+                tail: TailFault::Clean,
+            },
+        );
+        let mut bogus = (100u32).to_le_bytes().to_vec();
+        bogus.extend_from_slice(&[0u8; 6]);
+        store.append(&bogus).unwrap();
+        assert_eq!(store.records_appended(), 1);
+        assert_eq!(store.len(), bogus.len() as u64);
+    }
+}

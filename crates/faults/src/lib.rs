@@ -17,6 +17,11 @@
 //!   ARQ with a hard retransmission budget, so resilience experiments can
 //!   charge retransmissions against the power model instead of assuming a
 //!   perfect wire.
+//! * [`CrashingStore`] — deterministic crash/storage-fault injection for
+//!   write-ahead journals: kill-points keyed by record sequence number,
+//!   with torn, bit-flipped, or garbage tail writes behind the
+//!   [`JournalStore`] trait (in-memory backend here; the real-file
+//!   backend lives with the gateway journal).
 //!
 //! All injected faults are counted in the [global metrics
 //! registry](hybridcs_obs::global) under `faults_*` names, so a resilience
@@ -32,10 +37,14 @@
 
 mod arq;
 mod channel;
+mod crash;
 mod sensor;
 
-pub use arq::{ArqConfig, NackOutcome, RetryQueue};
+pub use arq::{ArqConfig, ArqState, NackOutcome, RetryQueue};
 pub use channel::{GilbertElliott, GilbertElliottConfig};
+pub use crash::{
+    CrashPlan, CrashingStore, JournalStore, MemStore, StoreError, TailFault, RECORD_HEADER_BYTES,
+};
 pub use sensor::{
     AdcSaturation, ElectrodePop, FlatlineDropout, SensorFault, SensorFaultConfig,
     SensorFaultInjector,

@@ -39,6 +39,18 @@ pub struct GatewayConfig {
     /// Watchdog and concealment policy handed to every session's decode
     /// ladder and ledger.
     pub supervisor: SupervisorConfig,
+    /// Group-commit threshold for the write-ahead journal: encoded records
+    /// accumulate in memory and are forced to the store once this many
+    /// bytes are buffered (the delivery points — `flush`, `take_nacks`,
+    /// `take_outputs`, `close`, checkpoints — always sync regardless).
+    /// `0` syncs every record — maximal durability, maximal overhead.
+    /// Ignored when the gateway runs without a journal.
+    pub journal_group_bytes: usize,
+    /// A snapshot checkpoint is appended to the journal once this many
+    /// journaled events have accumulated since the previous checkpoint
+    /// (bounding replay work at recovery). Checked at batch boundaries so
+    /// checkpoints always capture a quiescent (empty-batch) state.
+    pub checkpoint_every: u64,
 }
 
 impl Default for GatewayConfig {
@@ -52,6 +64,8 @@ impl Default for GatewayConfig {
             admit_window: 4,
             arq: ArqConfig::default(),
             supervisor: SupervisorConfig::default(),
+            journal_group_bytes: 16 * 1024,
+            checkpoint_every: 1024,
         }
     }
 }
@@ -77,6 +91,9 @@ impl GatewayConfig {
         }
         if self.admit_window == 0 {
             return Err(GatewayError::Config("admit_window must be >= 1"));
+        }
+        if self.checkpoint_every == 0 {
+            return Err(GatewayError::Config("checkpoint_every must be >= 1"));
         }
         Ok(())
     }
@@ -112,6 +129,10 @@ mod tests {
             },
             GatewayConfig {
                 admit_window: 0,
+                ..GatewayConfig::default()
+            },
+            GatewayConfig {
+                checkpoint_every: 0,
                 ..GatewayConfig::default()
             },
         ] {

@@ -1,16 +1,23 @@
-//! The gateway orchestrator: demux, admission, batching, worker pool.
+//! The gateway orchestrator: demux, admission, batching, worker pool,
+//! and the crash-safety layer (journal, checkpoint, recovery).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 use hybridcs_coding::{LowResCodec, Payload};
-use hybridcs_core::{DecodeLadder, LadderOutcome, SessionLedger, SupervisedWindow, SystemConfig};
-use hybridcs_faults::{NackOutcome, RetryQueue};
+use hybridcs_core::{
+    DecodeLadder, LadderOutcome, ParsedSections, SessionLedger, SupervisedWindow, SystemConfig,
+};
+use hybridcs_faults::{JournalStore, NackOutcome, RetryQueue};
 use hybridcs_obs::flight::{emit_with, set_context};
 use hybridcs_obs::{EventContext, EventKind};
 use hybridcs_solver::SolverWorkspace;
 
+use crate::journal::{
+    self, config_fingerprint, shape_fingerprint, CheckpointState, Journal, QueuedState, Record,
+    RecoveryReport, SessionState,
+};
 use crate::session::{Queued, Session, SessionPhase, Slot};
 use crate::{GatewayConfig, GatewayError};
 
@@ -98,6 +105,14 @@ pub struct Gateway {
     /// stamps — and therefore flight-event dump order — are independent
     /// of worker count and scheduling.
     clock: u64,
+    /// The write-ahead journal, when durability is enabled (see
+    /// [`Gateway::with_journal`] / [`Gateway::recover`]).
+    journal: Option<Journal>,
+    /// Command records journaled (or, without a journal, API calls made) —
+    /// the replay cursor checkpoints are positioned by.
+    applied: u64,
+    /// `applied` at the last checkpoint (drives `checkpoint_every`).
+    last_checkpoint_applied: u64,
 }
 
 impl Gateway {
@@ -115,7 +130,41 @@ impl Gateway {
             batch: Batch::new(config.shards),
             workspaces: (0..config.shards).map(|_| SolverWorkspace::new()).collect(),
             clock: 0,
+            journal: None,
+            applied: 0,
+            last_checkpoint_applied: 0,
         })
+    }
+
+    /// A gateway journaling every API call to `store` (which must be
+    /// empty — resume an existing journal with [`Gateway::recover`]).
+    /// The genesis record is written and synced before this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Config`] for an invalid policy,
+    /// [`GatewayError::Recovery`] for a non-empty store, or
+    /// [`GatewayError::Journal`] when the store fails.
+    pub fn with_journal(
+        config: GatewayConfig,
+        store: Box<dyn JournalStore + Send>,
+    ) -> Result<Self, GatewayError> {
+        config.validate()?;
+        if !store.is_empty() {
+            return Err(GatewayError::Recovery(
+                "journal store is not empty; use Gateway::recover",
+            ));
+        }
+        let mut journal = Journal::new(store, config.journal_group_bytes);
+        journal
+            .append(&Record::Genesis {
+                config_fp: config_fingerprint(&config),
+            })
+            .map_err(GatewayError::Journal)?;
+        journal.sync().map_err(GatewayError::Journal)?;
+        let mut gateway = Self::new(config)?;
+        gateway.journal = Some(journal);
+        Ok(gateway)
     }
 
     /// The active policy.
@@ -133,36 +182,59 @@ impl Gateway {
     /// Registers a session: pins it to a shard (SplitMix64 of the id) and
     /// binds it to the shared decode ladder for its operator shape,
     /// building that ladder only if the `(config, codec)` pair was never
-    /// seen before.
+    /// seen before. A *closed* session's id may be reused: the handshake
+    /// replaces it with entirely fresh state — no concealment memory, ARQ
+    /// budget, or degradation counters are inherited.
     ///
     /// # Errors
     ///
-    /// [`GatewayError::DuplicateHandshake`] when the id already exists
-    /// (including closed sessions — ids are never reused), or
-    /// [`GatewayError::Core`] when operator setup fails.
+    /// [`GatewayError::DuplicateHandshake`] when the id is live
+    /// (handshaken and not closed), or [`GatewayError::Core`] when
+    /// operator setup fails.
     pub fn handshake(
         &mut self,
         id: u64,
         system: &SystemConfig,
         codec: LowResCodec,
     ) -> Result<(), GatewayError> {
-        if self.sessions.contains_key(&id) {
-            hybridcs_obs::global()
-                .counter(
-                    "gateway_handshake_rejected_total",
-                    &[("reason", "duplicate")],
-                )
-                .inc();
-            return Err(GatewayError::DuplicateHandshake(id));
+        if self.journal.is_some() {
+            let shape_fp = shape_fingerprint(system, &codec);
+            self.journal_append(Record::Handshake { id, shape_fp })?;
         }
+        self.applied += 1;
+        self.handshake_inner(id, system, codec)
+    }
+
+    fn handshake_inner(
+        &mut self,
+        id: u64,
+        system: &SystemConfig,
+        codec: LowResCodec,
+    ) -> Result<(), GatewayError> {
+        let registry = hybridcs_obs::global();
+        match self.sessions.get(&id) {
+            Some(session) if session.phase != SessionPhase::Closed => {
+                registry
+                    .counter(
+                        "gateway_handshake_rejected_total",
+                        &[("reason", "duplicate")],
+                    )
+                    .inc();
+                return Err(GatewayError::DuplicateHandshake(id));
+            }
+            Some(_) => {
+                registry.counter("gateway_sessions_reused_total", &[]).inc();
+            }
+            None => {}
+        }
+        let shape_fp = shape_fingerprint(system, &codec);
         let ladder = self.ladder_for(system, codec)?;
         let shard = usize::try_from(hybridcs_rand::mix(id) % self.config.shards as u64)
             .expect("shard index fits usize");
         let ledger = SessionLedger::new(system.window, self.config.supervisor.max_conceal_reuse);
         let arq = RetryQueue::new(self.config.arq);
         self.sessions
-            .insert(id, Session::new(shard, ladder, ledger, arq));
-        let registry = hybridcs_obs::global();
+            .insert(id, Session::new(shard, ladder, shape_fp, ledger, arq));
         registry.counter("gateway_sessions_total", &[]).inc();
         self.refresh_session_gauge();
         Ok(())
@@ -205,8 +277,23 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`].
+    /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`],
+    /// plus [`GatewayError::Journal`] when journaling is on and the store
+    /// fails.
     pub fn push(&mut self, id: u64, packet: &[u8]) -> Result<(), GatewayError> {
+        if self.journal.is_some() {
+            self.journal_append(Record::Push {
+                id,
+                packet: packet.to_vec(),
+            })?;
+        }
+        self.applied += 1;
+        let result = self.push_inner(id, packet);
+        self.maybe_checkpoint()?;
+        result
+    }
+
+    fn push_inner(&mut self, id: u64, packet: &[u8]) -> Result<(), GatewayError> {
         let _span = hybridcs_obs::span!("gateway.push");
         let started = Instant::now();
         self.clock += 1;
@@ -295,7 +382,10 @@ impl Gateway {
             .histogram("gateway_stage_seconds", &[("stage", "ingest")])
             .record(started.elapsed().as_secs_f64());
         if self.batch.jobs.len() >= self.config.batch_capacity {
-            self.flush()?;
+            // Capacity auto-flush is NOT journaled: replaying the pushes
+            // reproduces it deterministically, so a Flush record here
+            // would double-flush on replay.
+            self.flush_inner()?;
         }
         Ok(())
     }
@@ -307,8 +397,20 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`].
+    /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`],
+    /// plus [`GatewayError::Journal`] when journaling is on and the store
+    /// fails.
     pub fn notify_lost(&mut self, id: u64, sequence: u32) -> Result<(), GatewayError> {
+        if self.journal.is_some() {
+            self.journal_append(Record::NotifyLost { id, sequence })?;
+        }
+        self.applied += 1;
+        let result = self.notify_lost_inner(id, sequence);
+        self.maybe_checkpoint()?;
+        result
+    }
+
+    fn notify_lost_inner(&mut self, id: u64, sequence: u32) -> Result<(), GatewayError> {
         self.clock += 1;
         let logical = self.clock;
         let Some(session) = self.sessions.get_mut(&id) else {
@@ -326,7 +428,7 @@ impl Gateway {
         Self::open_gap(session, id, logical, sequence);
         self.release_ready(id);
         if self.batch.jobs.len() >= self.config.batch_capacity {
-            self.flush()?;
+            self.flush_inner()?;
         }
         Ok(())
     }
@@ -338,8 +440,21 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// [`GatewayError::UnknownSession`].
+    /// [`GatewayError::UnknownSession`], plus [`GatewayError::Journal`]
+    /// when journaling is on and the store fails.
     pub fn take_nacks(&mut self, id: u64) -> Result<Vec<u32>, GatewayError> {
+        if self.journal.is_some() {
+            self.journal_append(Record::TakeNacks { id })?;
+        }
+        self.applied += 1;
+        let result = self.take_nacks_inner(id);
+        // Draining consumed ARQ budget the caller will now act on
+        // (retransmissions): observed ⇒ durable.
+        self.journal_sync()?;
+        result
+    }
+
+    fn take_nacks_inner(&mut self, id: u64) -> Result<Vec<u32>, GatewayError> {
         let Some(session) = self.sessions.get_mut(&id) else {
             return Err(GatewayError::UnknownSession(id));
         };
@@ -369,6 +484,10 @@ impl Gateway {
             }
             _ => {
                 session.nacked.remove(&sequence);
+                // Declared lost: release the frame's slice of the
+                // retransmission budget and its attempt history — it will
+                // conceal, never retransmit.
+                session.arq.abandon(sequence);
                 session.reorder.insert(
                     sequence,
                     Queued {
@@ -490,9 +609,22 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// Currently infallible after construction; the `Result` reserves the
-    /// right to surface pool failures.
+    /// [`GatewayError::Journal`] when journaling is on and the store
+    /// fails; otherwise currently infallible after construction.
     pub fn flush(&mut self) -> Result<GatewayReport, GatewayError> {
+        if self.journal.is_some() {
+            self.journal_append(Record::Flush)?;
+        }
+        self.applied += 1;
+        let result = self.flush_inner();
+        // Flush is a delivery point (outputs become drainable): sync the
+        // group-commit buffer before the caller can observe them.
+        self.journal_sync()?;
+        self.maybe_checkpoint()?;
+        result
+    }
+
+    fn flush_inner(&mut self) -> Result<GatewayReport, GatewayError> {
         let _span = hybridcs_obs::span!("gateway.flush");
         if self.batch.jobs.is_empty() {
             return Ok(GatewayReport::default());
@@ -630,8 +762,20 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// [`GatewayError::UnknownSession`].
+    /// [`GatewayError::UnknownSession`], plus [`GatewayError::Journal`]
+    /// when journaling is on and the store fails.
     pub fn take_outputs(&mut self, id: u64) -> Result<Vec<SupervisedWindow>, GatewayError> {
+        if self.journal.is_some() {
+            self.journal_append(Record::TakeOutputs { id })?;
+        }
+        self.applied += 1;
+        let result = self.take_outputs_inner(id);
+        // The windows leave the gateway now: observed ⇒ durable.
+        self.journal_sync()?;
+        result
+    }
+
+    fn take_outputs_inner(&mut self, id: u64) -> Result<Vec<SupervisedWindow>, GatewayError> {
         let Some(session) = self.sessions.get_mut(&id) else {
             return Err(GatewayError::UnknownSession(id));
         };
@@ -641,12 +785,30 @@ impl Gateway {
     /// Closes a session: every outstanding hole below the highest frame
     /// seen is declared lost (it will conceal), in-flight work is flushed,
     /// and the remaining outputs are returned. Further frames for the id
-    /// are [`GatewayError::SessionClosed`]; the id is never reusable.
+    /// are [`GatewayError::SessionClosed`]; a later
+    /// [`handshake`](Gateway::handshake) may reuse the id with entirely
+    /// fresh state. On close, the session's ledger counters (concealment
+    /// memory, staleness) are reset and any remaining ARQ reservations
+    /// are released.
     ///
     /// # Errors
     ///
-    /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`].
+    /// [`GatewayError::UnknownSession`] or [`GatewayError::SessionClosed`],
+    /// plus [`GatewayError::Journal`] when journaling is on and the store
+    /// fails.
     pub fn close(&mut self, id: u64) -> Result<Vec<SupervisedWindow>, GatewayError> {
+        if self.journal.is_some() {
+            self.journal_append(Record::Close { id })?;
+        }
+        self.applied += 1;
+        let result = self.close_inner(id);
+        // The trailing windows leave the gateway now: observed ⇒ durable.
+        self.journal_sync()?;
+        self.maybe_checkpoint()?;
+        result
+    }
+
+    fn close_inner(&mut self, id: u64) -> Result<Vec<SupervisedWindow>, GatewayError> {
         let registry = hybridcs_obs::global();
         self.clock += 1;
         let logical = self.clock;
@@ -677,9 +839,17 @@ impl Gateway {
             }
         }
         self.release_ready(id);
-        self.flush()?;
+        self.flush_inner()?;
         let session = self.sessions.get_mut(&id).expect("session still present");
         session.phase = SessionPhase::Closed;
+        // Release every outstanding ARQ reservation and reset the ledger's
+        // degradation counters, so nothing stale survives into a reuse of
+        // this session id.
+        let abandoned: Vec<u32> = session.nacked.iter().copied().collect();
+        for seq in abandoned {
+            session.arq.abandon(seq);
+        }
+        session.ledger.reset();
         session.nacked.clear();
         session.reorder.clear();
         emit_with(
@@ -695,6 +865,398 @@ impl Gateway {
         let outputs = std::mem::take(&mut session.outputs);
         self.refresh_session_gauge();
         Ok(outputs)
+    }
+
+    // -- crash safety: journal, checkpoint, recovery ----------------------
+
+    /// Appends one record to the journal (no-op without one).
+    fn journal_append(&mut self, record: Record) -> Result<(), GatewayError> {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append(&record).map_err(GatewayError::Journal)?;
+        }
+        Ok(())
+    }
+
+    /// Forces the group-commit buffer to the store (no-op without a
+    /// journal).
+    fn journal_sync(&mut self) -> Result<(), GatewayError> {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.sync().map_err(GatewayError::Journal)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint if one is due and the batch is quiescent.
+    fn maybe_checkpoint(&mut self) -> Result<(), GatewayError> {
+        if self.journal.is_none() || !self.batch.jobs.is_empty() {
+            return Ok(());
+        }
+        if self.applied.saturating_sub(self.last_checkpoint_applied) < self.config.checkpoint_every
+        {
+            return Ok(());
+        }
+        self.checkpoint_now()
+    }
+
+    /// Appends a snapshot checkpoint to the journal, first flushing any
+    /// queued batch (a journaled flush, so replay stays faithful).
+    /// Checkpoints bound recovery's replay work; the policy knob
+    /// `checkpoint_every` writes them automatically. No-op without a
+    /// journal.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Journal`] when the store fails.
+    pub fn checkpoint(&mut self) -> Result<(), GatewayError> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        if !self.batch.jobs.is_empty() {
+            self.flush()?;
+            if self.last_checkpoint_applied == self.applied {
+                return Ok(()); // the flush already checkpointed
+            }
+        }
+        self.checkpoint_now()
+    }
+
+    fn checkpoint_now(&mut self) -> Result<(), GatewayError> {
+        debug_assert!(self.batch.jobs.is_empty(), "checkpoints are quiescent");
+        let state = self.snapshot();
+        let at = self.applied;
+        if let Some(journal) = self.journal.as_mut() {
+            journal
+                .append(&Record::Checkpoint(state))
+                .map_err(GatewayError::Journal)?;
+            journal.sync().map_err(GatewayError::Journal)?;
+        }
+        self.last_checkpoint_applied = at;
+        hybridcs_obs::global()
+            .counter("gateway_checkpoints_total", &[])
+            .inc();
+        emit_with(
+            EventContext {
+                logical: self.clock,
+                session: 0,
+                shard: 0,
+            },
+            EventKind::Checkpoint,
+            0,
+            at,
+        );
+        Ok(())
+    }
+
+    /// Serializes the full mutable state (see `journal.rs` for the wire
+    /// format). Wall-clock instants are telemetry-only and not captured.
+    fn snapshot(&self) -> CheckpointState {
+        CheckpointState {
+            config_fp: config_fingerprint(&self.config),
+            clock: self.clock,
+            applied: self.applied,
+            sessions: self
+                .sessions
+                .iter()
+                .map(|(id, session)| {
+                    let ledger = session.ledger.state();
+                    let (last_good, consecutive_concealed, expected_sequence) =
+                        journal::ledger_to_parts(&ledger);
+                    let arq = session.arq.state();
+                    SessionState {
+                        id: *id,
+                        shape_fp: session.shape_fp,
+                        phase: session.phase.code(),
+                        last_good,
+                        consecutive_concealed,
+                        expected_sequence,
+                        arq_pending: arq.pending,
+                        arq_attempts: arq.attempts,
+                        arq_budget_left: arq.budget_left,
+                        nacked: session.nacked.iter().copied().collect(),
+                        reorder: session
+                            .reorder
+                            .iter()
+                            .map(|(seq, queued)| {
+                                (
+                                    *seq,
+                                    QueuedState {
+                                        logical: queued.logical,
+                                        frame: match &queued.slot {
+                                            Slot::Lost => None,
+                                            Slot::Frame(parsed) => Some((
+                                                parsed.sequence,
+                                                parsed.measurements.clone(),
+                                                parsed.lowres.as_ref().map(|lr| {
+                                                    (lr.bytes.clone(), lr.bit_len as u64)
+                                                }),
+                                            )),
+                                        },
+                                    },
+                                )
+                            })
+                            .collect(),
+                        next_release: session.next_release,
+                        highest_seen: session.highest_seen,
+                        window_index: session.window_index,
+                        epoch: session.epoch,
+                        admitted_in_epoch: session.admitted_in_epoch,
+                        outputs: session
+                            .outputs
+                            .iter()
+                            .map(journal::window_to_state)
+                            .collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Finds the shape for a journaled fingerprint in the recovery table.
+    fn find_shape(
+        shapes: &[(SystemConfig, LowResCodec)],
+        shape_fp: u64,
+    ) -> Result<&(SystemConfig, LowResCodec), GatewayError> {
+        shapes
+            .iter()
+            .find(|(system, codec)| shape_fingerprint(system, codec) == shape_fp)
+            .ok_or(GatewayError::Recovery(
+                "journal names an operator shape missing from the recovery shape table",
+            ))
+    }
+
+    /// Restores a decoded checkpoint into this (fresh) gateway.
+    fn restore_checkpoint(
+        &mut self,
+        state: &CheckpointState,
+        shapes: &[(SystemConfig, LowResCodec)],
+    ) -> Result<(), GatewayError> {
+        self.clock = state.clock;
+        self.applied = state.applied;
+        self.last_checkpoint_applied = state.applied;
+        self.sessions.clear();
+        for s in &state.sessions {
+            let (system, codec) = Self::find_shape(shapes, s.shape_fp)?;
+            let ladder = self.ladder_for(system, codec.clone())?;
+            let shard = usize::try_from(hybridcs_rand::mix(s.id) % self.config.shards as u64)
+                .expect("shard index fits usize");
+            let ledger =
+                SessionLedger::new(system.window, self.config.supervisor.max_conceal_reuse);
+            let arq = RetryQueue::new(self.config.arq);
+            let mut session = Session::new(shard, ladder, s.shape_fp, ledger, arq);
+            session.phase = SessionPhase::from_code(s.phase).ok_or(GatewayError::Recovery(
+                "checkpoint carries an unknown session phase",
+            ))?;
+            session.ledger.restore(journal::ledger_from_parts(
+                s.last_good.clone(),
+                s.consecutive_concealed,
+                s.expected_sequence,
+            ));
+            session.arq.restore(journal::arq_from_parts(
+                s.arq_pending.clone(),
+                s.arq_attempts.clone(),
+                s.arq_budget_left,
+            ));
+            session.nacked = s.nacked.iter().copied().collect();
+            let restored_at = Instant::now();
+            for (seq, queued) in &s.reorder {
+                let slot = match &queued.frame {
+                    None => Slot::Lost,
+                    Some((sequence, measurements, lowres)) => Slot::Frame(ParsedSections {
+                        sequence: *sequence,
+                        measurements: measurements.clone(),
+                        lowres: lowres.as_ref().map(|(bytes, bit_len)| {
+                            journal::payload_from_parts(bytes.clone(), *bit_len)
+                        }),
+                    }),
+                };
+                session.reorder.insert(
+                    *seq,
+                    Queued {
+                        slot,
+                        logical: queued.logical,
+                        // Wall-clock stamps don't survive a crash; latency
+                        // telemetry for restored windows restarts here.
+                        at: restored_at,
+                    },
+                );
+            }
+            session.next_release = s.next_release;
+            session.highest_seen = s.highest_seen;
+            session.window_index = s.window_index;
+            session.epoch = s.epoch;
+            session.admitted_in_epoch = s.admitted_in_epoch;
+            session.outputs = s
+                .outputs
+                .iter()
+                .map(|w| {
+                    journal::window_from_state(w.clone()).map_err(|_| {
+                        GatewayError::Recovery("checkpoint carries an undecodable output window")
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            self.sessions.insert(s.id, session);
+        }
+        Ok(())
+    }
+
+    /// Re-applies one journaled command through the non-journaling paths.
+    /// Command-level errors (unknown session, closed session) replay
+    /// deterministically and are swallowed, exactly as the original
+    /// caller swallowed (or observed) them.
+    fn replay(
+        &mut self,
+        record: &Record,
+        shapes: &[(SystemConfig, LowResCodec)],
+    ) -> Result<(), GatewayError> {
+        match record {
+            Record::Handshake { id, shape_fp } => {
+                let duplicate = self
+                    .sessions
+                    .get(id)
+                    .is_some_and(|s| s.phase != SessionPhase::Closed);
+                if !duplicate {
+                    let (system, codec) = Self::find_shape(shapes, *shape_fp)?;
+                    let codec = codec.clone();
+                    let system = system.clone();
+                    let _ = self.handshake_inner(*id, &system, codec);
+                }
+            }
+            Record::Push { id, packet } => {
+                let _ = self.push_inner(*id, packet);
+            }
+            Record::NotifyLost { id, sequence } => {
+                let _ = self.notify_lost_inner(*id, *sequence);
+            }
+            Record::TakeNacks { id } => {
+                let _ = self.take_nacks_inner(*id);
+            }
+            Record::Flush => {
+                self.flush_inner()?;
+            }
+            Record::TakeOutputs { id } => {
+                let _ = self.take_outputs_inner(*id);
+            }
+            Record::Close { id } => {
+                let _ = self.close_inner(*id);
+            }
+            Record::Genesis { .. } | Record::Checkpoint(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a gateway from a surviving journal: scans the store,
+    /// verifies the genesis fingerprint, restores the last decodable
+    /// checkpoint, replays the command tail (re-decoding any journaled
+    /// but uncommitted windows — bit-identical by the determinism
+    /// contract), truncates torn wreckage, and resumes journaling.
+    ///
+    /// `shapes` must contain every `(SystemConfig, LowResCodec)` pair
+    /// ever handshaken into the journal, matched by fingerprint.
+    ///
+    /// An empty store recovers to a fresh journaling gateway (equivalent
+    /// to [`Gateway::with_journal`]).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Config`] for an invalid policy,
+    /// [`GatewayError::Recovery`] for a config-fingerprint mismatch or a
+    /// missing shape, or [`GatewayError::Journal`] when the store fails.
+    pub fn recover(
+        config: GatewayConfig,
+        mut store: Box<dyn JournalStore + Send>,
+        shapes: &[(SystemConfig, LowResCodec)],
+    ) -> Result<(Self, RecoveryReport), GatewayError> {
+        config.validate()?;
+        let started = Instant::now();
+        let registry = hybridcs_obs::global();
+        let ctx = EventContext {
+            logical: 0,
+            session: 0,
+            shard: 0,
+        };
+        emit_with(ctx, EventKind::Recover, 0, 0);
+        let bytes = store.read_all().map_err(GatewayError::Journal)?;
+        let scanned = journal::scan(&bytes);
+        let my_fp = config_fingerprint(&config);
+        if let Some(first) = scanned.records.first() {
+            match first {
+                Record::Genesis { config_fp } if *config_fp == my_fp => {}
+                Record::Genesis { .. } => {
+                    return Err(GatewayError::Recovery(
+                        "journal was written under a different gateway config",
+                    ));
+                }
+                _ => {
+                    return Err(GatewayError::Recovery(
+                        "journal does not start with a genesis record",
+                    ));
+                }
+            }
+        }
+        let mut gateway = Self::new(config)?;
+        let checkpoint_index = scanned
+            .records
+            .iter()
+            .rposition(|r| matches!(r, Record::Checkpoint(_)));
+        let mut checkpoint_restored = false;
+        let mut replay_from = 0usize;
+        if let Some(index) = checkpoint_index {
+            if let Record::Checkpoint(state) = &scanned.records[index] {
+                gateway.restore_checkpoint(state, shapes)?;
+                emit_with(ctx, EventKind::Checkpoint, 1, state.applied);
+                checkpoint_restored = true;
+                replay_from = index + 1;
+            }
+        }
+        let mut replayed = 0u64;
+        for record in &scanned.records[replay_from..] {
+            if record.is_command() {
+                gateway.replay(record, shapes)?;
+                gateway.applied += 1;
+                replayed += 1;
+            }
+        }
+        let truncated_bytes = bytes.len() as u64 - scanned.valid_bytes;
+        if scanned.torn {
+            store
+                .truncate_to(scanned.valid_bytes)
+                .map_err(GatewayError::Journal)?;
+            registry
+                .counter("gateway_journal_torn_tails_total", &[])
+                .inc();
+            emit_with(ctx, EventKind::Recover, 3, scanned.valid_bytes);
+        }
+        let mut journal = Journal::new(store, gateway.config.journal_group_bytes);
+        if scanned.records.is_empty() {
+            journal
+                .append(&Record::Genesis { config_fp: my_fp })
+                .map_err(GatewayError::Journal)?;
+            journal.sync().map_err(GatewayError::Journal)?;
+        }
+        gateway.journal = Some(journal);
+        let seconds = started.elapsed().as_secs_f64();
+        registry
+            .counter("gateway_recovery_replayed_events", &[])
+            .add(replayed);
+        registry
+            .histogram("gateway_recovery_seconds", &[])
+            .record(seconds);
+        registry
+            .histogram("gateway_recovery_replay_lag_events", &[])
+            .record(replayed as f64);
+        emit_with(ctx, EventKind::Recover, 1, replayed);
+        emit_with(ctx, EventKind::Recover, 2, replayed);
+        gateway.refresh_session_gauge();
+        Ok((
+            gateway,
+            RecoveryReport {
+                replayed_events: replayed,
+                checkpoint_restored,
+                torn_tail: scanned.torn,
+                truncated_bytes,
+                seconds,
+            },
+        ))
     }
 
     /// Re-publishes the per-phase session gauge.

@@ -1,0 +1,1221 @@
+//! The gateway's crash-safety layer: a CRC-framed write-ahead journal of
+//! ingest-order events, periodic snapshot checkpoints, and the recovery
+//! scan that replays them. DESIGN §12 is the narrative version.
+//!
+//! # Journal = command log
+//!
+//! The gateway is deterministic: for a fixed config, the same sequence of
+//! public API calls produces bit-identical session state and output bytes
+//! regardless of worker count (DESIGN §9). The journal exploits that by
+//! logging the *commands* — one [`Record`] per `handshake`/`push`/
+//! `notify_lost`/`take_nacks`/`flush`/`take_outputs`/`close` call — rather
+//! than the resulting state. Replay is just re-invoking the gateway's
+//! internal (non-journaling) paths in order; any window that was journaled
+//! but not yet committed is simply re-decoded, reproducing the exact
+//! output bytes.
+//!
+//! # Wire format
+//!
+//! Every record is framed as `[len: u32 LE][crc32: u32 LE][payload: len
+//! bytes]`, with the CRC over the payload only (the `crc32` from
+//! `hybridcs-coding`, the same polynomial the telemetry frames use). The
+//! first record is always [`Record::Genesis`], pinning a fingerprint of
+//! the gateway configuration; [`Record::Checkpoint`] records carry a full
+//! serialized snapshot of every session's state. All integers are
+//! little-endian; every `f64` travels as its exact IEEE bit pattern, so a
+//! restored ledger is bit-identical, not merely close.
+//!
+//! # Group commit
+//!
+//! Encoded records accumulate in an in-memory buffer and reach the store
+//! in batches: when the buffer exceeds the configured group-commit
+//! threshold, and always at the *delivery points* — `flush`,
+//! `take_nacks`, `take_outputs`, `close`, and checkpoints — so nothing
+//! the caller has observed can be lost to a crash. The invariant is the
+//! classic WAL one: **observed ⇒ durable**; everything else is
+//! re-derivable by replay.
+//!
+//! # Torn tails
+//!
+//! [`scan`] walks frames from the start and stops at the first torn,
+//! CRC-bad, or undecodable record: everything before it is the valid
+//! prefix, everything after is wreckage from the crash and is truncated
+//! before the journal resumes appending. Because stores only tear the
+//! in-flight append (an fsync contract), the valid prefix always covers
+//! every observed output.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use hybridcs_coding::{crc32, LowResCodec, Payload};
+use hybridcs_core::{DecodedWindow, LadderRung};
+use hybridcs_core::{LedgerState, SupervisedWindow, SystemConfig};
+use hybridcs_faults::{ArqState, JournalStore, StoreError};
+use hybridcs_solver::RecoveryResult;
+
+use crate::GatewayConfig;
+
+/// Upper bound on a single record's payload (sanity cap against garbage
+/// length prefixes; 64 MiB dwarfs any real checkpoint).
+pub const MAX_RECORD_BYTES: usize = 1 << 26;
+
+/// Bytes of framing ahead of every payload (`len` + `crc`).
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Journal record payload decode errors (all collapse to "stop the scan
+/// here" — a bad record ends the valid prefix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Malformed;
+
+// ---------------------------------------------------------------------------
+// Byte-level encoding primitives
+// ---------------------------------------------------------------------------
+
+/// Little-endian append-only writer (thin, but keeps every encode site
+/// symmetric with [`ByteReader`]).
+pub(crate) struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("record payload fits u32"));
+        self.buf.extend_from_slice(v);
+    }
+
+    pub(crate) fn f64s(&mut self, v: &[f64]) {
+        self.u32(u32::try_from(v.len()).expect("signal length fits u32"));
+        for x in v {
+            self.f64(*x);
+        }
+    }
+
+    pub(crate) fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+
+    pub(crate) fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Checked little-endian reader: every read verifies the bytes exist, and
+/// every length prefix is validated against the remaining input before
+/// allocating — adversarial journals cannot cause panics or huge
+/// allocations.
+pub(crate) struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Malformed> {
+        let end = self.pos.checked_add(n).ok_or(Malformed)?;
+        if end > self.data.len() {
+            return Err(Malformed);
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, Malformed> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, Malformed> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, Malformed> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, Malformed> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, Malformed> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    pub(crate) fn f64s(&mut self) -> Result<Vec<f64>, Malformed> {
+        let len = self.u32()? as usize;
+        // The claim must be covered by real bytes before allocating.
+        if len.checked_mul(8).ok_or(Malformed)? > self.data.len() - self.pos {
+            return Err(Malformed);
+        }
+        (0..len).map(|_| self.f64()).collect()
+    }
+
+    pub(crate) fn opt_u32(&mut self) -> Result<Option<u32>, Malformed> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            _ => Err(Malformed),
+        }
+    }
+
+    pub(crate) fn done(&self) -> Result<(), Malformed> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(Malformed)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte stream (stable, dependency-free; fingerprints are
+/// consistency checks, not security).
+fn fnv64(chunks: &[&[u8]]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for b in *chunk {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Fingerprint of one operator shape: the `SystemConfig` (via its stable
+/// `Debug` rendering) plus the trained codebook bytes and quantizer depth.
+/// Checkpoints and handshake records name ladders by this value; recovery
+/// matches it against the caller-supplied shape table.
+#[must_use]
+pub fn shape_fingerprint(system: &SystemConfig, codec: &LowResCodec) -> u64 {
+    let system_repr = format!("{system:?}");
+    let codebook = codec.codebook().serialize();
+    let bits = codec.bits().to_le_bytes();
+    fnv64(&[system_repr.as_bytes(), &codebook, &bits])
+}
+
+/// Fingerprint of the gateway policy a journal was written under. The
+/// worker count is canonicalized out — workers are a pure throughput knob
+/// with no effect on outputs (DESIGN §9), so a journal may be recovered
+/// into a gateway with a different pool size. Everything else must match:
+/// shards, admission, ARQ, and supervisor policy all shape the journaled
+/// decisions.
+#[must_use]
+pub fn config_fingerprint(config: &GatewayConfig) -> u64 {
+    let canonical = GatewayConfig {
+        workers: 1,
+        ..*config
+    };
+    fnv64(&[format!("{canonical:?}").as_bytes()])
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+const TAG_GENESIS: u8 = 0;
+const TAG_HANDSHAKE: u8 = 1;
+const TAG_PUSH: u8 = 2;
+const TAG_NOTIFY_LOST: u8 = 3;
+const TAG_TAKE_NACKS: u8 = 4;
+const TAG_FLUSH: u8 = 5;
+const TAG_TAKE_OUTPUTS: u8 = 6;
+const TAG_CLOSE: u8 = 7;
+const TAG_CHECKPOINT: u8 = 8;
+
+/// One journal record: a gateway API command (the log proper), the
+/// genesis header, or a snapshot checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// First record of every journal: the policy fingerprint the log was
+    /// written under (see [`config_fingerprint`]).
+    Genesis {
+        /// The writing gateway's [`config_fingerprint`].
+        config_fp: u64,
+    },
+    /// `Gateway::handshake(id, ...)`; the shape is named by fingerprint
+    /// and resolved against the recovery shape table.
+    Handshake {
+        /// Session id.
+        id: u64,
+        /// [`shape_fingerprint`] of the session's `(config, codec)` pair.
+        shape_fp: u64,
+    },
+    /// `Gateway::push(id, packet)` — the raw wire frame, replayed
+    /// verbatim.
+    Push {
+        /// Session id.
+        id: u64,
+        /// The wire frame bytes exactly as pushed.
+        packet: Vec<u8>,
+    },
+    /// `Gateway::notify_lost(id, sequence)`.
+    NotifyLost {
+        /// Session id.
+        id: u64,
+        /// The sequence whose retransmission was lost.
+        sequence: u32,
+    },
+    /// `Gateway::take_nacks(id)` — journaled because draining consumes
+    /// ARQ budget and attempts.
+    TakeNacks {
+        /// Session id.
+        id: u64,
+    },
+    /// An explicit `Gateway::flush()` (capacity-triggered auto-flushes
+    /// are *not* journaled — replaying the pushes reproduces them).
+    Flush,
+    /// `Gateway::take_outputs(id)` — journaled so replay re-drains
+    /// windows that were already delivered before the crash.
+    TakeOutputs {
+        /// Session id.
+        id: u64,
+    },
+    /// `Gateway::close(id)`.
+    Close {
+        /// Session id.
+        id: u64,
+    },
+    /// A full state snapshot; recovery restores the last decodable one
+    /// and replays only the records after it.
+    Checkpoint(CheckpointState),
+}
+
+impl Record {
+    /// Whether this record is a replayable gateway command (vs. journal
+    /// bookkeeping).
+    #[must_use]
+    pub fn is_command(&self) -> bool {
+        !matches!(self, Record::Genesis { .. } | Record::Checkpoint(_))
+    }
+
+    /// Encodes the record payload (unframed).
+    #[must_use]
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Record::Genesis { config_fp } => {
+                w.u8(TAG_GENESIS);
+                w.u64(*config_fp);
+            }
+            Record::Handshake { id, shape_fp } => {
+                w.u8(TAG_HANDSHAKE);
+                w.u64(*id);
+                w.u64(*shape_fp);
+            }
+            Record::Push { id, packet } => {
+                w.u8(TAG_PUSH);
+                w.u64(*id);
+                w.bytes(packet);
+            }
+            Record::NotifyLost { id, sequence } => {
+                w.u8(TAG_NOTIFY_LOST);
+                w.u64(*id);
+                w.u32(*sequence);
+            }
+            Record::TakeNacks { id } => {
+                w.u8(TAG_TAKE_NACKS);
+                w.u64(*id);
+            }
+            Record::Flush => w.u8(TAG_FLUSH),
+            Record::TakeOutputs { id } => {
+                w.u8(TAG_TAKE_OUTPUTS);
+                w.u64(*id);
+            }
+            Record::Close { id } => {
+                w.u8(TAG_CLOSE);
+                w.u64(*id);
+            }
+            Record::Checkpoint(state) => {
+                w.u8(TAG_CHECKPOINT);
+                state.encode(&mut w);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one record payload; any deviation is [`Malformed`].
+    pub(crate) fn decode(payload: &[u8]) -> Result<Record, Malformed> {
+        let mut r = ByteReader::new(payload);
+        let record = match r.u8()? {
+            TAG_GENESIS => Record::Genesis {
+                config_fp: r.u64()?,
+            },
+            TAG_HANDSHAKE => Record::Handshake {
+                id: r.u64()?,
+                shape_fp: r.u64()?,
+            },
+            TAG_PUSH => Record::Push {
+                id: r.u64()?,
+                packet: r.bytes()?,
+            },
+            TAG_NOTIFY_LOST => Record::NotifyLost {
+                id: r.u64()?,
+                sequence: r.u32()?,
+            },
+            TAG_TAKE_NACKS => Record::TakeNacks { id: r.u64()? },
+            TAG_FLUSH => Record::Flush,
+            TAG_TAKE_OUTPUTS => Record::TakeOutputs { id: r.u64()? },
+            TAG_CLOSE => Record::Close { id: r.u64()? },
+            TAG_CHECKPOINT => Record::Checkpoint(CheckpointState::decode(&mut r)?),
+            _ => return Err(Malformed),
+        };
+        r.done()?;
+        Ok(record)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint state
+// ---------------------------------------------------------------------------
+
+/// One buffered reorder-slot in a checkpoint (the serializable shadow of
+/// the gateway's `Queued`; the wall-clock instant is telemetry-only and
+/// restored as "now").
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedState {
+    /// The deterministic logical ingest stamp.
+    pub logical: u64,
+    /// `None` — declared lost; `Some` — the parsed frame sections
+    /// `(sequence, measurements, lowres (bytes, bit_len))`.
+    #[allow(clippy::type_complexity)]
+    pub frame: Option<(Option<u32>, Option<Vec<f64>>, Option<(Vec<u8>, u64)>)>,
+}
+
+/// One committed-but-undelivered output window in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowState {
+    /// Frame sequence, when the header survived.
+    pub sequence: Option<u32>,
+    /// Ladder rung code ([`LadderRung::code`]).
+    pub rung: u8,
+    /// The reconstructed signal, bit-exact.
+    pub signal: Vec<f64>,
+    /// Demotion trail as `(rung code, reason code)` pairs (reason codes
+    /// from [`hybridcs_obs::flight::DEMOTION_REASONS`]).
+    pub demotions: Vec<(u8, u8)>,
+    /// Solver report, when a solver rung produced the window:
+    /// `(decoded signal, recovery signal, iterations, converged,
+    /// residual, objective, used_box)`.
+    #[allow(clippy::type_complexity)]
+    pub decoded: Option<(Vec<f64>, Vec<f64>, u64, bool, f64, f64, bool)>,
+}
+
+/// One session's full serialized state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionState {
+    /// Session id.
+    pub id: u64,
+    /// [`shape_fingerprint`] naming the session's decode ladder.
+    pub shape_fp: u64,
+    /// Lifecycle phase code ([`crate::SessionPhase::code`]).
+    pub phase: u8,
+    /// Concealment source, bit-exact, if any.
+    pub last_good: Option<Vec<f64>>,
+    /// Consecutive concealed windows.
+    pub consecutive_concealed: u64,
+    /// Next expected frame sequence, if tracking started.
+    pub expected_sequence: Option<u32>,
+    /// ARQ retransmission queue, oldest first.
+    pub arq_pending: Vec<u32>,
+    /// ARQ `(sequence, attempts)` pairs.
+    pub arq_attempts: Vec<(u32, u32)>,
+    /// ARQ budget remaining.
+    pub arq_budget_left: u64,
+    /// Sequences in the nack/retransmit cycle.
+    pub nacked: Vec<u32>,
+    /// Reorder buffer, keyed by sequence.
+    pub reorder: Vec<(u32, QueuedState)>,
+    /// Next sequence to release.
+    pub next_release: u32,
+    /// Highest sequence observed.
+    pub highest_seen: Option<u32>,
+    /// Released-window counter.
+    pub window_index: u64,
+    /// Admission epoch.
+    pub epoch: u64,
+    /// Solver-admitted windows in the current epoch.
+    pub admitted_in_epoch: u32,
+    /// Committed windows not yet delivered.
+    pub outputs: Vec<WindowState>,
+}
+
+/// A full gateway snapshot: everything needed to resume as if the process
+/// never died, given the same config and shape table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// [`config_fingerprint`] (defensive duplicate of the genesis).
+    pub config_fp: u64,
+    /// The deterministic logical clock.
+    pub clock: u64,
+    /// Command records applied when the snapshot was taken — replay
+    /// resumes from here.
+    pub applied: u64,
+    /// Every live or closed session.
+    pub sessions: Vec<SessionState>,
+}
+
+impl CheckpointState {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.config_fp);
+        w.u64(self.clock);
+        w.u64(self.applied);
+        w.u32(u32::try_from(self.sessions.len()).expect("session count fits u32"));
+        for s in &self.sessions {
+            w.u64(s.id);
+            w.u64(s.shape_fp);
+            w.u8(s.phase);
+            match &s.last_good {
+                None => w.u8(0),
+                Some(signal) => {
+                    w.u8(1);
+                    w.f64s(signal);
+                }
+            }
+            w.u64(s.consecutive_concealed);
+            w.opt_u32(s.expected_sequence);
+            w.u32(u32::try_from(s.arq_pending.len()).expect("fits u32"));
+            for seq in &s.arq_pending {
+                w.u32(*seq);
+            }
+            w.u32(u32::try_from(s.arq_attempts.len()).expect("fits u32"));
+            for (seq, attempts) in &s.arq_attempts {
+                w.u32(*seq);
+                w.u32(*attempts);
+            }
+            w.u64(s.arq_budget_left);
+            w.u32(u32::try_from(s.nacked.len()).expect("fits u32"));
+            for seq in &s.nacked {
+                w.u32(*seq);
+            }
+            w.u32(u32::try_from(s.reorder.len()).expect("fits u32"));
+            for (seq, queued) in &s.reorder {
+                w.u32(*seq);
+                w.u64(queued.logical);
+                match &queued.frame {
+                    None => w.u8(0),
+                    Some((sequence, measurements, lowres)) => {
+                        w.u8(1);
+                        w.opt_u32(*sequence);
+                        match measurements {
+                            None => w.u8(0),
+                            Some(m) => {
+                                w.u8(1);
+                                w.f64s(m);
+                            }
+                        }
+                        match lowres {
+                            None => w.u8(0),
+                            Some((bytes, bit_len)) => {
+                                w.u8(1);
+                                w.bytes(bytes);
+                                w.u64(*bit_len);
+                            }
+                        }
+                    }
+                }
+            }
+            w.u32(s.next_release);
+            w.opt_u32(s.highest_seen);
+            w.u64(s.window_index);
+            w.u64(s.epoch);
+            w.u32(s.admitted_in_epoch);
+            w.u32(u32::try_from(s.outputs.len()).expect("fits u32"));
+            for out in &s.outputs {
+                w.opt_u32(out.sequence);
+                w.u8(out.rung);
+                w.f64s(&out.signal);
+                w.u32(u32::try_from(out.demotions.len()).expect("fits u32"));
+                for (rung, reason) in &out.demotions {
+                    w.u8(*rung);
+                    w.u8(*reason);
+                }
+                match &out.decoded {
+                    None => w.u8(0),
+                    Some((
+                        signal,
+                        rec_signal,
+                        iterations,
+                        converged,
+                        residual,
+                        objective,
+                        used_box,
+                    )) => {
+                        w.u8(1);
+                        w.f64s(signal);
+                        w.f64s(rec_signal);
+                        w.u64(*iterations);
+                        w.u8(u8::from(*converged));
+                        w.f64(*residual);
+                        w.f64(*objective);
+                        w.u8(u8::from(*used_box));
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, Malformed> {
+        let config_fp = r.u64()?;
+        let clock = r.u64()?;
+        let applied = r.u64()?;
+        let session_count = r.u32()? as usize;
+        let mut sessions = Vec::new();
+        for _ in 0..session_count {
+            let id = r.u64()?;
+            let shape_fp = r.u64()?;
+            let phase = r.u8()?;
+            let last_good = match r.u8()? {
+                0 => None,
+                1 => Some(r.f64s()?),
+                _ => return Err(Malformed),
+            };
+            let consecutive_concealed = r.u64()?;
+            let expected_sequence = r.opt_u32()?;
+            let arq_pending = read_u32s(r)?;
+            let attempt_count = r.u32()? as usize;
+            if attempt_count.checked_mul(8).ok_or(Malformed)? > r.data.len() - r.pos {
+                return Err(Malformed);
+            }
+            let mut arq_attempts = Vec::with_capacity(attempt_count);
+            for _ in 0..attempt_count {
+                arq_attempts.push((r.u32()?, r.u32()?));
+            }
+            let arq_budget_left = r.u64()?;
+            let nacked = read_u32s(r)?;
+            let reorder_count = r.u32()? as usize;
+            let mut reorder = Vec::new();
+            for _ in 0..reorder_count {
+                let seq = r.u32()?;
+                let logical = r.u64()?;
+                let frame = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let sequence = r.opt_u32()?;
+                        let measurements = match r.u8()? {
+                            0 => None,
+                            1 => Some(r.f64s()?),
+                            _ => return Err(Malformed),
+                        };
+                        let lowres = match r.u8()? {
+                            0 => None,
+                            1 => Some((r.bytes()?, r.u64()?)),
+                            _ => return Err(Malformed),
+                        };
+                        Some((sequence, measurements, lowres))
+                    }
+                    _ => return Err(Malformed),
+                };
+                reorder.push((seq, QueuedState { logical, frame }));
+            }
+            let next_release = r.u32()?;
+            let highest_seen = r.opt_u32()?;
+            let window_index = r.u64()?;
+            let epoch = r.u64()?;
+            let admitted_in_epoch = r.u32()?;
+            let output_count = r.u32()? as usize;
+            let mut outputs = Vec::new();
+            for _ in 0..output_count {
+                let sequence = r.opt_u32()?;
+                let rung = r.u8()?;
+                let signal = r.f64s()?;
+                let demotion_count = r.u32()? as usize;
+                if demotion_count.checked_mul(2).ok_or(Malformed)? > r.data.len() - r.pos {
+                    return Err(Malformed);
+                }
+                let mut demotions = Vec::with_capacity(demotion_count);
+                for _ in 0..demotion_count {
+                    demotions.push((r.u8()?, r.u8()?));
+                }
+                let decoded = match r.u8()? {
+                    0 => None,
+                    1 => Some((
+                        r.f64s()?,
+                        r.f64s()?,
+                        r.u64()?,
+                        r.u8()? != 0,
+                        r.f64()?,
+                        r.f64()?,
+                        r.u8()? != 0,
+                    )),
+                    _ => return Err(Malformed),
+                };
+                outputs.push(WindowState {
+                    sequence,
+                    rung,
+                    signal,
+                    demotions,
+                    decoded,
+                });
+            }
+            sessions.push(SessionState {
+                id,
+                shape_fp,
+                phase,
+                last_good,
+                consecutive_concealed,
+                expected_sequence,
+                arq_pending,
+                arq_attempts,
+                arq_budget_left,
+                nacked,
+                reorder,
+                next_release,
+                highest_seen,
+                window_index,
+                epoch,
+                admitted_in_epoch,
+                outputs,
+            });
+        }
+        Ok(CheckpointState {
+            config_fp,
+            clock,
+            applied,
+            sessions,
+        })
+    }
+}
+
+fn read_u32s(r: &mut ByteReader<'_>) -> Result<Vec<u32>, Malformed> {
+    let len = r.u32()? as usize;
+    if len.checked_mul(4).ok_or(Malformed)? > r.data.len() - r.pos {
+        return Err(Malformed);
+    }
+    (0..len).map(|_| r.u32()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// State <-> domain conversions (used by the gateway when checkpointing /
+// restoring; kept here so the wire format lives in one file)
+// ---------------------------------------------------------------------------
+
+/// [`hybridcs_obs::flight::DEMOTION_REASONS`] code for a reason string.
+pub(crate) fn reason_code(reason: &str) -> u8 {
+    hybridcs_obs::flight::demotion_reason_code(reason)
+}
+
+/// The static reason string for a stored code (unknown codes become
+/// `"unknown"` — the table only ever grows).
+pub(crate) fn reason_from_code(code: u8) -> &'static str {
+    hybridcs_obs::flight::DEMOTION_REASONS
+        .get(code as usize)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+pub(crate) fn window_to_state(window: &SupervisedWindow) -> WindowState {
+    WindowState {
+        sequence: window.sequence,
+        rung: window.rung.code(),
+        signal: window.signal.clone(),
+        demotions: window
+            .demotions
+            .iter()
+            .map(|(rung, reason)| (rung.code(), reason_code(reason)))
+            .collect(),
+        decoded: window.decoded.as_ref().map(|d| {
+            (
+                d.signal.clone(),
+                d.recovery.signal.clone(),
+                d.recovery.iterations as u64,
+                d.recovery.converged,
+                d.recovery.residual,
+                d.recovery.objective,
+                d.used_box,
+            )
+        }),
+    }
+}
+
+pub(crate) fn window_from_state(state: WindowState) -> Result<SupervisedWindow, Malformed> {
+    Ok(SupervisedWindow {
+        sequence: state.sequence,
+        rung: LadderRung::from_code(state.rung).ok_or(Malformed)?,
+        signal: state.signal,
+        demotions: state
+            .demotions
+            .into_iter()
+            .map(|(rung, reason)| {
+                LadderRung::from_code(rung)
+                    .map(|r| (r, reason_from_code(reason)))
+                    .ok_or(Malformed)
+            })
+            .collect::<Result<_, _>>()?,
+        decoded: state.decoded.map(
+            |(signal, rec_signal, iterations, converged, residual, objective, used_box)| {
+                DecodedWindow {
+                    signal,
+                    recovery: RecoveryResult {
+                        signal: rec_signal,
+                        iterations: iterations as usize,
+                        converged,
+                        residual,
+                        objective,
+                    },
+                    used_box,
+                }
+            },
+        ),
+    })
+}
+
+pub(crate) fn ledger_to_parts(state: &LedgerState) -> (Option<Vec<f64>>, u64, Option<u32>) {
+    (
+        state.last_good.clone(),
+        state.consecutive_concealed as u64,
+        state.expected_sequence,
+    )
+}
+
+pub(crate) fn ledger_from_parts(
+    last_good: Option<Vec<f64>>,
+    consecutive_concealed: u64,
+    expected_sequence: Option<u32>,
+) -> LedgerState {
+    LedgerState {
+        last_good,
+        consecutive_concealed: usize::try_from(consecutive_concealed).unwrap_or(usize::MAX),
+        expected_sequence,
+    }
+}
+
+pub(crate) fn arq_from_parts(
+    pending: Vec<u32>,
+    attempts: Vec<(u32, u32)>,
+    budget_left: u64,
+) -> ArqState {
+    ArqState {
+        pending,
+        attempts,
+        budget_left,
+    }
+}
+
+pub(crate) fn payload_from_parts(bytes: Vec<u8>, bit_len: u64) -> Payload {
+    Payload {
+        bytes,
+        bit_len: usize::try_from(bit_len).unwrap_or(usize::MAX),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing, scanning
+// ---------------------------------------------------------------------------
+
+/// Frames one encoded payload: `[len][crc32][payload]`.
+#[must_use]
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("payload fits u32")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The result of walking a journal image: the decodable record prefix,
+/// how many bytes it spans, and whether wreckage followed it.
+#[derive(Debug)]
+pub struct ScannedJournal {
+    /// Records decoded from the valid prefix, in order.
+    pub records: Vec<Record>,
+    /// Bytes of the valid prefix (truncate the store to this before
+    /// resuming appends).
+    pub valid_bytes: u64,
+    /// Whether bytes beyond the valid prefix existed (torn/corrupt tail).
+    pub torn: bool,
+}
+
+/// Walks `bytes` frame by frame, stopping at the first torn, oversized,
+/// CRC-bad, or undecodable record. Never panics, never over-allocates:
+/// every length claim is validated against the remaining input.
+#[must_use]
+pub fn scan(bytes: &[u8]) -> ScannedJournal {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < FRAME_HEADER_BYTES {
+            return ScannedJournal {
+                records,
+                valid_bytes: pos as u64,
+                torn: !rest.is_empty(),
+            };
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_RECORD_BYTES || rest.len() - FRAME_HEADER_BYTES < len {
+            return ScannedJournal {
+                records,
+                valid_bytes: pos as u64,
+                torn: true,
+            };
+        }
+        let payload = &rest[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len];
+        if crc32(payload) != crc {
+            return ScannedJournal {
+                records,
+                valid_bytes: pos as u64,
+                torn: true,
+            };
+        }
+        match Record::decode(payload) {
+            Ok(record) => records.push(record),
+            Err(Malformed) => {
+                return ScannedJournal {
+                    records,
+                    valid_bytes: pos as u64,
+                    torn: true,
+                };
+            }
+        }
+        pos += FRAME_HEADER_BYTES + len;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The journal writer (group commit)
+// ---------------------------------------------------------------------------
+
+/// The write side of the journal: encodes records into an in-memory
+/// buffer and group-commits them to the store. See the
+/// [module docs](self) for the durability contract.
+pub(crate) struct Journal {
+    store: Box<dyn JournalStore + Send>,
+    buffer: Vec<u8>,
+    group_bytes: usize,
+}
+
+impl Journal {
+    pub(crate) fn new(store: Box<dyn JournalStore + Send>, group_bytes: usize) -> Self {
+        Journal {
+            store,
+            buffer: Vec::new(),
+            group_bytes,
+        }
+    }
+
+    /// Buffers one record; syncs if the group-commit threshold is hit.
+    pub(crate) fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        let payload = record.encode();
+        self.buffer.extend_from_slice(&frame(&payload));
+        hybridcs_obs::global()
+            .counter("gateway_journal_records_total", &[])
+            .inc();
+        if self.buffer.len() >= self.group_bytes.max(1) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces every buffered record to the store (the group commit).
+    pub(crate) fn sync(&mut self) -> Result<(), StoreError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let bytes = std::mem::take(&mut self.buffer);
+        let result = self.store.append(&bytes);
+        let registry = hybridcs_obs::global();
+        registry
+            .counter("gateway_journal_bytes_total", &[])
+            .add(bytes.len() as u64);
+        registry.counter("gateway_journal_syncs_total", &[]).inc();
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real-file store backend
+// ---------------------------------------------------------------------------
+
+/// The production [`JournalStore`]: a real file, synced on every append
+/// (the fsync contract the torn-tail model assumes).
+#[derive(Debug)]
+pub struct FileStore {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl FileStore {
+    /// Opens (or creates) the journal file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(io_err)?;
+        Ok(FileStore { file, path })
+    }
+
+    /// The backing file's path.
+    #[must_use]
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+fn io_err(e: std::io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+impl JournalStore for FileStore {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.file.seek(SeekFrom::End(0)).map_err(io_err)?;
+        self.file.write_all(bytes).map_err(io_err)?;
+        self.file.sync_data().map_err(io_err)
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError> {
+        self.file.seek(SeekFrom::Start(0)).map_err(io_err)?;
+        let mut out = Vec::new();
+        self.file.read_to_end(&mut out).map_err(io_err)?;
+        Ok(out)
+    }
+
+    fn truncate_to(&mut self, len: u64) -> Result<(), StoreError> {
+        self.file.set_len(len).map_err(io_err)?;
+        self.file.sync_data().map_err(io_err)
+    }
+
+    fn len(&self) -> u64 {
+        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+/// What a [`crate::Gateway::recover`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Command records replayed after the restored checkpoint (the
+    /// replay lag).
+    pub replayed_events: u64,
+    /// Whether a checkpoint was restored (vs. replaying from genesis).
+    pub checkpoint_restored: bool,
+    /// Whether a torn/corrupt tail was detected and cut.
+    pub torn_tail: bool,
+    /// Bytes discarded past the valid prefix.
+    pub truncated_bytes: u64,
+    /// Wall-clock recovery duration.
+    pub seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn command_records() -> Vec<Record> {
+        vec![
+            Record::Genesis { config_fp: 0xAB },
+            Record::Handshake {
+                id: 7,
+                shape_fp: 0xCD,
+            },
+            Record::Push {
+                id: 7,
+                packet: vec![1, 2, 3, 4, 5],
+            },
+            Record::NotifyLost { id: 7, sequence: 9 },
+            Record::TakeNacks { id: 7 },
+            Record::Flush,
+            Record::TakeOutputs { id: 7 },
+            Record::Close { id: 7 },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for record in command_records() {
+            let decoded = Record::decode(&record.encode()).unwrap();
+            assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn checkpoint_state_round_trips_bit_exact() {
+        let state = CheckpointState {
+            config_fp: 42,
+            clock: 99,
+            applied: 17,
+            sessions: vec![SessionState {
+                id: 3,
+                shape_fp: 0xFEED,
+                phase: 2,
+                last_good: Some(vec![1.5, -0.0, f64::MIN_POSITIVE, 2.5e-300]),
+                consecutive_concealed: 2,
+                expected_sequence: Some(11),
+                arq_pending: vec![4, 5],
+                arq_attempts: vec![(4, 1), (5, 2)],
+                arq_budget_left: 250,
+                nacked: vec![4],
+                reorder: vec![
+                    (
+                        6,
+                        QueuedState {
+                            logical: 88,
+                            frame: Some((Some(6), Some(vec![0.25; 3]), Some((vec![9, 8], 12)))),
+                        },
+                    ),
+                    (
+                        7,
+                        QueuedState {
+                            logical: 89,
+                            frame: None,
+                        },
+                    ),
+                ],
+                next_release: 5,
+                highest_seen: Some(7),
+                window_index: 5,
+                epoch: 1,
+                admitted_in_epoch: 1,
+                outputs: vec![WindowState {
+                    sequence: Some(4),
+                    rung: 0,
+                    signal: vec![0.125, -3.75],
+                    demotions: vec![(0, 1)],
+                    decoded: Some((
+                        vec![0.125, -3.75],
+                        vec![0.125, -3.75],
+                        200,
+                        true,
+                        1e-9,
+                        4.25,
+                        true,
+                    )),
+                }],
+            }],
+        };
+        let record = Record::Checkpoint(state.clone());
+        match Record::decode(&record.encode()).unwrap() {
+            Record::Checkpoint(decoded) => assert_eq!(decoded, state),
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_reads_clean_journals_and_stops_at_wreckage() {
+        let records = command_records();
+        let mut image = Vec::new();
+        for record in &records {
+            image.extend_from_slice(&frame(&record.encode()));
+        }
+        let clean = scan(&image);
+        assert_eq!(clean.records, records);
+        assert_eq!(clean.valid_bytes, image.len() as u64);
+        assert!(!clean.torn);
+
+        // Torn tail: half a record at the end.
+        let mut torn = image.clone();
+        torn.extend_from_slice(&frame(&Record::Flush.encode())[..5]);
+        let scanned = scan(&torn);
+        assert_eq!(scanned.records, records);
+        assert_eq!(scanned.valid_bytes, image.len() as u64);
+        assert!(scanned.torn);
+
+        // Bit flip inside the last record's payload: CRC catches it.
+        let mut flipped = image.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        let scanned = scan(&flipped);
+        assert_eq!(scanned.records.len(), records.len() - 1);
+        assert!(scanned.torn);
+
+        // Garbage length prefix: the sanity cap stops the scan.
+        let mut garbage = image.clone();
+        garbage.extend_from_slice(&u32::MAX.to_le_bytes());
+        garbage.extend_from_slice(&[0xAA; 12]);
+        let scanned = scan(&garbage);
+        assert_eq!(scanned.records, records);
+        assert!(scanned.torn);
+    }
+
+    #[test]
+    fn scan_never_panics_on_arbitrary_bytes() {
+        // Deterministic pseudo-random junk of many lengths.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut junk = Vec::new();
+        for len in [0usize, 1, 7, 8, 9, 64, 1024] {
+            junk.clear();
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                junk.push((state >> 56) as u8);
+            }
+            let scanned = scan(&junk);
+            assert!(scanned.valid_bytes <= junk.len() as u64);
+        }
+    }
+
+    #[test]
+    fn group_commit_batches_until_threshold_or_sync() {
+        let store = hybridcs_faults::MemStore::new();
+        let image = store.clone();
+        let mut journal = Journal::new(Box::new(store), 1024);
+        journal.append(&Record::Flush).unwrap();
+        assert_eq!(image.snapshot().len(), 0, "buffered, not yet synced");
+        journal.sync().unwrap();
+        let after_sync = image.snapshot().len();
+        assert!(after_sync > 0);
+        // A large record blows straight through the threshold.
+        journal
+            .append(&Record::Push {
+                id: 1,
+                packet: vec![0; 2048],
+            })
+            .unwrap();
+        assert!(image.snapshot().len() > after_sync, "auto-synced");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configs_but_not_workers() {
+        let base = GatewayConfig::default();
+        let more_workers = GatewayConfig { workers: 4, ..base };
+        let more_shards = GatewayConfig { shards: 16, ..base };
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&more_workers));
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&more_shards));
+    }
+}

@@ -67,22 +67,26 @@
 
 mod config;
 mod gateway;
+mod journal;
 mod session;
 
 pub use config::GatewayConfig;
 pub use gateway::{Gateway, GatewayReport};
+pub use journal::{
+    config_fingerprint, scan, shape_fingerprint, FileStore, Record, RecoveryReport, ScannedJournal,
+};
 pub use session::SessionPhase;
 
 /// Errors surfaced by the gateway API (wire noise is *not* an error — a
 /// garbled or duplicate frame is counted and absorbed; these are caller
-/// protocol violations or invalid configuration).
+/// protocol violations, invalid configuration, or durability failures).
 #[derive(Debug, Clone, PartialEq)]
 pub enum GatewayError {
     /// A frame, nack poll or close referenced a session id that never
     /// completed a handshake.
     UnknownSession(u64),
-    /// A handshake was offered for a session id that already exists
-    /// (streaming or closed).
+    /// A handshake was offered for a session id that is still live
+    /// (closed ids may be reused).
     DuplicateHandshake(u64),
     /// The session was already closed.
     SessionClosed(u64),
@@ -90,6 +94,11 @@ pub enum GatewayError {
     Config(&'static str),
     /// Building per-shape decode state failed.
     Core(hybridcs_core::CoreError),
+    /// The journal store failed an append, read or truncate.
+    Journal(hybridcs_faults::StoreError),
+    /// [`Gateway::recover`] could not rebuild a consistent gateway from
+    /// the journal (config mismatch, missing shape, undecodable state).
+    Recovery(&'static str),
 }
 
 impl core::fmt::Display for GatewayError {
@@ -104,6 +113,8 @@ impl core::fmt::Display for GatewayError {
             GatewayError::SessionClosed(id) => write!(f, "session {id} is closed"),
             GatewayError::Config(what) => write!(f, "invalid gateway config: {what}"),
             GatewayError::Core(e) => write!(f, "decode state setup failed: {e}"),
+            GatewayError::Journal(e) => write!(f, "journal store failed: {e}"),
+            GatewayError::Recovery(what) => write!(f, "recovery failed: {what}"),
         }
     }
 }
@@ -112,8 +123,15 @@ impl std::error::Error for GatewayError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GatewayError::Core(e) => Some(e),
+            GatewayError::Journal(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<hybridcs_faults::StoreError> for GatewayError {
+    fn from(e: hybridcs_faults::StoreError) -> Self {
+        GatewayError::Journal(e)
     }
 }
 

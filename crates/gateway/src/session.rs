@@ -44,6 +44,19 @@ impl SessionPhase {
             SessionPhase::Closed => 3,
         }
     }
+
+    /// The phase for a stable code (inverse of [`code`](SessionPhase::code));
+    /// `None` for unknown codes. Used when deserializing checkpoints.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<SessionPhase> {
+        Some(match code {
+            0 => SessionPhase::Handshake,
+            1 => SessionPhase::Streaming,
+            2 => SessionPhase::Repairing,
+            3 => SessionPhase::Closed,
+            _ => return None,
+        })
+    }
 }
 
 /// One position in the reorder buffer.
@@ -73,6 +86,9 @@ pub(crate) struct Queued {
 pub(crate) struct Session {
     pub(crate) shard: usize,
     pub(crate) ladder: Arc<DecodeLadder>,
+    /// Fingerprint of the `(SystemConfig, LowResCodec)` shape behind
+    /// `ladder` — how checkpoints name the ladder without serializing it.
+    pub(crate) shape_fp: u64,
     pub(crate) ledger: SessionLedger,
     pub(crate) phase: SessionPhase,
     pub(crate) arq: RetryQueue,
@@ -98,12 +114,14 @@ impl Session {
     pub(crate) fn new(
         shard: usize,
         ladder: Arc<DecodeLadder>,
+        shape_fp: u64,
         ledger: SessionLedger,
         arq: RetryQueue,
     ) -> Self {
         Session {
             shard,
             ladder,
+            shape_fp,
             ledger,
             phase: SessionPhase::Handshake,
             arq,

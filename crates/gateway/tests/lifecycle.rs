@@ -79,7 +79,7 @@ fn frame_for_unknown_session_is_rejected() {
 }
 
 #[test]
-fn duplicate_handshake_is_rejected_even_after_close() {
+fn duplicate_handshake_is_rejected_while_live_but_closed_ids_are_reusable() {
     let rig = rig();
     let mut gateway = Gateway::new(shed_all_config()).unwrap();
     gateway
@@ -91,12 +91,133 @@ fn duplicate_handshake_is_rejected_even_after_close() {
         Err(GatewayError::DuplicateHandshake(1))
     );
     gateway.close(1).unwrap();
-    // Ids are never reused: a handshake for a closed id is still a
-    // duplicate, not a resurrection.
+    // A closed id may be re-handshaken: sensors reconnect under the same
+    // patient id after a battery swap. The new incarnation is fresh.
+    gateway
+        .handshake(1, &rig.system, rig.codec.clone())
+        .unwrap();
+    assert_eq!(gateway.phase(1), Some(SessionPhase::Handshake));
+}
+
+#[test]
+fn reused_session_id_does_not_inherit_degradation_state() {
+    let rig = rig();
+    let config = GatewayConfig {
+        arq: ArqConfig {
+            max_retries_per_frame: 1,
+            ..ArqConfig::default()
+        },
+        ..shed_all_config()
+    };
+    let mut gateway = Gateway::new(config).unwrap();
+    gateway
+        .handshake(4, &rig.system, rig.codec.clone())
+        .unwrap();
+    // First incarnation limps: a hole, a spent retry, a concealment.
+    gateway.push(4, &rig.frame(0)).unwrap();
+    gateway.push(4, &rig.frame(2)).unwrap();
+    assert_eq!(gateway.take_nacks(4).unwrap(), vec![1]);
+    gateway.notify_lost(4, 1).unwrap();
+    let outputs = gateway.close(4).unwrap();
+    assert_eq!(outputs[1].rung, LadderRung::Concealed);
+
+    // Second incarnation under the same id: the ledger starts clean, so
+    // sequence 0 decodes normally (no inherited conceal streak, no
+    // expectation of the old stream position) and the ARQ budget is full.
+    gateway
+        .handshake(4, &rig.system, rig.codec.clone())
+        .unwrap();
+    gateway.push(4, &rig.frame(0)).unwrap();
+    gateway.push(4, &rig.frame(2)).unwrap();
     assert_eq!(
-        gateway.handshake(1, &rig.system, rig.codec.clone()),
-        Err(GatewayError::DuplicateHandshake(1))
+        gateway.take_nacks(4).unwrap(),
+        vec![1],
+        "fresh incarnation nacks its own gap — budget was not inherited"
     );
+    gateway.notify_lost(4, 1).unwrap();
+    let outputs = gateway.close(4).unwrap();
+    assert_eq!(outputs.len(), 3);
+    assert_eq!(outputs[0].sequence, Some(0));
+    assert_eq!(outputs[0].rung, LadderRung::LowResOnly);
+    assert_eq!(outputs[1].rung, LadderRung::Concealed);
+    // The concealment repeats the *new* incarnation's window 0, proving
+    // the ledger's last-good buffer was reset at close.
+    assert_eq!(outputs[1].signal, outputs[0].signal);
+}
+
+#[test]
+fn duplicate_frames_are_absorbed_without_disturbing_the_stream() {
+    let rig = rig();
+    let mut gateway = Gateway::new(shed_all_config()).unwrap();
+    gateway
+        .handshake(6, &rig.system, rig.codec.clone())
+        .unwrap();
+    gateway.push(6, &rig.frame(0)).unwrap();
+    // The sensor's radio stutters: sequence 0 arrives three more times,
+    // once before release and twice after.
+    gateway.push(6, &rig.frame(0)).unwrap();
+    gateway.flush().unwrap();
+    gateway.push(6, &rig.frame(0)).unwrap();
+    gateway.push(6, &rig.frame(0)).unwrap();
+    gateway.push(6, &rig.frame(1)).unwrap();
+    let outputs = gateway.close(6).unwrap();
+    let sequences: Vec<_> = outputs.iter().map(|w| w.sequence).collect();
+    assert_eq!(sequences, vec![Some(0), Some(1)]);
+}
+
+#[test]
+fn late_frame_after_window_commit_is_dropped_not_replayed() {
+    let rig = rig();
+    let config = GatewayConfig {
+        arq: ArqConfig {
+            max_retries_per_frame: 1,
+            ..ArqConfig::default()
+        },
+        ..shed_all_config()
+    };
+    let mut gateway = Gateway::new(config).unwrap();
+    gateway
+        .handshake(8, &rig.system, rig.codec.clone())
+        .unwrap();
+    gateway.push(8, &rig.frame(0)).unwrap();
+    gateway.push(8, &rig.frame(2)).unwrap();
+    assert_eq!(gateway.take_nacks(8).unwrap(), vec![1]);
+    gateway.notify_lost(8, 1).unwrap();
+    gateway.flush().unwrap();
+    // Window 1 has already committed (as a concealment). The straggler
+    // retransmission finally lands: it must not resurrect the window.
+    let committed = gateway.take_outputs(8).unwrap();
+    assert_eq!(committed.len(), 3);
+    gateway.push(8, &rig.frame(1)).unwrap();
+    gateway.flush().unwrap();
+    assert!(gateway.take_outputs(8).unwrap().is_empty());
+    assert_eq!(gateway.phase(8), Some(SessionPhase::Streaming));
+}
+
+#[test]
+fn handshake_for_other_sessions_during_repair_leaves_repair_undisturbed() {
+    let rig = rig();
+    let mut gateway = Gateway::new(shed_all_config()).unwrap();
+    gateway
+        .handshake(10, &rig.system, rig.codec.clone())
+        .unwrap();
+    gateway.push(10, &rig.frame(0)).unwrap();
+    gateway.push(10, &rig.frame(2)).unwrap();
+    assert_eq!(gateway.phase(10), Some(SessionPhase::Repairing));
+    // A new sensor joins mid-repair; the repairing session's pending nack
+    // survives and the repair completes normally afterwards.
+    gateway
+        .handshake(11, &rig.system, rig.codec.clone())
+        .unwrap();
+    gateway.push(11, &rig.frame(0)).unwrap();
+    assert_eq!(gateway.phase(10), Some(SessionPhase::Repairing));
+    assert_eq!(gateway.take_nacks(10).unwrap(), vec![1]);
+    gateway.push(10, &rig.frame(1)).unwrap();
+    assert_eq!(gateway.phase(10), Some(SessionPhase::Streaming));
+    let outputs = gateway.close(10).unwrap();
+    let sequences: Vec<_> = outputs.iter().map(|w| w.sequence).collect();
+    assert_eq!(sequences, vec![Some(0), Some(1), Some(2)]);
+    assert_eq!(gateway.close(11).unwrap().len(), 1);
 }
 
 #[test]

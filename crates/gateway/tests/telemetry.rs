@@ -7,7 +7,7 @@ use hybridcs_core::experiment::default_training_windows;
 use hybridcs_core::telemetry::FrameCodec;
 use hybridcs_core::{train_lowres_codec, HybridFrontEnd, SupervisorConfig, SystemConfig};
 use hybridcs_ecg::{EcgGenerator, GeneratorConfig};
-use hybridcs_faults::ArqConfig;
+use hybridcs_faults::{ArqConfig, CrashPlan, CrashingStore, MemStore, TailFault};
 use hybridcs_gateway::{Gateway, GatewayConfig};
 use hybridcs_obs::flight::recorder;
 use hybridcs_solver::WatchdogConfig;
@@ -180,6 +180,94 @@ fn injected_watchdog_trip_is_dumped_and_schema_valid() {
         assert!(dump.contains("\"event\":\"commit\""));
         assert!(dump.contains("\"event\":\"stage_transition\""));
         assert!(dump.contains("\"code\":\"closed\""));
+    });
+}
+
+#[test]
+fn crash_safety_metrics_and_flight_events_are_exposed() {
+    with_telemetry(|| {
+        recorder().clear();
+        let rig = rig();
+        let config = GatewayConfig {
+            journal_group_bytes: 0,
+            checkpoint_every: 2,
+            ..tripping_config(1)
+        };
+        let before = hybridcs_obs::global().snapshot();
+
+        // Journal a short run, crash with a garbage tail, recover.
+        let store = CrashingStore::new(
+            MemStore::new(),
+            CrashPlan {
+                kill_at_record: 9,
+                tail: TailFault::Garbage(11),
+            },
+        );
+        let image = store.image();
+        let mut gateway = Gateway::with_journal(config, Box::new(store)).unwrap();
+        gateway
+            .handshake(1, &rig.system, rig.codec.clone())
+            .unwrap();
+        let mut crashed = false;
+        for seq in 0..8 {
+            if gateway.push(1, &rig.frame(seq)).is_err() || gateway.flush().is_err() {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "the crash plan must fire");
+        let shapes = vec![(rig.system.clone(), rig.codec.clone())];
+        let (mut recovered, report) = Gateway::recover(
+            config,
+            Box::new(MemStore::from_bytes(image.snapshot())),
+            &shapes,
+        )
+        .unwrap();
+        assert!(report.torn_tail);
+        assert!(report.checkpoint_restored);
+        assert!(report.replayed_events > 0);
+        recovered.close(1).unwrap();
+
+        // Every crash-safety counter moved and lands in the Prometheus
+        // exposition under its stable name.
+        let window = hybridcs_obs::global().snapshot().delta(&before);
+        let counters = [
+            "gateway_journal_records_total",
+            "gateway_journal_bytes_total",
+            "gateway_journal_syncs_total",
+            "gateway_checkpoints_total",
+            "gateway_journal_torn_tails_total",
+            "gateway_recovery_replayed_events",
+        ];
+        for name in counters {
+            assert!(
+                window.counter_value(name, &[]).is_some_and(|v| v > 0),
+                "counter {name} did not move"
+            );
+        }
+        let recovery = window
+            .histogram_snapshot("gateway_recovery_seconds", &[])
+            .expect("recovery duration histogram exists");
+        assert!(recovery.count >= 1);
+        let rendered = hybridcs_obs::render_prometheus(&hybridcs_obs::global().snapshot());
+        for name in counters.iter().chain(&["gateway_recovery_seconds"]) {
+            assert!(rendered.contains(name), "{name} missing from exposition");
+        }
+
+        // The flight recorder explains the whole arc with stable codes.
+        let dump = recorder().dump_jsonl("crash_safety_test");
+        for line in dump.lines() {
+            hybridcs_obs::jsonl::validate_line(line)
+                .unwrap_or_else(|e| panic!("invalid dump line: {e}\n{line}"));
+        }
+        assert!(dump.contains("\"event\":\"checkpoint\""));
+        assert!(dump.contains("\"code\":\"written\""));
+        assert!(dump.contains("\"code\":\"restored\""));
+        assert!(dump.contains("\"event\":\"recover\""));
+        assert!(dump.contains("\"code\":\"started\""));
+        assert!(dump.contains("\"code\":\"complete\""));
+        assert!(dump.contains("\"code\":\"torn_tail\""));
+        recorder().clear();
     });
 }
 

@@ -59,6 +59,12 @@ pub enum EventKind {
     /// A window committed to its ledger (code: rung, arg: sequence or
     /// `u64::MAX` when the header was lost).
     Commit,
+    /// A journal checkpoint was written or restored (code: which, arg:
+    /// journal event sequence number).
+    Checkpoint,
+    /// A recovery milestone (code: stage, arg: events replayed so far, or
+    /// the journal byte offset for `torn_tail`).
+    Recover,
 }
 
 impl EventKind {
@@ -73,6 +79,8 @@ impl EventKind {
             EventKind::Demotion => "demotion",
             EventKind::WatchdogTrip => "watchdog_trip",
             EventKind::Commit => "commit",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Recover => "recover",
         }
     }
 
@@ -85,6 +93,8 @@ impl EventKind {
             EventKind::Demotion => 4,
             EventKind::WatchdogTrip => 5,
             EventKind::Commit => 6,
+            EventKind::Checkpoint => 7,
+            EventKind::Recover => 8,
         }
     }
 
@@ -97,6 +107,8 @@ impl EventKind {
             4 => EventKind::Demotion,
             5 => EventKind::WatchdogTrip,
             6 => EventKind::Commit,
+            7 => EventKind::Checkpoint,
+            8 => EventKind::Recover,
             _ => return None,
         })
     }
@@ -113,6 +125,8 @@ impl EventKind {
             EventKind::WatchdogTrip => {
                 &["non_finite", "diverged", "time_budget", "iteration_budget"]
             }
+            EventKind::Checkpoint => &["written", "restored"],
+            EventKind::Recover => &["started", "replayed", "complete", "torn_tail"],
         };
         table.get(code as usize).copied()
     }
@@ -597,7 +611,31 @@ mod tests {
         assert_eq!(EventKind::Shed.code_name(1), Some("queue"));
         assert_eq!(EventKind::Commit.code_name(3), Some("concealed"));
         assert_eq!(EventKind::Ingest.code_name(9), None);
+        assert_eq!(EventKind::Checkpoint.code_name(0), Some("written"));
+        assert_eq!(EventKind::Checkpoint.code_name(1), Some("restored"));
+        assert_eq!(EventKind::Recover.code_name(0), Some("started"));
+        assert_eq!(EventKind::Recover.code_name(2), Some("complete"));
+        assert_eq!(EventKind::Recover.code_name(3), Some("torn_tail"));
         assert_eq!(demotion_reason_code("watchdog"), 1);
         assert_eq!(demotion_reason_code("nope"), u8::MAX);
+    }
+
+    #[test]
+    fn checkpoint_and_recover_events_round_trip_the_ring() {
+        let rec = FlightRecorder::new(1, 16);
+        rec.record(&ev(1, 0, EventKind::Checkpoint, 0, 42));
+        rec.record(&ev(2, 0, EventKind::Recover, 2, 7));
+        let events = rec.events();
+        assert_eq!(events[0].kind, EventKind::Checkpoint);
+        assert_eq!(events[1].kind, EventKind::Recover);
+        assert!(!rec.anomalous(), "durability events are not anomalies");
+        let dump = rec.dump_jsonl("unit");
+        for line in dump.lines() {
+            crate::jsonl::validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(dump.contains("\"event\":\"checkpoint\""));
+        assert!(dump.contains("\"code\":\"written\""));
+        assert!(dump.contains("\"event\":\"recover\""));
+        assert!(dump.contains("\"code\":\"complete\""));
     }
 }

@@ -145,6 +145,43 @@ fi
 HYBRIDCS_OBS_CHECK="$DECODE_BENCH" \
     cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
 
+echo "==> crash-recovery gate (kill-point sweep + journal-overhead ceiling)"
+# The example journals a lossy multi-session run, kills the store at a
+# sweep of record indices under every tail-fault flavour, and exits
+# non-zero if any recovery diverges from the durable-prefix oracle, a
+# corrupt tail goes undetected, no recovery restores a checkpoint, or the
+# journal costs more than its wall-clock ceiling on the solve-heavy
+# throughput workload. Its bench report is schema-checked like the rest.
+RECOVERY_BENCH="$OBS_TMP/BENCH_recovery.json"
+CRASH_OUT="$(HYBRIDCS_CRASH_SESSIONS=8 HYBRIDCS_CRASH_KILLPOINTS=4 \
+    HYBRIDCS_RECOVERY_BENCH_PATH="$RECOVERY_BENCH" \
+    cargo run -q --release --offline --example crash_recovery)"
+if ! grep -q "crash recovery: OK" <<<"$CRASH_OUT"; then
+    echo "error: crash_recovery did not pass its gates" >&2
+    exit 1
+fi
+if [ "$(grep -c "state equivalent" <<<"$CRASH_OUT")" -lt 4 ]; then
+    echo "error: crash_recovery audited fewer than four recoveries" >&2
+    exit 1
+fi
+if ! grep -q "outputs bit-identical" <<<"$CRASH_OUT"; then
+    echo "error: crash_recovery did not certify journal-on bit-identity" >&2
+    exit 1
+fi
+if [ ! -s "$RECOVERY_BENCH" ]; then
+    echo "error: crash_recovery did not write BENCH_recovery.json" >&2
+    exit 1
+fi
+HYBRIDCS_OBS_CHECK="$RECOVERY_BENCH" \
+    cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
+
+echo "==> journal fuzz (deep property pass over mutated and random images)"
+# The workspace test run above already covers these properties at the
+# default case count; this pass triples it so torn/bit-flipped/garbage
+# journal images get real coverage on every CI run.
+HYBRIDCS_CHECK_CASES=192 \
+    cargo test -q --release --offline -p hybridcs-gateway --test journal_fuzz
+
 echo "==> verifying Cargo.lock stays registry-free"
 if grep -E '^source = ' Cargo.lock; then
     echo "error: Cargo.lock references an external registry source" >&2
