@@ -17,6 +17,11 @@
 //!   ARQ with a hard retransmission budget, so resilience experiments can
 //!   charge retransmissions against the power model instead of assuming a
 //!   perfect wire.
+//! * [`FaultyTransport`] — a socket-layer byte-stream wrapper (seeded
+//!   Gilbert–Elliott message loss and bit flips, adjacent reorder,
+//!   partial-write splitting) so an ingest soak can inject faults below
+//!   the frame layer, where the wire codec's CRC and resync logic must
+//!   catch them.
 //! * [`CrashingStore`] — deterministic crash/storage-fault injection for
 //!   write-ahead journals: kill-points keyed by record sequence number,
 //!   with torn, bit-flipped, or garbage tail writes behind the
@@ -39,6 +44,7 @@ mod arq;
 mod channel;
 mod crash;
 mod sensor;
+mod transport;
 
 pub use arq::{ArqConfig, ArqState, NackOutcome, RetryQueue};
 pub use channel::{GilbertElliott, GilbertElliottConfig};
@@ -49,3 +55,4 @@ pub use sensor::{
     AdcSaturation, ElectrodePop, FlatlineDropout, SensorFault, SensorFaultConfig,
     SensorFaultInjector,
 };
+pub use transport::{FaultyTransport, TransportFaultConfig};

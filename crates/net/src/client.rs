@@ -1,0 +1,399 @@
+//! The device side of the ingest protocol: a non-blocking client that
+//! models one wireless sensor streaming pre-encoded compressed-ECG
+//! frames through a (possibly faulty) radio.
+//!
+//! The client is a poll-style state machine like the server: call
+//! [`DeviceClient::tick`] repeatedly and it pumps the socket one bounded
+//! step — `Hello → HelloAck → TimeSync → TimeSyncAck → frames under the
+//! credit window → Close → CloseAck`. Frame messages pass through a
+//! [`FaultyTransport`] (the radio); control messages bypass it, modelling
+//! the usual split between a lossy data plane and a link-layer-reliable
+//! control plane — and keeping fault injection from wedging the
+//! handshake itself.
+//!
+//! Loss recovery mirrors the in-process soak's contract with the
+//! gateway ARQ: a `Nack` triggers a retransmission (window-exempt, also
+//! through the radio); a retransmission the radio eats becomes a
+//! `FrameLost` so the gateway can stop waiting and conceal. When the
+//! device stalls — window closed, nothing arriving — it sends a
+//! `Heartbeat { sent_through }` so the server can nack every
+//! first-transmission the radio swallowed whole; heartbeats are the
+//! liveness backstop that makes client/server progress independent of
+//! which particular messages the fault schedule killed.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+use hybridcs_faults::FaultyTransport;
+
+use crate::proto::{encode, Message, StreamDecoder, PROTO_VERSION};
+
+/// Pacing knobs for one [`DeviceClient`] (all in ticks, i.e. calls to
+/// [`DeviceClient::tick`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Ticks without progress (no inbound bytes, nothing sendable)
+    /// before a `Heartbeat` goes out.
+    pub heartbeat_after: u64,
+    /// Consecutive quiet heartbeats (after all frames are sent) before
+    /// the device declares the stream repaired-or-hopeless and closes.
+    pub quiet_heartbeats_to_close: u64,
+    /// Ticks to wait for `CloseAck` before giving up the wait (the
+    /// session is still closed server-side; only the ack was lost).
+    pub close_timeout: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            heartbeat_after: 64,
+            quiet_heartbeats_to_close: 3,
+            close_timeout: 50_000,
+        }
+    }
+}
+
+/// Where the client is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevicePhase {
+    /// `Hello` sent; waiting for the verdict.
+    AwaitHelloAck,
+    /// Handshake accepted; `TimeSync` sent.
+    AwaitTimeSync,
+    /// Streaming frames under the credit window.
+    Streaming,
+    /// `Close` sent; waiting for `CloseAck`.
+    Draining,
+    /// Finished (see [`DeviceStats::committed`] for the server's count).
+    Done,
+    /// Rejected, socket error, or protocol violation by the server.
+    Failed,
+}
+
+/// Counters and outcomes for one device session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Nacked frames retransmitted through the radio.
+    pub retransmits: u64,
+    /// Retransmissions the radio ate, reported as `FrameLost`.
+    pub gave_up: u64,
+    /// `Overload` notices received (credit withheld upstream).
+    pub overloads: u64,
+    /// Heartbeats sent.
+    pub heartbeats: u64,
+    /// The `(device_tick, server_logical)` pair from time-sync, if it
+    /// completed.
+    pub sync: Option<(u64, u64)>,
+    /// Windows the server committed, from `CloseAck` (None if the ack
+    /// never arrived).
+    pub committed: Option<u64>,
+    /// The rejection code, when the handshake was refused.
+    pub rejected: Option<u8>,
+}
+
+/// One simulated sensor device. See the [module docs](self).
+#[derive(Debug)]
+pub struct DeviceClient {
+    stream: TcpStream,
+    decoder: StreamDecoder,
+    /// Outbound chunks; radio splits keep their boundaries so each chunk
+    /// is its own `write` call.
+    outbox: VecDeque<Vec<u8>>,
+    head_pos: usize,
+    transport: FaultyTransport,
+    config: ClientConfig,
+    phase: DevicePhase,
+    device: u64,
+    frames: Vec<Vec<u8>>,
+    next_seq: u32,
+    granted: u64,
+    sent_total: u64,
+    tick: u64,
+    last_progress: u64,
+    quiet_heartbeats: u64,
+    close_sent_at: u64,
+    stats: DeviceStats,
+}
+
+impl DeviceClient {
+    /// Connects to the server and queues the `Hello`. `frames` are the
+    /// pre-encoded wire packets, indexed by sequence number; `transport`
+    /// is the radio the frame plane passes through.
+    pub fn connect(
+        addr: &str,
+        device: u64,
+        shape_fp: u64,
+        config_fp: u64,
+        frames: Vec<Vec<u8>>,
+        transport: FaultyTransport,
+        config: ClientConfig,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = DeviceClient {
+            stream,
+            decoder: StreamDecoder::new(),
+            outbox: VecDeque::new(),
+            head_pos: 0,
+            transport,
+            config,
+            phase: DevicePhase::AwaitHelloAck,
+            device,
+            frames,
+            next_seq: 0,
+            granted: 0,
+            sent_total: 0,
+            tick: 0,
+            last_progress: 0,
+            quiet_heartbeats: 0,
+            close_sent_at: 0,
+            stats: DeviceStats::default(),
+        };
+        client.queue_control(&Message::Hello {
+            version: PROTO_VERSION,
+            device,
+            shape_fp,
+            config_fp,
+        });
+        Ok(client)
+    }
+
+    /// The device id.
+    #[must_use]
+    pub fn device(&self) -> u64 {
+        self.device
+    }
+
+    /// Current lifecycle phase.
+    #[must_use]
+    pub fn phase(&self) -> DevicePhase {
+        self.phase
+    }
+
+    /// Session counters and outcomes.
+    #[must_use]
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Wire-codec resyncs observed on the inbound stream.
+    #[must_use]
+    pub fn resyncs(&self) -> u64 {
+        self.decoder.resyncs()
+    }
+
+    /// Control-plane message: reliable, bypasses the radio.
+    fn queue_control(&mut self, message: &Message) {
+        self.outbox.push_back(encode(message));
+    }
+
+    /// Data-plane message: through the radio. Returns `true` when the
+    /// radio dropped it outright.
+    fn queue_data(&mut self, message: &Message) -> bool {
+        let framed = encode(message);
+        let held_before = self.transport.held();
+        let chunks = self.transport.send(&framed);
+        let empty = chunks.is_empty();
+        for chunk in chunks {
+            self.outbox.push_back(chunk);
+        }
+        // Empty output is either a drop or a reorder hold; a hold is
+        // recognizable because the held slot was free and is now taken.
+        empty && (held_before || !self.transport.held())
+    }
+
+    /// One pump round. Returns `true` once the client is finished
+    /// ([`DevicePhase::Done`] or [`DevicePhase::Failed`]).
+    pub fn tick(&mut self) -> bool {
+        if matches!(self.phase, DevicePhase::Done | DevicePhase::Failed) {
+            return true;
+        }
+        self.tick += 1;
+        if !self.pump_writes() || !self.pump_reads() {
+            self.phase = DevicePhase::Failed;
+            return true;
+        }
+        while let Some(message) = self.decoder.next_message() {
+            self.quiet_heartbeats = 0;
+            self.handle(message);
+        }
+        self.advance();
+        matches!(self.phase, DevicePhase::Done | DevicePhase::Failed)
+    }
+
+    /// Writes queued chunks as far as the kernel allows. `false` on a
+    /// dead socket.
+    fn pump_writes(&mut self) -> bool {
+        while let Some(front) = self.outbox.front() {
+            match self.stream.write(&front[self.head_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.head_pos += n;
+                    if self.head_pos == front.len() {
+                        self.outbox.pop_front();
+                        self.head_pos = 0;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Reads whatever the kernel has. `false` on a dead socket (EOF is
+    /// only fatal before `Done`; the server half-closing after its
+    /// goodbye is normal).
+    fn pump_reads(&mut self) -> bool {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    // Peer hung up; any goodbye it sent is already in the
+                    // decoder. Let message handling decide how it ends.
+                    self.decoder.finish();
+                    return self.phase == DevicePhase::Draining || self.decoder.buffered() > 0;
+                }
+                Ok(n) => {
+                    self.decoder.extend(&buf[..n]);
+                    self.last_progress = self.tick;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    fn handle(&mut self, message: Message) {
+        match message {
+            Message::HelloAck { granted, .. } => {
+                if self.phase == DevicePhase::AwaitHelloAck {
+                    self.granted = granted;
+                    let probe = self.tick;
+                    self.queue_control(&Message::TimeSync { device_tick: probe });
+                    self.phase = DevicePhase::AwaitTimeSync;
+                }
+            }
+            Message::HelloReject { code } => {
+                self.stats.rejected = Some(code);
+                self.phase = DevicePhase::Failed;
+            }
+            Message::TimeSyncAck {
+                device_tick,
+                server_logical,
+            } => {
+                if self.phase == DevicePhase::AwaitTimeSync {
+                    self.stats.sync = Some((device_tick, server_logical));
+                    self.phase = DevicePhase::Streaming;
+                }
+            }
+            Message::Credit { granted } => {
+                self.granted = self.granted.max(granted);
+            }
+            Message::Nack { sequences } => {
+                // A nack racing our Close is stale; the gateway has
+                // already declared those holes.
+                if self.phase == DevicePhase::Streaming {
+                    for sequence in sequences {
+                        self.retransmit(sequence);
+                    }
+                }
+            }
+            Message::Overload { .. } => {
+                self.stats.overloads += 1;
+            }
+            Message::CloseAck { committed } => {
+                self.stats.committed = Some(committed);
+                self.phase = DevicePhase::Done;
+            }
+            // Server never sends these; noise on a loopback test rig.
+            Message::Hello { .. }
+            | Message::TimeSync { .. }
+            | Message::Frame { .. }
+            | Message::FrameLost { .. }
+            | Message::Heartbeat { .. }
+            | Message::Close => {}
+        }
+    }
+
+    /// Retransmits a nacked frame through the radio (window-exempt); if
+    /// the radio eats the retransmission, reports `FrameLost` so the
+    /// gateway stops waiting.
+    fn retransmit(&mut self, sequence: u32) {
+        let Some(packet) = self.frames.get(sequence as usize).cloned() else {
+            return;
+        };
+        let dropped = self.queue_data(&Message::Frame {
+            sequence,
+            device_tick: self.tick,
+            packet,
+        });
+        if dropped {
+            self.stats.gave_up += 1;
+            self.queue_control(&Message::FrameLost { sequence });
+        } else {
+            self.stats.retransmits += 1;
+            self.last_progress = self.tick;
+        }
+    }
+
+    fn advance(&mut self) {
+        match self.phase {
+            DevicePhase::Streaming => {
+                // First transmissions, as far as the window allows. A
+                // frame the radio drops here is recovered later by the
+                // heartbeat → nack → retransmit path.
+                while self.sent_total < self.granted && (self.next_seq as usize) < self.frames.len()
+                {
+                    let sequence = self.next_seq;
+                    let packet = self.frames[sequence as usize].clone();
+                    self.queue_data(&Message::Frame {
+                        sequence,
+                        device_tick: self.tick,
+                        packet,
+                    });
+                    self.next_seq += 1;
+                    self.sent_total += 1;
+                    self.last_progress = self.tick;
+                }
+                let all_sent = (self.next_seq as usize) == self.frames.len();
+                if all_sent && self.quiet_heartbeats >= self.config.quiet_heartbeats_to_close {
+                    // Flush any reorder-held frame before the goodbye.
+                    let tail: Vec<Vec<u8>> = self.transport.flush();
+                    for chunk in tail {
+                        self.outbox.push_back(chunk);
+                    }
+                    self.queue_control(&Message::Close);
+                    self.phase = DevicePhase::Draining;
+                    self.close_sent_at = self.tick;
+                } else if self.tick.saturating_sub(self.last_progress)
+                    >= self.config.heartbeat_after
+                {
+                    let tail: Vec<Vec<u8>> = self.transport.flush();
+                    for chunk in tail {
+                        self.outbox.push_back(chunk);
+                    }
+                    self.queue_control(&Message::Heartbeat {
+                        sent_through: self.next_seq,
+                    });
+                    self.stats.heartbeats += 1;
+                    self.quiet_heartbeats += 1;
+                    self.last_progress = self.tick;
+                }
+            }
+            DevicePhase::Draining => {
+                if self.tick.saturating_sub(self.close_sent_at) >= self.config.close_timeout {
+                    self.phase = DevicePhase::Done;
+                }
+            }
+            DevicePhase::AwaitHelloAck
+            | DevicePhase::AwaitTimeSync
+            | DevicePhase::Done
+            | DevicePhase::Failed => {}
+        }
+    }
+}

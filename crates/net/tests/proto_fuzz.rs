@@ -1,0 +1,218 @@
+//! Wire-codec robustness properties, mirroring the journal fuzz suite:
+//! no byte stream — random, truncated, bit-flipped, or arbitrarily
+//! chunked — may panic the [`StreamDecoder`], and damage must cost only
+//! the frames it touches (torn frames are detected and the decoder
+//! resyncs onto the next good one).
+//!
+//! Deepened in CI via `HYBRIDCS_CHECK_CASES`, like every `check` suite.
+
+use hybridcs_net::proto::{encode, Message, StreamDecoder};
+use hybridcs_rand::check::{check, u64_in, u8_any, usize_in, vec_of, zip2};
+
+/// Deterministically builds one message from fuzz words (all 13 shapes
+/// reachable).
+fn message_from(words: &[u64], bytes: &[u8]) -> Message {
+    let w = |i: usize| words.get(i).copied().unwrap_or(0);
+    match w(0) % 13 {
+        0 => Message::Hello {
+            version: w(1) as u16,
+            device: w(2),
+            shape_fp: w(3),
+            config_fp: w(4),
+        },
+        1 => Message::HelloAck {
+            session: w(1),
+            granted: w(2),
+        },
+        2 => Message::HelloReject {
+            code: (w(1) % 5) as u8,
+        },
+        3 => Message::TimeSync { device_tick: w(1) },
+        4 => Message::TimeSyncAck {
+            device_tick: w(1),
+            server_logical: w(2),
+        },
+        5 => Message::Frame {
+            sequence: w(1) as u32,
+            device_tick: w(2),
+            packet: bytes.to_vec(),
+        },
+        6 => Message::Credit { granted: w(1) },
+        7 => Message::Nack {
+            sequences: words.iter().map(|v| *v as u32).collect(),
+        },
+        8 => Message::FrameLost {
+            sequence: w(1) as u32,
+        },
+        9 => Message::Heartbeat {
+            sent_through: w(1) as u32,
+        },
+        10 => Message::Overload { level: w(1) as u8 },
+        11 => Message::Close,
+        _ => Message::CloseAck { committed: w(1) },
+    }
+}
+
+/// A fuzz case: a handful of messages plus raw bytes to abuse.
+fn stream_gen() -> hybridcs_rand::check::Gen<(Vec<Vec<u64>>, Vec<u8>)> {
+    zip2(
+        vec_of(vec_of(u64_in(0, u64::MAX), 1, 6), 1, 8),
+        vec_of(u8_any(), 0, 64),
+    )
+}
+
+fn build_messages(word_lists: &[Vec<u64>], bytes: &[u8]) -> Vec<Message> {
+    word_lists
+        .iter()
+        .map(|words| message_from(words, bytes))
+        .collect()
+}
+
+fn decode_all(dec: &mut StreamDecoder) -> Vec<Message> {
+    let mut out = Vec::new();
+    while let Some(m) = dec.next_message() {
+        out.push(m);
+    }
+    out
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_and_anything_decoded_is_canonical() {
+    check(
+        "random bytes never panic the stream decoder",
+        &vec_of(u8_any(), 0, 1024),
+        |bytes| {
+            let mut dec = StreamDecoder::new();
+            dec.extend(bytes);
+            let decoded = decode_all(&mut dec);
+            if decoded.len() > bytes.len() {
+                return Err("more messages than input bytes".to_string());
+            }
+            // Whatever survived the CRC gauntlet must round-trip: the
+            // decoder only ever yields canonical messages.
+            for m in decoded {
+                let mut again = StreamDecoder::new();
+                again.extend(&encode(&m));
+                if again.next_message().as_ref() != Some(&m) {
+                    return Err(format!("decoded message does not round-trip: {m:?}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn chunk_boundaries_are_invisible() {
+    check(
+        "random chunking decodes identically to one-shot",
+        &zip2(stream_gen(), vec_of(usize_in(1, 37), 1, 16)),
+        |((word_lists, bytes), cuts)| {
+            let messages = build_messages(word_lists, bytes);
+            let mut stream = Vec::new();
+            for m in &messages {
+                stream.extend_from_slice(&encode(m));
+            }
+            let mut oneshot = StreamDecoder::new();
+            oneshot.extend(&stream);
+            let reference = decode_all(&mut oneshot);
+
+            let mut chunked = StreamDecoder::new();
+            let mut seen = Vec::new();
+            let mut pos = 0usize;
+            let mut cut_iter = cuts.iter().cycle();
+            while pos < stream.len() {
+                let step = (*cut_iter.next().expect("cycle")).min(stream.len() - pos);
+                chunked.extend(&stream[pos..pos + step]);
+                seen.extend(decode_all(&mut chunked));
+                pos += step;
+            }
+            if seen != reference || reference != messages {
+                return Err("chunked decode diverged from one-shot".to_string());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn truncation_yields_exactly_a_prefix() {
+    check(
+        "a truncated stream decodes to a prefix of the original",
+        &zip2(stream_gen(), u64_in(0, u64::MAX)),
+        |((word_lists, bytes), cut_word)| {
+            let messages = build_messages(word_lists, bytes);
+            let mut stream = Vec::new();
+            for m in &messages {
+                stream.extend_from_slice(&encode(m));
+            }
+            let cut = (*cut_word as usize) % (stream.len() + 1);
+            let mut dec = StreamDecoder::new();
+            dec.extend(&stream[..cut]);
+            let decoded = decode_all(&mut dec);
+            if decoded.len() > messages.len() || decoded != messages[..decoded.len()] {
+                return Err(format!(
+                    "cut {cut}: decoded {} is not a prefix of {} messages",
+                    decoded.len(),
+                    messages.len()
+                ));
+            }
+            if dec.resyncs() != 0 {
+                return Err("truncation alone must not count as resync".to_string());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bit_flips_cost_only_the_frames_they_touch() {
+    check(
+        "untouched frames survive bit flips, in order",
+        &zip2(stream_gen(), vec_of(u64_in(0, u64::MAX), 1, 6)),
+        |((word_lists, bytes), flips)| {
+            let messages = build_messages(word_lists, bytes);
+            let frames: Vec<Vec<u8>> = messages.iter().map(encode).collect();
+            let spans: Vec<(usize, usize)> = frames
+                .iter()
+                .scan(0usize, |acc, f| {
+                    let start = *acc;
+                    *acc += f.len();
+                    Some((start, *acc))
+                })
+                .collect();
+            let mut stream: Vec<u8> = frames.concat();
+            let total_bits = stream.len() as u64 * 8;
+            let mut flipped_bytes = Vec::new();
+            for flip in flips {
+                let bit = flip % total_bits;
+                let byte = (bit / 8) as usize;
+                stream[byte] ^= 1 << (bit % 8);
+                flipped_bytes.push(byte);
+            }
+            let untouched: Vec<&Message> = messages
+                .iter()
+                .zip(&spans)
+                .filter(|(_, (s, e))| flipped_bytes.iter().all(|b| b < s || b >= e))
+                .map(|(m, _)| m)
+                .collect();
+
+            let mut dec = StreamDecoder::new();
+            dec.extend(&stream);
+            // End-of-stream: a flipped length field must not strand the
+            // complete frames buffered behind it.
+            dec.finish();
+            let decoded = decode_all(&mut dec);
+            // Every untouched frame must appear in the decoded output,
+            // in its original relative order (resync guarantee).
+            let mut cursor = 0usize;
+            for want in untouched {
+                match decoded[cursor..].iter().position(|m| m == want) {
+                    Some(offset) => cursor += offset + 1,
+                    None => return Err(format!("untouched frame lost after resync: {want:?}")),
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -65,6 +65,10 @@ pub enum EventKind {
     /// A recovery milestone (code: stage, arg: events replayed so far, or
     /// the journal byte offset for `torn_tail`).
     Recover,
+    /// A network-ingest connection lifecycle step (code: step, arg:
+    /// step-specific — the device id for `accept`/`hello_*`, the epoch
+    /// offset for `timesync`, pending windows for `stall`/`shed`).
+    Conn,
 }
 
 impl EventKind {
@@ -81,6 +85,7 @@ impl EventKind {
             EventKind::Commit => "commit",
             EventKind::Checkpoint => "checkpoint",
             EventKind::Recover => "recover",
+            EventKind::Conn => "conn",
         }
     }
 
@@ -95,6 +100,7 @@ impl EventKind {
             EventKind::Commit => 6,
             EventKind::Checkpoint => 7,
             EventKind::Recover => 8,
+            EventKind::Conn => 9,
         }
     }
 
@@ -109,6 +115,7 @@ impl EventKind {
             6 => EventKind::Commit,
             7 => EventKind::Checkpoint,
             8 => EventKind::Recover,
+            9 => EventKind::Conn,
             _ => return None,
         })
     }
@@ -127,6 +134,7 @@ impl EventKind {
             }
             EventKind::Checkpoint => &["written", "restored"],
             EventKind::Recover => &["started", "replayed", "complete", "torn_tail"],
+            EventKind::Conn => CONN_STEPS,
         };
         table.get(code as usize).copied()
     }
@@ -139,6 +147,19 @@ pub const RUNGS: &[&str] = &["hybrid", "cs_only", "lowres_only", "concealed"];
 /// Demotion reason names indexed by their stable codes (the
 /// [`EventKind::Demotion`] `arg`).
 pub const DEMOTION_REASONS: &[&str] = &["decode_error", "watchdog", "non_finite", "shed"];
+
+/// Connection lifecycle step names indexed by their stable codes (the
+/// [`EventKind::Conn`] `code`).
+pub const CONN_STEPS: &[&str] = &[
+    "accept",
+    "hello_ok",
+    "hello_reject",
+    "timesync",
+    "stall",
+    "shed",
+    "timeout",
+    "close",
+];
 
 /// The stable code for a demotion reason string (unknown reasons map to
 /// `u8::MAX`).
@@ -616,8 +637,32 @@ mod tests {
         assert_eq!(EventKind::Recover.code_name(0), Some("started"));
         assert_eq!(EventKind::Recover.code_name(2), Some("complete"));
         assert_eq!(EventKind::Recover.code_name(3), Some("torn_tail"));
+        assert_eq!(EventKind::Conn.code_name(0), Some("accept"));
+        assert_eq!(EventKind::Conn.code_name(2), Some("hello_reject"));
+        assert_eq!(EventKind::Conn.code_name(4), Some("stall"));
+        assert_eq!(EventKind::Conn.code_name(7), Some("close"));
+        assert_eq!(EventKind::Conn.code_name(8), None);
         assert_eq!(demotion_reason_code("watchdog"), 1);
         assert_eq!(demotion_reason_code("nope"), u8::MAX);
+    }
+
+    #[test]
+    fn conn_events_round_trip_without_latching_anomaly() {
+        let rec = FlightRecorder::new(1, 16);
+        rec.record(&ev(1, 0, EventKind::Conn, 0, 77)); // accept
+        rec.record(&ev(2, 0, EventKind::Conn, 4, 12)); // backpressure stall
+        let events = rec.events();
+        assert_eq!(events[0].kind, EventKind::Conn);
+        assert!(
+            !rec.anomalous(),
+            "connection lifecycle events are not anomalies"
+        );
+        let dump = rec.dump_jsonl("unit");
+        for line in dump.lines() {
+            crate::jsonl::validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(dump.contains("\"event\":\"conn\""));
+        assert!(dump.contains("\"code\":\"stall\""));
     }
 
     #[test]

@@ -175,12 +175,48 @@ fi
 HYBRIDCS_OBS_CHECK="$RECOVERY_BENCH" \
     cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
 
-echo "==> journal fuzz (deep property pass over mutated and random images)"
+echo "==> ingest soak gate (1000 concurrent loopback sessions + determinism audit)"
+# The example exits non-zero unless every one of the 1000 scale-phase
+# sessions (a quarter through the faulty radio) and every
+# fidelity-phase session completes AND the recorded gateway-call log —
+# replayed in both recorded and session-major order into a fresh
+# in-process gateway — reproduces the live socket outputs bit-for-bit.
+# 10k+ sessions work locally via HYBRIDCS_INGEST_SESSIONS; CI pins the
+# acceptance floor. Its bench report and flight dump are schema-checked.
+INGEST_BENCH="$OBS_TMP/BENCH_ingest.json"
+INGEST_OUT="$(HYBRIDCS_INGEST_SESSIONS=1000 \
+    HYBRIDCS_INGEST_BENCH_PATH="$INGEST_BENCH" \
+    HYBRIDCS_INGEST_FLIGHT_PATH="$OBS_TMP/FLIGHT_ingest.jsonl" \
+    HYBRIDCS_INGEST_PROM_PATH="$OBS_TMP/METRICS_ingest.prom" \
+    cargo run -q --release --offline --example ingest_soak)"
+if ! grep -q "ingest scale: 1000 concurrent sessions" <<<"$INGEST_OUT"; then
+    echo "error: ingest_soak did not sustain 1000 concurrent sessions" >&2
+    exit 1
+fi
+if [ "$(grep -c "bit-identical to in-process replay (recorded + session-major)" \
+    <<<"$INGEST_OUT")" -lt 2 ]; then
+    echo "error: ingest_soak did not certify both determinism audits" >&2
+    exit 1
+fi
+if ! grep -q "events schema-valid" <<<"$INGEST_OUT"; then
+    echo "error: ingest_soak did not validate its flight dump" >&2
+    exit 1
+fi
+if [ ! -s "$INGEST_BENCH" ]; then
+    echo "error: ingest_soak did not write BENCH_ingest.json" >&2
+    exit 1
+fi
+HYBRIDCS_OBS_CHECK="$INGEST_BENCH" \
+    cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
+
+echo "==> journal + wire fuzz (deep property pass over mutated and random streams)"
 # The workspace test run above already covers these properties at the
 # default case count; this pass triples it so torn/bit-flipped/garbage
-# journal images get real coverage on every CI run.
+# journal images and wire byte streams get real coverage on every CI run.
 HYBRIDCS_CHECK_CASES=192 \
     cargo test -q --release --offline -p hybridcs-gateway --test journal_fuzz
+HYBRIDCS_CHECK_CASES=192 \
+    cargo test -q --release --offline -p hybridcs-net --test proto_fuzz
 
 echo "==> verifying Cargo.lock stays registry-free"
 if grep -E '^source = ' Cargo.lock; then

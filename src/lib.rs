@@ -18,6 +18,7 @@
 //! | [`solver`] | `hybridcs-solver` | PDHG, ADMM, FISTA, OMP, CoSaMP, IHT, solver watchdog |
 //! | [`faults`] | `hybridcs-faults` | Gilbert–Elliott channel, sensor faults, ARQ retry queue |
 //! | [`gateway`] | `hybridcs-gateway` | sharded multi-patient ingest and batched-decode service |
+//! | [`net`] | `hybridcs-net` | non-blocking socket ingest tier: wire protocol, server, device client |
 //! | [`dsp`] | `hybridcs-dsp` | orthonormal wavelets, filters |
 //! | [`metrics`] | `hybridcs-metrics` | PRD/SNR/CR, box-plot stats |
 //! | [`obs`] | `hybridcs-obs` | metrics registry, spans, convergence traces, JSONL export |
@@ -59,6 +60,7 @@ pub use hybridcs_frontend as frontend;
 pub use hybridcs_gateway as gateway;
 pub use hybridcs_linalg as linalg;
 pub use hybridcs_metrics as metrics;
+pub use hybridcs_net as net;
 pub use hybridcs_obs as obs;
 pub use hybridcs_power as power;
 pub use hybridcs_solver as solver;
