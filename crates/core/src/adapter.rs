@@ -83,6 +83,34 @@ impl LinearOperator for SensingOperator<'_> {
         self.matrix.apply_adjoint_into(y, out);
     }
 
+    fn batch_scratch_len(&self, k: usize) -> usize {
+        self.matrix.batch_scratch_len(k)
+    }
+
+    fn apply_batch_into(
+        &self,
+        x_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        // The batched packed-sign kernel shares each per-4-column sign table
+        // across all K lanes; per lane it is bit-identical to `apply_into`.
+        self.matrix
+            .apply_batch_into_scratch(x_panel, k, out_panel, scratch);
+    }
+
+    fn apply_adjoint_batch_into(
+        &self,
+        y_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        self.matrix
+            .apply_adjoint_batch_into_scratch(y_panel, k, out_panel, scratch);
+    }
+
     fn norm_est(&self) -> f64 {
         match self.cached_norm {
             Some(norm) => norm,

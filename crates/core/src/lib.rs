@@ -69,7 +69,7 @@ pub use decoder::HybridDecoder;
 pub use encoder::HybridFrontEnd;
 pub use error::CoreError;
 pub use supervisor::{
-    DecodeLadder, LadderOutcome, LadderRung, LedgerState, ParsedSections, RecoverySupervisor,
-    SessionLedger, SupervisedWindow, SupervisorConfig,
+    ChosenRung, DecodeLadder, LadderJob, LadderOutcome, LadderRung, LedgerState, ParsedSections,
+    RecoverySupervisor, SessionLedger, SupervisedWindow, SupervisorConfig,
 };
 pub use training::{train_lowres_codec, train_rle_lowres_codec};

@@ -50,6 +50,7 @@ use crate::telemetry::FrameCodec;
 use crate::{CoreError, HybridDecoder, SystemConfig};
 use hybridcs_coding::{LowResCodec, Payload};
 use hybridcs_frontend::{LowResChannel, LowResFrame};
+use hybridcs_obs::{ConvergenceTrace, EventContext, IterationEvent, IterationObserver};
 use hybridcs_solver::{SolverWatchdog, SolverWorkspace, WatchdogConfig};
 
 /// Which rung of the decode ladder produced a window.
@@ -156,6 +157,11 @@ pub struct ParsedSections {
     pub lowres: Option<Payload>,
 }
 
+/// The accepted rung for one window: the rung itself, the signal it
+/// committed, and the full solver report when a solver backed it (the
+/// low-resolution rung carries `None`).
+pub type ChosenRung = (LadderRung, Vec<f64>, Option<DecodedWindow>);
+
 /// The outcome of the stateless rung attempts for one window: the first
 /// rung that produced a finite signal (if any — concealment is the
 /// ledger's job), plus the demotion trail.
@@ -163,7 +169,7 @@ pub struct ParsedSections {
 pub struct LadderOutcome {
     /// The successful rung, its signal, and the solver report when one
     /// backed it. `None` means every non-concealment rung failed.
-    pub chosen: Option<(LadderRung, Vec<f64>, Option<DecodedWindow>)>,
+    pub chosen: Option<ChosenRung>,
     /// Rungs attempted and failed before `chosen` (or before giving up).
     pub demotions: Vec<(LadderRung, &'static str)>,
 }
@@ -176,6 +182,66 @@ impl LadderOutcome {
             chosen: None,
             demotions: Vec::new(),
         }
+    }
+}
+
+/// One window's surviving sections for a batched ladder solve
+/// ([`DecodeLadder::solve_batch_with`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LadderJob<'a> {
+    /// CS measurements, when that section's CRC passed.
+    pub measurements: Option<&'a [f64]>,
+    /// Low-resolution payload, when that section's CRC passed.
+    pub lowres: Option<&'a Payload>,
+    /// Load shedding: demote the solver rungs with reason `"shed"`.
+    pub skip_solvers: bool,
+    /// Flight-recorder context for this window's solver-side events
+    /// (watchdog trips). Batched solves interleave windows on one thread,
+    /// so a single ambient thread-local context would tag every window
+    /// alike; `None` leaves the ambient context untouched.
+    pub context: Option<EventContext>,
+}
+
+/// Runs every event-emitting observer callback under a fixed
+/// flight-recorder context, so watchdog trips fired from inside a batched
+/// solve attribute to the wrapped window rather than to whatever the
+/// thread-local happens to hold.
+struct ContextScoped<'a, 'w> {
+    inner: &'a mut SolverWatchdog<'w>,
+    ctx: Option<EventContext>,
+}
+
+impl<'w> ContextScoped<'_, 'w> {
+    fn scoped<T>(&mut self, f: impl FnOnce(&mut SolverWatchdog<'w>) -> T) -> T {
+        use hybridcs_obs::flight::{context, set_context};
+        match self.ctx {
+            None => f(self.inner),
+            Some(ctx) => {
+                let prev = context();
+                set_context(Some(ctx));
+                let out = f(self.inner);
+                set_context(prev);
+                out
+            }
+        }
+    }
+}
+
+impl IterationObserver for ContextScoped<'_, '_> {
+    fn active(&self) -> bool {
+        self.inner.active()
+    }
+
+    fn on_iteration(&mut self, event: &IterationEvent) {
+        self.scoped(|dog| dog.on_iteration(event));
+    }
+
+    fn on_complete(&mut self, trace: &ConvergenceTrace) {
+        self.scoped(|dog| dog.on_complete(trace));
+    }
+
+    fn should_abort(&self) -> bool {
+        self.inner.should_abort()
     }
 }
 
@@ -351,6 +417,169 @@ impl DecodeLadder {
         LadderOutcome {
             chosen: None,
             demotions,
+        }
+    }
+
+    /// Batched [`DecodeLadder::solve_with`]: walks the same rung ladder for
+    /// a group of same-shape windows, batching the hybrid and CS-only
+    /// solver rungs across every window still on that rung so the operator
+    /// kernels amortize their per-iteration table work across the group
+    /// (and vectorize across it when SIMD is enabled). Outcomes come back
+    /// in job order and are bit-identical to calling `solve_with` once per
+    /// window — each window keeps its own watchdog, its own demotion
+    /// trail, and its own stopping decisions.
+    #[must_use]
+    pub fn solve_batch_with(
+        &self,
+        jobs: &[LadderJob<'_>],
+        ws: &mut SolverWorkspace,
+    ) -> Vec<LadderOutcome> {
+        let _span = hybridcs_obs::span!("ladder.solve_batch");
+        let mut demotions: Vec<Vec<(LadderRung, &'static str)>> = vec![Vec::new(); jobs.len()];
+        let mut chosen: Vec<Option<ChosenRung>> = (0..jobs.len()).map(|_| None).collect();
+        for (i, job) in jobs.iter().enumerate() {
+            if job.skip_solvers {
+                if job.measurements.is_some() && job.lowres.is_some() {
+                    demotions[i].push((LadderRung::Hybrid, "shed"));
+                }
+                if job.measurements.is_some() {
+                    demotions[i].push((LadderRung::CsOnly, "shed"));
+                }
+            }
+        }
+        let hybrid: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.skip_solvers && j.measurements.is_some() && j.lowres.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        self.rung_batch(
+            jobs,
+            &hybrid,
+            LadderRung::Hybrid,
+            ws,
+            &mut chosen,
+            &mut demotions,
+        );
+        let cs_only: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, j)| !j.skip_solvers && j.measurements.is_some() && chosen[*i].is_none())
+            .map(|(i, _)| i)
+            .collect();
+        self.rung_batch(
+            jobs,
+            &cs_only,
+            LadderRung::CsOnly,
+            ws,
+            &mut chosen,
+            &mut demotions,
+        );
+        jobs.iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let mut outcome = LadderOutcome {
+                    chosen: chosen[i].take(),
+                    demotions: std::mem::take(&mut demotions[i]),
+                };
+                if outcome.chosen.is_none() {
+                    if let Some(lr) = job.lowres {
+                        match self.lowres_midpoints(lr) {
+                            Ok(signal) => {
+                                outcome.chosen = Some((LadderRung::LowResOnly, signal, None));
+                            }
+                            Err(reason) => outcome.demotions.push((LadderRung::LowResOnly, reason)),
+                        }
+                    }
+                }
+                outcome
+            })
+            .collect()
+    }
+
+    /// One solver rung of [`solve_batch_with`](DecodeLadder::solve_batch_with):
+    /// a watched batched decode over `group`, scattering per-window success
+    /// into `chosen` and failure reasons into `demotions` — exactly
+    /// [`try_decode`](DecodeLadder::try_decode)'s verdicts, per window.
+    fn rung_batch(
+        &self,
+        jobs: &[LadderJob<'_>],
+        group: &[usize],
+        rung: LadderRung,
+        ws: &mut SolverWorkspace,
+        chosen: &mut [Option<ChosenRung>],
+        demotions: &mut [Vec<(LadderRung, &'static str)>],
+    ) {
+        if group.is_empty() {
+            return;
+        }
+        let system = self.decoder.config();
+        let use_box = rung == LadderRung::Hybrid;
+        let placeholder = Payload {
+            bytes: Vec::new(),
+            bit_len: 0,
+        };
+        let encoded: Vec<EncodedWindow> = group
+            .iter()
+            .map(|&i| EncodedWindow {
+                measurements: jobs[i]
+                    .measurements
+                    .expect("rung group has measurements")
+                    .to_vec(),
+                lowres: if use_box {
+                    jobs[i].lowres.expect("hybrid group has low-res").clone()
+                } else {
+                    placeholder.clone()
+                },
+                window_len: system.window,
+                measurement_bits: system.measurement_bits,
+            })
+            .collect();
+        let enc_refs: Vec<&EncodedWindow> = encoded.iter().collect();
+        let mut dogs: Vec<SolverWatchdog<'_>> = group
+            .iter()
+            .map(|_| SolverWatchdog::new(self.watchdog))
+            .collect();
+        let mut scoped: Vec<ContextScoped<'_, '_>> = dogs
+            .iter_mut()
+            .zip(group)
+            .map(|(dog, &i)| ContextScoped {
+                inner: dog,
+                ctx: jobs[i].context,
+            })
+            .collect();
+        let mut refs: Vec<&mut dyn IterationObserver> = scoped
+            .iter_mut()
+            .map(|s| s as &mut dyn IterationObserver)
+            .collect();
+        let mut results = Vec::new();
+        let batch_ok = self
+            .decoder
+            .decode_batch_workspace(&enc_refs, use_box, &mut refs, ws, &mut results)
+            .is_ok();
+        drop(refs);
+        drop(scoped);
+        if !batch_ok {
+            // Unreachable in practice (observers are built pairwise with the
+            // windows), but a malformed batch demotes instead of panicking.
+            for &i in group {
+                demotions[i].push((rung, "decode_error"));
+            }
+            return;
+        }
+        for ((&i, result), dog) in group.iter().zip(results).zip(dogs) {
+            match result {
+                Err(_) => demotions[i].push((rung, "decode_error")),
+                Ok(decoded) => {
+                    if dog.trip().is_some() {
+                        demotions[i].push((rung, "watchdog"));
+                    } else if decoded.signal.iter().any(|v| !v.is_finite()) {
+                        demotions[i].push((rung, "non_finite"));
+                    } else {
+                        chosen[i] = Some((rung, decoded.signal.clone(), Some(decoded)));
+                    }
+                }
+            }
         }
     }
 
@@ -757,6 +986,68 @@ mod tests {
         let after = supervisor.receive(None);
         assert_eq!(after.rung, LadderRung::Concealed);
         assert_eq!(after.signal, vec![0.0; window.len()]);
+    }
+
+    /// The batched ladder must reproduce the serial ladder bit for bit for
+    /// every section-survival pattern, including shed and lost windows.
+    #[test]
+    fn batched_ladder_matches_serial_per_window() {
+        let (frontend, supervisor, window) = setup();
+        let ladder = supervisor.ladder();
+        let generator = EcgGenerator::new(GeneratorConfig::normal_sinus()).unwrap();
+        let windows: Vec<Vec<f64>> = (0..4)
+            .map(|w| generator.generate(2.0, 0x6E_00 + w)[..window.len()].to_vec())
+            .collect();
+        let parsed: Vec<ParsedSections> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let encoded = frontend.encode(w).unwrap();
+                let bytes = ladder
+                    .frame_codec()
+                    .serialize(u32::try_from(i).unwrap(), &encoded)
+                    .unwrap();
+                ladder.parse(Some(&bytes))
+            })
+            .collect();
+        // Full frame / measurements-only / low-res-only / shed — one of each.
+        let jobs: Vec<LadderJob<'_>> = parsed
+            .iter()
+            .enumerate()
+            .map(|(i, p)| LadderJob {
+                measurements: if i == 2 {
+                    None
+                } else {
+                    p.measurements.as_deref()
+                },
+                lowres: if i == 1 { None } else { p.lowres.as_ref() },
+                skip_solvers: i == 3,
+                context: None,
+            })
+            .collect();
+        let mut ws = SolverWorkspace::new();
+        let serial: Vec<LadderOutcome> = jobs
+            .iter()
+            .map(|j| ladder.solve_with(j.measurements, j.lowres, j.skip_solvers, &mut ws))
+            .collect();
+        let batched = ladder.solve_batch_with(&jobs, &mut ws);
+        assert_eq!(batched, serial);
+        assert_eq!(
+            batched[0].chosen.as_ref().map(|(rung, _, _)| *rung),
+            Some(LadderRung::Hybrid)
+        );
+        assert_eq!(
+            batched[1].chosen.as_ref().map(|(rung, _, _)| *rung),
+            Some(LadderRung::CsOnly)
+        );
+        assert_eq!(
+            batched[2].chosen.as_ref().map(|(rung, _, _)| *rung),
+            Some(LadderRung::LowResOnly)
+        );
+        assert_eq!(
+            batched[3].chosen.as_ref().map(|(rung, _, _)| *rung),
+            Some(LadderRung::LowResOnly)
+        );
     }
 
     #[test]

@@ -338,6 +338,247 @@ impl Dwt {
         Ok(())
     }
 
+    /// Scratch length required by [`Dwt::forward_panel_into`] and
+    /// [`Dwt::inverse_panel_into`] for `k` lanes of length `len`.
+    #[must_use]
+    pub fn panel_scratch_len(len: usize, k: usize) -> usize {
+        len * k
+    }
+
+    /// Batched analysis transform over a column-major panel: lane `l` of
+    /// `x_panel` (elements `x_panel[i*k + l]`) is transformed exactly as
+    /// [`Dwt::forward_into`] would transform it, writing lane `l` of
+    /// `out_panel`. Per lane the filter arithmetic runs in the identical
+    /// tap order, so every lane is bit-identical to the serial transform;
+    /// the SIMD tier (when [`simd_enabled`](hybridcs_linalg::simd::simd_enabled))
+    /// vectorizes across lanes only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] when the per-lane length is
+    /// unsupported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `x_panel.len()` is not a multiple of `k`,
+    /// `out_panel.len() != x_panel.len()`, or `scratch` is shorter than
+    /// [`Dwt::panel_scratch_len`].
+    pub fn forward_panel_into(
+        &self,
+        x_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) -> Result<(), DspError> {
+        self.forward_panel_into_tier(
+            x_panel,
+            k,
+            out_panel,
+            scratch,
+            hybridcs_linalg::simd::simd_enabled(),
+        )
+    }
+
+    fn forward_panel_into_tier(
+        &self,
+        x_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+        simd: bool,
+    ) -> Result<(), DspError> {
+        let _span = hybridcs_obs::span!("wavelet.forward_panel");
+        assert!(k > 0, "forward_panel_into: zero lanes");
+        assert!(
+            x_panel.len().is_multiple_of(k),
+            "forward_panel_into: panel shape"
+        );
+        let n = x_panel.len() / k;
+        self.check_len(n)?;
+        assert_eq!(
+            out_panel.len(),
+            x_panel.len(),
+            "forward_panel_into: output length mismatch"
+        );
+        assert!(
+            scratch.len() >= Self::panel_scratch_len(n, k),
+            "forward_panel_into: scratch too short"
+        );
+        let h = self.wavelet.lowpass();
+        let g = self.wavelet.highpass();
+        let (ping, pong) = scratch.split_at_mut((n / 2) * k);
+        let mut write_end = n;
+        let mut cur = n / 2;
+        panel_kernels::analyze(
+            x_panel,
+            k,
+            h,
+            g,
+            &mut ping[..cur * k],
+            &mut out_panel[(write_end - cur) * k..write_end * k],
+            simd,
+        );
+        write_end -= cur;
+        let mut src_is_ping = true;
+        for _ in 1..self.levels {
+            let half = cur / 2;
+            let detail_slot = &mut out_panel[(write_end - half) * k..write_end * k];
+            if src_is_ping {
+                panel_kernels::analyze(
+                    &ping[..cur * k],
+                    k,
+                    h,
+                    g,
+                    &mut pong[..half * k],
+                    detail_slot,
+                    simd,
+                );
+            } else {
+                panel_kernels::analyze(
+                    &pong[..cur * k],
+                    k,
+                    h,
+                    g,
+                    &mut ping[..half * k],
+                    detail_slot,
+                    simd,
+                );
+            }
+            write_end -= half;
+            cur = half;
+            src_is_ping = !src_is_ping;
+        }
+        let final_approx = if src_is_ping {
+            &ping[..cur * k]
+        } else {
+            &pong[..cur * k]
+        };
+        out_panel[..cur * k].copy_from_slice(final_approx);
+        Ok(())
+    }
+
+    /// Batched synthesis transform over a column-major panel — the lane-wise
+    /// twin of [`Dwt::inverse_into`], bit-identical per lane. See
+    /// [`Dwt::forward_panel_into`] for the panel contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] when the per-lane length is
+    /// unsupported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `coeffs_panel.len()` is not a multiple of `k`,
+    /// `out_panel.len() != coeffs_panel.len()`, or `scratch` is shorter
+    /// than [`Dwt::panel_scratch_len`].
+    pub fn inverse_panel_into(
+        &self,
+        coeffs_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) -> Result<(), DspError> {
+        self.inverse_panel_into_tier(
+            coeffs_panel,
+            k,
+            out_panel,
+            scratch,
+            hybridcs_linalg::simd::simd_enabled(),
+        )
+    }
+
+    fn inverse_panel_into_tier(
+        &self,
+        coeffs_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+        simd: bool,
+    ) -> Result<(), DspError> {
+        let _span = hybridcs_obs::span!("wavelet.inverse_panel");
+        assert!(k > 0, "inverse_panel_into: zero lanes");
+        assert!(
+            coeffs_panel.len().is_multiple_of(k),
+            "inverse_panel_into: panel shape"
+        );
+        let n = coeffs_panel.len() / k;
+        self.check_len(n)?;
+        assert_eq!(
+            out_panel.len(),
+            coeffs_panel.len(),
+            "inverse_panel_into: output length mismatch"
+        );
+        assert!(
+            scratch.len() >= Self::panel_scratch_len(n, k),
+            "inverse_panel_into: scratch too short"
+        );
+        let h = self.wavelet.lowpass();
+        let g = self.wavelet.highpass();
+        let coarse = n >> self.levels;
+        if self.levels == 1 {
+            panel_kernels::synthesize(
+                &coeffs_panel[..coarse * k],
+                &coeffs_panel[coarse * k..],
+                k,
+                h,
+                g,
+                out_panel,
+                simd,
+            );
+            return Ok(());
+        }
+        let (ping, pong) = scratch.split_at_mut((n / 2) * k);
+        panel_kernels::synthesize(
+            &coeffs_panel[..coarse * k],
+            &coeffs_panel[coarse * k..2 * coarse * k],
+            k,
+            h,
+            g,
+            &mut ping[..2 * coarse * k],
+            simd,
+        );
+        let mut read_start = 2 * coarse;
+        let mut cur = 2 * coarse;
+        let mut src_is_ping = true;
+        for level in (2..self.levels).rev() {
+            let band_len = n >> level;
+            debug_assert_eq!(band_len, cur);
+            let detail = &coeffs_panel[read_start * k..(read_start + band_len) * k];
+            if src_is_ping {
+                panel_kernels::synthesize(
+                    &ping[..cur * k],
+                    detail,
+                    k,
+                    h,
+                    g,
+                    &mut pong[..band_len * 2 * k],
+                    simd,
+                );
+            } else {
+                panel_kernels::synthesize(
+                    &pong[..cur * k],
+                    detail,
+                    k,
+                    h,
+                    g,
+                    &mut ping[..band_len * 2 * k],
+                    simd,
+                );
+            }
+            read_start += band_len;
+            cur = band_len * 2;
+            src_is_ping = !src_is_ping;
+        }
+        let detail = &coeffs_panel[read_start * k..(read_start + n / 2) * k];
+        let src = if src_is_ping {
+            &ping[..cur * k]
+        } else {
+            &pong[..cur * k]
+        };
+        panel_kernels::synthesize(src, detail, k, h, g, out_panel, simd);
+        Ok(())
+    }
+
     /// Counts coefficients whose magnitude is at least `threshold` times the
     /// largest magnitude — a quick effective-sparsity probe used by the
     /// wavelet ablation experiment.
@@ -428,6 +669,210 @@ fn synthesize_level(approx: &[f64], detail: &[f64], h: &[f64], g: &[f64], out: &
         for (j, (&hj, &gj)) in h.iter().zip(g).enumerate() {
             let idx = (base + j) % n;
             out[idx] += hj * a + gj * d;
+        }
+    }
+}
+
+/// Lane-parallel twins of [`analyze_level`] / [`synthesize_level`] over
+/// column-major panels. Per lane the tap order is identical to the serial
+/// kernels, so every lane is bit-identical regardless of tier; the `% n`
+/// wrap of the periodized form is pure index arithmetic (same as the
+/// serial bulk/tail split) and cannot change bits.
+#[allow(unsafe_code)]
+mod panel_kernels {
+    pub fn analyze(
+        x: &[f64],
+        k: usize,
+        h: &[f64],
+        g: &[f64],
+        approx: &mut [f64],
+        detail: &mut [f64],
+        simd: bool,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // SAFETY: `simd` comes from `simd_enabled`, which requires
+            // runtime AVX2 support.
+            unsafe { analyze_avx(x, k, h, g, approx, detail) };
+            return;
+        }
+        let _ = simd;
+        analyze_scalar(x, k, h, g, approx, detail);
+    }
+
+    pub fn synthesize(
+        approx: &[f64],
+        detail: &[f64],
+        k: usize,
+        h: &[f64],
+        g: &[f64],
+        out: &mut [f64],
+        simd: bool,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // SAFETY: `simd` comes from `simd_enabled`, which requires
+            // runtime AVX2 support.
+            unsafe { synthesize_avx(approx, detail, k, h, g, out) };
+            return;
+        }
+        let _ = simd;
+        synthesize_scalar(approx, detail, k, h, g, out);
+    }
+
+    fn analyze_scalar(
+        x: &[f64],
+        k: usize,
+        h: &[f64],
+        g: &[f64],
+        approx: &mut [f64],
+        detail: &mut [f64],
+    ) {
+        let n = x.len() / k;
+        let half = n / 2;
+        for row in 0..half {
+            let base = 2 * row;
+            for lane in 0..k {
+                let mut a = 0.0;
+                let mut d = 0.0;
+                for (j, (&hj, &gj)) in h.iter().zip(g).enumerate() {
+                    let mut idx = base + j;
+                    if idx >= n {
+                        idx -= n;
+                    }
+                    let xv = x[idx * k + lane];
+                    a += hj * xv;
+                    d += gj * xv;
+                }
+                approx[row * k + lane] = a;
+                detail[row * k + lane] = d;
+            }
+        }
+    }
+
+    fn synthesize_scalar(
+        approx: &[f64],
+        detail: &[f64],
+        k: usize,
+        h: &[f64],
+        g: &[f64],
+        out: &mut [f64],
+    ) {
+        let n = out.len() / k;
+        let half = n / 2;
+        out.fill(0.0);
+        for row in 0..half {
+            let base = 2 * row;
+            for (j, (&hj, &gj)) in h.iter().zip(g).enumerate() {
+                let mut idx = base + j;
+                if idx >= n {
+                    idx -= n;
+                }
+                for lane in 0..k {
+                    let a = approx[row * k + lane];
+                    let d = detail[row * k + lane];
+                    out[idx * k + lane] += hj * a + gj * d;
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn analyze_avx(
+        x: &[f64],
+        k: usize,
+        h: &[f64],
+        g: &[f64],
+        approx: &mut [f64],
+        detail: &mut [f64],
+    ) {
+        use std::arch::x86_64::{
+            _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
+            _mm256_storeu_pd,
+        };
+        let n = x.len() / k;
+        let half = n / 2;
+        let chunks = k / 4;
+        for row in 0..half {
+            let base = 2 * row;
+            for c in 0..chunks {
+                let lane = c * 4;
+                let mut a = _mm256_setzero_pd();
+                let mut d = _mm256_setzero_pd();
+                for (j, (&hj, &gj)) in h.iter().zip(g).enumerate() {
+                    let mut idx = base + j;
+                    if idx >= n {
+                        idx -= n;
+                    }
+                    let xv = _mm256_loadu_pd(x.as_ptr().add(idx * k + lane));
+                    a = _mm256_add_pd(a, _mm256_mul_pd(_mm256_set1_pd(hj), xv));
+                    d = _mm256_add_pd(d, _mm256_mul_pd(_mm256_set1_pd(gj), xv));
+                }
+                _mm256_storeu_pd(approx.as_mut_ptr().add(row * k + lane), a);
+                _mm256_storeu_pd(detail.as_mut_ptr().add(row * k + lane), d);
+            }
+            for lane in chunks * 4..k {
+                let mut a = 0.0;
+                let mut d = 0.0;
+                for (j, (&hj, &gj)) in h.iter().zip(g).enumerate() {
+                    let mut idx = base + j;
+                    if idx >= n {
+                        idx -= n;
+                    }
+                    let xv = x[idx * k + lane];
+                    a += hj * xv;
+                    d += gj * xv;
+                }
+                approx[row * k + lane] = a;
+                detail[row * k + lane] = d;
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn synthesize_avx(
+        approx: &[f64],
+        detail: &[f64],
+        k: usize,
+        h: &[f64],
+        g: &[f64],
+        out: &mut [f64],
+    ) {
+        use std::arch::x86_64::{
+            _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+        };
+        let n = out.len() / k;
+        let half = n / 2;
+        let chunks = k / 4;
+        out.fill(0.0);
+        for row in 0..half {
+            let base = 2 * row;
+            for (j, (&hj, &gj)) in h.iter().zip(g).enumerate() {
+                let mut idx = base + j;
+                if idx >= n {
+                    idx -= n;
+                }
+                let hv = _mm256_set1_pd(hj);
+                let gv = _mm256_set1_pd(gj);
+                for c in 0..chunks {
+                    let lane = c * 4;
+                    let a = _mm256_loadu_pd(approx.as_ptr().add(row * k + lane));
+                    let d = _mm256_loadu_pd(detail.as_ptr().add(row * k + lane));
+                    let contrib = _mm256_add_pd(_mm256_mul_pd(hv, a), _mm256_mul_pd(gv, d));
+                    let o = _mm256_loadu_pd(out.as_ptr().add(idx * k + lane));
+                    _mm256_storeu_pd(
+                        out.as_mut_ptr().add(idx * k + lane),
+                        _mm256_add_pd(o, contrib),
+                    );
+                }
+                for lane in chunks * 4..k {
+                    let a = approx[row * k + lane];
+                    let d = detail[row * k + lane];
+                    out[idx * k + lane] += hj * a + gj * d;
+                }
+            }
         }
     }
 }
@@ -631,6 +1076,71 @@ mod tests {
         assert!(dwt.validate_len(30).is_err());
         dwt.forward_into(&x, &mut out, &mut scratch).unwrap();
         dwt.inverse_into(&x, &mut out, &mut scratch).unwrap();
+    }
+
+    #[test]
+    fn panel_transforms_bit_identical_to_serial_per_lane() {
+        // Every lane of the panel transforms must reproduce the serial
+        // `_into` bits exactly, for both dispatch tiers, across lane
+        // counts that exercise full 4-lane chunks and remainder lanes.
+        let tiers: &[bool] = if hybridcs_linalg::simd::simd_available() {
+            &[false, true]
+        } else {
+            &[false]
+        };
+        for w in Wavelet::ALL {
+            for levels in 1..=3 {
+                let dwt = Dwt::new(w, levels).unwrap();
+                let n = 64;
+                for &k in &[1usize, 3, 4, 7, 8] {
+                    // Column-major panel with distinct per-lane signals.
+                    let mut panel = vec![0.0; n * k];
+                    let mut lanes: Vec<Vec<f64>> = Vec::new();
+                    for lane in 0..k {
+                        let sig: Vec<f64> = (0..n)
+                            .map(|i| {
+                                let t = i as f64 / n as f64;
+                                (2.0 * std::f64::consts::PI * (3.0 + lane as f64) * t).sin()
+                                    + 0.1 * lane as f64
+                            })
+                            .collect();
+                        for (i, &v) in sig.iter().enumerate() {
+                            panel[i * k + lane] = v;
+                        }
+                        lanes.push(sig);
+                    }
+                    for &simd in tiers {
+                        let mut out = vec![f64::NAN; n * k];
+                        let mut scratch = vec![f64::NAN; Dwt::panel_scratch_len(n, k)];
+                        dwt.forward_panel_into_tier(&panel, k, &mut out, &mut scratch, simd)
+                            .unwrap();
+                        for (lane, sig) in lanes.iter().enumerate() {
+                            let serial = dwt.forward(sig).unwrap();
+                            for (i, want) in serial.iter().enumerate() {
+                                assert_eq!(
+                                    out[i * k + lane].to_bits(),
+                                    want.to_bits(),
+                                    "{w} L{levels} k{k} lane{lane} fwd simd={simd}"
+                                );
+                            }
+                        }
+                        let mut back = vec![f64::NAN; n * k];
+                        dwt.inverse_panel_into_tier(&out, k, &mut back, &mut scratch, simd)
+                            .unwrap();
+                        for (lane, sig) in lanes.iter().enumerate() {
+                            let serial = dwt.inverse(&dwt.forward(sig).unwrap()).unwrap();
+                            for (i, want) in serial.iter().enumerate() {
+                                assert_eq!(
+                                    back[i * k + lane].to_bits(),
+                                    want.to_bits(),
+                                    "{w} L{levels} k{k} lane{lane} inv simd={simd}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

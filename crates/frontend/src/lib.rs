@@ -42,7 +42,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `sensing::batch_kernels` scopes a single
+// `allow(unsafe_code)` around its runtime-dispatched AVX2 twins of the
+// packed-sign kernels; everything else still refuses unsafe at compile
+// time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adc;

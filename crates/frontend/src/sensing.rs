@@ -295,6 +295,144 @@ impl SensingMatrix {
         }
     }
 
+    /// Scratch length (in `f64`s) for the batched kernels
+    /// ([`SensingMatrix::apply_batch_into_scratch`] /
+    /// [`SensingMatrix::apply_adjoint_batch_into_scratch`]) at batch
+    /// width `k`.
+    #[must_use]
+    pub fn batch_scratch_len(&self, k: usize) -> usize {
+        // Forward panel table (groups·16·k), adjoint plane table (16·k),
+        // and per-lane gather buffers for the sparse fallback.
+        self.forward_scratch_len() * k + 16 * k + self.n + self.m
+    }
+
+    /// Batched forward application over a column-major panel: lane `l` of
+    /// `x_panel` (elements `x_panel[j*k + l]`) maps to lane `l` of
+    /// `out_panel` exactly as [`SensingMatrix::apply_into_scratch`] maps a
+    /// single window — the per-4-column sign table is built once *per
+    /// group for all K lanes* and shared across every row, which is where
+    /// the batch amortization comes from. Per lane the accumulation order
+    /// is identical to the serial kernel, so each lane is bit-identical
+    /// to a serial solve; the SIMD tier vectorizes across lanes only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, panel shapes don't match `(n·k, m·k)`, or
+    /// `scratch.len() < self.batch_scratch_len(k)`.
+    pub fn apply_batch_into_scratch(
+        &self,
+        x_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        self.apply_batch_tier(
+            x_panel,
+            k,
+            out_panel,
+            scratch,
+            hybridcs_linalg::simd::simd_enabled(),
+        );
+    }
+
+    fn apply_batch_tier(
+        &self,
+        x_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+        simd: bool,
+    ) {
+        assert!(k > 0, "sensing batch apply: zero lanes");
+        assert_eq!(x_panel.len(), self.n * k, "sensing batch apply: panel");
+        assert_eq!(out_panel.len(), self.m * k, "sensing batch apply: output");
+        assert!(
+            scratch.len() >= self.batch_scratch_len(k),
+            "sensing batch apply: scratch too short"
+        );
+        match &self.kind {
+            Kind::DenseBernoulli { rows, scale, .. } => {
+                let groups = self.n / 4;
+                let (table, _) = scratch.split_at_mut(groups * 16 * k);
+                batch_kernels::forward(rows, *scale, x_panel, k, self.n, out_panel, table, simd);
+            }
+            Kind::SparseBinary { .. } => {
+                // Per-lane gather → serial apply → scatter: trivially
+                // bit-identical; the sparse kind is ablation-only.
+                let (xbuf, rest) = scratch.split_at_mut(self.n);
+                let (ybuf, _) = rest.split_at_mut(self.m);
+                for lane in 0..k {
+                    hybridcs_linalg::simd::gather_lane(x_panel, k, lane, xbuf);
+                    self.apply_into(xbuf, ybuf);
+                    hybridcs_linalg::simd::scatter_lane(ybuf, k, lane, out_panel);
+                }
+            }
+        }
+    }
+
+    /// Batched adjoint application over a column-major panel — the lane-wise
+    /// twin of [`SensingMatrix::apply_adjoint_into`], bit-identical per
+    /// lane. See [`SensingMatrix::apply_batch_into_scratch`] for the panel
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, panel shapes don't match `(m·k, n·k)`, or
+    /// `scratch.len() < self.batch_scratch_len(k)`.
+    pub fn apply_adjoint_batch_into_scratch(
+        &self,
+        y_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        self.apply_adjoint_batch_tier(
+            y_panel,
+            k,
+            out_panel,
+            scratch,
+            hybridcs_linalg::simd::simd_enabled(),
+        );
+    }
+
+    fn apply_adjoint_batch_tier(
+        &self,
+        y_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+        simd: bool,
+    ) {
+        assert!(k > 0, "sensing batch adjoint: zero lanes");
+        assert_eq!(y_panel.len(), self.m * k, "sensing batch adjoint: panel");
+        assert_eq!(out_panel.len(), self.n * k, "sensing batch adjoint: output");
+        assert!(
+            scratch.len() >= self.batch_scratch_len(k),
+            "sensing batch adjoint: scratch too short"
+        );
+        match &self.kind {
+            Kind::DenseBernoulli {
+                rows,
+                nibbles,
+                scale,
+            } => {
+                let (table16, _) = scratch.split_at_mut(16 * k);
+                batch_kernels::adjoint(
+                    rows, nibbles, *scale, y_panel, k, self.n, out_panel, table16, simd,
+                );
+            }
+            Kind::SparseBinary { .. } => {
+                let (xbuf, rest) = scratch.split_at_mut(self.n);
+                let (ybuf, _) = rest.split_at_mut(self.m);
+                for lane in 0..k {
+                    hybridcs_linalg::simd::gather_lane(y_panel, k, lane, ybuf);
+                    self.apply_adjoint_into(ybuf, xbuf);
+                    hybridcs_linalg::simd::scatter_lane(xbuf, k, lane, out_panel);
+                }
+            }
+        }
+    }
+
     /// Adjoint application `x = Φᵀy`.
     ///
     /// # Panics
@@ -553,6 +691,437 @@ fn row_fold_table(words: &[u64], x: &[f64], table: &[f64], groups: usize) -> f64
     acc
 }
 
+/// Lane-parallel twins of the packed-sign kernels over column-major
+/// panels. Per lane the group/tail accumulation order is identical to
+/// [`SensingMatrix::apply_into_scratch`] / `apply_adjoint_into`, so every
+/// lane is bit-identical to a serial application; the sign flips are exact
+/// negations (sign-bit xor) and the group sums use the same
+/// `((s₀+s₁)+s₂)+s₃` tree, so the SIMD tier cannot diverge either.
+#[allow(unsafe_code)]
+mod batch_kernels {
+    use crate::ChippingSequence;
+
+    /// Sign nibble of group `g` in a row's sign bitplane.
+    #[inline]
+    fn group_nibble(words: &[u64], g: usize) -> usize {
+        ((words[g / 16] >> (4 * (g % 16))) & 15) as usize
+    }
+
+    /// Sign bit of column/row `j` in a bitplane.
+    #[inline]
+    fn sign_bit(words: &[u64], j: usize) -> bool {
+        (words[j >> 6] >> (j & 63)) & 1 == 1
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward(
+        rows: &[ChippingSequence],
+        scale: f64,
+        x_panel: &[f64],
+        k: usize,
+        n: usize,
+        out_panel: &mut [f64],
+        table: &mut [f64],
+        simd: bool,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // SAFETY: `simd` comes from `simd_enabled`, which requires
+            // runtime AVX2 support.
+            unsafe { forward_avx(rows, scale, x_panel, k, n, out_panel, table) };
+            return;
+        }
+        let _ = simd;
+        forward_scalar(rows, scale, x_panel, k, n, out_panel, table);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn adjoint(
+        rows: &[ChippingSequence],
+        nibbles: &[Vec<u64>],
+        scale: f64,
+        y_panel: &[f64],
+        k: usize,
+        n: usize,
+        out_panel: &mut [f64],
+        table16: &mut [f64],
+        simd: bool,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // SAFETY: `simd` comes from `simd_enabled`, which requires
+            // runtime AVX2 support.
+            unsafe { adjoint_avx(rows, nibbles, scale, y_panel, k, n, out_panel, table16) };
+            return;
+        }
+        let _ = simd;
+        adjoint_scalar(rows, nibbles, scale, y_panel, k, n, out_panel, table16);
+    }
+
+    /// Builds the K-wide sign-sum table rows for one 4-column group:
+    /// `table[idx*k + lane] = ((±q₀ ± q₁) ± q₂) ± q₃` over the four
+    /// quad rows, matching `sign_table` per lane.
+    #[inline]
+    fn fill_group_table(quad: [&[f64]; 4], k: usize, table: &mut [f64]) {
+        for idx in 0..16 {
+            let row = &mut table[idx * k..idx * k + k];
+            for (lane, slot) in row.iter_mut().enumerate() {
+                let s0 = if idx & 1 == 0 {
+                    quad[0][lane]
+                } else {
+                    -quad[0][lane]
+                };
+                let s1 = if idx & 2 == 0 {
+                    quad[1][lane]
+                } else {
+                    -quad[1][lane]
+                };
+                let s2 = if idx & 4 == 0 {
+                    quad[2][lane]
+                } else {
+                    -quad[2][lane]
+                };
+                let s3 = if idx & 8 == 0 {
+                    quad[3][lane]
+                } else {
+                    -quad[3][lane]
+                };
+                *slot = ((s0 + s1) + s2) + s3;
+            }
+        }
+    }
+
+    fn forward_scalar(
+        rows: &[ChippingSequence],
+        scale: f64,
+        x_panel: &[f64],
+        k: usize,
+        n: usize,
+        out_panel: &mut [f64],
+        table: &mut [f64],
+    ) {
+        let groups = n / 4;
+        for g in 0..groups {
+            let base = g * 4 * k;
+            fill_group_table(
+                [
+                    &x_panel[base..base + k],
+                    &x_panel[base + k..base + 2 * k],
+                    &x_panel[base + 2 * k..base + 3 * k],
+                    &x_panel[base + 3 * k..base + 4 * k],
+                ],
+                k,
+                &mut table[g * 16 * k..(g + 1) * 16 * k],
+            );
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let words = row.sign_words();
+            let out_row = &mut out_panel[i * k..(i + 1) * k];
+            out_row.fill(0.0);
+            for g in 0..groups {
+                let nib = group_nibble(words, g);
+                let trow = &table[(g * 16 + nib) * k..(g * 16 + nib) * k + k];
+                for (o, &t) in out_row.iter_mut().zip(trow) {
+                    *o += t;
+                }
+            }
+            for j in groups * 4..n {
+                let xr = &x_panel[j * k..(j + 1) * k];
+                if sign_bit(words, j) {
+                    for (o, &v) in out_row.iter_mut().zip(xr) {
+                        *o += -v;
+                    }
+                } else {
+                    for (o, &v) in out_row.iter_mut().zip(xr) {
+                        *o += v;
+                    }
+                }
+            }
+            for o in out_row.iter_mut() {
+                *o *= scale;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn adjoint_scalar(
+        rows: &[ChippingSequence],
+        nibbles: &[Vec<u64>],
+        scale: f64,
+        y_panel: &[f64],
+        k: usize,
+        n: usize,
+        out_panel: &mut [f64],
+        table16: &mut [f64],
+    ) {
+        out_panel.fill(0.0);
+        for (g, plane) in nibbles.iter().enumerate() {
+            // w_r = scale · y-row — scaled before the sign tree, exactly
+            // like the serial adjoint's `sign_table([scale*y, ...])`.
+            let base = 4 * g * k;
+            for idx in 0..16 {
+                let row = &mut table16[idx * k..idx * k + k];
+                for (lane, slot) in row.iter_mut().enumerate() {
+                    let w0 = scale * y_panel[base + lane];
+                    let w1 = scale * y_panel[base + k + lane];
+                    let w2 = scale * y_panel[base + 2 * k + lane];
+                    let w3 = scale * y_panel[base + 3 * k + lane];
+                    let s0 = if idx & 1 == 0 { w0 } else { -w0 };
+                    let s1 = if idx & 2 == 0 { w1 } else { -w1 };
+                    let s2 = if idx & 4 == 0 { w2 } else { -w2 };
+                    let s3 = if idx & 8 == 0 { w3 } else { -w3 };
+                    *slot = ((s0 + s1) + s2) + s3;
+                }
+            }
+            for j in 0..n {
+                let nib = ((plane[j / 16] >> (4 * (j % 16))) & 15) as usize;
+                let trow = &table16[nib * k..nib * k + k];
+                let or = &mut out_panel[j * k..(j + 1) * k];
+                for (o, &t) in or.iter_mut().zip(trow) {
+                    *o += t;
+                }
+            }
+        }
+        for (i, row) in rows.iter().enumerate().skip(nibbles.len() * 4) {
+            let words = row.sign_words();
+            let wrow = &mut table16[..k];
+            for (w, y) in wrow.iter_mut().zip(&y_panel[i * k..(i + 1) * k]) {
+                *w = scale * y;
+            }
+            for j in 0..n {
+                let or = &mut out_panel[j * k..(j + 1) * k];
+                if sign_bit(words, j) {
+                    for (o, &w) in or.iter_mut().zip(wrow.iter()) {
+                        *o += -w;
+                    }
+                } else {
+                    for (o, &w) in or.iter_mut().zip(wrow.iter()) {
+                        *o += w;
+                    }
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+        _mm256_sub_pd, _mm256_xor_pd,
+    };
+
+    /// Exact 4-lane negation (sign-bit xor — identical bits to scalar `-x`).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn neg4(v: __m256d) -> __m256d {
+        _mm256_xor_pd(v, _mm256_set1_pd(-0.0))
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fill_group_table_avx(quad: [*const f64; 4], k: usize, table: &mut [f64]) {
+        let chunks = k / 4;
+        for c in 0..chunks {
+            let lane = c * 4;
+            let q = [
+                _mm256_loadu_pd(quad[0].add(lane)),
+                _mm256_loadu_pd(quad[1].add(lane)),
+                _mm256_loadu_pd(quad[2].add(lane)),
+                _mm256_loadu_pd(quad[3].add(lane)),
+            ];
+            for idx in 0..16usize {
+                let s0 = if idx & 1 == 0 { q[0] } else { neg4(q[0]) };
+                let s1 = if idx & 2 == 0 { q[1] } else { neg4(q[1]) };
+                let s2 = if idx & 4 == 0 { q[2] } else { neg4(q[2]) };
+                let s3 = if idx & 8 == 0 { q[3] } else { neg4(q[3]) };
+                let sum = _mm256_add_pd(_mm256_add_pd(_mm256_add_pd(s0, s1), s2), s3);
+                _mm256_storeu_pd(table.as_mut_ptr().add(idx * k + lane), sum);
+            }
+        }
+        for lane in chunks * 4..k {
+            for idx in 0..16usize {
+                let pick = |r: usize, bit: usize| {
+                    let v = *quad[r].add(lane);
+                    if idx & bit == 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                };
+                let s0 = pick(0, 1);
+                let s1 = pick(1, 2);
+                let s2 = pick(2, 4);
+                let s3 = pick(3, 8);
+                table[idx * k + lane] = ((s0 + s1) + s2) + s3;
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn forward_avx(
+        rows: &[ChippingSequence],
+        scale: f64,
+        x_panel: &[f64],
+        k: usize,
+        n: usize,
+        out_panel: &mut [f64],
+        table: &mut [f64],
+    ) {
+        let groups = n / 4;
+        for g in 0..groups {
+            let base = g * 4 * k;
+            fill_group_table_avx(
+                [
+                    x_panel.as_ptr().add(base),
+                    x_panel.as_ptr().add(base + k),
+                    x_panel.as_ptr().add(base + 2 * k),
+                    x_panel.as_ptr().add(base + 3 * k),
+                ],
+                k,
+                &mut table[g * 16 * k..(g + 1) * 16 * k],
+            );
+        }
+        let chunks = k / 4;
+        let sv = _mm256_set1_pd(scale);
+        for (i, row) in rows.iter().enumerate() {
+            let words = row.sign_words();
+            for c in 0..chunks {
+                let lane = c * 4;
+                let mut acc = std::arch::x86_64::_mm256_setzero_pd();
+                for g in 0..groups {
+                    let nib = group_nibble(words, g);
+                    let t = _mm256_loadu_pd(table.as_ptr().add((g * 16 + nib) * k + lane));
+                    acc = _mm256_add_pd(acc, t);
+                }
+                for j in groups * 4..n {
+                    let xv = _mm256_loadu_pd(x_panel.as_ptr().add(j * k + lane));
+                    acc = if sign_bit(words, j) {
+                        _mm256_sub_pd(acc, xv)
+                    } else {
+                        _mm256_add_pd(acc, xv)
+                    };
+                }
+                _mm256_storeu_pd(
+                    out_panel.as_mut_ptr().add(i * k + lane),
+                    _mm256_mul_pd(acc, sv),
+                );
+            }
+            for lane in chunks * 4..k {
+                let mut acc = 0.0;
+                for g in 0..groups {
+                    let nib = group_nibble(words, g);
+                    acc += table[(g * 16 + nib) * k + lane];
+                }
+                for j in groups * 4..n {
+                    let v = x_panel[j * k + lane];
+                    acc += if sign_bit(words, j) { -v } else { v };
+                }
+                out_panel[i * k + lane] = acc * scale;
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    unsafe fn adjoint_avx(
+        rows: &[ChippingSequence],
+        nibbles: &[Vec<u64>],
+        scale: f64,
+        y_panel: &[f64],
+        k: usize,
+        n: usize,
+        out_panel: &mut [f64],
+        table16: &mut [f64],
+    ) {
+        out_panel.fill(0.0);
+        let chunks = k / 4;
+        let sv = _mm256_set1_pd(scale);
+        for (g, plane) in nibbles.iter().enumerate() {
+            let base = 4 * g * k;
+            // Scaled quad rows: the serial adjoint scales before the sign
+            // tree, so multiply each load by `scale` before the tree.
+            for c in 0..chunks {
+                let lane = c * 4;
+                let q = [
+                    _mm256_mul_pd(sv, _mm256_loadu_pd(y_panel.as_ptr().add(base + lane))),
+                    _mm256_mul_pd(sv, _mm256_loadu_pd(y_panel.as_ptr().add(base + k + lane))),
+                    _mm256_mul_pd(
+                        sv,
+                        _mm256_loadu_pd(y_panel.as_ptr().add(base + 2 * k + lane)),
+                    ),
+                    _mm256_mul_pd(
+                        sv,
+                        _mm256_loadu_pd(y_panel.as_ptr().add(base + 3 * k + lane)),
+                    ),
+                ];
+                for idx in 0..16usize {
+                    let s0 = if idx & 1 == 0 { q[0] } else { neg4(q[0]) };
+                    let s1 = if idx & 2 == 0 { q[1] } else { neg4(q[1]) };
+                    let s2 = if idx & 4 == 0 { q[2] } else { neg4(q[2]) };
+                    let s3 = if idx & 8 == 0 { q[3] } else { neg4(q[3]) };
+                    let sum = _mm256_add_pd(_mm256_add_pd(_mm256_add_pd(s0, s1), s2), s3);
+                    _mm256_storeu_pd(table16.as_mut_ptr().add(idx * k + lane), sum);
+                }
+            }
+            for lane in chunks * 4..k {
+                let w = [
+                    scale * y_panel[base + lane],
+                    scale * y_panel[base + k + lane],
+                    scale * y_panel[base + 2 * k + lane],
+                    scale * y_panel[base + 3 * k + lane],
+                ];
+                for idx in 0..16usize {
+                    let s0 = if idx & 1 == 0 { w[0] } else { -w[0] };
+                    let s1 = if idx & 2 == 0 { w[1] } else { -w[1] };
+                    let s2 = if idx & 4 == 0 { w[2] } else { -w[2] };
+                    let s3 = if idx & 8 == 0 { w[3] } else { -w[3] };
+                    table16[idx * k + lane] = ((s0 + s1) + s2) + s3;
+                }
+            }
+            for j in 0..n {
+                let nib = ((plane[j / 16] >> (4 * (j % 16))) & 15) as usize;
+                for c in 0..chunks {
+                    let lane = c * 4;
+                    let t = _mm256_loadu_pd(table16.as_ptr().add(nib * k + lane));
+                    let o = _mm256_loadu_pd(out_panel.as_ptr().add(j * k + lane));
+                    _mm256_storeu_pd(
+                        out_panel.as_mut_ptr().add(j * k + lane),
+                        _mm256_add_pd(o, t),
+                    );
+                }
+                for lane in chunks * 4..k {
+                    out_panel[j * k + lane] += table16[nib * k + lane];
+                }
+            }
+        }
+        for (i, row) in rows.iter().enumerate().skip(nibbles.len() * 4) {
+            let words = row.sign_words();
+            for (w, y) in table16[..k].iter_mut().zip(&y_panel[i * k..(i + 1) * k]) {
+                *w = scale * y;
+            }
+            for j in 0..n {
+                let neg = sign_bit(words, j);
+                for c in 0..chunks {
+                    let lane = c * 4;
+                    let wv = _mm256_loadu_pd(table16.as_ptr().add(lane));
+                    let o = _mm256_loadu_pd(out_panel.as_ptr().add(j * k + lane));
+                    let r = if neg {
+                        _mm256_sub_pd(o, wv)
+                    } else {
+                        _mm256_add_pd(o, wv)
+                    };
+                    _mm256_storeu_pd(out_panel.as_mut_ptr().add(j * k + lane), r);
+                }
+                for lane in chunks * 4..k {
+                    let w = table16[lane];
+                    out_panel[j * k + lane] += if neg { -w } else { w };
+                }
+            }
+        }
+    }
+}
+
 fn check_shape(m: usize, n: usize) -> Result<(), FrontEndError> {
     if m == 0 {
         return Err(FrontEndError::BadParameter {
@@ -670,6 +1239,83 @@ mod tests {
         assert!(SensingMatrix::bernoulli(20, 10, 0).is_err());
         assert!(SensingMatrix::sparse_binary(8, 32, 0, 0).is_err());
         assert!(SensingMatrix::sparse_binary(8, 32, 9, 0).is_err());
+    }
+
+    #[test]
+    fn batch_kernels_bit_identical_to_serial_per_lane() {
+        // Shapes chosen to exercise the 4-column group tail (n % 4 != 0),
+        // the 4-row quad tail (m % 4 != 0), full 4-lane SIMD chunks and
+        // remainder lanes — under both dispatch tiers.
+        let tiers: &[bool] = if hybridcs_linalg::simd::simd_available() {
+            &[false, true]
+        } else {
+            &[false]
+        };
+        let mats = [
+            SensingMatrix::bernoulli(8, 32, 3).unwrap(),
+            SensingMatrix::bernoulli(6, 37, 11).unwrap(),
+            SensingMatrix::sparse_binary(8, 32, 3, 7).unwrap(),
+        ];
+        for phi in &mats {
+            let (m, n) = (phi.measurements(), phi.window());
+            for &k in &[1usize, 3, 4, 7, 8] {
+                let mut x_panel = vec![0.0; n * k];
+                let mut y_panel = vec![0.0; m * k];
+                let mut lanes_x: Vec<Vec<f64>> = Vec::new();
+                let mut lanes_y: Vec<Vec<f64>> = Vec::new();
+                for lane in 0..k {
+                    let sx: Vec<f64> = (0..n)
+                        .map(|i| {
+                            ((i * 13 + lane * 7) as f64 * 0.37).sin()
+                                * 1e3_f64.powi(lane as i32 % 3 - 1)
+                        })
+                        .collect();
+                    let sy: Vec<f64> = (0..m)
+                        .map(|i| ((i * 5 + lane * 3) as f64 * 0.71).cos())
+                        .collect();
+                    for (i, &v) in sx.iter().enumerate() {
+                        x_panel[i * k + lane] = v;
+                    }
+                    for (i, &v) in sy.iter().enumerate() {
+                        y_panel[i * k + lane] = v;
+                    }
+                    lanes_x.push(sx);
+                    lanes_y.push(sy);
+                }
+                let mut serial_scratch = vec![0.0; phi.forward_scratch_len()];
+                for &simd in tiers {
+                    let mut scratch = vec![0.0; phi.batch_scratch_len(k)];
+                    let mut fwd = vec![f64::NAN; m * k];
+                    phi.apply_batch_tier(&x_panel, k, &mut fwd, &mut scratch, simd);
+                    for (lane, sx) in lanes_x.iter().enumerate() {
+                        let mut want = vec![0.0; m];
+                        phi.apply_into_scratch(sx, &mut want, &mut serial_scratch);
+                        for (i, w) in want.iter().enumerate() {
+                            assert_eq!(
+                                fwd[i * k + lane].to_bits(),
+                                w.to_bits(),
+                                "{} fwd k{k} lane{lane} simd={simd}",
+                                phi.kind_name()
+                            );
+                        }
+                    }
+                    let mut adj = vec![f64::NAN; n * k];
+                    phi.apply_adjoint_batch_tier(&y_panel, k, &mut adj, &mut scratch, simd);
+                    for (lane, sy) in lanes_y.iter().enumerate() {
+                        let mut want = vec![0.0; n];
+                        phi.apply_adjoint_into(sy, &mut want);
+                        for (i, w) in want.iter().enumerate() {
+                            assert_eq!(
+                                adj[i * k + lane].to_bits(),
+                                w.to_bits(),
+                                "{} adj k{k} lane{lane} simd={simd}",
+                                phi.kind_name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub struct GatewayConfig {
     /// Worker threads per flush. Purely a throughput knob; outputs are
     /// bit-identical for any value ≥ 1.
     pub workers: usize,
+    /// Largest group of same-shape windows a worker solves as one batched
+    /// (lockstep, K-wide-panel) decode. Like `workers`, purely a
+    /// throughput knob: the batched solvers are bit-identical to serial
+    /// per window, so outputs do not depend on this value. `1` disables
+    /// batching.
+    pub max_decode_batch: usize,
     /// Bounded per-shard solver queue: at most this many *full* (solver
     /// admitted) windows may be queued per shard within one batch; excess
     /// windows are shed to the low-resolution rung.
@@ -58,6 +64,7 @@ impl Default for GatewayConfig {
         GatewayConfig {
             shards: 8,
             workers: 1,
+            max_decode_batch: 16,
             max_shard_queue: 64,
             batch_capacity: 256,
             admit_quota: 4,
@@ -82,6 +89,9 @@ impl GatewayConfig {
         }
         if self.workers == 0 {
             return Err(GatewayError::Config("workers must be >= 1"));
+        }
+        if self.max_decode_batch == 0 {
+            return Err(GatewayError::Config("max_decode_batch must be >= 1"));
         }
         if self.max_shard_queue == 0 {
             return Err(GatewayError::Config("max_shard_queue must be >= 1"));
@@ -117,6 +127,10 @@ mod tests {
             },
             GatewayConfig {
                 workers: 0,
+                ..GatewayConfig::default()
+            },
+            GatewayConfig {
+                max_decode_batch: 0,
                 ..GatewayConfig::default()
             },
             GatewayConfig {

@@ -7,7 +7,8 @@ use std::time::Instant;
 
 use hybridcs_coding::{LowResCodec, Payload};
 use hybridcs_core::{
-    DecodeLadder, LadderOutcome, ParsedSections, SessionLedger, SupervisedWindow, SystemConfig,
+    DecodeLadder, LadderJob, LadderOutcome, ParsedSections, SessionLedger, SupervisedWindow,
+    SystemConfig,
 };
 use hybridcs_faults::{JournalStore, NackOutcome, RetryQueue};
 use hybridcs_obs::flight::{emit_with, set_context};
@@ -636,6 +637,7 @@ impl Gateway {
                 .record(*depth as f64);
         }
         let workers = self.config.workers;
+        let max_decode_batch = self.config.max_decode_batch;
         let jobs = &self.batch.jobs;
         // Each worker takes ownership of the workspaces of the shards it
         // owns this flush (shard ≡ worker mod workers) and returns them when
@@ -658,32 +660,57 @@ impl Gateway {
                 .map(|(worker, mut owned)| {
                     scope.spawn(move || {
                         let mut out = Vec::new();
+                        // This worker's jobs, grouped per (shard, ladder):
+                        // windows sharing operator state solve as one
+                        // lockstep batch, so the packed-sign and wavelet
+                        // kernels amortize across the group. A group never
+                        // crosses shards (one workspace per shard), and
+                        // chunking at `max_decode_batch` bounds panel width.
+                        let mut groups: Vec<(usize, &Arc<DecodeLadder>, Vec<usize>)> = Vec::new();
                         for (index, job) in jobs.iter().enumerate() {
                             if job.shard % workers != worker {
                                 continue;
                             }
+                            match groups.iter_mut().find(|(shard, ladder, _)| {
+                                *shard == job.shard && Arc::ptr_eq(ladder, &job.ladder)
+                            }) {
+                                Some((_, _, members)) => members.push(index),
+                                None => groups.push((job.shard, &job.ladder, vec![index])),
+                            }
+                        }
+                        for (shard, ladder, members) in groups {
                             let ws = &mut owned
                                 .iter_mut()
-                                .find(|(shard, _)| *shard == job.shard)
+                                .find(|(owned_shard, _)| *owned_shard == shard)
                                 .expect("worker owns its shards' workspaces")
                                 .1;
-                            let started = Instant::now();
-                            let queued = started.duration_since(job.released_at).as_secs_f64();
-                            if obs_on {
-                                // Attribute solver-side flight events
-                                // (watchdog trips) to this window.
-                                set_context(Some(job.event_context()));
+                            for chunk in members.chunks(max_decode_batch) {
+                                let started = Instant::now();
+                                // Flight contexts ride inside the jobs: a
+                                // batched solve interleaves windows, so the
+                                // ladder scopes each window's watchdog
+                                // events itself.
+                                let ladder_jobs: Vec<LadderJob<'_>> = chunk
+                                    .iter()
+                                    .map(|&index| {
+                                        let job = &jobs[index];
+                                        LadderJob {
+                                            measurements: job.measurements.as_deref(),
+                                            lowres: job.lowres.as_ref(),
+                                            skip_solvers: job.skip_solvers,
+                                            context: obs_on.then(|| job.event_context()),
+                                        }
+                                    })
+                                    .collect();
+                                let outcomes = ladder.solve_batch_with(&ladder_jobs, ws);
+                                let seconds = started.elapsed().as_secs_f64() / chunk.len() as f64;
+                                for (&index, outcome) in chunk.iter().zip(outcomes) {
+                                    let queued = started
+                                        .duration_since(jobs[index].released_at)
+                                        .as_secs_f64();
+                                    out.push((index, outcome, seconds, queued));
+                                }
                             }
-                            let outcome = job.ladder.solve_with(
-                                job.measurements.as_deref(),
-                                job.lowres.as_ref(),
-                                job.skip_solvers,
-                                ws,
-                            );
-                            out.push((index, outcome, started.elapsed().as_secs_f64(), queued));
-                        }
-                        if obs_on {
-                            set_context(None);
                         }
                         (out, owned)
                     })

@@ -230,15 +230,17 @@ pub fn shape_fingerprint(system: &SystemConfig, codec: &LowResCodec) -> u64 {
 }
 
 /// Fingerprint of the gateway policy a journal was written under. The
-/// worker count is canonicalized out — workers are a pure throughput knob
-/// with no effect on outputs (DESIGN §9), so a journal may be recovered
-/// into a gateway with a different pool size. Everything else must match:
-/// shards, admission, ARQ, and supervisor policy all shape the journaled
-/// decisions.
+/// worker count and decode-batch width are canonicalized out — both are
+/// pure throughput knobs with no effect on outputs (DESIGN §9 and §14: the
+/// batched solvers are bit-identical to serial per window), so a journal
+/// may be recovered into a gateway with a different pool size or batch
+/// width. Everything else must match: shards, admission, ARQ, and
+/// supervisor policy all shape the journaled decisions.
 #[must_use]
 pub fn config_fingerprint(config: &GatewayConfig) -> u64 {
     let canonical = GatewayConfig {
         workers: 1,
+        max_decode_batch: 1,
         ..*config
     };
     fnv64(&[format!("{canonical:?}").as_bytes()])
@@ -1211,11 +1213,24 @@ mod tests {
     }
 
     #[test]
-    fn fingerprints_distinguish_configs_but_not_workers() {
+    fn fingerprints_distinguish_configs_but_not_throughput_knobs() {
         let base = GatewayConfig::default();
         let more_workers = GatewayConfig { workers: 4, ..base };
+        let wider_batches = GatewayConfig {
+            max_decode_batch: 64,
+            ..base
+        };
+        let no_batching = GatewayConfig {
+            max_decode_batch: 1,
+            ..base
+        };
         let more_shards = GatewayConfig { shards: 16, ..base };
         assert_eq!(config_fingerprint(&base), config_fingerprint(&more_workers));
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&wider_batches)
+        );
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&no_batching));
         assert_ne!(config_fingerprint(&base), config_fingerprint(&more_shards));
     }
 }

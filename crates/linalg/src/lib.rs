@@ -39,7 +39,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module scopes a single
+// `allow(unsafe_code)` around its runtime-dispatched `std::arch`
+// kernels; everything else still refuses unsafe at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cg;
@@ -48,6 +51,7 @@ mod error;
 mod matrix;
 mod power_iteration;
 mod qr;
+pub mod simd;
 pub mod vector;
 
 pub use cg::{cg_scratch_len, conjugate_gradient, conjugate_gradient_into, CgOptions, CgOutcome};

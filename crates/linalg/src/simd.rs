@@ -1,0 +1,667 @@
+//! Runtime-dispatched SIMD kernels for the batched decode path.
+//!
+//! Every kernel here exists in two tiers — a hand-written AVX2 version and
+//! a scalar twin — selected once per call by [`simd_enabled`]. The contract
+//! is **0 ULP**: for any input, both tiers produce bit-identical output.
+//! That holds because each kernel is either
+//!
+//! * **element-wise** (one multiply/add/divide per output element, no
+//!   reduction): IEEE-754 arithmetic is deterministic per element, so
+//!   vectorizing across elements cannot change any bit; or
+//! * **lane-parallel** ([`dot_lanes`]): the reduction runs *across the
+//!   batch dimension* — each lane keeps its own accumulator and sums its
+//!   terms in exactly the scalar (ascending-index) order. SIMD widens
+//!   over lanes, never over the reduction axis, so no reassociation
+//!   occurs.
+//!
+//! No FMA contraction is used anywhere: products and sums are separate
+//! `_mm256_mul_pd` / `_mm256_add_pd` instructions (rustc never contracts
+//! float expressions on its own), so `a*b + c` rounds exactly like the
+//! scalar code.
+//!
+//! # Dispatch policy
+//!
+//! [`simd_enabled`] requires `avx2` **and** `fma` at runtime (the paper's
+//! deployment tier; FMA presence implies the modern AVX2 implementations
+//! the kernels are tuned for, even though the kernels only emit AVX2
+//! instructions). Setting `HYBRIDCS_FORCE_SCALAR=1` pins the scalar tier
+//! process-wide — the CI knob that keeps the fallback exercised on AVX2
+//! hosts. [`set_override`] flips the tier in-process (benchmarks use it
+//! for the SIMD-on/off dimension); forcing SIMD on hardware without AVX2
+//! is ignored rather than honored.
+//!
+//! # Lane reductions stay scalar
+//!
+//! The per-lane norm helpers ([`norm1_lane`], [`norm2_lane`],
+//! [`norm_inf_lane`], [`dist2_lane`], [`dist2_lane_vs`]) are deliberately
+//! scalar-only: they replicate the exact fold order of
+//! [`vector`](crate::vector) on a strided lane, and the max-based
+//! reductions cannot use `_mm256_max_pd` (its NaN semantics — return the
+//! second operand — differ from `f64::max`). They run once per
+//! convergence check, not per iteration element, so they are not hot.
+
+// The one unsafe surface in this crate: `std::arch` intrinsics behind the
+// runtime feature check above.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable pinning the scalar tier process-wide.
+pub const FORCE_SCALAR_ENV: &str = "HYBRIDCS_FORCE_SCALAR";
+
+/// `0` = follow env/hardware, `1` = force scalar, `2` = force SIMD
+/// (subject to hardware support).
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Hardware support for the AVX2+FMA tier (independent of env/override).
+#[must_use]
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether kernels dispatch to the AVX2 tier right now: hardware support,
+/// minus the `HYBRIDCS_FORCE_SCALAR=1` environment pin, overridden by any
+/// in-process [`set_override`]. Both tiers are bit-identical; this only
+/// selects which instructions produce those bits.
+#[must_use]
+pub fn simd_enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => simd_available(),
+        _ => {
+            static ENV_DEFAULT: OnceLock<bool> = OnceLock::new();
+            *ENV_DEFAULT.get_or_init(|| {
+                let forced_scalar =
+                    std::env::var(FORCE_SCALAR_ENV).is_ok_and(|v| v == "1" || v == "true");
+                !forced_scalar && simd_available()
+            })
+        }
+    }
+}
+
+/// In-process tier override: `Some(false)` forces scalar, `Some(true)`
+/// requests SIMD (ignored without hardware support), `None` restores the
+/// environment/hardware default. Benchmarks use this for the SIMD-on/off
+/// sweep; tests pin tiers explicitly instead (process-global state).
+pub fn set_override(tier: Option<bool>) {
+    let code = match tier {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// `y += alpha * x`, element-wise — the SIMD twin of
+/// [`vector::axpy`](crate::vector::axpy), bit-identical to it for any
+/// `alpha` (each element computes `y + alpha*x` exactly like the scalar
+/// loop).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if simd_enabled() {
+        // SAFETY: `simd_enabled` implies AVX2 support was detected.
+        unsafe { avx::axpy(alpha, x, y) }
+    } else {
+        scalar::axpy(alpha, x, y);
+    }
+}
+
+/// `y -= alpha * x`, element-wise (`y - alpha*x` per element, matching the
+/// solver's explicit dual-update loops bit-for-bit).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn sub_scaled(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "sub_scaled: length mismatch");
+    if simd_enabled() {
+        // SAFETY: `simd_enabled` implies AVX2 support was detected.
+        unsafe { avx::sub_scaled(alpha, x, y) }
+    } else {
+        scalar::sub_scaled(alpha, x, y);
+    }
+}
+
+/// `out = x / divisor`, element-wise (IEEE division is exact per element;
+/// this must stay a division — multiplying by a reciprocal would change
+/// bits).
+///
+/// # Panics
+///
+/// Panics if `x.len() != out.len()`.
+pub fn div_by(x: &[f64], divisor: f64, out: &mut [f64]) {
+    assert_eq!(x.len(), out.len(), "div_by: length mismatch");
+    if simd_enabled() {
+        // SAFETY: `simd_enabled` implies AVX2 support was detected.
+        unsafe { avx::div_by(x, divisor, out) }
+    } else {
+        scalar::div_by(x, divisor, out);
+    }
+}
+
+/// K simultaneous dot products over a column-major panel:
+/// `out[lane] = Σ_j v[j] * panel[j*k + lane]` for `lane < k`, each lane
+/// accumulated in ascending-`j` order from `0.0` — exactly
+/// [`vector::dot`](crate::vector::dot)`(v, lane_j)` bit-for-bit. SIMD runs
+/// across lanes (independent accumulators), never across `j`, so no
+/// reassociation occurs.
+///
+/// # Panics
+///
+/// Panics if `panel.len() != v.len() * k` or `out.len() != k`.
+pub fn dot_lanes(panel: &[f64], v: &[f64], k: usize, out: &mut [f64]) {
+    assert_eq!(panel.len(), v.len() * k, "dot_lanes: panel shape");
+    assert_eq!(out.len(), k, "dot_lanes: output length");
+    if simd_enabled() {
+        // SAFETY: `simd_enabled` implies AVX2 support was detected.
+        unsafe { avx::dot_lanes(panel, v, k, out) }
+    } else {
+        scalar::dot_lanes(panel, v, k, out);
+    }
+}
+
+/// `out[j*k + lane] += x[lane] * v[j]` — the lane-parallel rank-1 update
+/// behind the batched dense adjoint (`Aᵀ` row accumulation). Per lane this
+/// is exactly [`vector::axpy`](crate::vector::axpy)`(x[lane], v, out_lane)`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != v.len() * k` or `x.len() != k`.
+pub fn rank1_lanes(x: &[f64], v: &[f64], k: usize, out: &mut [f64]) {
+    assert_eq!(out.len(), v.len() * k, "rank1_lanes: panel shape");
+    assert_eq!(x.len(), k, "rank1_lanes: lane count");
+    if simd_enabled() {
+        // SAFETY: `simd_enabled` implies AVX2 support was detected.
+        unsafe { avx::rank1_lanes(x, v, k, out) }
+    } else {
+        scalar::rank1_lanes(x, v, k, out);
+    }
+}
+
+// -- scalar-only per-lane reductions -----------------------------------------
+//
+// These replicate the exact algorithms of `crate::vector` on one strided
+// lane of a column-major panel. They have no SIMD tier on purpose: the
+// norm kernels reduce with `f64::max`, whose NaN handling (`max` returns
+// the non-NaN operand) differs from `_mm256_max_pd` (returns the second
+// operand), and they only run at convergence checks.
+
+/// [`vector::norm1`](crate::vector::norm1) of lane `lane` over the first
+/// `len` panel rows.
+#[must_use]
+pub fn norm1_lane(panel: &[f64], k: usize, lane: usize, len: usize) -> f64 {
+    (0..len).map(|i| panel[i * k + lane].abs()).sum()
+}
+
+/// [`vector::norm_inf`](crate::vector::norm_inf) of lane `lane` over the
+/// first `len` panel rows.
+#[must_use]
+pub fn norm_inf_lane(panel: &[f64], k: usize, lane: usize, len: usize) -> f64 {
+    (0..len).fold(0.0_f64, |m, i| m.max(panel[i * k + lane].abs()))
+}
+
+/// [`vector::norm2`](crate::vector::norm2) of lane `lane` over the first
+/// `len` panel rows — the same overflow-safe scaled form, fold for fold.
+#[must_use]
+pub fn norm2_lane(panel: &[f64], k: usize, lane: usize, len: usize) -> f64 {
+    let max = (0..len).fold(0.0_f64, |m, i| m.max(panel[i * k + lane].abs()));
+    if max == 0.0 || !max.is_finite() {
+        let has_nan = (0..len).any(|i| panel[i * k + lane].is_nan());
+        return if has_nan { f64::NAN } else { max };
+    }
+    let sum: f64 = (0..len)
+        .map(|i| {
+            let r = panel[i * k + lane] / max;
+            r * r
+        })
+        .sum();
+    max * sum.sqrt()
+}
+
+/// [`vector::dist2`](crate::vector::dist2) between lane `lane` of two
+/// same-shape panels.
+#[must_use]
+pub fn dist2_lane(a: &[f64], b: &[f64], k: usize, lane: usize, len: usize) -> f64 {
+    let sum: f64 = (0..len)
+        .map(|i| {
+            let d = a[i * k + lane] - b[i * k + lane];
+            d * d
+        })
+        .sum();
+    sum.sqrt()
+}
+
+/// [`vector::dist2`](crate::vector::dist2) between lane `lane` of a panel
+/// and a contiguous vector `b` (the per-window measurement slice).
+#[must_use]
+pub fn dist2_lane_vs(a: &[f64], b: &[f64], k: usize, lane: usize) -> f64 {
+    let sum: f64 = b
+        .iter()
+        .enumerate()
+        .map(|(i, &bi)| {
+            let d = a[i * k + lane] - bi;
+            d * d
+        })
+        .sum();
+    sum.sqrt()
+}
+
+/// Copies lane `lane` of a column-major panel into a contiguous vector.
+///
+/// # Panics
+///
+/// Panics if `out.len() * k != panel.len()`.
+pub fn gather_lane(panel: &[f64], k: usize, lane: usize, out: &mut [f64]) {
+    assert_eq!(out.len() * k, panel.len(), "gather_lane: shape");
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = panel[i * k + lane];
+    }
+}
+
+/// Writes a contiguous vector into lane `lane` of a column-major panel.
+///
+/// # Panics
+///
+/// Panics if `x.len() * k != panel.len()`.
+pub fn scatter_lane(x: &[f64], k: usize, lane: usize, panel: &mut [f64]) {
+    assert_eq!(x.len() * k, panel.len(), "scatter_lane: shape");
+    for (i, &v) in x.iter().enumerate() {
+        panel[i * k + lane] = v;
+    }
+}
+
+/// Drops lane `lane` from a column-major panel in place: the surviving
+/// lanes repack from stride `k` to stride `k − 1` preserving row and lane
+/// order (the stopping-mask retirement step). Only the first
+/// `rows * (k − 1)` elements are meaningful afterwards.
+///
+/// The forward pass is safe in place: every write index is ≤ its read
+/// index.
+///
+/// # Panics
+///
+/// Panics if `lane >= k` or `panel.len() < rows * k`.
+pub fn drop_lane(panel: &mut [f64], k: usize, lane: usize, rows: usize) {
+    assert!(lane < k, "drop_lane: lane out of range");
+    assert!(panel.len() >= rows * k, "drop_lane: panel too short");
+    if k == 1 {
+        return;
+    }
+    let mut write = 0;
+    for i in 0..rows {
+        for l in 0..k {
+            if l == lane {
+                continue;
+            }
+            panel[write] = panel[i * k + l];
+            write += 1;
+        }
+    }
+}
+
+/// The scalar twins. Public within the crate for the pin tests; the
+/// dispatched wrappers above are the API.
+pub(crate) mod scalar {
+    pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    pub fn sub_scaled(alpha: f64, x: &[f64], y: &mut [f64]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi -= alpha * xi;
+        }
+    }
+
+    pub fn div_by(x: &[f64], divisor: f64, out: &mut [f64]) {
+        for (o, &xi) in out.iter_mut().zip(x) {
+            *o = xi / divisor;
+        }
+    }
+
+    pub fn dot_lanes(panel: &[f64], v: &[f64], k: usize, out: &mut [f64]) {
+        for (lane, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                acc += vj * panel[j * k + lane];
+            }
+            *o = acc;
+        }
+    }
+
+    pub fn rank1_lanes(x: &[f64], v: &[f64], k: usize, out: &mut [f64]) {
+        for (j, &vj) in v.iter().enumerate() {
+            for (lane, &xl) in x.iter().enumerate() {
+                out[j * k + lane] += xl * vj;
+            }
+        }
+    }
+}
+
+/// The AVX2 tier. Every function is `#[target_feature(enable = "avx2")]`
+/// and only called behind [`simd_enabled`]. Products and sums stay
+/// separate instructions (no FMA) so rounding matches the scalar twins.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_div_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd, _mm256_sub_pd,
+    };
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        let a = _mm256_set1_pd(alpha);
+        let chunks = n / 4;
+        for c in 0..chunks {
+            let i = c * 4;
+            let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+            let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+            _mm256_storeu_pd(
+                y.as_mut_ptr().add(i),
+                _mm256_add_pd(yv, _mm256_mul_pd(a, xv)),
+            );
+        }
+        for i in chunks * 4..n {
+            y[i] += alpha * x[i];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_scaled(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        let a = _mm256_set1_pd(alpha);
+        let chunks = n / 4;
+        for c in 0..chunks {
+            let i = c * 4;
+            let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+            let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+            _mm256_storeu_pd(
+                y.as_mut_ptr().add(i),
+                _mm256_sub_pd(yv, _mm256_mul_pd(a, xv)),
+            );
+        }
+        for i in chunks * 4..n {
+            y[i] -= alpha * x[i];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn div_by(x: &[f64], divisor: f64, out: &mut [f64]) {
+        let n = x.len();
+        let d = _mm256_set1_pd(divisor);
+        let chunks = n / 4;
+        for c in 0..chunks {
+            let i = c * 4;
+            let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_div_pd(xv, d));
+        }
+        for i in chunks * 4..n {
+            out[i] = x[i] / divisor;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_lanes(panel: &[f64], v: &[f64], k: usize, out: &mut [f64]) {
+        let chunks = k / 4;
+        for c in 0..chunks {
+            let lane = c * 4;
+            let mut acc = _mm256_setzero_pd();
+            for (j, &vj) in v.iter().enumerate() {
+                let xv = _mm256_loadu_pd(panel.as_ptr().add(j * k + lane));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(vj), xv));
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(lane), acc);
+        }
+        for lane in chunks * 4..k {
+            let mut acc = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                acc += vj * panel[j * k + lane];
+            }
+            out[lane] = acc;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn rank1_lanes(x: &[f64], v: &[f64], k: usize, out: &mut [f64]) {
+        let chunks = k / 4;
+        for (j, &vj) in v.iter().enumerate() {
+            let vv = _mm256_set1_pd(vj);
+            for c in 0..chunks {
+                let lane = c * 4;
+                let xl = _mm256_loadu_pd(x.as_ptr().add(lane));
+                let ov = _mm256_loadu_pd(out.as_ptr().add(j * k + lane));
+                _mm256_storeu_pd(
+                    out.as_mut_ptr().add(j * k + lane),
+                    _mm256_add_pd(ov, _mm256_mul_pd(xl, vv)),
+                );
+            }
+            for lane in chunks * 4..k {
+                out[j * k + lane] += x[lane] * vj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use hybridcs_rand::{RngExt, SeedableRng};
+
+    /// Deterministic mixed-magnitude data, including subnormals-adjacent
+    /// scales and negative zeros, across awkward (non-multiple-of-4)
+    /// lengths.
+    fn noise(len: usize, seed: u64) -> Vec<f64> {
+        let mut rng = hybridcs_rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|i| {
+                let base = rng.random::<f64>() * 2.0 - 1.0;
+                match i % 7 {
+                    0 => base * 1e12,
+                    1 => base * 1e-12,
+                    2 => -0.0,
+                    _ => base,
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes tests that flip the process-global dispatch override.
+    fn tier_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Runs `f` under both dispatch tiers (when SIMD hardware exists) and
+    /// asserts the results are bit-identical. Restores the default tier.
+    fn pin_both_tiers(mut f: impl FnMut() -> Vec<f64>) {
+        let _guard = tier_lock();
+        set_override(Some(false));
+        let scalar_bits: Vec<u64> = f().iter().map(|v| v.to_bits()).collect();
+        if simd_available() {
+            set_override(Some(true));
+            let simd_bits: Vec<u64> = f().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(scalar_bits, simd_bits, "SIMD tier diverged from scalar");
+        }
+        set_override(None);
+    }
+
+    #[test]
+    fn axpy_pins_zero_ulp_across_shapes() {
+        for len in [0, 1, 3, 4, 7, 16, 33, 257] {
+            for seed in 0..4 {
+                let x = noise(len, 100 + seed);
+                let y0 = noise(len, 200 + seed);
+                let alpha = noise(1, 300 + seed)[0];
+                pin_both_tiers(|| {
+                    let mut y = y0.clone();
+                    axpy(alpha, &x, &mut y);
+                    y
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn sub_scaled_pins_zero_ulp_across_shapes() {
+        for len in [1, 5, 8, 31, 130] {
+            let x = noise(len, 41);
+            let y0 = noise(len, 42);
+            pin_both_tiers(|| {
+                let mut y = y0.clone();
+                sub_scaled(0.73, &x, &mut y);
+                y
+            });
+        }
+    }
+
+    #[test]
+    fn div_by_pins_zero_ulp_across_shapes() {
+        for len in [2, 6, 12, 65] {
+            let x = noise(len, 51);
+            pin_both_tiers(|| {
+                let mut out = vec![0.0; len];
+                div_by(&x, 0.3127, &mut out);
+                out
+            });
+        }
+    }
+
+    #[test]
+    fn dot_lanes_matches_serial_dot_per_lane() {
+        for &(rows, k) in &[(5usize, 1usize), (16, 3), (9, 4), (33, 7), (64, 16)] {
+            let panel = noise(rows * k, 61);
+            let v = noise(rows, 62);
+            pin_both_tiers(|| {
+                let mut out = vec![0.0; k];
+                dot_lanes(&panel, &v, k, &mut out);
+                out
+            });
+            // And each lane equals the serial dot on the gathered lane.
+            let mut out = vec![0.0; k];
+            scalar::dot_lanes(&panel, &v, k, &mut out);
+            for lane in 0..k {
+                let lane_vec: Vec<f64> = (0..rows).map(|i| panel[i * k + lane]).collect();
+                let serial = crate::vector::dot(&v, &lane_vec);
+                assert_eq!(out[lane].to_bits(), serial.to_bits(), "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_lanes_matches_serial_axpy_per_lane() {
+        for &(rows, k) in &[(7usize, 2usize), (12, 4), (20, 6), (16, 16)] {
+            let x = noise(k, 71);
+            let v = noise(rows, 72);
+            let out0 = noise(rows * k, 73);
+            pin_both_tiers(|| {
+                let mut out = out0.clone();
+                rank1_lanes(&x, &v, k, &mut out);
+                out
+            });
+            let mut out = out0.clone();
+            scalar::rank1_lanes(&x, &v, k, &mut out);
+            for lane in 0..k {
+                let mut lane_vec: Vec<f64> = (0..rows).map(|i| out0[i * k + lane]).collect();
+                crate::vector::axpy(x[lane], &v, &mut lane_vec);
+                for i in 0..rows {
+                    assert_eq!(out[i * k + lane].to_bits(), lane_vec[i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_reductions_match_vector_reference() {
+        let rows = 37;
+        let k = 5;
+        let a = noise(rows * k, 81);
+        let b = noise(rows * k, 82);
+        for lane in 0..k {
+            let la: Vec<f64> = (0..rows).map(|i| a[i * k + lane]).collect();
+            let lb: Vec<f64> = (0..rows).map(|i| b[i * k + lane]).collect();
+            assert_eq!(
+                norm1_lane(&a, k, lane, rows).to_bits(),
+                crate::vector::norm1(&la).to_bits()
+            );
+            assert_eq!(
+                norm2_lane(&a, k, lane, rows).to_bits(),
+                crate::vector::norm2(&la).to_bits()
+            );
+            assert_eq!(
+                norm_inf_lane(&a, k, lane, rows).to_bits(),
+                crate::vector::norm_inf(&la).to_bits()
+            );
+            assert_eq!(
+                dist2_lane(&a, &b, k, lane, rows).to_bits(),
+                crate::vector::dist2(&la, &lb).to_bits()
+            );
+            assert_eq!(
+                dist2_lane_vs(&a, &lb, k, lane).to_bits(),
+                crate::vector::dist2(&la, &lb).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn norm_lanes_handle_nan_and_zero_like_vector() {
+        let k = 2;
+        for pattern in [vec![0.0, 0.0, -0.0, 0.0], vec![f64::NAN, 1.0, 2.0, 3.0]] {
+            let lane: Vec<f64> = pattern.iter().step_by(k).copied().collect();
+            let n_panel = norm2_lane(&pattern, k, 0, lane.len());
+            let n_ref = crate::vector::norm2(&lane);
+            assert_eq!(n_panel.to_bits(), n_ref.to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_and_drop_lane() {
+        let rows = 6;
+        let k = 4;
+        let panel0 = noise(rows * k, 91);
+        let mut panel = panel0.clone();
+        let mut lane_vec = vec![0.0; rows];
+        gather_lane(&panel, k, 2, &mut lane_vec);
+        scatter_lane(&lane_vec, k, 2, &mut panel);
+        assert_eq!(panel, panel0);
+
+        drop_lane(&mut panel, k, 1, rows);
+        for i in 0..rows {
+            let mut survivors = Vec::new();
+            for l in 0..k {
+                if l != 1 {
+                    survivors.push(panel0[i * k + l]);
+                }
+            }
+            for (l, want) in survivors.iter().enumerate() {
+                assert_eq!(panel[i * (k - 1) + l].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn force_scalar_override_disables_simd() {
+        let _guard = tier_lock();
+        set_override(Some(false));
+        assert!(!simd_enabled());
+        set_override(None);
+    }
+}

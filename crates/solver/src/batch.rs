@@ -1,0 +1,1818 @@
+//! Batched multi-window decode: lockstep solvers over K same-shape windows.
+//!
+//! A gateway shard flush typically holds many pending windows that share one
+//! [`DecodeLadder`-style configuration]: the same sensing operator, the same
+//! wavelet, the same solver options — only the measurement vectors (and
+//! per-window boxes/weights) differ. [`BatchProblem`] captures that shape and
+//! the `solve_*_batch_workspace` entry points iterate all K windows in
+//! lockstep over **column-major panels**: element `i` of window-lane `l`
+//! lives at `i * k + l`, so one SIMD vector spans 4 adjacent lanes of the
+//! same row and the per-window accumulation order is *exactly* the serial
+//! scalar order.
+//!
+//! # Bit-identity contract
+//!
+//! For every window, batch solve results (`signal`, `iterations`,
+//! `converged`, `residual`, `objective`) and the observer event stream are
+//! **bit-identical** to the corresponding serial `solve_*_workspace` call,
+//! for any batch size and any SIMD tier (`wall_time` in the completion trace
+//! is telemetry and may differ). This holds because:
+//!
+//! * panel kernels ([`hybridcs_linalg::simd`], [`crate::simd`], the DWT
+//!   panel transforms, the batched sensing operators) vectorize across
+//!   *lanes* only — per-lane operation order never changes — and each AVX2
+//!   tier is pinned 0-ULP against its scalar twin;
+//! * per-lane reductions (norms, distances) are scalar strided replicas of
+//!   the [`hybridcs_linalg::vector`] fold orders;
+//! * converged/aborted windows **retire**: their lane is repacked out of
+//!   every persistent panel ([`hybridcs_linalg::simd::drop_lane`]) so
+//!   surviving windows keep iterating on the exact values they would have
+//!   had serially, with a shrinking stride.
+//!
+//! Windows may stop at different iterations (per-window stopping masks);
+//! retirement happens the same iteration the serial solver would break.
+
+use crate::pdhg;
+use crate::reweighted::OffsetForward;
+use crate::{
+    BpdnProblem, FistaOptions, GreedyOptions, PdhgOptions, RecoveryResult, ReweightedOptions,
+    SolverError, SolverWorkspace,
+};
+use hybridcs_linalg::{simd, vector, Matrix};
+use hybridcs_obs::{ConvergenceTrace, IterationEvent, IterationObserver, StopReason};
+use std::time::Instant;
+
+// Retirement marks encode `lane * 4 + reason` so one `Vec<usize>` carries
+// both; marks are pushed in ascending lane order and processed in reverse so
+// each `drop_lane` repack leaves lower (still-pending) lane indices valid.
+const RETIRE_CONVERGED: usize = 0;
+const RETIRE_ABORTED: usize = 1;
+const RETIRE_STAGNATED: usize = 2;
+
+fn retire_outcome(reason: usize) -> (StopReason, bool) {
+    match reason {
+        RETIRE_ABORTED => (StopReason::Aborted, false),
+        RETIRE_STAGNATED => (StopReason::Stagnated, true),
+        _ => (StopReason::Converged, true),
+    }
+}
+
+/// A batch of [`BpdnProblem`] windows that share one decode configuration
+/// and may therefore be solved in lockstep.
+///
+/// Construction validates every window and enforces uniformity: all windows
+/// must reference the *same* sensing operator and DWT (by address — shapes
+/// follow), and must agree on the presence of box bounds and coefficient
+/// weights (their per-window contents are free to differ). Mixed batches are
+/// rejected so the lockstep loop never branches per lane.
+pub struct BatchProblem<'a, 'p> {
+    problems: &'p [BpdnProblem<'a>],
+}
+
+impl<'a, 'p> BatchProblem<'a, 'p> {
+    /// Validates every window and the batch-uniformity invariants.
+    ///
+    /// An empty batch is valid (batch solves return immediately).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first window's [`BpdnProblem::validate`] error, or
+    /// [`SolverError::BadParameter`] naming the mixed aspect (with the
+    /// offending window index as the value) when windows disagree on the
+    /// sensing operator, the wavelet, box presence, or weight presence.
+    pub fn new(problems: &'p [BpdnProblem<'a>]) -> Result<Self, SolverError> {
+        for p in problems {
+            p.validate()?;
+        }
+        if let Some(first) = problems.first() {
+            for (i, p) in problems.iter().enumerate().skip(1) {
+                if !std::ptr::addr_eq(p.sensing, first.sensing) {
+                    return Err(SolverError::BadParameter {
+                        name: "batch (mixed sensing operators)",
+                        value: i as f64,
+                    });
+                }
+                if !std::ptr::eq(p.dwt, first.dwt) {
+                    return Err(SolverError::BadParameter {
+                        name: "batch (mixed wavelet transforms)",
+                        value: i as f64,
+                    });
+                }
+                if p.box_bounds.is_some() != first.box_bounds.is_some() {
+                    return Err(SolverError::BadParameter {
+                        name: "batch (mixed box presence)",
+                        value: i as f64,
+                    });
+                }
+                if p.coefficient_weights.is_some() != first.coefficient_weights.is_some() {
+                    return Err(SolverError::BadParameter {
+                        name: "batch (mixed weight presence)",
+                        value: i as f64,
+                    });
+                }
+            }
+        }
+        Ok(BatchProblem { problems })
+    }
+
+    /// Number of windows in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.problems.len()
+    }
+
+    /// Whether the batch holds no windows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.problems.is_empty()
+    }
+
+    /// The validated windows, in batch order.
+    #[must_use]
+    pub fn problems(&self) -> &'p [BpdnProblem<'a>] {
+        self.problems
+    }
+}
+
+fn check_observers(
+    observers: &[&mut dyn IterationObserver],
+    windows: usize,
+) -> Result<(), SolverError> {
+    if observers.len() != windows {
+        return Err(SolverError::DimensionMismatch {
+            what: "observers vs batch windows",
+            expected: windows,
+            actual: observers.len(),
+        });
+    }
+    Ok(())
+}
+
+/// [`crate::prox::project_l2_ball`] on one strided lane of a panel, against
+/// a contiguous center — the same dist/scale arithmetic element for element.
+fn project_l2_ball_lane(v: &mut [f64], center: &[f64], radius: f64, k: usize, lane: usize) {
+    let dist = simd::dist2_lane_vs(v, center, k, lane);
+    if dist <= radius || dist == 0.0 {
+        return;
+    }
+    let scale = radius / dist;
+    for (i, &ci) in center.iter().enumerate() {
+        let idx = i * k + lane;
+        v[idx] = ci + scale * (v[idx] - ci);
+    }
+}
+
+/// [`crate::prox::project_box`] on one strided lane of a panel.
+fn clamp_box_lane(v: &mut [f64], lo: &[f64], hi: &[f64], k: usize, lane: usize) {
+    for (i, (&l, &h)) in lo.iter().zip(hi).enumerate() {
+        let idx = i * k + lane;
+        v[idx] = v[idx].clamp(l, h);
+    }
+}
+
+/// The serial weighted-ℓ₁ sum `Σ wᵢ·|αᵢ|` over one strided lane.
+fn weighted_norm1_lane(panel: &[f64], w: &[f64], k: usize, lane: usize) -> f64 {
+    w.iter()
+        .enumerate()
+        .map(|(i, &wi)| wi * panel[i * k + lane].abs())
+        .sum()
+}
+
+/// Copies lane `lane` of `src` into the same lane of `dst` (both `len × k`
+/// panels) — the per-lane snapshot update of the PDHG convergence check.
+fn copy_lane(src: &[f64], dst: &mut [f64], k: usize, lane: usize, len: usize) {
+    for i in 0..len {
+        dst[i * k + lane] = src[i * k + lane];
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finalize_pdhg_lane(
+    p: &BpdnProblem<'_>,
+    observer: &mut dyn IterationObserver,
+    x_panel: &[f64],
+    k: usize,
+    lane: usize,
+    iterations: usize,
+    stop: StopReason,
+    converged: bool,
+    started: Instant,
+    fin_sig: &mut [f64],
+    fin_ax: &mut [f64],
+    fin_coeffs: &mut [f64],
+    fin_dwt_scratch: &mut [f64],
+    fin_op_scratch: &mut [f64],
+    ws: &mut SolverWorkspace,
+) -> RecoveryResult {
+    // Gather to a contiguous vector and run the exact serial epilogue.
+    simd::gather_lane(x_panel, k, lane, fin_sig);
+    if let Some((lo, hi)) = p.box_bounds {
+        crate::prox::project_box(fin_sig, lo, hi);
+    }
+    p.sensing.apply_into(fin_sig, fin_ax, fin_op_scratch);
+    let residual = vector::dist2(fin_ax, p.measurements);
+    p.dwt
+        .forward_into(fin_sig, fin_coeffs, fin_dwt_scratch)
+        .expect("length validated");
+    let objective = vector::norm1(fin_coeffs);
+    let mut signal = ws.acquire(fin_sig.len());
+    signal.copy_from_slice(fin_sig);
+    observer.on_complete(&ConvergenceTrace {
+        solver: "pdhg",
+        iterations,
+        stop_reason: stop,
+        wall_time: started.elapsed(),
+        converged,
+        final_objective: objective,
+        final_residual: residual,
+    });
+    RecoveryResult {
+        signal,
+        iterations,
+        converged,
+        residual,
+        objective,
+    }
+}
+
+/// Lockstep batched [`solve_pdhg_workspace`](crate::solve_pdhg_workspace):
+/// solves every window of `batch` simultaneously over K-wide panels, filling
+/// `out[w]` with window `w`'s result. Per window, the result and the
+/// observer event stream are **bit-identical** to the serial solve — see the
+/// [module docs](self) for why. `observers[w]` observes window `w`.
+///
+/// `out` is an out-parameter (cleared and refilled) so a caller looping over
+/// shard flushes reuses its capacity; returned signals are workspace buffers
+/// to hand back via [`SolverWorkspace::release`]. With a warmed workspace
+/// the whole batch solve performs zero heap allocations.
+///
+/// # Errors
+///
+/// Returns [`SolverError`] on bad options or when `observers` does not match
+/// the batch width. (Window validation happened in [`BatchProblem::new`].)
+pub fn solve_pdhg_batch_workspace(
+    batch: &BatchProblem<'_, '_>,
+    options: &PdhgOptions,
+    observers: &mut [&mut dyn IterationObserver],
+    ws: &mut SolverWorkspace,
+    out: &mut Vec<Option<RecoveryResult>>,
+) -> Result<(), SolverError> {
+    let started = Instant::now();
+    pdhg::validate_options(options)?;
+    check_observers(observers, batch.len())?;
+    out.clear();
+    out.resize_with(batch.len(), || None);
+    let Some(first) = batch.problems().first() else {
+        return Ok(());
+    };
+
+    let n = first.signal_len();
+    let m = first.measurement_len();
+    let a = first.sensing;
+    let dwt = first.dwt;
+    let has_box = first.box_bounds.is_some();
+    let has_weights = first.coefficient_weights.is_some();
+    let k0 = batch.len();
+
+    let norm_a = a.norm_est();
+    let norm_k = (norm_a * norm_a + if has_box { 1.0 } else { 0.0 })
+        .sqrt()
+        .max(1e-12);
+    let gamma = 0.99 / norm_k;
+    let tau = gamma * options.step_ratio;
+    let dual_step = gamma / options.step_ratio;
+
+    // Persistent panels — repacked with `drop_lane` when a window retires.
+    let mut x = ws.acquire_panel(n, k0);
+    let mut x_bar = ws.acquire_panel(n, k0);
+    let mut z1 = ws.acquire_panel(m, k0);
+    // `z2` stays zero-filled without a box so the primal gradient computes
+    // `at + 0.0` exactly like the serial loop (signed zeros included).
+    let mut z2 = ws.acquire_panel(n, k0);
+    let mut snapshot = ws.acquire_panel(n, k0);
+    let mut weight_panel = ws.acquire_panel(if has_weights { n } else { 0 }, k0);
+    // Transient panels — fully rewritten every iteration, never repacked;
+    // the live region is always the `rows * k` prefix.
+    let mut ax = ws.acquire_panel(m, k0);
+    let mut at_z1 = ws.acquire_panel(n, k0);
+    let mut ball_point = ws.acquire_panel(m, k0);
+    let mut box_point = ws.acquire_panel(n, k0);
+    let mut w = ws.acquire_panel(n, k0);
+    let mut coeffs = ws.acquire_panel(n, k0);
+    let mut x_new = ws.acquire_panel(n, k0);
+    let mut dwt_scratch = ws.acquire(hybridcs_dsp::Dwt::panel_scratch_len(n, k0));
+    let mut op_scratch = ws.acquire(a.batch_scratch_len(k0));
+    // Serial-shape scratch for per-window init and finalisation.
+    let mut fin_sig = ws.acquire(n);
+    let mut fin_ax = ws.acquire(m);
+    let mut fin_coeffs = ws.acquire(n);
+    let mut fin_dwt_scratch = ws.acquire(hybridcs_dsp::Dwt::scratch_len(n));
+    let mut fin_op_scratch = ws.acquire(a.scratch_len());
+    let mut tau_lane = ws.acquire(k0);
+    tau_lane.iter_mut().for_each(|t| *t = tau);
+    let mut lane2win = ws.acquire_indices(k0);
+    lane2win.extend(0..k0);
+    let mut retire = ws.acquire_indices(k0);
+
+    for (lane, p) in batch.problems().iter().enumerate() {
+        p.initial_point_into(&mut fin_sig);
+        simd::scatter_lane(&fin_sig, k0, lane, &mut x);
+        if let Some(wc) = p.coefficient_weights {
+            simd::scatter_lane(wc, k0, lane, &mut weight_panel);
+        }
+    }
+    x_bar.copy_from_slice(&x);
+    snapshot.copy_from_slice(&x);
+
+    let mut k = k0;
+    let mut iter = 0;
+    while iter < options.max_iterations && k > 0 {
+        iter += 1;
+        let (nk, mk) = (n * k, m * k);
+
+        // Dual ascent on the fidelity ball: z1 ← v − ς·Π_ball(v/ς).
+        a.apply_batch_into(&x_bar[..nk], k, &mut ax[..mk], &mut op_scratch);
+        simd::axpy(dual_step, &ax[..mk], &mut z1[..mk]);
+        simd::div_by(&z1[..mk], dual_step, &mut ball_point[..mk]);
+        for (lane, &win) in lane2win.iter().enumerate() {
+            let p = &batch.problems()[win];
+            project_l2_ball_lane(&mut ball_point[..mk], p.measurements, p.sigma, k, lane);
+        }
+        simd::sub_scaled(dual_step, &ball_point[..mk], &mut z1[..mk]);
+
+        // Dual ascent on the box: z2 ← v − ς·Π_box(v/ς).
+        if has_box {
+            simd::axpy(dual_step, &x_bar[..nk], &mut z2[..nk]);
+            simd::div_by(&z2[..nk], dual_step, &mut box_point[..nk]);
+            for (lane, &win) in lane2win.iter().enumerate() {
+                let (lo, hi) = batch.problems()[win]
+                    .box_bounds
+                    .expect("uniform box presence");
+                clamp_box_lane(&mut box_point[..nk], lo, hi, k, lane);
+            }
+            simd::sub_scaled(dual_step, &box_point[..nk], &mut z2[..nk]);
+        }
+
+        // Primal descent with the ℓ₁-in-Ψ prox.
+        a.apply_adjoint_batch_into(&z1[..mk], k, &mut at_z1[..nk], &mut op_scratch);
+        crate::simd::grad_step_lanes(&x[..nk], &at_z1[..nk], &z2[..nk], tau, &mut w[..nk]);
+        dwt.forward_panel_into(&w[..nk], k, &mut coeffs[..nk], &mut dwt_scratch)
+            .expect("length validated");
+        if has_weights {
+            crate::simd::soft_threshold_weighted_lanes(
+                &mut coeffs[..nk],
+                &tau_lane[..k],
+                &weight_panel[..nk],
+                k,
+            );
+        } else {
+            crate::simd::soft_threshold_lanes(&mut coeffs[..nk], &tau_lane[..k], k);
+        }
+        dwt.inverse_panel_into(&coeffs[..nk], k, &mut x_new[..nk], &mut dwt_scratch)
+            .expect("length validated");
+        crate::simd::over_relax_lanes(&x_new[..nk], &x[..nk], &mut x_bar[..nk]);
+        std::mem::swap(&mut x, &mut x_new);
+
+        if lane2win.iter().any(|&win| observers[win].active()) {
+            // `ax` is recomputed from `x_bar` at the top of the loop, so it
+            // is safe to reuse here for the fidelity residuals.
+            a.apply_batch_into(&x[..nk], k, &mut ax[..mk], &mut op_scratch);
+            for (lane, &win) in lane2win.iter().enumerate() {
+                if observers[win].active() {
+                    let p = &batch.problems()[win];
+                    observers[win].on_iteration(&IterationEvent {
+                        iteration: iter,
+                        objective: simd::norm1_lane(&coeffs[..nk], k, lane, n),
+                        residual: simd::dist2_lane_vs(&ax[..mk], p.measurements, k, lane),
+                        step_size: Some(tau),
+                    });
+                }
+            }
+        }
+
+        retire.clear();
+        for (lane, &win) in lane2win.iter().enumerate() {
+            if observers[win].should_abort() {
+                retire.push(lane * 4 + RETIRE_ABORTED);
+                continue;
+            }
+            if iter % options.check_interval == 0 {
+                let change = simd::dist2_lane(&x[..nk], &snapshot[..nk], k, lane, n);
+                let scale = simd::norm2_lane(&x[..nk], k, lane, n).max(1e-12);
+                copy_lane(&x[..nk], &mut snapshot[..nk], k, lane, n);
+                if change <= options.tolerance * scale {
+                    retire.push(lane * 4 + RETIRE_CONVERGED);
+                }
+            }
+        }
+        for &mark in retire.iter().rev() {
+            let (lane, reason) = (mark / 4, mark % 4);
+            let win = lane2win[lane];
+            let (stop, converged) = retire_outcome(reason);
+            out[win] = Some(finalize_pdhg_lane(
+                &batch.problems()[win],
+                &mut *observers[win],
+                &x[..n * k],
+                k,
+                lane,
+                iter,
+                stop,
+                converged,
+                started,
+                &mut fin_sig,
+                &mut fin_ax,
+                &mut fin_coeffs,
+                &mut fin_dwt_scratch,
+                &mut fin_op_scratch,
+                ws,
+            ));
+            simd::drop_lane(&mut x, k, lane, n);
+            simd::drop_lane(&mut x_bar, k, lane, n);
+            simd::drop_lane(&mut z1, k, lane, m);
+            simd::drop_lane(&mut z2, k, lane, n);
+            simd::drop_lane(&mut snapshot, k, lane, n);
+            if has_weights {
+                simd::drop_lane(&mut weight_panel, k, lane, n);
+            }
+            tau_lane.remove(lane);
+            lane2win.remove(lane);
+            k -= 1;
+        }
+    }
+
+    // Budget exhausted: remaining lanes report MaxIterations, like serial.
+    for (lane, &win) in lane2win.iter().enumerate() {
+        out[win] = Some(finalize_pdhg_lane(
+            &batch.problems()[win],
+            &mut *observers[win],
+            &x[..n * k],
+            k,
+            lane,
+            iter,
+            StopReason::MaxIterations,
+            false,
+            started,
+            &mut fin_sig,
+            &mut fin_ax,
+            &mut fin_coeffs,
+            &mut fin_dwt_scratch,
+            &mut fin_op_scratch,
+            ws,
+        ));
+    }
+
+    for buf in [
+        x,
+        x_bar,
+        z1,
+        z2,
+        snapshot,
+        weight_panel,
+        ax,
+        at_z1,
+        ball_point,
+        box_point,
+        w,
+        coeffs,
+        x_new,
+        dwt_scratch,
+        op_scratch,
+        fin_sig,
+        fin_ax,
+        fin_coeffs,
+        fin_dwt_scratch,
+        fin_op_scratch,
+        tau_lane,
+    ] {
+        ws.release(buf);
+    }
+    ws.release_indices(lane2win);
+    ws.release_indices(retire);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finalize_fista_lane(
+    p: &BpdnProblem<'_>,
+    observer: &mut dyn IterationObserver,
+    alpha_panel: &[f64],
+    k: usize,
+    lane: usize,
+    iterations: usize,
+    stop: StopReason,
+    converged: bool,
+    started: Instant,
+    fin_coeffs: &mut [f64],
+    fin_ax: &mut [f64],
+    fin_dwt_scratch: &mut [f64],
+    fin_op_scratch: &mut [f64],
+    ws: &mut SolverWorkspace,
+) -> RecoveryResult {
+    simd::gather_lane(alpha_panel, k, lane, fin_coeffs);
+    let mut signal = ws.acquire(fin_coeffs.len());
+    p.dwt
+        .inverse_into(fin_coeffs, &mut signal, fin_dwt_scratch)
+        .expect("length validated");
+    p.sensing.apply_into(&signal, fin_ax, fin_op_scratch);
+    let residual = vector::dist2(fin_ax, p.measurements);
+    let objective = vector::norm1(fin_coeffs);
+    observer.on_complete(&ConvergenceTrace {
+        solver: "fista",
+        iterations,
+        stop_reason: stop,
+        wall_time: started.elapsed(),
+        converged,
+        final_objective: objective,
+        final_residual: residual,
+    });
+    RecoveryResult {
+        signal,
+        iterations,
+        converged,
+        residual,
+        objective,
+    }
+}
+
+/// Lockstep batched [`solve_fista_workspace`](crate::solve_fista_workspace)
+/// with the same out-parameter and bit-identity contract as
+/// [`solve_pdhg_batch_workspace`]. The data-driven λ (when
+/// [`FistaOptions::lambda`] is `None`) is computed per lane from that
+/// window's own `‖Aᵀy‖∞`, exactly as the serial solver does.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_pdhg_batch_workspace`], plus non-positive
+/// `lambda`.
+pub fn solve_fista_batch_workspace(
+    batch: &BatchProblem<'_, '_>,
+    options: &FistaOptions,
+    observers: &mut [&mut dyn IterationObserver],
+    ws: &mut SolverWorkspace,
+    out: &mut Vec<Option<RecoveryResult>>,
+) -> Result<(), SolverError> {
+    let started = Instant::now();
+    if options.max_iterations == 0 {
+        return Err(SolverError::BadParameter {
+            name: "max_iterations",
+            value: 0.0,
+        });
+    }
+    if !(options.tolerance > 0.0 && options.tolerance.is_finite()) {
+        return Err(SolverError::BadParameter {
+            name: "tolerance",
+            value: options.tolerance,
+        });
+    }
+    if let Some(l) = options.lambda {
+        if !(l > 0.0 && l.is_finite()) {
+            return Err(SolverError::BadParameter {
+                name: "lambda",
+                value: l,
+            });
+        }
+    }
+    check_observers(observers, batch.len())?;
+    out.clear();
+    out.resize_with(batch.len(), || None);
+    let Some(first) = batch.problems().first() else {
+        return Ok(());
+    };
+
+    let n = first.signal_len();
+    let m = first.measurement_len();
+    let a = first.sensing;
+    let dwt = first.dwt;
+    let has_weights = first.coefficient_weights.is_some();
+    let k0 = batch.len();
+
+    let norm_a = a.norm_est().max(1e-12);
+    let l = norm_a * norm_a;
+    let step = 1.0 / (1.01 * l);
+
+    // Persistent panels (repacked on retirement).
+    let mut alpha = ws.acquire_panel(n, k0);
+    let mut momentum = ws.acquire_panel(n, k0);
+    let mut y_panel = ws.acquire_panel(m, k0);
+    let mut weight_panel = ws.acquire_panel(if has_weights { n } else { 0 }, k0);
+    // Transient panels.
+    let mut sig_tmp = ws.acquire_panel(n, k0);
+    let mut aty = ws.acquire_panel(n, k0);
+    let mut grad = ws.acquire_panel(n, k0);
+    let mut alpha_new = ws.acquire_panel(n, k0);
+    let mut res = ws.acquire_panel(m, k0);
+    let mut dwt_scratch = ws.acquire(hybridcs_dsp::Dwt::panel_scratch_len(n, k0));
+    let mut op_scratch = ws.acquire(a.batch_scratch_len(k0));
+    // Serial-shape finalisation scratch.
+    let mut fin_coeffs = ws.acquire(n);
+    let mut fin_ax = ws.acquire(m);
+    let mut fin_dwt_scratch = ws.acquire(hybridcs_dsp::Dwt::scratch_len(n));
+    let mut fin_op_scratch = ws.acquire(a.scratch_len());
+    // Per-lane state: λ and the prox threshold step·λ retire with their
+    // lane; change/scale are recomputed every iteration.
+    let mut lambda_lane = ws.acquire(k0);
+    let mut thr_lane = ws.acquire(k0);
+    let mut change_lane = ws.acquire(k0);
+    let mut scale_lane = ws.acquire(k0);
+    let mut lane2win = ws.acquire_indices(k0);
+    lane2win.extend(0..k0);
+    let mut retire = ws.acquire_indices(k0);
+
+    for (lane, p) in batch.problems().iter().enumerate() {
+        simd::scatter_lane(p.measurements, k0, lane, &mut y_panel);
+        if let Some(wc) = p.coefficient_weights {
+            simd::scatter_lane(wc, k0, lane, &mut weight_panel);
+        }
+    }
+    // Per-lane λ from Aᵀy, exactly like the serial data-driven scale.
+    a.apply_adjoint_batch_into(&y_panel, k0, &mut sig_tmp, &mut op_scratch);
+    dwt.forward_panel_into(&sig_tmp, k0, &mut aty, &mut dwt_scratch)
+        .expect("length validated");
+    for lane in 0..k0 {
+        lambda_lane[lane] = match options.lambda {
+            Some(l) => l,
+            None => 0.1 * simd::norm_inf_lane(&aty, k0, lane, n).max(1e-12),
+        };
+        thr_lane[lane] = step * lambda_lane[lane];
+    }
+
+    let mut t = 1.0_f64;
+    let mut k = k0;
+    let mut iter = 0;
+    while iter < options.max_iterations && k > 0 {
+        iter += 1;
+        let (nk, mk) = (n * k, m * k);
+
+        // Gradient step at the momentum point: res = A·momentum − y.
+        dwt.inverse_panel_into(&momentum[..nk], k, &mut sig_tmp[..nk], &mut dwt_scratch)
+            .expect("length validated");
+        a.apply_batch_into(&sig_tmp[..nk], k, &mut res[..mk], &mut op_scratch);
+        // `r − 1.0·y` is IEEE-identical to the serial `r −= y`.
+        simd::sub_scaled(1.0, &y_panel[..mk], &mut res[..mk]);
+        a.apply_adjoint_batch_into(&res[..mk], k, &mut sig_tmp[..nk], &mut op_scratch);
+        dwt.forward_panel_into(&sig_tmp[..nk], k, &mut grad[..nk], &mut dwt_scratch)
+            .expect("length validated");
+        alpha_new[..nk].copy_from_slice(&momentum[..nk]);
+        simd::axpy(-step, &grad[..nk], &mut alpha_new[..nk]);
+        if has_weights {
+            crate::simd::soft_threshold_weighted_lanes(
+                &mut alpha_new[..nk],
+                &thr_lane[..k],
+                &weight_panel[..nk],
+                k,
+            );
+        } else {
+            crate::simd::soft_threshold_lanes(&mut alpha_new[..nk], &thr_lane[..k], k);
+        }
+
+        // Nesterov momentum (t is iteration-only state, shared by lanes).
+        let t_new = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+        let beta = (t - 1.0) / t_new;
+        crate::simd::momentum_lanes(&alpha_new[..nk], &alpha[..nk], beta, &mut momentum[..nk]);
+        for lane in 0..k {
+            change_lane[lane] = simd::dist2_lane(&alpha_new[..nk], &alpha[..nk], k, lane, n);
+            scale_lane[lane] = simd::norm2_lane(&alpha_new[..nk], k, lane, n).max(1e-12);
+        }
+        std::mem::swap(&mut alpha, &mut alpha_new);
+        t = t_new;
+
+        if lane2win.iter().any(|&win| observers[win].active()) {
+            dwt.inverse_panel_into(&alpha[..nk], k, &mut sig_tmp[..nk], &mut dwt_scratch)
+                .expect("length validated");
+            a.apply_batch_into(&sig_tmp[..nk], k, &mut res[..mk], &mut op_scratch);
+            simd::sub_scaled(1.0, &y_panel[..mk], &mut res[..mk]);
+            for (lane, &win) in lane2win.iter().enumerate() {
+                if observers[win].active() {
+                    let fid = simd::norm2_lane(&res[..mk], k, lane, m);
+                    let l1 = match batch.problems()[win].coefficient_weights {
+                        Some(weights) => weighted_norm1_lane(&alpha[..nk], weights, k, lane),
+                        None => simd::norm1_lane(&alpha[..nk], k, lane, n),
+                    };
+                    observers[win].on_iteration(&IterationEvent {
+                        iteration: iter,
+                        objective: 0.5 * fid * fid + lambda_lane[lane] * l1,
+                        residual: fid,
+                        step_size: Some(step),
+                    });
+                }
+            }
+        }
+
+        retire.clear();
+        for (lane, &win) in lane2win.iter().enumerate() {
+            if observers[win].should_abort() {
+                retire.push(lane * 4 + RETIRE_ABORTED);
+            } else if change_lane[lane] <= options.tolerance * scale_lane[lane] {
+                retire.push(lane * 4 + RETIRE_CONVERGED);
+            }
+        }
+        for &mark in retire.iter().rev() {
+            let (lane, reason) = (mark / 4, mark % 4);
+            let win = lane2win[lane];
+            let (stop, converged) = retire_outcome(reason);
+            out[win] = Some(finalize_fista_lane(
+                &batch.problems()[win],
+                &mut *observers[win],
+                &alpha[..n * k],
+                k,
+                lane,
+                iter,
+                stop,
+                converged,
+                started,
+                &mut fin_coeffs,
+                &mut fin_ax,
+                &mut fin_dwt_scratch,
+                &mut fin_op_scratch,
+                ws,
+            ));
+            simd::drop_lane(&mut alpha, k, lane, n);
+            simd::drop_lane(&mut momentum, k, lane, n);
+            simd::drop_lane(&mut y_panel, k, lane, m);
+            if has_weights {
+                simd::drop_lane(&mut weight_panel, k, lane, n);
+            }
+            lambda_lane.remove(lane);
+            thr_lane.remove(lane);
+            lane2win.remove(lane);
+            k -= 1;
+        }
+    }
+
+    for (lane, &win) in lane2win.iter().enumerate() {
+        out[win] = Some(finalize_fista_lane(
+            &batch.problems()[win],
+            &mut *observers[win],
+            &alpha[..n * k],
+            k,
+            lane,
+            iter,
+            StopReason::MaxIterations,
+            false,
+            started,
+            &mut fin_coeffs,
+            &mut fin_ax,
+            &mut fin_dwt_scratch,
+            &mut fin_op_scratch,
+            ws,
+        ));
+    }
+
+    for buf in [
+        alpha,
+        momentum,
+        y_panel,
+        weight_panel,
+        sig_tmp,
+        aty,
+        grad,
+        alpha_new,
+        res,
+        dwt_scratch,
+        op_scratch,
+        fin_coeffs,
+        fin_ax,
+        fin_dwt_scratch,
+        fin_op_scratch,
+        lambda_lane,
+        thr_lane,
+        change_lane,
+        scale_lane,
+    ] {
+        ws.release(buf);
+    }
+    ws.release_indices(lane2win);
+    ws.release_indices(retire);
+    Ok(())
+}
+
+/// `out[i*k + lane] = Σ_j a[i][j]·x[j*k + lane]` — the batched dense
+/// matvec, per lane exactly [`Matrix::matvec_into`] (row dot products in
+/// ascending order).
+fn matvec_panel(a: &Matrix, x_panel: &[f64], k: usize, out_panel: &mut [f64]) {
+    for i in 0..a.nrows() {
+        simd::dot_lanes(x_panel, a.row(i), k, &mut out_panel[i * k..(i + 1) * k]);
+    }
+}
+
+/// `residual = y − ax`, element-wise over same-shape panels.
+fn residual_panel(y_panel: &[f64], ax: &[f64], residual: &mut [f64]) {
+    for ((r, &yi), &axi) in residual.iter_mut().zip(y_panel).zip(ax) {
+        *r = yi - axi;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finalize_iht_lane(
+    a: &Matrix,
+    y: &[f64],
+    observer: &mut dyn IterationObserver,
+    alpha_panel: &[f64],
+    k: usize,
+    lane: usize,
+    iterations: usize,
+    stop: StopReason,
+    converged: bool,
+    started: Instant,
+    fin_ax: &mut [f64],
+    fin_res: &mut [f64],
+    ws: &mut SolverWorkspace,
+) -> RecoveryResult {
+    let mut signal = ws.acquire(a.ncols());
+    simd::gather_lane(alpha_panel, k, lane, &mut signal);
+    a.matvec_into(&signal, fin_ax);
+    for (r, (&yi, &axi)) in fin_res.iter_mut().zip(y.iter().zip(fin_ax.iter())) {
+        *r = yi - axi;
+    }
+    let res_norm = vector::norm2(fin_res);
+    let objective = vector::norm1(&signal);
+    observer.on_complete(&ConvergenceTrace {
+        solver: "iht",
+        iterations,
+        stop_reason: stop,
+        wall_time: started.elapsed(),
+        converged,
+        final_objective: objective,
+        final_residual: res_norm,
+    });
+    RecoveryResult {
+        signal,
+        iterations,
+        converged,
+        residual: res_norm,
+        objective,
+    }
+}
+
+/// Lockstep batched [`solve_iht_workspace`](crate::solve_iht_workspace):
+/// iterative hard thresholding over K measurement windows of one explicit
+/// `A = ΦΨ` matrix, with the same out-parameter and bit-identity contract as
+/// [`solve_pdhg_batch_workspace`]. The returned signals hold coefficient
+/// vectors, like the serial greedy solvers.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_iht_workspace`] (validated per window), plus
+/// an observer-count mismatch.
+pub fn solve_iht_batch_workspace(
+    a: &Matrix,
+    measurements: &[&[f64]],
+    options: &GreedyOptions,
+    observers: &mut [&mut dyn IterationObserver],
+    ws: &mut SolverWorkspace,
+    out: &mut Vec<Option<RecoveryResult>>,
+) -> Result<(), SolverError> {
+    let started = Instant::now();
+    for y in measurements {
+        crate::greedy::validate(a, y, options)?;
+    }
+    check_observers(observers, measurements.len())?;
+    let step = match options.step {
+        Some(mu) => {
+            if !(mu > 0.0 && mu.is_finite()) {
+                return Err(SolverError::BadParameter {
+                    name: "step",
+                    value: mu,
+                });
+            }
+            mu
+        }
+        None => {
+            let (norm, _) = hybridcs_linalg::operator_norm_est(
+                a.ncols(),
+                a.nrows(),
+                |x, out| a.matvec_into(x, out),
+                |v, out| a.matvec_transpose_into(v, out),
+                hybridcs_linalg::PowerIterationOptions::default(),
+            );
+            1.0 / (norm * norm).max(1e-12)
+        }
+    };
+    out.clear();
+    out.resize_with(measurements.len(), || None);
+    if measurements.is_empty() {
+        return Ok(());
+    }
+
+    let n = a.ncols();
+    let m = a.nrows();
+    let s = options.max_sparsity;
+    let k0 = measurements.len();
+
+    // Persistent panels.
+    let mut alpha = ws.acquire_panel(n, k0);
+    let mut y_panel = ws.acquire_panel(m, k0);
+    // Transient panels and serial-shape scratch.
+    let mut ax = ws.acquire_panel(m, k0);
+    let mut residual = ws.acquire_panel(m, k0);
+    let mut grad = ws.acquire_panel(n, k0);
+    let mut next = ws.acquire_panel(n, k0);
+    let mut thresholded = ws.acquire_panel(n, k0);
+    let mut tmp_next = ws.acquire(n);
+    let mut fin_ax = ws.acquire(m);
+    let mut fin_res = ws.acquire(m);
+    let mut change_lane = ws.acquire(k0);
+    let mut keep = ws.acquire_indices(n);
+    let mut lane2win = ws.acquire_indices(k0);
+    lane2win.extend(0..k0);
+    let mut retire = ws.acquire_indices(k0);
+
+    for (lane, y) in measurements.iter().enumerate() {
+        simd::scatter_lane(y, k0, lane, &mut y_panel);
+    }
+
+    let mut k = k0;
+    let mut iter = 0;
+    'outer: while iter < options.max_iterations && k > 0 {
+        iter += 1;
+        let (nk, mk) = (n * k, m * k);
+
+        matvec_panel(a, &alpha[..nk], k, &mut ax[..mk]);
+        residual_panel(&y_panel[..mk], &ax[..mk], &mut residual[..mk]);
+
+        // The serial solver breaks on a small residual before the gradient
+        // step: retire those lanes now, then recompute the residual panel at
+        // the reduced stride for the survivors (identical values — only the
+        // layout changed).
+        retire.clear();
+        for lane in 0..k {
+            if simd::norm2_lane(&residual[..mk], k, lane, m) <= options.residual_tolerance {
+                retire.push(lane * 4 + RETIRE_CONVERGED);
+            }
+        }
+        if !retire.is_empty() {
+            for &mark in retire.iter().rev() {
+                let lane = mark / 4;
+                let win = lane2win[lane];
+                out[win] = Some(finalize_iht_lane(
+                    a,
+                    measurements[win],
+                    &mut *observers[win],
+                    &alpha[..n * k],
+                    k,
+                    lane,
+                    iter,
+                    StopReason::Converged,
+                    true,
+                    started,
+                    &mut fin_ax,
+                    &mut fin_res,
+                    ws,
+                ));
+                simd::drop_lane(&mut alpha, k, lane, n);
+                simd::drop_lane(&mut y_panel, k, lane, m);
+                lane2win.remove(lane);
+                k -= 1;
+            }
+            if k == 0 {
+                break 'outer;
+            }
+            let (nk, mk) = (n * k, m * k);
+            matvec_panel(a, &alpha[..nk], k, &mut ax[..mk]);
+            residual_panel(&y_panel[..mk], &ax[..mk], &mut residual[..mk]);
+        }
+        let (nk, mk) = (n * k, m * k);
+
+        // Gradient: grad = Aᵀ·residual, row-accumulated like the serial
+        // transpose matvec.
+        grad[..nk].fill(0.0);
+        for i in 0..m {
+            simd::rank1_lanes(&residual[i * k..(i + 1) * k], a.row(i), k, &mut grad[..nk]);
+        }
+        next[..nk].copy_from_slice(&alpha[..nk]);
+        simd::axpy(step, &grad[..nk], &mut next[..nk]);
+        // Hard threshold to the s largest entries, per lane.
+        thresholded[..nk].fill(0.0);
+        for lane in 0..k {
+            simd::gather_lane(&next[..nk], k, lane, &mut tmp_next);
+            vector::top_k_abs_indices_into(&tmp_next, s, &mut keep);
+            for &i in &keep {
+                thresholded[i * k + lane] = next[i * k + lane];
+            }
+            change_lane[lane] = simd::dist2_lane(&thresholded[..nk], &alpha[..nk], k, lane, n);
+        }
+        std::mem::swap(&mut alpha, &mut thresholded);
+
+        if lane2win.iter().any(|&win| observers[win].active()) {
+            matvec_panel(a, &alpha[..nk], k, &mut ax[..mk]);
+            residual_panel(&y_panel[..mk], &ax[..mk], &mut residual[..mk]);
+            for (lane, &win) in lane2win.iter().enumerate() {
+                if observers[win].active() {
+                    observers[win].on_iteration(&IterationEvent {
+                        iteration: iter,
+                        objective: simd::norm1_lane(&alpha[..nk], k, lane, n),
+                        residual: simd::norm2_lane(&residual[..mk], k, lane, m),
+                        step_size: Some(step),
+                    });
+                }
+            }
+        }
+
+        retire.clear();
+        for (lane, &win) in lane2win.iter().enumerate() {
+            if observers[win].should_abort() {
+                retire.push(lane * 4 + RETIRE_ABORTED);
+            } else if change_lane[lane]
+                <= 1e-10 * simd::norm2_lane(&alpha[..nk], k, lane, n).max(1.0)
+            {
+                retire.push(lane * 4 + RETIRE_STAGNATED);
+            }
+        }
+        for &mark in retire.iter().rev() {
+            let (lane, reason) = (mark / 4, mark % 4);
+            let win = lane2win[lane];
+            let (stop, converged) = retire_outcome(reason);
+            out[win] = Some(finalize_iht_lane(
+                a,
+                measurements[win],
+                &mut *observers[win],
+                &alpha[..n * k],
+                k,
+                lane,
+                iter,
+                stop,
+                converged,
+                started,
+                &mut fin_ax,
+                &mut fin_res,
+                ws,
+            ));
+            simd::drop_lane(&mut alpha, k, lane, n);
+            simd::drop_lane(&mut y_panel, k, lane, m);
+            lane2win.remove(lane);
+            k -= 1;
+        }
+    }
+
+    for (lane, &win) in lane2win.iter().enumerate() {
+        out[win] = Some(finalize_iht_lane(
+            a,
+            measurements[win],
+            &mut *observers[win],
+            &alpha[..n * k],
+            k,
+            lane,
+            iter,
+            StopReason::MaxIterations,
+            false,
+            started,
+            &mut fin_ax,
+            &mut fin_res,
+            ws,
+        ));
+    }
+
+    for buf in [
+        alpha,
+        y_panel,
+        ax,
+        residual,
+        grad,
+        next,
+        thresholded,
+        tmp_next,
+        fin_ax,
+        fin_res,
+        change_lane,
+    ] {
+        ws.release(buf);
+    }
+    ws.release_indices(keep);
+    ws.release_indices(lane2win);
+    ws.release_indices(retire);
+    Ok(())
+}
+
+/// Lockstep batched
+/// [`solve_reweighted_workspace`](crate::solve_reweighted_workspace):
+/// iteratively-reweighted ℓ₁ where every reweighting round runs **one**
+/// batched PDHG solve over the windows still active (a window leaves the
+/// round rotation only when its observer aborts, exactly like the serial
+/// outer loop). Per window, results and forwarded iteration events are
+/// bit-identical to the serial solve.
+///
+/// The outer loop allocates per round (round-problem marshalling); the hot
+/// inner iterations are the allocation-free batched PDHG.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_pdhg_batch_workspace`], plus out-of-range
+/// outer options.
+pub fn solve_reweighted_batch_workspace(
+    batch: &BatchProblem<'_, '_>,
+    options: &ReweightedOptions,
+    observers: &mut [&mut dyn IterationObserver],
+    ws: &mut SolverWorkspace,
+    out: &mut Vec<Option<RecoveryResult>>,
+) -> Result<(), SolverError> {
+    let started = Instant::now();
+    if options.outer_iterations == 0 {
+        return Err(SolverError::BadParameter {
+            name: "outer_iterations",
+            value: 0.0,
+        });
+    }
+    if !(options.epsilon_rel > 0.0 && options.epsilon_rel.is_finite()) {
+        return Err(SolverError::BadParameter {
+            name: "epsilon_rel",
+            value: options.epsilon_rel,
+        });
+    }
+    check_observers(observers, batch.len())?;
+    out.clear();
+    out.resize_with(batch.len(), || None);
+    let Some(first) = batch.problems().first() else {
+        return Ok(());
+    };
+
+    let n = first.signal_len();
+    let dwt = first.dwt;
+    let kw = batch.len();
+    let mut dwt_scratch = ws.acquire(hybridcs_dsp::Dwt::scratch_len(n));
+    let mut coeffs = ws.acquire(n);
+
+    let mut weights_store: Vec<Vec<f64>> = (0..kw).map(|_| vec![0.0; n]).collect();
+    let mut totals = vec![0usize; kw];
+    let mut results: Vec<Option<RecoveryResult>> = (0..kw).map(|_| None).collect();
+    let mut round_out: Vec<Option<RecoveryResult>> = Vec::new();
+    let mut aborted = vec![false; kw];
+    let mut active: Vec<usize> = (0..kw).collect();
+    // Presence stays batch-uniform: round 0 uses every window's original
+    // weights (uniform by construction), later rounds all use reweighted.
+    let mut have_weights = false;
+
+    for _round in 0..options.outer_iterations {
+        if active.is_empty() {
+            break;
+        }
+        {
+            let round_problems: Vec<BpdnProblem<'_>> = active
+                .iter()
+                .map(|&wi| {
+                    let p = &batch.problems()[wi];
+                    BpdnProblem {
+                        sensing: p.sensing,
+                        dwt: p.dwt,
+                        measurements: p.measurements,
+                        sigma: p.sigma,
+                        box_bounds: p.box_bounds,
+                        coefficient_weights: if have_weights {
+                            Some(weights_store[wi].as_slice())
+                        } else {
+                            p.coefficient_weights
+                        },
+                    }
+                })
+                .collect();
+            let round_batch = BatchProblem::new(&round_problems)?;
+            // Distinct `&mut` borrows for the active windows' observers,
+            // each wrapped to offset iteration numbers by rounds so far.
+            let mut forwards: Vec<OffsetForward<'_>> = Vec::with_capacity(active.len());
+            let mut ai = 0;
+            for (wi, obs) in observers.iter_mut().enumerate() {
+                if ai < active.len() && active[ai] == wi {
+                    forwards.push(OffsetForward {
+                        inner: &mut **obs,
+                        offset: totals[wi],
+                    });
+                    ai += 1;
+                }
+            }
+            let mut fw_refs: Vec<&mut dyn IterationObserver> = forwards
+                .iter_mut()
+                .map(|f| f as &mut dyn IterationObserver)
+                .collect();
+            solve_pdhg_batch_workspace(
+                &round_batch,
+                &options.inner,
+                &mut fw_refs,
+                ws,
+                &mut round_out,
+            )?;
+        }
+
+        let round_windows = std::mem::take(&mut active);
+        for (ai, &wi) in round_windows.iter().enumerate() {
+            let result = round_out[ai].take().expect("batch PDHG fills every window");
+            totals[wi] += result.iterations;
+
+            // Next round's weights from this round's coefficients.
+            dwt.forward_into(&result.signal, &mut coeffs, &mut dwt_scratch)
+                .expect("length validated");
+            let max = coeffs.iter().fold(0.0_f64, |m, c| m.max(c.abs()));
+            let eps = (options.epsilon_rel * max).max(f64::MIN_POSITIVE);
+            for (w, c) in weights_store[wi].iter_mut().zip(&coeffs) {
+                *w = eps / (c.abs() + eps);
+            }
+
+            if let Some(prev) = results[wi].take() {
+                ws.release(prev.signal);
+            }
+            results[wi] = Some(result);
+            if observers[wi].should_abort() {
+                aborted[wi] = true;
+            } else {
+                active.push(wi);
+            }
+        }
+        have_weights = true;
+    }
+
+    for wi in 0..kw {
+        let mut result = results[wi].take().expect("outer_iterations >= 1");
+        result.iterations = totals[wi];
+        observers[wi].on_complete(&ConvergenceTrace {
+            solver: "reweighted",
+            iterations: totals[wi],
+            stop_reason: if aborted[wi] {
+                StopReason::Aborted
+            } else if result.converged {
+                StopReason::Converged
+            } else {
+                StopReason::MaxIterations
+            },
+            wall_time: started.elapsed(),
+            converged: result.converged,
+            final_objective: result.objective,
+            final_residual: result.residual,
+        });
+        out[wi] = Some(result);
+    }
+
+    ws.release(dwt_scratch);
+    ws.release(coeffs);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        solve_fista_workspace, solve_iht_workspace, solve_pdhg_workspace,
+        solve_reweighted_workspace, DenseOperator, NoopObserver, RecordingObserver,
+    };
+    use hybridcs_dsp::{Dwt, Wavelet};
+    use hybridcs_linalg::simd::{set_override, simd_available};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serializes tests that flip the global SIMD dispatch override.
+    fn tier_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn bernoulli_like(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        Matrix::from_fn(m, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (state >> 62) & 1 == 1 {
+                1.0 / (n as f64).sqrt()
+            } else {
+                -1.0 / (n as f64).sqrt()
+            }
+        })
+    }
+
+    /// Per-window smooth signal with a window-dependent mix so stopping
+    /// iterations genuinely differ across the batch.
+    fn smooth_signal(n: usize, w: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                let f = 2.0 + w as f64;
+                (2.0 * std::f64::consts::PI * f * t).sin()
+                    + 0.4 * (2.0 * std::f64::consts::PI * (f + 3.0) * t).cos()
+                    + 0.05 * w as f64
+            })
+            .collect()
+    }
+
+    fn assert_result_bits(serial: &RecoveryResult, batch: &RecoveryResult, label: &str) {
+        assert_eq!(serial.iterations, batch.iterations, "{label}: iterations");
+        assert_eq!(serial.converged, batch.converged, "{label}: converged");
+        assert_eq!(
+            serial.residual.to_bits(),
+            batch.residual.to_bits(),
+            "{label}: residual bits"
+        );
+        assert_eq!(
+            serial.objective.to_bits(),
+            batch.objective.to_bits(),
+            "{label}: objective bits"
+        );
+        assert_eq!(serial.signal.len(), batch.signal.len(), "{label}: length");
+        for (i, (a, b)) in serial.signal.iter().zip(&batch.signal).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{label}: signal[{i}] {a} vs {b}");
+        }
+    }
+
+    fn assert_observer_bits(serial: &RecordingObserver, batch: &RecordingObserver, label: &str) {
+        let se = serial.events();
+        let be = batch.events();
+        assert_eq!(se.len(), be.len(), "{label}: event count");
+        for (i, (s, b)) in se.iter().zip(be).enumerate() {
+            assert_eq!(s.iteration, b.iteration, "{label}: event[{i}] iteration");
+            assert_eq!(
+                s.objective.to_bits(),
+                b.objective.to_bits(),
+                "{label}: event[{i}] objective"
+            );
+            assert_eq!(
+                s.residual.to_bits(),
+                b.residual.to_bits(),
+                "{label}: event[{i}] residual"
+            );
+            assert_eq!(s.step_size, b.step_size, "{label}: event[{i}] step");
+        }
+        let st = serial.trace().expect("serial trace");
+        let bt = batch.trace().expect("batch trace");
+        assert_eq!(st.solver, bt.solver, "{label}: trace solver");
+        assert_eq!(st.iterations, bt.iterations, "{label}: trace iterations");
+        assert_eq!(st.stop_reason, bt.stop_reason, "{label}: trace stop");
+        assert_eq!(st.converged, bt.converged, "{label}: trace converged");
+        assert_eq!(
+            st.final_objective.to_bits(),
+            bt.final_objective.to_bits(),
+            "{label}: trace objective"
+        );
+        assert_eq!(
+            st.final_residual.to_bits(),
+            bt.final_residual.to_bits(),
+            "{label}: trace residual"
+        );
+    }
+
+    /// Runs `body` under scalar dispatch and, when the host supports it,
+    /// again under forced AVX2.
+    fn for_each_tier(body: impl Fn(&str)) {
+        let _guard = tier_lock();
+        set_override(Some(false));
+        body("scalar");
+        if simd_available() {
+            set_override(Some(true));
+            body("avx2");
+        }
+        set_override(None);
+    }
+
+    #[test]
+    fn batch_problem_rejects_mixed_batches() {
+        let n = 32;
+        let op1 = DenseOperator::new(Matrix::identity(n));
+        let op2 = DenseOperator::new(Matrix::identity(n));
+        let dwt1 = Dwt::new(Wavelet::Haar, 2).unwrap();
+        let dwt2 = Dwt::new(Wavelet::Haar, 2).unwrap();
+        let y = vec![0.0; n];
+        let lo = vec![-1.0; n];
+        let hi = vec![1.0; n];
+        let w = vec![1.0; n];
+        let p = |sensing, dwt, boxed: bool, weighted: bool| BpdnProblem {
+            sensing,
+            dwt,
+            measurements: &y,
+            sigma: 0.1,
+            box_bounds: if boxed {
+                Some((&lo[..], &hi[..]))
+            } else {
+                None
+            },
+            coefficient_weights: if weighted { Some(&w[..]) } else { None },
+        };
+
+        // Mixed sensing operator.
+        let mixed_op = [p(&op1, &dwt1, false, false), p(&op2, &dwt1, false, false)];
+        assert!(matches!(
+            BatchProblem::new(&mixed_op),
+            Err(SolverError::BadParameter {
+                name: "batch (mixed sensing operators)",
+                ..
+            })
+        ));
+        // Mixed wavelet.
+        let mixed_dwt = [p(&op1, &dwt1, false, false), p(&op1, &dwt2, false, false)];
+        assert!(matches!(
+            BatchProblem::new(&mixed_dwt),
+            Err(SolverError::BadParameter {
+                name: "batch (mixed wavelet transforms)",
+                ..
+            })
+        ));
+        // Mixed box presence.
+        let mixed_box = [p(&op1, &dwt1, true, false), p(&op1, &dwt1, false, false)];
+        assert!(matches!(
+            BatchProblem::new(&mixed_box),
+            Err(SolverError::BadParameter {
+                name: "batch (mixed box presence)",
+                ..
+            })
+        ));
+        // Mixed weight presence.
+        let mixed_w = [p(&op1, &dwt1, false, true), p(&op1, &dwt1, false, false)];
+        assert!(matches!(
+            BatchProblem::new(&mixed_w),
+            Err(SolverError::BadParameter {
+                name: "batch (mixed weight presence)",
+                ..
+            })
+        ));
+        // Uniform batch and empty batch are fine.
+        let uniform = [p(&op1, &dwt1, true, true), p(&op1, &dwt1, true, true)];
+        assert!(BatchProblem::new(&uniform).is_ok());
+        assert!(BatchProblem::new(&[]).is_ok());
+        // Invalid window surfaces its own validation error.
+        let bad_y = vec![f64::NAN; n];
+        let bad = [BpdnProblem {
+            sensing: &op1,
+            dwt: &dwt1,
+            measurements: &bad_y,
+            sigma: 0.1,
+            box_bounds: None,
+            coefficient_weights: None,
+        }];
+        assert!(matches!(
+            BatchProblem::new(&bad),
+            Err(SolverError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_solves_to_empty_out() {
+        let batch = BatchProblem::new(&[]).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let mut out = vec![Some(RecoveryResult {
+            signal: vec![],
+            iterations: 1,
+            converged: true,
+            residual: 0.0,
+            objective: 0.0,
+        })];
+        solve_pdhg_batch_workspace(&batch, &PdhgOptions::default(), &mut [], &mut ws, &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn observer_count_mismatch_is_rejected() {
+        let n = 32;
+        let op = DenseOperator::new(Matrix::identity(n));
+        let dwt = Dwt::new(Wavelet::Haar, 2).unwrap();
+        let y = vec![0.0; n];
+        let problems = [BpdnProblem {
+            sensing: &op,
+            dwt: &dwt,
+            measurements: &y,
+            sigma: 0.1,
+            box_bounds: None,
+            coefficient_weights: None,
+        }];
+        let batch = BatchProblem::new(&problems).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            solve_pdhg_batch_workspace(&batch, &PdhgOptions::default(), &mut [], &mut ws, &mut out),
+            Err(SolverError::DimensionMismatch {
+                what: "observers vs batch windows",
+                ..
+            })
+        ));
+    }
+
+    /// Builds K heterogeneous BPDN windows over one shared operator/DWT.
+    struct PdhgFixture {
+        op: DenseOperator,
+        dwt: Dwt,
+        ys: Vec<Vec<f64>>,
+        los: Vec<Vec<f64>>,
+        his: Vec<Vec<f64>>,
+        weights: Vec<Vec<f64>>,
+    }
+
+    impl PdhgFixture {
+        fn new(n: usize, m: usize, k: usize, seed: u64) -> Self {
+            let phi = bernoulli_like(m, n, seed);
+            let mut ys = Vec::new();
+            let mut los = Vec::new();
+            let mut his = Vec::new();
+            let mut weights = Vec::new();
+            for w in 0..k {
+                let x = smooth_signal(n, w);
+                ys.push(phi.matvec(&x));
+                let d = 0.25;
+                los.push(x.iter().map(|v| (v / d).floor() * d).collect());
+                his.push(x.iter().map(|v| (v / d).floor() * d + d).collect());
+                weights.push((0..n).map(|i| 0.5 + ((i + w) % 5) as f64 * 0.25).collect());
+            }
+            PdhgFixture {
+                op: DenseOperator::new(phi),
+                dwt: Dwt::new(Wavelet::Db4, 3).unwrap(),
+                ys,
+                los,
+                his,
+                weights,
+            }
+        }
+
+        fn problems(&self, boxed: bool, weighted: bool) -> Vec<BpdnProblem<'_>> {
+            (0..self.ys.len())
+                .map(|w| BpdnProblem {
+                    sensing: &self.op,
+                    dwt: &self.dwt,
+                    measurements: &self.ys[w],
+                    sigma: 1e-3 * (1.0 + w as f64),
+                    box_bounds: if boxed {
+                        Some((&self.los[w][..], &self.his[w][..]))
+                    } else {
+                        None
+                    },
+                    coefficient_weights: if weighted {
+                        Some(&self.weights[w][..])
+                    } else {
+                        None
+                    },
+                })
+                .collect()
+        }
+    }
+
+    fn run_pdhg_equivalence(boxed: bool, weighted: bool, k: usize, label: &str) {
+        let fixture = PdhgFixture::new(64, 32, k, 7 + k as u64);
+        let problems = fixture.problems(boxed, weighted);
+        let options = PdhgOptions {
+            max_iterations: 3000,
+            tolerance: 1e-4,
+            ..PdhgOptions::default()
+        };
+
+        let mut ws = SolverWorkspace::new();
+        let serial: Vec<RecoveryResult> = problems
+            .iter()
+            .map(|p| {
+                let r = solve_pdhg_workspace(p, &options, &mut NoopObserver, &mut ws).unwrap();
+                RecoveryResult {
+                    signal: r.signal.clone(),
+                    ..r
+                }
+            })
+            .collect();
+        if k >= 3 {
+            assert!(
+                serial.iter().any(|r| r.iterations != serial[0].iterations),
+                "{label}: fixture too homogeneous — stopping masks unexercised"
+            );
+        }
+
+        let batch = BatchProblem::new(&problems).unwrap();
+        let mut noops: Vec<NoopObserver> = (0..k).map(|_| NoopObserver).collect();
+        let mut obs: Vec<&mut dyn IterationObserver> = noops
+            .iter_mut()
+            .map(|o| o as &mut dyn IterationObserver)
+            .collect();
+        let mut out = Vec::new();
+        solve_pdhg_batch_workspace(&batch, &options, &mut obs, &mut ws, &mut out).unwrap();
+        for (w, (s, b)) in serial.iter().zip(&out).enumerate() {
+            let b = b.as_ref().expect("filled");
+            assert_result_bits(s, b, &format!("{label} k={k} w={w}"));
+        }
+    }
+
+    #[test]
+    fn pdhg_batch_bit_identical_to_serial_all_k() {
+        for_each_tier(|tier| {
+            for k in [1, 2, 3, 4, 7, 8] {
+                run_pdhg_equivalence(false, false, k, &format!("pdhg/{tier}"));
+            }
+        });
+    }
+
+    #[test]
+    fn pdhg_batch_bit_identical_with_box_and_weights() {
+        for_each_tier(|tier| {
+            run_pdhg_equivalence(true, false, 5, &format!("pdhg-box/{tier}"));
+            run_pdhg_equivalence(false, true, 5, &format!("pdhg-weights/{tier}"));
+            run_pdhg_equivalence(true, true, 5, &format!("pdhg-box-weights/{tier}"));
+        });
+    }
+
+    #[test]
+    fn pdhg_batch_observer_stream_matches_serial() {
+        let _guard = tier_lock();
+        set_override(None);
+        let k = 4;
+        let fixture = PdhgFixture::new(64, 32, k, 11);
+        let problems = fixture.problems(true, true);
+        let options = PdhgOptions {
+            max_iterations: 120,
+            tolerance: 1e-4,
+            ..PdhgOptions::default()
+        };
+        let mut ws = SolverWorkspace::new();
+        let serial_obs: Vec<RecordingObserver> = problems
+            .iter()
+            .map(|p| {
+                let mut rec = RecordingObserver::new();
+                let r = solve_pdhg_workspace(p, &options, &mut rec, &mut ws).unwrap();
+                ws.release(r.signal);
+                rec
+            })
+            .collect();
+
+        let batch = BatchProblem::new(&problems).unwrap();
+        let mut batch_obs: Vec<RecordingObserver> =
+            (0..k).map(|_| RecordingObserver::new()).collect();
+        let mut obs: Vec<&mut dyn IterationObserver> = batch_obs
+            .iter_mut()
+            .map(|o| o as &mut dyn IterationObserver)
+            .collect();
+        let mut out = Vec::new();
+        solve_pdhg_batch_workspace(&batch, &options, &mut obs, &mut ws, &mut out).unwrap();
+        for (w, (s, b)) in serial_obs.iter().zip(&batch_obs).enumerate() {
+            assert_observer_bits(s, b, &format!("pdhg-obs w={w}"));
+        }
+    }
+
+    #[test]
+    fn fista_batch_bit_identical_to_serial() {
+        for_each_tier(|tier| {
+            for (lambda, weighted, k) in [
+                (None, false, 1),
+                (None, false, 4),
+                (None, true, 5),
+                (Some(0.02), false, 3),
+                (Some(0.02), true, 7),
+            ] {
+                let fixture = PdhgFixture::new(64, 32, k, 23 + k as u64);
+                let problems = fixture.problems(false, weighted);
+                let options = FistaOptions {
+                    max_iterations: 300,
+                    tolerance: 1e-6,
+                    lambda,
+                };
+                let mut ws = SolverWorkspace::new();
+                let serial: Vec<RecoveryResult> = problems
+                    .iter()
+                    .map(|p| {
+                        let r =
+                            solve_fista_workspace(p, &options, &mut NoopObserver, &mut ws).unwrap();
+                        RecoveryResult {
+                            signal: r.signal.clone(),
+                            ..r
+                        }
+                    })
+                    .collect();
+                let batch = BatchProblem::new(&problems).unwrap();
+                let mut noops: Vec<NoopObserver> = (0..k).map(|_| NoopObserver).collect();
+                let mut obs: Vec<&mut dyn IterationObserver> = noops
+                    .iter_mut()
+                    .map(|o| o as &mut dyn IterationObserver)
+                    .collect();
+                let mut out = Vec::new();
+                solve_fista_batch_workspace(&batch, &options, &mut obs, &mut ws, &mut out).unwrap();
+                for (w, (s, b)) in serial.iter().zip(&out).enumerate() {
+                    let b = b.as_ref().expect("filled");
+                    assert_result_bits(s, b, &format!("fista/{tier} k={k} w={w}"));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn iht_batch_bit_identical_to_serial() {
+        for_each_tier(|tier| {
+            for k in [1, 3, 6] {
+                let n = 64;
+                let m = 40;
+                let a = bernoulli_like(m, n, 31 + k as u64);
+                // Sparse truths with window-dependent supports so stopping
+                // iterations differ.
+                let ys: Vec<Vec<f64>> = (0..k)
+                    .map(|w| {
+                        let mut x = vec![0.0; n];
+                        for j in 0..4 {
+                            x[(w * 7 + j * 11) % n] = 1.0 + 0.3 * j as f64 - 0.2 * w as f64;
+                        }
+                        a.matvec(&x)
+                    })
+                    .collect();
+                let options = GreedyOptions {
+                    max_sparsity: 6,
+                    max_iterations: 200,
+                    ..GreedyOptions::default()
+                };
+                let mut ws = SolverWorkspace::new();
+                let serial: Vec<RecoveryResult> = ys
+                    .iter()
+                    .map(|y| {
+                        let r = solve_iht_workspace(&a, y, &options, &mut NoopObserver, &mut ws)
+                            .unwrap();
+                        RecoveryResult {
+                            signal: r.signal.clone(),
+                            ..r
+                        }
+                    })
+                    .collect();
+                let y_refs: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+                let mut noops: Vec<NoopObserver> = (0..k).map(|_| NoopObserver).collect();
+                let mut obs: Vec<&mut dyn IterationObserver> = noops
+                    .iter_mut()
+                    .map(|o| o as &mut dyn IterationObserver)
+                    .collect();
+                let mut out = Vec::new();
+                solve_iht_batch_workspace(&a, &y_refs, &options, &mut obs, &mut ws, &mut out)
+                    .unwrap();
+                for (w, (s, b)) in serial.iter().zip(&out).enumerate() {
+                    let b = b.as_ref().expect("filled");
+                    assert_result_bits(s, b, &format!("iht/{tier} k={k} w={w}"));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn reweighted_batch_bit_identical_to_serial() {
+        for_each_tier(|tier| {
+            let k = 4;
+            let fixture = PdhgFixture::new(64, 28, k, 47);
+            let problems = fixture.problems(true, false);
+            let options = ReweightedOptions {
+                outer_iterations: 3,
+                epsilon_rel: 0.05,
+                inner: PdhgOptions {
+                    max_iterations: 150,
+                    tolerance: 1e-4,
+                    ..PdhgOptions::default()
+                },
+            };
+            let mut ws = SolverWorkspace::new();
+            let serial: Vec<RecoveryResult> = problems
+                .iter()
+                .map(|p| {
+                    let r = solve_reweighted_workspace(p, &options, &mut NoopObserver, &mut ws)
+                        .unwrap();
+                    RecoveryResult {
+                        signal: r.signal.clone(),
+                        ..r
+                    }
+                })
+                .collect();
+            let batch = BatchProblem::new(&problems).unwrap();
+            let mut noops: Vec<NoopObserver> = (0..k).map(|_| NoopObserver).collect();
+            let mut obs: Vec<&mut dyn IterationObserver> = noops
+                .iter_mut()
+                .map(|o| o as &mut dyn IterationObserver)
+                .collect();
+            let mut out = Vec::new();
+            solve_reweighted_batch_workspace(&batch, &options, &mut obs, &mut ws, &mut out)
+                .unwrap();
+            for (w, (s, b)) in serial.iter().zip(&out).enumerate() {
+                let b = b.as_ref().expect("filled");
+                assert_result_bits(s, b, &format!("reweighted/{tier} w={w}"));
+            }
+        });
+    }
+
+    #[test]
+    fn batch_solve_is_allocation_free_after_warmup() {
+        // The pool reaches steady state: a second identical batch solve
+        // acquires every buffer from the pool (pooled count returns to the
+        // same level, and no pool growth occurs).
+        let _guard = tier_lock();
+        set_override(None);
+        let k = 4;
+        let fixture = PdhgFixture::new(64, 32, k, 91);
+        let problems = fixture.problems(false, false);
+        let options = PdhgOptions {
+            max_iterations: 60,
+            tolerance: 1e-4,
+            ..PdhgOptions::default()
+        };
+        let batch = BatchProblem::new(&problems).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            let mut noops: Vec<NoopObserver> = (0..k).map(|_| NoopObserver).collect();
+            let mut obs: Vec<&mut dyn IterationObserver> = noops
+                .iter_mut()
+                .map(|o| o as &mut dyn IterationObserver)
+                .collect();
+            solve_pdhg_batch_workspace(&batch, &options, &mut obs, &mut ws, &mut out).unwrap();
+            for r in out.iter_mut() {
+                ws.release(r.take().unwrap().signal);
+            }
+        }
+        let pooled = ws.pooled();
+        let mut noops: Vec<NoopObserver> = (0..k).map(|_| NoopObserver).collect();
+        let mut obs: Vec<&mut dyn IterationObserver> = noops
+            .iter_mut()
+            .map(|o| o as &mut dyn IterationObserver)
+            .collect();
+        solve_pdhg_batch_workspace(&batch, &options, &mut obs, &mut ws, &mut out).unwrap();
+        for r in out.iter_mut() {
+            ws.release(r.take().unwrap().signal);
+        }
+        assert_eq!(ws.pooled(), pooled, "pool grew after warm-up");
+    }
+}

@@ -60,6 +60,78 @@ pub trait LinearOperator {
         self.apply_adjoint(y, out);
     }
 
+    /// Scratch length required by the batched applications at width `k`.
+    ///
+    /// The default covers the gather/apply/scatter fallback; operators
+    /// with real panel kernels override it.
+    fn batch_scratch_len(&self, k: usize) -> usize {
+        let _ = k;
+        self.cols() + self.rows() + self.scratch_len()
+    }
+
+    /// Batched forward action over a column-major panel: lane `l` of
+    /// `x_panel` (elements `x_panel[i*k + l]`) maps to lane `l` of
+    /// `out_panel`. The contract every implementation must keep: each
+    /// lane's output is **bit-identical** to [`LinearOperator::apply_into`]
+    /// on the gathered lane — the batched solvers rely on this for their
+    /// batch-equals-serial guarantee. The default loops over lanes through
+    /// the serial path, which satisfies the contract trivially.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on panel shape mismatches or if
+    /// `scratch.len() < self.batch_scratch_len(k)`.
+    fn apply_batch_into(
+        &self,
+        x_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        assert_eq!(x_panel.len(), self.cols() * k, "batch apply: panel shape");
+        assert_eq!(
+            out_panel.len(),
+            self.rows() * k,
+            "batch apply: output shape"
+        );
+        let (xbuf, rest) = scratch.split_at_mut(self.cols());
+        let (ybuf, rest) = rest.split_at_mut(self.rows());
+        for lane in 0..k {
+            hybridcs_linalg::simd::gather_lane(x_panel, k, lane, xbuf);
+            self.apply_into(xbuf, ybuf, rest);
+            hybridcs_linalg::simd::scatter_lane(ybuf, k, lane, out_panel);
+        }
+    }
+
+    /// Batched adjoint action over a column-major panel — same per-lane
+    /// bit-identity contract as [`LinearOperator::apply_batch_into`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on panel shape mismatches or if
+    /// `scratch.len() < self.batch_scratch_len(k)`.
+    fn apply_adjoint_batch_into(
+        &self,
+        y_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        assert_eq!(y_panel.len(), self.rows() * k, "batch adjoint: panel shape");
+        assert_eq!(
+            out_panel.len(),
+            self.cols() * k,
+            "batch adjoint: output shape"
+        );
+        let (ybuf, rest) = scratch.split_at_mut(self.rows());
+        let (xbuf, rest) = rest.split_at_mut(self.cols());
+        for lane in 0..k {
+            hybridcs_linalg::simd::gather_lane(y_panel, k, lane, ybuf);
+            self.apply_adjoint_into(ybuf, xbuf, rest);
+            hybridcs_linalg::simd::scatter_lane(xbuf, k, lane, out_panel);
+        }
+    }
+
     /// Whether the operator is exactly orthonormal (`AᵀA = AAᵀ = I`), in
     /// which case `‖A‖₂ = 1` and compositions can skip the power iteration.
     fn is_orthonormal(&self) -> bool {
@@ -201,6 +273,34 @@ impl LinearOperator for SynthesisOperator {
             .expect("length validated at construction");
     }
 
+    fn batch_scratch_len(&self, k: usize) -> usize {
+        Dwt::panel_scratch_len(self.len, k)
+    }
+
+    fn apply_batch_into(
+        &self,
+        x_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        self.dwt
+            .inverse_panel_into(x_panel, k, out_panel, scratch)
+            .expect("length validated at construction");
+    }
+
+    fn apply_adjoint_batch_into(
+        &self,
+        y_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        self.dwt
+            .forward_panel_into(y_panel, k, out_panel, scratch)
+            .expect("length validated at construction");
+    }
+
     fn is_orthonormal(&self) -> bool {
         true
     }
@@ -274,6 +374,38 @@ where
         let (mid, rest) = scratch.split_at_mut(self.outer.cols());
         self.outer.apply_adjoint_into(y, mid, rest);
         self.inner.apply_adjoint_into(mid, out, rest);
+    }
+
+    fn batch_scratch_len(&self, k: usize) -> usize {
+        self.inner.rows() * k
+            + self
+                .inner
+                .batch_scratch_len(k)
+                .max(self.outer.batch_scratch_len(k))
+    }
+
+    fn apply_batch_into(
+        &self,
+        x_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        let (mid, rest) = scratch.split_at_mut(self.inner.rows() * k);
+        self.inner.apply_batch_into(x_panel, k, mid, rest);
+        self.outer.apply_batch_into(mid, k, out_panel, rest);
+    }
+
+    fn apply_adjoint_batch_into(
+        &self,
+        y_panel: &[f64],
+        k: usize,
+        out_panel: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        let (mid, rest) = scratch.split_at_mut(self.outer.cols() * k);
+        self.outer.apply_adjoint_batch_into(y_panel, k, mid, rest);
+        self.inner.apply_adjoint_batch_into(mid, k, out_panel, rest);
     }
 
     fn is_orthonormal(&self) -> bool {

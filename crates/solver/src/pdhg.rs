@@ -276,7 +276,7 @@ pub fn solve_pdhg_workspace(
     })
 }
 
-fn validate_options(options: &PdhgOptions) -> Result<(), SolverError> {
+pub(crate) fn validate_options(options: &PdhgOptions) -> Result<(), SolverError> {
     if options.max_iterations == 0 {
         return Err(SolverError::BadParameter {
             name: "max_iterations",

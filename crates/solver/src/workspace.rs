@@ -83,6 +83,19 @@ impl SolverWorkspace {
         }
     }
 
+    /// Takes a zeroed `rows × cols` panel (column-major over lanes: element
+    /// `i` of lane `l` lives at `i * cols + l`) for the batched solvers.
+    ///
+    /// This is [`acquire`](SolverWorkspace::acquire)`(rows * cols)` — panels
+    /// share the same capacity classes as plain vectors, so a pool warmed by
+    /// K-wide batch solves also serves serial solves of compatible sizes and
+    /// vice versa, keeping the zero-allocation steady state across mixed
+    /// batch sizes.
+    #[must_use]
+    pub fn acquire_panel(&mut self, rows: usize, cols: usize) -> Vec<f64> {
+        self.acquire(rows * cols)
+    }
+
     /// Takes an **empty** index buffer with capacity at least `cap` (used by
     /// the greedy solvers for support selection). Mirrors
     /// [`acquire`](SolverWorkspace::acquire) but for `Vec<usize>`.

@@ -27,14 +27,29 @@
 //!    [`hybridcs_bench::alloc_counter::CountingAllocator`], a span of
 //!    steady-state workspace solves (problems pre-built, workspace
 //!    warmed, recovered signals recycled) must perform **zero** heap
-//!    allocations.
+//!    allocations. The same gate then runs against a steady-state
+//!    *batched* solve ([`solve_pdhg_batch_workspace`]): zero allocations
+//!    there too.
+//! 3. **Batched K-sweep** — the corpus is re-solved through the batched
+//!    lockstep path at K ∈ {1, 4, 8, 16} windows per batch, once per
+//!    SIMD tier (scalar pinned via [`set_override`], then AVX2+FMA when
+//!    the host supports it). Every configuration is asserted
+//!    **bit-identical** to the serial workspace decode — the batched
+//!    solvers vectorize across the batch dimension only, so the
+//!    per-window arithmetic never changes — and its throughput goes
+//!    into the report. The best batched+SIMD configuration must clear
+//!    3× over the baseline (gated only when the host has AVX2+FMA).
 //!
 //! The bench report (`BENCH_decode.json` by default, JSONL in the
 //! `hybridcs-obs` export schema) carries the latency histograms and the
-//! `decode_bench_*` gauges.
+//! `decode_bench_*` gauges, including one
+//! `decode_bench_batch_windows_per_s{k=…, simd=…}` point per sweep
+//! configuration.
 //!
 //! Environment knobs: `HYBRIDCS_DECODE_WINDOWS` (default 12),
-//! `HYBRIDCS_DECODE_BENCH_PATH` (default `BENCH_decode.json`).
+//! `HYBRIDCS_DECODE_BENCH_PATH` (default `BENCH_decode.json`). The
+//! process-wide `HYBRIDCS_FORCE_SCALAR=1` pin is ignored here — the sweep
+//! drives the tier explicitly through the in-process override.
 
 use hybridcs::codec::experiment::default_training_windows;
 use hybridcs::codec::{
@@ -43,9 +58,10 @@ use hybridcs::codec::{
 };
 use hybridcs::ecg::{EcgGenerator, GeneratorConfig};
 use hybridcs::frontend::{LowResChannel, LowResFrame, SensingMatrix};
+use hybridcs::linalg::simd::{set_override, simd_available};
 use hybridcs::solver::{
-    solve_pdhg, solve_pdhg_workspace, BpdnProblem, LinearOperator, NoopObserver, PdhgOptions,
-    SolverWorkspace,
+    solve_pdhg, solve_pdhg_batch_workspace, solve_pdhg_workspace, BatchProblem, BpdnProblem,
+    IterationObserver, LinearOperator, NoopObserver, PdhgOptions, RecoveryResult, SolverWorkspace,
 };
 use hybridcs_bench::alloc_counter::{self, CountingAllocator};
 use std::time::Instant;
@@ -57,6 +73,13 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 /// Throughput floor the optimized path must clear over the baseline.
 const SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Throughput floor the best batched+SIMD configuration must clear over
+/// the baseline (gated only when the host has the AVX2+FMA tier).
+const BATCHED_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Batch widths swept in phase 3.
+const BATCH_WIDTHS: [usize; 4] = [1, 4, 8, 16];
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -292,6 +315,127 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          ({allocs_per_window:.2}/window)"
     );
 
+    // Same gate, batched path: one pre-validated K-wide batch, observer
+    // refs and the `out` vector built once, workspace warmed with the
+    // panel shapes the counted solve will acquire.
+    let gate_k = 8.min(windows);
+    let gate_batch = BatchProblem::new(&problems[..gate_k])?;
+    let mut gate_noops: Vec<NoopObserver> = (0..gate_k).map(|_| NoopObserver).collect();
+    let mut gate_refs: Vec<&mut dyn IterationObserver> = gate_noops
+        .iter_mut()
+        .map(|o| o as &mut dyn IterationObserver)
+        .collect();
+    let mut gate_out: Vec<Option<RecoveryResult>> = Vec::new();
+    for _ in 0..2 {
+        solve_pdhg_batch_workspace(&gate_batch, &opts, &mut gate_refs, &mut ws, &mut gate_out)?;
+        for slot in &mut gate_out {
+            if let Some(result) = slot.take() {
+                ws.release(result.signal);
+            }
+        }
+    }
+    alloc_counter::start_counting();
+    let gated =
+        solve_pdhg_batch_workspace(&gate_batch, &opts, &mut gate_refs, &mut ws, &mut gate_out);
+    for slot in &mut gate_out {
+        if let Some(result) = slot.take() {
+            ws.release(result.signal);
+        }
+    }
+    let batch_allocations = alloc_counter::stop_counting();
+    gated?;
+    println!(
+        "decode bench: {batch_allocations} heap allocations across one steady-state \
+         {gate_k}-window batched solve"
+    );
+
+    // --- phase 3: batched K-sweep across SIMD tiers --------------------
+    // The serial workspace solves are the reference; every batched
+    // configuration must reproduce them bit for bit (the lockstep loop
+    // preserves each window's accumulation order exactly, and the SIMD
+    // kernels are 0-ULP twins of the scalar tier).
+    let reference: Vec<RecoveryResult> = problems
+        .iter()
+        .map(|p| solve_pdhg_workspace(p, &opts, &mut NoopObserver, &mut ws))
+        .collect::<Result<_, _>>()?;
+
+    let tiers: &[(bool, &str)] = if simd_available() {
+        &[(false, "off"), (true, "on")]
+    } else {
+        println!("decode bench: host lacks AVX2+FMA — sweeping the scalar tier only");
+        &[(false, "off")]
+    };
+    let mut noops: Vec<NoopObserver> = (0..BATCH_WIDTHS.iter().copied().max().unwrap_or(1))
+        .map(|_| NoopObserver)
+        .collect();
+    let mut out: Vec<Option<RecoveryResult>> = Vec::new();
+    let mut best_batched_simd: Option<(usize, f64)> = None;
+    for &(simd_on, tier) in tiers {
+        set_override(Some(simd_on));
+        for k in BATCH_WIDTHS {
+            // One warm-up pass (workspace panels sized for this K), one
+            // timed pass that also checks bit-identity per window.
+            for timed in [false, true] {
+                let started = Instant::now();
+                for (ci, chunk) in problems.chunks(k).enumerate() {
+                    let batch = BatchProblem::new(chunk)?;
+                    let mut refs: Vec<&mut dyn IterationObserver> = noops
+                        .iter_mut()
+                        .take(chunk.len())
+                        .map(|o| o as &mut dyn IterationObserver)
+                        .collect();
+                    solve_pdhg_batch_workspace(&batch, &opts, &mut refs, &mut ws, &mut out)?;
+                    for (j, slot) in out.iter_mut().enumerate() {
+                        let got = slot.take().expect("batch solvers fill every window");
+                        let want = &reference[ci * k + j];
+                        assert_eq!(
+                            (got.iterations, got.converged),
+                            (want.iterations, want.converged),
+                            "batched decode (k = {k}, simd {tier}) diverged from serial \
+                             at window {}",
+                            ci * k + j
+                        );
+                        assert!(
+                            got.signal.len() == want.signal.len()
+                                && got
+                                    .signal
+                                    .iter()
+                                    .zip(&want.signal)
+                                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "batched decode (k = {k}, simd {tier}) not bit-identical to \
+                             serial at window {}",
+                            ci * k + j
+                        );
+                        ws.release(got.signal);
+                    }
+                }
+                if timed {
+                    let secs = started.elapsed().as_secs_f64();
+                    let batch_throughput = windows as f64 / secs;
+                    println!(
+                        "decode bench: batched k = {k:2} simd {tier:3} \
+                         {batch_throughput:8.1} windows/s ({:.2}x vs baseline)",
+                        base_s / secs
+                    );
+                    registry
+                        .gauge(
+                            "decode_bench_batch_windows_per_s",
+                            &[("k", &format!("{k}")), ("simd", tier)],
+                        )
+                        .set(batch_throughput);
+                    if simd_on && k > 1 && best_batched_simd.is_none_or(|(_, s)| secs < s) {
+                        best_batched_simd = Some((k, secs));
+                    }
+                }
+            }
+        }
+    }
+    set_override(None);
+    println!(
+        "decode bench: all {} batched configurations bit-identical to the serial decode",
+        tiers.len() * BATCH_WIDTHS.len()
+    );
+
     // --- report + gates -----------------------------------------------
     registry
         .gauge("decode_bench_windows", &[])
@@ -309,6 +453,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     registry
         .gauge("decode_bench_allocations_per_window", &[])
         .set(allocs_per_window);
+    #[allow(clippy::cast_precision_loss)]
+    registry
+        .gauge("decode_bench_batch_allocations", &[])
+        .set(batch_allocations as f64);
+    let batched_speedup = best_batched_simd.map(|(_, secs)| base_s / secs);
+    if let Some((k, secs)) = best_batched_simd {
+        registry
+            .gauge("decode_bench_batched_speedup", &[("k", &format!("{k}"))])
+            .set(base_s / secs);
+    }
     let path = std::path::PathBuf::from(bench_path);
     hybridcs::obs::export::write_jsonl(&path, "decode_throughput", &registry.snapshot(), &[])?;
     println!("decode bench: report written to {}", path.display());
@@ -319,12 +473,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         std::process::exit(1);
     }
+    if batch_allocations != 0 {
+        eprintln!(
+            "error: batched solver hot path allocated {batch_allocations} times after warm-up \
+             (expected 0)"
+        );
+        std::process::exit(1);
+    }
     if speedup < SPEEDUP_FLOOR {
         eprintln!(
             "error: optimized decode speedup {speedup:.2}x below the {SPEEDUP_FLOOR:.1}x floor"
         );
         std::process::exit(1);
     }
-    println!("decode bench: OK ({speedup:.2}x, 0 allocations/window)");
+    match batched_speedup {
+        Some(s) if s < BATCHED_SPEEDUP_FLOOR => {
+            eprintln!(
+                "error: batched+SIMD decode speedup {s:.2}x below the \
+                 {BATCHED_SPEEDUP_FLOOR:.1}x floor"
+            );
+            std::process::exit(1);
+        }
+        Some(s) => println!(
+            "decode bench: OK ({speedup:.2}x serial, {s:.2}x batched+SIMD, \
+             0 allocations/window)"
+        ),
+        None => println!("decode bench: OK ({speedup:.2}x, 0 allocations/window)"),
+    }
     Ok(())
 }

@@ -9,10 +9,12 @@
 //! What it checks (exits non-zero on any failure):
 //!
 //! 1. **Determinism** — per-session reconstructions are bit-identical
-//!    for worker counts {1, 4, 8} and for two different frame
-//!    interleavings (round-robin across sessions vs. session-major),
-//!    while ~half the solver work is being *shed* by admission control
-//!    and gaps are repaired (or abandoned) through the bounded ARQ.
+//!    for worker counts {1, 4, 8}, for decode-batch widths {1, 3, 16}
+//!    (per-window serial vs. lockstep batched shard flushes), and for
+//!    two different frame interleavings (round-robin across sessions vs.
+//!    session-major), while ~half the solver work is being *shed* by
+//!    admission control and gaps are repaired (or abandoned) through the
+//!    bounded ARQ.
 //! 2. **Telemetry** — the same soak scenario re-runs with full telemetry
 //!    (flight recorder + spans) enabled for worker counts {1, 4, 8};
 //!    outputs must stay bit-identical to the telemetry-off reference,
@@ -181,10 +183,12 @@ fn drive(
     shapes: &[Shape],
     streams: &[Stream],
     workers: usize,
+    max_decode_batch: usize,
     interleave: Interleave,
 ) -> Result<Vec<Vec<SupervisedWindow>>, Box<dyn std::error::Error>> {
     let config = GatewayConfig {
         workers,
+        max_decode_batch,
         // Admit at most 2 full solves per 4 consecutive windows of each
         // session: with 4 windows per session the soak sheds half its
         // solver load, exercising demotion while staying fast.
@@ -348,14 +352,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- determinism sweep -------------------------------------------
-    let reference = drive(&shapes, &streams, 1, Interleave::RoundRobin)?;
+    let default_batch = GatewayConfig::default().max_decode_batch;
+    let reference = drive(&shapes, &streams, 1, default_batch, Interleave::RoundRobin)?;
     let mut runs = 1usize;
     for interleave in [Interleave::RoundRobin, Interleave::SessionMajor] {
         for workers in WORKER_COUNTS {
             if matches!(interleave, Interleave::RoundRobin) && workers == 1 {
                 continue; // the reference run
             }
-            let outputs = drive(&shapes, &streams, workers, interleave)?;
+            let outputs = drive(&shapes, &streams, workers, default_batch, interleave)?;
             runs += 1;
             for (i, (got, want)) in outputs.iter().zip(&reference).enumerate() {
                 if got != want {
@@ -372,6 +377,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
+    // Batched shard flushes must commit bit-identically to per-window
+    // decodes: width 1 disables batching entirely, width 3 forces ragged
+    // chunks and mid-solve lane retirement in every group.
+    for batch_width in [1usize, 3] {
+        let outputs = drive(&shapes, &streams, 4, batch_width, Interleave::RoundRobin)?;
+        runs += 1;
+        for (i, (got, want)) in outputs.iter().zip(&reference).enumerate() {
+            if got != want {
+                eprintln!(
+                    "error: session {} diverged with max_decode_batch={batch_width} \
+                     ({} vs {} windows)",
+                    streams[i].id,
+                    got.len(),
+                    want.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     let shed = registry
         .snapshot()
         .counter_value("gateway_shed_total", &[("kind", "quota")])
@@ -381,8 +405,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::process::exit(1);
     }
     println!(
-        "gateway soak: deterministic across worker counts {WORKER_COUNTS:?} and \
-         2 interleavings ({runs} runs, {} windows/run, {shed} quota sheds total)",
+        "gateway soak: deterministic across worker counts {WORKER_COUNTS:?}, \
+         decode-batch widths [1, 3, {default_batch}] and 2 interleavings \
+         ({runs} runs, {} windows/run, {shed} quota sheds total)",
         sessions * windows
     );
 
@@ -403,7 +428,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     slo.observe(registry.snapshot());
     for workers in WORKER_COUNTS {
         let before = registry.snapshot();
-        let outputs = drive(&shapes, &streams, workers, Interleave::RoundRobin)?;
+        let outputs = drive(
+            &shapes,
+            &streams,
+            workers,
+            default_batch,
+            Interleave::RoundRobin,
+        )?;
         if outputs != reference {
             eprintln!("error: telemetry-enabled run diverged with workers={workers}");
             std::process::exit(1);

@@ -24,6 +24,15 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> SIMD kernel pins on both tiers (natural dispatch, then HYBRIDCS_FORCE_SCALAR=1)"
+# The 0-ULP twin tests compare the AVX2 and scalar kernel bodies directly;
+# re-running the linalg + solver suites with the scalar pin additionally
+# drives every batch bit-identity test through the fallback dispatch path
+# that CI would otherwise only exercise on non-AVX2 hosts.
+cargo test -q --release --offline -p hybridcs-linalg -p hybridcs-solver
+HYBRIDCS_FORCE_SCALAR=1 \
+    cargo test -q --release --offline -p hybridcs-linalg -p hybridcs-solver
+
 echo "==> observability round-trip (obs-enabled quickstart + JSONL check)"
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
@@ -121,14 +130,17 @@ fi
 HYBRIDCS_OBS_CHECK="$OBS_BENCH" \
     cargo test -q --release --offline -p hybridcs-obs --test jsonl_schema
 
-echo "==> decode-throughput gates (zero-alloc hot path + speedup floor)"
+echo "==> decode-throughput gates (zero-alloc hot path + speedup floors + batched K-sweep)"
 # The example runs under a counting global allocator and exits non-zero if
-# a span of steady-state workspace solves performs any heap allocation, or
-# if the optimized decode path fails its 2x throughput floor over the
-# retained pre-optimization baseline. Its bench report must pass the
-# shared JSONL schema checker.
+# a span of steady-state workspace solves (serial or batched) performs any
+# heap allocation, if the optimized decode path fails its 2x throughput
+# floor over the retained pre-optimization baseline, if the best
+# batched+SIMD configuration fails its 3x floor (AVX2 hosts), or if any
+# batched configuration is not bit-identical to the serial decode. Its
+# bench report must pass the shared JSONL schema checker; the K-sweep
+# throughput lines are republished below so CI logs carry the numbers.
 DECODE_BENCH="$OBS_TMP/BENCH_decode.json"
-DECODE_OUT="$(HYBRIDCS_DECODE_WINDOWS=4 HYBRIDCS_DECODE_BENCH_PATH="$DECODE_BENCH" \
+DECODE_OUT="$(HYBRIDCS_DECODE_WINDOWS=8 HYBRIDCS_DECODE_BENCH_PATH="$DECODE_BENCH" \
     cargo run -q --release --offline --example decode_throughput)"
 if ! grep -q "decode bench: OK" <<<"$DECODE_OUT"; then
     echo "error: decode_throughput did not pass its gates" >&2
@@ -138,6 +150,15 @@ if ! grep -q "0 heap allocations" <<<"$DECODE_OUT"; then
     echo "error: decode_throughput did not certify a zero-allocation hot path" >&2
     exit 1
 fi
+if [ "$(grep -c '^decode bench: batched k = ' <<<"$DECODE_OUT")" -lt 4 ]; then
+    echo "error: decode_throughput swept fewer than four batched configurations" >&2
+    exit 1
+fi
+if ! grep -q "batched configurations bit-identical to the serial decode" <<<"$DECODE_OUT"; then
+    echo "error: decode_throughput did not certify batched bit-identity" >&2
+    exit 1
+fi
+grep '^decode bench: batched k = ' <<<"$DECODE_OUT"
 if [ ! -s "$DECODE_BENCH" ]; then
     echo "error: decode_throughput did not write BENCH_decode.json" >&2
     exit 1
